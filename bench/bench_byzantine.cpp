@@ -1,0 +1,51 @@
+// Byzantine generals (Lloyd): agreement versus generals/traitors, the
+// n > 3f boundary, and the message blow-up of OM(m).
+#include <cstdio>
+#include <set>
+
+#include "pdcu/activities/distributed.hpp"
+
+namespace act = pdcu::act;
+
+int main() {
+  std::printf("BYZANTINE GENERALS — OM(m) oral-messages protocol\n\n");
+  std::printf("%9s %9s %7s %10s %9s %9s\n", "generals", "traitors",
+              "rounds", "messages", "agree", "obey");
+
+  struct Case {
+    int generals;
+    std::set<int> traitors;
+    int rounds;
+    bool expect_ok;
+  };
+  const Case cases[] = {
+      {3, {}, 0, true},       {3, {2}, 1, false},   {4, {2}, 1, true},
+      {4, {0}, 1, true},      {7, {3, 5}, 2, true}, {7, {0, 3}, 2, true},
+      {7, {2, 4, 6}, 2, false},  // f=3 needs n>=10
+      {10, {2, 4, 6}, 3, true},
+  };
+
+  bool shape_ok = true;
+  for (const auto& c : cases) {
+    auto result = act::byzantine_om(c.generals, c.traitors, c.rounds, 1);
+    const bool ok = result.agreement && result.validity;
+    std::printf("%9d %9zu %7d %10lld %9s %9s %s\n", c.generals,
+                c.traitors.size(), c.rounds,
+                static_cast<long long>(result.messages),
+                result.agreement ? "yes" : "no",
+                result.validity ? "yes" : "no",
+                ok == c.expect_ok ? "" : "  <- UNEXPECTED");
+    if (ok != c.expect_ok) shape_ok = false;
+  }
+
+  std::printf("\nMessage growth of OM(m) with 7 generals:\n");
+  for (int m = 0; m <= 3; ++m) {
+    auto result = act::byzantine_om(7, {1}, m, 1);
+    std::printf("  OM(%d): %lld messages\n", m,
+                static_cast<long long>(result.messages));
+  }
+
+  std::printf("\nThe n > 3f boundary holds in every case: %s\n",
+              shape_ok ? "YES" : "NO");
+  return shape_ok ? 0 : 1;
+}

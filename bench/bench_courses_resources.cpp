@@ -1,0 +1,46 @@
+// Regenerates the §III.A statistics: recommended-course distribution and
+// the external-resource share.
+#include <cstdio>
+#include <string>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/curriculum/terms.hpp"
+
+int main() {
+  auto repo = pdcu::core::Repository::builtin();
+  auto stats = repo.stats();
+
+  std::printf("SSIII.A — COURSE COVERAGE AND EXTERNAL RESOURCES\n\n");
+
+  // Paper: "15 activities ... for K-12, 8 for CS0, 17 for CS1, 25 for CS2,
+  // 27 for DSA, and 22 for Systems".
+  const std::size_t paper_counts[] = {15, 8, 17, 25, 27, 22};
+  auto counts = stats.course_counts();
+  bool all_match = true;
+  std::printf("%-10s %-8s %-8s %s\n", "Course", "paper", "ours", "match");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    bool match = counts[i].second == paper_counts[i];
+    all_match = all_match && match;
+    std::printf("%-10s %-8zu %-8zu %s\n",
+                pdcu::cur::course_display_name(counts[i].first).c_str(),
+                paper_counts[i], counts[i].second, match ? "yes" : "NO");
+  }
+
+  std::printf("\nExternal resources: paper reports 41%%; ours %zu/%zu = %s "
+              "('less than half' holds; the live-site count drifted from "
+              "the snapshot — see EXPERIMENTS.md)\n",
+              stats.with_external_resources(), stats.activity_count(),
+              stats.external_resources_percent().c_str());
+
+  auto [lo, hi] = stats.year_range();
+  std::printf("Literature span: %d-%d (%d years; paper: 'thirty years')\n",
+              lo, hi, hi - lo);
+  std::printf("Activities with collapsed variations: %zu\n",
+              stats.with_variations());
+  std::printf("Activities with known assessment: %zu (paper: 'most ... do "
+              "not include assessment')\n",
+              stats.with_known_assessment());
+  std::printf("\nCourse rows match the paper: %s\n",
+              all_match ? "YES" : "NO");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Engine microbenchmarks for the Hugo-replacement claims (§II): fast site
+// builds, Markdown parsing, and activity serialization throughput. Build
+// time is measured against curation size (the 38-activity curation
+// replicated 1x, 2x, 4x, 8x).
+#include <benchmark/benchmark.h>
+
+#include "pdcu/core/activity_io.hpp"
+#include "pdcu/core/curation.hpp"
+#include "pdcu/markdown/frontmatter.hpp"
+#include "pdcu/core/repository.hpp"
+#include "pdcu/markdown/html.hpp"
+#include "pdcu/markdown/parser.hpp"
+#include "pdcu/site/site.hpp"
+
+namespace {
+
+/// A curation of `factor` x 38 activities (replicas get distinct slugs).
+pdcu::core::Repository replicated_repo(int factor) {
+  std::vector<pdcu::core::Activity> activities;
+  for (int r = 0; r < factor; ++r) {
+    for (auto activity : pdcu::core::curation()) {
+      if (r > 0) {
+        activity.title += "V" + std::to_string(r);
+        activity.slug += "v" + std::to_string(r);
+      }
+      activities.push_back(std::move(activity));
+    }
+  }
+  return pdcu::core::Repository(std::move(activities));
+}
+
+void BM_SiteBuild(benchmark::State& state) {
+  auto repo = replicated_repo(static_cast<int>(state.range(0)));
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    auto site = pdcu::site::build_site(repo);
+    pages = site.pages.size();
+    benchmark::DoNotOptimize(site);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["pages/s"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SiteBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ActivityWrite(benchmark::State& state) {
+  const auto& activities = pdcu::core::curation();
+  for (auto _ : state) {
+    for (const auto& activity : activities) {
+      benchmark::DoNotOptimize(pdcu::core::write_activity(activity));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(activities.size()));
+}
+BENCHMARK(BM_ActivityWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_ActivityParse(benchmark::State& state) {
+  std::vector<std::string> serialized;
+  for (const auto& activity : pdcu::core::curation()) {
+    serialized.push_back(pdcu::core::write_activity(activity));
+  }
+  for (auto _ : state) {
+    for (const auto& text : serialized) {
+      auto parsed = pdcu::core::parse_activity(text);
+      benchmark::DoNotOptimize(parsed);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ActivityParse)->Unit(benchmark::kMicrosecond);
+
+void BM_MarkdownToHtml(benchmark::State& state) {
+  std::vector<std::string> bodies;
+  for (const auto& activity : pdcu::core::curation()) {
+    auto split =
+        pdcu::md::parse_content(pdcu::core::write_activity(activity));
+    bodies.push_back(split.value().body);
+  }
+  std::int64_t bytes = 0;
+  for (const auto& body : bodies) {
+    bytes += static_cast<std::int64_t>(body.size());
+  }
+  for (auto _ : state) {
+    for (const auto& body : bodies) {
+      auto html = pdcu::md::render_html(pdcu::md::parse_markdown(body));
+      benchmark::DoNotOptimize(html);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_MarkdownToHtml)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Speedup-shaped results for the activities whose classroom point is
+// scaling: FindSmallestCard, ArraySummationWithCards, OddEven (blocked),
+// CoinFlipMonteCarlo, and the HumanSpeedupRace (Amdahl). Measured on the
+// deterministic virtual clock (this host has one core; the classroom
+// counts rounds, not seconds).
+#include <cstdio>
+#include <vector>
+
+#include "pdcu/activities/data_parallel.hpp"
+#include "pdcu/activities/performance.hpp"
+#include "pdcu/activities/sorting.hpp"
+#include "pdcu/support/rng.hpp"
+
+namespace act = pdcu::act;
+
+namespace {
+
+std::vector<std::int64_t> random_cards(std::size_t n) {
+  pdcu::Rng rng(7);
+  std::vector<std::int64_t> out(n);
+  for (auto& v : out) v = rng.between(0, 999);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int kStudents[] = {1, 2, 4, 8, 16};
+  bool ok = true;
+
+  std::printf("VIRTUAL-TIME SPEEDUP CURVES (students: speedup)\n\n");
+
+  {
+    std::printf("ArraySummationWithCards, 4096 cards (iPDC worksheet):\n");
+    auto cards = random_cards(4096);
+    std::int64_t serial = 0;
+    double last = 0.0;
+    for (int p : kStudents) {
+      auto r = act::array_summation(cards, p);
+      if (p == 1) serial = r.cost.makespan;
+      double speedup = static_cast<double>(serial) /
+                       static_cast<double>(r.cost.makespan);
+      std::printf("  %2d: %6.2fx  (makespan %lld)\n", p, speedup,
+                  static_cast<long long>(r.cost.makespan));
+      if (p > 1 && speedup < last) ok = ok && (last - speedup < 0.5);
+      last = speedup;
+    }
+  }
+
+  {
+    std::printf("\nFindSmallestCard, 1024 cards:\n");
+    auto cards = random_cards(1024);
+    std::int64_t serial = 0;
+    for (int p : kStudents) {
+      auto r = act::find_smallest_card(cards, p);
+      if (p == 1) serial = r.cost.makespan;
+      std::printf("  %2d: %6.2fx  (rounds %lld, comparisons %lld)\n", p,
+                  static_cast<double>(serial) /
+                      static_cast<double>(r.cost.makespan),
+                  static_cast<long long>(r.rounds),
+                  static_cast<long long>(r.comparisons));
+    }
+  }
+
+  {
+    std::printf("\nOddEvenTranspositionSort (blocked), 2048 values:\n");
+    auto values = random_cards(2048);
+    std::int64_t serial = 0;
+    for (int p : {1, 2, 4, 8}) {
+      auto r = act::odd_even_blocked(values, p);
+      if (p == 1) serial = r.cost.makespan;
+      std::printf("  %2d: %6.2fx  (makespan %lld)\n", p,
+                  static_cast<double>(serial) /
+                      static_cast<double>(r.cost.makespan),
+                  static_cast<long long>(r.cost.makespan));
+    }
+  }
+
+  {
+    std::printf("\nCoinFlipMonteCarlo, 32768 total flips:\n");
+    for (int p : kStudents) {
+      auto r = act::coin_flip_monte_carlo(32768 / p, p, 11);
+      std::printf("  %2d: %6.2fx  (estimate %.4f)\n", p,
+                  r.cost.speedup_vs(32768), r.estimate);
+    }
+  }
+
+  {
+    std::printf("\nHumanSpeedupRace (Amdahl, 64 cards, stamp cost 1):\n");
+    std::printf("  teams  simulated  predicted\n");
+    for (int p : kStudents) {
+      auto r = act::speedup_race(64, 1, p);
+      std::printf("  %5d  %9.3f  %9.3f\n", p, r.simulated_speedup,
+                  r.predicted_speedup);
+      if (r.simulated_speedup > 1.0 / r.serial_fraction) ok = false;
+    }
+    std::printf("  limit as teams -> inf: %.3f (= 1/serial fraction)\n",
+                1.0 / act::speedup_race(64, 1, 1).serial_fraction);
+  }
+
+  std::printf("\nShape checks passed: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Taxonomy-engine microbenchmarks: indexing the curation and answering the
+// queries that power the views (§II.B, §II.C).
+#include <benchmark/benchmark.h>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/core/repository.hpp"
+#include "pdcu/core/views.hpp"
+#include "pdcu/taxonomy/term_index.hpp"
+
+namespace {
+
+void BM_IndexCuration(benchmark::State& state) {
+  const auto& activities = pdcu::core::curation();
+  for (auto _ : state) {
+    pdcu::tax::TermIndex index(pdcu::tax::TaxonomyConfig::pdcunplugged());
+    for (const auto& activity : activities) {
+      index.add_page(activity.page_ref(), activity.tags());
+    }
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexCuration)->Unit(benchmark::kMicrosecond);
+
+void BM_TermLookup(benchmark::State& state) {
+  auto repo = pdcu::core::Repository::builtin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.index().pages("courses", "CS1"));
+    benchmark::DoNotOptimize(repo.index().pages("medium", "cards"));
+    benchmark::DoNotOptimize(
+        repo.index().pages("cs2013details", "PD_2"));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_TermLookup)->Unit(benchmark::kNanosecond);
+
+void BM_IntersectionQuery(benchmark::State& state) {
+  auto repo = pdcu::core::Repository::builtin();
+  const std::vector<std::string> terms = {"CS1", "CS2", "DSA"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.index().pages_with_all("courses", terms));
+  }
+}
+BENCHMARK(BM_IntersectionQuery)->Unit(benchmark::kNanosecond);
+
+void BM_Cs2013View(benchmark::State& state) {
+  auto repo = pdcu::core::Repository::builtin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdcu::core::cs2013_view(repo));
+  }
+}
+BENCHMARK(BM_Cs2013View)->Unit(benchmark::kMicrosecond);
+
+void BM_CoverageTables(benchmark::State& state) {
+  auto repo = pdcu::core::Repository::builtin();
+  for (auto _ : state) {
+    auto analyzer = repo.coverage();
+    benchmark::DoNotOptimize(analyzer.cs2013_table());
+    benchmark::DoNotOptimize(analyzer.tcpp_table());
+  }
+}
+BENCHMARK(BM_CoverageTables)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Where should the community write new unplugged activities? Reproduces
+// the gap analysis of §III.B/C/E and ranks the most impactful openings —
+// the workflow the paper anticipates for activity authors (§II.C).
+#include <algorithm>
+#include <cstdio>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/core/views.hpp"
+
+int main() {
+  auto repo = pdcu::core::Repository::builtin();
+  auto gaps = repo.gaps();
+
+  std::printf("%s\n", gaps.render_report().c_str());
+
+  // Rank knowledge units by how far they are from full coverage, weighting
+  // units with fewer activities higher — a simple "where to contribute"
+  // heuristic.
+  std::printf("=== Suggested contribution targets ===\n");
+  struct Target {
+    std::string name;
+    double score;
+    std::size_t missing;
+  };
+  std::vector<Target> targets;
+  for (const auto& row : repo.coverage().cs2013_table()) {
+    const std::size_t missing = row.num_outcomes - row.covered_outcomes;
+    if (missing == 0) continue;
+    const double scarcity =
+        1.0 / (1.0 + static_cast<double>(row.total_activities));
+    targets.push_back(
+        {row.unit_name, static_cast<double>(missing) * scarcity, missing});
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const Target& a, const Target& b) { return a.score > b.score; });
+  for (const auto& target : targets) {
+    std::printf("  %-50s %zu uncovered outcomes (priority %.2f)\n",
+                target.name.c_str(), target.missing, target.score);
+  }
+
+  std::printf("\nThe paper's own conclusion (SSIII.E): distributed "
+              "systems, cloud computing, and power consumption lack "
+              "unplugged materials; tactile and auditory activities are "
+              "scarce.\n");
+  return 0;
+}

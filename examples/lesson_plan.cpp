@@ -1,0 +1,67 @@
+// Plan a course's unplugged sessions: the educator workflow of §II.C made
+// constructive. Greedy coverage-maximizing selection per course, the
+// link-rot audit for the chosen activities, and the simulations to rehearse.
+//
+//   $ ./lesson_plan [course] [sessions]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pdcu/activities/registry.hpp"
+#include "pdcu/core/link_audit.hpp"
+#include "pdcu/core/planner.hpp"
+#include "pdcu/core/repository.hpp"
+
+int main(int argc, char** argv) {
+  const char* course = argc > 1 ? argv[1] : "CS1";
+  const std::size_t sessions =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  auto repo = pdcu::core::Repository::builtin();
+  auto plan = pdcu::core::plan_course(repo.activities(), course, sessions);
+  if (plan.sessions.empty()) {
+    std::fprintf(stderr, "no activities recommended for '%s'\n", course);
+    return 1;
+  }
+  std::printf("%s\n", plan.render().c_str());
+
+  // Preparation notes: which sessions have materials to print or mirror,
+  // and which have a simulation to rehearse with.
+  auto audit = pdcu::core::audit_links(repo.activities());
+  std::printf("Preparation:\n");
+  for (const auto& session : plan.sessions) {
+    const auto* activity = session.activity;
+    auto entry = std::find_if(audit.begin(), audit.end(),
+                              [&](const pdcu::core::LinkAuditEntry& e) {
+                                return e.slug == activity->slug;
+                              });
+    std::printf("  %-28s ", activity->title.c_str());
+    if (entry != audit.end() &&
+        entry->status == pdcu::core::LinkStatus::kSelfContained) {
+      std::printf("details inline; ");
+    } else if (entry != audit.end() &&
+               entry->status == pdcu::core::LinkStatus::kKnownDead) {
+      std::printf("original materials lost - use inline details; ");
+    } else {
+      std::printf("materials: %s ; ", activity->origin_url.c_str());
+    }
+    if (!activity->simulation.empty() &&
+        pdcu::act::find_simulation(activity->simulation) != nullptr) {
+      std::printf("rehearse: pdcu run %s\n", activity->simulation.c_str());
+    } else {
+      std::printf("no simulation (pure analogy)\n");
+    }
+  }
+
+  // Rehearse the first session right away.
+  const auto* first = plan.sessions.front().activity;
+  if (!first->simulation.empty()) {
+    const auto* sim = pdcu::act::find_simulation(first->simulation);
+    if (sim != nullptr) {
+      auto report = sim->run(2020);
+      std::printf("\nRehearsal of %s:\n%s\n", first->title.c_str(),
+                  report.summary.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// End-to-end static-site generation: export the curation to a content
+// directory (what lives in the GitHub repo), load it back (a contributor
+// clone), and build the browsable HTML site (pdcunplugged.org).
+//
+//   $ ./sitegen [content-dir] [out-dir]
+#include <cstdio>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/site/site.hpp"
+
+int main(int argc, char** argv) {
+  const char* content_dir = argc > 1 ? argv[1] : "pdcu-content";
+  const char* out_dir = argc > 2 ? argv[2] : "public";
+
+  // 1. Export the curation as Markdown content files.
+  auto builtin = pdcu::core::Repository::builtin();
+  if (auto status = builtin.export_to(content_dir); !status) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 status.error().message.c_str());
+    return 1;
+  }
+  std::printf("exported %zu activities to %s/activities/\n",
+              builtin.activities().size(), content_dir);
+
+  // 2. Load them back, as a fresh clone would.
+  auto loaded = pdcu::core::Repository::load(content_dir);
+  if (!loaded) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.error().message.c_str());
+    return 1;
+  }
+
+  // 3. Lint before publishing.
+  auto findings = loaded.value().validate();
+  if (!pdcu::core::is_publishable(findings)) {
+    std::fprintf(stderr, "curation not publishable (%zu findings)\n",
+                 findings.size());
+    return 1;
+  }
+
+  // 4. Generate the site.
+  auto site = pdcu::site::write_site(loaded.value(), out_dir);
+  if (!site) {
+    std::fprintf(stderr, "site build failed: %s\n",
+                 site.error().message.c_str());
+    return 1;
+  }
+  std::printf("built %zu pages into %s/ in %lld us\n",
+              site.value().pages.size(), out_dir,
+              static_cast<long long>(site.value().build_time.count()));
+  std::printf("open %s/index.html to browse; per-term pages live under "
+              "%s/<taxonomy>/<term>/\n",
+              out_dir, out_dir);
+  return 0;
+}

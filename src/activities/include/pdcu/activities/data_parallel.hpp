@@ -1,0 +1,103 @@
+// Executable simulations of the data-parallel worksheet activities:
+// ArraySummationWithCards and ParallelArraySearch (Ghafoor et al. iPDC),
+// MatrixMultiplicationTeams (iPDC), CoinFlipMonteCarlo (Maxim et al.), and
+// BallotCounting (Bachelis et al.).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdcu/runtime/classroom.hpp"
+
+namespace pdcu::act {
+
+// --- ArraySummationWithCards -----------------------------------------------------
+
+struct SummationResult {
+  std::int64_t sum = 0;
+  rt::RunCost cost;
+  double speedup_vs_serial = 0.0;  ///< virtual-time speedup
+};
+
+/// Scatter the card row over `students`, sum slices simultaneously, and
+/// combine partial sums over a binomial tree.
+SummationResult array_summation(std::span<const std::int64_t> cards,
+                                int students,
+                                rt::TraceLog* trace = nullptr);
+
+// --- ParallelArraySearch -----------------------------------------------------------
+
+struct SearchResult {
+  std::int64_t found_index = -1;    ///< -1 when absent
+  std::int64_t cards_flipped = 0;   ///< total work including wasted scans
+  rt::RunCost cost;
+};
+
+/// Teams partition the face-down row and search simultaneously; the first
+/// finder shouts and the others stop at their next card flip.
+SearchResult parallel_search(std::span<const std::int64_t> cards,
+                             std::int64_t target, int teams,
+                             rt::TraceLog* trace = nullptr);
+
+// --- MatrixMultiplicationTeams -------------------------------------------------------
+
+/// Row-major square matrix.
+struct Matrix {
+  std::size_t n = 0;
+  std::vector<std::int64_t> data;
+
+  std::int64_t& at(std::size_t r, std::size_t c) { return data[r * n + c]; }
+  std::int64_t at(std::size_t r, std::size_t c) const {
+    return data[r * n + c];
+  }
+
+  static Matrix random(std::size_t n, std::uint64_t seed);
+  static Matrix zero(std::size_t n);
+};
+
+/// Serial reference product.
+Matrix matmul_serial(const Matrix& a, const Matrix& b);
+
+struct MatmulResult {
+  Matrix product;
+  std::int64_t strip_fetches = 0;  ///< walks to the memory wall
+  rt::RunCost cost;
+};
+
+/// Teams own row-blocks of the result. With `blocked` false every element
+/// fetches its row and column strips (the first classroom round); with
+/// `blocked` true each team fetches a strip once and reuses it.
+MatmulResult matmul_teams(const Matrix& a, const Matrix& b, int teams,
+                          bool blocked, rt::TraceLog* trace = nullptr);
+
+// --- CoinFlipMonteCarlo ----------------------------------------------------------------
+
+struct MonteCarloResult {
+  std::int64_t flips = 0;
+  std::int64_t both_heads = 0;
+  double estimate = 0.0;   ///< of 1/4
+  double error = 0.0;      ///< |estimate - 0.25|
+  rt::RunCost cost;
+};
+
+/// Every student flips coin pairs; tallies are pooled by reduction. The
+/// samples share nothing, so virtual speedup is nearly perfect.
+MonteCarloResult coin_flip_monte_carlo(std::int64_t flips_per_student,
+                                       int students, std::uint64_t seed);
+
+// --- BallotCounting ----------------------------------------------------------------------
+
+struct BallotResult {
+  std::int64_t votes_a = 0;
+  std::int64_t votes_b = 0;
+  rt::RunCost cost;
+  std::int64_t combine_rounds = 0;  ///< the sequential tail of the tree
+};
+
+/// Deal the ballot box into piles, count simultaneously, combine subtotals
+/// on the board in a binomial tree.
+BallotResult ballot_counting(std::span<const std::int64_t> ballots,
+                             int counters, rt::TraceLog* trace = nullptr);
+
+}  // namespace pdcu::act

@@ -1,0 +1,137 @@
+// Executable simulations of the performance and architecture analogies:
+// LongDistancePhoneCall (latency/bandwidth), MowingTheLawn and
+// GroceryCheckoutQueues (load balancing), CarAssemblyPipeline (pipelining),
+// HumanSpeedupRace (Amdahl's law), and LibraryCacheHierarchy (memory
+// hierarchy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdcu/runtime/virtual_cost.hpp"
+
+namespace pdcu::act {
+
+// --- LongDistancePhoneCall ------------------------------------------------------
+
+struct PhoneCallResult {
+  std::int64_t many_small_cost = 0;  ///< per-item calls
+  std::int64_t one_big_cost = 0;     ///< one aggregated call
+  double overhead_ratio = 0.0;       ///< many_small / one_big
+};
+
+/// Sending `items` data items as `items / chunk` calls of `chunk` items
+/// versus one call: the connection charge amortization the analogy teaches.
+PhoneCallResult phone_call_compare(std::int64_t items, std::int64_t chunk,
+                                   rt::CostModel model = {});
+
+// --- MowingTheLawn / GroceryCheckoutQueues ---------------------------------------
+
+struct LoadBalanceResult {
+  std::int64_t total_work = 0;
+  std::int64_t static_makespan = 0;   ///< pre-partitioned strips
+  std::int64_t dynamic_makespan = 0;  ///< take-next-patch-when-free
+  std::int64_t dynamic_overhead = 0;  ///< per-grab coordination cost paid
+  double static_imbalance = 0.0;      ///< static_makespan / ideal
+};
+
+/// Schedules `patch_costs` onto `workers` mowers both ways. Dynamic
+/// scheduling is greedy list scheduling with `grab_cost` coordination per
+/// patch.
+LoadBalanceResult balance_load(std::span<const std::int64_t> patch_costs,
+                               int workers, std::int64_t grab_cost = 1);
+
+/// A skewed workload generator: mostly small patches plus a few rock
+/// gardens (heavy patches), as in the analogy.
+std::vector<std::int64_t> skewed_patches(int patches, std::uint64_t seed);
+
+// --- CarAssemblyPipeline ----------------------------------------------------------
+
+struct PipelineResult {
+  std::int64_t serial_makespan = 0;     ///< one car at a time
+  std::int64_t pipelined_makespan = 0;  ///< full assembly line
+  std::int64_t latency = 0;             ///< one car end-to-end
+  double throughput = 0.0;              ///< cars per bottleneck interval
+  std::int64_t bottleneck_stage_cost = 0;
+};
+
+/// Runs `items` cars through stages with the given per-stage costs.
+/// The pipelined makespan follows the classic timing diagram:
+/// latency + (items-1) * bottleneck.
+PipelineResult run_pipeline(std::span<const std::int64_t> stage_costs,
+                            int items);
+
+// --- HumanSpeedupRace (Amdahl) -------------------------------------------------------
+
+struct AmdahlResult {
+  int teams = 0;
+  double serial_fraction = 0.0;
+  double predicted_speedup = 0.0;  ///< 1 / (s + (1-s)/p)
+  double simulated_speedup = 0.0;  ///< from the simulated race
+  std::int64_t makespan = 0;
+};
+
+/// Simulates the race: `tasks` task cards of unit cost, a checkpoint desk
+/// that stamps every card serially (`stamp_cost` per card), `teams`
+/// runners. Returns predicted-vs-simulated speedup.
+AmdahlResult speedup_race(int tasks, std::int64_t stamp_cost, int teams);
+
+// --- GradingExamsInParallel (Bogaerts) -----------------------------------------
+
+/// How the graders divide the stack.
+enum class GradingStrategy {
+  kStaticSplit,   ///< split the stack evenly in advance
+  kCentralPile,   ///< deal one exam at a time from a shared pile
+  kPerQuestion    ///< one question per grader (a pipeline)
+};
+
+struct GradingResult {
+  std::int64_t makespan = 0;     ///< virtual time until all exams graded
+  std::int64_t pile_waits = 0;   ///< contended grabs at the central pile
+  bool all_graded = false;
+};
+
+/// `graders` grade `exams` whose per-exam difficulty varies per question;
+/// exam e, question q costs `question_costs[q]` + a per-exam wobble.
+GradingResult grade_exams(int graders, int exams,
+                          std::span<const std::int64_t> question_costs,
+                          GradingStrategy strategy, std::uint64_t seed);
+
+// --- LibraryCacheHierarchy ------------------------------------------------------------
+
+/// One level of the book hierarchy (desk, shelf, library, interlibrary loan).
+struct CacheLevel {
+  std::int64_t capacity = 0;  ///< books that fit (entries)
+  std::int64_t latency = 0;   ///< access cost when found here
+};
+
+struct CacheResult {
+  std::vector<double> hit_rate;   ///< per level (last = backing store)
+  double amat = 0.0;              ///< average access cost
+  std::int64_t total_accesses = 0;
+};
+
+/// A multi-level LRU cache simulator driven by an access trace of book ids.
+CacheResult simulate_hierarchy(std::span<const CacheLevel> levels,
+                               std::span<const std::int64_t> trace);
+
+/// Trace generators: a looping working set (high locality) and uniform
+/// random accesses (no locality).
+std::vector<std::int64_t> looping_trace(std::int64_t working_set,
+                                        std::int64_t accesses);
+std::vector<std::int64_t> random_trace(std::int64_t universe,
+                                       std::int64_t accesses,
+                                       std::uint64_t seed);
+
+/// Two roommates sharing the shelf: interleaves two looping traces with
+/// disjoint working sets, returning the hit-rate drop versus running alone.
+struct RoommateResult {
+  double alone_hit_rate = 0.0;
+  double shared_hit_rate = 0.0;
+};
+RoommateResult roommate_interference(std::int64_t shelf_capacity,
+                                     std::int64_t working_set,
+                                     std::int64_t accesses);
+
+}  // namespace pdcu::act

@@ -1,0 +1,35 @@
+// The simulation registry: links curation entries (Activity::simulation
+// slugs) to runnable demonstrations. Each demo runs a small, deterministic
+// instance of its protocol and reports what the classroom would observe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::act {
+
+/// Output of one demonstration run.
+struct DemoReport {
+  std::string summary;  ///< a few lines of observed results
+  std::string script;   ///< optional classroom script ("" when not traced)
+  bool ok = false;      ///< the run's own invariants held
+};
+
+/// A registered simulation.
+struct Simulation {
+  std::string slug;         ///< matches Activity::simulation
+  std::string name;         ///< human-readable
+  std::string description;  ///< one line
+  std::function<DemoReport(std::uint64_t seed)> run;
+};
+
+/// All registered simulations, in stable order.
+const std::vector<Simulation>& simulations();
+
+/// Lookup by slug; nullptr when unknown.
+const Simulation* find_simulation(std::string_view slug);
+
+}  // namespace pdcu::act

@@ -1,0 +1,132 @@
+// Executable simulations of the curated sorting activities — the most
+// common family of unplugged PDC activities in the literature (§III.A).
+// Each function is the faithful protocol of its classroom dramatization,
+// executed on the classroom runtime with virtual-time cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdcu/runtime/classroom.hpp"
+#include "pdcu/runtime/scheduler.hpp"
+#include "pdcu/runtime/trace.hpp"
+
+namespace pdcu::act {
+
+using Value = std::int64_t;
+
+// --- FindSmallestCard (Bachelis et al. 1994) ------------------------------
+
+/// Result of the tournament minimum.
+struct TournamentResult {
+  Value minimum = 0;
+  std::int64_t comparisons = 0;  ///< total comparisons (work)
+  std::int64_t rounds = 0;       ///< parallel rounds (ceil(log2 students))
+  rt::RunCost cost;
+};
+
+/// Students pair up and the larger card sits down; repeats until one stands.
+/// `students` ranks each receive a block of `cards` and reduce the minimum
+/// over a binomial tree.
+TournamentResult find_smallest_card(std::span<const Value> cards,
+                                    int students,
+                                    rt::TraceLog* trace = nullptr);
+
+// --- OddEvenTranspositionSort (Rifkin 1994) --------------------------------
+
+/// Result of the one-student-per-value dramatization.
+struct OddEvenResult {
+  std::vector<Value> sorted;
+  int rounds = 0;  ///< phases executed (at most n)
+  rt::RunCost cost;
+};
+
+/// One student per value; alternating odd/even neighbor exchanges until
+/// sorted (runs the full n phases, as the classroom protocol does).
+OddEvenResult odd_even_transposition(std::span<const Value> values,
+                                     rt::TraceLog* trace = nullptr);
+
+/// Blocked variant for larger inputs: each of `workers` students holds a
+/// sorted block; phases merge-split neighbor blocks. Used by the speedup
+/// bench.
+OddEvenResult odd_even_blocked(std::span<const Value> values, int workers,
+                               rt::TraceLog* trace = nullptr);
+
+// --- ParallelRadixSort (Rifkin 1994) ---------------------------------------
+
+struct RadixResult {
+  std::vector<Value> sorted;
+  int passes = 0;  ///< digit passes (sequential between passes)
+  rt::RunCost cost;
+};
+
+/// Teams distribute cards into digit bins, least significant digit first;
+/// bins are recombined between passes. `teams` ranks; base-10 digits, as in
+/// the classroom. Values must be non-negative.
+RadixResult parallel_radix_sort(std::span<const Value> values, int teams,
+                                rt::TraceLog* trace = nullptr);
+
+// --- ParallelCardSort (Bachelis et al. 1994; merge-based) ------------------
+
+struct MergeSortResult {
+  std::vector<Value> sorted;
+  int levels = 0;  ///< merge-tree levels after the local sort
+  rt::RunCost cost;
+};
+
+/// Groups sort hands locally, then pairs of groups merge until one deck
+/// remains. `groups` must be a power of two.
+MergeSortResult parallel_card_sort(std::span<const Value> values, int groups,
+                                   rt::TraceLog* trace = nullptr);
+
+// --- SortingNetworks (CS Unplugged) -----------------------------------------
+
+/// One comparator: compare wires (a, b), put min on a, max on b.
+struct Comparator {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// A sorting network as parallel layers of disjoint comparators.
+struct SortingNetwork {
+  std::size_t wires = 0;
+  std::vector<std::vector<Comparator>> layers;
+
+  std::size_t depth() const { return layers.size(); }
+  std::size_t comparator_count() const;
+};
+
+/// The 6-wire network drawn on the CS Unplugged playground.
+SortingNetwork cs_unplugged_network();
+
+/// Batcher odd-even merge network for any number of wires.
+SortingNetwork batcher_network(std::size_t wires);
+
+/// Walks values through the network (students walking the chalk diagram);
+/// each layer is one parallel step.
+std::vector<Value> run_network(const SortingNetwork& network,
+                               std::span<const Value> values,
+                               rt::TraceLog* trace = nullptr);
+
+/// True if the network sorts every 0/1 input (hence every input, by the
+/// 0-1 principle). Exhaustive up to 2^wires.
+bool sorts_all_zero_one_inputs(const SortingNetwork& network);
+
+// --- NondeterministicSorting (Sivilotti & Pike 2007) ------------------------
+
+struct NondetSortResult {
+  std::vector<Value> values;
+  rt::ScheduleResult schedule;
+  bool sorted = false;
+};
+
+/// Any adjacent pair may compare-and-swap at any time, in any order; the
+/// assertional argument guarantees every schedule sorts. Agent i guards
+/// pair (i, i+1).
+NondetSortResult nondeterministic_sort(std::vector<Value> values,
+                                       rt::SchedulePolicy policy,
+                                       std::uint64_t seed,
+                                       std::size_t max_steps);
+
+}  // namespace pdcu::act

@@ -1,0 +1,375 @@
+#include "pdcu/activities/performance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <list>
+#include <queue>
+#include <unordered_map>
+
+#include "pdcu/support/rng.hpp"
+
+namespace pdcu::act {
+
+// --- LongDistancePhoneCall ------------------------------------------------------
+
+PhoneCallResult phone_call_compare(std::int64_t items, std::int64_t chunk,
+                                   rt::CostModel model) {
+  assert(items > 0 && chunk > 0);
+  PhoneCallResult result;
+  const std::int64_t calls = (items + chunk - 1) / chunk;
+  // Every call pays the connection charge; the per-minute charge is the
+  // same in total either way.
+  result.many_small_cost = calls * model.msg_latency + items * model.msg_per_item;
+  result.one_big_cost = model.transfer(items);
+  result.overhead_ratio =
+      static_cast<double>(result.many_small_cost) /
+      static_cast<double>(result.one_big_cost);
+  return result;
+}
+
+// --- MowingTheLawn / GroceryCheckoutQueues ---------------------------------------
+
+LoadBalanceResult balance_load(std::span<const std::int64_t> patch_costs,
+                               int workers, std::int64_t grab_cost) {
+  assert(workers >= 1);
+  LoadBalanceResult result;
+  for (std::int64_t c : patch_costs) result.total_work += c;
+
+  // Static: contiguous strips of equal patch count, assigned in advance.
+  {
+    const std::size_t n = patch_costs.size();
+    const std::size_t chunk =
+        (n + static_cast<std::size_t>(workers) - 1) /
+        static_cast<std::size_t>(workers);
+    for (int w = 0; w < workers; ++w) {
+      std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(w));
+      std::size_t hi = std::min(n, lo + chunk);
+      std::int64_t strip = 0;
+      for (std::size_t i = lo; i < hi; ++i) strip += patch_costs[i];
+      result.static_makespan = std::max(result.static_makespan, strip);
+    }
+  }
+
+  // Dynamic: whoever is free takes the next patch, paying grab_cost per
+  // grab (greedy list scheduling).
+  {
+    std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                        std::greater<>>
+        mowers;
+    for (int w = 0; w < workers; ++w) mowers.push(0);
+    for (std::int64_t c : patch_costs) {
+      std::int64_t free_at = mowers.top();
+      mowers.pop();
+      mowers.push(free_at + grab_cost + c);
+      result.dynamic_overhead += grab_cost;
+    }
+    while (mowers.size() > 1) mowers.pop();
+    result.dynamic_makespan = mowers.top();
+  }
+
+  const double ideal =
+      static_cast<double>(result.total_work) / workers;
+  result.static_imbalance =
+      ideal == 0.0 ? 1.0
+                   : static_cast<double>(result.static_makespan) / ideal;
+  return result;
+}
+
+std::vector<std::int64_t> skewed_patches(int patches, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> costs;
+  costs.reserve(static_cast<std::size_t>(patches));
+  // The rock garden is one contiguous stretch of the lawn (that is what
+  // defeats pre-partitioned strips): the first eighth of the patches are
+  // heavy, the rest are easy mowing.
+  const int rocks = std::max(1, patches / 8);
+  for (int i = 0; i < patches; ++i) {
+    if (i < rocks) {
+      costs.push_back(rng.between(20, 40));
+    } else {
+      costs.push_back(rng.between(1, 4));
+    }
+  }
+  return costs;
+}
+
+// --- CarAssemblyPipeline ----------------------------------------------------------
+
+PipelineResult run_pipeline(std::span<const std::int64_t> stage_costs,
+                            int items) {
+  assert(!stage_costs.empty() && items >= 1);
+  PipelineResult result;
+  for (std::int64_t c : stage_costs) {
+    result.latency += c;
+    result.bottleneck_stage_cost =
+        std::max(result.bottleneck_stage_cost, c);
+  }
+  result.serial_makespan = result.latency * items;
+
+  // Event-driven simulation of the line: stage s can start item i when
+  // stage s finished item i-1 AND stage s-1 finished item i.
+  const std::size_t stages = stage_costs.size();
+  std::vector<std::int64_t> stage_free(stages, 0);
+  std::int64_t last_done = 0;
+  for (int i = 0; i < items; ++i) {
+    std::int64_t ready = 0;  // when the car arrives at the next stage
+    for (std::size_t s = 0; s < stages; ++s) {
+      const std::int64_t start = std::max(ready, stage_free[s]);
+      const std::int64_t done = start + stage_costs[s];
+      stage_free[s] = done;
+      ready = done;
+    }
+    last_done = ready;
+  }
+  result.pipelined_makespan = last_done;
+  result.throughput =
+      static_cast<double>(items) /
+      static_cast<double>(std::max<std::int64_t>(1, last_done));
+  return result;
+}
+
+// --- HumanSpeedupRace (Amdahl) -------------------------------------------------------
+
+AmdahlResult speedup_race(int tasks, std::int64_t stamp_cost, int teams) {
+  assert(tasks >= 1 && teams >= 1);
+  AmdahlResult result;
+  result.teams = teams;
+
+  const std::int64_t solve_cost = 1;
+  const std::int64_t serial_time =
+      tasks * (solve_cost + stamp_cost);  // one student does everything
+  // The checkpoint stamps serially regardless of team size; solving is
+  // perfectly parallel across team members.
+  const std::int64_t parallel_solve =
+      (tasks + teams - 1) / teams * solve_cost;
+  const std::int64_t stamping = tasks * stamp_cost;
+  // Solving is perfectly parallel; the checkpoint desk stamps every card
+  // one at a time afterwards — the un-parallelizable fraction of the race.
+  result.makespan = parallel_solve + stamping;
+
+  result.simulated_speedup = static_cast<double>(serial_time) /
+                             static_cast<double>(result.makespan);
+  result.serial_fraction =
+      static_cast<double>(stamp_cost) /
+      static_cast<double>(solve_cost + stamp_cost);
+  const double s = result.serial_fraction;
+  result.predicted_speedup = 1.0 / (s + (1.0 - s) / teams);
+  return result;
+}
+
+// --- GradingExamsInParallel ------------------------------------------------------
+
+GradingResult grade_exams(int graders, int exams,
+                          std::span<const std::int64_t> question_costs,
+                          GradingStrategy strategy, std::uint64_t seed) {
+  assert(graders >= 1 && exams >= 1 && !question_costs.empty());
+  GradingResult result;
+  Rng rng(seed);
+
+  // cost[e][q]: base question cost plus a per-exam wobble (a messy answer
+  // takes longer to mark).
+  const std::size_t questions = question_costs.size();
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(exams) *
+                                 questions);
+  for (int e = 0; e < exams; ++e) {
+    for (std::size_t q = 0; q < questions; ++q) {
+      cost[static_cast<std::size_t>(e) * questions + q] =
+          question_costs[q] + rng.between(0, 2);
+    }
+  }
+  auto exam_cost = [&](int e) {
+    std::int64_t total = 0;
+    for (std::size_t q = 0; q < questions; ++q) {
+      total += cost[static_cast<std::size_t>(e) * questions + q];
+    }
+    return total;
+  };
+
+  switch (strategy) {
+    case GradingStrategy::kStaticSplit: {
+      // Contiguous shares of the stack, fixed in advance.
+      const int chunk = (exams + graders - 1) / graders;
+      for (int g = 0; g < graders; ++g) {
+        std::int64_t busy = 0;
+        for (int e = g * chunk; e < std::min(exams, (g + 1) * chunk); ++e) {
+          busy += exam_cost(e);
+        }
+        result.makespan = std::max(result.makespan, busy);
+      }
+      break;
+    }
+    case GradingStrategy::kCentralPile: {
+      // Greedy: the next free grader takes the top exam, paying one unit
+      // of contention per grab.
+      std::vector<std::int64_t> free_at(static_cast<std::size_t>(graders),
+                                        0);
+      for (int e = 0; e < exams; ++e) {
+        auto soonest =
+            std::min_element(free_at.begin(), free_at.end());
+        *soonest += 1 + exam_cost(e);  // 1 = reach into the shared pile
+        ++result.pile_waits;
+      }
+      result.makespan =
+          *std::max_element(free_at.begin(), free_at.end());
+      break;
+    }
+    case GradingStrategy::kPerQuestion: {
+      // One grader per question, exams flowing down the line; extra
+      // graders beyond the question count idle. Event-driven, like the
+      // car assembly line, with per-exam variable stage costs.
+      const std::size_t stages =
+          std::min<std::size_t>(questions, static_cast<std::size_t>(graders));
+      std::vector<std::int64_t> stage_free(stages, 0);
+      for (int e = 0; e < exams; ++e) {
+        std::int64_t ready = 0;
+        for (std::size_t s = 0; s < stages; ++s) {
+          // Stage s grades question s; the last stage takes any leftover
+          // questions when there are fewer graders than questions.
+          std::int64_t stage_cost = 0;
+          if (s + 1 < stages) {
+            stage_cost = cost[static_cast<std::size_t>(e) * questions + s];
+          } else {
+            for (std::size_t q = s; q < questions; ++q) {
+              stage_cost +=
+                  cost[static_cast<std::size_t>(e) * questions + q];
+            }
+          }
+          const std::int64_t start = std::max(ready, stage_free[s]);
+          stage_free[s] = start + stage_cost;
+          ready = stage_free[s];
+        }
+        result.makespan = std::max(result.makespan, ready);
+      }
+      break;
+    }
+  }
+  result.all_graded = true;
+  return result;
+}
+
+// --- LibraryCacheHierarchy ------------------------------------------------------------
+
+namespace {
+
+/// One LRU level.
+class LruLevel {
+ public:
+  explicit LruLevel(std::int64_t capacity) : capacity_(capacity) {}
+
+  bool access(std::int64_t id) {
+    auto it = where_.find(id);
+    if (it != where_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    insert(id);
+    return false;
+  }
+
+  void insert(std::int64_t id) {
+    if (where_.count(id) != 0) return;
+    order_.push_front(id);
+    where_[id] = order_.begin();
+    if (static_cast<std::int64_t>(order_.size()) > capacity_) {
+      where_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+ private:
+  std::int64_t capacity_;
+  std::list<std::int64_t> order_;
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> where_;
+};
+
+}  // namespace
+
+CacheResult simulate_hierarchy(std::span<const CacheLevel> levels,
+                               std::span<const std::int64_t> trace) {
+  assert(!levels.empty());
+  CacheResult result;
+  result.total_accesses = static_cast<std::int64_t>(trace.size());
+  std::vector<LruLevel> lru;
+  std::vector<std::int64_t> hits(levels.size() + 1, 0);
+  for (const auto& level : levels) lru.emplace_back(level.capacity);
+
+  std::int64_t total_cost = 0;
+  for (std::int64_t id : trace) {
+    bool found = false;
+    for (std::size_t l = 0; l < lru.size(); ++l) {
+      if (lru[l].access(id)) {
+        ++hits[l];
+        total_cost += levels[l].latency;
+        // Promote into the faster levels (inclusive hierarchy).
+        for (std::size_t f = 0; f < l; ++f) lru[f].insert(id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++hits[levels.size()];
+      // Missing everywhere costs twice the slowest level (the interlibrary
+      // loan round trip).
+      total_cost += 2 * levels.back().latency;
+    }
+  }
+  for (std::size_t l = 0; l <= levels.size(); ++l) {
+    result.hit_rate.push_back(trace.empty()
+                                  ? 0.0
+                                  : static_cast<double>(hits[l]) /
+                                        static_cast<double>(trace.size()));
+  }
+  result.amat = trace.empty() ? 0.0
+                              : static_cast<double>(total_cost) /
+                                    static_cast<double>(trace.size());
+  return result;
+}
+
+std::vector<std::int64_t> looping_trace(std::int64_t working_set,
+                                        std::int64_t accesses) {
+  std::vector<std::int64_t> trace;
+  trace.reserve(static_cast<std::size_t>(accesses));
+  for (std::int64_t i = 0; i < accesses; ++i) {
+    trace.push_back(i % working_set);
+  }
+  return trace;
+}
+
+std::vector<std::int64_t> random_trace(std::int64_t universe,
+                                       std::int64_t accesses,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> trace;
+  trace.reserve(static_cast<std::size_t>(accesses));
+  for (std::int64_t i = 0; i < accesses; ++i) {
+    trace.push_back(
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(
+            universe))));
+  }
+  return trace;
+}
+
+RoommateResult roommate_interference(std::int64_t shelf_capacity,
+                                     std::int64_t working_set,
+                                     std::int64_t accesses) {
+  RoommateResult result;
+  const CacheLevel shelf{shelf_capacity, 1};
+
+  auto alone = looping_trace(working_set, accesses);
+  result.alone_hit_rate =
+      simulate_hierarchy(std::span(&shelf, 1), alone).hit_rate[0];
+
+  // Interleave two loops over disjoint working sets (roommate's books are
+  // offset past ours).
+  std::vector<std::int64_t> shared;
+  shared.reserve(static_cast<std::size_t>(2 * accesses));
+  for (std::int64_t i = 0; i < accesses; ++i) {
+    shared.push_back(i % working_set);
+    shared.push_back(working_set + (i % working_set));
+  }
+  result.shared_hit_rate =
+      simulate_hierarchy(std::span(&shelf, 1), shared).hit_rate[0];
+  return result;
+}
+
+}  // namespace pdcu::act

@@ -1,0 +1,565 @@
+#include "pdcu/activities/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "pdcu/activities/data_parallel.hpp"
+#include "pdcu/activities/distributed.hpp"
+#include "pdcu/activities/performance.hpp"
+#include "pdcu/activities/races.hpp"
+#include "pdcu/activities/sorting.hpp"
+#include "pdcu/support/rng.hpp"
+
+namespace pdcu::act {
+
+namespace {
+
+std::vector<Value> random_values(std::size_t n, std::uint64_t seed,
+                                 std::int64_t lo = 1, std::int64_t hi = 99) {
+  Rng rng(seed);
+  std::vector<Value> out(n);
+  for (auto& v : out) v = rng.between(lo, hi);
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::vector<Simulation> build_registry() {
+  std::vector<Simulation> sims;
+
+  sims.push_back({"find_smallest_card", "FindSmallestCard",
+                  "tournament minimum with students as processors",
+                  [](std::uint64_t seed) {
+                    rt::TraceLog trace;
+                    auto cards = random_values(16, seed);
+                    auto r = find_smallest_card(cards, 8, &trace);
+                    DemoReport report;
+                    report.ok =
+                        r.minimum ==
+                        *std::min_element(cards.begin(), cards.end());
+                    report.summary =
+                        "minimum=" + std::to_string(r.minimum) +
+                        " rounds=" + std::to_string(r.rounds) +
+                        " comparisons=" + std::to_string(r.comparisons) +
+                        " makespan=" + std::to_string(r.cost.makespan);
+                    report.script = trace.render_script();
+                    return report;
+                  }});
+
+  sims.push_back({"odd_even_transposition", "OddEvenTranspositionSort",
+                  "parallel bubble sort with alternating phases",
+                  [](std::uint64_t seed) {
+                    rt::TraceLog trace;
+                    auto values = random_values(8, seed);
+                    auto r = odd_even_transposition(values, &trace);
+                    DemoReport report;
+                    report.ok =
+                        std::is_sorted(r.sorted.begin(), r.sorted.end());
+                    report.summary =
+                        "n=8 rounds=" + std::to_string(r.rounds) +
+                        " makespan=" + std::to_string(r.cost.makespan) +
+                        " sorted=" + (report.ok ? "yes" : "NO");
+                    report.script = trace.render_script();
+                    return report;
+                  }});
+
+  sims.push_back({"parallel_radix_sort", "ParallelRadixSort",
+                  "digit-bin card sort by teams",
+                  [](std::uint64_t seed) {
+                    auto values = random_values(24, seed, 0, 999);
+                    auto r = parallel_radix_sort(values, 4);
+                    DemoReport report;
+                    report.ok =
+                        std::is_sorted(r.sorted.begin(), r.sorted.end());
+                    report.summary =
+                        "n=24 passes=" + std::to_string(r.passes) +
+                        " makespan=" + std::to_string(r.cost.makespan) +
+                        " sorted=" + (report.ok ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"parallel_card_sort", "ParallelCardSort",
+                  "groups sort hands, then merge decks pairwise",
+                  [](std::uint64_t seed) {
+                    auto values = random_values(32, seed);
+                    auto r = parallel_card_sort(values, 4);
+                    DemoReport report;
+                    report.ok =
+                        std::is_sorted(r.sorted.begin(), r.sorted.end());
+                    report.summary =
+                        "n=32 levels=" + std::to_string(r.levels) +
+                        " makespan=" + std::to_string(r.cost.makespan) +
+                        " sorted=" + (report.ok ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"sorting_network", "SortingNetworks",
+                  "students walk the chalk network",
+                  [](std::uint64_t seed) {
+                    auto network = cs_unplugged_network();
+                    auto values = random_values(6, seed);
+                    auto sorted = run_network(network, values);
+                    DemoReport report;
+                    report.ok = std::is_sorted(sorted.begin(), sorted.end());
+                    report.summary =
+                        "wires=6 depth=" + std::to_string(network.depth()) +
+                        " comparators=" +
+                        std::to_string(network.comparator_count()) +
+                        " sorted=" + (report.ok ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"nondeterministic_sort", "NondeterministicSorting",
+                  "any adjacent pair may swap at any time",
+                  [](std::uint64_t seed) {
+                    auto r = nondeterministic_sort(
+                        random_values(12, seed), rt::SchedulePolicy::kRandom,
+                        seed, 100000);
+                    DemoReport report;
+                    report.ok = r.sorted;
+                    report.summary =
+                        "n=12 steps=" + std::to_string(r.schedule.steps) +
+                        " sorted under a random schedule: " +
+                        (r.sorted ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"juice_robots", "SweeteningTheJuice",
+                  "the check-then-add race, with and without a lock",
+                  [](std::uint64_t seed) {
+                    int racy = count_oversweetened(2, 5, 40, seed);
+                    auto safe =
+                        sweeten_juice(2, 5, JuiceMode::kMutex, seed);
+                    DemoReport report;
+                    report.ok = !safe.oversweetened;
+                    report.summary =
+                        "unsynchronized: " + std::to_string(racy) +
+                        "/40 runs oversweetened; with a lock: exactly " +
+                        std::to_string(safe.spoonfuls_added) + "/" +
+                        std::to_string(safe.target) + " spoonfuls";
+                    return report;
+                  }});
+
+  sims.push_back({"concert_tickets", "ConcertTickets",
+                  "box offices selling from one seat pool",
+                  [](std::uint64_t seed) {
+                    auto racy = sell_tickets(64, 4,
+                                             TicketStrategy::kNoCoordination,
+                                             seed);
+                    auto locked =
+                        sell_tickets(64, 4, TicketStrategy::kCoarseLock,
+                                     seed);
+                    DemoReport report;
+                    report.ok = !locked.oversold &&
+                                locked.tickets_issued == 64;
+                    report.summary =
+                        "no coordination: " +
+                        std::to_string(racy.tickets_issued) +
+                        " tickets for 64 seats (" +
+                        std::to_string(racy.double_sold_seats) +
+                        " double-sold); coarse lock: " +
+                        std::to_string(locked.tickets_issued) +
+                        " tickets, 0 double-sold";
+                    return report;
+                  }});
+
+  sims.push_back({"gardeners", "GardenersAndSharedWork",
+                  "watering every tree exactly once",
+                  [](std::uint64_t seed) {
+                    auto naive = water_orchard(
+                        4, 64, GardenScheme::kNoCoordination, seed);
+                    auto rows =
+                        water_orchard(4, 64, GardenScheme::kStaticRows, seed);
+                    DemoReport report;
+                    report.ok = rows.watered_exactly_once == 64;
+                    report.summary =
+                        "no coordination: " +
+                        std::to_string(naive.watered_twice_or_more) +
+                        " trees watered twice; static rows: all " +
+                        std::to_string(rows.watered_exactly_once) +
+                        " exactly once";
+                    return report;
+                  }});
+
+  sims.push_back({"token_ring", "SelfStabilizingTokenRing",
+                  "Dijkstra K-state stabilization from arbitrary states",
+                  [](std::uint64_t seed) {
+                    Rng rng(seed);
+                    std::vector<int> states(9);
+                    for (auto& s : states) {
+                      s = static_cast<int>(rng.below(10));
+                    }
+                    auto r = stabilize_token_ring(
+                        states, 10, rt::SchedulePolicy::kRandom, seed,
+                        100000);
+                    DemoReport report;
+                    report.ok = r.stabilized && r.stayed_legitimate;
+                    report.summary =
+                        "ring of 9, started with " +
+                        std::to_string(r.initial_tokens) +
+                        " tokens; stabilized to exactly one after " +
+                        std::to_string(r.steps) +
+                        " moves; closure held: " +
+                        (r.stayed_legitimate ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"leader_election", "StableLeaderElection",
+                  "ring election: gossip and Chang-Roberts",
+                  [](std::uint64_t seed) {
+                    Rng rng(seed);
+                    std::vector<std::int64_t> ids;
+                    for (int i = 0; i < 8; ++i) {
+                      ids.push_back(rng.between(1, 1000));
+                    }
+                    auto gossip = leader_election_gossip(
+                        ids, rt::SchedulePolicy::kShuffled, seed, 100000);
+                    auto ring = leader_election_ring(ids);
+                    DemoReport report;
+                    report.ok = gossip.elected_maximum && gossip.stable &&
+                                ring.elected_maximum;
+                    report.summary =
+                        "gossip elected " + std::to_string(gossip.leader_id) +
+                        " in " + std::to_string(gossip.steps) +
+                        " moves (stable: " + (gossip.stable ? "yes" : "NO") +
+                        "); message ring used " +
+                        std::to_string(ring.messages) + " messages";
+                    return report;
+                  }});
+
+  sims.push_back({"parallel_gc", "ParallelGarbageCollection",
+                  "tri-color marking with mutators",
+                  [](std::uint64_t seed) {
+                    auto with = parallel_gc(40, 80, 60, true, seed);
+                    int lost_runs = 0;
+                    for (int t = 0; t < 30; ++t) {
+                      auto without = parallel_gc(
+                          40, 80, 60, false,
+                          seed + 1000 + static_cast<std::uint64_t>(t));
+                      if (without.lost_live_object) ++lost_runs;
+                    }
+                    DemoReport report;
+                    report.ok = !with.lost_live_object;
+                    report.summary =
+                        "with write barrier: no live object lost; without: " +
+                        std::to_string(lost_runs) +
+                        "/30 schedules lost a live object";
+                    return report;
+                  }});
+
+  sims.push_back({"byzantine_generals", "ByzantineGenerals",
+                  "oral-messages agreement with traitors",
+                  [](std::uint64_t) {
+                    auto four = byzantine_om(4, {2}, 1, 1);
+                    auto three = byzantine_om(3, {2}, 1, 1);
+                    DemoReport report;
+                    report.ok = four.agreement && four.validity &&
+                                !three.validity;
+                    report.summary =
+                        "4 generals, 1 traitor: agreement=" +
+                        std::string(four.agreement ? "yes" : "no") +
+                        ", order obeyed=" +
+                        std::string(four.validity ? "yes" : "no") + " (" +
+                        std::to_string(four.messages) +
+                        " messages); 3 generals, 1 traitor: order obeyed=" +
+                        std::string(three.validity ? "yes" : "no") +
+                        " (n > 3f needed)";
+                    return report;
+                  }});
+
+  sims.push_back({"phone_call", "LongDistancePhoneCall",
+                  "connection charges amortized by one big call",
+                  [](std::uint64_t) {
+                    auto r = phone_call_compare(1000, 1);
+                    DemoReport report;
+                    report.ok = r.many_small_cost > r.one_big_cost;
+                    report.summary =
+                        "1000 items one-at-a-time cost " +
+                        std::to_string(r.many_small_cost) +
+                        "; one call cost " +
+                        std::to_string(r.one_big_cost) + " (" +
+                        fmt(r.overhead_ratio) + "x)";
+                    return report;
+                  }});
+
+  sims.push_back({"load_balancing", "MowingTheLawn",
+                  "static strips vs take-the-next-patch",
+                  [](std::uint64_t seed) {
+                    auto patches = skewed_patches(64, seed);
+                    auto r = balance_load(patches, 4);
+                    DemoReport report;
+                    report.ok = r.dynamic_makespan <= r.static_makespan;
+                    report.summary =
+                        "4 mowers, 64 patches: static makespan " +
+                        std::to_string(r.static_makespan) +
+                        ", dynamic " + std::to_string(r.dynamic_makespan) +
+                        " (imbalance " + fmt(r.static_imbalance) + "x)";
+                    return report;
+                  }});
+
+  sims.push_back({"pipeline", "CarAssemblyPipeline",
+                  "throughput vs latency on the line",
+                  [](std::uint64_t) {
+                    std::vector<std::int64_t> stages = {2, 2, 4, 2};
+                    auto r = run_pipeline(stages, 12);
+                    DemoReport report;
+                    report.ok = r.pipelined_makespan < r.serial_makespan;
+                    report.summary =
+                        "12 cars, stages {2,2,4,2}: serial " +
+                        std::to_string(r.serial_makespan) + ", pipelined " +
+                        std::to_string(r.pipelined_makespan) +
+                        " (bottleneck " +
+                        std::to_string(r.bottleneck_stage_cost) + ")";
+                    return report;
+                  }});
+
+  sims.push_back({"amdahl_race", "HumanSpeedupRace",
+                  "the checkpoint desk is Amdahl's serial fraction",
+                  [](std::uint64_t) {
+                    DemoReport report;
+                    report.ok = true;
+                    report.summary = "teams: speedup (predicted)";
+                    for (int teams : {1, 2, 4, 8}) {
+                      auto r = speedup_race(64, 1, teams);
+                      report.summary +=
+                          "\n  " + std::to_string(teams) + ": " +
+                          fmt(r.simulated_speedup) + " (" +
+                          fmt(r.predicted_speedup) + ")";
+                      if (r.simulated_speedup >
+                          1.0 / r.serial_fraction + 1e-9) {
+                        report.ok = false;
+                      }
+                    }
+                    return report;
+                  }});
+
+  sims.push_back({"sync_methods", "IntersectionSynchronization",
+                  "stop sign vs traffic light vs police officer",
+                  [](std::uint64_t) {
+                    DemoReport report;
+                    report.ok = true;
+                    report.summary = "4 cars x 50 crossings:";
+                    const std::pair<IntersectionControl, const char*>
+                        controls[] = {
+                            {IntersectionControl::kStopSign, "stop sign"},
+                            {IntersectionControl::kTrafficLight,
+                             "traffic light"},
+                            {IntersectionControl::kPoliceOfficer,
+                             "police officer"},
+                        };
+                    for (const auto& [control, name] : controls) {
+                      auto r = run_intersection(4, 50, control);
+                      if (!r.mutual_exclusion_held ||
+                          r.total_crossings != 200) {
+                        report.ok = false;
+                      }
+                      report.summary +=
+                          std::string("\n  ") + name + ": exclusion " +
+                          (r.mutual_exclusion_held ? "held" : "VIOLATED");
+                    }
+                    return report;
+                  }});
+
+  sims.push_back({"grading_exams", "GradingExamsInParallel",
+                  "static split vs central pile vs per-question pipeline",
+                  [](std::uint64_t seed) {
+                    std::vector<std::int64_t> questions = {2, 2, 5, 2};
+                    auto fixed = grade_exams(
+                        4, 40, questions, GradingStrategy::kStaticSplit,
+                        seed);
+                    auto pile = grade_exams(
+                        4, 40, questions, GradingStrategy::kCentralPile,
+                        seed);
+                    auto line = grade_exams(
+                        4, 40, questions, GradingStrategy::kPerQuestion,
+                        seed);
+                    DemoReport report;
+                    report.ok = fixed.all_graded && pile.all_graded &&
+                                line.all_graded &&
+                                pile.makespan <= fixed.makespan + 45;
+                    report.summary =
+                        "40 exams, 4 graders: static split " +
+                        std::to_string(fixed.makespan) +
+                        ", central pile " + std::to_string(pile.makespan) +
+                        ", per-question line " +
+                        std::to_string(line.makespan);
+                    return report;
+                  }});
+
+  sims.push_back({"two_stations", "FastAnswerVsSharedAccess",
+                  "more hands vs one stapler",
+                  [](std::uint64_t seed) {
+                    auto r = two_stations(8, 104, seed);
+                    DemoReport report;
+                    report.ok = r.station_a_speedup > 4.0 &&
+                                r.station_b_speedup < 4.0;
+                    report.summary =
+                        "8 students: counting cards speeds up " +
+                        fmt(r.station_a_speedup) +
+                        "x; stapled packets only " +
+                        fmt(r.station_b_speedup) +
+                        "x (the stapler is the shared resource)";
+                    return report;
+                  }});
+
+  sims.push_back({"cache_hierarchy", "LibraryCacheHierarchy",
+                  "desk, shelf, library, interlibrary loan",
+                  [](std::uint64_t seed) {
+                    std::vector<CacheLevel> levels = {
+                        {4, 1}, {32, 10}, {256, 100}};
+                    auto local =
+                        simulate_hierarchy(levels, looping_trace(24, 4000));
+                    auto rand = simulate_hierarchy(
+                        levels, random_trace(2048, 4000, seed));
+                    DemoReport report;
+                    report.ok = local.amat < rand.amat;
+                    report.summary =
+                        "looping working set AMAT " + fmt(local.amat) +
+                        " vs random accesses AMAT " + fmt(rand.amat);
+                    return report;
+                  }});
+
+  sims.push_back({"telephone_chain", "TelephoneChain",
+                  "whisper down the line vs a broadcast tree",
+                  [](std::uint64_t seed) {
+                    auto r = telephone_chain(16, 8, 5, seed);
+                    DemoReport report;
+                    report.ok = r.tree_makespan < r.chain_makespan;
+                    report.summary =
+                        "16 students: chain delivered in " +
+                        std::to_string(r.chain_makespan) + ", tree in " +
+                        std::to_string(r.tree_makespan) + "; " +
+                        std::to_string(r.corrupted_words) +
+                        "/8 words garbled along the chain";
+                    return report;
+                  }});
+
+  sims.push_back({"producer_consumer", "DinnerPartyProducers",
+                  "cooks, waiters, and a four-plate window",
+                  [](std::uint64_t) {
+                    auto r = dinner_party(3, 2, 20, 4);
+                    DemoReport report;
+                    report.ok = r.every_dish_served_once &&
+                                r.dishes_served == r.dishes_cooked;
+                    report.summary =
+                        std::to_string(r.dishes_served) + "/" +
+                        std::to_string(r.dishes_cooked) +
+                        " dishes served exactly once; cooks stalled " +
+                        std::to_string(r.window_full_stalls) +
+                        "x on a full window, waiters " +
+                        std::to_string(r.window_empty_stalls) +
+                        "x on an empty one";
+                    return report;
+                  }});
+
+  sims.push_back({"array_summation", "ArraySummationWithCards",
+                  "slice sums combined up a tree",
+                  [](std::uint64_t seed) {
+                    auto cards = random_values(256, seed);
+                    auto r = array_summation(cards, 8);
+                    std::int64_t expected = 0;
+                    for (auto v : cards) expected += v;
+                    DemoReport report;
+                    report.ok = r.sum == expected;
+                    report.summary =
+                        "sum=" + std::to_string(r.sum) +
+                        " makespan=" + std::to_string(r.cost.makespan) +
+                        " speedup=" + fmt(r.speedup_vs_serial) + "x over 1";
+                    return report;
+                  }});
+
+  sims.push_back({"parallel_search", "ParallelArraySearch",
+                  "partitioned search with a FOUND shout",
+                  [](std::uint64_t seed) {
+                    auto cards = random_values(400, seed, 1, 10000);
+                    cards[287] = -7;
+                    auto r = parallel_search(cards, -7, 8);
+                    DemoReport report;
+                    report.ok = r.found_index == 287;
+                    report.summary =
+                        "found at index " + std::to_string(r.found_index) +
+                        " after " + std::to_string(r.cards_flipped) +
+                        " total card flips (serial worst case 400)";
+                    return report;
+                  }});
+
+  sims.push_back({"matrix_teams", "MatrixMultiplicationTeams",
+                  "walking to the memory wall: naive vs blocked",
+                  [](std::uint64_t seed) {
+                    auto a = Matrix::random(24, seed);
+                    auto b = Matrix::random(24, seed + 1);
+                    auto naive = matmul_teams(a, b, 4, false);
+                    auto blocked = matmul_teams(a, b, 4, true);
+                    auto reference = matmul_serial(a, b);
+                    DemoReport report;
+                    report.ok = naive.product.data == reference.data &&
+                                blocked.product.data == reference.data;
+                    report.summary =
+                        "naive fetches " +
+                        std::to_string(naive.strip_fetches) +
+                        " strips; blocked fetches " +
+                        std::to_string(blocked.strip_fetches) +
+                        "; results match serial: " +
+                        (report.ok ? "yes" : "NO");
+                    return report;
+                  }});
+
+  sims.push_back({"monte_carlo", "CoinFlipMonteCarlo",
+                  "embarrassingly parallel coin flips",
+                  [](std::uint64_t seed) {
+                    auto r = coin_flip_monte_carlo(4000, 8, seed);
+                    DemoReport report;
+                    report.ok = r.error < 0.02;
+                    report.summary =
+                        std::to_string(r.flips) +
+                        " flips estimate P(two heads)=" + fmt(r.estimate) +
+                        " (error " + fmt(r.error) + ")";
+                    return report;
+                  }});
+
+  sims.push_back({"ballot_counting", "BallotCounting",
+                  "deal the box into piles, combine subtotals",
+                  [](std::uint64_t seed) {
+                    Rng rng(seed);
+                    std::vector<std::int64_t> ballots(500);
+                    std::int64_t expected_a = 0;
+                    for (auto& v : ballots) {
+                      v = rng.chance(0.55) ? 0 : 1;
+                      if (v == 0) ++expected_a;
+                    }
+                    auto r = ballot_counting(ballots, 8);
+                    DemoReport report;
+                    report.ok = r.votes_a == expected_a &&
+                                r.votes_a + r.votes_b == 500;
+                    report.summary =
+                        "A=" + std::to_string(r.votes_a) +
+                        " B=" + std::to_string(r.votes_b) +
+                        " combine_rounds=" +
+                        std::to_string(r.combine_rounds) +
+                        " makespan=" + std::to_string(r.cost.makespan);
+                    return report;
+                  }});
+
+  return sims;
+}
+
+}  // namespace
+
+const std::vector<Simulation>& simulations() {
+  static const std::vector<Simulation> kRegistry = build_registry();
+  return kRegistry;
+}
+
+const Simulation* find_simulation(std::string_view slug) {
+  for (const auto& sim : simulations()) {
+    if (sim.slug == slug) return &sim;
+  }
+  return nullptr;
+}
+
+}  // namespace pdcu::act

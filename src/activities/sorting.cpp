@@ -1,0 +1,438 @@
+#include "pdcu/activities/sorting.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <iterator>
+#include <limits>
+
+namespace pdcu::act {
+
+namespace {
+
+/// Root-side reassembly of per-rank blocks sent with send(root, {rank,
+/// values...}, tag): returns blocks concatenated in rank order.
+std::vector<Value> gather_blocks(rt::Comm& comm, int root, int tag,
+                                 std::vector<Value> own_block) {
+  std::vector<std::vector<Value>> blocks(
+      static_cast<std::size_t>(comm.size()));
+  blocks[static_cast<std::size_t>(comm.rank())] = std::move(own_block);
+  for (int i = 0; i < comm.size() - 1; ++i) {
+    rt::ClassMessage message = comm.recv(rt::kAny, tag);
+    auto rank = static_cast<std::size_t>(message.payload[0]);
+    blocks[rank].assign(message.payload.begin() + 1, message.payload.end());
+  }
+  std::vector<Value> out;
+  for (auto& block : blocks) {
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  (void)root;
+  return out;
+}
+
+void send_block(rt::Comm& comm, int dst, int tag,
+                const std::vector<Value>& block) {
+  std::vector<Value> payload;
+  payload.reserve(block.size() + 1);
+  payload.push_back(comm.rank());
+  payload.insert(payload.end(), block.begin(), block.end());
+  comm.send(dst, std::move(payload), tag);
+}
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(int n) {
+  int bits = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+// --- FindSmallestCard -------------------------------------------------------
+
+TournamentResult find_smallest_card(std::span<const Value> cards,
+                                    int students, rt::TraceLog* trace) {
+  assert(students >= 1 && !cards.empty());
+  TournamentResult result;
+  result.rounds = ceil_log2(students);
+
+  // Comparing two cards takes longer than dealing one; with equal costs
+  // the handout would dominate and the dramatization would show no
+  // speedup.
+  rt::CostModel model;
+  model.work_per_step = 4;
+
+  std::vector<Value> deck(cards.begin(), cards.end());
+  std::vector<std::int64_t> minima(static_cast<std::size_t>(students), 0);
+  std::vector<std::int64_t> comparisons(static_cast<std::size_t>(students),
+                                        0);
+
+  auto body = [&](rt::Comm& comm) {
+    std::vector<Value> hand = comm.scatter(0, deck);
+    Value local_min = hand.empty() ? std::numeric_limits<Value>::max()
+                                   : hand.front();
+    std::int64_t local_comparisons = 0;
+    for (std::size_t i = 1; i < hand.size(); ++i) {
+      comm.work(1);
+      ++local_comparisons;
+      local_min = std::min(local_min, hand[i]);
+    }
+    if (trace != nullptr && !hand.empty()) {
+      comm.log("holds up smallest card " + std::to_string(local_min) +
+               " from a hand of " + std::to_string(hand.size()));
+    }
+    // Pair up: larger card sits down (binomial-tree min reduction).
+    std::int64_t tournament_min =
+        comm.reduce(0, local_min,
+                    [](std::int64_t a, std::int64_t b) {
+                      return std::min(a, b);
+                    });
+    std::int64_t total_comparisons =
+        comm.reduce(0, local_comparisons,
+                    [](std::int64_t a, std::int64_t b) { return a + b; });
+    if (comm.rank() == 0) {
+      minima[0] = tournament_min;
+      // Tree merges contribute one comparison per internal pairing.
+      comparisons[0] = total_comparisons + (students - 1);
+      if (trace != nullptr) {
+        comm.log("is the last one standing with card " +
+                 std::to_string(tournament_min));
+      }
+    }
+  };
+  rt::ClassroomResult run = rt::Classroom::run(students, body, model, trace);
+  result.minimum = minima[0];
+  result.comparisons = comparisons[0];
+  result.cost = run.cost;
+  return result;
+}
+
+// --- OddEvenTranspositionSort -----------------------------------------------
+
+OddEvenResult odd_even_transposition(std::span<const Value> values,
+                                     rt::TraceLog* trace) {
+  const int n = static_cast<int>(values.size());
+  assert(n >= 1);
+  OddEvenResult result;
+  result.rounds = n;
+  std::vector<Value> input(values.begin(), values.end());
+  std::vector<Value> sorted;
+
+  auto body = [&](rt::Comm& comm) {
+    const int i = comm.rank();
+    Value v = input[static_cast<std::size_t>(i)];
+    for (int phase = 0; phase < n; ++phase) {
+      int partner;
+      if (phase % 2 == 0) {
+        partner = (i % 2 == 0) ? i + 1 : i - 1;
+      } else {
+        partner = (i % 2 == 1) ? i + 1 : i - 1;
+      }
+      if (partner >= 0 && partner < n) {
+        comm.send(partner, {v}, /*tag=*/phase);
+        Value other = comm.recv(partner, /*tag=*/phase).payload[0];
+        comm.work(1);  // the comparison
+        Value keep = (i < partner) ? std::min(v, other) : std::max(v, other);
+        if (trace != nullptr && keep != v) {
+          comm.log("swaps " + std::to_string(v) + " for " +
+                   std::to_string(keep) + " in phase " +
+                   std::to_string(phase));
+        }
+        v = keep;
+      }
+      comm.barrier();
+    }
+    std::vector<Value> gathered = comm.gather(0, v);
+    if (comm.rank() == 0) sorted = std::move(gathered);
+  };
+  rt::ClassroomResult run = rt::Classroom::run(n, body, {}, trace);
+  result.sorted = std::move(sorted);
+  result.cost = run.cost;
+  return result;
+}
+
+OddEvenResult odd_even_blocked(std::span<const Value> values, int workers,
+                               rt::TraceLog* trace) {
+  assert(workers >= 1);
+  OddEvenResult result;
+  result.rounds = workers;
+  std::vector<Value> input(values.begin(), values.end());
+  std::vector<Value> sorted;
+
+  auto body = [&](rt::Comm& comm) {
+    const int i = comm.rank();
+    const int n = comm.size();
+    std::vector<Value> block = comm.scatter(0, input);
+    std::sort(block.begin(), block.end());
+    comm.work(static_cast<std::int64_t>(block.size()) *
+              std::max(1, ceil_log2(static_cast<int>(block.size()) + 1)));
+
+    for (int phase = 0; phase < n; ++phase) {
+      int partner;
+      if (phase % 2 == 0) {
+        partner = (i % 2 == 0) ? i + 1 : i - 1;
+      } else {
+        partner = (i % 2 == 1) ? i + 1 : i - 1;
+      }
+      if (partner >= 0 && partner < n) {
+        comm.send(partner, block, /*tag=*/phase);
+        std::vector<Value> other = comm.recv(partner, /*tag=*/phase).payload;
+        std::vector<Value> merged;
+        merged.reserve(block.size() + other.size());
+        std::merge(block.begin(), block.end(), other.begin(), other.end(),
+                   std::back_inserter(merged));
+        comm.work(static_cast<std::int64_t>(merged.size()));
+        std::size_t keep = block.size();
+        if (i < partner) {
+          block.assign(merged.begin(),
+                       merged.begin() + static_cast<long>(keep));
+        } else {
+          block.assign(merged.end() - static_cast<long>(keep), merged.end());
+        }
+      }
+      comm.barrier();
+    }
+    if (i != 0) {
+      send_block(comm, 0, /*tag=*/999, block);
+    } else {
+      sorted = gather_blocks(comm, 0, /*tag=*/999, std::move(block));
+    }
+  };
+  rt::ClassroomResult run = rt::Classroom::run(workers, body, {}, trace);
+  result.sorted = std::move(sorted);
+  result.cost = run.cost;
+  return result;
+}
+
+// --- ParallelRadixSort -------------------------------------------------------
+
+RadixResult parallel_radix_sort(std::span<const Value> values, int teams,
+                                rt::TraceLog* trace) {
+  assert(teams >= 1);
+  RadixResult result;
+  Value max_value = 0;
+  for (Value v : values) {
+    assert(v >= 0 && "radix dramatization uses non-negative card numbers");
+    max_value = std::max(max_value, v);
+  }
+  int passes = 1;
+  for (Value scale = 10; scale <= max_value; scale *= 10) ++passes;
+  result.passes = passes;
+
+  std::vector<Value> current(values.begin(), values.end());
+
+  auto body = [&](rt::Comm& comm) {
+    Value divisor = 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      // Teams take slices of the current deck and bin by digit.
+      std::vector<Value> slice = comm.scatter(0, current);
+      std::array<std::vector<Value>, 10> bins;
+      for (Value v : slice) {
+        comm.work(1);
+        bins[static_cast<std::size_t>((v / divisor) % 10)].push_back(v);
+      }
+      // Each team reports its bins to the root, digit by digit; the root
+      // re-assembles the deck stably: digit-major, team order within digit.
+      if (comm.rank() != 0) {
+        for (int digit = 0; digit < 10; ++digit) {
+          std::vector<Value> payload;
+          payload.push_back(comm.rank());
+          payload.insert(payload.end(), bins[static_cast<std::size_t>(digit)]
+                                            .begin(),
+                         bins[static_cast<std::size_t>(digit)].end());
+          comm.send(0, std::move(payload), /*tag=*/1000 + digit);
+        }
+      } else {
+        std::vector<Value> next;
+        next.reserve(current.size());
+        for (int digit = 0; digit < 10; ++digit) {
+          std::vector<std::vector<Value>> per_team(
+              static_cast<std::size_t>(comm.size()));
+          per_team[0] = bins[static_cast<std::size_t>(digit)];
+          for (int i = 0; i < comm.size() - 1; ++i) {
+            rt::ClassMessage message = comm.recv(rt::kAny, 1000 + digit);
+            per_team[static_cast<std::size_t>(message.payload[0])].assign(
+                message.payload.begin() + 1, message.payload.end());
+          }
+          for (const auto& bin : per_team) {
+            next.insert(next.end(), bin.begin(), bin.end());
+          }
+        }
+        current = std::move(next);
+        if (trace != nullptr) {
+          comm.log("recombines bins after digit pass " +
+                   std::to_string(pass + 1));
+        }
+      }
+      comm.barrier();
+      divisor *= 10;
+    }
+  };
+  rt::ClassroomResult run = rt::Classroom::run(teams, body, {}, trace);
+  result.sorted = std::move(current);
+  result.cost = run.cost;
+  return result;
+}
+
+// --- ParallelCardSort ---------------------------------------------------------
+
+MergeSortResult parallel_card_sort(std::span<const Value> values, int groups,
+                                   rt::TraceLog* trace) {
+  assert(groups >= 1 && (groups & (groups - 1)) == 0 &&
+         "groups must be a power of two");
+  MergeSortResult result;
+  result.levels = ceil_log2(groups);
+  std::vector<Value> input(values.begin(), values.end());
+  std::vector<Value> sorted;
+
+  auto body = [&](rt::Comm& comm) {
+    const int rank = comm.rank();
+    std::vector<Value> hand = comm.scatter(0, input);
+    std::sort(hand.begin(), hand.end());
+    comm.work(static_cast<std::int64_t>(hand.size()) *
+              std::max(1, ceil_log2(static_cast<int>(hand.size()) + 1)));
+    if (trace != nullptr) {
+      comm.log("sorts a hand of " + std::to_string(hand.size()) + " cards");
+    }
+    for (int mask = 1; mask < comm.size(); mask <<= 1) {
+      if ((rank & mask) != 0) {
+        send_block(comm, rank - mask, /*tag=*/2000 + mask, hand);
+        return;
+      }
+      if (rank + mask < comm.size()) {
+        rt::ClassMessage message = comm.recv(rank + mask, 2000 + mask);
+        std::vector<Value> other(message.payload.begin() + 1,
+                                 message.payload.end());
+        std::vector<Value> merged;
+        merged.reserve(hand.size() + other.size());
+        std::merge(hand.begin(), hand.end(), other.begin(), other.end(),
+                   std::back_inserter(merged));
+        comm.work(static_cast<std::int64_t>(merged.size()));
+        hand = std::move(merged);
+        if (trace != nullptr) {
+          comm.log("merges two decks into " + std::to_string(hand.size()) +
+                   " cards");
+        }
+      }
+    }
+    if (rank == 0) sorted = std::move(hand);
+  };
+  rt::ClassroomResult run = rt::Classroom::run(groups, body, {}, trace);
+  result.sorted = std::move(sorted);
+  result.cost = run.cost;
+  return result;
+}
+
+// --- SortingNetworks -----------------------------------------------------------
+
+std::size_t SortingNetwork::comparator_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers) n += layer.size();
+  return n;
+}
+
+SortingNetwork cs_unplugged_network() {
+  // The six-way network from the CS Unplugged playground diagram:
+  // 12 comparators in 5 parallel layers.
+  SortingNetwork network;
+  network.wires = 6;
+  network.layers = {
+      {{0, 5}, {1, 3}, {2, 4}},
+      {{1, 2}, {3, 4}},
+      {{0, 3}, {2, 5}},
+      {{0, 1}, {2, 3}, {4, 5}},
+      {{1, 2}, {3, 4}},
+  };
+  return network;
+}
+
+SortingNetwork batcher_network(std::size_t wires) {
+  SortingNetwork network;
+  network.wires = wires;
+  if (wires < 2) return network;
+  const auto n = wires;
+  for (std::size_t p = 1; p < n; p <<= 1) {
+    for (std::size_t k = p; k >= 1; k >>= 1) {
+      std::vector<Comparator> layer;
+      for (std::size_t j = k % p; j + k < n; j += k + k) {
+        for (std::size_t i = 0; i < k && i + j + k < n; ++i) {
+          if ((i + j) / (p + p) == (i + j + k) / (p + p)) {
+            layer.push_back({i + j, i + j + k});
+          }
+        }
+      }
+      if (!layer.empty()) network.layers.push_back(std::move(layer));
+      if (k == 1) break;  // k >>= 1 on k==1 would wrap for unsigned
+    }
+  }
+  return network;
+}
+
+std::vector<Value> run_network(const SortingNetwork& network,
+                               std::span<const Value> values,
+                               rt::TraceLog* trace) {
+  assert(values.size() == network.wires);
+  std::vector<Value> wires(values.begin(), values.end());
+  std::int64_t t = 0;
+  for (const auto& layer : network.layers) {
+    ++t;
+    for (const auto& comparator : layer) {
+      Value& a = wires[comparator.a];
+      Value& b = wires[comparator.b];
+      if (a > b) {
+        std::swap(a, b);
+        if (trace != nullptr) {
+          trace->record(t, static_cast<int>(comparator.a),
+                        "meets student " + std::to_string(comparator.b) +
+                            ", they compare and swap");
+        }
+      }
+    }
+  }
+  return wires;
+}
+
+bool sorts_all_zero_one_inputs(const SortingNetwork& network) {
+  assert(network.wires <= 20);
+  const std::size_t combos = std::size_t{1} << network.wires;
+  for (std::size_t bits = 0; bits < combos; ++bits) {
+    std::vector<Value> input(network.wires);
+    for (std::size_t w = 0; w < network.wires; ++w) {
+      input[w] = (bits >> w) & 1;
+    }
+    std::vector<Value> output = run_network(network, input);
+    if (!std::is_sorted(output.begin(), output.end())) return false;
+  }
+  return true;
+}
+
+// --- NondeterministicSorting ------------------------------------------------
+
+NondetSortResult nondeterministic_sort(std::vector<Value> values,
+                                       rt::SchedulePolicy policy,
+                                       std::uint64_t seed,
+                                       std::size_t max_steps) {
+  NondetSortResult result;
+  if (values.size() < 2) {
+    result.values = std::move(values);
+    result.sorted = true;
+    result.schedule.converged = true;
+    return result;
+  }
+  Rng rng(seed);
+  auto step = [&values](std::size_t agent) {
+    if (values[agent] > values[agent + 1]) {
+      std::swap(values[agent], values[agent + 1]);
+    }
+  };
+  auto done = [&values] {
+    return std::is_sorted(values.begin(), values.end());
+  };
+  result.schedule = rt::run_schedule(values.size() - 1, step, done, policy,
+                                     rng, max_steps);
+  result.sorted = done();
+  result.values = std::move(values);
+  return result;
+}
+
+}  // namespace pdcu::act

@@ -1,0 +1,17 @@
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core {
+
+tax::PageTags Activity::tags() const {
+  tax::PageTags tags;
+  tags["cs2013"] = cs2013;
+  tags["cs2013details"] = cs2013details;
+  tags["tcpp"] = tcpp;
+  tags["tcppdetails"] = tcppdetails;
+  tags["courses"] = courses;
+  tags["senses"] = senses;
+  tags["medium"] = mediums;
+  return tags;
+}
+
+}  // namespace pdcu::core

@@ -1,0 +1,174 @@
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity_io.hpp"
+#include "pdcu/markdown/frontmatter.hpp"
+#include "pdcu/support/slug.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::core {
+
+namespace strs = pdcu::strings;
+
+namespace {
+
+/// Splits the body into (section name -> raw section text). Sections start
+/// at `## Name` lines; `---` separator lines between sections are dropped.
+std::vector<std::pair<std::string, std::string>> split_sections(
+    std::string_view body) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::string current_name;
+  std::vector<std::string> current_lines;
+  auto flush = [&] {
+    if (!current_name.empty()) {
+      // Trim leading/trailing blank lines from the section body.
+      std::string text(strs::trim(strs::join(current_lines, "\n")));
+      sections.emplace_back(current_name, std::move(text));
+    }
+    current_lines.clear();
+  };
+  for (const auto& line : strs::split_lines(body)) {
+    std::string_view t = strs::trim(line);
+    if (strs::starts_with(t, "## ") && !strs::starts_with(t, "###")) {
+      flush();
+      current_name = std::string(strs::trim(t.substr(3)));
+      continue;
+    }
+    if (t == "---" && current_lines.empty()) continue;  // leading separator
+    if (t == "---") {
+      // A separator ends the current section.
+      flush();
+      current_name.clear();
+      continue;
+    }
+    if (!current_name.empty()) current_lines.emplace_back(line);
+  }
+  flush();
+  return sections;
+}
+
+std::string find_section(
+    const std::vector<std::pair<std::string, std::string>>& sections,
+    std::string_view name) {
+  for (const auto& [n, text] : sections) {
+    if (n == name) return text;
+  }
+  return {};
+}
+
+/// Extracts a Markdown link "[label](url)" from a line; returns the url or
+/// "" when no link is present.
+std::string extract_link(std::string_view line) {
+  std::size_t open = line.find("](");
+  if (open == std::string_view::npos) return {};
+  std::size_t close = line.find(')', open + 2);
+  if (close == std::string_view::npos) return {};
+  return std::string(line.substr(open + 2, close - open - 2));
+}
+
+void parse_original_author(const std::string& text, Activity& out) {
+  for (const auto& line : strs::split_lines(text)) {
+    std::string_view t = strs::trim(line);
+    if (t.empty()) continue;
+    if (strs::starts_with(t, "[")) {
+      out.origin_url = extract_link(t);
+      continue;
+    }
+    if (t == sections::kNoExternal) continue;
+    if (out.authors.empty()) {
+      for (const auto& name : strs::split(t, ',')) {
+        std::string trimmed(strs::trim(name));
+        if (!trimmed.empty()) out.authors.push_back(std::move(trimmed));
+      }
+    }
+  }
+}
+
+void parse_details(const std::string& text, Activity& out) {
+  std::size_t var_pos = text.find("### Variations");
+  std::string details_part =
+      var_pos == std::string::npos ? text : text.substr(0, var_pos);
+  out.details = std::string(strs::trim(details_part));
+  if (var_pos == std::string::npos) return;
+  std::string var_part = text.substr(var_pos);
+  for (const auto& line : strs::split_lines(var_part)) {
+    std::string_view t = strs::trim(line);
+    if (!strs::starts_with(t, "- **")) continue;
+    std::size_t name_end = t.find("**:", 4);
+    if (name_end == std::string_view::npos) continue;
+    Variation v;
+    v.name = std::string(t.substr(4, name_end - 4));
+    v.description = std::string(strs::trim(t.substr(name_end + 3)));
+    out.variations.push_back(std::move(v));
+  }
+}
+
+void parse_citations(const std::string& text, Activity& out) {
+  for (const auto& line : strs::split_lines(text)) {
+    std::string_view t = strs::trim(line);
+    if (!strs::starts_with(t, "- ")) continue;
+    std::string_view item = t.substr(2);
+    Citation c;
+    std::size_t mat = item.find(" ([materials](");
+    if (mat != std::string_view::npos) {
+      c.text = std::string(strs::trim(item.substr(0, mat)));
+      std::string_view rest = item.substr(mat + 14);
+      std::size_t close = rest.find(')');
+      if (close != std::string_view::npos) {
+        c.url = std::string(rest.substr(0, close));
+      }
+    } else {
+      c.text = std::string(strs::trim(item));
+    }
+    out.citations.push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+Expected<Activity> parse_activity(std::string_view markdown) {
+  auto split = md::parse_content(markdown);
+  if (!split) return split.error().context("activity");
+  const md::FrontMatter& fm = split.value().front;
+
+  Activity out;
+  out.title = fm.get("title");
+  if (out.title.empty()) {
+    return Error::make("activity.title", "missing 'title' in front matter");
+  }
+  out.slug = slugify(out.title);
+
+  auto date = Date::parse(fm.get("date"));
+  if (!date) return date.error().context("activity '" + out.title + "'");
+  out.date = date.value();
+
+  const std::string year_text = fm.get("year");
+  if (!year_text.empty()) {
+    out.year = std::atoi(year_text.c_str());
+    if (out.year <= 0) {
+      return Error::make("activity.year",
+                         "bad 'year' value '" + year_text + "'");
+    }
+  }
+
+  out.cs2013 = fm.get_list("cs2013");
+  out.cs2013details = fm.get_list("cs2013details");
+  out.tcpp = fm.get_list("tcpp");
+  out.tcppdetails = fm.get_list("tcppdetails");
+  out.courses = fm.get_list("courses");
+  out.senses = fm.get_list("senses");
+  out.mediums = fm.get_list("medium");
+  out.simulation = fm.get("simulation");
+
+  auto body_sections = split_sections(split.value().body);
+  parse_original_author(find_section(body_sections, sections::kOriginalAuthor),
+                        out);
+  parse_details(find_section(body_sections, sections::kDetails), out);
+  out.accessibility = find_section(body_sections, sections::kAccessibility);
+  out.assessment = find_section(body_sections, sections::kAssessment);
+  parse_citations(find_section(body_sections, sections::kCitations), out);
+  return out;
+}
+
+}  // namespace pdcu::core

@@ -1,0 +1,55 @@
+#include "pdcu/core/archetype.hpp"
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::core {
+
+std::string activity_template() {
+  // Verbatim reproduction of Fig. 1 of the paper.
+  return
+      "---\n"
+      "title:\n"
+      "date:\n"
+      "tags:\n"
+      "---\n"
+      "\n"
+      "## Original Author/link\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## CS2013 Knowledge Unit Coverage\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## TCPP Topics Coverage\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## Recommended Courses\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## Accessibility\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## Assessment\n"
+      "\n"
+      "---\n"
+      "\n"
+      "## Citations\n";
+}
+
+std::string instantiate_activity(std::string_view title, const Date& date) {
+  std::string out = activity_template();
+  out = strings::replace_all(out, "title:",
+                             "title: \"" + std::string(title) + "\"");
+  out = strings::replace_all(out, "date:", "date: " + date.to_string());
+  out = strings::replace_all(
+      out, "tags:",
+      "cs2013: []\ncs2013details: []\ntcpp: []\ntcppdetails: []\n"
+      "courses: []\nsenses: []\nmedium: []");
+  return out;
+}
+
+}  // namespace pdcu::core

@@ -1,0 +1,143 @@
+#include "pdcu/core/coverage.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pdcu/support/strings.hpp"
+#include "pdcu/support/text_table.hpp"
+
+namespace pdcu::core {
+
+namespace strs = pdcu::strings;
+
+std::string Cs2013Row::percent_coverage() const {
+  return strs::percent(static_cast<double>(covered_outcomes),
+                       static_cast<double>(num_outcomes));
+}
+
+std::string TcppRow::percent_coverage() const {
+  return strs::percent(static_cast<double>(covered_topics),
+                       static_cast<double>(num_topics));
+}
+
+std::string TcppCategoryRow::percent_coverage() const {
+  return strs::percent(static_cast<double>(covered_topics),
+                       static_cast<double>(num_topics));
+}
+
+CoverageAnalyzer::CoverageAnalyzer(const std::vector<Activity>& activities)
+    : activities_(activities) {}
+
+std::vector<std::string> CoverageAnalyzer::covered_outcomes(
+    const cur::KnowledgeUnit& unit) const {
+  std::set<std::string> present;
+  const std::string prefix = unit.abbrev + "_";
+  for (const auto& activity : activities_) {
+    for (const auto& term : activity.cs2013details) {
+      if (strs::starts_with(term, prefix)) present.insert(term);
+    }
+  }
+  return {present.begin(), present.end()};
+}
+
+std::vector<std::string> CoverageAnalyzer::covered_topics(
+    const cur::TcppArea& area) const {
+  std::set<std::string> area_terms;
+  for (const auto* topic : area.all_topics()) area_terms.insert(topic->term());
+  std::set<std::string> present;
+  for (const auto& activity : activities_) {
+    for (const auto& term : activity.tcppdetails) {
+      if (area_terms.count(term) != 0) present.insert(term);
+    }
+  }
+  return {present.begin(), present.end()};
+}
+
+std::vector<Cs2013Row> CoverageAnalyzer::cs2013_table() const {
+  std::vector<Cs2013Row> rows;
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    Cs2013Row row;
+    row.unit_name = unit.name;
+    row.elective = unit.elective;
+    row.num_outcomes = unit.outcomes.size();
+    row.covered_outcomes = covered_outcomes(unit).size();
+    row.total_activities = static_cast<std::size_t>(std::count_if(
+        activities_.begin(), activities_.end(), [&](const Activity& a) {
+          return std::find(a.cs2013.begin(), a.cs2013.end(), unit.term) !=
+                 a.cs2013.end();
+        }));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<TcppRow> CoverageAnalyzer::tcpp_table() const {
+  std::vector<TcppRow> rows;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    TcppRow row;
+    row.area_name = area.name;
+    row.num_topics = area.topic_count();
+    row.covered_topics = covered_topics(area).size();
+    row.total_activities = static_cast<std::size_t>(std::count_if(
+        activities_.begin(), activities_.end(), [&](const Activity& a) {
+          return std::find(a.tcpp.begin(), a.tcpp.end(), area.term) !=
+                 a.tcpp.end();
+        }));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<TcppCategoryRow> CoverageAnalyzer::tcpp_category_table() const {
+  std::vector<TcppCategoryRow> rows;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto& category : area.categories) {
+      TcppCategoryRow row;
+      row.area_name = area.name;
+      row.category_name = category.name;
+      row.num_topics = category.topics.size();
+      std::set<std::string> cat_terms;
+      for (const auto& topic : category.topics) cat_terms.insert(topic.term());
+      std::set<std::string> present;
+      for (const auto& activity : activities_) {
+        for (const auto& term : activity.tcppdetails) {
+          if (cat_terms.count(term) != 0) present.insert(term);
+        }
+      }
+      row.covered_topics = present.size();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string CoverageAnalyzer::render_cs2013_table() const {
+  TextTable table({"Knowledge Unit", "Num. Learning Outcomes",
+                   "Num. Covered Outcomes", "Percent Coverage",
+                   "Total Activities"},
+                  24);
+  for (std::size_t c = 1; c <= 4; ++c) table.set_align(c, Align::kRight);
+  for (const auto& row : cs2013_table()) {
+    table.add_row({row.unit_name + (row.elective ? " (E)" : ""),
+                   std::to_string(row.num_outcomes),
+                   std::to_string(row.covered_outcomes),
+                   row.percent_coverage(),
+                   std::to_string(row.total_activities)});
+  }
+  return table.render();
+}
+
+std::string CoverageAnalyzer::render_tcpp_table() const {
+  TextTable table({"Topic Area", "Num. Topics", "Num. Covered Topics",
+                   "Percent Coverage", "Total Activities"},
+                  24);
+  for (std::size_t c = 1; c <= 4; ++c) table.set_align(c, Align::kRight);
+  for (const auto& row : tcpp_table()) {
+    table.add_row({row.area_name, std::to_string(row.num_topics),
+                   std::to_string(row.covered_topics), row.percent_coverage(),
+                   std::to_string(row.total_activities)});
+  }
+  return table.render();
+}
+
+}  // namespace pdcu::core

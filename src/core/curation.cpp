@@ -1,0 +1,83 @@
+#include "pdcu/core/curation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "curation_parts.hpp"
+#include "pdcu/curriculum/cs2013.hpp"
+#include "pdcu/curriculum/tcpp.hpp"
+#include "pdcu/support/slug.hpp"
+
+namespace pdcu::core {
+
+namespace detail {
+
+Activity expand(const ActivitySpec& spec) {
+  Activity a;
+  a.title = spec.title;
+  a.slug = slugify(spec.title);
+  auto date = Date::parse(spec.date);
+  assert(date.has_value());
+  a.date = date.value();
+  a.year = spec.year;
+  a.authors = spec.authors;
+  a.origin_url = spec.origin_url;
+  a.details = spec.details;
+  a.accessibility = spec.accessibility;
+  a.assessment = spec.assessment;
+  a.variations = spec.variations;
+  a.citations = spec.citations;
+  a.cs2013details = spec.lo_terms;
+  a.tcppdetails = spec.topic_terms;
+  a.courses = spec.courses;
+  a.senses = spec.senses;
+  a.mediums = spec.mediums;
+  a.simulation = spec.simulation;
+
+  // Derive knowledge-unit terms from learning-outcome terms, preserving
+  // first-appearance order. An unresolved detail term is a data bug.
+  const auto& cs2013 = cur::Cs2013Catalog::instance();
+  for (const auto& lo_term : spec.lo_terms) {
+    auto ref = cs2013.resolve_detail_term(lo_term);
+    assert(ref.has_value() && "unknown cs2013 detail term in curation data");
+    const std::string& unit_term = ref->unit->term;
+    if (std::find(a.cs2013.begin(), a.cs2013.end(), unit_term) ==
+        a.cs2013.end()) {
+      a.cs2013.push_back(unit_term);
+    }
+  }
+
+  // Derive topic-area terms from topic terms, preserving order.
+  const auto& tcpp = cur::TcppCatalog::instance();
+  for (const auto& topic_term : spec.topic_terms) {
+    auto ref = tcpp.resolve_detail_term_full(topic_term);
+    assert(ref.area != nullptr && "unknown tcpp detail term in curation data");
+    const std::string& area_term = ref.area->term;
+    if (std::find(a.tcpp.begin(), a.tcpp.end(), area_term) == a.tcpp.end()) {
+      a.tcpp.push_back(area_term);
+    }
+  }
+  return a;
+}
+
+}  // namespace detail
+
+const std::vector<Activity>& curation() {
+  static const std::vector<Activity> kCuration = [] {
+    std::vector<Activity> out;
+    out.reserve(38);
+    detail::append_part1(out);
+    detail::append_part2(out);
+    return out;
+  }();
+  return kCuration;
+}
+
+const Activity* find_activity(std::string_view slug) {
+  for (const auto& activity : curation()) {
+    if (activity.slug == slug) return &activity;
+  }
+  return nullptr;
+}
+
+}  // namespace pdcu::core

@@ -1,0 +1,651 @@
+// Curation data, part 1 of 2: activities 1-19 (see curation_parts.hpp).
+//
+// Each entry is reconstructed from the literature the paper cites; the tag
+// matrix across both parts reproduces every aggregate reported in the
+// paper's §III (verified by tests/core/coverage_test.cpp).
+#include "curation_parts.hpp"
+
+namespace pdcu::core::detail {
+
+namespace {
+
+const char* kBachelis1994 =
+    "G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing "
+    "algorithms to life: Cooperative computing activities using students as "
+    "processors,\" School Science and Mathematics, vol. 94, no. 4, pp. "
+    "176-186, 1994.";
+const char* kMaxim1990 =
+    "B. R. Maxim, G. Bachelis, D. James, and Q. Stout, \"Introducing "
+    "parallel algorithms in undergraduate computer science courses "
+    "(tutorial session),\" in SIGCSE '90, pp. 255-, 1990.";
+const char* kKitchen1992 =
+    "A. T. Kitchen, N. C. Schaller, and P. T. Tymann, \"Game playing as a "
+    "technique for teaching parallel computing concepts,\" SIGCSE Bull., "
+    "vol. 24, no. 3, pp. 35-38, 1992.";
+const char* kRifkin1994 =
+    "A. Rifkin, \"Teaching parallel programming and software engineering "
+    "concepts to high school students,\" SIGCSE Bull., vol. 26, no. 1, pp. "
+    "26-30, 1994.";
+const char* kSivilottiDemirbas2003 =
+    "P. A. G. Sivilotti and M. Demirbas, \"Introducing middle school girls "
+    "to fault tolerant computing,\" in SIGCSE '03, pp. 327-331, 2003.";
+const char* kSivilottiPike2007 =
+    "P. A. G. Sivilotti and S. M. Pike, \"The suitability of kinesthetic "
+    "learning activities for teaching distributed algorithms,\" in SIGCSE "
+    "'07, pp. 362-366, 2007.";
+const char* kBenAri1999 =
+    "M. Ben-Ari and Y. B.-D. Kolikant, \"Thinking parallel: The process of "
+    "learning concurrency,\" in ITiCSE '99, pp. 13-16, 1999.";
+const char* kKolikant2001 =
+    "Y. B.-D. Kolikant, \"Gardeners and cinema tickets: High school "
+    "students' preconceptions of concurrency,\" Computer Science Education, "
+    "vol. 11, no. 3, pp. 221-245, 2001.";
+const char* kLewandowski2007 =
+    "G. Lewandowski, D. J. Bouvier, R. McCartney, K. Sanders, and B. Simon, "
+    "\"Commonsense computing (episode 3): Concurrency and concert "
+    "tickets,\" in ICER '07, pp. 133-144, 2007.";
+const char* kLewandowski2010 =
+    "G. Lewandowski, D. J. Bouvier, T.-Y. Chen, R. McCartney, K. Sanders, "
+    "B. Simon, and T. VanDeGrift, \"Commonsense understanding of "
+    "concurrency: Computing students and concert tickets,\" Commun. ACM, "
+    "vol. 53, no. 7, pp. 60-70, 2010.";
+const char* kLloyd1994 =
+    "W. S. Lloyd, \"Exploring the byzantine generals problem with beginning "
+    "computer science students,\" SIGCSE Bull., vol. 26, no. 4, pp. 21-24, "
+    "1994.";
+const char* kNeeman2006 =
+    "H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching "
+    "parallel computing to inexperienced programmers,\" in ITiCSE-WGR '06, "
+    "pp. 64-67, 2006.";
+const char* kNeeman2008 =
+    "H. Neeman, H. Severini, and D. Wu, \"Supercomputing in plain english: "
+    "Teaching cyberinfrastructure to computing novices,\" SIGCSE Bull., "
+    "vol. 40, no. 2, pp. 27-30, 2008.";
+const char* kGiacaman2012 =
+    "N. Giacaman, \"Teaching by example: Using analogies and live coding "
+    "demonstrations to teach parallel computing concepts to undergraduate "
+    "students,\" in IPDPSW '12, pp. 1295-1298, 2012.";
+const char* kBell2009 =
+    "T. Bell, J. Alexander, I. Freeman, and M. Grimley, \"Computer science "
+    "unplugged: School students doing real computing without computers,\" "
+    "The New Zealand Journal of Applied Computing and Information "
+    "Technology, vol. 13, no. 1, pp. 20-29, 2009.";
+const char* kMoore2000 =
+    "M. Moore, \"Introducing parallel processing concepts,\" J. Comput. "
+    "Sci. Coll., vol. 15, no. 3, pp. 173-180, 2000.";
+const char* kGhafoor2019 =
+    "S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged "
+    "activities to introduce parallel computing in introductory programming "
+    "classes: An experience report,\" in ITiCSE '19, pp. 309-309, 2019.";
+const char* kSivilotti2003Url =
+    "http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/";
+
+}  // namespace
+
+void append_part1(std::vector<Activity>& out) {
+  // 1 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "FindSmallestCard",
+      1994,
+      "2019-10-01",
+      {"Gilbert Bachelis", "Bruce Maxim", "David James", "Quentin Stout"},
+      "",  // no external resources survive for the 1994 description
+      "Each student receives one numbered card. The class must find the "
+      "smallest card without any single person looking at every card. "
+      "Students pair up, compare cards, and the holder of the larger card "
+      "sits down; rounds repeat until one student remains standing with the "
+      "minimum. The dramatization makes the tournament (tree) reduction "
+      "pattern concrete: n/2 comparisons happen simultaneously in the first "
+      "round, and only ceil(log2 n) rounds are needed, compared with n-1 "
+      "sequential comparisons for one person scanning a deck. A follow-up "
+      "discussion contrasts the number of *rounds* (parallel steps) with "
+      "the total number of comparisons (work).",
+      "Requires standing and pairing up; students with mobility "
+      "constraints can participate by raising cards from their seats while "
+      "a partner relays comparisons. Large-print cards help low-vision "
+      "students.",
+      "No formal assessment published. Bachelis et al. report informal "
+      "success with pre-college and undergraduate audiences.",
+      {{"Kitchen, Schaller & Tymann (1992)",
+        "Described as a game for teaching parallel minimum-finding; "
+        "students hold playing cards and the instructor coordinates "
+        "rounds."}},
+      {{kBachelis1994, ""}, {kMaxim1990, ""}, {kKitchen1992, ""}},
+      {"PD_2", "PD_5", "PAAP_4", "PAAP_7"},
+      {"A_MinMaxFinding", "C_CostsOfComputation", "C_ComputationDecomposition"},
+      {"CS1", "CS2", "DSA"},
+      {"touch", "visual"},
+      {"cards"},
+      "find_smallest_card"}));
+
+  // 2 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "OddEvenTranspositionSort",
+      1994,
+      "2019-10-01",
+      {"Adam Rifkin"},
+      kSivilotti2003Url,
+      "Students stand in a row, each holding a number. On odd ticks, "
+      "students in odd positions compare with their right neighbor and swap "
+      "if out of order; on even ticks, students in even positions do the "
+      "same. After at most n rounds the line is sorted. The dramatization "
+      "shows how a sequential O(n^2) bubble sort becomes an O(n)-round "
+      "parallel algorithm when disjoint neighbor pairs act simultaneously, "
+      "and why alternating phases prevent two students from swapping with "
+      "both neighbors at once.",
+      "Whole-body movement activity: students must stand, compare, and "
+      "physically swap positions. A seated variation passes cards instead "
+      "of moving bodies. Numbers should be large enough to read across a "
+      "classroom.",
+      "Partially assessed as part of the workshop study of Sivilotti and "
+      "Demirbas; student feedback indicated the dramatization clarified "
+      "why parallel bubble sort needs alternating phases.",
+      {{"Sivilotti (2003 instructor write-up)",
+        "A one-page instructor guide for running the dramatization, "
+        "including timing-by-clapping to emphasize synchronous rounds."}},
+      {{kRifkin1994, ""}, {kSivilottiDemirbas2003, kSivilotti2003Url}},
+      {"PD_1", "PD_2", "PAAP_3", "PAAP_5"},
+      {"A_Sorting", "C_SPMD", "C_Speedup"},
+      {"K_12", "CS2", "DSA"},
+      {"movement", "visual"},
+      {"role-play"},
+      "odd_even_transposition"}));
+
+  // 3 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ParallelRadixSort",
+      1994,
+      "2019-10-03",
+      {"Adam Rifkin"},
+      "",  // the external materials Rifkin cited have been de-activated
+      "Teams of students sort a deck of numbered cards by repeatedly "
+      "distributing cards into bins by digit, least significant digit "
+      "first. Each team owns a subset of bins, so the distribution step of "
+      "every pass happens in parallel; the recombination step makes the "
+      "communication cost visible as students carry bins across the room. "
+      "The activity highlights that a non-comparison sort parallelizes "
+      "differently from comparison sorts: the per-pass work is data "
+      "parallel, while the pass order is strictly sequential.",
+      "Table-top card handling; suitable for students who prefer to remain "
+      "seated. Color-coded bins help distinguish digits at a distance.",
+      "No formal assessment published.",
+      {},
+      {{kRifkin1994, ""}},
+      {"PD_5", "PAAP_4"},
+      {"A_Sorting"},
+      {"K_12", "CS2", "DSA"},
+      {"touch", "visual"},
+      {"cards"},
+      "parallel_radix_sort"}));
+
+  // 4 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ParallelCardSort",
+      1994,
+      "2019-10-03",
+      {"Gilbert Bachelis", "Bruce Maxim", "David James", "Quentin Stout"},
+      "",
+      "Groups of students each sort a hand of cards, then pairs of groups "
+      "merge their sorted hands, halving the number of groups each round "
+      "until a single sorted deck remains. The activity dramatizes parallel "
+      "merge sort: the independent sorting phase is embarrassingly "
+      "parallel, while the merging tree exposes the diminishing parallelism "
+      "near the root. Instructors typically time a one-student sort against "
+      "the group sort to make the speedup (and its limits) tangible.",
+      "Table-top activity requiring fine motor card handling; a "
+      "large-format card set or sorting slips of paper with thick markers "
+      "makes the activity easier for students with low vision or limited "
+      "dexterity.",
+      "Adapted and evaluated in later work: Ghafoor et al. (2019) report "
+      "pre/post-test gains when the card sort is used in CS1/CS2.",
+      {{"Moore (2000)",
+        "Uses the card sort as the opening activity of a parallel "
+        "processing unit, with explicit timing of 1, 2, and 4 groups."},
+       {"Ghafoor, Brown, Rogers & Hines (2019)",
+        "Restructured as a guided worksheet activity with pre/post "
+        "assessment in introductory programming classes."}},
+      {{kBachelis1994, ""}, {kMoore2000, ""}, {kGhafoor2019, ""}},
+      {"PD_2", "PD_4", "PAAP_5"},
+      {"A_Sorting", "A_DivideAndConquer"},
+      {"CS1", "CS2", "DSA"},
+      {"touch", "visual"},
+      {"cards"},
+      "parallel_card_sort"}));
+
+  // 5 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "SortingNetworks",
+      2009,
+      "2019-10-05",
+      {"Tim Bell", "Jason Alexander", "Isaac Freeman", "Mike Grimley"},
+      "https://csunplugged.org/sorting-networks",
+      "Six students walk a sorting network chalked on the ground: at each "
+      "drawn node two students meet, compare their numbers, and exit left "
+      "(smaller) or right (larger). Regardless of starting arrangement the "
+      "students emerge sorted. Because different pairs occupy different "
+      "nodes simultaneously, the network sorts in far fewer steps than the "
+      "number of comparisons, making the distinction between work and "
+      "depth physically visible.",
+      "Requires walking through a large floor diagram; a desktop version "
+      "with tokens on a printed network accommodates students with "
+      "mobility constraints. Generally accessible with minor modification.",
+      "No formal assessment for PDC outcomes; the CS Unplugged project "
+      "reports widespread classroom use of the collection.",
+      {},
+      {{kBell2009, "https://csunplugged.org"}},
+      {"PD_5", "PA_8"},
+      {"A_Sorting", "C_DependenciesDAG", "C_DataVsControlParallelism"},
+      {"K_12", "CS0", "CS1"},
+      {"movement", "visual"},
+      {"game", "board"},
+      "sorting_network"}));
+
+  // 6 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "SweeteningTheJuice",
+      1999,
+      "2019-10-08",
+      {"Mordechai Ben-Ari", "Yifat Ben-David Kolikant"},
+      "",
+      "Two robots share the job of sweetening a glass of juice, each "
+      "executing: read the sweetness level; if below target, add one "
+      "spoonful. Students trace interleavings on a worksheet and discover "
+      "the schedule in which both robots read 'not sweet enough' before "
+      "either adds sugar, producing over-sweetened juice. The scenario "
+      "motivates mutual exclusion from students' everyday intuition "
+      "(constructivism): the fix they invent - one robot locks the glass - "
+      "is exactly a critical section.",
+      "Paper-and-pencil scenario with no movement requirement; the "
+      "worksheet can be read aloud for low-vision students.",
+      "No formal assessment published; Ben-Ari and Kolikant report "
+      "qualitatively that high-school students could produce and explain "
+      "the erroneous interleaving afterward.",
+      {},
+      {{kBenAri1999, ""}},
+      {"PCC_1"},
+      {"C_DataRaces", "C_CriticalRegions", "C_CrosscuttingConcurrency"},
+      {"K_12", "CS2", "Systems"},
+      {"visual"},
+      {"paper"},
+      "juice_robots"}));
+
+  // 7 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ConcertTickets",
+      2001,
+      "2019-10-08",
+      {"Yifat Ben-David Kolikant"},
+      "",
+      "Several box offices sell tickets for the same concert from a shared "
+      "pool of seats. Students play clerks who each follow: check remaining "
+      "seats; collect money; issue a ticket. Without coordination two "
+      "clerks sell the last seat twice. Students are asked to design the "
+      "protocol that prevents overselling and to articulate what can go "
+      "wrong between 'check' and 'issue'. The activity surfaces "
+      "preconceptions about simultaneity and is the canonical example used "
+      "by the Commonsense Computing studies of how novices reason about "
+      "concurrency before instruction.",
+      "Scenario-based; works as a whole-class discussion or a written "
+      "exercise. Accessible to most audiences with minimal modification.",
+      "Extensively studied: Lewandowski et al. (2007, 2010) analyzed "
+      "hundreds of student solutions, finding most novices spontaneously "
+      "propose workable (if inefficient) coordination strategies.",
+      {{"Lewandowski et al. (2007, 2010)",
+        "The 'Commonsense Computing' refinement: posed to students before "
+        "any instruction, with a coding rubric for solution strategies."}},
+      {{kKolikant2001, ""},
+       {kLewandowski2007, ""},
+       {kLewandowski2010, ""}},
+      {"PCC_2", "CC_2"},
+      {"C_ConcurrencyDefects", "C_DataRaces", "C_ClientServer",
+       "C_CrosscuttingConcurrency"},
+      {"K_12", "CS0", "CS1"},
+      {"visual", "accessible"},
+      {"paper"},
+      "concert_tickets"}));
+
+  // 8 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "GardenersAndSharedWork",
+      2001,
+      "2019-10-10",
+      {"Yifat Ben-David Kolikant"},
+      "",
+      "A team of gardeners must water every tree in an orchard exactly "
+      "once, but they cannot see each other and can only leave notes at "
+      "the gate. Students propose coordination schemes - partitioning rows "
+      "in advance, marking watered trees, appointing a coordinator - and "
+      "evaluate each against duplicated and skipped work. The analogy "
+      "introduces distributed coordination without shared memory: state "
+      "lives in the world (the trees, the gate notes), messages are "
+      "asynchronous, and agreement must be reached despite no gardener "
+      "having a global view.",
+      "Pure verbal/written analogy; no visual materials required, making "
+      "it suitable for blind and low-vision students.",
+      "No formal assessment published; Kolikant (2001) analyzes students' "
+      "proposed protocols as evidence of preconceptions about distributed "
+      "agreement.",
+      {},
+      {{kKolikant2001, ""}},
+      {"DS_7", "CC_2"},
+      {"C_DistributedCoordination", "C_TasksAndThreads"},
+      {"K_12", "DSA", "Systems"},
+      {"accessible"},
+      {"analogy"},
+      "gardeners"}));
+
+  // 9 -----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "SelfStabilizingTokenRing",
+      2003,
+      "2019-10-12",
+      {"Paolo Sivilotti", "Murat Demirbas"},
+      kSivilotti2003Url,
+      "Students stand in a circle, each holding a number of fingers up "
+      "(their state). The student designated as the 'root' follows a "
+      "different rule from everyone else, exactly as in Dijkstra's K-state "
+      "self-stabilizing token ring: a non-root student copies their left "
+      "neighbor's value when it differs (holding the token while they "
+      "differ), and the root increments when the values match. Starting "
+      "from arbitrary - even adversarially scrambled - hand states, the "
+      "circle always converges to exactly one token circulating, "
+      "dramatizing self-stabilization and mutual exclusion. Originally run "
+      "as an outreach workshop introducing middle-school girls to fault "
+      "tolerant computing.",
+      "Requires standing in a circle and signaling with hands; a seated "
+      "variation uses numbered cards on desks. Signals must be visible "
+      "across the circle.",
+      "Sivilotti and Demirbas (2003) report pre/post attitude surveys "
+      "from the outreach workshop with positive shifts toward computing.",
+      {},
+      {{kSivilottiDemirbas2003, kSivilotti2003Url}},
+      {"PCC_1"},
+      {"K_FaultTolerance", "K_SelfStabilization", "C_MutualExclusionProblem"},
+      {"K_12", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play"},
+      "token_ring"}));
+
+  // 10 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "StableLeaderElection",
+      2007,
+      "2019-10-15",
+      {"Paolo Sivilotti", "Scott Pike"},
+      "http://web.cse.ohio-state.edu/~sivilotti.1/research/",
+      "Students in a ring must elect exactly one leader using only local "
+      "comparisons with neighbors, and the election must be *stable*: once "
+      "a leader emerges, it never changes even as the algorithm keeps "
+      "running. Following the assertional style, students first state the "
+      "invariant ('at most one leader, and the maximum id never "
+      "disappears') and then check that every local rule preserves it, "
+      "rather than tracing executions step by step. Used to introduce "
+      "upper-level students to reasoning about all executions of a "
+      "concurrent algorithm at once.",
+      "Standing ring formation with card exchanges; a seated variant "
+      "passes index cards along rows. Ids should be large-print.",
+      "Sivilotti and Pike (2007) surveyed students in an upper-division "
+      "distributed algorithms course; responses favored the kinesthetic "
+      "treatment over lecture-only presentation of the same algorithm.",
+      {},
+      {{kSivilottiPike2007, ""}},
+      {"PCC_9", "PD_3"},
+      {"C_LeaderElection", "C_SafetyLiveness"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play"},
+      "leader_election"}));
+
+  // 11 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "NondeterministicSorting",
+      2007,
+      "2019-10-15",
+      {"Paolo Sivilotti", "Scott Pike"},
+      "http://web.cse.ohio-state.edu/~sivilotti.1/research/",
+      "Students hold numbered cards in a row. Any two adjacent students "
+      "may, at any time and in any order, compare and swap if out of "
+      "order - there is no global schedule at all. The class verifies an "
+      "assertional argument: the multiset of values is invariant, "
+      "out-of-order adjacent pairs can only decrease, so *every* execution "
+      "terminates with a sorted row no matter which pairs act when. The "
+      "activity teaches that correctness can be proved for all "
+      "interleavings at once, the heart of the assertional view of "
+      "concurrency.",
+      "Can be run standing or seated; the essential action is pairwise "
+      "card comparison. Works with tactile (braille-labeled) cards.",
+      "Evaluated together with the other kinesthetic activities in "
+      "Sivilotti and Pike (2007) via student surveys.",
+      {},
+      {{kSivilottiPike2007, ""}},
+      {"FM_5", "PD_3"},
+      {"C_Nondeterminism", "A_Sorting", "K_CrosscuttingNondeterminism"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"cards"},
+      "nondeterministic_sort"}));
+
+  // 12 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ParallelGarbageCollection",
+      2007,
+      "2019-10-18",
+      {"Paolo Sivilotti", "Scott Pike"},
+      "http://web.cse.ohio-state.edu/~sivilotti.1/research/",
+      "Students play objects on the heap, holding strings that represent "
+      "references; some students are 'mutators' who re-point strings while "
+      "a 'collector' student concurrently marks reachable objects, "
+      "three-color style (white/gray/black signs). The class hunts for the "
+      "schedule in which a mutator hides a live object behind an already "
+      "blackened one, motivating the tri-color invariant: no black object "
+      "points to a white one. Students then act as the write barrier that "
+      "restores the invariant, and argue (assertionally) that no live "
+      "object is ever collected.",
+      "Requires standing and holding strings; a tabletop variant uses "
+      "yarn between labeled cups. Color signs should be distinguishable "
+      "by shape as well as color for color-blind students.",
+      "Evaluated via student surveys in Sivilotti and Pike (2007).",
+      {},
+      {{kSivilottiPike2007, ""}},
+      {"PCC_1"},
+      {"C_SafetyLiveness", "C_TasksAndThreads", "C_DependenciesDAG"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play"},
+      "parallel_gc"}));
+
+  // 13 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ByzantineGenerals",
+      1994,
+      "2019-10-20",
+      {"William Lloyd"},
+      "",
+      "Student 'generals' surrounding a city must agree to attack or "
+      "retreat by exchanging written messages, but some generals are "
+      "traitors who may send conflicting messages to different peers. "
+      "Played in rounds with folded notes, the game lets the class "
+      "discover that with three generals and one traitor the loyal "
+      "generals cannot agree, while with four or more they can - the "
+      "classic n > 3f bound. The activity introduces agreement under "
+      "faults to beginning students long before they can read the "
+      "Lamport-Shostak-Pease proof.",
+      "Message-passing with folded paper notes; no movement beyond "
+      "passing. Roles can be assigned so non-speaking students "
+      "participate fully.",
+      "No formal assessment published; Lloyd (1994) reports classroom "
+      "experience with beginning CS students.",
+      {},
+      {{kLloyd1994, ""}},
+      {"DS_7", "CC_2", "PCC_9"},
+      {"C_ConsensusAgreement", "C_CommunicationCost"},
+      {"K_12", "CS2", "Systems"},
+      {"visual", "movement"},
+      {"role-play", "paper"},
+      "byzantine_generals"}));
+
+  // 14 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "LongDistancePhoneCall",
+      2006,
+      "2019-10-22",
+      {"Henry Neeman", "Lloyd Lee", "Julia Mullen", "Gerard Newman"},
+      "http://www.oscer.ou.edu/education.php",
+      "From the 'Supercomputing in Plain English' workshop series: sending "
+      "data between processors is like a long-distance phone call with a "
+      "connection charge (latency) and a per-minute charge (inverse "
+      "bandwidth). Many short calls pay the connection charge over and "
+      "over; one long call amortizes it. Students compute the cost of "
+      "sending one large message versus many small ones and derive why "
+      "parallel programs aggregate communication. The paper notes this "
+      "analogy is aging: students with unlimited cell plans may never have "
+      "seen per-minute charges.",
+      "Pure verbal/numeric analogy requiring no materials; accessible to "
+      "blind students. Consider updating the framing (e.g. delivery fees "
+      "on orders) for audiences unfamiliar with per-minute billing.",
+      "No formal assessment published; OSCER reports extensive workshop "
+      "use with computing novices.",
+      {},
+      {{kNeeman2006, ""}, {kNeeman2008, ""}},
+      {"PP_3", "PA_8"},
+      {"C_CommunicationOverhead", "C_LatencyBandwidth"},
+      {"CS0", "CS1", "Systems"},
+      {"accessible"},
+      {"analogy"},
+      "phone_call"}));
+
+  // 15 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "DesertIslands",
+      2006,
+      "2019-10-22",
+      {"Henry Neeman", "Lloyd Lee", "Julia Mullen", "Gerard Newman"},
+      "http://www.oscer.ou.edu/education.php",
+      "Each processor is a person on their own desert island with a "
+      "private notebook (local memory); islands exchange information only "
+      "by bottled messages (message passing). Nothing on another island "
+      "can be seen directly - to learn anything you must ask and wait. "
+      "The analogy defines distributed memory MIMD computing and is "
+      "contrasted with the shared-whiteboard picture of shared memory, "
+      "setting up the shared-vs-distributed design space.",
+      "Verbal analogy, optionally illustrated with a sketch; works "
+      "without any visual aid.",
+      "No formal assessment published.",
+      {},
+      {{kNeeman2006, ""}, {kNeeman2008, ""}},
+      {"PA_1"},
+      {"K_MIMD", "C_SharedVsDistributedMemory"},
+      {"CS0", "CS1", "Systems"},
+      {"visual"},
+      {"analogy"},
+      ""}));
+
+  // 16 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "JigsawPuzzle",
+      2006,
+      "2019-10-24",
+      {"Henry Neeman", "Lloyd Lee", "Julia Mullen", "Gerard Newman"},
+      "http://www.oscer.ou.edu/education.php",
+      "One person assembles a jigsaw puzzle in an hour. Two people at the "
+      "same table (shared memory) nearly halve the time, but contend for "
+      "the piece pile; four people crowd the table; at some point adding "
+      "people slows the build. Splitting the puzzle across tables "
+      "(distributed memory) removes contention but requires walking "
+      "between tables to match border pieces. The analogy grounds "
+      "multicore scaling limits, contention, and the shared/distributed "
+      "trade-off in one scenario students can reason about quantitatively.",
+      "Works as a verbal analogy or a live demonstration with a real "
+      "puzzle; the live version involves fine motor manipulation.",
+      "No formal assessment published.",
+      {},
+      {{kNeeman2006, ""}, {kNeeman2008, ""}},
+      {"PA_1", "PA_2", "PP_1"},
+      {"K_Multicore", "C_SharedVsDistributedMemory", "C_StaticLoadBalancing"},
+      {"CS0", "CS1", "Systems"},
+      {"visual"},
+      {"analogy"},
+      ""}));
+
+  // 17 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "MowingTheLawn",
+      2006,
+      "2019-10-24",
+      {"Henry Neeman", "Lloyd Lee", "Julia Mullen", "Gerard Newman"},
+      "http://www.oscer.ou.edu/education.php",
+      "A large lawn must be mowed by several people with mowers. Dividing "
+      "the lawn into equal strips in advance (static load balancing) "
+      "fails when one strip hides a rock garden; letting each mower take "
+      "the next unmowed patch when free (dynamic load balancing) adapts "
+      "but costs coordination each time. Students estimate completion "
+      "times under both schemes for lawns with uneven difficulty and "
+      "discover the static/dynamic trade-off and the idle-worker problem.",
+      "Verbal analogy with optional diagram; no materials required.",
+      "No formal assessment published.",
+      {},
+      {{kNeeman2006, ""}, {kNeeman2008, ""}},
+      {"PP_1", "PD_4"},
+      {"C_DynamicLoadBalancing", "C_StaticLoadBalancing",
+       "C_ComputationDecomposition", "C_CostsOfComputation"},
+      {"CS0", "CS2", "DSA"},
+      {"accessible"},
+      {"analogy"},
+      "load_balancing"}));
+
+  // 18 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "TooManyCooks",
+      2008,
+      "2019-10-26",
+      {"Henry Neeman", "Horst Severini", "Daniel Wu"},
+      "",
+      "Cooks share one kitchen to produce a banquet. Two cooks are faster "
+      "than one, but they queue for the single stove (resource "
+      "contention); a specialist pastry chef and a grill cook divide "
+      "dishes by skill (heterogeneous processing elements); and everyone "
+      "stops while the head chef tastes the sauce (synchronization "
+      "point). The analogy packages contention, heterogeneity, and "
+      "synchronization stalls into one extensible scenario that "
+      "instructors can grow as a course progresses.",
+      "Verbal analogy; optionally staged with props. No movement or "
+      "visual requirement in the spoken form.",
+      "No formal assessment published.",
+      {},
+      {{kNeeman2008, ""}},
+      {"PP_5", "PA_4"},
+      {"K_Heterogeneous", "C_Synchronization"},
+      {"CS2", "DSA", "Systems"},
+      {"accessible"},
+      {"analogy", "food"},
+      ""}));
+
+  // 19 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "PizzaParallelism",
+      2012,
+      "2019-10-28",
+      {"Nasser Giacaman"},
+      "",
+      "A pizzeria fills a large order: one cook stretches dough, another "
+      "spreads sauce, a third tops, while the owner (the master) hands "
+      "out the next pizza to whoever is free. Giacaman pairs the analogy "
+      "with live-coding demonstrations for sophomores: the kitchen maps "
+      "to a task pool, cooks to worker threads, and the owner's decisions "
+      "to a scheduler. Students predict throughput as cooks are added and "
+      "identify the point where the single oven becomes the bottleneck.",
+      "Verbal analogy designed for lecture use; no materials required.",
+      "No formal assessment of the analogy in isolation; Giacaman (2012) "
+      "reports course-level experience teaching sophomores with analogies "
+      "plus live demonstrations.",
+      {},
+      {{kGiacaman2012, ""}},
+      {"PD_2", "PD_4", "PP_1"},
+      {"C_TaskSpawn", "C_ComputationDecomposition", "C_MasterWorker"},
+      {"CS1", "CS2", "DSA"},
+      {"accessible"},
+      {"analogy", "food"},
+      ""}));
+}
+
+}  // namespace pdcu::core::detail

@@ -1,0 +1,604 @@
+// Curation data, part 2 of 2: activities 20-38 (see curation_parts.hpp).
+#include "curation_parts.hpp"
+
+namespace pdcu::core::detail {
+
+namespace {
+
+const char* kGiacaman2012 =
+    "N. Giacaman, \"Teaching by example: Using analogies and live coding "
+    "demonstrations to teach parallel computing concepts to undergraduate "
+    "students,\" in IPDPSW '12, pp. 1295-1298, 2012.";
+const char* kBogaerts2014 =
+    "S. A. Bogaerts, \"Limited time and experience: Parallelism in CS1,\" "
+    "in IPDPSW '14, pp. 1071-1078, 2014.";
+const char* kBogaerts2017 =
+    "S. A. Bogaerts, \"One step at a time: Parallelism in an introductory "
+    "programming course,\" Journal of Parallel and Distributed Computing, "
+    "vol. 105, pp. 4-17, 2017.";
+const char* kGhafoor2019 =
+    "S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged "
+    "activities to introduce parallel computing in introductory programming "
+    "classes: An experience report,\" in ITiCSE '19, pp. 309-309, 2019.";
+const char* kGhafoorIpdcUrl = "https://csc.tntech.edu/pdcincs/";
+const char* kChitra2019 =
+    "P. Chitra and S. K. Ghafoor, \"Activity based approach for teaching "
+    "parallel computing: An indian experience,\" in IPDPSW '19, pp. "
+    "290-295, 2019.";
+const char* kChesebrough2010 =
+    "R. A. Chesebrough and I. Turner, \"Parallel computing: At the "
+    "interface of high school and industry,\" in SIGCSE '10, pp. 280-284, "
+    "2010.";
+const char* kSmith2019 =
+    "M. Smith and S. Srivastava, \"Evaluating student engagement towards "
+    "integrating parallel and distributed computing (pdc) topics in "
+    "undergraduate level computer science curriculum,\" in SIGCSE '19, pp. "
+    "1269-1269, 2019.";
+const char* kSrivastava2019 =
+    "S. Srivastava, M. Smith, A. Ghimire, and S. Gao, \"Assessing the "
+    "integration of parallel and distributed computing in early "
+    "undergraduate computer science curriculum using unplugged "
+    "activities,\" in EduHPC '19, 2019.";
+const char* kEum2014 =
+    "J. Eum and S. Sethumadhavan, \"Teaching microarchitecture through "
+    "metaphors,\" Columbia University, Tech. Rep. CUCS-006-14, 2014.";
+const char* kNeeman2008 =
+    "H. Neeman, H. Severini, and D. Wu, \"Supercomputing in plain english: "
+    "Teaching cyberinfrastructure to computing novices,\" SIGCSE Bull., "
+    "vol. 40, no. 2, pp. 27-30, 2008.";
+const char* kFleury1997 =
+    "A. Fleury, \"Acting out algorithms: how and why it works,\" The "
+    "Journal of Computing in Small Colleges, vol. 13, no. 2, pp. 83-90, "
+    "1997.";
+const char* kKitchen1992 =
+    "A. T. Kitchen, N. C. Schaller, and P. T. Tymann, \"Game playing as a "
+    "technique for teaching parallel computing concepts,\" SIGCSE Bull., "
+    "vol. 24, no. 3, pp. 35-38, 1992.";
+const char* kMoore2000 =
+    "M. Moore, \"Introducing parallel processing concepts,\" J. Comput. "
+    "Sci. Coll., vol. 15, no. 3, pp. 173-180, 2000.";
+const char* kAndrianoff2002 =
+    "S. K. Andrianoff and D. B. Levine, \"Role playing in an "
+    "object-oriented world,\" in SIGCSE '02, pp. 121-125, 2002.";
+const char* kMaxim1990 =
+    "B. R. Maxim, G. Bachelis, D. James, and Q. Stout, \"Introducing "
+    "parallel algorithms in undergraduate computer science courses "
+    "(tutorial session),\" in SIGCSE '90, pp. 255-, 1990.";
+const char* kBachelis1994 =
+    "G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing "
+    "algorithms to life: Cooperative computing activities using students "
+    "as processors,\" School Science and Mathematics, vol. 94, no. 4, pp. "
+    "176-186, 1994.";
+
+}  // namespace
+
+void append_part2(std::vector<Activity>& out) {
+  // 20 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "MovingOffice",
+      2012,
+      "2019-10-28",
+      {"Nasser Giacaman"},
+      "",
+      "An office must be moved to a new building. Hiring more movers "
+      "shortens the job, but only if boxes are ready to carry (task "
+      "availability), the elevator holds two people (a shared, contended "
+      "resource), and nobody stands idle waiting to be told what to take "
+      "next (work distribution). Giacaman uses the move to introduce "
+      "threads as workers whose number should match the work available, "
+      "not the manager's enthusiasm.",
+      "Verbal analogy for lecture use; no materials required.",
+      "No formal assessment published; course-level experience reported in "
+      "Giacaman (2012).",
+      {},
+      {{kGiacaman2012, ""}},
+      {"PD_2", "PD_5"},
+      {"C_TasksAndThreads", "C_DynamicLoadBalancing"},
+      {"CS2", "DSA", "Systems"},
+      {"accessible"},
+      {"analogy"},
+      ""}));
+
+  // 21 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "CarAssemblyPipeline",
+      2014,
+      "2019-11-01",
+      {"Steven Bogaerts"},
+      "https://www.sciencedirect.com/science/article/pii/S0743731517300023",
+      "An assembly line builds cars in stages drawn as boxes on the "
+      "board: chassis, engine, paint, inspection. One car takes four "
+      "hours end to end, yet a full pipeline delivers a car every hour. "
+      "Students fill in a timing diagram to compute throughput versus "
+      "latency, then explore what happens when the paint stage takes "
+      "twice as long (a pipeline bubble) and when the line switches "
+      "models (a flush). Bogaerts uses the diagram as the anchor for "
+      "pipelined parallelism in an introductory course.",
+      "Board-based diagram exercise; provide printed copies of the "
+      "timing grid for students who cannot see the board.",
+      "No formal assessment published; Bogaerts (2017) reports multi-year "
+      "experience integrating the materials in CS1 with exam-level "
+      "outcomes tracked informally.",
+      {},
+      {{kBogaerts2014, ""}, {kBogaerts2017, ""}},
+      {"PAAP_9", "PA_2", "PD_4"},
+      {"C_Pipelines", "C_PipelineParadigm"},
+      {"CS2", "DSA", "Systems"},
+      {"visual"},
+      {"board"},
+      "pipeline"}));
+
+  // 22 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "GradingExamsInParallel",
+      2014,
+      "2019-11-01",
+      {"Steven Bogaerts"},
+      "https://www.sciencedirect.com/science/article/pii/S0743731517300023",
+      "A stack of exams must be graded by a team of graders with red "
+      "pens. Students physically grade (mark check/cross on prepared "
+      "sheets) under several strategies: split the stack evenly in "
+      "advance, deal pages one at a time from a central pile, or assign "
+      "one question per grader (pipelining by question). Timing each "
+      "strategy exposes decomposition choices, the cost of contending "
+      "for the central pile, and why per-question specialization can "
+      "beat per-exam division when questions differ in difficulty.",
+      "Table-top marking activity using pens and paper; all actions can "
+      "be performed seated.",
+      "Bogaerts (2014, 2017) integrates the activity into CS1 and "
+      "reports students' strategy predictions improving after the "
+      "exercise.",
+      {},
+      {{kBogaerts2014, ""}, {kBogaerts2017, ""}},
+      {"PD_2", "PD_4", "PP_1", "PAAP_4"},
+      {"C_ComputationDecomposition", "C_StaticLoadBalancing",
+       "C_MasterWorker"},
+      {"CS0", "CS1", "CS2"},
+      {"touch", "visual"},
+      {"role-play", "pens", "paper"},
+      "grading_exams"}));
+
+  // 23 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ArraySummationWithCards",
+      2019,
+      "2019-11-05",
+      {"Sheikh Ghafoor", "David Brown", "Mike Rogers", "Tristan Hines"},
+      kGhafoorIpdcUrl,
+      "Each student group receives a row of number cards (the array) and "
+      "a worksheet. First one student sums the whole row; then the row is "
+      "split among group members who sum their slices simultaneously and "
+      "combine partial sums. The worksheet asks for the time taken at "
+      "each group size and plots the measured speedup, including the "
+      "moment when coordination (reading out and adding partial sums) "
+      "dominates and adding members stops helping.",
+      "Seated card-and-worksheet activity; numbers can be embossed or "
+      "enlarged. One of the iPDC modules designed for easy CS1 adoption.",
+      "Ghafoor et al. (2019) report pre/post-test gains in CS1 and CS2 "
+      "sections using the iPDC unplugged modules.",
+      {},
+      {{kGhafoor2019, kGhafoorIpdcUrl}, {kSrivastava2019, ""}},
+      {"PD_5", "PAAP_7"},
+      {"C_CostsOfComputation", "C_DataParallelNotation", "C_Speedup"},
+      {"CS1", "CS2", "DSA"},
+      {"touch", "visual"},
+      {"cards", "paper"},
+      "array_summation"}));
+
+  // 24 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "ParallelArraySearch",
+      2019,
+      "2019-11-05",
+      {"Sheikh Ghafoor", "David Brown", "Mike Rogers", "Tristan Hines"},
+      kGhafoorIpdcUrl,
+      "The instructor hides a target value in a long row of face-down "
+      "cards taped across the wall. One student searches alone; then "
+      "teams partition the row and search their sections simultaneously, "
+      "shouting 'found' to stop the others. The debrief covers "
+      "decomposition, early termination (and the wasted work other "
+      "searchers performed), and why the expected - not worst-case - "
+      "time improves with more searchers.",
+      "Involves walking along a wall of cards; a seated variant deals "
+      "each team a face-down pile instead.",
+      "Part of the iPDC module evaluation of Ghafoor et al. (2019).",
+      {},
+      {{kGhafoor2019, kGhafoorIpdcUrl}, {kSrivastava2019, ""}},
+      {"PD_5", "PAAP_4"},
+      {"A_Search", "C_ComputationDecomposition"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play", "paper"},
+      "parallel_search"}));
+
+  // 25 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "MatrixMultiplicationTeams",
+      2019,
+      "2019-11-08",
+      {"Sheikh Ghafoor", "Mike Rogers", "David Brown", "Ambareen Haynes"},
+      kGhafoorIpdcUrl,
+      "Teams compute a matrix product on poster-sized grids: each team "
+      "owns a block of the result and fetches the row and column strips "
+      "it needs from 'memory' sheets posted at the side of the room. "
+      "Walking to fetch strips makes data movement - not arithmetic - "
+      "the visible cost, motivating blocked decompositions that reuse "
+      "fetched strips. A second round with smarter blocking lets teams "
+      "feel the communication savings directly.",
+      "Requires walking to shared sheets and writing on grids; a fully "
+      "seated variant passes strips between desks.",
+      "Listed with the iPDC modules; assessed as part of the module "
+      "collection deployments.",
+      {},
+      {{kGhafoor2019, kGhafoorIpdcUrl}},
+      {"PD_4", "PAAP_10"},
+      {"C_MatrixComputations"},
+      {"CS2", "DSA", "Systems"},
+      {"touch", "visual"},
+      {"pens", "paper", "board"},
+      "matrix_teams"}));
+
+  // 26 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "HumanSpeedupRace",
+      2019,
+      "2019-11-10",
+      {"P. Chitra", "Sheikh Ghafoor"},
+      "",
+      "Teams of 1, 2, 4, and 8 students race to complete the same batch "
+      "of arithmetic task cards, but every task card must be stamped at "
+      "a single checkpoint desk before it counts (the serial fraction). "
+      "Teams record completion times on the board, compute speedup and "
+      "efficiency, and watch the eight-student team queue at the "
+      "checkpoint - Amdahl's law embodied. Used within a graduate "
+      "parallel computing course as part of an active-learning "
+      "redesign.",
+      "Fast-paced movement between desks; roles (runner, solver, "
+      "recorder) let students choose their level of physical activity.",
+      "Chitra and Ghafoor (2019) report that students taught with the "
+      "active-learning methodology (including this activity) earned "
+      "higher grades than a traditional-lecture cohort.",
+      {},
+      {{kChitra2019, ""}},
+      {"PP_2", "PAAP_3"},
+      {"C_Speedup", "C_AmdahlsLaw", "C_CostsOfComputation"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"game", "role-play"},
+      "amdahl_race"}));
+
+  // 27 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "IntersectionSynchronization",
+      2010,
+      "2019-11-12",
+      {"Robert Chesebrough", "Isaac Turner"},
+      "",  // the supporting links cited in the paper have been de-activated
+      "Students role-play cars at a four-way intersection drawn on the "
+      "board, then implement three different traffic-control disciplines: "
+      "a stop sign (test-and-set style mutual exclusion with polling), a "
+      "traffic light (scheduled turns, like a ticket lock), and a police "
+      "officer (a monitor granting the intersection on request). The "
+      "class compares throughput, fairness, and starvation across the "
+      "three - the one curated activity that explicitly contrasts "
+      "multiple synchronization methods on the same problem.",
+      "Role-play with board diagram; a desktop version moves toy cars on "
+      "a printed intersection.",
+      "No formal assessment published; Chesebrough and Turner (2010) "
+      "describe use in a high-school / industry interface course.",
+      {},
+      {{kChesebrough2010, ""}},
+      {"PF_2", "PCC_3", "PCC_7"},
+      {"C_Synchronization", "K_Monitors", "C_Deadlock"},
+      {"CS2", "DSA", "Systems"},
+      {"visual", "movement"},
+      {"role-play", "board"},
+      "sync_methods"}));
+
+  // 28 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "FastAnswerVsSharedAccess",
+      2019,
+      "2019-11-15",
+      {"Melissa Smith", "Sanjay Srivastava"},
+      "",
+      "Two card stations run side by side. At station A, students split "
+      "a deck to count face cards faster - pure 'more hands, faster "
+      "answer' parallelism. At station B, students share a single "
+      "stapler needed to finish each packet - parallelism as managed "
+      "access to a scarce shared resource. The debrief names the "
+      "distinction explicitly (the CS2013 Parallelism Fundamentals "
+      "outcome that almost no unplugged activity covers) and asks "
+      "students to classify everyday scenarios into the two regimes.",
+      "Seated card activity; the stapler can be replaced by any "
+      "single-copy tool.",
+      "Smith and Srivastava (2019) and Srivastava et al. (2019) report "
+      "engagement surveys and pre/post concept checks in early "
+      "undergraduate courses.",
+      {},
+      {{kSmith2019, ""}, {kSrivastava2019, ""}},
+      {"PF_1", "PD_1"},
+      {"C_TasksAndThreads", "C_CriticalRegions"},
+      {"CS1", "CS2", "DSA"},
+      {"touch", "visual"},
+      {"cards", "paper"},
+      "two_stations"}));
+
+  // 29 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "WashingMachineMicroarchitecture",
+      2014,
+      "2019-11-18",
+      {"Janghaeng Eum", "Simha Sethumadhavan"},
+      "https://www.cs.columbia.edu/research/tech-reports/",
+      "A laundromat explains microarchitecture: washers and dryers are "
+      "pipeline stages, sorting clothes is instruction decode, multiple "
+      "washer-dryer lanes are superscalar issue, and a family sharing "
+      "machines illustrates Flynn-style organization of who does what to "
+      "which load. Eum and Sethumadhavan present a set of such metaphors "
+      "for teaching processor organization without circuit diagrams; the "
+      "curation entry covers the parallel-relevant subset (pipelining "
+      "and machine classification).",
+      "Verbal metaphors; no materials. Laundromats are a culturally "
+      "broad setting, though not universal - substitute a kitchen or "
+      "car-wash framing as needed.",
+      "No formal assessment published; the tech report presents the "
+      "metaphors with classroom anecdotes.",
+      {},
+      {{kEum2014, ""}},
+      {"PA_4", "PA_5"},
+      {"K_FlynnTaxonomy", "C_Pipelines"},
+      {"CS2", "DSA", "Systems"},
+      {"accessible"},
+      {"analogy"},
+      ""}));
+
+  // 30 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "LibraryCacheHierarchy",
+      2008,
+      "2019-11-18",
+      {"Henry Neeman", "Horst Severini", "Daniel Wu"},
+      "",
+      "Working on an essay, you keep a few books open on your desk "
+      "(registers), a shelf of borrowed books in your room (cache), the "
+      "campus library across the street (main memory), and interlibrary "
+      "loan (disk/remote). Students estimate access times at each level "
+      "and compute the average cost of a lookup under different hit "
+      "rates, discovering why locality dominates performance and what "
+      "happens when two roommates keep evicting each other's books from "
+      "the shared shelf.",
+      "Verbal/numeric analogy; no materials required.",
+      "No formal assessment published; used in the OSCER workshop "
+      "series.",
+      {},
+      {{kNeeman2008, ""}},
+      {"PA_7", "PA_8", "PP_4", "PP_6"},
+      {"C_CacheOrganization", "C_LatencyBandwidth"},
+      {"CS2", "DSA", "Systems"},
+      {"accessible"},
+      {"analogy"},
+      "cache_hierarchy"}));
+
+  // 31 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "GroceryCheckoutQueues",
+      2008,
+      "2019-11-20",
+      {"Henry Neeman", "Horst Severini", "Daniel Wu"},
+      "",
+      "Students form checkout lanes drawn on the board: one long shared "
+      "queue feeding many registers versus one private queue per "
+      "register. 'Customers' (students with baskets of varying size) "
+      "flow through both layouts while the class tracks waiting times. "
+      "The shared queue balances load automatically but needs a "
+      "dispatcher; private queues avoid the dispatcher but strand "
+      "customers behind a full cart. The activity maps directly to work "
+      "queues and per-thread run queues.",
+      "Involves standing in lines and moving between stations; "
+      "basket-size cards can be dealt to seated students instead.",
+      "No formal assessment published.",
+      {},
+      {{kNeeman2008, ""}},
+      {"PP_1", "PP_5"},
+      {"C_DynamicLoadBalancing"},
+      {"K_12", "CS2", "Systems"},
+      {"movement"},
+      {"board"},
+      "load_balancing"}));
+
+  // 32 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "RelayRaceThreads",
+      1997,
+      "2019-11-22",
+      {"Ann Fleury"},
+      "",
+      "Teams run a relay in which each runner performs one step of a "
+      "computation (fetch a card, transform it, hand it off). A team is "
+      "a thread: runners within a team are strictly ordered by the baton "
+      "(program order), while teams race each other independently "
+      "(concurrency). The instructor then merges two teams onto one "
+      "track sharing a single transformation table, and collisions at "
+      "the table motivate ordering constraints between threads. From "
+      "Fleury's 'acting out algorithms' repertoire.",
+      "A whole-body running activity; scale the course to a hallway "
+      "walk or table-to-table pass for mobility-limited groups.",
+      "No formal assessment published; Fleury (1997) discusses why acting "
+      "out algorithms aids retention, with qualitative classroom "
+      "evidence.",
+      {},
+      {{kFleury1997, ""}},
+      {"PD_1", "PD_2"},
+      {"C_TasksAndThreads", "C_SPMD", "C_DependenciesDAG"},
+      {"K_12", "CS1", "DSA"},
+      {"movement", "visual"},
+      {"role-play", "game"},
+      ""}));
+
+  // 33 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "OrchestraSIMD",
+      1992,
+      "2019-11-25",
+      {"Andrew Kitchen", "Nan Schaller", "Paul Tymann"},
+      "",
+      "A conductor (the control unit) directs a section of students "
+      "'instruments' who all execute the same gesture on their own "
+      "sheet of music at each beat - single instruction, multiple data. "
+      "Soloists who improvise against the conductor illustrate MIMD "
+      "divergence, and a clapped polyrhythm shows why lockstep execution "
+      "wastes beats when branches differ. One of the game-playing "
+      "dramatizations described by Kitchen, Schaller, and Tymann.",
+      "Sound-centered activity playable entirely by ear; well suited to "
+      "blind students, less suited to deaf students (a visual-gesture "
+      "variant substitutes hand signs for beats).",
+      "No formal assessment published.",
+      {},
+      {{kKitchen1992, ""}},
+      {"PA_3", "PA_5", "PD_5"},
+      {"K_SIMD", "C_DataVsControlParallelism"},
+      {"K_12", "CS0", "CS1"},
+      {"sound"},
+      {"analogy", "instruments"},
+      ""}));
+
+  // 34 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "TelephoneChain",
+      1992,
+      "2019-11-25",
+      {"Andrew Kitchen", "Nan Schaller", "Paul Tymann"},
+      "",
+      "A message is whispered ear to ear along a chain of students, then "
+      "along a tree of students, and the arrival times and accumulated "
+      "errors are compared. The chain dramatizes per-hop latency; the "
+      "tree shows how restructuring communication changes completion "
+      "time from linear to logarithmic; garbled words motivate "
+      "acknowledgements and retransmission. Played as a game with teams "
+      "competing on delivery speed and fidelity.",
+      "Whisper-based and movement-light; a written-note variant "
+      "supports deaf and hard-of-hearing students.",
+      "No formal assessment published.",
+      {},
+      {{kKitchen1992, ""}},
+      {"PCC_12"},
+      {"C_MessagePassing", "C_CommunicationOverhead"},
+      {"K_12", "CS1", "Systems"},
+      {"sound", "movement"},
+      {"game"},
+      "telephone_chain"}));
+
+  // 35 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "BakingInParallel",
+      2000,
+      "2019-12-01",
+      {"Mary Moore"},
+      "",
+      "Students plan a bake sale production run on recipe worksheets: "
+      "mixing, baking, and decorating cupcakes with a fixed number of "
+      "helpers, bowls, and one oven. Using pens on a shared plan sheet, "
+      "teams schedule tasks to helpers and justify the makespan they "
+      "achieve; the oven emerges as the bottleneck resource and the "
+      "master baker as the coordinator handing out tasks. A light-weight "
+      "planning activity introducing decomposition and coordination "
+      "cost before any code.",
+      "Seated planning with pens and worksheets; the food framing is "
+      "broadly familiar though instructors may swap in a local staple.",
+      "No formal assessment published; Moore (2000) reports classroom use "
+      "in a small-college parallel processing unit.",
+      {},
+      {{kMoore2000, ""}},
+      {"PD_2", "PD_4"},
+      {"C_CostsOfComputation", "C_MasterWorker",
+       "C_ComputationDecomposition"},
+      {"K_12", "CS1", "DSA"},
+      {"touch", "visual"},
+      {"food", "pens"},
+      ""}));
+
+  // 36 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "DinnerPartyProducers",
+      2002,
+      "2019-12-05",
+      {"Steven Andrianoff", "David Levine"},
+      "",
+      "A role-played dinner party staffs a kitchen (producers plating "
+      "dishes) and a serving window that holds only four plates (the "
+      "bounded buffer). Waiters (consumers) take plates to tables. "
+      "Students enact full-window and empty-window stalls, then add a "
+      "bell protocol (condition signaling) so cooks and waiters sleep "
+      "instead of repeatedly checking. Adapted from Andrianoff and "
+      "Levine's role-playing repertoire to the producer-consumer "
+      "pattern.",
+      "Walking role-play with props; plate-passing can be done along a "
+      "seated row.",
+      "No formal assessment published; the role-playing approach was "
+      "evaluated qualitatively for object-oriented concepts in Andrianoff "
+      "and Levine (2002).",
+      {},
+      {{kAndrianoff2002, ""}},
+      {"PCC_7"},
+      {"C_ProducerConsumer", "C_Synchronization"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play", "food"},
+      "producer_consumer"}));
+
+  // 37 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "CoinFlipMonteCarlo",
+      1990,
+      "2019-12-10",
+      {"Bruce Maxim", "Gilbert Bachelis", "David James", "Quentin Stout"},
+      "",
+      "Every student flips a coin pair repeatedly, tallying 'both heads' "
+      "on a slip - an embarrassingly parallel Monte Carlo estimate of "
+      "1/4 (and, with a quarter-circle grid variant, of pi). Doubling "
+      "the number of flippers halves the time to a fixed sample count, "
+      "and pooling tallies demonstrates reduction of independent "
+      "partial results. The activity shows a computation that scales "
+      "almost perfectly because samples share nothing.",
+      "Seated coin flipping and tallying; coins can be replaced by "
+      "spinners or dice for easier handling.",
+      "No formal assessment published; appears in the 1990 tutorial's "
+      "activity listing.",
+      {},
+      {{kMaxim1990, ""}, {kBachelis1994, ""}},
+      {"PD_5", "PAAP_7", "PP_2"},
+      {"C_CostsOfComputation", "C_Speedup", "C_DataParallelNotation"},
+      {"K_12", "CS1", "DSA"},
+      {"touch", "visual"},
+      {"coins", "pens"},
+      "monte_carlo"}));
+
+  // 38 ----------------------------------------------------------------------
+  out.push_back(expand(ActivitySpec{
+      "BallotCounting",
+      1994,
+      "2019-12-10",
+      {"Gilbert Bachelis", "Bruce Maxim", "David James", "Quentin Stout"},
+      "",
+      "A mock election produces a box of ballots (tokens/coins marked "
+      "for two candidates). One student counts alone; then the box is "
+      "dealt into piles counted simultaneously and subtotaled on the "
+      "board in a combining tree. Students compare the two runs, "
+      "predict the best team size for a given ballot count, and "
+      "discover that the final combining steps resist parallelization - "
+      "a divide-and-conquer count with a visibly sequential tail.",
+      "Seated counting with tokens; subtotals written large on the "
+      "board. Tokens can be textured for tactile differentiation.",
+      "No formal assessment published.",
+      {},
+      {{kBachelis1994, ""}},
+      {"PD_2", "PD_5", "PAAP_7"},
+      {"C_CostsOfComputation", "A_DivideAndConquer"},
+      {"K_12", "CS1", "DSA"},
+      {"touch", "visual"},
+      {"coins", "board"},
+      "ballot_counting"}));
+}
+
+}  // namespace pdcu::core::detail

@@ -1,0 +1,39 @@
+// Internal: the built-in curation is assembled from two translation units
+// to keep file sizes manageable. Not installed; include only from core.
+#pragma once
+
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core::detail {
+
+/// A compact builder used by the curation data files.
+struct ActivitySpec {
+  std::string title;
+  int year;
+  std::string date;                       ///< YYYY-MM-DD added-to-curation
+  std::vector<std::string> authors;
+  std::string origin_url;                 ///< "" = no external resources
+  std::string details;
+  std::string accessibility;
+  std::string assessment;
+  std::vector<Variation> variations;
+  std::vector<Citation> citations;
+  std::vector<std::string> lo_terms;      ///< cs2013details, e.g. "PD_2"
+  std::vector<std::string> topic_terms;   ///< tcppdetails, e.g. "C_Speedup"
+  std::vector<std::string> courses;
+  std::vector<std::string> senses;
+  std::vector<std::string> mediums;
+  std::string simulation;
+};
+
+/// Expands a spec into a full Activity: derives the slug from the title,
+/// the cs2013 knowledge-unit terms from the learning-outcome terms, and the
+/// tcpp area terms from the topic terms (guaranteeing tag consistency).
+Activity expand(const ActivitySpec& spec);
+
+void append_part1(std::vector<Activity>& out);
+void append_part2(std::vector<Activity>& out);
+
+}  // namespace pdcu::core::detail

@@ -1,0 +1,137 @@
+#include "pdcu/core/gaps.hpp"
+
+#include <algorithm>
+
+#include "pdcu/curriculum/cs2013.hpp"
+#include "pdcu/curriculum/tcpp.hpp"
+
+namespace pdcu::core {
+
+namespace {
+
+/// Titles of activities carrying a given detail term in a given tag field.
+std::vector<std::string> holders(
+    const std::vector<Activity>& activities,
+    const std::vector<std::string> Activity::*field, const std::string& term) {
+  std::vector<std::string> out;
+  for (const auto& a : activities) {
+    const auto& tags = a.*field;
+    if (std::find(tags.begin(), tags.end(), term) != tags.end()) {
+      out.push_back(a.title);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GapFinder::GapFinder(const std::vector<Activity>& activities)
+    : activities_(activities) {}
+
+std::vector<OutcomeGap> GapFinder::uncovered_outcomes() const {
+  std::vector<OutcomeGap> out;
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    for (const auto& outcome : unit.outcomes) {
+      std::string term = unit.detail_term(outcome.number);
+      if (holders(activities_, &Activity::cs2013details, term).empty()) {
+        out.push_back({unit.name, term, outcome.text});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TopicGap> GapFinder::uncovered_topics() const {
+  std::vector<TopicGap> out;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto& category : area.categories) {
+      for (const auto& topic : category.topics) {
+        std::string term = topic.term();
+        if (holders(activities_, &Activity::tcppdetails, term).empty()) {
+          out.push_back({area.name, category.name, term, topic.description});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SingleCoverage> GapFinder::single_coverage_outcomes() const {
+  std::vector<SingleCoverage> out;
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    for (const auto& outcome : unit.outcomes) {
+      std::string term = unit.detail_term(outcome.number);
+      auto who = holders(activities_, &Activity::cs2013details, term);
+      if (who.size() == 1) {
+        out.push_back({term, outcome.text, who.front()});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SingleCoverage> GapFinder::single_coverage_topics() const {
+  std::vector<SingleCoverage> out;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto* topic : area.all_topics()) {
+      std::string term = topic->term();
+      auto who = holders(activities_, &Activity::tcppdetails, term);
+      if (who.size() == 1) {
+        out.push_back({term, topic->description, who.front()});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GapFinder::empty_categories() const {
+  std::vector<std::string> out;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto& category : area.categories) {
+      bool any_covered = false;
+      for (const auto& topic : category.topics) {
+        if (!holders(activities_, &Activity::tcppdetails, topic.term())
+                 .empty()) {
+          any_covered = true;
+          break;
+        }
+      }
+      if (!any_covered) out.push_back(area.name + " / " + category.name);
+    }
+  }
+  return out;
+}
+
+std::string GapFinder::render_report() const {
+  std::string out = "=== Coverage gaps (SSIII.B, SSIII.C, SSIII.E) ===\n\n";
+
+  out += "CS2013 learning outcomes with no unplugged activity:\n";
+  for (const auto& gap : uncovered_outcomes()) {
+    out += "  [" + gap.detail_term + "] " + gap.unit_name + ": " +
+           gap.outcome_text + "\n";
+  }
+
+  out += "\nTCPP topics with no unplugged activity:\n";
+  for (const auto& gap : uncovered_topics()) {
+    out += "  [" + gap.detail_term + "] " + gap.area_name + " / " +
+           gap.category_name + ": " + gap.description + "\n";
+  }
+
+  out += "\nTCPP categories with zero coverage:\n";
+  for (const auto& name : empty_categories()) {
+    out += "  " + name + "\n";
+  }
+
+  out += "\nFragile coverage (exactly one activity):\n";
+  for (const auto& single : single_coverage_outcomes()) {
+    out += "  [" + single.detail_term + "] only \"" + single.activity_title +
+           "\"\n";
+  }
+  for (const auto& single : single_coverage_topics()) {
+    out += "  [" + single.detail_term + "] only \"" + single.activity_title +
+           "\"\n";
+  }
+  return out;
+}
+
+}  // namespace pdcu::core

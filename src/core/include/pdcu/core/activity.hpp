@@ -1,0 +1,77 @@
+// The activity model: one unplugged PDC activity as curated by
+// PDCunplugged (§II.A of the paper). An activity is stored as a Markdown
+// file with front-matter tags and seven body sections; this struct is the
+// in-memory form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/support/date.hpp"
+#include "pdcu/taxonomy/term_index.hpp"
+
+namespace pdcu::core {
+
+/// A full citation to a paper describing (a variation of) the activity,
+/// optionally with a link to supporting materials.
+struct Citation {
+  std::string text;  ///< formatted citation
+  std::string url;   ///< supporting-materials link ("" when none)
+
+  bool operator==(const Citation&) const = default;
+};
+
+/// A named variation of an activity. Several distinct papers sometimes
+/// describe one activity; the curation collapses them into variations of a
+/// single entry (§III).
+struct Variation {
+  std::string name;         ///< e.g. "Moore (2000)"
+  std::string description;  ///< how this variation differs
+
+  bool operator==(const Variation&) const = default;
+};
+
+/// One curated unplugged activity.
+struct Activity {
+  // --- identity ----------------------------------------------------------
+  std::string title;  ///< e.g. "FindSmallestCard"
+  std::string slug;   ///< file/url slug, e.g. "findsmallestcard"
+  Date date;          ///< date added to the curation
+  int year = 0;       ///< year the activity was first described
+
+  // --- provenance (the "Original Author/Link" section) --------------------
+  std::vector<std::string> authors;  ///< original activity authors
+  std::string origin_url;  ///< external resource link; "" when none exists
+
+  // --- body sections -------------------------------------------------------
+  std::string details;        ///< Markdown; required when origin_url is ""
+  std::string accessibility;  ///< audience and inclusion notes
+  std::string assessment;     ///< known assessment (often "none known")
+  std::vector<Variation> variations;
+  std::vector<Citation> citations;
+
+  // --- taxonomy tags (§II.B) ----------------------------------------------
+  std::vector<std::string> cs2013;         ///< knowledge-unit terms
+  std::vector<std::string> cs2013details;  ///< learning-outcome terms (PD_3)
+  std::vector<std::string> tcpp;           ///< topic-area terms
+  std::vector<std::string> tcppdetails;    ///< topic terms (C_Speedup)
+  std::vector<std::string> courses;        ///< recommended course terms
+  std::vector<std::string> senses;         ///< primarily engaged senses
+  std::vector<std::string> mediums;        ///< communication mediums
+
+  // --- PDCunplugged-C++ extension -----------------------------------------
+  /// Slug of the executable simulation in pdcu::activities that dramatizes
+  /// this activity ("" when the entry is a pure analogy with no protocol).
+  std::string simulation;
+
+  /// Whether the activity has external resources (slides, handouts, ...).
+  bool has_external_resources() const { return !origin_url.empty(); }
+
+  /// Front-matter taxonomy tags in the form the TermIndex consumes.
+  tax::PageTags tags() const;
+
+  /// The page reference used by taxonomy indexing.
+  tax::PageRef page_ref() const { return {slug, title}; }
+};
+
+}  // namespace pdcu::core

@@ -1,0 +1,26 @@
+// The augmentation workflow of §II.A: "Educators who use particular
+// activities in their classroom are encouraged to augment this section
+// with their classroom experiences", and §II: "some activity authors or
+// educators augmenting existing activities with variations and
+// assessments based on their own classroom experiences."
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::core {
+
+/// Appends an assessment note (a classroom experience) to the activity's
+/// Assessment section in `content_dir`/activities/<slug>.md, preserving
+/// every other field byte for byte through the writer.
+Status annotate_assessment(const std::filesystem::path& content_dir,
+                           std::string_view slug, std::string_view note);
+
+/// Records a new variation of an existing activity on disk.
+Status annotate_variation(const std::filesystem::path& content_dir,
+                          std::string_view slug, std::string_view name,
+                          std::string_view description);
+
+}  // namespace pdcu::core

@@ -1,0 +1,19 @@
+// Archetypes: the `hugo new activities/example.md` workflow (§II.A).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pdcu/support/date.hpp"
+
+namespace pdcu::core {
+
+/// The blank activity template, exactly as shown in the paper's Fig. 1.
+std::string activity_template();
+
+/// A pre-populated template for a new activity, as produced by
+/// `hugo new activities/<name>.md`: the title and date fields are filled
+/// in, the tag fields and sections are left for the contributor.
+std::string instantiate_activity(std::string_view title, const Date& date);
+
+}  // namespace pdcu::core

@@ -1,0 +1,78 @@
+// Coverage analytics: regenerates the paper's Table I (CS2013 coverage) and
+// Table II (TCPP coverage) from a set of activities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+#include "pdcu/curriculum/cs2013.hpp"
+#include "pdcu/curriculum/tcpp.hpp"
+
+namespace pdcu::core {
+
+/// One row of Table I.
+struct Cs2013Row {
+  std::string unit_name;      ///< "Parallel Decomposition"
+  bool elective = false;      ///< marked (E) in the table
+  std::size_t num_outcomes = 0;
+  std::size_t covered_outcomes = 0;
+  std::size_t total_activities = 0;
+
+  /// "83.33%"-style coverage string (covered/num).
+  std::string percent_coverage() const;
+};
+
+/// One row of Table II.
+struct TcppRow {
+  std::string area_name;      ///< "Algorithms"
+  std::size_t num_topics = 0;
+  std::size_t covered_topics = 0;
+  std::size_t total_activities = 0;
+
+  std::string percent_coverage() const;
+};
+
+/// Per-category coverage within a TCPP area (§III.C discusses these, e.g.
+/// "PD Models/Complexity topics have the lowest coverage at 36.36%").
+struct TcppCategoryRow {
+  std::string area_name;
+  std::string category_name;
+  std::size_t num_topics = 0;
+  std::size_t covered_topics = 0;
+
+  std::string percent_coverage() const;
+};
+
+/// Computes coverage tables over a curation.
+class CoverageAnalyzer {
+ public:
+  explicit CoverageAnalyzer(const std::vector<Activity>& activities);
+
+  /// Table I: one row per CS2013 PD knowledge unit, catalog order.
+  std::vector<Cs2013Row> cs2013_table() const;
+
+  /// Table II: one row per TCPP topic area, catalog order.
+  std::vector<TcppRow> tcpp_table() const;
+
+  /// Category-level TCPP coverage (9 rows).
+  std::vector<TcppCategoryRow> tcpp_category_table() const;
+
+  /// Detail terms (learning outcomes) present for a knowledge unit.
+  std::vector<std::string> covered_outcomes(const cur::KnowledgeUnit& unit)
+      const;
+
+  /// Detail terms (topics) present for a TCPP area.
+  std::vector<std::string> covered_topics(const cur::TcppArea& area) const;
+
+  /// Renders Table I in the paper's layout (ASCII).
+  std::string render_cs2013_table() const;
+
+  /// Renders Table II in the paper's layout (ASCII).
+  std::string render_tcpp_table() const;
+
+ private:
+  const std::vector<Activity>& activities_;
+};
+
+}  // namespace pdcu::core

@@ -1,0 +1,64 @@
+// Gap analysis: the "holes in the curation" the paper identifies in
+// §III.B, §III.C, and §III.E, computed rather than hand-written.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core {
+
+/// An uncovered CS2013 learning outcome.
+struct OutcomeGap {
+  std::string unit_name;
+  std::string detail_term;  ///< e.g. "PF_3"
+  std::string outcome_text;
+};
+
+/// An uncovered TCPP topic.
+struct TopicGap {
+  std::string area_name;
+  std::string category_name;
+  std::string detail_term;  ///< e.g. "K_PRAM"
+  std::string description;
+};
+
+/// A learning outcome or topic covered by exactly one activity — fragile
+/// coverage the paper calls out (e.g. only [35] compares synchronization
+/// methods).
+struct SingleCoverage {
+  std::string detail_term;
+  std::string description;
+  std::string activity_title;
+};
+
+/// Computes coverage gaps over a curation.
+class GapFinder {
+ public:
+  explicit GapFinder(const std::vector<Activity>& activities);
+
+  /// CS2013 learning outcomes no activity covers, catalog order.
+  std::vector<OutcomeGap> uncovered_outcomes() const;
+
+  /// TCPP topics no activity covers, catalog order.
+  std::vector<TopicGap> uncovered_topics() const;
+
+  /// CS2013 outcomes covered by exactly one activity.
+  std::vector<SingleCoverage> single_coverage_outcomes() const;
+
+  /// TCPP topics covered by exactly one activity.
+  std::vector<SingleCoverage> single_coverage_topics() const;
+
+  /// TCPP categories with zero covered topics (§III.C: Floating-Point
+  /// Representation and Performance Metrics).
+  std::vector<std::string> empty_categories() const;
+
+  /// Renders the full gap report.
+  std::string render_report() const;
+
+ private:
+  const std::vector<Activity>& activities_;
+};
+
+}  // namespace pdcu::core

@@ -1,0 +1,53 @@
+// Link-rot audit and local-archive planning — the risk §IV of the paper
+// calls out: "external links can expire; several authors [12], [35], [37]
+// cite external activities in their papers, but those links have since
+// been de-activated", and the mitigation it proposes: "listing activity
+// materials directly on PDCunplugged ensures that a copy of the materials
+// exist at an independent location".
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::core {
+
+/// Audit classification of one activity's external-material situation.
+enum class LinkStatus {
+  kSelfContained,  ///< no external link; full details carried inline
+  kKnownDead,      ///< the literature's link is recorded as de-activated
+  kAtRisk,         ///< plain-http link, unarchived
+  kLinked          ///< https link, unarchived
+};
+
+/// One audit finding.
+struct LinkAuditEntry {
+  std::string slug;
+  std::string url;  ///< "" for self-contained/known-dead entries
+  LinkStatus status = LinkStatus::kSelfContained;
+  std::string note;
+};
+
+/// Audits every activity. Known-dead entries come from the paper's §IV
+/// (Rifkin [12], Chesebrough & Turner [35], Andrianoff & Levine [37]).
+std::vector<LinkAuditEntry> audit_links(
+    const std::vector<Activity>& activities);
+
+/// Counts by status, in enum order.
+std::vector<std::size_t> audit_counts(
+    const std::vector<LinkAuditEntry>& entries);
+
+/// Renders the audit report with the §IV recommendation.
+std::string render_link_audit(const std::vector<LinkAuditEntry>& entries);
+
+/// Writes a local materials mirror skeleton: for every activity with an
+/// external link, materials/<slug>/README.md recording what must be
+/// archived (the mitigation §IV proposes). Returns files written.
+Expected<std::size_t> export_archive_plan(
+    const std::vector<Activity>& activities,
+    const std::filesystem::path& out_dir);
+
+}  // namespace pdcu::core

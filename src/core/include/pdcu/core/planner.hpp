@@ -1,0 +1,38 @@
+// Lesson planning: pick a small set of activities for a course that
+// covers as many distinct TCPP topics / CS2013 outcomes as possible — the
+// educator workflow §II.C describes ("educators teaching a particular
+// course who want to see what unplugged activities are recommended for
+// it"), made constructive via greedy set cover.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core {
+
+/// One planned session.
+struct PlannedSession {
+  const Activity* activity = nullptr;
+  std::vector<std::string> newly_covered;  ///< detail terms first covered here
+};
+
+/// A lesson plan for a course.
+struct LessonPlan {
+  std::string course;
+  std::vector<PlannedSession> sessions;
+  std::size_t covered_terms = 0;  ///< distinct detail terms covered in total
+
+  /// Renders as a printable plan.
+  std::string render() const;
+};
+
+/// Greedily selects up to `sessions` activities recommended for `course`,
+/// maximizing marginal coverage of distinct detail terms (cs2013details
+/// plus tcppdetails). Ties break toward earlier curation order. Stops
+/// early when no candidate adds coverage.
+LessonPlan plan_course(const std::vector<Activity>& activities,
+                       std::string_view course, std::size_t sessions);
+
+}  // namespace pdcu::core

@@ -1,0 +1,54 @@
+// The repository: a loaded curation plus its taxonomy index and analytics.
+// This is the top-level object most tools construct first.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+#include "pdcu/core/coverage.hpp"
+#include "pdcu/core/gaps.hpp"
+#include "pdcu/core/stats.hpp"
+#include "pdcu/core/validate.hpp"
+#include "pdcu/support/expected.hpp"
+#include "pdcu/taxonomy/term_index.hpp"
+
+namespace pdcu::core {
+
+/// An immutable, indexed curation.
+class Repository {
+ public:
+  /// The repository over the built-in 38-activity curation. Returns a
+  /// reference to a process-lifetime instance, so pointers into it (e.g.
+  /// from find()) never dangle; copy it when you need a mutable one.
+  static const Repository& builtin();
+
+  /// Loads every activities/*.md file under `content_dir` (the on-disk
+  /// layout used by pdcunplugged.org: content/activities/<slug>.md).
+  static Expected<Repository> load(const std::filesystem::path& content_dir);
+
+  /// Builds a repository over an explicit activity list.
+  explicit Repository(std::vector<Activity> activities);
+
+  const std::vector<Activity>& activities() const { return activities_; }
+  const tax::TermIndex& index() const { return index_; }
+
+  const Activity* find(std::string_view slug) const;
+
+  CoverageAnalyzer coverage() const { return CoverageAnalyzer(activities_); }
+  CurationStats stats() const { return CurationStats(activities_); }
+  GapFinder gaps() const { return GapFinder(activities_); }
+  std::vector<Finding> validate() const {
+    return validate_curation(activities_);
+  }
+
+  /// Writes every activity to `content_dir`/activities/<slug>.md.
+  Status export_to(const std::filesystem::path& content_dir) const;
+
+ private:
+  std::vector<Activity> activities_;
+  tax::TermIndex index_;
+};
+
+}  // namespace pdcu::core

@@ -1,0 +1,64 @@
+// Curation statistics: the §III.A course/resource numbers and §III.D
+// accessibility numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core {
+
+/// Aggregate statistics over a curation.
+class CurationStats {
+ public:
+  explicit CurationStats(const std::vector<Activity>& activities);
+
+  std::size_t activity_count() const { return activities_.size(); }
+
+  /// Activities with an external resource link (§III.A reports 41%).
+  std::size_t with_external_resources() const;
+  /// Percentage string for the above, e.g. "42.11%".
+  std::string external_resources_percent() const;
+
+  /// (course term, activity count) in the canonical course order —
+  /// §III.A: K-12 15, CS0 8, CS1 17, CS2 25, DSA 27, Systems 22.
+  std::vector<std::pair<std::string, std::size_t>> course_counts() const;
+
+  /// (medium term, count) in canonical medium order — §III.D: 11 analogies,
+  /// 11 role-plays, 4 games; paper 8, board 6, cards 6, pens 4, coins 2,
+  /// food 4, instruments 1.
+  std::vector<std::pair<std::string, std::size_t>> medium_counts() const;
+
+  /// (sense term, count) in canonical sense order — §III.D: visual 27,
+  /// movement 14, touch 10, sound 2, accessible 9.
+  std::vector<std::pair<std::string, std::size_t>> sense_counts() const;
+
+  /// Percentage of activities carrying a sense term ("71.05%" for visual).
+  std::string sense_percent(std::string_view sense) const;
+
+  /// Distinct publication years spanned (the paper: "thirty years").
+  std::pair<int, int> year_range() const;
+
+  /// Activities with at least one variation collapsed into them.
+  std::size_t with_variations() const;
+
+  /// Activities whose assessment section records a known evaluation.
+  std::size_t with_known_assessment() const;
+
+  /// Activities with an executable simulation in pdcu::activities.
+  std::size_t with_simulation() const;
+
+  /// Renders the §III.A + §III.D report (ASCII).
+  std::string render_report() const;
+
+ private:
+  std::size_t count_tag(const std::vector<std::string> Activity::*field,
+                        std::string_view term) const;
+
+  const std::vector<Activity>& activities_;
+};
+
+}  // namespace pdcu::core

@@ -1,0 +1,43 @@
+// Activity validation: the lint rules a curator applies before merging a
+// contributed activity (pull-request review, §II.A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity.hpp"
+
+namespace pdcu::core {
+
+/// Severity of a validation finding.
+enum class Severity { kError, kWarning };
+
+/// One validation finding.
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable rule id, e.g. "tags.unknown-course"
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Validates one activity against the repository's content rules:
+///  - title present and sluggable; valid date; plausible year
+///  - every tag resolves against its catalog / vocabulary
+///  - knowledge-unit tags and learning-outcome tags are mutually consistent
+///    (each KU has at least one of its outcomes listed, and vice versa)
+///  - topic-area tags and topic tags are mutually consistent
+///  - activities without external resources must carry a Details section
+///    (the Fig. 1 rule)
+///  - at least one citation, course, sense, and medium
+/// Errors make an activity unpublishable; warnings are advisory.
+std::vector<Finding> validate_activity(const Activity& activity);
+
+/// Validates a whole curation; adds cross-activity rules (duplicate slugs).
+std::vector<Finding> validate_curation(
+    const std::vector<Activity>& activities);
+
+/// True when no finding is an error.
+bool is_publishable(const std::vector<Finding>& findings);
+
+}  // namespace pdcu::core

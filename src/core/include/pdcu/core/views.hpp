@@ -1,0 +1,66 @@
+// Activity views (§II.C): structured browsing of the curation by CS2013
+// learning outcome, TCPP topic, course, and accessibility (sense × medium).
+// The site module renders these as pages; tools render them as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/repository.hpp"
+
+namespace pdcu::core {
+
+/// An entry of the CS2013 view: one learning outcome and the activities
+/// covering it.
+struct OutcomeView {
+  std::string unit_name;
+  std::string detail_term;
+  std::string outcome_text;
+  std::vector<tax::PageRef> activities;  ///< may be empty (a gap)
+};
+
+/// An entry of the TCPP view: one topic, its recommended courses, and the
+/// activities covering it.
+struct TopicView {
+  std::string area_name;
+  std::string category_name;
+  std::string detail_term;
+  std::string description;
+  std::vector<std::string> recommended_courses;
+  std::vector<tax::PageRef> activities;
+};
+
+/// An entry of the Courses view.
+struct CourseView {
+  std::string course_term;
+  std::string display_name;
+  std::vector<tax::PageRef> activities;
+};
+
+/// An entry of the Accessibility view: one sense or medium term.
+struct AccessibilityView {
+  std::string kind;  ///< "sense" or "medium"
+  std::string term;
+  std::vector<tax::PageRef> activities;
+};
+
+/// The CS2013 view: every learning outcome in catalog order (including
+/// uncovered ones, so authors can gauge impact, §II.C).
+std::vector<OutcomeView> cs2013_view(const Repository& repo);
+
+/// The TCPP view: every topic in catalog order.
+std::vector<TopicView> tcpp_view(const Repository& repo);
+
+/// The Courses view, in canonical course order.
+std::vector<CourseView> courses_view(const Repository& repo);
+
+/// The Accessibility view: senses first, then mediums.
+std::vector<AccessibilityView> accessibility_view(const Repository& repo);
+
+/// Renders any view as indented text (one section per entry).
+std::string render_text(const std::vector<OutcomeView>& view);
+std::string render_text(const std::vector<TopicView>& view);
+std::string render_text(const std::vector<CourseView>& view);
+std::string render_text(const std::vector<AccessibilityView>& view);
+
+}  // namespace pdcu::core

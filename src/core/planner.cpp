@@ -1,0 +1,64 @@
+#include "pdcu/core/planner.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pdcu::core {
+
+std::string LessonPlan::render() const {
+  std::string out = "Lesson plan for " + course + " (" +
+                    std::to_string(sessions.size()) + " sessions, " +
+                    std::to_string(covered_terms) +
+                    " distinct outcomes/topics)\n";
+  int n = 1;
+  for (const auto& session : sessions) {
+    out += "  " + std::to_string(n++) + ". " + session.activity->title +
+           " — adds:";
+    for (const auto& term : session.newly_covered) out += " " + term;
+    out += "\n";
+  }
+  return out;
+}
+
+LessonPlan plan_course(const std::vector<Activity>& activities,
+                       std::string_view course, std::size_t sessions) {
+  LessonPlan plan;
+  plan.course = std::string(course);
+
+  std::vector<const Activity*> candidates;
+  for (const auto& activity : activities) {
+    if (std::find(activity.courses.begin(), activity.courses.end(),
+                  course) != activity.courses.end()) {
+      candidates.push_back(&activity);
+    }
+  }
+
+  std::set<std::string> covered;
+  std::set<const Activity*> used;
+  while (plan.sessions.size() < sessions) {
+    const Activity* best = nullptr;
+    std::vector<std::string> best_new;
+    for (const Activity* candidate : candidates) {
+      if (used.count(candidate) != 0) continue;
+      std::vector<std::string> fresh;
+      for (const auto& term : candidate->cs2013details) {
+        if (covered.count(term) == 0) fresh.push_back(term);
+      }
+      for (const auto& term : candidate->tcppdetails) {
+        if (covered.count(term) == 0) fresh.push_back(term);
+      }
+      if (best == nullptr || fresh.size() > best_new.size()) {
+        best = candidate;
+        best_new = std::move(fresh);
+      }
+    }
+    if (best == nullptr || best_new.empty()) break;  // nothing left to gain
+    used.insert(best);
+    for (const auto& term : best_new) covered.insert(term);
+    plan.sessions.push_back({best, std::move(best_new)});
+  }
+  plan.covered_terms = covered.size();
+  return plan;
+}
+
+}  // namespace pdcu::core

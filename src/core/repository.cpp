@@ -1,0 +1,76 @@
+#include "pdcu/core/repository.hpp"
+
+#include <mutex>
+
+#include "pdcu/core/activity_io.hpp"
+#include "pdcu/core/curation.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
+#include "pdcu/support/fs.hpp"
+
+namespace pdcu::core {
+
+Repository::Repository(std::vector<Activity> activities)
+    : activities_(std::move(activities)),
+      index_(tax::TaxonomyConfig::pdcunplugged()) {
+  for (const auto& activity : activities_) {
+    index_.add_page(activity.page_ref(), activity.tags());
+  }
+}
+
+const Repository& Repository::builtin() {
+  static const Repository kBuiltin{curation()};
+  return kBuiltin;
+}
+
+Expected<Repository> Repository::load(
+    const std::filesystem::path& content_dir) {
+  auto files = fs::list_files(content_dir / "activities", ".md");
+  if (!files) return files.error().context("loading repository");
+  const auto& paths = files.value();
+
+  // Parse content files in parallel (the engine eats its own cooking);
+  // results keep the sorted-filename order.
+  std::vector<Activity> activities(paths.size());
+  std::vector<Error> errors;
+  std::mutex error_mutex;
+  rt::ThreadPool pool;
+  pool.parallel_for(0, paths.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto text = fs::read_file(paths[i]);
+      if (!text) {
+        std::lock_guard lock(error_mutex);
+        errors.push_back(text.error());
+        continue;
+      }
+      auto activity = parse_activity(text.value());
+      if (!activity) {
+        std::lock_guard lock(error_mutex);
+        errors.push_back(
+            activity.error().context("in '" + paths[i].string() + "'"));
+        continue;
+      }
+      activities[i] = std::move(activity).value();
+    }
+  });
+  if (!errors.empty()) return errors.front();
+  return Repository(std::move(activities));
+}
+
+const Activity* Repository::find(std::string_view slug) const {
+  for (const auto& activity : activities_) {
+    if (activity.slug == slug) return &activity;
+  }
+  return nullptr;
+}
+
+Status Repository::export_to(const std::filesystem::path& content_dir) const {
+  for (const auto& activity : activities_) {
+    auto status = fs::write_file(
+        content_dir / "activities" / (activity.slug + ".md"),
+        write_activity(activity));
+    if (!status) return status;
+  }
+  return Status::ok();
+}
+
+}  // namespace pdcu::core

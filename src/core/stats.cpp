@@ -1,0 +1,138 @@
+#include "pdcu/core/stats.hpp"
+
+#include <algorithm>
+
+#include "pdcu/curriculum/terms.hpp"
+#include "pdcu/support/strings.hpp"
+#include "pdcu/support/text_table.hpp"
+
+namespace pdcu::core {
+
+namespace strs = pdcu::strings;
+
+CurationStats::CurationStats(const std::vector<Activity>& activities)
+    : activities_(activities) {}
+
+std::size_t CurationStats::with_external_resources() const {
+  return static_cast<std::size_t>(
+      std::count_if(activities_.begin(), activities_.end(),
+                    [](const Activity& a) {
+                      return a.has_external_resources();
+                    }));
+}
+
+std::string CurationStats::external_resources_percent() const {
+  return strs::percent(static_cast<double>(with_external_resources()),
+                       static_cast<double>(activities_.size()));
+}
+
+std::size_t CurationStats::count_tag(
+    const std::vector<std::string> Activity::*field,
+    std::string_view term) const {
+  return static_cast<std::size_t>(std::count_if(
+      activities_.begin(), activities_.end(), [&](const Activity& a) {
+        const auto& tags = a.*field;
+        return std::find(tags.begin(), tags.end(), term) != tags.end();
+      }));
+}
+
+std::vector<std::pair<std::string, std::size_t>> CurationStats::course_counts()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& term : cur::course_terms()) {
+    out.emplace_back(term, count_tag(&Activity::courses, term));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> CurationStats::medium_counts()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& term : cur::medium_terms()) {
+    out.emplace_back(term, count_tag(&Activity::mediums, term));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> CurationStats::sense_counts()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& term : cur::sense_terms()) {
+    out.emplace_back(term, count_tag(&Activity::senses, term));
+  }
+  return out;
+}
+
+std::string CurationStats::sense_percent(std::string_view sense) const {
+  return strs::percent(
+      static_cast<double>(count_tag(&Activity::senses, sense)),
+      static_cast<double>(activities_.size()));
+}
+
+std::pair<int, int> CurationStats::year_range() const {
+  int lo = 0, hi = 0;
+  for (const auto& a : activities_) {
+    if (lo == 0 || a.year < lo) lo = a.year;
+    if (a.year > hi) hi = a.year;
+  }
+  return {lo, hi};
+}
+
+std::size_t CurationStats::with_variations() const {
+  return static_cast<std::size_t>(
+      std::count_if(activities_.begin(), activities_.end(),
+                    [](const Activity& a) { return !a.variations.empty(); }));
+}
+
+std::size_t CurationStats::with_known_assessment() const {
+  // An activity "has assessment" when its assessment section records more
+  // than the conventional "No formal assessment" note.
+  return static_cast<std::size_t>(std::count_if(
+      activities_.begin(), activities_.end(), [](const Activity& a) {
+        return !a.assessment.empty() &&
+               !strs::starts_with(a.assessment, "No formal assessment");
+      }));
+}
+
+std::size_t CurationStats::with_simulation() const {
+  return static_cast<std::size_t>(
+      std::count_if(activities_.begin(), activities_.end(),
+                    [](const Activity& a) { return !a.simulation.empty(); }));
+}
+
+std::string CurationStats::render_report() const {
+  std::string out;
+  out += "Curation size: " + std::to_string(activity_count()) +
+         " unique activities\n";
+  auto [lo, hi] = year_range();
+  out += "Literature span: " + std::to_string(lo) + "-" + std::to_string(hi) +
+         " (" + std::to_string(hi - lo) + " years)\n";
+  out += "With external resources: " +
+         std::to_string(with_external_resources()) + " (" +
+         external_resources_percent() + ")\n\n";
+
+  TextTable courses({"Course", "Activities"});
+  courses.set_align(1, Align::kRight);
+  for (const auto& [term, count] : course_counts()) {
+    courses.add_row({cur::course_display_name(term), std::to_string(count)});
+  }
+  out += "Recommended-course coverage (SSIII.A):\n" + courses.render() + "\n";
+
+  TextTable mediums({"Medium", "Activities"});
+  mediums.set_align(1, Align::kRight);
+  for (const auto& [term, count] : medium_counts()) {
+    mediums.add_row({term, std::to_string(count)});
+  }
+  out += "Activity mediums (SSIII.D):\n" + mediums.render() + "\n";
+
+  TextTable senses({"Sense", "Activities", "Percent"});
+  senses.set_align(1, Align::kRight);
+  senses.set_align(2, Align::kRight);
+  for (const auto& [term, count] : sense_counts()) {
+    senses.add_row({term, std::to_string(count), sense_percent(term)});
+  }
+  out += "Senses engaged (SSIII.D):\n" + senses.render();
+  return out;
+}
+
+}  // namespace pdcu::core

@@ -1,0 +1,197 @@
+#include "pdcu/core/validate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pdcu/curriculum/cs2013.hpp"
+#include "pdcu/curriculum/tcpp.hpp"
+#include "pdcu/curriculum/terms.hpp"
+#include "pdcu/support/slug.hpp"
+
+namespace pdcu::core {
+
+namespace {
+
+void add(std::vector<Finding>& findings, Severity severity, std::string code,
+         std::string message) {
+  findings.push_back({severity, std::move(code), std::move(message)});
+}
+
+}  // namespace
+
+std::vector<Finding> validate_activity(const Activity& a) {
+  std::vector<Finding> findings;
+  const auto& cs2013 = cur::Cs2013Catalog::instance();
+  const auto& tcpp = cur::TcppCatalog::instance();
+
+  // Identity.
+  if (a.title.empty()) {
+    add(findings, Severity::kError, "identity.title", "title is empty");
+  } else if (slugify(a.title).empty()) {
+    add(findings, Severity::kError, "identity.slug",
+        "title '" + a.title + "' produces an empty slug");
+  }
+  if (!a.slug.empty() && !is_slug(a.slug)) {
+    add(findings, Severity::kError, "identity.slug",
+        "'" + a.slug + "' is not a valid slug");
+  }
+  if (a.year != 0 && (a.year < 1970 || a.year > 2100)) {
+    add(findings, Severity::kWarning, "identity.year",
+        "suspicious activity year " + std::to_string(a.year));
+  }
+  if (a.authors.empty()) {
+    add(findings, Severity::kWarning, "provenance.authors",
+        "no original authors recorded");
+  }
+
+  // Taxonomy tags resolve against their catalogs.
+  for (const auto& term : a.cs2013) {
+    if (cs2013.find_by_term(term) == nullptr) {
+      add(findings, Severity::kError, "tags.unknown-cs2013",
+          "unknown knowledge-unit term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.cs2013details) {
+    if (!cs2013.resolve_detail_term(term)) {
+      add(findings, Severity::kError, "tags.unknown-cs2013details",
+          "unknown learning-outcome term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.tcpp) {
+    if (tcpp.find_area(term) == nullptr) {
+      add(findings, Severity::kError, "tags.unknown-tcpp",
+          "unknown topic-area term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.tcppdetails) {
+    if (tcpp.resolve_detail_term(term) == nullptr) {
+      add(findings, Severity::kError, "tags.unknown-tcppdetails",
+          "unknown topic term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.courses) {
+    if (!cur::is_course_term(term)) {
+      add(findings, Severity::kError, "tags.unknown-course",
+          "unknown course term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.senses) {
+    if (!cur::is_sense_term(term)) {
+      add(findings, Severity::kError, "tags.unknown-sense",
+          "unknown sense term '" + term + "'");
+    }
+  }
+  for (const auto& term : a.mediums) {
+    if (!cur::is_medium_term(term)) {
+      add(findings, Severity::kError, "tags.unknown-medium",
+          "unknown medium term '" + term + "'");
+    }
+  }
+
+  // Mutual consistency between unit-level and detail-level tags.
+  for (const auto& unit_term : a.cs2013) {
+    const auto* unit = cs2013.find_by_term(unit_term);
+    if (unit == nullptr) continue;
+    bool any = std::any_of(
+        a.cs2013details.begin(), a.cs2013details.end(),
+        [&](const std::string& lo) {
+          auto ref = cs2013.resolve_detail_term(lo);
+          return ref && ref->unit == unit;
+        });
+    if (!any) {
+      add(findings, Severity::kError, "tags.ku-without-outcome",
+          "knowledge unit '" + unit_term +
+              "' listed without any of its learning outcomes");
+    }
+  }
+  for (const auto& lo_term : a.cs2013details) {
+    auto ref = cs2013.resolve_detail_term(lo_term);
+    if (!ref) continue;
+    if (std::find(a.cs2013.begin(), a.cs2013.end(), ref->unit->term) ==
+        a.cs2013.end()) {
+      add(findings, Severity::kError, "tags.outcome-without-ku",
+          "learning outcome '" + lo_term + "' listed but knowledge unit '" +
+              ref->unit->term + "' is not");
+    }
+  }
+  for (const auto& area_term : a.tcpp) {
+    const auto* area = tcpp.find_area(area_term);
+    if (area == nullptr) continue;
+    bool any = std::any_of(a.tcppdetails.begin(), a.tcppdetails.end(),
+                           [&](const std::string& t) {
+                             return tcpp.resolve_detail_term_full(t).area ==
+                                    area;
+                           });
+    if (!any) {
+      add(findings, Severity::kError, "tags.area-without-topic",
+          "topic area '" + area_term + "' listed without any of its topics");
+    }
+  }
+  for (const auto& topic_term : a.tcppdetails) {
+    auto ref = tcpp.resolve_detail_term_full(topic_term);
+    if (ref.area == nullptr) continue;
+    if (std::find(a.tcpp.begin(), a.tcpp.end(), ref.area->term) ==
+        a.tcpp.end()) {
+      add(findings, Severity::kError, "tags.topic-without-area",
+          "topic '" + topic_term + "' listed but area '" + ref.area->term +
+              "' is not");
+    }
+  }
+
+  // The Fig. 1 rule: no external resources => Details section required.
+  if (!a.has_external_resources() && a.details.empty()) {
+    add(findings, Severity::kError, "body.details-required",
+        "activity has no external resources and no Details section");
+  }
+
+  // Required minimum content.
+  if (a.citations.empty()) {
+    add(findings, Severity::kError, "body.citations",
+        "at least one citation is required");
+  }
+  if (a.courses.empty()) {
+    add(findings, Severity::kWarning, "tags.no-courses",
+        "no recommended courses listed");
+  }
+  if (a.senses.empty()) {
+    add(findings, Severity::kWarning, "tags.no-senses",
+        "no senses listed; the Accessibility view cannot classify this "
+        "activity");
+  }
+  if (a.mediums.empty()) {
+    add(findings, Severity::kWarning, "tags.no-medium",
+        "no communication medium listed");
+  }
+  if (a.accessibility.empty()) {
+    add(findings, Severity::kWarning, "body.accessibility",
+        "empty Accessibility section");
+  }
+  if (a.assessment.empty()) {
+    add(findings, Severity::kWarning, "body.assessment",
+        "empty Assessment section");
+  }
+  return findings;
+}
+
+std::vector<Finding> validate_curation(
+    const std::vector<Activity>& activities) {
+  std::vector<Finding> findings;
+  std::set<std::string> slugs;
+  for (const auto& a : activities) {
+    auto local = validate_activity(a);
+    findings.insert(findings.end(), local.begin(), local.end());
+    if (!slugs.insert(a.slug).second) {
+      add(findings, Severity::kError, "curation.duplicate-slug",
+          "duplicate activity slug '" + a.slug + "'");
+    }
+  }
+  return findings;
+}
+
+bool is_publishable(const std::vector<Finding>& findings) {
+  return std::none_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.severity == Severity::kError;
+  });
+}
+
+}  // namespace pdcu::core

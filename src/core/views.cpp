@@ -1,0 +1,134 @@
+#include "pdcu/core/views.hpp"
+
+#include "pdcu/curriculum/cs2013.hpp"
+#include "pdcu/curriculum/tcpp.hpp"
+#include "pdcu/curriculum/terms.hpp"
+
+namespace pdcu::core {
+
+std::vector<OutcomeView> cs2013_view(const Repository& repo) {
+  std::vector<OutcomeView> out;
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    for (const auto& outcome : unit.outcomes) {
+      OutcomeView view;
+      view.unit_name = unit.name;
+      view.detail_term = unit.detail_term(outcome.number);
+      view.outcome_text = outcome.text;
+      view.activities = repo.index().pages("cs2013details", view.detail_term);
+      out.push_back(std::move(view));
+    }
+  }
+  return out;
+}
+
+std::vector<TopicView> tcpp_view(const Repository& repo) {
+  std::vector<TopicView> out;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto& category : area.categories) {
+      for (const auto& topic : category.topics) {
+        TopicView view;
+        view.area_name = area.name;
+        view.category_name = category.name;
+        view.detail_term = topic.term();
+        view.description = topic.description;
+        view.recommended_courses = topic.courses;
+        view.activities = repo.index().pages("tcppdetails", view.detail_term);
+        out.push_back(std::move(view));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CourseView> courses_view(const Repository& repo) {
+  std::vector<CourseView> out;
+  for (const auto& term : cur::course_terms()) {
+    CourseView view;
+    view.course_term = term;
+    view.display_name = cur::course_display_name(term);
+    view.activities = repo.index().pages("courses", term);
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::vector<AccessibilityView> accessibility_view(const Repository& repo) {
+  std::vector<AccessibilityView> out;
+  for (const auto& term : cur::sense_terms()) {
+    out.push_back({"sense", term, repo.index().pages("senses", term)});
+  }
+  for (const auto& term : cur::medium_terms()) {
+    out.push_back({"medium", term, repo.index().pages("medium", term)});
+  }
+  return out;
+}
+
+namespace {
+
+void append_pages(std::string& out, const std::vector<tax::PageRef>& pages) {
+  if (pages.empty()) {
+    out += "    (no activities - a gap to fill)\n";
+    return;
+  }
+  for (const auto& page : pages) {
+    out += "    - " + page.title + "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<OutcomeView>& view) {
+  std::string out;
+  std::string last_unit;
+  for (const auto& entry : view) {
+    if (entry.unit_name != last_unit) {
+      out += entry.unit_name + "\n";
+      last_unit = entry.unit_name;
+    }
+    out += "  [" + entry.detail_term + "] " + entry.outcome_text + "\n";
+    append_pages(out, entry.activities);
+  }
+  return out;
+}
+
+std::string render_text(const std::vector<TopicView>& view) {
+  std::string out;
+  std::string last_category;
+  for (const auto& entry : view) {
+    std::string category = entry.area_name + " / " + entry.category_name;
+    if (category != last_category) {
+      out += category + "\n";
+      last_category = category;
+    }
+    out += "  [" + entry.detail_term + "] " + entry.description + "\n";
+    append_pages(out, entry.activities);
+  }
+  return out;
+}
+
+std::string render_text(const std::vector<CourseView>& view) {
+  std::string out;
+  for (const auto& entry : view) {
+    out += entry.display_name + " (" +
+           std::to_string(entry.activities.size()) + " activities)\n";
+    append_pages(out, entry.activities);
+  }
+  return out;
+}
+
+std::string render_text(const std::vector<AccessibilityView>& view) {
+  std::string out;
+  std::string last_kind;
+  for (const auto& entry : view) {
+    if (entry.kind != last_kind) {
+      out += (entry.kind == "sense" ? "By sense:\n" : "By medium:\n");
+      last_kind = entry.kind;
+    }
+    out += "  " + entry.term + " (" +
+           std::to_string(entry.activities.size()) + ")\n";
+    append_pages(out, entry.activities);
+  }
+  return out;
+}
+
+}  // namespace pdcu::core

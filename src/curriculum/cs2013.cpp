@@ -1,0 +1,293 @@
+#include "pdcu/curriculum/cs2013.hpp"
+
+#include <cctype>
+
+namespace pdcu::cur {
+
+std::vector<std::string> KnowledgeUnit::all_detail_terms() const {
+  std::vector<std::string> out;
+  out.reserve(outcomes.size());
+  for (const auto& lo : outcomes) out.push_back(detail_term(lo.number));
+  return out;
+}
+
+namespace {
+
+KnowledgeUnit make_unit(std::string abbrev, std::string term,
+                        std::string name, bool elective,
+                        std::vector<std::pair<std::string, Tier>> outcomes) {
+  KnowledgeUnit unit;
+  unit.abbrev = std::move(abbrev);
+  unit.term = std::move(term);
+  unit.name = std::move(name);
+  unit.elective = elective;
+  int n = 1;
+  for (auto& [text, tier] : outcomes) {
+    unit.outcomes.push_back(LearningOutcome{n++, std::move(text), tier});
+  }
+  return unit;
+}
+
+}  // namespace
+
+Cs2013Catalog::Cs2013Catalog() {
+  using T = Tier;
+  // 1. Parallelism Fundamentals — 3 outcomes (Table I row 1).
+  units_.push_back(make_unit(
+      "PF", "PD_ParallelFundamentals", "Parallel Fundamentals", false,
+      {{"Distinguish using computational resources for a faster answer from "
+        "managing efficient access to a shared resource.",
+        T::kTier1},
+       {"Distinguish multiple sufficient programming constructs for "
+        "synchronization that may be inter-implementable but have "
+        "complementary advantages.",
+        T::kTier1},
+       {"Distinguish data races from higher level races.", T::kTier1}}));
+
+  // 2. Parallel Decomposition — 6 outcomes.
+  units_.push_back(make_unit(
+      "PD", "PD_ParallelDecomposition", "Parallel Decomposition", false,
+      {{"Explain why synchronization is necessary in a specific parallel "
+        "program.",
+        T::kTier1},
+       {"Identify opportunities to partition a serial program into "
+        "independent parallel modules.",
+        T::kTier1},
+       {"Write a correct and scalable parallel algorithm.", T::kTier2},
+       {"Parallelize an algorithm by applying task-based decomposition.",
+        T::kTier2},
+       {"Parallelize an algorithm by applying data-parallel decomposition.",
+        T::kTier2},
+       {"Write a program using actors and/or reactive processes.",
+        T::kTier2}}));
+
+  // 3. Communication and Coordination — 12 outcomes.
+  units_.push_back(make_unit(
+      "PCC", "PD_CommunicationCoordination",
+      "Parallel Communication and Coordination", false,
+      {{"Use mutual exclusion to avoid a given race condition.", T::kTier1},
+       {"Give an example of an ordering of accesses among concurrent "
+        "activities that is not sequentially consistent.",
+        T::kTier1},
+       {"Give an example of a scenario in which blocking message sends can "
+        "deadlock.",
+        T::kTier2},
+       {"Explain when and why multicast or event-based messaging can be "
+        "preferable to alternatives.",
+        T::kTier2},
+       {"Write a program that correctly terminates when all of a set of "
+        "concurrent tasks have completed.",
+        T::kTier2},
+       {"Give an example of a scenario in which an attempted optimistic "
+        "update may never complete.",
+        T::kTier2},
+       {"Use semaphores or condition variables to block threads until a "
+        "necessary precondition holds.",
+        T::kTier2},
+       {"Explain the differences between shared and distributed memory "
+        "communication styles.",
+        T::kElective},
+       {"Describe the general structure of consensus algorithms and their "
+        "uses.",
+        T::kElective},
+       {"Explain why no deterministic algorithm can reach consensus in an "
+        "asynchronous setting with failures.",
+        T::kElective},
+       {"Describe how message passing middleware provides delivery "
+        "guarantees.",
+        T::kElective},
+       {"Explain the tradeoff between latency and bandwidth in "
+        "communication-intensive programs.",
+        T::kElective}}));
+
+  // 4. Parallel Algorithms, Analysis, and Programming — 11 outcomes.
+  units_.push_back(make_unit(
+      "PAAP", "PD_ParallelAlgorithms",
+      "Parallel Algorithms, Analysis, and Programming", false,
+      {{"Define 'critical path', 'work', and 'span'.", T::kTier1},
+       {"Compute the work and span, and determine the critical path with "
+        "respect to a parallel execution diagram.",
+        T::kTier1},
+       {"Define 'speed-up' and explain the notion of an algorithm's "
+        "scalability in this regard.",
+        T::kTier2},
+       {"Identify independent tasks in a program that may be parallelized.",
+        T::kTier2},
+       {"Characterize features of a workload that allow or prevent it from "
+        "being naturally parallelized.",
+        T::kTier2},
+       {"Implement a parallel divide-and-conquer or graph algorithm and "
+        "empirically measure its performance relative to its sequential "
+        "analog.",
+        T::kTier2},
+       {"Decompose a problem via map and reduce operations.", T::kTier2},
+       {"Provide an example of a problem that fits the producer-consumer "
+        "paradigm.",
+        T::kElective},
+       {"Give examples of problems where pipelining would be an effective "
+        "means of parallelization.",
+        T::kElective},
+       {"Implement a parallel matrix algorithm.", T::kElective},
+       {"Identify issues that arise in producer-consumer algorithms and "
+        "mechanisms that may be used for addressing them.",
+        T::kElective}}));
+
+  // 5. Parallel Architecture — 8 outcomes.
+  units_.push_back(make_unit(
+      "PA", "PD_ParallelArchitecture", "Parallel Architecture", false,
+      {{"Explain the differences between shared and distributed memory.",
+        T::kTier1},
+       {"Describe the SMP architecture and note its key features.",
+        T::kTier2},
+       {"Characterize the kinds of tasks that are a natural match for SIMD "
+        "machines.",
+        T::kTier2},
+       {"Describe the advantages and limitations of GPUs vs. CPUs.",
+        T::kElective},
+       {"Explain the features of each classification in Flynn's taxonomy.",
+        T::kElective},
+       {"Describe classic multicore cache-coherence challenges such as "
+        "false sharing.",
+        T::kElective},
+       {"Describe the challenges in maintaining cache coherence.",
+        T::kElective},
+       {"Describe the key performance challenges in different memory and "
+        "distributed system topologies.",
+        T::kElective}}));
+
+  // 6. Parallel Performance (elective) — 7 outcomes.
+  units_.push_back(make_unit(
+      "PP", "PD_ParallelPerformance", "Parallel Performance", true,
+      {{"Detect and correct a load imbalance.", T::kElective},
+       {"Calculate the implications of Amdahl's law for a particular "
+        "parallel algorithm.",
+        T::kElective},
+       {"Describe how data distribution/layout can affect an algorithm's "
+        "communication costs.",
+        T::kElective},
+       {"Detect and correct an instance of false sharing.", T::kElective},
+       {"Explain the impact of scheduling on parallel performance.",
+        T::kElective},
+       {"Explain performance impacts of data locality.", T::kElective},
+       {"Explain the impact and tradeoff related to power usage on parallel "
+        "performance.",
+        T::kElective}}));
+
+  // 7. Distributed Systems (elective) — 9 outcomes.
+  units_.push_back(make_unit(
+      "DS", "PD_DistributedSystems", "Distributed Systems", true,
+      {{"Distinguish network faults from other kinds of failures.",
+        T::kElective},
+       {"Explain why synchronization constructs such as simple locks are "
+        "not useful in the presence of distributed faults.",
+        T::kElective},
+       {"Write a program that performs any required marshaling and "
+        "conversion into message units to communicate with another process.",
+        T::kElective},
+       {"Measure the observed throughput and response latency across hosts "
+        "in a given network.",
+        T::kElective},
+       {"Explain why no distributed system can be simultaneously consistent, "
+        "available, and partition tolerant.",
+        T::kElective},
+       {"Implement a simple server and a client that interacts with it.",
+        T::kElective},
+       {"Give examples of problems for which consensus algorithms such as "
+        "leader election are required.",
+        T::kElective},
+       {"Implement a distributed-system design using a reliable messaging "
+        "library.",
+        T::kElective},
+       {"Describe the relationship between consistency models and the "
+        "guarantees they provide.",
+        T::kElective}}));
+
+  // 8. Cloud Computing (elective) — 5 outcomes.
+  units_.push_back(make_unit(
+      "CC", "PD_CloudComputing", "Cloud Computing", true,
+      {{"Discuss the importance of elasticity and resource management in "
+        "cloud computing.",
+        T::kElective},
+       {"Explain strategies to synchronize a common view of shared data "
+        "across a collection of devices.",
+        T::kElective},
+       {"Explain the advantages and disadvantages of using virtualized "
+        "infrastructure.",
+        T::kElective},
+       {"Deploy an application that uses cloud infrastructure for computing "
+        "or data resources.",
+        T::kElective},
+       {"Appropriately partition an application between a client and "
+        "resources provided by a cloud service.",
+        T::kElective}}));
+
+  // 9. Formal Models and Semantics (elective) — 6 outcomes.
+  units_.push_back(make_unit(
+      "FM", "PD_FormalModels", "Formal Models and Semantics", true,
+      {{"Model a concurrent process using a formal model such as pi-calculus "
+        "or a transition system.",
+        T::kElective},
+       {"Explain the difference between safety properties and liveness "
+        "properties, giving an invariant for a concurrent algorithm.",
+        T::kElective},
+       {"Use a model to show that a concurrent algorithm is free of a given "
+        "defect such as deadlock.",
+        T::kElective},
+       {"Explain the semantics of conflict, enabling, and scheduling in a "
+        "formal model of concurrency.",
+        T::kElective},
+       {"State and prove correctness properties of a concurrent algorithm "
+        "using assertional reasoning.",
+        T::kElective},
+       {"Describe how a formal memory model constrains compiler and "
+        "hardware reordering.",
+        T::kElective}}));
+}
+
+const Cs2013Catalog& Cs2013Catalog::instance() {
+  static const Cs2013Catalog catalog;
+  return catalog;
+}
+
+const KnowledgeUnit* Cs2013Catalog::find_by_term(std::string_view term) const {
+  for (const auto& unit : units_) {
+    if (unit.term == term) return &unit;
+  }
+  return nullptr;
+}
+
+const KnowledgeUnit* Cs2013Catalog::find_by_abbrev(
+    std::string_view abbrev) const {
+  for (const auto& unit : units_) {
+    if (unit.abbrev == abbrev) return &unit;
+  }
+  return nullptr;
+}
+
+std::optional<Cs2013Catalog::OutcomeRef> Cs2013Catalog::resolve_detail_term(
+    std::string_view term) const {
+  std::size_t underscore = term.rfind('_');
+  if (underscore == std::string_view::npos) return std::nullopt;
+  std::string_view prefix = term.substr(0, underscore);
+  std::string_view digits = term.substr(underscore + 1);
+  if (digits.empty()) return std::nullopt;
+  int number = 0;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    number = number * 10 + (c - '0');
+  }
+  const KnowledgeUnit* unit = find_by_abbrev(prefix);
+  if (unit == nullptr) return std::nullopt;
+  for (const auto& outcome : unit->outcomes) {
+    if (outcome.number == number) return OutcomeRef{unit, &outcome};
+  }
+  return std::nullopt;
+}
+
+std::size_t Cs2013Catalog::total_outcomes() const {
+  std::size_t n = 0;
+  for (const auto& unit : units_) n += unit.outcomes.size();
+  return n;
+}
+
+}  // namespace pdcu::cur

@@ -1,0 +1,71 @@
+// Machine-readable catalog of the CS2013 "Parallel and Distributed
+// Computing" (PD) knowledge area.
+//
+// Knowledge-unit names, elective flags, and learning-outcome counts
+// (3/6/12/11/8/7/9/5/6) are taken from the paper's Table I; outcome texts
+// are reconstructed from the CS2013 curriculum guidelines. The catalog is
+// the denominator side of Table I: the curation provides the numerators.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::cur {
+
+/// CS2013 outcome tiers (Tier1 required, Tier2 80%+, Elective significant).
+enum class Tier { kTier1, kTier2, kElective };
+
+/// One learning outcome within a knowledge unit.
+struct LearningOutcome {
+  int number = 0;      ///< 1-based position within the unit
+  std::string text;    ///< outcome statement
+  Tier tier = Tier::kTier1;
+};
+
+/// One knowledge unit of the PD knowledge area.
+struct KnowledgeUnit {
+  std::string abbrev;  ///< detail-term prefix, e.g. "PF", "PD", "PCC"
+  std::string term;    ///< cs2013 taxonomy term, e.g. "PD_ParallelDecomposition"
+  std::string name;    ///< display name, e.g. "Parallel Decomposition"
+  bool elective = false;
+  std::vector<LearningOutcome> outcomes;
+
+  /// Detail-taxonomy term for outcome n, e.g. "PD_3" (§II.B of the paper).
+  std::string detail_term(int outcome_number) const {
+    return abbrev + "_" + std::to_string(outcome_number);
+  }
+
+  /// All detail terms for this unit, in outcome order.
+  std::vector<std::string> all_detail_terms() const;
+};
+
+/// The full PD knowledge area.
+class Cs2013Catalog {
+ public:
+  /// The singleton catalog (immutable after construction).
+  static const Cs2013Catalog& instance();
+
+  const std::vector<KnowledgeUnit>& units() const { return units_; }
+
+  const KnowledgeUnit* find_by_term(std::string_view term) const;
+  const KnowledgeUnit* find_by_abbrev(std::string_view abbrev) const;
+
+  /// Parses a detail term like "PCC_4" into (unit, outcome); nullopt when
+  /// the prefix or the outcome number is unknown.
+  struct OutcomeRef {
+    const KnowledgeUnit* unit;
+    const LearningOutcome* outcome;
+  };
+  std::optional<OutcomeRef> resolve_detail_term(std::string_view term) const;
+
+  /// Total learning outcomes across all units (67 in this catalog).
+  std::size_t total_outcomes() const;
+
+ private:
+  Cs2013Catalog();
+  std::vector<KnowledgeUnit> units_;
+};
+
+}  // namespace pdcu::cur

@@ -1,0 +1,83 @@
+// Machine-readable catalog of the 2012 NSF/IEEE-TCPP PDC curriculum topics
+// recommended for core courses (CS1, CS2, DSA, Systems).
+//
+// Topic-area names and core-topic counts (Architecture 22, Programming 37,
+// Algorithms 26, Crosscutting 12) are taken from the paper's Table II; the
+// sub-category structure follows §III.C (Architecture: Classes / Memory
+// Hierarchy / Floating-Point Representation / Performance Metrics;
+// Programming: Paradigms and Notations / Correctness / Performance;
+// Algorithms: PD Models and Complexity / Algorithmic Paradigms / Algorithmic
+// Problems). Topic wording is reconstructed from the TCPP 2012 report.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::cur {
+
+/// Bloom classification used by the TCPP report and the tcppdetails
+/// taxonomy: K = Know, C = Comprehend, A = Apply (§II.B).
+enum class Bloom { kKnow, kComprehend, kApply };
+
+/// The Bloom prefix letter used in tcppdetails terms ("C_Speedup").
+char bloom_letter(Bloom bloom);
+
+/// One TCPP topic recommended for core courses.
+struct TcppTopic {
+  std::string short_name;  ///< CamelCase id, unique, e.g. "Speedup"
+  Bloom bloom = Bloom::kKnow;
+  std::string description;
+  std::vector<std::string> courses;  ///< recommended core courses
+
+  /// tcppdetails taxonomy term, e.g. "C_Speedup".
+  std::string term() const {
+    return std::string(1, bloom_letter(bloom)) + "_" + short_name;
+  }
+};
+
+/// A sub-category within a topic area (e.g. "Memory Hierarchy").
+struct TcppCategory {
+  std::string name;
+  std::vector<TcppTopic> topics;
+};
+
+/// One of the four TCPP topic areas.
+struct TcppArea {
+  std::string term;  ///< tcpp taxonomy term, e.g. "TCPP_Algorithms"
+  std::string name;  ///< display name, e.g. "Algorithms"
+  std::vector<TcppCategory> categories;
+
+  std::size_t topic_count() const;
+  std::vector<const TcppTopic*> all_topics() const;
+};
+
+/// The four-area TCPP core-course catalog.
+class TcppCatalog {
+ public:
+  static const TcppCatalog& instance();
+
+  const std::vector<TcppArea>& areas() const { return areas_; }
+
+  const TcppArea* find_area(std::string_view term) const;
+
+  struct TopicRef {
+    const TcppArea* area;
+    const TcppCategory* category;
+    const TcppTopic* topic;
+  };
+  /// Resolves a tcppdetails term like "C_Speedup"; nullptr members when
+  /// unknown.
+  const TcppTopic* resolve_detail_term(std::string_view term) const;
+  /// Full resolution including area and category.
+  TopicRef resolve_detail_term_full(std::string_view term) const;
+
+  /// Total topics across all areas (97 in this catalog).
+  std::size_t total_topics() const;
+
+ private:
+  TcppCatalog();
+  std::vector<TcppArea> areas_;
+};
+
+}  // namespace pdcu::cur

@@ -1,0 +1,29 @@
+// Controlled vocabularies for the courses, senses, and medium taxonomies
+// (§II.B of the paper), plus validation helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::cur {
+
+/// Course terms: K-12 activities use "K_12"; college courses have their own
+/// terms. Order matches the paper's §III.A reporting order.
+const std::vector<std::string>& course_terms();
+
+/// Sense terms engaged by an activity. "accessible" marks activities judged
+/// presentable to a diverse range of populations with minimal modification.
+const std::vector<std::string>& sense_terms();
+
+/// Medium terms: communication medium used by the activity (hidden taxonomy).
+const std::vector<std::string>& medium_terms();
+
+bool is_course_term(std::string_view term);
+bool is_sense_term(std::string_view term);
+bool is_medium_term(std::string_view term);
+
+/// Display names for course terms ("K_12" -> "K-12").
+std::string course_display_name(std::string_view term);
+
+}  // namespace pdcu::cur

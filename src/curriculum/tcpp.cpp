@@ -1,0 +1,336 @@
+#include "pdcu/curriculum/tcpp.hpp"
+
+namespace pdcu::cur {
+
+char bloom_letter(Bloom bloom) {
+  switch (bloom) {
+    case Bloom::kKnow: return 'K';
+    case Bloom::kComprehend: return 'C';
+    case Bloom::kApply: return 'A';
+  }
+  return '?';
+}
+
+std::size_t TcppArea::topic_count() const {
+  std::size_t n = 0;
+  for (const auto& cat : categories) n += cat.topics.size();
+  return n;
+}
+
+std::vector<const TcppTopic*> TcppArea::all_topics() const {
+  std::vector<const TcppTopic*> out;
+  for (const auto& cat : categories) {
+    for (const auto& topic : cat.topics) out.push_back(&topic);
+  }
+  return out;
+}
+
+namespace {
+
+TcppTopic topic(std::string short_name, Bloom bloom, std::string description,
+                std::vector<std::string> courses) {
+  return TcppTopic{std::move(short_name), bloom, std::move(description),
+                   std::move(courses)};
+}
+
+}  // namespace
+
+TcppCatalog::TcppCatalog() {
+  using B = Bloom;
+  const std::vector<std::string> kSys = {"Systems"};
+  const std::vector<std::string> kCs2Sys = {"CS2", "Systems"};
+  const std::vector<std::string> kCore = {"CS1", "CS2", "DSA", "Systems"};
+  const std::vector<std::string> kAlgo = {"CS2", "DSA"};
+  const std::vector<std::string> kIntro = {"CS1", "CS2"};
+
+  // --- Architecture: 22 core topics --------------------------------------
+  TcppArea arch;
+  arch.term = "TCPP_Architecture";
+  arch.name = "Architecture";
+  arch.categories.push_back(
+      {"Classes",
+       {topic("FlynnTaxonomy", B::kKnow,
+              "Flynn's taxonomy: SISD, SIMD, MISD, MIMD.", kSys),
+        topic("DataVsControlParallelism", B::kComprehend,
+              "Data parallelism versus control parallelism.", kCs2Sys),
+        topic("Superscalar", B::kKnow,
+              "Superscalar and instruction-level parallelism.", kSys),
+        topic("SIMD", B::kKnow, "SIMD and vector units.", kSys),
+        topic("Pipelines", B::kComprehend,
+              "Pipelined functional units and processors.", kSys),
+        topic("MIMD", B::kKnow, "MIMD multiprocessors and clusters.", kSys),
+        topic("Multicore", B::kKnow, "Multicore processors.", kCore),
+        topic("Heterogeneous", B::kKnow,
+              "Heterogeneous processing elements (CPU + accelerator).",
+              kSys)}});
+  arch.categories.push_back(
+      {"Memory Hierarchy",
+       {topic("CacheOrganization", B::kComprehend,
+              "Cache levels and organization.", kSys),
+        topic("LatencyBandwidth", B::kComprehend,
+              "Memory and interconnect latency versus bandwidth.", kSys),
+        topic("SharedVsDistributedMemory", B::kComprehend,
+              "Shared-memory versus distributed-memory organizations.",
+              kCs2Sys),
+        topic("Atomicity", B::kKnow,
+              "Atomic memory operations and their hardware support.", kSys),
+        topic("CacheCoherence", B::kKnow,
+              "The cache-coherence problem and protocols.", kSys),
+        topic("FalseSharing", B::kKnow,
+              "False sharing and its performance impact.", kSys)}});
+  arch.categories.push_back(
+      {"Floating-Point Representation",
+       {topic("FloatRange", B::kKnow, "Range of representable values.", kSys),
+        topic("FloatPrecision", B::kKnow,
+              "Precision and machine epsilon.", kSys),
+        topic("FloatRounding", B::kKnow,
+              "Rounding modes and accumulated rounding error.", kSys),
+        topic("Ieee754", B::kKnow, "The IEEE 754 standard formats.", kSys)}});
+  arch.categories.push_back(
+      {"Performance Metrics",
+       {topic("CyclesPerInstruction", B::kKnow,
+              "Cycles per instruction as a performance measure.", kSys),
+        topic("Benchmarks", B::kKnow,
+              "Benchmark suites (e.g. LINPACK-style) and their use.", kSys),
+        topic("PeakPerformance", B::kKnow,
+              "Peak performance and its marketing pitfalls.", kSys),
+        topic("SustainedPerformance", B::kKnow,
+              "Sustained versus peak performance (MIPS/FLOPS).", kSys)}});
+  areas_.push_back(std::move(arch));
+
+  // --- Programming: 37 core topics ---------------------------------------
+  TcppArea prog;
+  prog.term = "TCPP_Programming";
+  prog.name = "Programming";
+  prog.categories.push_back(
+      {"Paradigms and Notations",
+       {topic("SIMDNotation", B::kKnow,
+              "Programming SIMD units via intrinsics or array notation.",
+              kSys),
+        topic("SharedMemoryCompilerDirectives", B::kComprehend,
+              "Shared-memory programming with compiler directives "
+              "(OpenMP-style pragmas).",
+              kCs2Sys),
+        topic("SharedMemoryLibraries", B::kComprehend,
+              "Shared-memory programming with threading libraries "
+              "(TBB-style tasks, thread pools).",
+              kCs2Sys),
+        topic("SharedMemoryLanguageExtensions", B::kKnow,
+              "Shared-memory language extensions (e.g. parallel blocks).",
+              kCs2Sys),
+        topic("MessagePassing", B::kComprehend,
+              "Distributed-memory message passing (MPI-style send/receive).",
+              kCs2Sys),
+        topic("ClientServer", B::kComprehend,
+              "Client-server and remote-procedure structuring.", kCs2Sys),
+        topic("Hybrid", B::kKnow,
+              "Hybrid shared/distributed-memory programs.", kSys),
+        topic("FunctionalDataflow", B::kKnow,
+              "Functional and dataflow parallel programming.", kAlgo),
+        topic("GpuOffload", B::kKnow,
+              "Offloading kernels to accelerators.", kSys),
+        topic("TaskSpawn", B::kComprehend,
+              "Creating tasks and threads (spawn/join).", kIntro),
+        topic("ParallelLoops", B::kComprehend,
+              "Parallel loops and iteration-space partitioning.", kIntro),
+        topic("SPMD", B::kComprehend,
+              "The single-program multiple-data execution style.", kCs2Sys),
+        topic("VectorExtensions", B::kKnow,
+              "Processor vector extensions and their compilers.", kSys),
+        topic("DataParallelNotation", B::kComprehend,
+              "Data-parallel collective notation (map over collections).",
+              kIntro)}});
+  prog.categories.push_back(
+      {"Correctness",
+       {topic("TasksAndThreads", B::kComprehend,
+              "Tasks and threads as units of concurrent execution.", kCore),
+        topic("Synchronization", B::kComprehend,
+              "Synchronization constructs and when each applies.", kCore),
+        topic("CriticalRegions", B::kComprehend,
+              "Critical regions and mutual exclusion.", kCore),
+        topic("ProducerConsumer", B::kComprehend,
+              "Producer-consumer coordination and bounded buffers.", kAlgo),
+        topic("Monitors", B::kKnow,
+              "Monitors, semaphores, and condition synchronization.",
+              kCs2Sys),
+        topic("Deadlock", B::kComprehend,
+              "Deadlock: conditions, avoidance, and detection.", kCs2Sys),
+        topic("DataRaces", B::kComprehend,
+              "Data races and how to eliminate them.", kCore),
+        topic("HigherLevelRaces", B::kKnow,
+              "Higher-level races (atomicity violations beyond data races).",
+              kCs2Sys),
+        topic("MemoryModels", B::kKnow,
+              "Memory models and visibility of writes.", kSys),
+        topic("SequentialConsistency", B::kKnow,
+              "Sequential consistency as a reasoning model.", kSys),
+        topic("ConcurrencyDefects", B::kComprehend,
+              "Recognizing and documenting concurrency defects.", kCs2Sys)}});
+  prog.categories.push_back(
+      {"Performance",
+       {topic("ComputationDecomposition", B::kComprehend,
+              "Decomposing computation into concurrent units.", kCore),
+        topic("StaticLoadBalancing", B::kComprehend,
+              "Static work distribution.", kAlgo),
+        topic("DynamicLoadBalancing", B::kComprehend,
+              "Dynamic work distribution and work queues.", kAlgo),
+        topic("Scheduling", B::kKnow,
+              "Scheduling policies and their performance effects.", kSys),
+        topic("DataLocality", B::kKnow,
+              "Exploiting data locality in parallel programs.", kSys),
+        topic("CommunicationOverhead", B::kComprehend,
+              "Communication overhead: latency, bandwidth, and message "
+              "aggregation.",
+              kCs2Sys),
+        topic("Speedup", B::kComprehend,
+              "Speedup and what limits it.", kCore),
+        topic("Efficiency", B::kKnow,
+              "Parallel efficiency and resource utilization.", kAlgo),
+        topic("AmdahlsLaw", B::kComprehend,
+              "Amdahl's law and serial fractions.", kCs2Sys),
+        topic("Scalability", B::kKnow,
+              "Strong and weak scalability.", kSys),
+        topic("PerformanceMeasurement", B::kKnow,
+              "Measuring parallel performance credibly.", kSys),
+        topic("EnergyEfficiency", B::kKnow,
+              "Energy as a performance constraint.", kSys)}});
+  areas_.push_back(std::move(prog));
+
+  // --- Algorithms: 26 core topics ----------------------------------------
+  TcppArea algo;
+  algo.term = "TCPP_Algorithms";
+  algo.name = "Algorithms";
+  algo.categories.push_back(
+      {"Parallel and Distributed Models and Complexity",
+       {topic("CostsOfComputation", B::kComprehend,
+              "Costs of computation: time, space, energy, communication.",
+              kAlgo),
+        topic("Asymptotics", B::kComprehend,
+              "Asymptotic analysis of parallel algorithms.", kAlgo),
+        topic("Work", B::kKnow, "Total work of a parallel computation.",
+              kAlgo),
+        topic("SpanMakespan", B::kKnow,
+              "Span / makespan and the critical path.", kAlgo),
+        topic("CostReduction", B::kKnow,
+              "Cost reduction via parallelism (work-optimal designs).",
+              kAlgo),
+        topic("PRAM", B::kKnow, "The PRAM model and its variants.", kAlgo),
+        topic("BSP", B::kKnow, "Bulk-synchronous and CTA-style models.",
+              kAlgo),
+        topic("DependenciesDAG", B::kComprehend,
+              "Dependency graphs and what they permit to run in parallel.",
+              kAlgo),
+        topic("CommunicationCost", B::kComprehend,
+              "Counting communication as a first-class algorithmic cost.",
+              kAlgo),
+        topic("Nondeterminism", B::kComprehend,
+              "Nondeterminism in parallel executions and correctness "
+              "arguments that tolerate it.",
+              kAlgo),
+        topic("SchedulingTheory", B::kKnow,
+              "Scheduling theory: greedy schedulers and bounds.", kAlgo)}});
+  algo.categories.push_back(
+      {"Algorithmic Paradigms",
+       {topic("DivideAndConquer", B::kApply,
+              "Parallel divide and conquer.", kAlgo),
+        topic("MasterWorker", B::kComprehend,
+              "Master-worker task distribution.", kAlgo),
+        topic("PipelineParadigm", B::kComprehend,
+              "Pipelined algorithm organization.", kAlgo),
+        topic("ParallelRecursion", B::kKnow,
+              "Parallel aspects of recursion.", kAlgo),
+        topic("Reduction", B::kComprehend,
+              "Reduction as an algorithmic paradigm.", kAlgo),
+        topic("BarrierParadigm", B::kKnow,
+              "Bulk-synchronous phases separated by barriers.", kAlgo),
+        topic("Scan", B::kKnow, "Parallel prefix (scan).", kAlgo)}});
+  algo.categories.push_back(
+      {"Algorithmic Problems",
+       {topic("Sorting", B::kApply, "Parallel sorting.", kAlgo),
+        topic("Search", B::kApply, "Parallel search.", kAlgo),
+        topic("MinMaxFinding", B::kApply,
+              "Finding a minimum or maximum in parallel.", kIntro),
+        topic("MatrixComputations", B::kComprehend,
+              "Parallel matrix computations.", kAlgo),
+        topic("LeaderElection", B::kComprehend,
+              "Leader election in rings and general networks.", kAlgo),
+        topic("MutualExclusionProblem", B::kComprehend,
+              "Mutual exclusion as a distributed problem.", kAlgo),
+        topic("BroadcastMulticast", B::kComprehend,
+              "Broadcast and multicast communication constructs.", kAlgo),
+        topic("ScatterGather", B::kComprehend,
+              "Scatter/gather communication constructs.", kAlgo)}});
+  areas_.push_back(std::move(algo));
+
+  // --- Crosscutting and Advanced Topics: 12 core topics ------------------
+  TcppArea cross;
+  cross.term = "TCPP_Crosscutting";
+  cross.name = "Crosscutting and Advanced Topics";
+  cross.categories.push_back(
+      {"Crosscutting",
+       {topic("WhyAndWhatIsPDC", B::kKnow,
+              "Know why and what is parallel/distributed computing.", kCore),
+        topic("CrosscuttingConcurrency", B::kComprehend,
+              "Concurrency as a pervasive phenomenon.", kCore),
+        topic("CrosscuttingNondeterminism", B::kKnow,
+              "Nondeterminism across the computing stack.", kAlgo),
+        topic("Locality", B::kKnow,
+              "Locality as a crosscutting concern.", kSys),
+        topic("FaultTolerance", B::kKnow,
+              "Fault tolerance and self-stabilization.", kAlgo),
+        topic("SafetyLiveness", B::kComprehend,
+              "Safety and liveness properties of concurrent systems.",
+              kAlgo)}});
+  cross.categories.push_back(
+      {"Advanced (core-course recommended)",
+       {topic("ConsensusAgreement", B::kComprehend,
+              "Agreement in the presence of faulty processes.", kAlgo),
+        topic("DistributedCoordination", B::kComprehend,
+              "Coordinating distributed replicas of shared state.", kCs2Sys),
+        topic("SelfStabilization", B::kKnow,
+              "Self-stabilizing algorithms.", kAlgo),
+        topic("WebSearch", B::kKnow,
+              "How parallel/distributed web search works.", kIntro),
+        topic("PeerToPeer", B::kKnow,
+              "Peer-to-peer system organization.", kCs2Sys),
+        topic("CloudGrid", B::kKnow,
+              "Cloud and grid computing models.", kCs2Sys)}});
+  areas_.push_back(std::move(cross));
+}
+
+const TcppCatalog& TcppCatalog::instance() {
+  static const TcppCatalog catalog;
+  return catalog;
+}
+
+const TcppArea* TcppCatalog::find_area(std::string_view term) const {
+  for (const auto& area : areas_) {
+    if (area.term == term) return &area;
+  }
+  return nullptr;
+}
+
+const TcppTopic* TcppCatalog::resolve_detail_term(
+    std::string_view term) const {
+  return resolve_detail_term_full(term).topic;
+}
+
+TcppCatalog::TopicRef TcppCatalog::resolve_detail_term_full(
+    std::string_view term) const {
+  for (const auto& area : areas_) {
+    for (const auto& cat : area.categories) {
+      for (const auto& t : cat.topics) {
+        if (t.term() == term) return TopicRef{&area, &cat, &t};
+      }
+    }
+  }
+  return TopicRef{nullptr, nullptr, nullptr};
+}
+
+std::size_t TcppCatalog::total_topics() const {
+  std::size_t n = 0;
+  for (const auto& area : areas_) n += area.topic_count();
+  return n;
+}
+
+}  // namespace pdcu::cur

@@ -1,0 +1,48 @@
+#include "pdcu/curriculum/terms.hpp"
+
+#include <algorithm>
+
+namespace pdcu::cur {
+
+namespace {
+bool contains(const std::vector<std::string>& v, std::string_view term) {
+  return std::any_of(v.begin(), v.end(),
+                     [&](const std::string& s) { return s == term; });
+}
+}  // namespace
+
+const std::vector<std::string>& course_terms() {
+  static const std::vector<std::string> kTerms = {"K_12", "CS0", "CS1",
+                                                  "CS2",  "DSA", "Systems"};
+  return kTerms;
+}
+
+const std::vector<std::string>& sense_terms() {
+  static const std::vector<std::string> kTerms = {
+      "visual", "touch", "movement", "sound", "accessible"};
+  return kTerms;
+}
+
+const std::vector<std::string>& medium_terms() {
+  static const std::vector<std::string> kTerms = {
+      "analogy", "role-play", "game",  "paper", "board",
+      "cards",   "pens",      "coins", "food",  "instruments"};
+  return kTerms;
+}
+
+bool is_course_term(std::string_view term) {
+  return contains(course_terms(), term);
+}
+bool is_sense_term(std::string_view term) {
+  return contains(sense_terms(), term);
+}
+bool is_medium_term(std::string_view term) {
+  return contains(medium_terms(), term);
+}
+
+std::string course_display_name(std::string_view term) {
+  if (term == "K_12") return "K-12";
+  return std::string(term);
+}
+
+}  // namespace pdcu::cur

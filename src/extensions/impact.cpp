@@ -1,0 +1,115 @@
+#include "pdcu/extensions/impact.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/core/gaps.hpp"
+#include "pdcu/extensions/proposed.hpp"
+#include "pdcu/support/text_table.hpp"
+
+namespace pdcu::ext {
+
+std::vector<core::Activity> extended_curation() {
+  std::vector<core::Activity> all = core::curation();
+  const auto& proposed = proposed_activities();
+  all.insert(all.end(), proposed.begin(), proposed.end());
+  return all;
+}
+
+std::vector<ImpactRow> cs2013_impact() {
+  core::CoverageAnalyzer before(core::curation());
+  auto extended = extended_curation();
+  core::CoverageAnalyzer after(extended);
+  auto before_rows = before.cs2013_table();
+  auto after_rows = after.cs2013_table();
+  std::vector<ImpactRow> out;
+  for (std::size_t i = 0; i < before_rows.size(); ++i) {
+    out.push_back({before_rows[i].unit_name, before_rows[i].num_outcomes,
+                   before_rows[i].covered_outcomes,
+                   after_rows[i].covered_outcomes});
+  }
+  return out;
+}
+
+std::vector<ImpactRow> tcpp_impact() {
+  core::CoverageAnalyzer before(core::curation());
+  auto extended = extended_curation();
+  core::CoverageAnalyzer after(extended);
+  auto before_rows = before.tcpp_table();
+  auto after_rows = after.tcpp_table();
+  std::vector<ImpactRow> out;
+  for (std::size_t i = 0; i < before_rows.size(); ++i) {
+    out.push_back({before_rows[i].area_name, before_rows[i].num_topics,
+                   before_rows[i].covered_topics,
+                   after_rows[i].covered_topics});
+  }
+  return out;
+}
+
+std::vector<std::string> gaps_closed() {
+  core::GapFinder before(core::curation());
+  auto extended = extended_curation();
+  core::GapFinder after(extended);
+
+  std::set<std::string> still_open;
+  for (const auto& gap : after.uncovered_outcomes()) {
+    still_open.insert(gap.detail_term);
+  }
+  for (const auto& gap : after.uncovered_topics()) {
+    still_open.insert(gap.detail_term);
+  }
+
+  std::vector<std::string> closed;
+  for (const auto& gap : before.uncovered_outcomes()) {
+    if (still_open.count(gap.detail_term) == 0) {
+      closed.push_back(gap.detail_term);
+    }
+  }
+  for (const auto& gap : before.uncovered_topics()) {
+    if (still_open.count(gap.detail_term) == 0) {
+      closed.push_back(gap.detail_term);
+    }
+  }
+  return closed;
+}
+
+std::string render_impact_report() {
+  std::string out =
+      "Coverage impact of the " +
+      std::to_string(proposed_activities().size()) +
+      " proposed gap-filling activities\n\n";
+
+  TextTable cs2013({"Knowledge Unit", "Before", "After", "Gained"});
+  for (std::size_t c = 1; c <= 3; ++c) cs2013.set_align(c, Align::kRight);
+  for (const auto& row : cs2013_impact()) {
+    cs2013.add_row({row.name,
+                    std::to_string(row.covered_before) + "/" +
+                        std::to_string(row.total),
+                    std::to_string(row.covered_after) + "/" +
+                        std::to_string(row.total),
+                    row.gained() == 0 ? "" : "+" +
+                                                 std::to_string(row.gained())});
+  }
+  out += "CS2013 (Table I revisited):\n" + cs2013.render() + "\n";
+
+  TextTable tcpp({"Topic Area", "Before", "After", "Gained"});
+  for (std::size_t c = 1; c <= 3; ++c) tcpp.set_align(c, Align::kRight);
+  for (const auto& row : tcpp_impact()) {
+    tcpp.add_row({row.name,
+                  std::to_string(row.covered_before) + "/" +
+                      std::to_string(row.total),
+                  std::to_string(row.covered_after) + "/" +
+                      std::to_string(row.total),
+                  row.gained() == 0 ? "" : "+" +
+                                               std::to_string(row.gained())});
+  }
+  out += "TCPP (Table II revisited):\n" + tcpp.render() + "\n";
+
+  out += "Gaps closed:";
+  for (const auto& term : gaps_closed()) out += " " + term;
+  out += "\n";
+  return out;
+}
+
+}  // namespace pdcu::ext

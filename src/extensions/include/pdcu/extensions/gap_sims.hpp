@@ -1,0 +1,121 @@
+// Executable simulations for the proposed gap-filling activities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pdcu/runtime/classroom.hpp"
+
+namespace pdcu::ext {
+
+// --- HumanScan: parallel prefix (fills the K_Scan / paradigms gap) ----------
+
+struct ScanResult {
+  std::vector<std::int64_t> prefix;  ///< inclusive prefix sums
+  int rounds = 0;                    ///< ceil(log2 n) doubling rounds
+  rt::RunCost cost;
+};
+
+/// Hillis-Steele doubling scan: in round k every student adds the value
+/// held 2^k places to their left. One student per element.
+ScanResult human_scan(const std::vector<std::int64_t>& values,
+                      rt::TraceLog* trace = nullptr);
+
+// --- BucketBrigade: scatter/gather + broadcast constructs --------------------
+
+struct BrigadeResult {
+  std::int64_t naive_makespan = 0;  ///< teacher hands every item personally
+  std::int64_t tree_makespan = 0;   ///< binomial scatter + gather
+  bool all_delivered = false;
+  bool totals_match = false;
+};
+
+/// The teacher distributes `items` worksheets to `students` and collects
+/// marked totals back, first walking to each student (linear), then via a
+/// bucket-brigade tree (scatter/gather). Fills the C_ScatterGather and
+/// C_BroadcastMulticast gaps.
+BrigadeResult bucket_brigade(int students, int items,
+                             rt::TraceLog* trace = nullptr);
+
+// --- LibraryWebSearch: how parallel web search works -------------------------
+
+struct WebSearchResult {
+  std::vector<std::int64_t> top_docs;  ///< ids, best first
+  bool matches_serial_oracle = false;
+  rt::RunCost cost;
+  std::int64_t shards = 0;
+};
+
+/// Index shards (students with card boxes) score a query locally and the
+/// aggregator merges per-shard top-k lists — the scatter/score/merge
+/// structure of a web search. Fills the K_WebSearch gap.
+WebSearchResult web_search(int shards, int docs_per_shard, int top_k,
+                           std::uint64_t seed);
+
+// --- GossipPeerToPeer: peer-to-peer lookup -----------------------------------
+
+struct P2pResult {
+  bool found = false;
+  int hops = 0;            ///< hops taken by the finger-table route
+  int linear_hops = 0;     ///< hops a naive ring walk would take
+  int max_possible = 0;    ///< ring size
+};
+
+/// A ring of students each knowing successors at distance 1, 2, 4, ...
+/// (a human Chord): routing a request reaches the owner in O(log n) hops
+/// versus O(n) for pass-to-your-neighbour. Fills the K_PeerToPeer gap.
+P2pResult p2p_lookup(int peers, int start, int target_key);
+
+// --- FoodTruckElasticity: cloud elasticity ------------------------------------
+
+struct ElasticityResult {
+  int max_queue_static = 0;    ///< worst queue with fixed trucks
+  int max_queue_elastic = 0;   ///< worst queue with autoscaling
+  std::int64_t truck_minutes_static = 0;   ///< resources paid for
+  std::int64_t truck_minutes_elastic = 0;
+  int scale_ups = 0;
+  int scale_downs = 0;
+};
+
+/// A lunch rush hits a row of food trucks. Fixed provisioning either
+/// starves the queue or wastes idle trucks; elastic provisioning opens a
+/// truck when the queue passes `scale_up_at` and closes one when it falls
+/// below `scale_down_at`. Fills the Cloud Computing / K_CloudGrid gap.
+ElasticityResult food_truck_rush(int fixed_trucks, int minutes,
+                                 int scale_up_at, int scale_down_at,
+                                 std::uint64_t seed);
+
+// --- PhoneBatteryBudget: power as a constraint ---------------------------------
+
+struct PowerResult {
+  std::int64_t fast_energy = 0;   ///< race-to-idle at high frequency
+  std::int64_t slow_energy = 0;   ///< stretch at low frequency
+  std::int64_t fast_time = 0;
+  std::int64_t slow_time = 0;
+  bool deadline_met_slow = false;
+};
+
+/// Finish `work` units before `deadline` on a phone. Running at frequency
+/// f costs f^3 + static_power per time unit (dynamic plus leakage) and
+/// retires f work units; once done the phone deep-sleeps for free.
+/// Students discover that stretching wins when leakage is negligible and
+/// race-to-idle wins when it dominates. Fills the PP_7 power gap.
+PowerResult battery_budget(std::int64_t work, std::int64_t deadline,
+                           std::int64_t static_power);
+
+// --- BankTransferRace: higher-level races (PF_3) --------------------------------
+
+struct TransferResult {
+  int trials = 0;
+  int invariant_violations = 0;  ///< money created or destroyed
+  bool data_race_free = true;    ///< every single access was atomic
+};
+
+/// Two tellers move money between accounts using individually-atomic
+/// reads and writes — no data race anywhere — yet the transfer invariant
+/// (total balance constant) breaks: a *higher-level* race. With a
+/// transaction lock the invariant holds. Fills the PF_3 gap.
+TransferResult bank_transfer_race(int trials, bool transactional,
+                                  std::uint64_t seed);
+
+}  // namespace pdcu::ext

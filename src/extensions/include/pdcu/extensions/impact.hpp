@@ -1,0 +1,38 @@
+// Coverage-impact analysis: what the proposed activities would do to
+// Tables I and II — the "gauge the level of potential impact" workflow the
+// paper describes for activity authors (§II.C), computed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/core/coverage.hpp"
+
+namespace pdcu::ext {
+
+/// Before/after coverage for one knowledge unit or topic area.
+struct ImpactRow {
+  std::string name;
+  std::size_t total;           ///< outcomes or topics
+  std::size_t covered_before;
+  std::size_t covered_after;
+
+  std::size_t gained() const { return covered_after - covered_before; }
+};
+
+/// The combined curation: the 38-activity snapshot plus the proposals.
+std::vector<core::Activity> extended_curation();
+
+/// Table I impact (9 rows).
+std::vector<ImpactRow> cs2013_impact();
+
+/// Table II impact (4 rows).
+std::vector<ImpactRow> tcpp_impact();
+
+/// Gap terms closed by the proposals (previously uncovered, now covered).
+std::vector<std::string> gaps_closed();
+
+/// Renders the full before/after report.
+std::string render_impact_report();
+
+}  // namespace pdcu::ext

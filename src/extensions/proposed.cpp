@@ -1,0 +1,208 @@
+#include "pdcu/extensions/proposed.hpp"
+
+#include "../core/curation_parts.hpp"
+
+namespace pdcu::ext {
+
+namespace {
+
+const char* kThisRepo =
+    "PDCunplugged-C++ reproduction, proposed gap-filling activities, 2020.";
+
+std::vector<core::Activity> build() {
+  using core::detail::ActivitySpec;
+  using core::detail::expand;
+  std::vector<core::Activity> out;
+
+  out.push_back(expand(ActivitySpec{
+      "HumanScan",
+      2020,
+      "2020-03-01",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "Students in a row hold numbers. In round k, every student "
+      "simultaneously shows their running total to the student 2^k places "
+      "to the right, then adds what arrived from 2^k places to the left. "
+      "After ceil(log2 n) rounds every student holds the prefix sum of "
+      "the row - the Hillis-Steele parallel scan, kinesthetically. Fills "
+      "the parallel-prefix hole in the Algorithmic Paradigms category "
+      "(SSIII.C).",
+      "Standing row with simultaneous exchanges; a seated variant passes "
+      "running-total slips along desk rows.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PD_5", "PAAP_4"},
+      {"K_Scan", "C_ComputationDecomposition"},
+      {"CS2", "DSA"},
+      {"movement", "visual"},
+      {"role-play", "cards"},
+      "human_scan"}));
+
+  out.push_back(expand(ActivitySpec{
+      "BucketBrigadeScatterGather",
+      2020,
+      "2020-03-01",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "A teacher must hand a worksheet stack to every student and collect "
+      "marked totals back. First the teacher walks to each desk in turn; "
+      "then the class forms a bucket brigade that splits the stack in "
+      "half at every hand-off (a binomial scatter) and merges totals the "
+      "same way coming back (gather). Timing both runs shows why "
+      "collective communication constructs beat root-does-everything - "
+      "the scatter/gather and broadcast/multicast topics SSIII.C finds "
+      "uncovered.",
+      "Passing stacks hand to hand; works seated along rows.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PCC_4"},
+      {"C_ScatterGather", "C_BroadcastMulticast", "C_CommunicationOverhead"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "touch"},
+      {"role-play", "paper"},
+      "bucket_brigade"}));
+
+  out.push_back(expand(ActivitySpec{
+      "LibraryWebSearch",
+      2020,
+      "2020-03-05",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "Each student owns a card box of 'documents' (an index shard). The "
+      "teacher announces a query; every shard simultaneously scores its "
+      "own cards and shouts out only its three best; the aggregator desk "
+      "merges the shouted lists into the final ranking. The class "
+      "verifies the merged answer equals what one student reading every "
+      "card would produce - how a web search parallelizes, the "
+      "never-covered K_WebSearch topic.",
+      "Seated card scoring; shouting can be replaced by held-up slates.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PD_4", "PAAP_4"},
+      {"K_WebSearch", "A_Search"},
+      {"CS1", "CS2", "DSA"},
+      {"visual", "touch"},
+      {"cards", "game"},
+      "web_search"}));
+
+  out.push_back(expand(ActivitySpec{
+      "FingerTableRelay",
+      2020,
+      "2020-03-05",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "Students form a ring; each memorizes who stands 1, 2, 4, and 8 "
+      "places clockwise (their finger table). A request card for a "
+      "numbered locker is routed by always taking the longest jump that "
+      "does not overshoot. The class counts hops and compares with "
+      "passing the card neighbour to neighbour: log n versus n - the "
+      "peer-to-peer lookup structure (Chord) behind file-sharing "
+      "networks, filling the K_PeerToPeer gap.",
+      "Standing ring with card passing; jumps can be called out rather "
+      "than walked.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"DS_7"},
+      {"K_PeerToPeer", "C_CommunicationCost"},
+      {"CS2", "DSA", "Systems"},
+      {"movement", "visual"},
+      {"role-play", "cards"},
+      "p2p_lookup"}));
+
+  out.push_back(expand(ActivitySpec{
+      "FoodTruckElasticity",
+      2020,
+      "2020-03-10",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "A lunch rush hits a row of food trucks (students with stamp pads "
+      "serving customer cards). With a fixed number of trucks the queue "
+      "explodes at noon and trucks stand idle at two; with an elastic "
+      "rule - open a truck when the line exceeds six, close one when it "
+      "drops below two - the queue stays bounded while paying for far "
+      "fewer truck-minutes. Cloud elasticity and pay-for-what-you-use, "
+      "filling the cloud/grid gap the paper highlights twice (SSIII.C, "
+      "SSIII.E).",
+      "Queue role-play with optional seated variant dealing customer "
+      "cards to server desks.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"CC_1"},
+      {"K_CloudGrid", "C_DynamicLoadBalancing"},
+      {"CS1", "CS2", "Systems"},
+      {"movement", "visual"},
+      {"role-play", "game"},
+      "food_truck_rush"}));
+
+  out.push_back(expand(ActivitySpec{
+      "PhoneBatteryBudget",
+      2020,
+      "2020-03-10",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "Students schedule homework on a phone with a battery meter drawn "
+      "on the board: running fast drains the battery cubically faster "
+      "but finishes early and lets the phone deep-sleep; running slow "
+      "sips power but never sleeps. Given work, a deadline, and an idle "
+      "power, teams compute both plans' total energy and argue when "
+      "race-to-idle wins. Power consumption is the gap SSIII.E names "
+      "explicitly ('perhaps most glaring').",
+      "Board-and-worksheet arithmetic; no movement required.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PP_7"},
+      {"K_EnergyEfficiency", "C_CostsOfComputation"},
+      {"CS2", "DSA", "Systems"},
+      {"visual"},
+      {"board", "paper"},
+      "battery_budget"}));
+
+  out.push_back(expand(ActivitySpec{
+      "BankTransferRace",
+      2020,
+      "2020-03-15",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "Two tellers move money between two account jars. Every individual "
+      "action is atomic - one teller holds the jar while reading or "
+      "writing its slip - yet interleaved transfers still make money "
+      "appear or vanish, because the four-step transfer is not one "
+      "transaction. The class then adds a transaction wand (only its "
+      "holder may touch either jar) and the invariant holds. Exactly the "
+      "distinction CS2013 PF outcome 3 asks for - data races versus "
+      "higher-level races - which SSIII.B reports no activity covers.",
+      "Table-top jar-and-slip manipulation; fully seated.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PF_3", "PCC_1"},
+      {"K_HigherLevelRaces", "C_DataRaces"},
+      {"CS2", "DSA", "Systems"},
+      {"touch", "visual"},
+      {"role-play", "coins"},
+      "bank_transfer_race"}));
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<core::Activity>& proposed_activities() {
+  static const std::vector<core::Activity> kProposed = build();
+  return kProposed;
+}
+
+const core::Activity* find_proposed(std::string_view slug) {
+  for (const auto& activity : proposed_activities()) {
+    if (activity.slug == slug) return &activity;
+  }
+  return nullptr;
+}
+
+}  // namespace pdcu::ext

@@ -1,0 +1,276 @@
+#include "pdcu/markdown/frontmatter.hpp"
+
+#include <algorithm>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::md {
+
+namespace strs = pdcu::strings;
+
+std::vector<std::string> Value::as_list() const {
+  if (kind == Kind::kList) return list;
+  if (scalar.empty()) return {};
+  return {scalar};
+}
+
+void FrontMatter::set(std::string key, Value value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+bool FrontMatter::has(std::string_view key) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == key; });
+}
+
+std::string FrontMatter::get(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) {
+      if (v.kind == Value::Kind::kScalar) return v.scalar;
+      return strs::join(v.list, ", ");
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> FrontMatter::get_list(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v.as_list();
+  }
+  return {};
+}
+
+namespace {
+
+/// Quotes a scalar when YAML would need it (special chars or spaces at ends).
+std::string quote_if_needed(const std::string& s) {
+  bool needs = s.empty();
+  for (char c : s) {
+    if (c == ':' || c == '#' || c == '[' || c == ']' || c == ',' ||
+        c == '"' || c == '\\') {
+      needs = true;
+      break;
+    }
+  }
+  if (!s.empty() && (s.front() == ' ' || s.back() == ' ')) needs = true;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string FrontMatter::to_string() const {
+  std::string out = "---\n";
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += ": ";
+    if (value.kind == Value::Kind::kScalar) {
+      out += quote_if_needed(value.scalar);
+    } else {
+      out += '[';
+      for (std::size_t i = 0; i < value.list.size(); ++i) {
+        if (i > 0) out += ", ";
+        std::string q = "\"";
+        for (char c : value.list[i]) {
+          if (c == '"' || c == '\\') q += '\\';
+          q += c;
+        }
+        q += '"';
+        out += q;
+      }
+      out += ']';
+    }
+    out += '\n';
+  }
+  out += "---\n";
+  return out;
+}
+
+namespace {
+
+/// Scans a possibly-quoted token starting at `i`; advances `i` past it.
+Expected<std::string> scan_flow_item(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  if (i >= s.size()) {
+    return Error::make("frontmatter.flow", "expected list item");
+  }
+  std::string out;
+  if (s[i] == '"' || s[i] == '\'') {
+    const char quote = s[i++];
+    bool closed = false;
+    while (i < s.size()) {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        out += s[i++];
+      } else if (c == quote) {
+        closed = true;
+        break;
+      } else {
+        out += c;
+      }
+    }
+    if (!closed) {
+      return Error::make("frontmatter.quote", "unterminated quoted string");
+    }
+    return out;
+  }
+  while (i < s.size() && s[i] != ',' && s[i] != ']') out += s[i++];
+  return std::string(strs::trim(out));
+}
+
+/// Parses a flow list "[a, "b", c]" into items.
+Expected<std::vector<std::string>> parse_flow_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size() || text[i] != '[') {
+    return Error::make("frontmatter.flow", "expected '['");
+  }
+  ++i;
+  // Allow empty list.
+  while (true) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i < text.size() && text[i] == ']') {
+      ++i;
+      break;
+    }
+    auto item = scan_flow_item(text, i);
+    if (!item) return item.error();
+    items.push_back(std::move(item).value());
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == ']') {
+      ++i;
+      break;
+    }
+    return Error::make("frontmatter.flow", "expected ',' or ']' in list");
+  }
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i != text.size() && text[i] != '#') {
+    return Error::make("frontmatter.flow", "trailing characters after list");
+  }
+  return items;
+}
+
+/// Parses a scalar value, stripping one level of quotes and trailing comment.
+std::string parse_scalar(std::string_view raw) {
+  std::string_view v = strs::trim(raw);
+  if (v.size() >= 2 && (v.front() == '"' || v.front() == '\'') &&
+      v.back() == v.front()) {
+    std::string out;
+    for (std::size_t i = 1; i + 1 < v.size(); ++i) {
+      if (v[i] == '\\' && i + 2 < v.size()) {
+        out += v[++i];
+      } else {
+        out += v[i];
+      }
+    }
+    return out;
+  }
+  // Unquoted: strip a trailing comment introduced by " #".
+  std::size_t hash = v.find(" #");
+  if (hash != std::string_view::npos) v = strs::trim(v.substr(0, hash));
+  return std::string(v);
+}
+
+}  // namespace
+
+Expected<FrontMatter> parse_front_matter_lines(
+    const std::vector<std::string>& lines) {
+  FrontMatter fm;
+  // First join continuation lines: a line ending in '\' continues onto the
+  // next line (Fig. 2 of the paper uses this inside a flow list).
+  std::vector<std::string> logical;
+  std::string pending;
+  bool continuing = false;
+  for (const auto& raw : lines) {
+    std::string_view line = raw;
+    std::string_view rtrimmed = strs::trim_right(line);
+    bool continues = !rtrimmed.empty() && rtrimmed.back() == '\\';
+    std::string_view payload =
+        continues ? rtrimmed.substr(0, rtrimmed.size() - 1) : line;
+    if (continuing) {
+      pending += std::string(strs::trim_left(payload));
+    } else {
+      pending = std::string(payload);
+    }
+    if (continues) {
+      continuing = true;
+    } else {
+      logical.push_back(pending);
+      pending.clear();
+      continuing = false;
+    }
+  }
+  if (continuing) {
+    return Error::make("frontmatter.continuation",
+                       "front matter ends with a '\\' continuation");
+  }
+
+  for (const auto& line : logical) {
+    std::string_view t = strs::trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Error::make("frontmatter.key",
+                         "expected 'key: value', got '" + line + "'");
+    }
+    std::string key(strs::trim(std::string_view(line).substr(0, colon)));
+    if (key.empty()) {
+      return Error::make("frontmatter.key", "empty key in '" + line + "'");
+    }
+    std::string rest(strs::trim(std::string_view(line).substr(colon + 1)));
+    if (!rest.empty() && rest.front() == '[') {
+      auto list = parse_flow_list(rest);
+      if (!list) return list.error().context("key '" + key + "'");
+      fm.set(std::move(key), Value::make_list(std::move(list).value()));
+    } else {
+      fm.set(std::move(key), Value::make_scalar(parse_scalar(rest)));
+    }
+  }
+  return fm;
+}
+
+Expected<SplitContent> parse_content(std::string_view text) {
+  auto lines = strs::split_lines(text);
+  SplitContent out;
+  if (lines.empty() || strs::trim(lines[0]) != "---") {
+    out.body = std::string(strs::trim(text));
+    return out;
+  }
+  std::size_t close = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (strs::trim(lines[i]) == "---") {
+      close = i;
+      break;
+    }
+  }
+  if (close == 0) {
+    return Error::make("frontmatter.unterminated",
+                       "front matter opened with '---' but never closed");
+  }
+  std::vector<std::string> inner(lines.begin() + 1, lines.begin() + close);
+  auto fm = parse_front_matter_lines(inner);
+  if (!fm) return fm.error();
+  out.front = std::move(fm).value();
+  std::vector<std::string> body_lines(lines.begin() + close + 1, lines.end());
+  out.body = std::string(strs::trim(strs::join(body_lines, "\n")));
+  return out;
+}
+
+}  // namespace pdcu::md

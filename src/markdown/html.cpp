@@ -1,0 +1,104 @@
+#include "pdcu/markdown/html.hpp"
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::md {
+
+namespace strs = pdcu::strings;
+
+std::string render_html(const std::vector<Inline>& inlines) {
+  std::string out;
+  for (const auto& in : inlines) {
+    switch (in.kind) {
+      case InlineKind::kText:
+        out += strs::html_escape(in.text);
+        break;
+      case InlineKind::kCode:
+        out += "<code>" + strs::html_escape(in.text) + "</code>";
+        break;
+      case InlineKind::kEmph:
+        out += "<em>" + render_html(in.children) + "</em>";
+        break;
+      case InlineKind::kStrong:
+        out += "<strong>" + render_html(in.children) + "</strong>";
+        break;
+      case InlineKind::kLink:
+        out += "<a href=\"" + strs::html_escape(in.url) + "\">" +
+               render_html(in.children) + "</a>";
+        break;
+      case InlineKind::kSoftBreak:
+        out += "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void render_block(const Block& block, std::string& out) {
+  switch (block.kind) {
+    case BlockKind::kDocument:
+      for (const auto& child : block.children) render_block(child, out);
+      break;
+    case BlockKind::kHeading: {
+      std::string tag = "h" + std::to_string(block.heading_level);
+      out += "<" + tag + ">" + render_html(block.inlines) + "</" + tag + ">\n";
+      break;
+    }
+    case BlockKind::kParagraph:
+      out += "<p>" + render_html(block.inlines) + "</p>\n";
+      break;
+    case BlockKind::kHorizontalRule:
+      out += "<hr>\n";
+      break;
+    case BlockKind::kCodeBlock:
+      out += "<pre><code";
+      if (!block.info.empty()) {
+        out += " class=\"language-" + strs::html_escape(block.info) + "\"";
+      }
+      out += ">" + strs::html_escape(block.literal) + "</code></pre>\n";
+      break;
+    case BlockKind::kBlockQuote:
+      out += "<blockquote>\n";
+      for (const auto& child : block.children) render_block(child, out);
+      out += "</blockquote>\n";
+      break;
+    case BlockKind::kList: {
+      if (block.ordered) {
+        out += block.list_start == 1
+                   ? std::string("<ol>\n")
+                   : "<ol start=\"" + std::to_string(block.list_start) +
+                         "\">\n";
+      } else {
+        out += "<ul>\n";
+      }
+      for (const auto& child : block.children) render_block(child, out);
+      out += block.ordered ? "</ol>\n" : "</ul>\n";
+      break;
+    }
+    case BlockKind::kListItem: {
+      // Tight rendering: a single-paragraph item drops the <p> wrapper.
+      out += "<li>";
+      if (block.children.size() == 1 &&
+          block.children[0].kind == BlockKind::kParagraph) {
+        out += render_html(block.children[0].inlines);
+      } else {
+        out += "\n";
+        for (const auto& child : block.children) render_block(child, out);
+      }
+      out += "</li>\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_html(const Block& block) {
+  std::string out;
+  render_block(block, out);
+  return out;
+}
+
+}  // namespace pdcu::md

@@ -1,0 +1,58 @@
+// Markdown AST shared by the parser and renderers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdcu::md {
+
+/// Inline node kinds.
+enum class InlineKind {
+  kText,      ///< literal text
+  kCode,      ///< `code span`
+  kEmph,      ///< *emphasis*
+  kStrong,    ///< **strong**
+  kLink,      ///< [children](url)
+  kSoftBreak  ///< newline inside a paragraph
+};
+
+/// An inline element; Emph/Strong/Link carry children, Text/Code carry text.
+struct Inline {
+  InlineKind kind = InlineKind::kText;
+  std::string text;             ///< kText, kCode payload
+  std::string url;              ///< kLink destination
+  std::vector<Inline> children; ///< kEmph, kStrong, kLink
+};
+
+/// Block node kinds.
+enum class BlockKind {
+  kDocument,
+  kHeading,         ///< level 1..6, inline children
+  kParagraph,       ///< inline children
+  kHorizontalRule,  ///< --- / *** / ___ (section separator in activities)
+  kCodeBlock,       ///< fenced ``` with optional info string
+  kBlockQuote,      ///< child blocks
+  kList,            ///< ordered or bullet, children are kListItem
+  kListItem         ///< child blocks
+};
+
+/// A block element; the document is a tree of these.
+struct Block {
+  BlockKind kind = BlockKind::kDocument;
+  int heading_level = 0;            ///< kHeading
+  bool ordered = false;             ///< kList
+  int list_start = 1;               ///< kList first ordinal
+  std::string literal;              ///< kCodeBlock body
+  std::string info;                 ///< kCodeBlock info string
+  std::vector<Inline> inlines;      ///< kHeading, kParagraph
+  std::vector<Block> children;      ///< containers
+
+  /// Concatenated plain text of this block's inlines (no markup).
+  std::string plain_text() const;
+};
+
+/// Plain text of a sequence of inlines.
+std::string plain_text(const std::vector<Inline>& inlines);
+
+}  // namespace pdcu::md

@@ -1,0 +1,90 @@
+// Front-matter parsing for content files.
+//
+// PDCunplugged activities carry a YAML front-matter block delimited by `---`
+// lines, exactly as in the paper's Fig. 1/Fig. 2:
+//
+//   ---
+//   title: "FindSmallestCard"
+//   cs2013: ["PD_ParallelDecomposition", (backslash continuation)
+//       "PD_ParallelAlgorithms"]
+//   tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+//   ---
+//
+// We support the subset the site uses: scalar strings (bare or quoted),
+// flow-style string lists, comments (#...), and the backslash line
+// continuation shown in Fig. 2.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::md {
+
+/// A front-matter value: either a scalar string or a list of strings.
+struct Value {
+  enum class Kind { kScalar, kList };
+  Kind kind = Kind::kScalar;
+  std::string scalar;
+  std::vector<std::string> list;
+
+  static Value make_scalar(std::string s) {
+    Value v;
+    v.kind = Kind::kScalar;
+    v.scalar = std::move(s);
+    return v;
+  }
+  static Value make_list(std::vector<std::string> items) {
+    Value v;
+    v.kind = Kind::kList;
+    v.list = std::move(items);
+    return v;
+  }
+
+  /// The value as a list regardless of kind: a scalar becomes a 1-element
+  /// list; an empty scalar becomes an empty list.
+  std::vector<std::string> as_list() const;
+};
+
+/// Parsed front matter: ordered key/value pairs (order preserved so a file
+/// can be re-emitted stably) with map-style lookup.
+class FrontMatter {
+ public:
+  /// Sets a key, replacing any previous value, preserving first-set order.
+  void set(std::string key, Value value);
+
+  bool has(std::string_view key) const;
+  /// Scalar lookup; returns "" for absent keys and joins lists with ", ".
+  std::string get(std::string_view key) const;
+  /// List lookup; see Value::as_list for scalar coercion.
+  std::vector<std::string> get_list(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, Value>>& entries() const {
+    return entries_;
+  }
+
+  /// Serializes back to a `---` delimited block (lists in flow style).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// Result of splitting a content file into front matter and body.
+struct SplitContent {
+  FrontMatter front;
+  std::string body;  ///< Markdown after the closing `---`, newline-trimmed.
+};
+
+/// Parses a full content file. Files without a leading `---` are treated as
+/// all-body with empty front matter.
+Expected<SplitContent> parse_content(std::string_view text);
+
+/// Parses just a front-matter block's inner lines (no delimiters).
+Expected<FrontMatter> parse_front_matter_lines(
+    const std::vector<std::string>& lines);
+
+}  // namespace pdcu::md

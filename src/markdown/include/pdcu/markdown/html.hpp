@@ -1,0 +1,18 @@
+// HTML rendering of the Markdown AST (Hugo's render step).
+#pragma once
+
+#include <string>
+
+#include "pdcu/markdown/ast.hpp"
+
+namespace pdcu::md {
+
+/// Renders a document (or any block) to HTML. Produces the conventional
+/// mapping: headings to <h1>..<h6>, paragraphs to <p>, rules to <hr>, fenced
+/// code to <pre><code>, quotes to <blockquote>, lists to <ul>/<ol>.
+std::string render_html(const Block& block);
+
+/// Renders a sequence of inlines to HTML (no surrounding element).
+std::string render_html(const std::vector<Inline>& inlines);
+
+}  // namespace pdcu::md

@@ -1,0 +1,22 @@
+// Markdown parsing (CommonMark subset).
+//
+// Supported syntax — everything the PDCunplugged activity corpus uses:
+// ATX headings, horizontal rules, fenced code blocks, block quotes, bullet
+// and ordered lists (with lazy continuation and nesting by indentation),
+// paragraphs, and the inline set in ast.hpp.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pdcu/markdown/ast.hpp"
+
+namespace pdcu::md {
+
+/// Parses a Markdown body (no front matter) into a document block.
+Block parse_markdown(std::string_view text);
+
+/// Parses inline markup only (used for headings and paragraph content).
+std::vector<Inline> parse_inlines(std::string_view text);
+
+}  // namespace pdcu::md

@@ -1,0 +1,206 @@
+// Inline markup parsing: code spans, strong/emphasis, links, literal text.
+#include <cstddef>
+
+#include "pdcu/markdown/parser.hpp"
+
+namespace pdcu::md {
+
+namespace {
+
+class InlineParser {
+ public:
+  explicit InlineParser(std::string_view text) : text_(text) {}
+
+  std::vector<Inline> parse() { return parse_until('\0'); }
+
+ private:
+  /// Parses inlines until the (single- or double-) delimiter or end of input.
+  /// `stop` is '\0' (end only), '*'/'_' (emphasis close), ']' (link text).
+  std::vector<Inline> parse_until(char stop, bool double_marker = false) {
+    std::vector<Inline> out;
+    std::string text;
+    auto flush = [&] {
+      if (!text.empty()) {
+        Inline t;
+        t.kind = InlineKind::kText;
+        t.text = std::move(text);
+        text.clear();
+        out.push_back(std::move(t));
+      }
+    };
+
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+
+      if (stop != '\0' && c == stop) {
+        if (!double_marker) {
+          flush();
+          return out;
+        }
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == stop) {
+          flush();
+          return out;
+        }
+      }
+
+      if (c == '\\' && pos_ + 1 < text_.size() && is_punct(text_[pos_ + 1])) {
+        text += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+
+      if (c == '`') {
+        flush();
+        out.push_back(parse_code_span());
+        continue;
+      }
+
+      if (c == '[') {
+        std::size_t saved = pos_;
+        Inline link;
+        if (try_parse_link(link)) {
+          flush();
+          out.push_back(std::move(link));
+          continue;
+        }
+        pos_ = saved;
+      }
+
+      if (c == '*' || c == '_') {
+        std::size_t saved = pos_;
+        Inline emph;
+        if (try_parse_emphasis(c, emph)) {
+          flush();
+          out.push_back(std::move(emph));
+          continue;
+        }
+        pos_ = saved;
+      }
+
+      text += c;
+      ++pos_;
+    }
+    flush();
+    return out;
+  }
+
+  static bool is_punct(char c) {
+    return c == '\\' || c == '`' || c == '*' || c == '_' || c == '[' ||
+           c == ']' || c == '(' || c == ')' || c == '#' || c == '-' ||
+           c == '.' || c == '!' || c == '<' || c == '>' || c == '"';
+  }
+
+  Inline parse_code_span() {
+    // pos_ is at the opening backtick.
+    std::size_t ticks = 0;
+    while (pos_ < text_.size() && text_[pos_] == '`') {
+      ++ticks;
+      ++pos_;
+    }
+    std::string body;
+    std::size_t run = 0;
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '`') {
+        ++run;
+        if (run == ticks &&
+            (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '`')) {
+          Inline code;
+          code.kind = InlineKind::kCode;
+          code.text = text_.substr(start, pos_ - start - (ticks - 1));
+          ++pos_;
+          return code;
+        }
+      } else {
+        run = 0;
+      }
+      ++pos_;
+    }
+    // Unterminated: emit the backticks as literal text.
+    Inline lit;
+    lit.kind = InlineKind::kText;
+    lit.text = std::string(ticks, '`') + std::string(text_.substr(start));
+    return lit;
+  }
+
+  bool try_parse_link(Inline& out) {
+    // pos_ is at '['. Find the matching ']' at depth 0, then "(url)".
+    std::size_t i = pos_ + 1;
+    int depth = 0;
+    std::size_t close = std::string_view::npos;
+    for (; i < text_.size(); ++i) {
+      if (text_[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (text_[i] == '[') ++depth;
+      if (text_[i] == ']') {
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+        --depth;
+      }
+    }
+    if (close == std::string_view::npos) return false;
+    if (close + 1 >= text_.size() || text_[close + 1] != '(') return false;
+    std::size_t url_end = text_.find(')', close + 2);
+    if (url_end == std::string_view::npos) return false;
+
+    std::string label(text_.substr(pos_ + 1, close - pos_ - 1));
+    out.kind = InlineKind::kLink;
+    out.url = std::string(text_.substr(close + 2, url_end - close - 2));
+    out.children = parse_inlines(label);
+    pos_ = url_end + 1;
+    return true;
+  }
+
+  bool try_parse_emphasis(char marker, Inline& out) {
+    bool strong = pos_ + 1 < text_.size() && text_[pos_ + 1] == marker;
+    std::size_t markers = strong ? 2 : 1;
+    std::size_t content_start = pos_ + markers;
+    if (content_start >= text_.size()) return false;
+    // No space immediately inside the opener ("* not emph").
+    if (text_[content_start] == ' ') return false;
+
+    // Find the closing run at the same length.
+    std::size_t i = content_start;
+    std::size_t close = std::string_view::npos;
+    while (i < text_.size()) {
+      if (text_[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (text_[i] == marker) {
+        std::size_t run = 0;
+        while (i + run < text_.size() && text_[i + run] == marker) ++run;
+        if (run >= markers && text_[i - 1] != ' ') {
+          close = i;
+          break;
+        }
+        i += run;
+        continue;
+      }
+      ++i;
+    }
+    if (close == std::string_view::npos || close == content_start) {
+      return false;
+    }
+    std::string inner(text_.substr(content_start, close - content_start));
+    out.kind = strong ? InlineKind::kStrong : InlineKind::kEmph;
+    out.children = parse_inlines(inner);
+    pos_ = close + markers;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Inline> parse_inlines(std::string_view text) {
+  return InlineParser(text).parse();
+}
+
+}  // namespace pdcu::md

@@ -1,0 +1,352 @@
+#include "pdcu/markdown/parser.hpp"
+
+#include <cctype>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::md {
+
+namespace strs = pdcu::strings;
+
+namespace {
+
+/// True if the line is a thematic break: three or more -, *, or _ (with
+/// optional spaces between), nothing else.
+bool is_horizontal_rule(std::string_view line) {
+  std::string_view t = strs::trim(line);
+  if (t.size() < 3) return false;
+  char marker = t[0];
+  if (marker != '-' && marker != '*' && marker != '_') return false;
+  int count = 0;
+  for (char c : t) {
+    if (c == marker) {
+      ++count;
+    } else if (c != ' ') {
+      return false;
+    }
+  }
+  return count >= 3;
+}
+
+/// Parses "## Heading" returning level (0 if not a heading) and text.
+int heading_level(std::string_view line, std::string_view& text_out) {
+  std::string_view t = strs::trim_left(line);
+  std::size_t hashes = 0;
+  while (hashes < t.size() && t[hashes] == '#') ++hashes;
+  if (hashes == 0 || hashes > 6) return 0;
+  if (hashes < t.size() && t[hashes] != ' ' && t[hashes] != '\t') return 0;
+  std::string_view rest = strs::trim(t.substr(hashes));
+  // Strip optional closing hashes ("## Title ##").
+  while (!rest.empty() && rest.back() == '#') rest.remove_suffix(1);
+  text_out = strs::trim(rest);
+  return static_cast<int>(hashes);
+}
+
+/// Number of leading spaces (tabs count as 4).
+std::size_t indent_width(std::string_view line) {
+  std::size_t w = 0;
+  for (char c : line) {
+    if (c == ' ') {
+      ++w;
+    } else if (c == '\t') {
+      w += 4;
+    } else {
+      break;
+    }
+  }
+  return w;
+}
+
+struct ListMarker {
+  bool ordered = false;
+  int start = 1;
+  std::size_t content_indent = 0;  ///< columns to strip from continuations
+};
+
+/// Detects "- item", "* item", "+ item", "1. item", "1) item".
+bool parse_list_marker(std::string_view line, ListMarker& out) {
+  std::size_t indent = indent_width(line);
+  std::string_view t = strs::trim_left(line);
+  if (t.empty()) return false;
+  if (t[0] == '-' || t[0] == '*' || t[0] == '+') {
+    if (t.size() < 2 || (t[1] != ' ' && t[1] != '\t')) return false;
+    if (is_horizontal_rule(line)) return false;
+    out.ordered = false;
+    out.start = 1;
+    out.content_indent = indent + 2;
+    return true;
+  }
+  std::size_t i = 0;
+  while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) ++i;
+  if (i == 0 || i > 9 || i >= t.size()) return false;
+  if (t[i] != '.' && t[i] != ')') return false;
+  if (i + 1 >= t.size() || (t[i + 1] != ' ' && t[i + 1] != '\t')) return false;
+  out.ordered = true;
+  out.start = std::stoi(std::string(t.substr(0, i)));
+  out.content_indent = indent + i + 2;
+  return true;
+}
+
+/// Content of a marker line after the marker itself ("- x" -> "x",
+/// "12. y" -> "y").
+std::string_view marker_line_content(std::string_view line,
+                                     const ListMarker& marker) {
+  std::string_view t = strs::trim_left(line);
+  if (!marker.ordered) return strs::trim_left(t.substr(2));
+  std::size_t i = 0;
+  while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) {
+    ++i;
+  }
+  return strs::trim_left(t.substr(i + 1));
+}
+
+/// Removes up to n columns of leading indentation.
+std::string_view strip_indent(std::string_view line, std::size_t n) {
+  std::size_t i = 0, w = 0;
+  while (i < line.size() && w < n) {
+    if (line[i] == ' ') {
+      ++w;
+    } else if (line[i] == '\t') {
+      w += 4;
+    } else {
+      break;
+    }
+    ++i;
+  }
+  return line.substr(i);
+}
+
+class BlockParser {
+ public:
+  explicit BlockParser(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  Block parse() {
+    Block doc;
+    doc.kind = BlockKind::kDocument;
+    doc.children = parse_blocks(lines_);
+    return doc;
+  }
+
+ private:
+  std::vector<Block> parse_blocks(const std::vector<std::string>& lines) {
+    std::vector<Block> blocks;
+    std::size_t i = 0;
+    while (i < lines.size()) {
+      std::string_view line = lines[i];
+      std::string_view trimmed = strs::trim(line);
+
+      if (trimmed.empty()) {
+        ++i;
+        continue;
+      }
+
+      // Fenced code block.
+      if (strs::starts_with(strs::trim_left(line), "```")) {
+        blocks.push_back(parse_code_fence(lines, i));
+        continue;
+      }
+
+      // Heading.
+      std::string_view htext;
+      if (int level = heading_level(line, htext); level > 0) {
+        Block h;
+        h.kind = BlockKind::kHeading;
+        h.heading_level = level;
+        h.inlines = parse_inlines(htext);
+        blocks.push_back(std::move(h));
+        ++i;
+        continue;
+      }
+
+      // Horizontal rule (checked before lists so "---" is not a list).
+      if (is_horizontal_rule(line)) {
+        Block hr;
+        hr.kind = BlockKind::kHorizontalRule;
+        blocks.push_back(std::move(hr));
+        ++i;
+        continue;
+      }
+
+      // Block quote.
+      if (strs::trim_left(line).front() == '>') {
+        blocks.push_back(parse_blockquote(lines, i));
+        continue;
+      }
+
+      // List.
+      ListMarker marker;
+      if (parse_list_marker(line, marker)) {
+        blocks.push_back(parse_list(lines, i, marker));
+        continue;
+      }
+
+      // Paragraph: consume until a blank line or another block opener.
+      blocks.push_back(parse_paragraph(lines, i));
+    }
+    return blocks;
+  }
+
+  Block parse_code_fence(const std::vector<std::string>& lines,
+                         std::size_t& i) {
+    Block code;
+    code.kind = BlockKind::kCodeBlock;
+    std::string_view open = strs::trim_left(lines[i]);
+    code.info = std::string(strs::trim(open.substr(3)));
+    ++i;
+    std::string body;
+    while (i < lines.size() &&
+           !strs::starts_with(strs::trim_left(lines[i]), "```")) {
+      body += lines[i];
+      body += '\n';
+      ++i;
+    }
+    if (i < lines.size()) ++i;  // consume the closing fence
+    code.literal = std::move(body);
+    return code;
+  }
+
+  Block parse_blockquote(const std::vector<std::string>& lines,
+                         std::size_t& i) {
+    std::vector<std::string> inner;
+    while (i < lines.size()) {
+      std::string_view t = strs::trim_left(lines[i]);
+      if (t.empty() || t.front() != '>') break;
+      t.remove_prefix(1);
+      if (!t.empty() && t.front() == ' ') t.remove_prefix(1);
+      inner.emplace_back(t);
+      ++i;
+    }
+    Block quote;
+    quote.kind = BlockKind::kBlockQuote;
+    quote.children = parse_blocks(inner);
+    return quote;
+  }
+
+  Block parse_list(const std::vector<std::string>& lines, std::size_t& i,
+                   const ListMarker& first) {
+    Block list;
+    list.kind = BlockKind::kList;
+    list.ordered = first.ordered;
+    list.list_start = first.start;
+
+    while (i < lines.size()) {
+      ListMarker marker;
+      if (!parse_list_marker(lines[i], marker) ||
+          marker.ordered != first.ordered) {
+        break;
+      }
+      // Gather this item's lines: the marker line (content stripped) plus
+      // continuation lines indented at least to the content column, plus lazy
+      // paragraph continuations.
+      std::vector<std::string> item_lines;
+      item_lines.emplace_back(marker_line_content(lines[i], marker));
+      ++i;
+      bool saw_blank = false;
+      while (i < lines.size()) {
+        std::string_view line = lines[i];
+        if (strs::trim(line).empty()) {
+          saw_blank = true;
+          ++i;
+          continue;
+        }
+        std::size_t indent = indent_width(line);
+        ListMarker next;
+        bool is_marker = parse_list_marker(line, next);
+        if (indent >= marker.content_indent) {
+          if (saw_blank) item_lines.emplace_back("");
+          saw_blank = false;
+          item_lines.emplace_back(strip_indent(line, marker.content_indent));
+          ++i;
+          continue;
+        }
+        if (is_marker || saw_blank || is_horizontal_rule(line) ||
+            strs::trim_left(line).front() == '>' ||
+            strs::starts_with(strs::trim_left(line), "#") ||
+            strs::starts_with(strs::trim_left(line), "```")) {
+          break;
+        }
+        // Lazy continuation of the item's paragraph.
+        item_lines.emplace_back(strs::trim(line));
+        ++i;
+      }
+      Block item;
+      item.kind = BlockKind::kListItem;
+      item.children = parse_blocks(item_lines);
+      list.children.push_back(std::move(item));
+      if (saw_blank) {
+        // A blank line followed by a sibling marker continues the list.
+        ListMarker sibling;
+        if (i < lines.size() && parse_list_marker(lines[i], sibling) &&
+            sibling.ordered == first.ordered) {
+          continue;
+        }
+        break;
+      }
+    }
+    return list;
+  }
+
+  Block parse_paragraph(const std::vector<std::string>& lines,
+                        std::size_t& i) {
+    std::vector<std::string> para_lines;
+    while (i < lines.size()) {
+      std::string_view line = lines[i];
+      std::string_view t = strs::trim(line);
+      if (t.empty() || is_horizontal_rule(line)) break;
+      std::string_view htext;
+      if (heading_level(line, htext) > 0) break;
+      if (strs::trim_left(line).front() == '>') break;
+      if (strs::starts_with(strs::trim_left(line), "```")) break;
+      ListMarker marker;
+      if (parse_list_marker(line, marker)) break;
+      para_lines.emplace_back(t);
+      ++i;
+    }
+    Block para;
+    para.kind = BlockKind::kParagraph;
+    for (std::size_t n = 0; n < para_lines.size(); ++n) {
+      if (n > 0) {
+        Inline br;
+        br.kind = InlineKind::kSoftBreak;
+        para.inlines.push_back(std::move(br));
+      }
+      auto line_inlines = parse_inlines(para_lines[n]);
+      for (auto& in : line_inlines) para.inlines.push_back(std::move(in));
+    }
+    return para;
+  }
+
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+Block parse_markdown(std::string_view text) {
+  return BlockParser(strs::split_lines(text)).parse();
+}
+
+std::string plain_text(const std::vector<Inline>& inlines) {
+  std::string out;
+  for (const auto& in : inlines) {
+    switch (in.kind) {
+      case InlineKind::kText:
+      case InlineKind::kCode:
+        out += in.text;
+        break;
+      case InlineKind::kSoftBreak:
+        out += ' ';
+        break;
+      case InlineKind::kEmph:
+      case InlineKind::kStrong:
+      case InlineKind::kLink:
+        out += plain_text(in.children);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Block::plain_text() const { return md::plain_text(inlines); }
+
+}  // namespace pdcu::md

@@ -1,0 +1,256 @@
+#include "pdcu/runtime/classroom.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace pdcu::rt {
+
+namespace detail {
+
+bool Mailbox::match_locked(int src, int tag, ClassMessage& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::put(ClassMessage message) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+}
+
+ClassMessage Mailbox::get(int src, int tag) {
+  std::unique_lock lock(mutex_);
+  ClassMessage out;
+  arrived_.wait(lock, [&] { return match_locked(src, tag, out); });
+  return out;
+}
+
+bool Mailbox::try_get(int src, int tag, ClassMessage& out) {
+  std::lock_guard lock(mutex_);
+  return match_locked(src, tag, out);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::int64_t ClockBarrier::arrive_and_wait(std::int64_t my_time) {
+  std::unique_lock lock(mutex_);
+  group_max_ = std::max(group_max_, my_time);
+  if (++waiting_ == parties_) {
+    released_max_ = group_max_;
+    group_max_ = 0;
+    waiting_ = 0;
+    ++generation_;
+    released_.notify_all();
+    return released_max_;
+  }
+  const std::uint64_t my_generation = generation_;
+  released_.wait(lock, [&] { return generation_ != my_generation; });
+  return released_max_;
+}
+
+struct Shared {
+  int ranks = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::unique_ptr<ClockBarrier> barrier;
+  TraceLog* trace = nullptr;
+};
+
+}  // namespace detail
+
+int Comm::size() const { return shared_.ranks; }
+
+void Comm::send(int dst, std::vector<std::int64_t> payload, int tag) {
+  ClassMessage message;
+  message.src = rank_;
+  message.tag = tag;
+  message.sent_at =
+      clock_.stamp_send(static_cast<std::int64_t>(payload.size()));
+  message.payload = std::move(payload);
+  shared_.mailboxes[static_cast<std::size_t>(dst)]->put(std::move(message));
+}
+
+ClassMessage Comm::recv(int src, int tag) {
+  ClassMessage message =
+      shared_.mailboxes[static_cast<std::size_t>(rank_)]->get(src, tag);
+  clock_.apply_recv(message.sent_at,
+                    static_cast<std::int64_t>(message.payload.size()));
+  return message;
+}
+
+bool Comm::try_recv(int src, int tag, ClassMessage& out) {
+  if (!shared_.mailboxes[static_cast<std::size_t>(rank_)]->try_get(src, tag,
+                                                                   out)) {
+    return false;
+  }
+  clock_.apply_recv(out.sent_at,
+                    static_cast<std::int64_t>(out.payload.size()));
+  return true;
+}
+
+void Comm::barrier() {
+  clock_.align(shared_.barrier->arrive_and_wait(clock_.now()));
+}
+
+std::vector<std::int64_t> Comm::bcast(int root,
+                                      std::vector<std::int64_t> payload) {
+  // Binomial tree rooted at `root`: a node's parent is its relative rank
+  // with the lowest set bit cleared; it forwards to rel + m for every
+  // m = 2^k below its lowest set bit.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n && (rel & mask) == 0) mask <<= 1;
+  if (rel != 0) {
+    ClassMessage message = recv(kAny, /*tag=*/-42);
+    payload = std::move(message.payload);
+  }
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (rel + m < n) {
+      send((rel + m + root) % n, payload, /*tag=*/-42);
+    }
+  }
+  return payload;
+}
+
+std::vector<std::int64_t> Comm::gather(int root, std::int64_t value) {
+  const int n = size();
+  if (rank_ != root) {
+    send(root, {static_cast<std::int64_t>(rank_), value}, /*tag=*/-43);
+    return {};
+  }
+  std::vector<std::int64_t> all(static_cast<std::size_t>(n), 0);
+  all[static_cast<std::size_t>(rank_)] = value;
+  for (int i = 0; i < n - 1; ++i) {
+    ClassMessage message = recv(kAny, /*tag=*/-43);
+    all[static_cast<std::size_t>(message.payload[0])] = message.payload[1];
+  }
+  return all;
+}
+
+std::int64_t Comm::reduce(
+    int root, std::int64_t value,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& op) {
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  std::int64_t acc = value;
+  // Binomial tree reduction: at round k, relative ranks with bit k set send
+  // to rel - 2^k; others receive if they have a partner.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      send((rel - mask + root) % n, {acc}, /*tag=*/-1000 - mask);
+      return 0;  // contributed and done; only root's value is meaningful
+    }
+    if (rel + mask < n) {
+      ClassMessage message = recv(kAny, /*tag=*/-1000 - mask);
+      clock_.work(1);  // the combine step
+      acc = op(acc, message.payload[0]);
+    }
+  }
+  return acc;
+}
+
+std::int64_t Comm::allreduce(
+    std::int64_t value,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& op) {
+  std::int64_t reduced = reduce(0, value, op);
+  std::vector<std::int64_t> payload =
+      bcast(0, rank_ == 0 ? std::vector<std::int64_t>{reduced}
+                          : std::vector<std::int64_t>{});
+  return payload[0];
+}
+
+std::vector<std::int64_t> Comm::scatter(
+    int root, const std::vector<std::int64_t>& all) {
+  const int n = size();
+  const std::size_t chunk = (all.size() + static_cast<std::size_t>(n) - 1) /
+                            static_cast<std::size_t>(n);
+  if (rank_ == root) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      std::size_t lo =
+          std::min(all.size(), chunk * static_cast<std::size_t>(dst));
+      std::size_t hi = std::min(all.size(), lo + chunk);
+      send(dst, std::vector<std::int64_t>(all.begin() + static_cast<long>(lo),
+                                          all.begin() + static_cast<long>(hi)),
+           /*tag=*/-45);
+    }
+    std::size_t lo =
+        std::min(all.size(), chunk * static_cast<std::size_t>(root));
+    std::size_t hi = std::min(all.size(), lo + chunk);
+    return {all.begin() + static_cast<long>(lo),
+            all.begin() + static_cast<long>(hi)};
+  }
+  return recv(root, /*tag=*/-45).payload;
+}
+
+void Comm::log(std::string text) {
+  if (shared_.trace != nullptr) {
+    shared_.trace->record(clock_.now(), rank_, std::move(text));
+  }
+}
+
+ClassroomResult Classroom::run(int ranks,
+                               const std::function<void(Comm&)>& body,
+                               CostModel model, TraceLog* trace) {
+  detail::Shared shared;
+  shared.ranks = ranks;
+  shared.trace = trace;
+  shared.barrier = std::make_unique<detail::ClockBarrier>(ranks);
+  shared.mailboxes.reserve(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    shared.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+  }
+
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    comms.push_back(
+        std::unique_ptr<Comm>(new Comm(i, shared, model)));
+  }
+
+  std::vector<std::string> errors(static_cast<std::size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        body(*comms[static_cast<std::size_t>(i)]);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(i)] = e.what();
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = "unknown exception";
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ClassroomResult result;
+  for (const auto& error : errors) {
+    if (!error.empty()) {
+      result.error = error;
+      break;
+    }
+  }
+  for (const auto& comm : comms) {
+    const VirtualClock& clock = comm->clock();
+    result.final_clocks.push_back(clock.now());
+    result.cost.makespan = std::max(result.cost.makespan, clock.now());
+    result.cost.total_work += clock.work_steps();
+    result.cost.total_messages += clock.messages_sent();
+    result.cost.total_items += clock.items_sent();
+  }
+  return result;
+}
+
+}  // namespace pdcu::rt

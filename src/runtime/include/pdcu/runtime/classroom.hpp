@@ -1,0 +1,138 @@
+// The classroom: an MPI-flavoured message-passing runtime where each rank
+// is a student (a std::thread). This is the substrate on which the
+// operational unplugged activities execute ("people act as processes or
+// processors", §III.A of the paper).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pdcu/runtime/trace.hpp"
+#include "pdcu/runtime/virtual_cost.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::rt {
+
+/// Wildcard for Comm::recv source/tag matching.
+inline constexpr int kAny = -1;
+
+/// A message between ranks: integer payload plus virtual send timestamp.
+struct ClassMessage {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::int64_t> payload;
+  std::int64_t sent_at = 0;
+};
+
+namespace detail {
+
+/// Selective-receive mailbox: recv matches on (src, tag) with wildcards,
+/// searching delivered-but-unmatched messages first (MPI matching order).
+class Mailbox {
+ public:
+  void put(ClassMessage message);
+  ClassMessage get(int src, int tag);
+  bool try_get(int src, int tag, ClassMessage& out);
+  std::size_t pending() const;
+
+ private:
+  bool match_locked(int src, int tag, ClassMessage& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<ClassMessage> queue_;
+};
+
+/// Reusable barrier that additionally aligns virtual clocks to the group
+/// maximum.
+class ClockBarrier {
+ public:
+  explicit ClockBarrier(int parties) : parties_(parties) {}
+
+  /// Returns the aligned (maximum) virtual time.
+  std::int64_t arrive_and_wait(std::int64_t my_time);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable released_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::int64_t group_max_ = 0;
+  std::int64_t released_max_ = 0;
+};
+
+struct Shared;
+
+}  // namespace detail
+
+/// Per-rank handle used inside a classroom body.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Local computation: advances this rank's virtual clock.
+  void work(std::int64_t steps = 1) { clock_.work(steps); }
+
+  /// Point-to-point.
+  void send(int dst, std::vector<std::int64_t> payload, int tag = 0);
+  ClassMessage recv(int src = kAny, int tag = kAny);
+  bool try_recv(int src, int tag, ClassMessage& out);
+
+  /// Collectives (tree-structured where it matters for cost).
+  void barrier();
+  std::vector<std::int64_t> bcast(int root,
+                                  std::vector<std::int64_t> payload);
+  std::vector<std::int64_t> gather(int root, std::int64_t value);
+  std::int64_t reduce(int root, std::int64_t value,
+                      const std::function<std::int64_t(std::int64_t,
+                                                       std::int64_t)>& op);
+  std::int64_t allreduce(std::int64_t value,
+                         const std::function<std::int64_t(std::int64_t,
+                                                          std::int64_t)>& op);
+  std::vector<std::int64_t> scatter(int root,
+                                    const std::vector<std::int64_t>& all);
+
+  /// Scripted narration at this rank's current virtual time.
+  void log(std::string text);
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+ private:
+  friend class Classroom;
+  Comm(int rank, detail::Shared& shared, CostModel model)
+      : rank_(rank), shared_(shared), clock_(model) {}
+
+  int rank_;
+  detail::Shared& shared_;
+  VirtualClock clock_;
+};
+
+/// Result of a classroom run.
+struct ClassroomResult {
+  RunCost cost;
+  std::vector<std::int64_t> final_clocks;  ///< per-rank
+  std::string error;  ///< first exception message, "" on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Spawns `ranks` student threads, each running `body`, and aggregates the
+/// virtual-time cost.
+class Classroom {
+ public:
+  static ClassroomResult run(int ranks,
+                             const std::function<void(Comm&)>& body,
+                             CostModel model = {},
+                             TraceLog* trace = nullptr);
+};
+
+}  // namespace pdcu::rt

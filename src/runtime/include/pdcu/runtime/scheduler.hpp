@@ -1,0 +1,40 @@
+// Deterministic agent-step scheduler.
+//
+// Many unplugged activities are "students act in arbitrary order" protocols
+// (Dijkstra token ring, nondeterministic sorting, leader election). The
+// StepScheduler executes such protocols single-threadedly under a chosen,
+// reproducible schedule so properties can be checked over many adversarial
+// interleavings — the executable analogue of assertional reasoning.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "pdcu/support/rng.hpp"
+
+namespace pdcu::rt {
+
+/// Order in which agents are offered steps.
+enum class SchedulePolicy {
+  kRoundRobin,  ///< 0,1,...,n-1 repeatedly
+  kReversed,    ///< n-1,...,0 repeatedly
+  kRandom,      ///< uniformly random agent each step
+  kShuffled     ///< a random permutation per round
+};
+
+/// Result of driving a protocol under a schedule.
+struct ScheduleResult {
+  bool converged = false;   ///< done() became true within the step budget
+  std::size_t steps = 0;    ///< agent steps taken (enabled or not)
+  std::size_t rounds = 0;   ///< completed passes over all agents
+};
+
+/// Runs `step(agent)` under the given policy until `done()` or the budget
+/// is exhausted. `step` should be a no-op for agents with no enabled move.
+ScheduleResult run_schedule(std::size_t agents,
+                            const std::function<void(std::size_t)>& step,
+                            const std::function<bool()>& done,
+                            SchedulePolicy policy, Rng& rng,
+                            std::size_t max_steps);
+
+}  // namespace pdcu::rt

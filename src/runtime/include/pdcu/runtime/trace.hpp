@@ -1,0 +1,42 @@
+// The classroom script: a thread-safe trace of who did what, when (in
+// virtual time). Each simulation can emit its dramatization as a script an
+// instructor could act out.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdcu::rt {
+
+/// One scripted event.
+struct TraceEvent {
+  std::int64_t vtime = 0;  ///< virtual time of the action
+  int rank = -1;           ///< acting student/processor (-1 = narrator)
+  std::string text;
+};
+
+/// Thread-safe event collector.
+class TraceLog {
+ public:
+  void record(std::int64_t vtime, int rank, std::string text);
+
+  /// Narrator line (rank -1, time 0 unless given).
+  void narrate(std::string text, std::int64_t vtime = 0);
+
+  /// Events sorted by (vtime, arrival order).
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const;
+
+  /// Renders as an indented script:
+  ///   [t= 12] student 3: compares 7 with 4, swaps
+  std::string render_script() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pdcu::rt

@@ -1,0 +1,99 @@
+// The virtual-time cost model.
+//
+// Unplugged dramatizations count *rounds* of classroom action, not wall
+// time; likewise, this host may have a single CPU core, so speedup-shaped
+// results are measured on a deterministic virtual clock. The model is
+// LogP-flavoured: local work advances a rank's clock by a per-step cost;
+// a message delivers at sender_time + latency + size * per_item cost; a
+// barrier aligns every participant to the maximum clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pdcu::rt {
+
+/// Cost parameters (arbitrary but fixed units; think "seconds of classroom
+/// time").
+struct CostModel {
+  std::int64_t work_per_step = 1;    ///< one unit of local computation
+  std::int64_t msg_latency = 4;      ///< fixed per-message overhead (alpha)
+  std::int64_t msg_per_item = 1;     ///< per-element transfer cost (beta)
+  /// Per-message processing time at EACH endpoint (LogP's o): the sender
+  /// pays it before the message leaves, the receiver after it arrives.
+  /// Default 0: handing off a card is free in the dramatizations; the
+  /// collectives ablation sets it nonzero to model a root that must
+  /// address each student in turn.
+  std::int64_t msg_send_overhead = 0;
+
+  /// Cost of transferring `items` payload elements.
+  std::int64_t transfer(std::int64_t items) const {
+    return msg_latency + msg_per_item * items;
+  }
+};
+
+/// A rank's virtual clock plus operation counters.
+class VirtualClock {
+ public:
+  explicit VirtualClock(CostModel model = {}) : model_(model) {}
+
+  std::int64_t now() const { return now_; }
+  const CostModel& model() const { return model_; }
+
+  /// Advances by `steps` units of local work.
+  void work(std::int64_t steps = 1) {
+    now_ += steps * model_.work_per_step;
+    work_steps_ += steps;
+  }
+
+  /// Timestamp a message leaves with; counts the send and charges the
+  /// sender the per-send overhead.
+  std::int64_t stamp_send(std::int64_t items) {
+    now_ += model_.msg_send_overhead;
+    ++messages_sent_;
+    items_sent_ += items;
+    return now_;
+  }
+
+  /// Applies the arrival of a message stamped at `sent_at` with `items`
+  /// payload elements: the receiver cannot proceed before it arrives, and
+  /// pays the per-message overhead to take it.
+  void apply_recv(std::int64_t sent_at, std::int64_t items) {
+    now_ = std::max(now_, sent_at + model_.transfer(items)) +
+           model_.msg_send_overhead;
+    ++messages_received_;
+  }
+
+  /// Barrier alignment: jump forward to the group maximum.
+  void align(std::int64_t group_max) { now_ = std::max(now_, group_max); }
+
+  std::int64_t work_steps() const { return work_steps_; }
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t messages_received() const { return messages_received_; }
+  std::int64_t items_sent() const { return items_sent_; }
+
+ private:
+  CostModel model_;
+  std::int64_t now_ = 0;
+  std::int64_t work_steps_ = 0;
+  std::int64_t messages_sent_ = 0;
+  std::int64_t messages_received_ = 0;
+  std::int64_t items_sent_ = 0;
+};
+
+/// Aggregate of a parallel run under the virtual cost model.
+struct RunCost {
+  std::int64_t makespan = 0;      ///< max final clock over ranks
+  std::int64_t total_work = 0;    ///< sum of work steps over ranks
+  std::int64_t total_messages = 0;
+  std::int64_t total_items = 0;
+
+  /// Speedup of this run relative to a serial run of `serial_work` steps.
+  double speedup_vs(std::int64_t serial_work) const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(serial_work) /
+                               static_cast<double>(makespan);
+  }
+};
+
+}  // namespace pdcu::rt

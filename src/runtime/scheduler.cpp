@@ -1,0 +1,46 @@
+#include "pdcu/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace pdcu::rt {
+
+ScheduleResult run_schedule(std::size_t agents,
+                            const std::function<void(std::size_t)>& step,
+                            const std::function<bool()>& done,
+                            SchedulePolicy policy, Rng& rng,
+                            std::size_t max_steps) {
+  ScheduleResult result;
+  if (agents == 0 || done()) {
+    result.converged = done();
+    return result;
+  }
+  std::vector<std::size_t> order(agents);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (policy == SchedulePolicy::kReversed) {
+    std::reverse(order.begin(), order.end());
+  }
+
+  while (result.steps < max_steps) {
+    if (policy == SchedulePolicy::kShuffled) rng.shuffle(order);
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < agents && result.steps < max_steps; ++i) {
+      std::size_t agent = policy == SchedulePolicy::kRandom
+                              ? rng.below(agents)
+                              : order[i];
+      step(agent);
+      ++result.steps;
+      ++taken;
+      if (done()) {
+        result.converged = true;
+        return result;
+      }
+    }
+    if (taken == agents) ++result.rounds;  // only completed passes count
+  }
+  result.converged = done();
+  return result;
+}
+
+}  // namespace pdcu::rt

@@ -1,0 +1,48 @@
+#include "pdcu/runtime/trace.hpp"
+
+#include <algorithm>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::rt {
+
+void TraceLog::record(std::int64_t vtime, int rank, std::string text) {
+  std::lock_guard lock(mutex_);
+  events_.push_back({vtime, rank, std::move(text)});
+}
+
+void TraceLog::narrate(std::string text, std::int64_t vtime) {
+  record(vtime, -1, std::move(text));
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.vtime < b.vtime;
+                   });
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceLog::render_script() const {
+  std::string out;
+  for (const auto& event : events()) {
+    out += "[t=" + strings::pad_left(std::to_string(event.vtime), 5) + "] ";
+    if (event.rank < 0) {
+      out += "narrator: ";
+    } else {
+      out += "student " + std::to_string(event.rank) + ": ";
+    }
+    out += event.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pdcu::rt

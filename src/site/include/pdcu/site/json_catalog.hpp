@@ -1,0 +1,23 @@
+// Machine-readable catalog emission: an index.json alongside the HTML
+// site, so downstream tools (course planners, other repositories) can
+// consume the curation without scraping pages.
+#pragma once
+
+#include <string>
+
+#include "pdcu/core/repository.hpp"
+
+namespace pdcu::site {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+/// Renders one activity as a JSON object.
+std::string activity_json(const core::Activity& activity);
+
+/// Renders the whole catalog: {"activities": [...], "coverage": {...},
+/// "stats": {...}} with the Table I/II numbers embedded.
+std::string render_json_catalog(const core::Repository& repo);
+
+}  // namespace pdcu::site

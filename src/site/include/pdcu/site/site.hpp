@@ -1,0 +1,56 @@
+// The static-site generator: what Hugo does for pdcunplugged.org (§II).
+// Renders the repository to a set of HTML pages: an index, one page per
+// activity (Fig. 3 header + body), one listing page per taxonomy term, and
+// the four views of §II.C.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::site {
+
+/// One generated page.
+struct Page {
+  std::string path;  ///< site-relative, e.g. "activities/findsmallestcard/index.html"
+  std::string html;
+};
+
+/// Result of a site build.
+struct Site {
+  std::vector<Page> pages;
+  std::chrono::microseconds build_time{0};
+
+  const Page* find(std::string_view path) const;
+};
+
+/// Options controlling generation.
+struct SiteOptions {
+  std::string base_title = "PDCunplugged";
+  bool include_views = true;       ///< CS2013/TCPP/Courses/Accessibility views
+  bool include_term_pages = true;  ///< one listing page per term
+};
+
+/// Builds the whole site in memory.
+Site build_site(const core::Repository& repo, const SiteOptions& options = {});
+
+/// Builds and writes the site under `out_dir`.
+Expected<Site> write_site(const core::Repository& repo,
+                          const std::filesystem::path& out_dir,
+                          const SiteOptions& options = {});
+
+/// Renders one activity page (Fig. 3: title, colored taxonomy chips, then
+/// the rendered Markdown body).
+std::string render_activity_page(const core::Activity& activity);
+
+/// Renders just the activity header (title + chips), as in Fig. 3.
+std::string render_activity_header(const core::Activity& activity);
+
+/// Renders an ANSI-colored terminal version of the activity header.
+std::string render_activity_header_ansi(const core::Activity& activity);
+
+}  // namespace pdcu::site

@@ -1,0 +1,212 @@
+#include "pdcu/site/site.hpp"
+
+#include <algorithm>
+
+#include "pdcu/core/activity_io.hpp"
+#include "pdcu/core/views.hpp"
+#include "pdcu/site/json_catalog.hpp"
+#include "pdcu/markdown/frontmatter.hpp"
+#include "pdcu/markdown/html.hpp"
+#include "pdcu/markdown/parser.hpp"
+#include "pdcu/support/fs.hpp"
+#include "pdcu/support/slug.hpp"
+#include "pdcu/support/strings.hpp"
+#include "pdcu/taxonomy/chips.hpp"
+
+namespace pdcu::site {
+
+namespace strs = pdcu::strings;
+
+namespace {
+
+/// Wraps body HTML in the shared page layout.
+std::string layout(std::string_view site_title, std::string_view page_title,
+                   std::string_view body) {
+  std::string out;
+  out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  out += "<meta charset=\"utf-8\">\n";
+  out += "<title>" + strs::html_escape(page_title) + " | " +
+         strs::html_escape(site_title) + "</title>\n";
+  out += "<style>.chip{color:#fff;padding:2px 6px;border-radius:4px;"
+         "margin-right:4px;text-decoration:none;font-size:0.85em}</style>\n";
+  out += "</head>\n<body>\n";
+  out += body;
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+const tax::TaxonomyConfig& config() {
+  static const tax::TaxonomyConfig kConfig =
+      tax::TaxonomyConfig::pdcunplugged();
+  return kConfig;
+}
+
+std::string chips_for(const core::Activity& activity, bool ansi) {
+  std::string out;
+  const auto tags = activity.tags();
+  for (const auto& taxonomy : config().visible()) {
+    auto it = tags.find(taxonomy.key);
+    if (it == tags.end()) continue;
+    for (const auto& term : it->second) {
+      out += ansi ? tax::ansi_chip(taxonomy, term)
+                  : tax::html_chip(taxonomy, term);
+      out += ansi ? " " : "\n";
+    }
+  }
+  return out;
+}
+
+std::string activities_list_html(const std::vector<tax::PageRef>& pages) {
+  std::string out = "<ul>\n";
+  for (const auto& page : pages) {
+    out += "<li><a href=\"/activities/" + page.slug + "/\">" +
+           strs::html_escape(page.title) + "</a></li>\n";
+  }
+  out += "</ul>\n";
+  return out;
+}
+
+}  // namespace
+
+const Page* Site::find(std::string_view path) const {
+  for (const auto& page : pages) {
+    if (page.path == path) return &page;
+  }
+  return nullptr;
+}
+
+std::string render_activity_header(const core::Activity& activity) {
+  std::string body = "<h1>" + strs::html_escape(activity.title) + "</h1>\n";
+  body += "<div class=\"tags\">\n" + chips_for(activity, /*ansi=*/false) +
+          "</div>\n";
+  return body;
+}
+
+std::string render_activity_header_ansi(const core::Activity& activity) {
+  return activity.title + "\n" + chips_for(activity, /*ansi=*/true) + "\n";
+}
+
+std::string render_activity_page(const core::Activity& activity) {
+  std::string body = render_activity_header(activity);
+  // The body sections come from the canonical Markdown serialization, so a
+  // page looks identical whether the activity was loaded from disk or from
+  // the built-in curation.
+  auto split = md::parse_content(core::write_activity(activity));
+  if (split) {
+    body += md::render_html(md::parse_markdown(split.value().body));
+  }
+  return body;
+}
+
+Site build_site(const core::Repository& repo, const SiteOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Site site;
+
+  // Index page: all activities, newest first (Hugo default ordering).
+  {
+    std::vector<const core::Activity*> sorted;
+    for (const auto& a : repo.activities()) sorted.push_back(&a);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const core::Activity* x, const core::Activity* y) {
+                       return y->date < x->date;
+                     });
+    std::string body = "<h1>" + options.base_title + "</h1>\n<ul>\n";
+    for (const auto* a : sorted) {
+      body += "<li><a href=\"/activities/" + a->slug + "/\">" +
+              strs::html_escape(a->title) + "</a></li>\n";
+    }
+    body += "</ul>\n";
+    site.pages.push_back(
+        {"index.html", layout(options.base_title, "Activities", body)});
+  }
+
+  // One page per activity.
+  for (const auto& activity : repo.activities()) {
+    site.pages.push_back({"activities/" + activity.slug + "/index.html",
+                          layout(options.base_title, activity.title,
+                                 render_activity_page(activity))});
+  }
+
+  // One listing page per (taxonomy, term).
+  if (options.include_term_pages) {
+    for (const auto& taxonomy : config().all()) {
+      for (const auto& term : repo.index().terms(taxonomy.key)) {
+        std::string body = "<h1>" + taxonomy.display_name + ": " +
+                           strs::html_escape(term) + "</h1>\n";
+        body += activities_list_html(repo.index().pages(taxonomy.key, term));
+        site.pages.push_back(
+            {taxonomy.key + "/" + slugify(term) + "/index.html",
+             layout(options.base_title, term, body)});
+      }
+    }
+  }
+
+  // The four views of §II.C.
+  if (options.include_views) {
+    {
+      std::string body = "<h1>CS2013 View</h1>\n";
+      for (const auto& entry : core::cs2013_view(repo)) {
+        body += "<h3>[" + entry.detail_term + "] " +
+                strs::html_escape(entry.outcome_text) + "</h3>\n";
+        body += activities_list_html(entry.activities);
+      }
+      site.pages.push_back(
+          {"views/cs2013/index.html",
+           layout(options.base_title, "CS2013 View", body)});
+    }
+    {
+      std::string body = "<h1>TCPP View</h1>\n";
+      for (const auto& entry : core::tcpp_view(repo)) {
+        body += "<h3>[" + entry.detail_term + "] " +
+                strs::html_escape(entry.description) + "</h3>\n";
+        body += "<p>Recommended courses: " +
+                strs::html_escape(strs::join(entry.recommended_courses,
+                                             ", ")) +
+                "</p>\n";
+        body += activities_list_html(entry.activities);
+      }
+      site.pages.push_back({"views/tcpp/index.html",
+                            layout(options.base_title, "TCPP View", body)});
+    }
+    {
+      std::string body = "<h1>Courses View</h1>\n";
+      for (const auto& entry : core::courses_view(repo)) {
+        body += "<h3>" + entry.display_name + "</h3>\n";
+        body += activities_list_html(entry.activities);
+      }
+      site.pages.push_back(
+          {"views/courses/index.html",
+           layout(options.base_title, "Courses View", body)});
+    }
+    {
+      std::string body = "<h1>Accessibility View</h1>\n";
+      for (const auto& entry : core::accessibility_view(repo)) {
+        body += "<h3>" + entry.kind + ": " + entry.term + "</h3>\n";
+        body += activities_list_html(entry.activities);
+      }
+      site.pages.push_back(
+          {"views/accessibility/index.html",
+           layout(options.base_title, "Accessibility View", body)});
+    }
+  }
+
+  // Machine-readable catalog alongside the HTML pages.
+  site.pages.push_back({"index.json", render_json_catalog(repo)});
+
+  site.build_time = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return site;
+}
+
+Expected<Site> write_site(const core::Repository& repo,
+                          const std::filesystem::path& out_dir,
+                          const SiteOptions& options) {
+  Site site = build_site(repo, options);
+  for (const auto& page : site.pages) {
+    auto status = fs::write_file(out_dir / page.path, page.html);
+    if (!status) return status.error();
+  }
+  return site;
+}
+
+}  // namespace pdcu::site

@@ -1,0 +1,58 @@
+#include "pdcu/support/date.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace pdcu {
+
+namespace {
+bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[static_cast<std::size_t>(month)];
+}
+}  // namespace
+
+bool Date::valid(int year, int month, int day) {
+  if (year < 1 || month < 1 || month > 12 || day < 1) return false;
+  return day <= days_in_month(year, month);
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+Expected<Date> Date::parse(std::string_view text) {
+  const auto bad = [&] {
+    return Error::make("date.parse",
+                       "expected YYYY-MM-DD, got '" + std::string(text) + "'");
+  };
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return bad();
+  auto digits = [](std::string_view s, int& out) {
+    out = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      out = out * 10 + (c - '0');
+    }
+    return true;
+  };
+  int y = 0, m = 0, d = 0;
+  if (!digits(text.substr(0, 4), y) || !digits(text.substr(5, 2), m) ||
+      !digits(text.substr(8, 2), d)) {
+    return bad();
+  }
+  if (!valid(y, m, d)) {
+    return Error::make("date.range",
+                       "impossible date '" + std::string(text) + "'");
+  }
+  return Date{y, m, d};
+}
+
+}  // namespace pdcu

@@ -1,0 +1,63 @@
+#include "pdcu/support/fs.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace pdcu::fs {
+
+Expected<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error::make("fs.open", "cannot open '" + path.string() + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Error::make("fs.read", "read error on '" + path.string() + "'");
+  }
+  return buf.str();
+}
+
+Status write_file(const std::filesystem::path& path,
+                  const std::string& content) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      return Error::make("fs.mkdir", "cannot create directories for '" +
+                                         path.string() + "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error::make("fs.open", "cannot open '" + path.string() +
+                                      "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Error::make("fs.write", "write error on '" + path.string() + "'");
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<std::filesystem::path>> list_files(
+    const std::filesystem::path& dir, const std::string& extension) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Error::make("fs.listdir",
+                       "cannot list '" + dir.string() + "': " + ec.message());
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == extension) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace pdcu::fs

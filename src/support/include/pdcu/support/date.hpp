@@ -1,0 +1,31 @@
+// Minimal ISO-8601 calendar dates for activity front matter.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu {
+
+/// A calendar date (proleptic Gregorian). Used for the `date:` front-matter
+/// field of activities.
+struct Date {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31, validated against the month
+
+  auto operator<=>(const Date&) const = default;
+
+  /// Formats as YYYY-MM-DD.
+  std::string to_string() const;
+
+  /// Parses "YYYY-MM-DD"; rejects impossible dates (e.g. Feb 30).
+  static Expected<Date> parse(std::string_view text);
+
+  /// True when year/month/day denote a real calendar date.
+  static bool valid(int year, int month, int day);
+};
+
+}  // namespace pdcu

@@ -1,0 +1,98 @@
+// Minimal Expected<T> for error propagation without exceptions on hot paths.
+// GCC 12 in C++20 mode has no std::expected; this is the small subset the
+// project needs (value-or-Error, monadic map, and_then).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pdcu {
+
+/// A structured error: a short machine-usable code plus human context.
+struct Error {
+  std::string code;     ///< stable identifier, e.g. "frontmatter.unterminated"
+  std::string message;  ///< human-readable description
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+
+  /// Returns a copy of this error with extra context prepended to the message.
+  Error context(const std::string& what) const {
+    return Error{code, what + ": " + message};
+  }
+};
+
+/// Result type: holds either a T or an Error.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}          // NOLINT(implicit)
+  Expected(Error error) : storage_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool has_value() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  /// Applies f to the contained value; propagates the error unchanged.
+  template <typename F>
+  auto map(F&& f) const -> Expected<decltype(f(std::declval<const T&>()))> {
+    if (!has_value()) return error();
+    return f(value());
+  }
+
+  /// Chains a computation that itself returns an Expected.
+  template <typename F>
+  auto and_then(F&& f) const -> decltype(f(std::declval<const T&>())) {
+    if (!has_value()) return error();
+    return f(value());
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Expected<void> analogue for operations with no result payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status ok() { return Status{}; }
+
+  bool has_value() const { return !failed_; }
+  explicit operator bool() const { return !failed_; }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace pdcu

@@ -1,0 +1,24 @@
+// Filesystem helpers returning Expected instead of throwing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::fs {
+
+/// Reads a whole file into a string.
+Expected<std::string> read_file(const std::filesystem::path& path);
+
+/// Writes (creating parent directories as needed), replacing any prior file.
+Status write_file(const std::filesystem::path& path,
+                  const std::string& content);
+
+/// Non-recursive listing of regular files with the given extension
+/// (e.g. ".md"), sorted by filename for deterministic iteration order.
+Expected<std::vector<std::filesystem::path>> list_files(
+    const std::filesystem::path& dir, const std::string& extension);
+
+}  // namespace pdcu::fs

@@ -1,0 +1,19 @@
+// URL slug generation, mirroring Hugo's path normalization for content pages.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pdcu {
+
+/// Converts a title to a URL slug: lower-case, alphanumerics kept, runs of
+/// other characters collapsed to single '-', no leading/trailing '-'.
+/// "FindSmallestCard" -> "findsmallestcard"; "Concert Tickets!" ->
+/// "concert-tickets".
+std::string slugify(std::string_view title);
+
+/// True if `s` is already a valid slug (non-empty, [a-z0-9-], no edge or
+/// doubled dashes).
+bool is_slug(std::string_view s);
+
+}  // namespace pdcu

@@ -1,0 +1,46 @@
+// ASCII table rendering, used to print the paper's Tables I and II (and the
+// benchmark reports) in a stable, diff-friendly layout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pdcu {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds fixed-width ASCII tables with a header row and column wrapping.
+///
+/// Example output:
+///   +----------------+------+
+///   | Knowledge Unit | Num. |
+///   +----------------+------+
+///   | Parallel Fund. |    3 |
+///   +----------------+------+
+class TextTable {
+ public:
+  /// `max_col_width` caps each column; longer cells word-wrap.
+  explicit TextTable(std::vector<std::string> header,
+                     std::size_t max_col_width = 28);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Sets alignment for one column (default left).
+  void set_align(std::size_t column, Align align);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table including borders, one trailing newline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+  std::size_t max_col_width_;
+};
+
+}  // namespace pdcu

@@ -1,0 +1,35 @@
+#include "pdcu/support/slug.hpp"
+
+#include <cctype>
+
+namespace pdcu {
+
+std::string slugify(std::string_view title) {
+  std::string out;
+  out.reserve(title.size());
+  bool pending_dash = false;
+  for (unsigned char c : title) {
+    if (std::isalnum(c)) {
+      if (pending_dash && !out.empty()) out += '-';
+      pending_dash = false;
+      out += static_cast<char>(std::tolower(c));
+    } else {
+      pending_dash = true;
+    }
+  }
+  return out;
+}
+
+bool is_slug(std::string_view s) {
+  if (s.empty() || s.front() == '-' || s.back() == '-') return false;
+  char prev = '\0';
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+    if (c == '-' && prev == '-') return false;
+    prev = c;
+  }
+  return true;
+}
+
+}  // namespace pdcu

@@ -1,0 +1,87 @@
+#include "pdcu/support/text_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::size_t max_col_width)
+    : header_(std::move(header)),
+      aligns_(header_.size(), Align::kLeft),
+      max_col_width_(max_col_width) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  assert(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  const std::size_t ncols = header_.size();
+
+  // Wrap every cell (header included) and record final column widths.
+  auto wrap_row = [&](const std::vector<std::string>& row) {
+    std::vector<std::vector<std::string>> cells(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      cells[c] = strings::word_wrap(row[c], max_col_width_);
+    }
+    return cells;
+  };
+
+  std::vector<std::vector<std::vector<std::string>>> wrapped;
+  wrapped.push_back(wrap_row(header_));
+  for (const auto& row : rows_) wrapped.push_back(wrap_row(row));
+
+  std::vector<std::size_t> widths(ncols, 1);
+  for (const auto& row : wrapped) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      for (const auto& line : row[c]) {
+        widths[c] = std::max(widths[c], line.size());
+      }
+    }
+  }
+
+  std::string border = "+";
+  for (std::size_t c = 0; c < ncols; ++c) {
+    border += strings::repeat("-", widths[c] + 2);
+    border += '+';
+  }
+  border += '\n';
+
+  auto render_row = [&](const std::vector<std::vector<std::string>>& cells) {
+    std::size_t height = 0;
+    for (const auto& cell : cells) height = std::max(height, cell.size());
+    std::string out;
+    for (std::size_t line = 0; line < height; ++line) {
+      out += '|';
+      for (std::size_t c = 0; c < ncols; ++c) {
+        std::string text =
+            line < cells[c].size() ? cells[c][line] : std::string{};
+        out += ' ';
+        out += aligns_[c] == Align::kLeft ? strings::pad_right(text, widths[c])
+                                          : strings::pad_left(text, widths[c]);
+        out += " |";
+      }
+      out += '\n';
+    }
+    return out;
+  };
+
+  std::string out = border;
+  out += render_row(wrapped.front());
+  out += border;
+  for (std::size_t r = 1; r < wrapped.size(); ++r) {
+    out += render_row(wrapped[r]);
+  }
+  out += border;
+  return out;
+}
+
+}  // namespace pdcu

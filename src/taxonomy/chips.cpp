@@ -1,0 +1,30 @@
+#include "pdcu/taxonomy/chips.hpp"
+
+#include "pdcu/support/slug.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::tax {
+
+namespace strs = pdcu::strings;
+
+std::string term_url(const Taxonomy& taxonomy, const std::string& term) {
+  return "/" + taxonomy.key + "/" + slugify(term) + "/";
+}
+
+std::string html_chip(const Taxonomy& taxonomy, const std::string& term) {
+  return "<a class=\"chip chip-" + taxonomy.key + "\" style=\"background:" +
+         taxonomy.color.hex + "\" href=\"" + term_url(taxonomy, term) +
+         "\">" + strs::html_escape(term) + "</a>";
+}
+
+std::string ansi_chip(const Taxonomy& taxonomy, const std::string& term) {
+  return "\x1b[38;5;" + std::to_string(taxonomy.color.ansi256) + "m[" + term +
+         "]\x1b[0m";
+}
+
+std::string plain_chip(const Taxonomy& taxonomy, const std::string& term) {
+  (void)taxonomy;
+  return "[" + term + "]";
+}
+
+}  // namespace pdcu::tax

@@ -1,0 +1,25 @@
+// Term "chips": the colored tags rendered under an activity title (Fig. 3).
+// Rendered two ways: HTML for the generated site and ANSI for terminal tools.
+#pragma once
+
+#include <string>
+
+#include "pdcu/taxonomy/taxonomy.hpp"
+
+namespace pdcu::tax {
+
+/// HTML chip: a colored link to the term's listing page,
+/// e.g. <a class="chip chip-cs2013" style="background:#2b6cb0"
+///        href="/cs2013/pd_parallelalgorithms/">PD_ParallelAlgorithms</a>.
+std::string html_chip(const Taxonomy& taxonomy, const std::string& term);
+
+/// ANSI chip for terminal rendering: `[term]` wrapped in the taxonomy color.
+std::string ansi_chip(const Taxonomy& taxonomy, const std::string& term);
+
+/// Plain chip without color codes (for logs and golden tests).
+std::string plain_chip(const Taxonomy& taxonomy, const std::string& term);
+
+/// Site-relative URL of a term page, e.g. "/cs2013/pd_parallelalgorithms/".
+std::string term_url(const Taxonomy& taxonomy, const std::string& term);
+
+}  // namespace pdcu::tax

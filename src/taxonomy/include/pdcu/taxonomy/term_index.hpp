@@ -1,0 +1,72 @@
+// The term index: Hugo's taxonomy grouping. Given tagged pages, groups them
+// by (taxonomy, term) so the site can render a listing page per term and the
+// views can enumerate activities per learning outcome / topic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdcu/taxonomy/taxonomy.hpp"
+
+namespace pdcu::tax {
+
+/// A lightweight reference to a tagged page.
+struct PageRef {
+  std::string slug;   ///< e.g. "findsmallestcard"
+  std::string title;  ///< e.g. "FindSmallestCard"
+
+  bool operator==(const PageRef& other) const { return slug == other.slug; }
+};
+
+/// Tags carried by one page: taxonomy key -> terms.
+using PageTags = std::map<std::string, std::vector<std::string>, std::less<>>;
+
+/// Groups pages by term, per taxonomy.
+class TermIndex {
+ public:
+  explicit TermIndex(TaxonomyConfig config) : config_(std::move(config)) {}
+
+  /// Indexes one page. Unknown taxonomy keys in `tags` are ignored (they are
+  /// ordinary front-matter fields, not taxonomies). Duplicate terms on the
+  /// same page index once.
+  void add_page(const PageRef& page, const PageTags& tags);
+
+  /// All terms of a taxonomy, sorted; empty for unknown taxonomies.
+  std::vector<std::string> terms(std::string_view taxonomy) const;
+
+  /// Pages carrying a term, in insertion (curation) order.
+  std::vector<PageRef> pages(std::string_view taxonomy,
+                             std::string_view term) const;
+
+  /// Number of pages carrying a term.
+  std::size_t count(std::string_view taxonomy, std::string_view term) const;
+
+  /// Pages carrying *any* term of the taxonomy (deduplicated, insertion
+  /// order). Used for per-knowledge-unit activity totals.
+  std::vector<PageRef> pages_with_any(
+      std::string_view taxonomy,
+      const std::vector<std::string>& terms) const;
+
+  /// Pages carrying *all* the given terms (intersection query for views).
+  std::vector<PageRef> pages_with_all(
+      std::string_view taxonomy,
+      const std::vector<std::string>& terms) const;
+
+  std::size_t page_count() const { return total_pages_; }
+
+  const TaxonomyConfig& config() const { return config_; }
+
+ private:
+  TaxonomyConfig config_;
+  // taxonomy key -> term -> pages (insertion order).
+  std::map<std::string, std::map<std::string, std::vector<PageRef>,
+                                 std::less<>>,
+           std::less<>>
+      index_;
+  std::size_t total_pages_ = 0;
+};
+
+}  // namespace pdcu::tax

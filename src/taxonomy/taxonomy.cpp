@@ -1,0 +1,41 @@
+#include "pdcu/taxonomy/taxonomy.hpp"
+
+namespace pdcu::tax {
+
+TaxonomyConfig TaxonomyConfig::pdcunplugged() {
+  TaxonomyConfig config;
+  // Visible taxonomies, in the order they appear under an activity title.
+  config.add({std::string(keys::kCs2013), "CS2013", false,
+              {"blue", "#2b6cb0", 27}});
+  config.add({std::string(keys::kTcpp), "TCPP", false,
+              {"green", "#2f855a", 28}});
+  config.add({std::string(keys::kCourses), "Courses", false,
+              {"purple", "#6b46c1", 93}});
+  config.add({std::string(keys::kSenses), "Senses", false,
+              {"orange", "#c05621", 166}});
+  // Hidden taxonomies used by the CS2013 / TCPP / Accessibility views.
+  config.add({std::string(keys::kCs2013Details), "CS2013 Learning Outcomes",
+              true, {"lightblue", "#63b3ed", 75}});
+  config.add({std::string(keys::kTcppDetails), "TCPP Topics", true,
+              {"lightgreen", "#68d391", 77}});
+  config.add({std::string(keys::kMedium), "Medium", true,
+              {"red", "#c53030", 124}});
+  return config;
+}
+
+std::vector<Taxonomy> TaxonomyConfig::visible() const {
+  std::vector<Taxonomy> out;
+  for (const auto& t : taxonomies_) {
+    if (!t.hidden) out.push_back(t);
+  }
+  return out;
+}
+
+std::optional<Taxonomy> TaxonomyConfig::find(std::string_view key) const {
+  for (const auto& t : taxonomies_) {
+    if (t.key == key) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdcu::tax

@@ -1,0 +1,78 @@
+#include "pdcu/taxonomy/term_index.hpp"
+
+#include <algorithm>
+
+namespace pdcu::tax {
+
+void TermIndex::add_page(const PageRef& page, const PageTags& tags) {
+  ++total_pages_;
+  for (const auto& [key, terms] : tags) {
+    if (!config_.is_taxonomy_key(key)) continue;
+    auto& term_map = index_[key];
+    for (const auto& term : terms) {
+      auto& pages = term_map[term];
+      if (std::find(pages.begin(), pages.end(), page) == pages.end()) {
+        pages.push_back(page);
+      }
+    }
+  }
+}
+
+std::vector<std::string> TermIndex::terms(std::string_view taxonomy) const {
+  std::vector<std::string> out;
+  auto it = index_.find(taxonomy);
+  if (it == index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [term, pages] : it->second) out.push_back(term);
+  return out;  // std::map iterates sorted
+}
+
+std::vector<PageRef> TermIndex::pages(std::string_view taxonomy,
+                                      std::string_view term) const {
+  auto it = index_.find(taxonomy);
+  if (it == index_.end()) return {};
+  auto jt = it->second.find(term);
+  if (jt == it->second.end()) return {};
+  return jt->second;
+}
+
+std::size_t TermIndex::count(std::string_view taxonomy,
+                             std::string_view term) const {
+  auto it = index_.find(taxonomy);
+  if (it == index_.end()) return 0;
+  auto jt = it->second.find(term);
+  return jt == it->second.end() ? 0 : jt->second.size();
+}
+
+std::vector<PageRef> TermIndex::pages_with_any(
+    std::string_view taxonomy, const std::vector<std::string>& terms) const {
+  std::vector<PageRef> out;
+  for (const auto& term : terms) {
+    for (const auto& page : pages(taxonomy, term)) {
+      if (std::find(out.begin(), out.end(), page) == out.end()) {
+        out.push_back(page);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PageRef> TermIndex::pages_with_all(
+    std::string_view taxonomy, const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+  std::vector<PageRef> out = pages(taxonomy, terms.front());
+  for (std::size_t i = 1; i < terms.size() && !out.empty(); ++i) {
+    std::vector<PageRef> with_term = pages(taxonomy, terms[i]);
+    std::vector<PageRef> kept;
+    for (const auto& page : out) {
+      if (std::find(with_term.begin(), with_term.end(), page) !=
+          with_term.end()) {
+        kept.push_back(page);
+      }
+    }
+    out = std::move(kept);
+  }
+  return out;
+}
+
+}  // namespace pdcu::tax

@@ -1,0 +1,284 @@
+#include "pdcu/activities/performance.hpp"
+
+#include "pdcu/activities/races.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace act = pdcu::act;
+namespace rt = pdcu::rt;
+
+// --- Phone call ---------------------------------------------------------------
+
+TEST(PhoneCall, ManySmallCallsPayLatencyRepeatedly) {
+  rt::CostModel model;
+  model.msg_latency = 4;
+  model.msg_per_item = 1;
+  auto result = act::phone_call_compare(100, 1, model);
+  EXPECT_EQ(result.one_big_cost, 104);
+  EXPECT_EQ(result.many_small_cost, 100 * 4 + 100);
+  EXPECT_GT(result.overhead_ratio, 4.0);
+}
+
+TEST(PhoneCall, ChunkingAmortizes) {
+  auto chunk1 = act::phone_call_compare(1000, 1);
+  auto chunk10 = act::phone_call_compare(1000, 10);
+  auto chunk100 = act::phone_call_compare(1000, 100);
+  EXPECT_GT(chunk1.many_small_cost, chunk10.many_small_cost);
+  EXPECT_GT(chunk10.many_small_cost, chunk100.many_small_cost);
+}
+
+TEST(PhoneCall, OneChunkEqualsOneBigCall) {
+  auto result = act::phone_call_compare(64, 64);
+  EXPECT_EQ(result.many_small_cost, result.one_big_cost);
+  EXPECT_DOUBLE_EQ(result.overhead_ratio, 1.0);
+}
+
+// --- Load balancing --------------------------------------------------------------
+
+TEST(LoadBalance, UniformWorkSplitsEvenly) {
+  std::vector<std::int64_t> patches(40, 5);
+  auto result = act::balance_load(patches, 4, /*grab_cost=*/0);
+  EXPECT_EQ(result.total_work, 200);
+  EXPECT_EQ(result.static_makespan, 50);
+  EXPECT_EQ(result.dynamic_makespan, 50);
+  EXPECT_DOUBLE_EQ(result.static_imbalance, 1.0);
+}
+
+TEST(LoadBalance, ClusteredRocksDefeatStaticStrips) {
+  auto patches = act::skewed_patches(64, 9);
+  auto result = act::balance_load(patches, 4);
+  EXPECT_GT(result.static_makespan, result.dynamic_makespan);
+  EXPECT_GT(result.static_imbalance, 1.5);
+}
+
+TEST(LoadBalance, DynamicPaysGrabOverhead) {
+  std::vector<std::int64_t> patches(30, 2);
+  auto free_grabs = act::balance_load(patches, 3, 0);
+  auto costly_grabs = act::balance_load(patches, 3, 5);
+  EXPECT_GT(costly_grabs.dynamic_makespan, free_grabs.dynamic_makespan);
+  EXPECT_EQ(costly_grabs.dynamic_overhead, 150);
+}
+
+TEST(LoadBalance, OneWorkerMakespansEqualTotal) {
+  std::vector<std::int64_t> patches = {3, 1, 4, 1, 5};
+  auto result = act::balance_load(patches, 1, 0);
+  EXPECT_EQ(result.static_makespan, 14);
+  EXPECT_EQ(result.dynamic_makespan, 14);
+}
+
+TEST(LoadBalance, DynamicNeverWorseThanSerial) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto patches = act::skewed_patches(50, seed);
+    auto result = act::balance_load(patches, 4, 1);
+    EXPECT_LE(result.dynamic_makespan,
+              result.total_work + 50);  // total + all grab overhead
+    EXPECT_GE(result.dynamic_makespan, result.total_work / 4);
+  }
+}
+
+// --- Pipeline ----------------------------------------------------------------------
+
+TEST(Pipeline, BalancedStagesReachIdealThroughput) {
+  std::vector<std::int64_t> stages = {3, 3, 3};
+  auto result = act::run_pipeline(stages, 10);
+  EXPECT_EQ(result.latency, 9);
+  EXPECT_EQ(result.serial_makespan, 90);
+  // latency + (items-1) * bottleneck = 9 + 27 = 36.
+  EXPECT_EQ(result.pipelined_makespan, 36);
+  EXPECT_EQ(result.bottleneck_stage_cost, 3);
+}
+
+TEST(Pipeline, BottleneckStageGovernsSteadyState) {
+  std::vector<std::int64_t> stages = {1, 5, 1};
+  auto result = act::run_pipeline(stages, 20);
+  EXPECT_EQ(result.pipelined_makespan, 7 + 19 * 5);
+}
+
+TEST(Pipeline, OneItemHasNoPipelineBenefit) {
+  std::vector<std::int64_t> stages = {2, 4, 2};
+  auto result = act::run_pipeline(stages, 1);
+  EXPECT_EQ(result.pipelined_makespan, result.latency);
+  EXPECT_EQ(result.serial_makespan, result.latency);
+}
+
+TEST(Pipeline, SingleStageDegenerates) {
+  std::vector<std::int64_t> stages = {4};
+  auto result = act::run_pipeline(stages, 6);
+  EXPECT_EQ(result.pipelined_makespan, 24);
+  EXPECT_EQ(result.serial_makespan, 24);
+}
+
+// --- Amdahl ------------------------------------------------------------------------
+
+TEST(Amdahl, SimulatedMatchesPredictedWhenDivisible) {
+  // With tasks divisible by teams the race reproduces Amdahl exactly.
+  for (int teams : {1, 2, 4, 8, 16}) {
+    auto result = act::speedup_race(64, 1, teams);
+    EXPECT_NEAR(result.simulated_speedup, result.predicted_speedup, 1e-9)
+        << teams;
+  }
+}
+
+TEST(Amdahl, SpeedupIsBoundedByInverseSerialFraction) {
+  auto result = act::speedup_race(128, 1, 1000);
+  const double limit = 1.0 / result.serial_fraction;
+  EXPECT_LT(result.simulated_speedup, limit);
+  EXPECT_GT(result.simulated_speedup, 0.9 * limit);
+}
+
+TEST(Amdahl, NoSerialFractionScalesLinearly) {
+  auto result = act::speedup_race(64, 0, 8);
+  EXPECT_DOUBLE_EQ(result.simulated_speedup, 8.0);
+}
+
+TEST(Amdahl, MonotoneInTeams) {
+  double last = 0.0;
+  for (int teams : {1, 2, 4, 8}) {
+    auto result = act::speedup_race(64, 2, teams);
+    EXPECT_GT(result.simulated_speedup, last);
+    last = result.simulated_speedup;
+  }
+}
+
+// --- Grading exams --------------------------------------------------------------------
+
+TEST(Grading, AllStrategiesFinishTheStack) {
+  std::vector<std::int64_t> questions = {2, 3, 2};
+  for (auto strategy :
+       {act::GradingStrategy::kStaticSplit, act::GradingStrategy::kCentralPile,
+        act::GradingStrategy::kPerQuestion}) {
+    auto result = act::grade_exams(4, 24, questions, strategy, 5);
+    EXPECT_TRUE(result.all_graded);
+    EXPECT_GT(result.makespan, 0);
+  }
+}
+
+TEST(Grading, CentralPileBalancesBetterThanStaticOnVariableExams) {
+  // With per-exam wobble, dealing from the pile adapts; static shares
+  // strand a slow grader. Pile pays one contention unit per exam but
+  // should still be within that overhead of static, usually better.
+  std::vector<std::int64_t> questions = {1, 1, 1, 1};
+  std::int64_t static_total = 0;
+  std::int64_t pile_total = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    static_total += act::grade_exams(4, 40, questions,
+                                     act::GradingStrategy::kStaticSplit,
+                                     seed)
+                        .makespan;
+    pile_total += act::grade_exams(4, 40, questions,
+                                   act::GradingStrategy::kCentralPile, seed)
+                      .makespan;
+  }
+  EXPECT_LT(pile_total, static_total + 10 * 12);
+}
+
+TEST(Grading, PileWaitsCountEveryExam) {
+  std::vector<std::int64_t> questions = {2};
+  auto result = act::grade_exams(3, 30, questions,
+                                 act::GradingStrategy::kCentralPile, 1);
+  EXPECT_EQ(result.pile_waits, 30);
+}
+
+TEST(Grading, OneGraderMakespanIsTotalWork) {
+  std::vector<std::int64_t> questions = {5};
+  auto result = act::grade_exams(1, 10, questions,
+                                 act::GradingStrategy::kStaticSplit, 7);
+  EXPECT_GE(result.makespan, 50);   // at least base cost
+  EXPECT_LE(result.makespan, 70);   // plus bounded wobble
+}
+
+TEST(Grading, PipelineNeverBeatsTheBottleneckBound) {
+  std::vector<std::int64_t> questions = {1, 6, 1};
+  auto result = act::grade_exams(3, 30, questions,
+                                 act::GradingStrategy::kPerQuestion, 3);
+  // The difficult question serializes: >= 30 * 6.
+  EXPECT_GE(result.makespan, 180);
+}
+
+// --- Two stations (PF_1) ----------------------------------------------------------------
+
+TEST(TwoStations, CountingScalesStaplingDoesNot) {
+  auto result = act::two_stations(8, 104, 3);
+  EXPECT_GT(result.station_a_speedup, 4.0);
+  EXPECT_LT(result.station_b_speedup, 4.0);
+}
+
+TEST(TwoStations, OneStudentIsTheBaseline) {
+  auto result = act::two_stations(1, 52, 3);
+  EXPECT_DOUBLE_EQ(result.station_a_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(result.station_b_speedup, 1.0);
+}
+
+TEST(TwoStations, StaplerBoundIsAbsolute) {
+  // No matter the crowd, station B can never finish faster than one
+  // staple per packet (plus pipeline fill).
+  auto small = act::two_stations(4, 100, 9);
+  auto huge = act::two_stations(100, 100, 9);
+  EXPECT_GE(huge.station_b_makespan, 100);
+  EXPECT_LE(huge.station_b_makespan, small.station_b_makespan);
+}
+
+TEST(TwoStations, FaceCardCountIsPlausible) {
+  auto result = act::two_stations(4, 5200, 11);
+  // ~3/13 of a big deck.
+  EXPECT_NEAR(static_cast<double>(result.station_a_count) / 5200.0,
+              3.0 / 13.0, 0.03);
+}
+
+// --- Cache hierarchy ------------------------------------------------------------------
+
+TEST(Cache, WorkingSetInsideLevelHitsAfterWarmup) {
+  std::vector<act::CacheLevel> levels = {{8, 1}, {64, 10}};
+  auto result = act::simulate_hierarchy(levels, act::looping_trace(8, 800));
+  EXPECT_GT(result.hit_rate[0], 0.98);  // 8 cold misses out of 800
+}
+
+TEST(Cache, WorkingSetLargerThanLruLevelThrashes) {
+  // The classic LRU pathology: a looping working set one bigger than the
+  // level misses every time.
+  std::vector<act::CacheLevel> levels = {{8, 1}, {64, 10}};
+  auto result = act::simulate_hierarchy(levels, act::looping_trace(9, 900));
+  EXPECT_LT(result.hit_rate[0], 0.01);
+  EXPECT_GT(result.hit_rate[1], 0.95);  // the shelf still holds them
+}
+
+TEST(Cache, AmatOrdersByLocality) {
+  std::vector<act::CacheLevel> levels = {{4, 1}, {32, 10}, {256, 100}};
+  auto local = act::simulate_hierarchy(levels, act::looping_trace(4, 2000));
+  auto spread =
+      act::simulate_hierarchy(levels, act::random_trace(4096, 2000, 3));
+  EXPECT_LT(local.amat, 2.0);
+  EXPECT_GT(spread.amat, 50.0);
+}
+
+TEST(Cache, HitRatesSumToOne) {
+  std::vector<act::CacheLevel> levels = {{4, 1}, {16, 10}};
+  auto result =
+      act::simulate_hierarchy(levels, act::random_trace(64, 1000, 9));
+  double sum = 0;
+  for (double rate : result.hit_rate) sum += rate;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Cache, EmptyTrace) {
+  std::vector<act::CacheLevel> levels = {{4, 1}};
+  auto result = act::simulate_hierarchy(levels, {});
+  EXPECT_EQ(result.total_accesses, 0);
+  EXPECT_DOUBLE_EQ(result.amat, 0.0);
+}
+
+TEST(Cache, RoommateEvictionsHurt) {
+  // Two looping working sets that fit alone but not together.
+  auto result = act::roommate_interference(/*shelf=*/12, /*working_set=*/8,
+                                           /*accesses=*/1000);
+  EXPECT_GT(result.alone_hit_rate, 0.95);
+  EXPECT_LT(result.shared_hit_rate, 0.2);
+}
+
+TEST(Cache, RoommatesFitWhenShelfIsBig) {
+  auto result = act::roommate_interference(/*shelf=*/32, /*working_set=*/8,
+                                           /*accesses=*/1000);
+  EXPECT_GT(result.shared_hit_rate, 0.95);
+}

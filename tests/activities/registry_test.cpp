@@ -1,0 +1,67 @@
+#include "pdcu/activities/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdcu/core/curation.hpp"
+
+namespace act = pdcu::act;
+
+TEST(Registry, HasTwentyEightSimulations) {
+  EXPECT_EQ(act::simulations().size(), 28u);
+}
+
+TEST(Registry, SlugsAreUnique) {
+  std::set<std::string> slugs;
+  for (const auto& sim : act::simulations()) {
+    EXPECT_TRUE(slugs.insert(sim.slug).second) << sim.slug;
+    EXPECT_FALSE(sim.name.empty());
+    EXPECT_FALSE(sim.description.empty());
+    EXPECT_TRUE(static_cast<bool>(sim.run));
+  }
+}
+
+TEST(Registry, FindBySlug) {
+  EXPECT_NE(act::find_simulation("token_ring"), nullptr);
+  EXPECT_EQ(act::find_simulation("time_travel"), nullptr);
+}
+
+TEST(Registry, EveryCurationSimulationSlugResolves) {
+  // The curation's `simulation:` front-matter links must all point at a
+  // registered simulation.
+  for (const auto& activity : pdcu::core::curation()) {
+    if (activity.simulation.empty()) continue;
+    EXPECT_NE(act::find_simulation(activity.simulation), nullptr)
+        << activity.slug << " -> " << activity.simulation;
+  }
+}
+
+TEST(Registry, EveryRegisteredSimulationBacksSomeActivity) {
+  std::set<std::string> used;
+  for (const auto& activity : pdcu::core::curation()) {
+    if (!activity.simulation.empty()) used.insert(activity.simulation);
+  }
+  for (const auto& sim : act::simulations()) {
+    EXPECT_TRUE(used.count(sim.slug) == 1) << "orphan sim " << sim.slug;
+  }
+}
+
+// Running every demo end-to-end is the broadest integration sweep in the
+// suite; each demo asserts its own invariants via report.ok.
+TEST(Registry, EveryDemoRunsGreen) {
+  for (const auto& sim : act::simulations()) {
+    SCOPED_TRACE(sim.slug);
+    auto report = sim.run(/*seed=*/2024);
+    EXPECT_TRUE(report.ok) << report.summary;
+    EXPECT_FALSE(report.summary.empty());
+  }
+}
+
+TEST(Registry, DemosAreDeterministicPerSeed) {
+  const auto* sim = act::find_simulation("find_smallest_card");
+  ASSERT_NE(sim, nullptr);
+  auto a = sim->run(7);
+  auto b = sim->run(7);
+  EXPECT_EQ(a.summary, b.summary);
+}

@@ -1,0 +1,221 @@
+#include "pdcu/activities/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pdcu/support/rng.hpp"
+
+namespace act = pdcu::act;
+namespace rt = pdcu::rt;
+
+namespace {
+
+std::vector<act::Value> random_values(std::size_t n, std::uint64_t seed) {
+  pdcu::Rng rng(seed);
+  std::vector<act::Value> out(n);
+  for (auto& v : out) v = rng.between(-1000, 1000);
+  return out;
+}
+
+std::multiset<act::Value> as_multiset(const std::vector<act::Value>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+// --- FindSmallestCard --------------------------------------------------------
+
+TEST(FindSmallestCard, FindsTheMinimum) {
+  std::vector<act::Value> cards = {42, 17, 99, 3, 56, 8};
+  auto result = act::find_smallest_card(cards, 3);
+  EXPECT_EQ(result.minimum, 3);
+}
+
+TEST(FindSmallestCard, LogarithmicRounds) {
+  std::vector<act::Value> cards(64, 5);
+  cards[40] = 1;
+  auto result = act::find_smallest_card(cards, 16);
+  EXPECT_EQ(result.minimum, 1);
+  EXPECT_EQ(result.rounds, 4);  // ceil(log2 16)
+}
+
+TEST(FindSmallestCard, ComparisonsEqualNMinusOne) {
+  // Work is conserved: n-1 comparisons regardless of student count
+  // (local scans plus tree pairings).
+  auto cards = random_values(48, 7);
+  for (int students : {1, 2, 4, 8}) {
+    auto result = act::find_smallest_card(cards, students);
+    EXPECT_EQ(result.comparisons, 47) << students;
+  }
+}
+
+TEST(FindSmallestCard, MoreStudentsShrinkVirtualMakespan) {
+  auto cards = random_values(512, 11);
+  auto serial = act::find_smallest_card(cards, 1);
+  auto parallel = act::find_smallest_card(cards, 8);
+  EXPECT_LT(parallel.cost.makespan, serial.cost.makespan);
+}
+
+struct SortCase {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class SortingProperty : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortingProperty, OddEvenSortsAndPreservesMultiset) {
+  auto input = random_values(GetParam().n, GetParam().seed);
+  auto result = act::odd_even_transposition(input);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+  EXPECT_EQ(as_multiset(result.sorted), as_multiset(input));
+  EXPECT_EQ(result.rounds, static_cast<int>(GetParam().n));
+}
+
+TEST_P(SortingProperty, RadixSortsNonNegative) {
+  pdcu::Rng rng(GetParam().seed);
+  std::vector<act::Value> input(GetParam().n);
+  for (auto& v : input) v = rng.between(0, 9999);
+  auto result = act::parallel_radix_sort(input, 4);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+  EXPECT_EQ(as_multiset(result.sorted), as_multiset(input));
+}
+
+TEST_P(SortingProperty, CardSortMergesCorrectly) {
+  auto input = random_values(GetParam().n, GetParam().seed);
+  auto result = act::parallel_card_sort(input, 4);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+  EXPECT_EQ(as_multiset(result.sorted), as_multiset(input));
+}
+
+TEST_P(SortingProperty, BlockedOddEvenSorts) {
+  auto input = random_values(GetParam().n, GetParam().seed);
+  auto result = act::odd_even_blocked(input, 4);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+  EXPECT_EQ(as_multiset(result.sorted), as_multiset(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SortingProperty,
+    ::testing::Values(SortCase{1, 1}, SortCase{2, 2}, SortCase{7, 3},
+                      SortCase{8, 4}, SortCase{16, 5}, SortCase{33, 6},
+                      SortCase{64, 7}),
+    [](const ::testing::TestParamInfo<SortCase>& info) {
+      return "n" + std::to_string(info.param.n) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(OddEven, AlreadySortedStaysSorted) {
+  std::vector<act::Value> input = {1, 2, 3, 4, 5, 6};
+  auto result = act::odd_even_transposition(input);
+  EXPECT_EQ(result.sorted, input);
+}
+
+TEST(OddEven, ReverseOrderNeedsFullRounds) {
+  std::vector<act::Value> input = {6, 5, 4, 3, 2, 1};
+  auto result = act::odd_even_transposition(input);
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+}
+
+TEST(OddEven, DuplicatesHandled) {
+  std::vector<act::Value> input = {3, 3, 1, 1, 2, 2, 3};
+  auto result = act::odd_even_transposition(input);
+  EXPECT_EQ(as_multiset(result.sorted), as_multiset(input));
+  EXPECT_TRUE(std::is_sorted(result.sorted.begin(), result.sorted.end()));
+}
+
+// --- Sorting networks ----------------------------------------------------------
+
+TEST(SortingNetwork, CsUnpluggedNetworkShape) {
+  auto network = act::cs_unplugged_network();
+  EXPECT_EQ(network.wires, 6u);
+  EXPECT_EQ(network.depth(), 5u);
+  EXPECT_EQ(network.comparator_count(), 12u);
+}
+
+TEST(SortingNetwork, CsUnpluggedNetworkSortsEverything) {
+  // 0-1 principle: sorting all 64 binary inputs proves it sorts all inputs.
+  EXPECT_TRUE(act::sorts_all_zero_one_inputs(act::cs_unplugged_network()));
+}
+
+TEST(SortingNetwork, LayersHaveDisjointWires) {
+  for (const auto& network :
+       {act::cs_unplugged_network(), act::batcher_network(8),
+        act::batcher_network(13)}) {
+    for (const auto& layer : network.layers) {
+      std::set<std::size_t> used;
+      for (const auto& comparator : layer) {
+        EXPECT_TRUE(used.insert(comparator.a).second);
+        EXPECT_TRUE(used.insert(comparator.b).second);
+        EXPECT_LT(comparator.a, comparator.b);
+        EXPECT_LT(comparator.b, network.wires);
+      }
+    }
+  }
+}
+
+class BatcherProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatcherProperty, SortsAllZeroOneInputs) {
+  EXPECT_TRUE(
+      act::sorts_all_zero_one_inputs(act::batcher_network(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Wires, BatcherProperty,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+TEST(SortingNetwork, RunNetworkSortsRandomValues) {
+  auto network = act::batcher_network(16);
+  auto input = random_values(16, 21);
+  auto output = act::run_network(network, input);
+  EXPECT_TRUE(std::is_sorted(output.begin(), output.end()));
+  EXPECT_EQ(as_multiset(output), as_multiset(input));
+}
+
+TEST(SortingNetwork, DepthBeatsComparatorCount) {
+  // The whole point of the chalk diagram: parallel depth << total work.
+  auto network = act::batcher_network(16);
+  EXPECT_LT(network.depth(), network.comparator_count() / 2);
+}
+
+// --- Nondeterministic sorting -----------------------------------------------
+
+class NondetPolicy
+    : public ::testing::TestWithParam<rt::SchedulePolicy> {};
+
+TEST_P(NondetPolicy, EverySchedulePolicySorts) {
+  // The assertional claim: ANY schedule sorts. Check all policies over
+  // several seeds.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto input = random_values(24, seed * 31);
+    auto result = act::nondeterministic_sort(input, GetParam(), seed,
+                                             1000000);
+    EXPECT_TRUE(result.sorted) << "seed " << seed;
+    EXPECT_EQ(as_multiset(result.values), as_multiset(input));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NondetPolicy,
+                         ::testing::Values(rt::SchedulePolicy::kRoundRobin,
+                                           rt::SchedulePolicy::kReversed,
+                                           rt::SchedulePolicy::kRandom,
+                                           rt::SchedulePolicy::kShuffled));
+
+TEST(NondetSort, EmptyAndSingleton) {
+  auto empty = act::nondeterministic_sort({}, rt::SchedulePolicy::kRandom,
+                                          1, 10);
+  EXPECT_TRUE(empty.sorted);
+  auto one = act::nondeterministic_sort({5}, rt::SchedulePolicy::kRandom,
+                                        1, 10);
+  EXPECT_TRUE(one.sorted);
+  EXPECT_EQ(one.values, (std::vector<act::Value>{5}));
+}
+
+TEST(Sorting, TraceScriptsMentionSwaps) {
+  rt::TraceLog trace;
+  std::vector<act::Value> input = {5, 1, 4, 2};
+  act::odd_even_transposition(input, &trace);
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_NE(trace.render_script().find("swaps"), std::string::npos);
+}

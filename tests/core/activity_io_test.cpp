@@ -1,0 +1,157 @@
+#include "pdcu/core/activity_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+namespace strs = pdcu::strings;
+
+namespace {
+const core::Activity& sample() {
+  return *core::find_activity("findsmallestcard");
+}
+}  // namespace
+
+TEST(ActivityWriter, EmitsFrontMatterHeader) {
+  std::string text = core::write_activity(sample());
+  EXPECT_TRUE(strs::starts_with(text, "---\n"));
+  EXPECT_TRUE(strs::contains(text, "title: FindSmallestCard"));
+  EXPECT_TRUE(strs::contains(text, "cs2013: [\"PD_ParallelDecomposition\", "
+                                   "\"PD_ParallelAlgorithms\"]"));
+  EXPECT_TRUE(strs::contains(text, "senses: [\"touch\", \"visual\"]"));
+}
+
+TEST(ActivityWriter, EmitsAllSevenSectionsInFigOneOrder) {
+  std::string text = core::write_activity(sample());
+  const char* headings[] = {
+      "## Original Author/link", "## Details",
+      "## CS2013 Knowledge Unit Coverage", "## TCPP Topics Coverage",
+      "## Recommended Courses", "## Accessibility", "## Assessment",
+      "## Citations"};
+  std::size_t last = 0;
+  for (const char* heading : headings) {
+    std::size_t pos = text.find(heading);
+    ASSERT_NE(pos, std::string::npos) << heading;
+    EXPECT_GT(pos, last) << heading << " out of order";
+    last = pos;
+  }
+}
+
+TEST(ActivityWriter, SectionsAreSeparatedByRules) {
+  std::string text = core::write_activity(sample());
+  // Fig. 1: sections separated by "---" horizontal rules; seven rules for
+  // eight sections (front-matter delimiters excluded).
+  int rules = 0;
+  bool in_front_matter_seen = false;
+  int fm_delims = 0;
+  for (const auto& line : strs::split_lines(text)) {
+    if (strs::trim(line) == "---") {
+      if (fm_delims < 2) {
+        ++fm_delims;
+      } else {
+        ++rules;
+      }
+      in_front_matter_seen = true;
+    }
+  }
+  EXPECT_TRUE(in_front_matter_seen);
+  EXPECT_EQ(rules, 7);
+}
+
+TEST(ActivityWriter, NoExternalResourcesNoteWhenLinkMissing) {
+  std::string text = core::write_activity(sample());  // has no origin URL
+  EXPECT_TRUE(strs::contains(
+      text, "No external resources found. See details below."));
+}
+
+TEST(ActivityWriter, ExternalLinkWrittenWhenPresent) {
+  const auto* with_link = core::find_activity("sortingnetworks");
+  ASSERT_NE(with_link, nullptr);
+  std::string text = core::write_activity(*with_link);
+  EXPECT_TRUE(strs::contains(
+      text, "[External resources](https://csunplugged.org"));
+  EXPECT_FALSE(strs::contains(text, "No external resources found"));
+}
+
+TEST(ActivityWriter, Cs2013SectionEnumeratesOutcomeTexts) {
+  std::string text = core::write_activity(sample());
+  EXPECT_TRUE(strs::contains(text, "### Parallel Decomposition"));
+  EXPECT_TRUE(strs::contains(text, "(PD_2)"));
+  EXPECT_TRUE(strs::contains(
+      text, "Identify opportunities to partition a serial program"));
+}
+
+TEST(ActivityWriter, TcppSectionEnumeratesTopics) {
+  std::string text = core::write_activity(sample());
+  EXPECT_TRUE(strs::contains(text, "### Algorithms"));
+  EXPECT_TRUE(strs::contains(text, "(A_MinMaxFinding)"));
+}
+
+TEST(ActivityParser, ParsesWriterOutput) {
+  auto parsed = core::parse_activity(core::write_activity(sample()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed.value().title, "FindSmallestCard");
+  EXPECT_EQ(parsed.value().slug, "findsmallestcard");
+}
+
+TEST(ActivityParser, RoundTripsEveryField) {
+  for (const auto& original : core::curation()) {
+    SCOPED_TRACE(original.slug);
+    auto parsed = core::parse_activity(core::write_activity(original));
+    ASSERT_TRUE(parsed.has_value());
+    const auto& p = parsed.value();
+    EXPECT_EQ(p.title, original.title);
+    EXPECT_EQ(p.slug, original.slug);
+    EXPECT_EQ(p.date, original.date);
+    EXPECT_EQ(p.year, original.year);
+    EXPECT_EQ(p.authors, original.authors);
+    EXPECT_EQ(p.origin_url, original.origin_url);
+    EXPECT_EQ(p.details, original.details);
+    EXPECT_EQ(p.accessibility, original.accessibility);
+    EXPECT_EQ(p.assessment, original.assessment);
+    EXPECT_EQ(p.variations, original.variations);
+    EXPECT_EQ(p.citations, original.citations);
+    EXPECT_EQ(p.cs2013, original.cs2013);
+    EXPECT_EQ(p.cs2013details, original.cs2013details);
+    EXPECT_EQ(p.tcpp, original.tcpp);
+    EXPECT_EQ(p.tcppdetails, original.tcppdetails);
+    EXPECT_EQ(p.courses, original.courses);
+    EXPECT_EQ(p.senses, original.senses);
+    EXPECT_EQ(p.mediums, original.mediums);
+    EXPECT_EQ(p.simulation, original.simulation);
+  }
+}
+
+TEST(ActivityParser, MissingTitleIsAnError) {
+  auto parsed = core::parse_activity("---\ndate: 2020-01-01\n---\nbody\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error().code, "activity.title");
+}
+
+TEST(ActivityParser, BadDateIsAnError) {
+  auto parsed =
+      core::parse_activity("---\ntitle: X\ndate: 2020-02-30\n---\n");
+  EXPECT_FALSE(parsed.has_value());
+}
+
+TEST(ActivityParser, BadYearIsAnError) {
+  auto parsed = core::parse_activity(
+      "---\ntitle: X\ndate: 2020-01-01\nyear: soon\n---\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error().code, "activity.year");
+}
+
+TEST(ActivityParser, CitationWithMaterialsLink) {
+  auto parsed = core::parse_activity(
+      "---\ntitle: X\ndate: 2020-01-01\n---\n"
+      "## Citations\n\n"
+      "- Some paper, 2019. ([materials](http://example.com/slides))\n"
+      "- Plain citation without a link.\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed.value().citations.size(), 2u);
+  EXPECT_EQ(parsed.value().citations[0].url, "http://example.com/slides");
+  EXPECT_EQ(parsed.value().citations[0].text, "Some paper, 2019.");
+  EXPECT_TRUE(parsed.value().citations[1].url.empty());
+}

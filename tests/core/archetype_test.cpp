@@ -1,0 +1,76 @@
+#include "pdcu/core/archetype.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/markdown/frontmatter.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+namespace strs = pdcu::strings;
+
+TEST(Archetype, TemplateMatchesFigOneVerbatim) {
+  // Fig. 1 of the paper, byte for byte.
+  EXPECT_EQ(core::activity_template(),
+            "---\n"
+            "title:\n"
+            "date:\n"
+            "tags:\n"
+            "---\n"
+            "\n"
+            "## Original Author/link\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## CS2013 Knowledge Unit Coverage\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## TCPP Topics Coverage\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## Recommended Courses\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## Accessibility\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## Assessment\n"
+            "\n"
+            "---\n"
+            "\n"
+            "## Citations\n");
+}
+
+TEST(Archetype, TemplateHasSevenSectionsSeparatedByRules) {
+  std::string tpl = core::activity_template();
+  int sections = 0;
+  for (const auto& line : strs::split_lines(tpl)) {
+    if (strs::starts_with(line, "## ")) ++sections;
+  }
+  EXPECT_EQ(sections, 7);
+}
+
+TEST(Archetype, InstantiateFillsTitleAndDate) {
+  std::string text = core::instantiate_activity("Example",
+                                                pdcu::Date{2020, 1, 15});
+  EXPECT_TRUE(strs::contains(text, "title: \"Example\""));
+  EXPECT_TRUE(strs::contains(text, "date: 2020-01-15"));
+  EXPECT_FALSE(strs::contains(text, "tags:"));
+  // The tags placeholder expands into the seven taxonomy keys.
+  EXPECT_TRUE(strs::contains(text, "cs2013: []"));
+  EXPECT_TRUE(strs::contains(text, "tcppdetails: []"));
+  EXPECT_TRUE(strs::contains(text, "medium: []"));
+}
+
+TEST(Archetype, InstantiatedTemplateParsesAsContent) {
+  // The `hugo new` output must be valid front-matter + body.
+  std::string text =
+      core::instantiate_activity("BrandNew", pdcu::Date{2020, 3, 2});
+  auto parsed = pdcu::md::parse_content(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed.value().front.get("title"), "BrandNew");
+  EXPECT_TRUE(parsed.value().front.get_list("cs2013").empty());
+}

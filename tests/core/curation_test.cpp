@@ -1,0 +1,137 @@
+#include "pdcu/core/curation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdcu/core/validate.hpp"
+#include "pdcu/support/slug.hpp"
+
+namespace core = pdcu::core;
+
+TEST(Curation, ThirtyEightUniqueActivities) {
+  // "nearly forty unique activities" — this snapshot curates 38 (the size
+  // pinned by the paper's 71.05% = 27/38 and 26.32% = 10/38 figures).
+  EXPECT_EQ(core::curation().size(), 38u);
+}
+
+TEST(Curation, SlugsAreUniqueAndValid) {
+  std::set<std::string> slugs;
+  for (const auto& a : core::curation()) {
+    EXPECT_TRUE(pdcu::is_slug(a.slug)) << a.slug;
+    EXPECT_TRUE(slugs.insert(a.slug).second) << "duplicate " << a.slug;
+    EXPECT_EQ(a.slug, pdcu::slugify(a.title));
+  }
+}
+
+TEST(Curation, SpansThirtyYearsOfLiterature) {
+  int lo = 9999;
+  int hi = 0;
+  for (const auto& a : core::curation()) {
+    lo = std::min(lo, a.year);
+    hi = std::max(hi, a.year);
+  }
+  EXPECT_EQ(lo, 1990);  // the Maxim/Bachelis/James/Stout tutorial
+  EXPECT_GE(hi - lo, 29);
+}
+
+TEST(Curation, EveryActivityIsPublishable) {
+  auto findings = core::validate_curation(core::curation());
+  for (const auto& f : findings) {
+    EXPECT_NE(f.severity, core::Severity::kError)
+        << f.code << ": " << f.message;
+  }
+  EXPECT_TRUE(core::is_publishable(findings));
+}
+
+TEST(Curation, NoWarningsEither) {
+  // The shipped curation should be lint-clean, not merely publishable.
+  auto findings = core::validate_curation(core::curation());
+  EXPECT_TRUE(findings.empty()) << findings.size() << " findings, first: "
+                                << (findings.empty()
+                                        ? ""
+                                        : findings[0].message);
+}
+
+TEST(Curation, FindActivityBySlug) {
+  const auto* activity = core::find_activity("findsmallestcard");
+  ASSERT_NE(activity, nullptr);
+  EXPECT_EQ(activity->title, "FindSmallestCard");
+  EXPECT_EQ(core::find_activity("not-curated"), nullptr);
+}
+
+TEST(Curation, FindSmallestCardHeaderMatchesFigTwo) {
+  // Fig. 2 of the paper fixes this activity's visible tags exactly.
+  const auto* a = core::find_activity("findsmallestcard");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->cs2013, (std::vector<std::string>{
+                           "PD_ParallelDecomposition",
+                           "PD_ParallelAlgorithms"}));
+  EXPECT_EQ(a->tcpp, (std::vector<std::string>{"TCPP_Algorithms",
+                                               "TCPP_Programming"}));
+  EXPECT_EQ(a->courses, (std::vector<std::string>{"CS1", "CS2", "DSA"}));
+  EXPECT_EQ(a->senses, (std::vector<std::string>{"touch", "visual"}));
+}
+
+TEST(Curation, EveryActivityHasCitationsAndProvenance) {
+  for (const auto& a : core::curation()) {
+    EXPECT_FALSE(a.citations.empty()) << a.slug;
+    EXPECT_FALSE(a.authors.empty()) << a.slug;
+    EXPECT_GE(a.year, 1990) << a.slug;
+    EXPECT_LE(a.year, 2020) << a.slug;
+  }
+}
+
+TEST(Curation, ActivitiesWithoutExternalResourcesHaveDetails) {
+  // The Fig. 1 rule: "No external resources found. See details below."
+  for (const auto& a : core::curation()) {
+    if (!a.has_external_resources()) {
+      EXPECT_FALSE(a.details.empty()) << a.slug;
+    }
+  }
+}
+
+TEST(Curation, KnownVariationsAreRecorded) {
+  // §III.A: several distinct papers describe one activity; those collapse
+  // into variations. The card sort carries Moore (2000) and Ghafoor (2019).
+  const auto* card_sort = core::find_activity("parallelcardsort");
+  ASSERT_NE(card_sort, nullptr);
+  EXPECT_EQ(card_sort->variations.size(), 2u);
+  const auto* tickets = core::find_activity("concerttickets");
+  ASSERT_NE(tickets, nullptr);
+  EXPECT_FALSE(tickets->variations.empty());
+}
+
+TEST(Curation, ChesebroughLinksAreGone) {
+  // §IV: the external activities cited by [35] have been de-activated, so
+  // the entry must carry full details instead.
+  const auto* a = core::find_activity("intersectionsynchronization");
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->has_external_resources());
+  EXPECT_FALSE(a->details.empty());
+}
+
+TEST(Curation, EveryActivityHasAtLeastOneSenseAndMedium) {
+  for (const auto& a : core::curation()) {
+    EXPECT_FALSE(a.senses.empty()) << a.slug;
+    EXPECT_FALSE(a.mediums.empty()) << a.slug;
+    EXPECT_FALSE(a.courses.empty()) << a.slug;
+  }
+}
+
+TEST(Curation, EveryActivityRecommendsExactlyThreeCourses) {
+  // A structural property of this snapshot that makes §III.A's totals sum
+  // to 114 = 38 x 3.
+  for (const auto& a : core::curation()) {
+    EXPECT_EQ(a.courses.size(), 3u) << a.slug;
+  }
+}
+
+TEST(Curation, TagsFeedTheSevenTaxonomies) {
+  const auto* a = core::find_activity("oddeventranspositionsort");
+  ASSERT_NE(a, nullptr);
+  auto tags = a->tags();
+  EXPECT_EQ(tags.size(), 7u);
+  EXPECT_FALSE(tags["cs2013details"].empty());
+  EXPECT_FALSE(tags["medium"].empty());
+}

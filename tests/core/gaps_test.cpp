@@ -1,0 +1,128 @@
+// The gap analysis must reproduce the specific holes the paper names in
+// §III.B, §III.C, and §III.E.
+#include "pdcu/core/gaps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+
+namespace {
+
+core::GapFinder finder() { return core::GapFinder(core::curation()); }
+
+bool outcome_uncovered(const std::string& term) {
+  auto gaps = finder().uncovered_outcomes();
+  return std::any_of(gaps.begin(), gaps.end(), [&](const core::OutcomeGap& g) {
+    return g.detail_term == term;
+  });
+}
+
+bool topic_uncovered(const std::string& term) {
+  auto gaps = finder().uncovered_topics();
+  return std::any_of(gaps.begin(), gaps.end(), [&](const core::TopicGap& g) {
+    return g.detail_term == term;
+  });
+}
+
+}  // namespace
+
+TEST(Gaps, HigherLevelRacesOutcomeIsUncovered) {
+  // §III.B: "while there are several unplugged activities that discuss
+  // what data races are, none distinguish them from higher level races".
+  EXPECT_TRUE(outcome_uncovered("PF_3"));
+  EXPECT_FALSE(outcome_uncovered("PF_1"));
+  EXPECT_FALSE(outcome_uncovered("PF_2"));
+}
+
+TEST(Gaps, CrosscuttingGapsNamedByThePaper) {
+  // §III.C: "we were unable to identify any unplugged activities that
+  // explain how web-searches or peer-to-peer computing work, or that
+  // discuss cloud/grid computing or the concept of locality" plus the
+  // "know why and what is parallel/distributed computing" topic.
+  EXPECT_TRUE(topic_uncovered("K_WebSearch"));
+  EXPECT_TRUE(topic_uncovered("K_PeerToPeer"));
+  EXPECT_TRUE(topic_uncovered("K_CloudGrid"));
+  EXPECT_TRUE(topic_uncovered("K_Locality"));
+  EXPECT_TRUE(topic_uncovered("K_WhyAndWhatIsPDC"));
+}
+
+TEST(Gaps, AlgorithmicParadigmGapsNamedByThePaper) {
+  // §III.C: "there are activities missing for the parallel aspects of
+  // recursion, reduction and barrier synchronizations".
+  EXPECT_TRUE(topic_uncovered("K_ParallelRecursion"));
+  EXPECT_TRUE(topic_uncovered("C_Reduction"));
+  EXPECT_TRUE(topic_uncovered("K_BarrierParadigm"));
+}
+
+TEST(Gaps, CommunicationConstructGapsNamedByThePaper) {
+  // §III.C: "opportunities to add activities that discuss communication
+  // constructs (e.g. scatter/gather, broadcast and multicast)".
+  EXPECT_TRUE(topic_uncovered("C_BroadcastMulticast"));
+  EXPECT_TRUE(topic_uncovered("C_ScatterGather"));
+}
+
+TEST(Gaps, EmptyCategoriesAreFloatingPointAndPerfMetrics) {
+  // §III.C: "the Floating-point Representation and Performance Metric
+  // categories have no corresponding unplugged activities".
+  auto empty = finder().empty_categories();
+  ASSERT_EQ(empty.size(), 2u);
+  EXPECT_EQ(empty[0], "Architecture / Floating-Point Representation");
+  EXPECT_EQ(empty[1], "Architecture / Performance Metrics");
+}
+
+TEST(Gaps, SynchronizationComparisonIsFragile) {
+  // §III.B: "only one [35] compares multiple methods for synchronization"
+  // — so PF_2 must be covered by exactly one activity.
+  auto singles = finder().single_coverage_outcomes();
+  auto it = std::find_if(singles.begin(), singles.end(),
+                         [](const core::SingleCoverage& s) {
+                           return s.detail_term == "PF_2";
+                         });
+  ASSERT_NE(it, singles.end());
+  EXPECT_EQ(it->activity_title, "IntersectionSynchronization");
+}
+
+TEST(Gaps, FasterAnswerVsSharedAccessIsFragile) {
+  // §III.B: "only one unplugged activity [25], [26] distinguishes between
+  // 'using computational resources for a faster answer from managing
+  // efficient access to a shared resource'".
+  auto singles = finder().single_coverage_outcomes();
+  auto it = std::find_if(singles.begin(), singles.end(),
+                         [](const core::SingleCoverage& s) {
+                           return s.detail_term == "PF_1";
+                         });
+  ASSERT_NE(it, singles.end());
+  EXPECT_EQ(it->activity_title, "FastAnswerVsSharedAccess");
+}
+
+TEST(Gaps, UncoveredCountsAreConsistentWithTableOne) {
+  // 67 outcomes total; Table I says 2+5+6+6+7+6+1+1+1 = 35 covered.
+  EXPECT_EQ(finder().uncovered_outcomes().size(), 67u - 35u);
+}
+
+TEST(Gaps, UncoveredTopicCountsAreConsistentWithTableTwo) {
+  // 97 topics total; Table II says 10+19+13+7 = 49 covered.
+  EXPECT_EQ(finder().uncovered_topics().size(), 97u - 49u);
+}
+
+TEST(Gaps, ReportMentionsTheHeadlineGaps) {
+  std::string report = finder().render_report();
+  EXPECT_TRUE(pdcu::strings::contains(report, "PF_3"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "K_WebSearch"));
+  EXPECT_TRUE(pdcu::strings::contains(report,
+                                      "Floating-Point Representation"));
+}
+
+TEST(Gaps, EmptyCurationHasEverythingUncovered) {
+  std::vector<core::Activity> none;
+  core::GapFinder empty(none);
+  EXPECT_EQ(empty.uncovered_outcomes().size(), 67u);
+  EXPECT_EQ(empty.uncovered_topics().size(), 97u);
+  EXPECT_EQ(empty.empty_categories().size(), 12u);  // all categories
+  EXPECT_TRUE(empty.single_coverage_outcomes().empty());
+}

@@ -1,0 +1,80 @@
+#include "pdcu/core/link_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+
+namespace {
+const std::vector<core::LinkAuditEntry>& audit() {
+  static const auto kAudit = core::audit_links(core::curation());
+  return kAudit;
+}
+
+const core::LinkAuditEntry* entry_for(const char* slug) {
+  auto it = std::find_if(audit().begin(), audit().end(),
+                         [&](const core::LinkAuditEntry& e) {
+                           return e.slug == slug;
+                         });
+  return it == audit().end() ? nullptr : &*it;
+}
+}  // namespace
+
+TEST(LinkAudit, EveryActivityIsAudited) {
+  EXPECT_EQ(audit().size(), core::curation().size());
+}
+
+TEST(LinkAudit, ThePaperNamedDeadLinksAreFlagged) {
+  // §IV: Rifkin [12], Chesebrough & Turner [35], Andrianoff & Levine [37].
+  for (const char* slug : {"parallelradixsort",
+                           "intersectionsynchronization",
+                           "dinnerpartyproducers"}) {
+    const auto* entry = entry_for(slug);
+    ASSERT_NE(entry, nullptr) << slug;
+    EXPECT_EQ(entry->status, core::LinkStatus::kKnownDead) << slug;
+  }
+}
+
+TEST(LinkAudit, CountsPartitionTheCuration) {
+  auto counts = core::audit_counts(audit());
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3],
+            core::curation().size());
+  EXPECT_EQ(counts[1], 3u);  // the three known-dead entries
+  // 16 activities carry links; all dead-link entries carry none.
+  EXPECT_EQ(counts[2] + counts[3], 16u);
+}
+
+TEST(LinkAudit, HttpLinksAreAtRisk) {
+  const auto* token_ring = entry_for("selfstabilizingtokenring");
+  ASSERT_NE(token_ring, nullptr);
+  EXPECT_EQ(token_ring->status, core::LinkStatus::kAtRisk);  // http://
+  const auto* networks = entry_for("sortingnetworks");
+  ASSERT_NE(networks, nullptr);
+  EXPECT_EQ(networks->status, core::LinkStatus::kLinked);  // https://
+}
+
+TEST(LinkAudit, ReportNamesTheDeadAndTheRecommendation) {
+  std::string report = core::render_link_audit(audit());
+  EXPECT_TRUE(pdcu::strings::contains(report, "known-dead: 3"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "parallelradixsort"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "independent location"));
+}
+
+TEST(LinkAudit, ArchivePlanWritesOneMirrorPerLinkedActivity) {
+  auto dir = std::filesystem::temp_directory_path() / "pdcu_archive_test";
+  std::filesystem::remove_all(dir);
+  auto written = core::export_archive_plan(core::curation(), dir);
+  ASSERT_TRUE(written.has_value());
+  EXPECT_EQ(written.value(), 16u);
+  EXPECT_TRUE(std::filesystem::exists(
+      dir / "materials" / "sortingnetworks" / "README.md"));
+  EXPECT_FALSE(std::filesystem::exists(
+      dir / "materials" / "findsmallestcard"));  // no external link
+  std::filesystem::remove_all(dir);
+}

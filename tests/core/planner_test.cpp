@@ -1,0 +1,98 @@
+#include "pdcu/core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+
+TEST(Planner, PlansOnlyActivitiesRecommendedForTheCourse) {
+  auto plan = core::plan_course(core::curation(), "CS1", 5);
+  EXPECT_EQ(plan.course, "CS1");
+  EXPECT_LE(plan.sessions.size(), 5u);
+  for (const auto& session : plan.sessions) {
+    const auto& courses = session.activity->courses;
+    EXPECT_NE(std::find(courses.begin(), courses.end(), "CS1"),
+              courses.end())
+        << session.activity->slug;
+  }
+}
+
+TEST(Planner, NoActivityRepeats) {
+  auto plan = core::plan_course(core::curation(), "CS2", 10);
+  std::set<const core::Activity*> seen;
+  for (const auto& session : plan.sessions) {
+    EXPECT_TRUE(seen.insert(session.activity).second)
+        << session.activity->slug;
+  }
+}
+
+TEST(Planner, MarginalCoverageIsNonIncreasing) {
+  // Greedy set cover: each later session can never add more than an
+  // earlier one did.
+  auto plan = core::plan_course(core::curation(), "DSA", 8);
+  for (std::size_t i = 1; i < plan.sessions.size(); ++i) {
+    EXPECT_LE(plan.sessions[i].newly_covered.size(),
+              plan.sessions[i - 1].newly_covered.size());
+  }
+}
+
+TEST(Planner, CoveredTermsEqualsUnionOfSessions) {
+  auto plan = core::plan_course(core::curation(), "Systems", 6);
+  std::set<std::string> all;
+  for (const auto& session : plan.sessions) {
+    for (const auto& term : session.newly_covered) {
+      EXPECT_TRUE(all.insert(term).second) << term << " counted twice";
+    }
+  }
+  EXPECT_EQ(plan.covered_terms, all.size());
+}
+
+TEST(Planner, StopsWhenNothingNewIsAdded) {
+  // Asking for far more sessions than useful must not pad the plan with
+  // zero-gain activities.
+  auto plan = core::plan_course(core::curation(), "CS0", 100);
+  EXPECT_LE(plan.sessions.size(), 8u);  // only 8 CS0 activities exist
+  for (const auto& session : plan.sessions) {
+    EXPECT_FALSE(session.newly_covered.empty());
+  }
+}
+
+TEST(Planner, UnknownCourseGivesEmptyPlan) {
+  auto plan = core::plan_course(core::curation(), "PhD", 3);
+  EXPECT_TRUE(plan.sessions.empty());
+  EXPECT_EQ(plan.covered_terms, 0u);
+}
+
+TEST(Planner, ZeroSessionsGivesEmptyPlan) {
+  auto plan = core::plan_course(core::curation(), "CS1", 0);
+  EXPECT_TRUE(plan.sessions.empty());
+}
+
+TEST(Planner, FirstPickIsTheRichestCandidate) {
+  auto plan = core::plan_course(core::curation(), "CS1", 1);
+  ASSERT_EQ(plan.sessions.size(), 1u);
+  // The first greedy pick covers at least as many terms as any other CS1
+  // candidate carries.
+  std::size_t best_possible = 0;
+  for (const auto& activity : core::curation()) {
+    const auto& courses = activity.courses;
+    if (std::find(courses.begin(), courses.end(), "CS1") == courses.end()) {
+      continue;
+    }
+    best_possible = std::max(best_possible, activity.cs2013details.size() +
+                                                activity.tcppdetails.size());
+  }
+  EXPECT_EQ(plan.sessions[0].newly_covered.size(), best_possible);
+}
+
+TEST(Planner, RenderListsSessionsInOrder) {
+  auto plan = core::plan_course(core::curation(), "CS1", 3);
+  std::string text = plan.render();
+  EXPECT_TRUE(pdcu::strings::contains(text, "Lesson plan for CS1"));
+  EXPECT_TRUE(pdcu::strings::contains(text, "1. "));
+}

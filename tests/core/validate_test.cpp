@@ -1,0 +1,155 @@
+#include "pdcu/core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/core/curation.hpp"
+
+namespace core = pdcu::core;
+
+namespace {
+
+/// A minimal valid activity to mutate in the negative tests.
+core::Activity valid_activity() {
+  core::Activity a = *core::find_activity("findsmallestcard");
+  return a;
+}
+
+bool has_error(const std::vector<core::Finding>& findings,
+               const std::string& code) {
+  for (const auto& f : findings) {
+    if (f.code == code && f.severity == core::Severity::kError) return true;
+  }
+  return false;
+}
+
+bool has_warning(const std::vector<core::Finding>& findings,
+                 const std::string& code) {
+  for (const auto& f : findings) {
+    if (f.code == code && f.severity == core::Severity::kWarning) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Validate, CleanActivityHasNoFindings) {
+  EXPECT_TRUE(core::validate_activity(valid_activity()).empty());
+}
+
+TEST(Validate, EmptyTitle) {
+  auto a = valid_activity();
+  a.title.clear();
+  EXPECT_TRUE(has_error(core::validate_activity(a), "identity.title"));
+}
+
+TEST(Validate, BadSlug) {
+  auto a = valid_activity();
+  a.slug = "Bad Slug!";
+  EXPECT_TRUE(has_error(core::validate_activity(a), "identity.slug"));
+}
+
+TEST(Validate, UnknownKnowledgeUnit) {
+  auto a = valid_activity();
+  a.cs2013.push_back("PD_MadeUp");
+  EXPECT_TRUE(has_error(core::validate_activity(a), "tags.unknown-cs2013"));
+}
+
+TEST(Validate, UnknownLearningOutcome) {
+  auto a = valid_activity();
+  a.cs2013details.push_back("PD_99");
+  EXPECT_TRUE(
+      has_error(core::validate_activity(a), "tags.unknown-cs2013details"));
+}
+
+TEST(Validate, UnknownTopicAreaAndTopic) {
+  auto a = valid_activity();
+  a.tcpp.push_back("TCPP_Quantum");
+  a.tcppdetails.push_back("Q_Qubits");
+  auto findings = core::validate_activity(a);
+  EXPECT_TRUE(has_error(findings, "tags.unknown-tcpp"));
+  EXPECT_TRUE(has_error(findings, "tags.unknown-tcppdetails"));
+}
+
+TEST(Validate, UnknownCourseSenseMedium) {
+  auto a = valid_activity();
+  a.courses.push_back("PhD");
+  a.senses.push_back("smell");
+  a.mediums.push_back("vr");
+  auto findings = core::validate_activity(a);
+  EXPECT_TRUE(has_error(findings, "tags.unknown-course"));
+  EXPECT_TRUE(has_error(findings, "tags.unknown-sense"));
+  EXPECT_TRUE(has_error(findings, "tags.unknown-medium"));
+}
+
+TEST(Validate, KnowledgeUnitWithoutItsOutcomes) {
+  auto a = valid_activity();
+  a.cs2013.push_back("PD_CloudComputing");  // no CC_x detail term present
+  EXPECT_TRUE(
+      has_error(core::validate_activity(a), "tags.ku-without-outcome"));
+}
+
+TEST(Validate, OutcomeWithoutItsKnowledgeUnit) {
+  auto a = valid_activity();
+  a.cs2013details.push_back("CC_2");  // PD_CloudComputing not tagged
+  EXPECT_TRUE(
+      has_error(core::validate_activity(a), "tags.outcome-without-ku"));
+}
+
+TEST(Validate, AreaWithoutTopicAndTopicWithoutArea) {
+  auto a = valid_activity();
+  a.tcpp.push_back("TCPP_Crosscutting");
+  auto findings = core::validate_activity(a);
+  EXPECT_TRUE(has_error(findings, "tags.area-without-topic"));
+
+  auto b = valid_activity();
+  b.tcppdetails.push_back("K_FaultTolerance");
+  findings = core::validate_activity(b);
+  EXPECT_TRUE(has_error(findings, "tags.topic-without-area"));
+}
+
+TEST(Validate, DetailsRequiredWithoutExternalResources) {
+  auto a = valid_activity();
+  a.origin_url.clear();
+  a.details.clear();
+  EXPECT_TRUE(
+      has_error(core::validate_activity(a), "body.details-required"));
+  // With an external link, missing details is fine.
+  a.origin_url = "http://example.com";
+  EXPECT_FALSE(
+      has_error(core::validate_activity(a), "body.details-required"));
+}
+
+TEST(Validate, CitationsRequired) {
+  auto a = valid_activity();
+  a.citations.clear();
+  EXPECT_TRUE(has_error(core::validate_activity(a), "body.citations"));
+}
+
+TEST(Validate, SoftFieldsOnlyWarn) {
+  auto a = valid_activity();
+  a.senses.clear();
+  a.assessment.clear();
+  auto findings = core::validate_activity(a);
+  EXPECT_TRUE(has_warning(findings, "tags.no-senses"));
+  EXPECT_TRUE(has_warning(findings, "body.assessment"));
+  EXPECT_TRUE(core::is_publishable(findings));
+}
+
+TEST(Validate, SuspiciousYearWarns) {
+  auto a = valid_activity();
+  a.year = 1899;
+  EXPECT_TRUE(has_warning(core::validate_activity(a), "identity.year"));
+}
+
+TEST(Validate, DuplicateSlugAcrossCuration) {
+  std::vector<core::Activity> two = {valid_activity(), valid_activity()};
+  auto findings = core::validate_curation(two);
+  EXPECT_TRUE(has_error(findings, "curation.duplicate-slug"));
+  EXPECT_FALSE(core::is_publishable(findings));
+}
+
+TEST(Validate, IsPublishableOnEmptyFindings) {
+  EXPECT_TRUE(core::is_publishable({}));
+}

@@ -1,0 +1,104 @@
+#include "pdcu/core/views.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+
+namespace {
+const core::Repository& repo() {
+  static const core::Repository kRepo = core::Repository::builtin();
+  return kRepo;
+}
+}  // namespace
+
+TEST(Views, Cs2013ViewListsEveryOutcome) {
+  auto view = core::cs2013_view(repo());
+  EXPECT_EQ(view.size(), 67u);  // one entry per learning outcome
+}
+
+TEST(Views, Cs2013ViewShowsCoverageAndGaps) {
+  auto view = core::cs2013_view(repo());
+  // PD_2 is covered by many activities; PF_3 by none (a gap shown so
+  // authors can gauge impact, §II.C).
+  auto pd2 = std::find_if(view.begin(), view.end(),
+                          [](const core::OutcomeView& v) {
+                            return v.detail_term == "PD_2";
+                          });
+  ASSERT_NE(pd2, view.end());
+  EXPECT_GE(pd2->activities.size(), 5u);
+  auto pf3 = std::find_if(view.begin(), view.end(),
+                          [](const core::OutcomeView& v) {
+                            return v.detail_term == "PF_3";
+                          });
+  ASSERT_NE(pf3, view.end());
+  EXPECT_TRUE(pf3->activities.empty());
+}
+
+TEST(Views, TcppViewListsEveryTopicWithCourses) {
+  auto view = core::tcpp_view(repo());
+  EXPECT_EQ(view.size(), 97u);
+  for (const auto& entry : view) {
+    EXPECT_FALSE(entry.recommended_courses.empty()) << entry.detail_term;
+  }
+}
+
+TEST(Views, TcppViewSpeedupEntry) {
+  auto view = core::tcpp_view(repo());
+  auto speedup = std::find_if(view.begin(), view.end(),
+                              [](const core::TopicView& v) {
+                                return v.detail_term == "C_Speedup";
+                              });
+  ASSERT_NE(speedup, view.end());
+  EXPECT_EQ(speedup->area_name, "Programming");
+  EXPECT_EQ(speedup->activities.size(), 4u);  // 2, 23, 26, 37
+}
+
+TEST(Views, CoursesViewMatchesSectionThreeACounts) {
+  auto view = core::courses_view(repo());
+  ASSERT_EQ(view.size(), 6u);
+  EXPECT_EQ(view[0].display_name, "K-12");
+  EXPECT_EQ(view[0].activities.size(), 15u);
+  EXPECT_EQ(view[3].course_term, "CS2");
+  EXPECT_EQ(view[3].activities.size(), 25u);
+}
+
+TEST(Views, AccessibilityViewHasSensesThenMediums) {
+  auto view = core::accessibility_view(repo());
+  ASSERT_EQ(view.size(), 15u);  // 5 senses + 10 mediums
+  EXPECT_EQ(view[0].kind, "sense");
+  EXPECT_EQ(view[5].kind, "medium");
+  // §II.C: "an educator wondering how to teach parallelism with a deck of
+  // cards could select the 'cards' term".
+  auto cards = std::find_if(view.begin(), view.end(),
+                            [](const core::AccessibilityView& v) {
+                              return v.term == "cards";
+                            });
+  ASSERT_NE(cards, view.end());
+  EXPECT_EQ(cards->activities.size(), 6u);
+}
+
+TEST(Views, RenderTextShowsGapsExplicitly) {
+  std::string text = core::render_text(core::cs2013_view(repo()));
+  EXPECT_TRUE(pdcu::strings::contains(text, "(no activities - a gap"));
+  EXPECT_TRUE(pdcu::strings::contains(text, "FindSmallestCard"));
+}
+
+TEST(Views, RenderCourseAndAccessibilityText) {
+  std::string courses = core::render_text(core::courses_view(repo()));
+  EXPECT_TRUE(pdcu::strings::contains(courses, "K-12 (15 activities)"));
+  std::string access =
+      core::render_text(core::accessibility_view(repo()));
+  EXPECT_TRUE(pdcu::strings::contains(access, "By sense:"));
+  EXPECT_TRUE(pdcu::strings::contains(access, "By medium:"));
+}
+
+TEST(Views, RepositoryIndexBacksTheViews) {
+  // The TermIndex counts must agree with the stats (§III.D sense counts).
+  EXPECT_EQ(repo().index().count("senses", "visual"), 27u);
+  EXPECT_EQ(repo().index().count("medium", "analogy"), 11u);
+  EXPECT_EQ(repo().index().page_count(), 38u);
+}

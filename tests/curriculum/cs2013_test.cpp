@@ -1,0 +1,105 @@
+#include "pdcu/curriculum/cs2013.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cur = pdcu::cur;
+
+TEST(Cs2013, NineKnowledgeUnits) {
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  EXPECT_EQ(catalog.units().size(), 9u);
+}
+
+TEST(Cs2013, OutcomeCountsMatchTableOne) {
+  // The paper's Table I "Num. Learning Outcomes" column.
+  const auto& units = cur::Cs2013Catalog::instance().units();
+  const std::size_t expected[] = {3, 6, 12, 11, 8, 7, 9, 5, 6};
+  ASSERT_EQ(units.size(), 9u);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].outcomes.size(), expected[i]) << units[i].name;
+  }
+}
+
+TEST(Cs2013, ElectiveFlagsMatchTableOne) {
+  const auto& units = cur::Cs2013Catalog::instance().units();
+  const bool expected[] = {false, false, false, false, false,
+                           true,  true,  true,  true};
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].elective, expected[i]) << units[i].name;
+  }
+}
+
+TEST(Cs2013, TotalOutcomes) {
+  EXPECT_EQ(cur::Cs2013Catalog::instance().total_outcomes(), 67u);
+}
+
+TEST(Cs2013, OutcomesNumberedSequentially) {
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    int n = 1;
+    for (const auto& outcome : unit.outcomes) {
+      EXPECT_EQ(outcome.number, n++) << unit.name;
+      EXPECT_FALSE(outcome.text.empty());
+    }
+  }
+}
+
+TEST(Cs2013, AbbrevsAndTermsAreUnique) {
+  std::set<std::string> abbrevs;
+  std::set<std::string> terms;
+  for (const auto& unit : cur::Cs2013Catalog::instance().units()) {
+    EXPECT_TRUE(abbrevs.insert(unit.abbrev).second) << unit.abbrev;
+    EXPECT_TRUE(terms.insert(unit.term).second) << unit.term;
+  }
+}
+
+TEST(Cs2013, FindByTermAndAbbrev) {
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  const auto* pd = catalog.find_by_term("PD_ParallelDecomposition");
+  ASSERT_NE(pd, nullptr);
+  EXPECT_EQ(pd->abbrev, "PD");
+  EXPECT_EQ(catalog.find_by_abbrev("PCC")->name,
+            "Parallel Communication and Coordination");
+  EXPECT_EQ(catalog.find_by_term("PD_Nope"), nullptr);
+  EXPECT_EQ(catalog.find_by_abbrev("ZZ"), nullptr);
+}
+
+TEST(Cs2013, DetailTermResolution) {
+  // The paper's §II.B example: PD_1 and PD_3 name Parallel Decomposition
+  // outcomes 1 and 3.
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  auto ref = catalog.resolve_detail_term("PD_3");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->unit->term, "PD_ParallelDecomposition");
+  EXPECT_EQ(ref->outcome->number, 3);
+}
+
+TEST(Cs2013, DetailTermRejectsBadInput) {
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  EXPECT_FALSE(catalog.resolve_detail_term("PD_0").has_value());
+  EXPECT_FALSE(catalog.resolve_detail_term("PD_7").has_value());  // only 6
+  EXPECT_FALSE(catalog.resolve_detail_term("XX_1").has_value());
+  EXPECT_FALSE(catalog.resolve_detail_term("PD").has_value());
+  EXPECT_FALSE(catalog.resolve_detail_term("PD_x").has_value());
+  EXPECT_FALSE(catalog.resolve_detail_term("").has_value());
+}
+
+TEST(Cs2013, AllDetailTermsResolveBack) {
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  for (const auto& unit : catalog.units()) {
+    for (const auto& term : unit.all_detail_terms()) {
+      auto ref = catalog.resolve_detail_term(term);
+      ASSERT_TRUE(ref.has_value()) << term;
+      EXPECT_EQ(ref->unit, &unit);
+    }
+  }
+}
+
+TEST(Cs2013, TierOneUnitsHaveTierOneOutcomes) {
+  const auto& catalog = cur::Cs2013Catalog::instance();
+  const auto* pf = catalog.find_by_abbrev("PF");
+  ASSERT_NE(pf, nullptr);
+  for (const auto& outcome : pf->outcomes) {
+    EXPECT_EQ(outcome.tier, cur::Tier::kTier1);
+  }
+}

@@ -1,0 +1,129 @@
+#include "pdcu/curriculum/tcpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdcu/curriculum/terms.hpp"
+
+namespace cur = pdcu::cur;
+
+TEST(Tcpp, FourTopicAreas) {
+  EXPECT_EQ(cur::TcppCatalog::instance().areas().size(), 4u);
+}
+
+TEST(Tcpp, TopicCountsMatchTableTwo) {
+  // The paper's Table II "Num. Topics" column: 22, 37, 26, 12.
+  const auto& areas = cur::TcppCatalog::instance().areas();
+  const std::size_t expected[] = {22, 37, 26, 12};
+  ASSERT_EQ(areas.size(), 4u);
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(areas[i].topic_count(), expected[i]) << areas[i].name;
+  }
+  EXPECT_EQ(cur::TcppCatalog::instance().total_topics(), 97u);
+}
+
+TEST(Tcpp, AreaNamesAndTermsMatchThePaper) {
+  const auto& areas = cur::TcppCatalog::instance().areas();
+  EXPECT_EQ(areas[0].name, "Architecture");
+  EXPECT_EQ(areas[1].name, "Programming");
+  EXPECT_EQ(areas[2].name, "Algorithms");
+  EXPECT_EQ(areas[3].name, "Crosscutting and Advanced Topics");
+  EXPECT_EQ(areas[0].term, "TCPP_Architecture");
+  EXPECT_EQ(areas[2].term, "TCPP_Algorithms");
+}
+
+TEST(Tcpp, ArchitectureCategoriesMatchSectionThreeC) {
+  // §III.C: Classes, Memory Hierarchy, Floating-point representation, and
+  // Performance Metrics.
+  const auto* arch = cur::TcppCatalog::instance().find_area(
+      "TCPP_Architecture");
+  ASSERT_NE(arch, nullptr);
+  ASSERT_EQ(arch->categories.size(), 4u);
+  EXPECT_EQ(arch->categories[0].name, "Classes");
+  EXPECT_EQ(arch->categories[1].name, "Memory Hierarchy");
+  EXPECT_EQ(arch->categories[2].name, "Floating-Point Representation");
+  EXPECT_EQ(arch->categories[3].name, "Performance Metrics");
+}
+
+TEST(Tcpp, AlgorithmsCategorySizesSupportThePaperPercentages) {
+  // §III.C: PD Models/Complexity coverage is 36.36% — that requires 11
+  // topics (4/11); Paradigms&Notations at 35.71% requires 14 (5/14).
+  const auto* algo =
+      cur::TcppCatalog::instance().find_area("TCPP_Algorithms");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->categories[0].topics.size(), 11u);
+  const auto* prog =
+      cur::TcppCatalog::instance().find_area("TCPP_Programming");
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->categories[0].name, "Paradigms and Notations");
+  EXPECT_EQ(prog->categories[0].topics.size(), 14u);
+}
+
+TEST(Tcpp, BloomLetters) {
+  EXPECT_EQ(cur::bloom_letter(cur::Bloom::kKnow), 'K');
+  EXPECT_EQ(cur::bloom_letter(cur::Bloom::kComprehend), 'C');
+  EXPECT_EQ(cur::bloom_letter(cur::Bloom::kApply), 'A');
+}
+
+TEST(Tcpp, SpeedupTermMatchesThePaperExample) {
+  // §II.B: "Comprehend Speedup" is the term C_Speedup.
+  const auto* topic =
+      cur::TcppCatalog::instance().resolve_detail_term("C_Speedup");
+  ASSERT_NE(topic, nullptr);
+  EXPECT_EQ(topic->bloom, cur::Bloom::kComprehend);
+  EXPECT_EQ(topic->short_name, "Speedup");
+}
+
+TEST(Tcpp, DetailTermsAreUniqueAcrossTheCatalog) {
+  std::set<std::string> terms;
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto* topic : area.all_topics()) {
+      EXPECT_TRUE(terms.insert(topic->term()).second) << topic->term();
+    }
+  }
+  EXPECT_EQ(terms.size(), 97u);
+}
+
+TEST(Tcpp, ResolveFullReturnsAreaAndCategory) {
+  auto ref = cur::TcppCatalog::instance().resolve_detail_term_full(
+      "C_CacheOrganization");
+  ASSERT_NE(ref.topic, nullptr);
+  EXPECT_EQ(ref.area->name, "Architecture");
+  EXPECT_EQ(ref.category->name, "Memory Hierarchy");
+}
+
+TEST(Tcpp, ResolveUnknownReturnsNull) {
+  const auto& catalog = cur::TcppCatalog::instance();
+  EXPECT_EQ(catalog.resolve_detail_term("Z_Nothing"), nullptr);
+  EXPECT_EQ(catalog.resolve_detail_term(""), nullptr);
+  EXPECT_EQ(catalog.resolve_detail_term_full("K_Speedup").topic, nullptr);
+  EXPECT_EQ(catalog.find_area("TCPP_Nope"), nullptr);
+}
+
+TEST(Tcpp, EveryTopicHasCoursesAndDescription) {
+  for (const auto& area : cur::TcppCatalog::instance().areas()) {
+    for (const auto* topic : area.all_topics()) {
+      EXPECT_FALSE(topic->description.empty()) << topic->term();
+      EXPECT_FALSE(topic->courses.empty()) << topic->term();
+      for (const auto& course : topic->courses) {
+        EXPECT_TRUE(cur::is_course_term(course))
+            << topic->term() << " -> " << course;
+      }
+    }
+  }
+}
+
+TEST(CurriculumTerms, Vocabularies) {
+  EXPECT_EQ(cur::course_terms().size(), 6u);
+  EXPECT_EQ(cur::sense_terms().size(), 5u);
+  EXPECT_EQ(cur::medium_terms().size(), 10u);
+  EXPECT_TRUE(cur::is_course_term("K_12"));
+  EXPECT_TRUE(cur::is_sense_term("accessible"));
+  EXPECT_TRUE(cur::is_medium_term("role-play"));
+  EXPECT_FALSE(cur::is_course_term("PhD"));
+  EXPECT_FALSE(cur::is_sense_term("smell"));
+  EXPECT_FALSE(cur::is_medium_term("vr"));
+  EXPECT_EQ(cur::course_display_name("K_12"), "K-12");
+  EXPECT_EQ(cur::course_display_name("CS1"), "CS1");
+}

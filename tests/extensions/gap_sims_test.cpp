@@ -1,0 +1,188 @@
+#include "pdcu/extensions/gap_sims.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pdcu/support/rng.hpp"
+
+namespace ext = pdcu::ext;
+
+// --- HumanScan ----------------------------------------------------------------
+
+class HumanScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HumanScanSizes, MatchesSerialPrefixSum) {
+  pdcu::Rng rng(GetParam());
+  std::vector<std::int64_t> values(GetParam());
+  for (auto& v : values) v = rng.between(-20, 20);
+  auto result = ext::human_scan(values);
+  std::vector<std::int64_t> expected(values.size());
+  std::partial_sum(values.begin(), values.end(), expected.begin());
+  EXPECT_EQ(result.prefix, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HumanScanSizes,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 23));
+
+TEST(HumanScan, LogarithmicRounds) {
+  std::vector<std::int64_t> values(16, 1);
+  auto result = ext::human_scan(values);
+  EXPECT_EQ(result.rounds, 4);
+  EXPECT_EQ(result.prefix.back(), 16);
+}
+
+TEST(HumanScan, EmptyInput) {
+  auto result = ext::human_scan({});
+  EXPECT_TRUE(result.prefix.empty());
+}
+
+// --- BucketBrigade --------------------------------------------------------------
+
+TEST(BucketBrigade, BothDeliveryModesAreExact) {
+  auto result = ext::bucket_brigade(8, 64);
+  EXPECT_TRUE(result.all_delivered);
+  EXPECT_TRUE(result.totals_match);
+}
+
+TEST(BucketBrigade, TreeBeatsTeacherWalking) {
+  auto result = ext::bucket_brigade(16, 128);
+  EXPECT_LT(result.tree_makespan, result.naive_makespan);
+}
+
+TEST(BucketBrigade, SingleStudentDegenerate) {
+  auto result = ext::bucket_brigade(1, 10);
+  EXPECT_TRUE(result.totals_match);
+}
+
+// --- WebSearch -------------------------------------------------------------------
+
+class WebSearchShards : public ::testing::TestWithParam<int> {};
+
+TEST_P(WebSearchShards, MergedTopKEqualsSerialOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto result = ext::web_search(GetParam(), 50, 10, seed);
+    EXPECT_TRUE(result.matches_serial_oracle)
+        << "shards " << GetParam() << " seed " << seed;
+    EXPECT_EQ(result.top_docs.size(), 10u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, WebSearchShards,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(WebSearch, TopKLargerThanShardSliceStillWorks) {
+  // Local top-k is capped at the slice size; the merge must still agree
+  // with the oracle when k <= docs_per_shard.
+  auto result = ext::web_search(4, 12, 12, 9);
+  EXPECT_TRUE(result.matches_serial_oracle);
+}
+
+// --- P2P -------------------------------------------------------------------------
+
+TEST(P2p, FindsTheOwner) {
+  auto result = ext::p2p_lookup(32, 5, 77);
+  EXPECT_TRUE(result.found);
+}
+
+TEST(P2p, LogarithmicHops) {
+  for (int peers : {8, 16, 64, 256, 1024}) {
+    int max_hops = 0;
+    for (int key = 0; key < peers; ++key) {
+      auto result = ext::p2p_lookup(peers, 0, key);
+      ASSERT_TRUE(result.found);
+      max_hops = std::max(max_hops, result.hops);
+    }
+    int log2 = 0;
+    for (int v = peers - 1; v > 0; v >>= 1) ++log2;
+    EXPECT_LE(max_hops, log2) << peers;
+  }
+}
+
+TEST(P2p, BeatsLinearWalkOnFarTargets) {
+  auto result = ext::p2p_lookup(128, 0, 127);
+  EXPECT_TRUE(result.found);
+  EXPECT_LT(result.hops, result.linear_hops);
+}
+
+TEST(P2p, SelfLookupTakesNoHops) {
+  auto result = ext::p2p_lookup(16, 3, 3);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hops, 0);
+}
+
+// --- Elasticity -------------------------------------------------------------------
+
+TEST(Elasticity, ElasticBoundsTheQueueWithFewerTruckMinutes) {
+  auto result = ext::food_truck_rush(/*fixed=*/4, /*minutes=*/120,
+                                     /*up=*/6, /*down=*/2, 5);
+  // Fixed 4 trucks: enough at the peak, wasteful off-peak. Elastic should
+  // use fewer truck-minutes without a much worse queue.
+  EXPECT_LT(result.truck_minutes_elastic, result.truck_minutes_static);
+  EXPECT_LE(result.max_queue_elastic, result.max_queue_static + 8);
+  EXPECT_GT(result.scale_ups, 0);
+  EXPECT_GT(result.scale_downs, 0);
+}
+
+TEST(Elasticity, UnderprovisionedFixedQueueExplodes) {
+  auto fixed1 = ext::food_truck_rush(1, 120, 6, 2, 5);
+  auto fixed4 = ext::food_truck_rush(4, 120, 6, 2, 5);
+  EXPECT_GT(fixed1.max_queue_static, 2 * fixed4.max_queue_static);
+}
+
+// --- Power -------------------------------------------------------------------------
+
+TEST(Power, SlowMeetsDeadlineAtLowestFrequency) {
+  auto result = ext::battery_budget(/*work=*/100, /*deadline=*/100,
+                                    /*static_power=*/0);
+  EXPECT_TRUE(result.deadline_met_slow);
+  EXPECT_LE(result.slow_time, 100);
+}
+
+TEST(Power, WithNoLeakageStretchingWins) {
+  // Cubic dynamic power only: running slow is optimal.
+  auto result = ext::battery_budget(100, 200, 0);
+  // slow: 100 time at f=1 -> 100; fast: 50 time at f=2 -> 400.
+  EXPECT_EQ(result.slow_energy, 100);
+  EXPECT_EQ(result.fast_energy, 400);
+}
+
+TEST(Power, WithHighLeakageRaceToIdleWins) {
+  // Leakage 10 per time unit: slow pays it for 100 units, fast for 50.
+  auto result = ext::battery_budget(100, 200, 10);
+  EXPECT_EQ(result.slow_energy, 100 * 11);
+  EXPECT_EQ(result.fast_energy, 50 * 18);
+  EXPECT_LT(result.fast_energy, result.slow_energy);
+}
+
+TEST(Power, CrossoverMovesWithLeakage) {
+  auto gap = [](std::int64_t s) {
+    auto r = ext::battery_budget(100, 200, s);
+    return r.fast_energy - r.slow_energy;
+  };
+  EXPECT_GT(gap(0), 0);   // stretching wins
+  EXPECT_LT(gap(10), 0);  // race-to-idle wins
+  EXPECT_LT(gap(10), gap(0));
+}
+
+TEST(Power, TightDeadlineForcesHighFrequency) {
+  auto result = ext::battery_budget(100, 50, 0);
+  EXPECT_TRUE(result.deadline_met_slow);
+  EXPECT_LE(result.slow_time, 50);
+  // At f=2 both strategies coincide.
+  EXPECT_EQ(result.slow_energy, result.fast_energy);
+}
+
+// --- Higher-level races -----------------------------------------------------------
+
+TEST(BankTransfer, TransactionalNeverViolates) {
+  auto result = ext::bank_transfer_race(50, /*transactional=*/true, 3);
+  EXPECT_EQ(result.invariant_violations, 0);
+}
+
+TEST(BankTransfer, AtomicOpsAloneStillRace) {
+  // The PF_3 lesson: no data race, yet the invariant can break.
+  auto result = ext::bank_transfer_race(200, /*transactional=*/false, 3);
+  EXPECT_TRUE(result.data_race_free);
+  EXPECT_GT(result.invariant_violations, 0);
+}

@@ -1,0 +1,82 @@
+#include "pdcu/extensions/impact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdcu/core/curation.hpp"
+#include "pdcu/extensions/proposed.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace ext = pdcu::ext;
+
+TEST(Impact, ExtendedCurationIsSnapshotPlusProposals) {
+  EXPECT_EQ(ext::extended_curation().size(), 38u + 7u);
+}
+
+TEST(Impact, CoverageNeverDecreases) {
+  for (const auto& row : ext::cs2013_impact()) {
+    EXPECT_GE(row.covered_after, row.covered_before) << row.name;
+    EXPECT_LE(row.covered_after, row.total) << row.name;
+  }
+  for (const auto& row : ext::tcpp_impact()) {
+    EXPECT_GE(row.covered_after, row.covered_before) << row.name;
+  }
+}
+
+TEST(Impact, ParallelFundamentalsReachesFullCoverage) {
+  // BankTransferRace covers PF_3, the last missing PF outcome.
+  auto rows = ext::cs2013_impact();
+  auto pf = std::find_if(rows.begin(), rows.end(), [](const ext::ImpactRow& r) {
+    return r.name == "Parallel Fundamentals";
+  });
+  ASSERT_NE(pf, rows.end());
+  EXPECT_EQ(pf->covered_before, 2u);
+  EXPECT_EQ(pf->covered_after, 3u);
+}
+
+TEST(Impact, PowerOutcomeCovered) {
+  auto rows = ext::cs2013_impact();
+  auto pp = std::find_if(rows.begin(), rows.end(), [](const ext::ImpactRow& r) {
+    return r.name == "Parallel Performance";
+  });
+  ASSERT_NE(pp, rows.end());
+  EXPECT_EQ(pp->covered_after, 7u);  // all seven, PP_7 included
+}
+
+TEST(Impact, GapsClosedIncludeTheHeadlineOnes) {
+  auto closed = ext::gaps_closed();
+  auto has = [&](const char* term) {
+    return std::find(closed.begin(), closed.end(), term) != closed.end();
+  };
+  EXPECT_TRUE(has("PF_3"));
+  EXPECT_TRUE(has("PP_7"));
+  EXPECT_TRUE(has("K_Scan"));
+  EXPECT_TRUE(has("C_ScatterGather"));
+  EXPECT_TRUE(has("C_BroadcastMulticast"));
+  EXPECT_TRUE(has("K_WebSearch"));
+  EXPECT_TRUE(has("K_PeerToPeer"));
+  EXPECT_TRUE(has("K_CloudGrid"));
+  EXPECT_TRUE(has("K_EnergyEfficiency"));
+  EXPECT_TRUE(has("K_HigherLevelRaces"));
+}
+
+TEST(Impact, SomeGapsRemainOpen) {
+  // The proposals target the named gaps, not everything: PRAM, IEEE 754,
+  // locality, etc. stay open — matching the paper's "challenge to the PDC
+  // community".
+  auto closed = ext::gaps_closed();
+  EXPECT_LT(closed.size(), 20u);
+  EXPECT_EQ(std::find(closed.begin(), closed.end(), "K_PRAM"),
+            closed.end());
+  EXPECT_EQ(std::find(closed.begin(), closed.end(), "K_Locality"),
+            closed.end());
+}
+
+TEST(Impact, ReportRendersBeforeAfterTables) {
+  std::string report = ext::render_impact_report();
+  EXPECT_TRUE(pdcu::strings::contains(report, "Before"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "After"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "Gaps closed:"));
+  EXPECT_TRUE(pdcu::strings::contains(report, "K_Scan"));
+}

@@ -1,0 +1,70 @@
+#include "pdcu/extensions/proposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdcu/core/coverage.hpp"
+#include "pdcu/core/curation.hpp"
+#include "pdcu/core/gaps.hpp"
+#include "pdcu/core/validate.hpp"
+
+namespace ext = pdcu::ext;
+namespace core = pdcu::core;
+
+TEST(Proposed, SevenProposedActivities) {
+  EXPECT_EQ(ext::proposed_activities().size(), 7u);
+}
+
+TEST(Proposed, EveryProposalIsPublishable) {
+  for (const auto& activity : ext::proposed_activities()) {
+    auto findings = core::validate_activity(activity);
+    for (const auto& f : findings) {
+      EXPECT_NE(f.severity, core::Severity::kError)
+          << activity.slug << ": " << f.message;
+    }
+  }
+}
+
+TEST(Proposed, SlugsDoNotCollideWithTheSnapshotCuration) {
+  std::set<std::string> snapshot;
+  for (const auto& activity : core::curation()) {
+    snapshot.insert(activity.slug);
+  }
+  for (const auto& activity : ext::proposed_activities()) {
+    EXPECT_EQ(snapshot.count(activity.slug), 0u) << activity.slug;
+  }
+}
+
+TEST(Proposed, TheSnapshotCurationIsUntouched) {
+  // The proposals must not perturb the paper-exact statistics.
+  EXPECT_EQ(core::curation().size(), 38u);
+  core::CoverageAnalyzer analyzer(core::curation());
+  EXPECT_EQ(analyzer.cs2013_table()[0].covered_outcomes, 2u);
+}
+
+TEST(Proposed, EachTargetsAPreviouslyUncoveredTerm) {
+  core::GapFinder gaps(core::curation());
+  std::set<std::string> open;
+  for (const auto& gap : gaps.uncovered_outcomes()) {
+    open.insert(gap.detail_term);
+  }
+  for (const auto& gap : gaps.uncovered_topics()) {
+    open.insert(gap.detail_term);
+  }
+  for (const auto& activity : ext::proposed_activities()) {
+    bool hits_a_gap = false;
+    for (const auto& term : activity.cs2013details) {
+      if (open.count(term) != 0) hits_a_gap = true;
+    }
+    for (const auto& term : activity.tcppdetails) {
+      if (open.count(term) != 0) hits_a_gap = true;
+    }
+    EXPECT_TRUE(hits_a_gap) << activity.slug << " fills no gap";
+  }
+}
+
+TEST(Proposed, FindProposed) {
+  EXPECT_NE(ext::find_proposed("humanscan"), nullptr);
+  EXPECT_EQ(ext::find_proposed("findsmallestcard"), nullptr);
+}

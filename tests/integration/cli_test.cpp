@@ -1,0 +1,114 @@
+// End-to-end tests of the `pdcu` command-line tool: real process spawns,
+// exit codes, and output spot checks.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "pdcu/support/strings.hpp"
+
+#ifndef PDCU_CLI_PATH
+#define PDCU_CLI_PATH "./pdcu"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the CLI with the given arguments, capturing stdout.
+CommandResult run_cli(const std::string& args) {
+  CommandResult result;
+  const std::string command = std::string(PDCU_CLI_PATH) + " " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return pdcu::strings::contains(haystack, needle);
+}
+
+}  // namespace
+
+TEST(Cli, ListEnumeratesTheCuration) {
+  auto result = run_cli("list");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "findsmallestcard"));
+  EXPECT_TRUE(contains(result.output, "ballotcounting"));
+  // 38 lines, one per activity.
+  EXPECT_EQ(pdcu::strings::split_lines(result.output).size(), 38u);
+}
+
+TEST(Cli, ShowRendersTheFigThreeHeader) {
+  auto result = run_cli("show findsmallestcard");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "FindSmallestCard"));
+  EXPECT_TRUE(contains(result.output, "[TCPP_Algorithms]"));
+}
+
+TEST(Cli, ShowUnknownSlugFails) {
+  auto result = run_cli("show no-such-activity 2>/dev/null");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(Cli, TablesPrintBothPaperTables) {
+  auto result = run_cli("tables");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "TABLE I"));
+  EXPECT_TRUE(contains(result.output, "TABLE II"));
+  EXPECT_TRUE(contains(result.output, "83.33%"));
+  EXPECT_TRUE(contains(result.output, "51.35%"));
+}
+
+TEST(Cli, ValidateIsClean) {
+  auto result = run_cli("validate");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "publishable: yes"));
+}
+
+TEST(Cli, RunExecutesASimulation) {
+  auto result = run_cli("run juice_robots 7");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "oversweetened"));
+}
+
+TEST(Cli, RunUnknownSimulationListsAvailable) {
+  auto result = run_cli("run warp_drive 2>&1");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_TRUE(contains(result.output, "token_ring"));
+}
+
+TEST(Cli, PlanProducesASchedule) {
+  auto result = run_cli("plan DSA 3");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "Lesson plan for DSA"));
+  EXPECT_TRUE(contains(result.output, "3. "));
+}
+
+TEST(Cli, AuditReportsKnownDeadLinks) {
+  auto result = run_cli("audit");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "known-dead: 3"));
+}
+
+TEST(Cli, NewPrintsAPrefilledTemplate) {
+  auto result = run_cli("new ExampleActivity");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(contains(result.output, "title: \"ExampleActivity\""));
+  EXPECT_TRUE(contains(result.output, "## Original Author/link"));
+}
+
+TEST(Cli, BadUsageReturnsTwo) {
+  auto result = run_cli("frobnicate 2>/dev/null");
+  EXPECT_EQ(result.exit_code, 2);
+}

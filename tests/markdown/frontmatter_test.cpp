@@ -1,0 +1,141 @@
+#include "pdcu/markdown/frontmatter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md = pdcu::md;
+
+TEST(FrontMatter, ParsesScalarsAndLists) {
+  auto result = md::parse_content(
+      "---\n"
+      "title: \"FindSmallestCard\"\n"
+      "date: 2019-10-01\n"
+      "courses: [\"CS1\", \"CS2\", \"DSA\"]\n"
+      "---\n"
+      "body text\n");
+  ASSERT_TRUE(result.has_value());
+  const auto& fm = result.value().front;
+  EXPECT_EQ(fm.get("title"), "FindSmallestCard");
+  EXPECT_EQ(fm.get("date"), "2019-10-01");
+  auto courses = fm.get_list("courses");
+  ASSERT_EQ(courses.size(), 3u);
+  EXPECT_EQ(courses[0], "CS1");
+  EXPECT_EQ(courses[2], "DSA");
+  EXPECT_EQ(result.value().body, "body text");
+}
+
+TEST(FrontMatter, ParsesFig2HeaderWithContinuation) {
+  // The exact header shown in the paper's Fig. 2, including the backslash
+  // line continuation.
+  auto result = md::parse_content(
+      "---\n"
+      "title: \"FindSmallestCard\"\n"
+      "cs2013: [\"PD_ParallelDecomposition\", \\\n"
+      "\"PD_ParallelAlgorithms\"]\n"
+      "tcpp: [\"TCPP_Algorithms\", \"TCPP_Programming\"]\n"
+      "courses: [\"CS1\", \"CS2\", \"DSA\"]\n"
+      "senses: [\"touch\", \"visual\"]\n"
+      "---\n");
+  ASSERT_TRUE(result.has_value());
+  const auto& fm = result.value().front;
+  auto cs2013 = fm.get_list("cs2013");
+  ASSERT_EQ(cs2013.size(), 2u);
+  EXPECT_EQ(cs2013[0], "PD_ParallelDecomposition");
+  EXPECT_EQ(cs2013[1], "PD_ParallelAlgorithms");
+  auto senses = fm.get_list("senses");
+  ASSERT_EQ(senses.size(), 2u);
+  EXPECT_EQ(senses[0], "touch");
+}
+
+TEST(FrontMatter, NoFrontMatterMeansAllBody) {
+  auto result = md::parse_content("just a paragraph\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result.value().front.has("title"));
+  EXPECT_EQ(result.value().body, "just a paragraph");
+}
+
+TEST(FrontMatter, UnterminatedBlockIsAnError) {
+  auto result = md::parse_content("---\ntitle: x\nno closing delimiter\n");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "frontmatter.unterminated");
+}
+
+TEST(FrontMatter, UnterminatedQuoteIsAnError) {
+  auto result = md::parse_content("---\nlist: [\"open\n---\n");
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(FrontMatter, EmptyListAndEmptyScalar) {
+  auto result = md::parse_content("---\ntags: []\nnote:\n---\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result.value().front.get_list("tags").empty());
+  EXPECT_EQ(result.value().front.get("note"), "");
+}
+
+TEST(FrontMatter, UnquotedListItemsAreTrimmed) {
+  auto result = md::parse_content("---\nitems: [ a , b ,c ]\n---\n");
+  ASSERT_TRUE(result.has_value());
+  auto items = result.value().front.get_list("items");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[1], "b");
+  EXPECT_EQ(items[2], "c");
+}
+
+TEST(FrontMatter, CommentsAndBlankLinesIgnored) {
+  auto result = md::parse_content(
+      "---\n"
+      "# a comment\n"
+      "\n"
+      "key: value # trailing comment\n"
+      "---\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().front.get("key"), "value");
+}
+
+TEST(FrontMatter, QuotedScalarKeepsSpecialCharacters) {
+  auto result =
+      md::parse_content("---\nurl: \"http://example.com/a#b\"\n---\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().front.get("url"), "http://example.com/a#b");
+}
+
+TEST(FrontMatter, EscapedQuoteInsideQuotedString) {
+  auto result = md::parse_content(
+      "---\ntitle: \"He said \\\"hi\\\"\"\n---\n");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().front.get("title"), "He said \"hi\"");
+}
+
+TEST(FrontMatter, SerializationRoundTrips) {
+  md::FrontMatter fm;
+  fm.set("title", md::Value::make_scalar("A: tricky \"title\""));
+  fm.set("date", md::Value::make_scalar("2020-01-01"));
+  fm.set("tags", md::Value::make_list({"one", "two words", "th\"ree"}));
+  std::string text = fm.to_string() + "\nbody\n";
+  auto parsed = md::parse_content(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed.value().front.get("title"), "A: tricky \"title\"");
+  EXPECT_EQ(parsed.value().front.get_list("tags"),
+            fm.get_list("tags"));
+}
+
+TEST(FrontMatter, SetReplacesExistingKey) {
+  md::FrontMatter fm;
+  fm.set("k", md::Value::make_scalar("v1"));
+  fm.set("k", md::Value::make_scalar("v2"));
+  EXPECT_EQ(fm.get("k"), "v2");
+  EXPECT_EQ(fm.entries().size(), 1u);
+}
+
+TEST(FrontMatter, MissingKeyIsEmpty) {
+  md::FrontMatter fm;
+  EXPECT_FALSE(fm.has("missing"));
+  EXPECT_EQ(fm.get("missing"), "");
+  EXPECT_TRUE(fm.get_list("missing").empty());
+}
+
+TEST(FrontMatter, KeyWithoutColonIsAnError) {
+  auto result = md::parse_content("---\nnot a key value line\n---\n");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "frontmatter.key");
+}

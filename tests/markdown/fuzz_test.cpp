@@ -1,0 +1,156 @@
+// Robustness sweeps for the Markdown engine: thousands of pseudo-random
+// documents built from markdown-significant fragments must parse without
+// crashing, in bounded time, and render to structurally sane HTML.
+// (A regression here found the recursive list-parser bug once already.)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pdcu/markdown/frontmatter.hpp"
+#include "pdcu/markdown/html.hpp"
+#include "pdcu/markdown/parser.hpp"
+#include "pdcu/support/rng.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace md = pdcu::md;
+
+namespace {
+
+/// Markdown-significant fragments, including pathological ones.
+const std::vector<std::string>& fragments() {
+  static const std::vector<std::string> kFragments = {
+      "# ",        "## ",       "### Variations", "---",   "***",
+      "- ",        "- - ",      "1. ",            "12) ",  "> ",
+      "```",       "```cpp",    "`code`",         "`",     "**",
+      "*",         "_",         "[link](url)",    "[",     "](",
+      "\\*",       "\\",        "text words",     "   ",   "\t",
+      "",          "a*b*c",     "-",              "--",    "#",
+      "####### x", "> > quote", "  indented",     "0. ",   "999999999. x",
+  };
+  return kFragments;
+}
+
+std::string random_document(pdcu::Rng& rng, std::size_t lines) {
+  std::string doc;
+  for (std::size_t i = 0; i < lines; ++i) {
+    // Each line glues 1-3 fragments.
+    const auto parts = 1 + rng.below(3);
+    for (std::uint64_t p = 0; p < parts; ++p) {
+      doc += fragments()[rng.below(fragments().size())];
+    }
+    doc += '\n';
+  }
+  return doc;
+}
+
+/// Counts <li> vs </li> style tag balance for a few structural tags.
+/// Openings match "<tag>" or "<tag " (so "<p" does not match "<pre").
+void expect_balanced(const std::string& html, const std::string& tag) {
+  std::size_t open = 0;
+  std::size_t pos = 0;
+  const std::string open_tag = "<" + tag;
+  while ((pos = html.find(open_tag, pos)) != std::string::npos) {
+    const std::size_t after = pos + open_tag.size();
+    if (after < html.size() && (html[after] == '>' || html[after] == ' ')) {
+      ++open;
+    }
+    pos = after;
+  }
+  std::size_t close = 0;
+  pos = 0;
+  const std::string close_tag = "</" + tag + ">";
+  while ((pos = html.find(close_tag, pos)) != std::string::npos) {
+    ++close;
+    pos += close_tag.size();
+  }
+  EXPECT_EQ(open, close) << tag << " unbalanced in:\n" << html;
+}
+
+}  // namespace
+
+class MarkdownFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarkdownFuzz, RandomDocumentsParseAndRender) {
+  pdcu::Rng rng(GetParam());
+  for (int doc_index = 0; doc_index < 200; ++doc_index) {
+    std::string doc = random_document(rng, 1 + rng.below(30));
+    md::Block parsed = md::parse_markdown(doc);
+    std::string html = md::render_html(parsed);
+    expect_balanced(html, "ul");
+    expect_balanced(html, "ol");
+    expect_balanced(html, "li");
+    expect_balanced(html, "blockquote");
+    expect_balanced(html, "p");
+    expect_balanced(html, "em");
+    expect_balanced(html, "strong");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkdownFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MarkdownFuzz, RandomFrontMatterNeverCrashes) {
+  pdcu::Rng rng(99);
+  const std::vector<std::string> kLines = {
+      "key: value", "key: [a, b]", "key: [\"a\", \\", "\"b\"]",
+      "key: \"unterminated", ": novalue", "# comment", "", "weird",
+      "k: [", "k: ]", "k: [,]", "k: \"\\\"\"",
+  };
+  for (int doc_index = 0; doc_index < 500; ++doc_index) {
+    std::string doc = "---\n";
+    const auto lines = rng.below(8);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      doc += kLines[rng.below(kLines.size())];
+      doc += '\n';
+    }
+    if (rng.chance(0.9)) doc += "---\nbody\n";
+    auto result = md::parse_content(doc);
+    // Must terminate with either a value or a structured error.
+    if (!result.has_value()) {
+      EXPECT_FALSE(result.error().code.empty());
+    }
+  }
+}
+
+TEST(MarkdownFuzz, DeeplyNestedEmphasisTerminates) {
+  std::string doc;
+  for (int i = 0; i < 60; ++i) doc += "**a*";
+  md::Block parsed = md::parse_markdown(doc);
+  std::string html = md::render_html(parsed);
+  expect_balanced(html, "em");
+  expect_balanced(html, "strong");
+}
+
+TEST(MarkdownFuzz, LongRunsOfMarkersTerminate) {
+  md::Block a = md::parse_markdown(std::string(2000, '-') + "\n");
+  EXPECT_EQ(a.children.size(), 1u);
+  md::Block b = md::parse_markdown(std::string(2000, '#') + " x\n");
+  EXPECT_EQ(b.children.size(), 1u);
+  md::Block c = md::parse_markdown(std::string(500, '`'));
+  std::string html = md::render_html(c);
+  EXPECT_FALSE(html.empty());
+}
+
+TEST(MarkdownFuzz, NestedListsBottomOut) {
+  std::string doc;
+  std::string indent;
+  for (int depth = 0; depth < 12; ++depth) {
+    doc += indent + "- level " + std::to_string(depth) + "\n";
+    indent += "  ";
+  }
+  md::Block parsed = md::parse_markdown(doc);
+  std::string html = md::render_html(parsed);
+  expect_balanced(html, "ul");
+  expect_balanced(html, "li");
+}
+
+TEST(MarkdownFuzz, MarkerOnlyLinesDoNotLoop) {
+  // Regression: "- **x**: y" once re-parsed itself forever.
+  for (const char* doc : {"- **bold**: text\n", "- - - x\n", "- `- `\n",
+                          "1. 2. 3.\n", "- \n- \n"}) {
+    md::Block parsed = md::parse_markdown(doc);
+    std::string html = md::render_html(parsed);
+    EXPECT_FALSE(html.empty()) << doc;
+  }
+}

@@ -1,0 +1,71 @@
+#include "pdcu/markdown/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/markdown/parser.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace md = pdcu::md;
+
+namespace {
+std::string to_html(const char* markdown) {
+  return md::render_html(md::parse_markdown(markdown));
+}
+}  // namespace
+
+TEST(MarkdownHtml, Heading) {
+  EXPECT_EQ(to_html("## Original Author/link\n"),
+            "<h2>Original Author/link</h2>\n");
+}
+
+TEST(MarkdownHtml, Paragraph) {
+  EXPECT_EQ(to_html("hello world\n"), "<p>hello world</p>\n");
+}
+
+TEST(MarkdownHtml, EscapesHtmlInText) {
+  EXPECT_EQ(to_html("a < b & c\n"), "<p>a &lt; b &amp; c</p>\n");
+}
+
+TEST(MarkdownHtml, HorizontalRule) {
+  EXPECT_EQ(to_html("---\n"), "<hr>\n");
+}
+
+TEST(MarkdownHtml, CodeBlockWithLanguageClass) {
+  std::string html = to_html("```yaml\ntitle: x\n```\n");
+  EXPECT_EQ(html,
+            "<pre><code class=\"language-yaml\">title: x\n</code></pre>\n");
+}
+
+TEST(MarkdownHtml, TightListItems) {
+  std::string html = to_html("- CS1\n- CS2\n");
+  EXPECT_EQ(html, "<ul>\n<li>CS1</li>\n<li>CS2</li>\n</ul>\n");
+}
+
+TEST(MarkdownHtml, OrderedListWithStartAttribute) {
+  std::string html = to_html("2. b\n3. c\n");
+  EXPECT_TRUE(pdcu::strings::starts_with(html, "<ol start=\"2\">"));
+}
+
+TEST(MarkdownHtml, BlockQuote) {
+  std::string html = to_html("> wisdom\n");
+  EXPECT_EQ(html, "<blockquote>\n<p>wisdom</p>\n</blockquote>\n");
+}
+
+TEST(MarkdownHtml, InlineMarkup) {
+  std::string html = to_html("**bold** *em* `code` [x](http://a/)\n");
+  EXPECT_TRUE(pdcu::strings::contains(html, "<strong>bold</strong>"));
+  EXPECT_TRUE(pdcu::strings::contains(html, "<em>em</em>"));
+  EXPECT_TRUE(pdcu::strings::contains(html, "<code>code</code>"));
+  EXPECT_TRUE(pdcu::strings::contains(html, "<a href=\"http://a/\">x</a>"));
+}
+
+TEST(MarkdownHtml, LinkUrlIsEscaped) {
+  std::string html = to_html("[x](http://a/?q=1&r=2)\n");
+  EXPECT_TRUE(pdcu::strings::contains(html, "q=1&amp;r=2"));
+}
+
+TEST(MarkdownHtml, CodeSpanEscapes) {
+  std::string html = to_html("`<script>`\n");
+  EXPECT_TRUE(pdcu::strings::contains(html,
+                                      "<code>&lt;script&gt;</code>"));
+}

@@ -1,0 +1,172 @@
+#include "pdcu/markdown/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md = pdcu::md;
+using md::BlockKind;
+using md::InlineKind;
+
+TEST(MarkdownParser, HeadingsWithLevels) {
+  auto doc = md::parse_markdown("# One\n\n### Three\n");
+  ASSERT_EQ(doc.children.size(), 2u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kHeading);
+  EXPECT_EQ(doc.children[0].heading_level, 1);
+  EXPECT_EQ(doc.children[0].plain_text(), "One");
+  EXPECT_EQ(doc.children[1].heading_level, 3);
+}
+
+TEST(MarkdownParser, ClosingHashesStripped) {
+  auto doc = md::parse_markdown("## Title ##\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_EQ(doc.children[0].plain_text(), "Title");
+}
+
+TEST(MarkdownParser, SevenHashesIsNotAHeading) {
+  auto doc = md::parse_markdown("####### nope\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kParagraph);
+}
+
+TEST(MarkdownParser, HorizontalRuleVariants) {
+  for (const char* hr : {"---", "***", "___", "- - -", "-----"}) {
+    auto doc = md::parse_markdown(hr);
+    ASSERT_EQ(doc.children.size(), 1u) << hr;
+    EXPECT_EQ(doc.children[0].kind, BlockKind::kHorizontalRule) << hr;
+  }
+}
+
+TEST(MarkdownParser, TwoDashesIsAParagraph) {
+  auto doc = md::parse_markdown("--\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kParagraph);
+}
+
+TEST(MarkdownParser, ParagraphJoinsLinesWithSoftBreaks) {
+  auto doc = md::parse_markdown("line one\nline two\n\nnext para\n");
+  ASSERT_EQ(doc.children.size(), 2u);
+  EXPECT_EQ(doc.children[0].plain_text(), "line one line two");
+  EXPECT_EQ(doc.children[1].plain_text(), "next para");
+}
+
+TEST(MarkdownParser, FencedCodeBlockWithInfo) {
+  auto doc = md::parse_markdown("```cpp\nint x = 1;\n```\nafter\n");
+  ASSERT_EQ(doc.children.size(), 2u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kCodeBlock);
+  EXPECT_EQ(doc.children[0].info, "cpp");
+  EXPECT_EQ(doc.children[0].literal, "int x = 1;\n");
+  EXPECT_EQ(doc.children[1].kind, BlockKind::kParagraph);
+}
+
+TEST(MarkdownParser, CodeBlockPreservesMarkdownSyntax) {
+  auto doc = md::parse_markdown("```\n# not a heading\n- not a list\n```\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_EQ(doc.children[0].literal, "# not a heading\n- not a list\n");
+}
+
+TEST(MarkdownParser, BlockQuote) {
+  auto doc = md::parse_markdown("> quoted text\n> more\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kBlockQuote);
+  ASSERT_EQ(doc.children[0].children.size(), 1u);
+  EXPECT_EQ(doc.children[0].children[0].plain_text(), "quoted text more");
+}
+
+TEST(MarkdownParser, BulletList) {
+  auto doc = md::parse_markdown("- one\n- two\n- three\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  const auto& list = doc.children[0];
+  EXPECT_EQ(list.kind, BlockKind::kList);
+  EXPECT_FALSE(list.ordered);
+  ASSERT_EQ(list.children.size(), 3u);
+  EXPECT_EQ(list.children[1].children[0].plain_text(), "two");
+}
+
+TEST(MarkdownParser, OrderedListWithStart) {
+  auto doc = md::parse_markdown("3. c\n4. d\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  EXPECT_TRUE(doc.children[0].ordered);
+  EXPECT_EQ(doc.children[0].list_start, 3);
+  EXPECT_EQ(doc.children[0].children.size(), 2u);
+}
+
+TEST(MarkdownParser, ListItemContinuationByIndent) {
+  auto doc = md::parse_markdown("- first line\n  continued\n- second\n");
+  ASSERT_EQ(doc.children.size(), 1u);
+  ASSERT_EQ(doc.children[0].children.size(), 2u);
+  EXPECT_EQ(doc.children[0].children[0].children[0].plain_text(),
+            "first line continued");
+}
+
+TEST(MarkdownParser, ListEndsAtParagraphAfterBlank) {
+  auto doc = md::parse_markdown("- item\n\nparagraph\n");
+  ASSERT_EQ(doc.children.size(), 2u);
+  EXPECT_EQ(doc.children[0].kind, BlockKind::kList);
+  EXPECT_EQ(doc.children[1].kind, BlockKind::kParagraph);
+}
+
+TEST(MarkdownParser, HrIsNotAListItem) {
+  auto doc = md::parse_markdown("- item\n---\n");
+  ASSERT_EQ(doc.children.size(), 2u);
+  EXPECT_EQ(doc.children[1].kind, BlockKind::kHorizontalRule);
+}
+
+// --- Inline parsing ---------------------------------------------------------
+
+TEST(MarkdownInline, CodeSpan) {
+  auto inlines = md::parse_inlines("before `code here` after");
+  ASSERT_EQ(inlines.size(), 3u);
+  EXPECT_EQ(inlines[1].kind, InlineKind::kCode);
+  EXPECT_EQ(inlines[1].text, "code here");
+}
+
+TEST(MarkdownInline, UnterminatedCodeSpanIsLiteral) {
+  auto inlines = md::parse_inlines("a `dangling");
+  EXPECT_EQ(md::plain_text(inlines), "a `dangling");
+}
+
+TEST(MarkdownInline, StrongAndEmphasis) {
+  auto inlines = md::parse_inlines("**bold** and *ital*");
+  ASSERT_GE(inlines.size(), 3u);
+  EXPECT_EQ(inlines[0].kind, InlineKind::kStrong);
+  EXPECT_EQ(md::plain_text(inlines[0].children), "bold");
+  EXPECT_EQ(inlines.back().kind, InlineKind::kEmph);
+  EXPECT_EQ(md::plain_text(inlines.back().children), "ital");
+}
+
+TEST(MarkdownInline, NestedEmphasisInsideStrong) {
+  auto inlines = md::parse_inlines("**outer *inner* text**");
+  ASSERT_EQ(inlines.size(), 1u);
+  EXPECT_EQ(inlines[0].kind, InlineKind::kStrong);
+  EXPECT_EQ(md::plain_text(inlines[0].children), "outer inner text");
+}
+
+TEST(MarkdownInline, Link) {
+  auto inlines = md::parse_inlines("see [the site](https://pdcunplugged.org)");
+  ASSERT_EQ(inlines.size(), 2u);
+  EXPECT_EQ(inlines[1].kind, InlineKind::kLink);
+  EXPECT_EQ(inlines[1].url, "https://pdcunplugged.org");
+  EXPECT_EQ(md::plain_text(inlines[1].children), "the site");
+}
+
+TEST(MarkdownInline, BracketWithoutUrlIsLiteral) {
+  auto inlines = md::parse_inlines("[not a link]");
+  EXPECT_EQ(md::plain_text(inlines), "[not a link]");
+}
+
+TEST(MarkdownInline, EscapesSuppressMarkup) {
+  auto inlines = md::parse_inlines("\\*not emphasized\\*");
+  EXPECT_EQ(md::plain_text(inlines), "*not emphasized*");
+  ASSERT_EQ(inlines.size(), 1u);
+  EXPECT_EQ(inlines[0].kind, InlineKind::kText);
+}
+
+TEST(MarkdownInline, LoneAsteriskStaysLiteral) {
+  auto inlines = md::parse_inlines("2 * 3 = 6");
+  EXPECT_EQ(md::plain_text(inlines), "2 * 3 = 6");
+}
+
+TEST(MarkdownInline, UnderscoreEmphasis) {
+  auto inlines = md::parse_inlines("_soft_");
+  ASSERT_EQ(inlines.size(), 1u);
+  EXPECT_EQ(inlines[0].kind, InlineKind::kEmph);
+}

@@ -1,0 +1,110 @@
+#include "pdcu/runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace rt = pdcu::rt;
+
+TEST(Channel, FifoWithinOneProducer) {
+  rt::Channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = ch.recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(Channel, TryRecvOnEmptyReturnsNullopt) {
+  rt::Channel<int> ch;
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(1);
+  EXPECT_TRUE(ch.try_recv().has_value());
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, BoundedTrySendFailsWhenFull) {
+  rt::Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  ch.recv();
+  EXPECT_TRUE(ch.try_send(3));
+}
+
+TEST(Channel, CloseDrainsThenSignalsEnd) {
+  rt::Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_FALSE(ch.send(3));  // send after close fails
+  EXPECT_EQ(ch.recv().value(), 1);
+  EXPECT_EQ(ch.recv().value(), 2);
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(Channel, CloseUnblocksWaitingReceiver) {
+  rt::Channel<int> ch;
+  std::thread receiver([&] {
+    auto v = ch.recv();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  receiver.join();
+}
+
+TEST(Channel, BlockingSendResumesAfterRecv) {
+  rt::Channel<int> ch(1);
+  ch.send(1);
+  std::thread producer([&] { EXPECT_TRUE(ch.send(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(ch.recv().value(), 1);
+  producer.join();
+  EXPECT_EQ(ch.recv().value(), 2);
+}
+
+TEST(Channel, ManyProducersManyConsumersLoseNothing) {
+  rt::Channel<int> ch(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.send(p * kPerProducer + i);
+      }
+    });
+  }
+  std::set<int> received;
+  std::mutex mu;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = ch.recv()) {
+        std::lock_guard lock(mu);
+        received.insert(*v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(Channel, SizeReflectsQueue) {
+  rt::Channel<int> ch;
+  EXPECT_EQ(ch.size(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  ch.recv();
+  EXPECT_EQ(ch.size(), 1u);
+}

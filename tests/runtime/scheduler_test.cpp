@@ -1,0 +1,106 @@
+#include "pdcu/runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rt = pdcu::rt;
+
+namespace {
+
+/// A toy protocol: each agent sets its flag; done when all set.
+struct Flags {
+  std::vector<bool> set;
+  explicit Flags(std::size_t n) : set(n, false) {}
+  void step(std::size_t i) { set[i] = true; }
+  bool done() const {
+    for (bool b : set) {
+      if (!b) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+TEST(Scheduler, RoundRobinConvergesInOneRound) {
+  Flags flags(8);
+  pdcu::Rng rng(1);
+  auto result = rt::run_schedule(
+      8, [&](std::size_t i) { flags.step(i); }, [&] { return flags.done(); },
+      rt::SchedulePolicy::kRoundRobin, rng, 1000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 8u);
+}
+
+TEST(Scheduler, ReversedVisitsAgentsBackwards) {
+  std::vector<std::size_t> order;
+  pdcu::Rng rng(1);
+  rt::run_schedule(
+      4, [&](std::size_t i) { order.push_back(i); }, [] { return false; },
+      rt::SchedulePolicy::kReversed, rng, 4);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(Scheduler, RandomEventuallyCovers) {
+  Flags flags(10);
+  pdcu::Rng rng(7);
+  auto result = rt::run_schedule(
+      10, [&](std::size_t i) { flags.step(i); },
+      [&] { return flags.done(); }, rt::SchedulePolicy::kRandom, rng,
+      100000);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Scheduler, ShuffledIsOneAgentPerRound) {
+  Flags flags(10);
+  pdcu::Rng rng(5);
+  auto result = rt::run_schedule(
+      10, [&](std::size_t i) { flags.step(i); },
+      [&] { return flags.done(); }, rt::SchedulePolicy::kShuffled, rng,
+      100000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 10u);  // a permutation covers everyone once
+}
+
+TEST(Scheduler, BudgetExhaustionReportsNonConvergence) {
+  pdcu::Rng rng(1);
+  auto result = rt::run_schedule(
+      4, [](std::size_t) {}, [] { return false; },
+      rt::SchedulePolicy::kRoundRobin, rng, 17);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.steps, 17u);
+  EXPECT_EQ(result.rounds, 4u);  // 17 steps over 4 agents: 4 full rounds
+}
+
+TEST(Scheduler, AlreadyDoneTakesNoSteps) {
+  pdcu::Rng rng(1);
+  auto result = rt::run_schedule(
+      4, [](std::size_t) { FAIL() << "should not step"; },
+      [] { return true; }, rt::SchedulePolicy::kRoundRobin, rng, 100);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(Scheduler, ZeroAgents) {
+  pdcu::Rng rng(1);
+  auto result = rt::run_schedule(
+      0, [](std::size_t) {}, [] { return false; },
+      rt::SchedulePolicy::kRandom, rng, 100);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(Scheduler, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    std::vector<std::size_t> order;
+    pdcu::Rng rng(seed);
+    rt::run_schedule(
+        6, [&](std::size_t i) { order.push_back(i); },
+        [&] { return order.size() >= 30; }, rt::SchedulePolicy::kRandom,
+        rng, 1000);
+    return order;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}

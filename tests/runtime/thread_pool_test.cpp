@@ -1,0 +1,183 @@
+#include "pdcu/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <climits>
+#include <numeric>
+#include <stdexcept>
+#include <random>
+#include <string>
+
+namespace rt = pdcu::rt;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  rt::ThreadPool pool(4);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  rt::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  rt::ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  rt::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversTheWholeRange) {
+  rt::ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  for (auto& t : touched) t.store(0);
+  pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  rt::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  rt::ThreadPool pool(4);
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(0, data.size(), [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += data[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000LL * 1001 / 2);
+}
+
+TEST(ThreadPool, ParallelReduceMatchesSerial) {
+  rt::ThreadPool pool(4);
+  std::vector<long long> data(997);
+  std::iota(data.begin(), data.end(), -300);
+  long long expected = std::accumulate(data.begin(), data.end(), 0LL);
+  long long sum = pool.parallel_reduce<long long>(
+      0, data.size(), 0,
+      [&](std::size_t lo, std::size_t hi) {
+        long long local = 0;
+        for (std::size_t i = lo; i < hi; ++i) local += data[i];
+        return local;
+      },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeGivesIdentity) {
+  rt::ThreadPool pool(2);
+  int result = pool.parallel_reduce<int>(
+      10, 10, -7, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, -7);
+}
+
+TEST(ThreadPool, ParallelReduceMax) {
+  rt::ThreadPool pool(3);
+  std::vector<int> data = {5, 9, 2, 41, 7, 3, 40, 1};
+  int best = pool.parallel_reduce<int>(
+      0, data.size(), INT_MIN,
+      [&](std::size_t lo, std::size_t hi) {
+        int m = INT_MIN;
+        for (std::size_t i = lo; i < hi; ++i) m = std::max(m, data[i]);
+        return m;
+      },
+      [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(best, 41);
+}
+
+TEST(ThreadPool, ParallelScanMatchesPartialSum) {
+  rt::ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1001u}) {
+    std::vector<long long> values(n);
+    std::iota(values.begin(), values.end(), 1);
+    std::vector<long long> expected = values;
+    std::partial_sum(expected.begin(), expected.end(), expected.begin());
+    pool.parallel_scan<long long>(values, 0,
+                                  [](long long a, long long b) {
+                                    return a + b;
+                                  });
+    EXPECT_EQ(values, expected) << "n=" << n;
+  }
+}
+
+TEST(ThreadPool, ParallelScanWithNonCommutativeAssociativeOp) {
+  // String concatenation is associative but not commutative: the scan
+  // must preserve order.
+  rt::ThreadPool pool(3);
+  std::vector<std::string> values = {"a", "b", "c", "d", "e", "f", "g"};
+  pool.parallel_scan<std::string>(
+      values, std::string{},
+      [](const std::string& a, const std::string& b) { return a + b; });
+  EXPECT_EQ(values.back(), "abcdefg");
+  EXPECT_EQ(values[2], "abc");
+}
+
+class ParallelSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelSortSizes, MatchesStdSort) {
+  rt::ThreadPool pool(4);
+  std::vector<int> values(GetParam());
+  std::mt19937 gen(static_cast<unsigned>(GetParam() + 1));
+  for (auto& v : values) v = static_cast<int>(gen() % 1000);
+  std::vector<int> expected = values;
+  std::sort(expected.begin(), expected.end());
+  pool.parallel_sort(values);
+  EXPECT_EQ(values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelSortSizes,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 100, 1000,
+                                           4097));
+
+TEST(ThreadPool, ParallelSortWithCustomComparator) {
+  rt::ThreadPool pool(3);
+  std::vector<int> values = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  pool.parallel_sort(values, std::greater<int>{});
+  EXPECT_TRUE(
+      std::is_sorted(values.begin(), values.end(), std::greater<int>{}));
+}
+
+TEST(ThreadPool, ParallelSortSingleWorker) {
+  rt::ThreadPool pool(1);
+  std::vector<int> values = {9, 3, 7, 1};
+  pool.parallel_sort(values);
+  EXPECT_EQ(values, (std::vector<int>{1, 3, 7, 9}));
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    rt::ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}

@@ -1,0 +1,78 @@
+#include "pdcu/runtime/virtual_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/runtime/trace.hpp"
+
+namespace rt = pdcu::rt;
+
+TEST(VirtualClock, WorkAdvancesByModelCost) {
+  rt::CostModel model;
+  model.work_per_step = 3;
+  rt::VirtualClock clock(model);
+  clock.work(4);
+  EXPECT_EQ(clock.now(), 12);
+  EXPECT_EQ(clock.work_steps(), 4);
+}
+
+TEST(VirtualClock, TransferCostIsAlphaBeta) {
+  rt::CostModel model;
+  model.msg_latency = 10;
+  model.msg_per_item = 2;
+  EXPECT_EQ(model.transfer(0), 10);
+  EXPECT_EQ(model.transfer(5), 20);
+}
+
+TEST(VirtualClock, RecvWaitsForArrival) {
+  rt::VirtualClock clock;  // default: latency 4, per-item 1
+  clock.apply_recv(/*sent_at=*/100, /*items=*/3);
+  EXPECT_EQ(clock.now(), 107);
+  // A message that arrived in the past does not move time backwards.
+  clock.apply_recv(/*sent_at=*/0, /*items=*/1);
+  EXPECT_EQ(clock.now(), 107);
+}
+
+TEST(VirtualClock, SendStampsAndCounts) {
+  rt::VirtualClock clock;
+  clock.work(5);
+  EXPECT_EQ(clock.stamp_send(7), 5);
+  EXPECT_EQ(clock.messages_sent(), 1);
+  EXPECT_EQ(clock.items_sent(), 7);
+}
+
+TEST(VirtualClock, AlignOnlyMovesForward) {
+  rt::VirtualClock clock;
+  clock.work(10);
+  clock.align(5);
+  EXPECT_EQ(clock.now(), 10);
+  clock.align(25);
+  EXPECT_EQ(clock.now(), 25);
+}
+
+TEST(RunCost, SpeedupAgainstSerial) {
+  rt::RunCost cost;
+  cost.makespan = 25;
+  EXPECT_DOUBLE_EQ(cost.speedup_vs(100), 4.0);
+  rt::RunCost zero;
+  EXPECT_DOUBLE_EQ(zero.speedup_vs(100), 0.0);
+}
+
+TEST(TraceLog, SortsEventsByVirtualTime) {
+  rt::TraceLog trace;
+  trace.record(20, 1, "second");
+  trace.record(5, 0, "first");
+  trace.narrate("setup");
+  auto events = trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].text, "setup");
+  EXPECT_EQ(events[1].text, "first");
+  EXPECT_EQ(events[2].text, "second");
+}
+
+TEST(TraceLog, ScriptFormat) {
+  rt::TraceLog trace;
+  trace.record(7, 2, "compares cards");
+  std::string script = trace.render_script();
+  EXPECT_NE(script.find("[t=    7] student 2: compares cards"),
+            std::string::npos);
+}

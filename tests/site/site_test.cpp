@@ -1,0 +1,133 @@
+#include "pdcu/site/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pdcu/support/strings.hpp"
+
+namespace site = pdcu::site;
+namespace core = pdcu::core;
+namespace strs = pdcu::strings;
+
+namespace {
+const core::Repository& repo() {
+  static const core::Repository kRepo = core::Repository::builtin();
+  return kRepo;
+}
+const site::Site& full_site() {
+  static const site::Site kSite = site::build_site(repo());
+  return kSite;
+}
+const site::Page* s_page() {
+  return full_site().find("activities/findsmallestcard/index.html");
+}
+}  // namespace
+
+TEST(Site, BuildsIndexAndActivityPages) {
+  const auto& s = full_site();
+  ASSERT_NE(s.find("index.html"), nullptr);
+  ASSERT_NE(s.find("activities/findsmallestcard/index.html"), nullptr);
+  // One page per curated activity.
+  std::size_t activity_pages = 0;
+  for (const auto& page : s.pages) {
+    if (strs::starts_with(page.path, "activities/")) ++activity_pages;
+  }
+  EXPECT_EQ(activity_pages, 38u);
+}
+
+TEST(Site, ActivityPageCarriesFigThreeHeader) {
+  const auto* page = s_page();
+  ASSERT_NE(page, nullptr);
+  EXPECT_TRUE(strs::contains(page->html, "<h1>FindSmallestCard</h1>"));
+  // The four visible taxonomies render as colored chips linking to term
+  // pages (Fig. 3).
+  EXPECT_TRUE(strs::contains(page->html,
+                             "href=\"/cs2013/pd-parallelalgorithms/\""));
+  EXPECT_TRUE(strs::contains(page->html, "href=\"/courses/cs1/\""));
+  EXPECT_TRUE(strs::contains(page->html, "href=\"/senses/touch/\""));
+  EXPECT_TRUE(strs::contains(page->html, "chip-tcpp"));
+  // Hidden taxonomies do NOT render in the header.
+  EXPECT_FALSE(strs::contains(page->html, "chip-cs2013details"));
+  EXPECT_FALSE(strs::contains(page->html, "chip-medium"));
+}
+
+TEST(Site, ActivityPageRendersBodySections) {
+  const auto* page = s_page();
+  ASSERT_NE(page, nullptr);
+  EXPECT_TRUE(strs::contains(page->html, "<h2>Original Author/link</h2>"));
+  EXPECT_TRUE(strs::contains(page->html, "<h2>Citations</h2>"));
+  EXPECT_TRUE(strs::contains(page->html, "tournament"));
+}
+
+TEST(Site, TermPagesGroupActivities) {
+  const auto& s = full_site();
+  const auto* cards = s.find("medium/cards/index.html");
+  ASSERT_NE(cards, nullptr);
+  // Six card activities (§III.D) are listed.
+  EXPECT_TRUE(strs::contains(cards->html, "findsmallestcard"));
+  EXPECT_TRUE(strs::contains(cards->html, "parallelradixsort"));
+  const auto* k12 = s.find("courses/k-12/index.html");
+  ASSERT_NE(k12, nullptr);
+  EXPECT_TRUE(strs::contains(k12->html, "selfstabilizingtokenring"));
+}
+
+TEST(Site, FourViewPagesExist) {
+  const auto& s = full_site();
+  EXPECT_NE(s.find("views/cs2013/index.html"), nullptr);
+  EXPECT_NE(s.find("views/tcpp/index.html"), nullptr);
+  EXPECT_NE(s.find("views/courses/index.html"), nullptr);
+  EXPECT_NE(s.find("views/accessibility/index.html"), nullptr);
+}
+
+TEST(Site, TcppViewShowsRecommendedCourses) {
+  const auto* view = full_site().find("views/tcpp/index.html");
+  ASSERT_NE(view, nullptr);
+  EXPECT_TRUE(strs::contains(view->html, "Recommended courses:"));
+  EXPECT_TRUE(strs::contains(view->html, "C_Speedup"));
+}
+
+TEST(Site, OptionsDisableViewsAndTermPages) {
+  site::SiteOptions options;
+  options.include_views = false;
+  options.include_term_pages = false;
+  auto s = site::build_site(repo(), options);
+  EXPECT_EQ(s.find("views/cs2013/index.html"), nullptr);
+  EXPECT_EQ(s.find("medium/cards/index.html"), nullptr);
+  // index.html + one page per activity + index.json.
+  EXPECT_EQ(s.pages.size(), 1u + 38u + 1u);
+}
+
+TEST(Site, PagesAreValidHtmlDocuments) {
+  for (const auto& page : full_site().pages) {
+    if (strs::ends_with(page.path, ".json")) continue;
+    EXPECT_TRUE(strs::starts_with(page.html, "<!DOCTYPE html>"))
+        << page.path;
+    EXPECT_TRUE(strs::contains(page.html, "</html>")) << page.path;
+  }
+}
+
+TEST(Site, WriteSitePutsFilesOnDisk) {
+  auto dir = std::filesystem::temp_directory_path() / "pdcu_site_test";
+  std::filesystem::remove_all(dir);
+  auto result = site::write_site(repo(), dir);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(std::filesystem::exists(dir / "index.html"));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir / "activities" / "concerttickets" / "index.html"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Site, AnsiHeaderForTerminals) {
+  const auto* activity = repo().find("findsmallestcard");
+  ASSERT_NE(activity, nullptr);
+  std::string header = site::render_activity_header_ansi(*activity);
+  EXPECT_TRUE(strs::starts_with(header, "FindSmallestCard"));
+  EXPECT_TRUE(strs::contains(header, "[TCPP_Algorithms]"));
+  EXPECT_TRUE(strs::contains(header, "\x1b[38;5;"));
+}
+
+TEST(Site, BuildTimeIsRecorded) {
+  auto s = site::build_site(repo());
+  EXPECT_GT(s.build_time.count(), 0);
+}

@@ -1,0 +1,51 @@
+#include "pdcu/support/date.hpp"
+
+#include <gtest/gtest.h>
+
+using pdcu::Date;
+
+TEST(Date, ParsesIsoDate) {
+  auto date = Date::parse("2019-10-01");
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date.value().year, 2019);
+  EXPECT_EQ(date.value().month, 10);
+  EXPECT_EQ(date.value().day, 1);
+}
+
+TEST(Date, RoundTripsToString) {
+  auto date = Date::parse("2020-02-29");  // 2020 is a leap year
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date.value().to_string(), "2020-02-29");
+}
+
+TEST(Date, RejectsMalformed) {
+  EXPECT_FALSE(Date::parse("2019/10/01").has_value());
+  EXPECT_FALSE(Date::parse("2019-1-01").has_value());
+  EXPECT_FALSE(Date::parse("19-10-01").has_value());
+  EXPECT_FALSE(Date::parse("").has_value());
+  EXPECT_FALSE(Date::parse("not-a-date").has_value());
+}
+
+TEST(Date, RejectsImpossibleDates) {
+  EXPECT_FALSE(Date::parse("2019-02-29").has_value());  // not a leap year
+  EXPECT_FALSE(Date::parse("2019-13-01").has_value());
+  EXPECT_FALSE(Date::parse("2019-00-10").has_value());
+  EXPECT_FALSE(Date::parse("2019-04-31").has_value());
+  EXPECT_FALSE(Date::parse("2019-06-00").has_value());
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(Date::valid(2000, 2, 29));   // divisible by 400
+  EXPECT_FALSE(Date::valid(1900, 2, 29));  // divisible by 100 only
+  EXPECT_TRUE(Date::valid(2024, 2, 29));
+  EXPECT_FALSE(Date::valid(2023, 2, 29));
+}
+
+TEST(Date, OrderingIsLexicographic) {
+  auto a = Date::parse("2019-10-01").value();
+  auto b = Date::parse("2019-12-10").value();
+  auto c = Date::parse("2020-01-01").value();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, Date::parse("2019-10-01").value());
+}

@@ -1,0 +1,88 @@
+#include "pdcu/support/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using pdcu::Error;
+using pdcu::Expected;
+using pdcu::Status;
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = Error::make("code.x", "went wrong");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, "code.x");
+  EXPECT_EQ(e.error().message, "went wrong");
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  Expected<int> ok = 7;
+  Expected<int> bad = Error::make("c", "m");
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, MapTransformsValue) {
+  Expected<int> e = 10;
+  auto doubled = e.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_EQ(doubled.value(), 20);
+}
+
+TEST(Expected, MapPropagatesError) {
+  Expected<int> e = Error::make("c", "m");
+  auto mapped = e.map([](int v) { return v * 2; });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.error().code, "c");
+}
+
+TEST(Expected, AndThenChains) {
+  auto parse_positive = [](int v) -> Expected<std::string> {
+    if (v < 0) return Error::make("neg", "negative");
+    return std::to_string(v);
+  };
+  Expected<int> ok = 5;
+  auto chained = ok.and_then(parse_positive);
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained.value(), "5");
+
+  Expected<int> neg = -5;
+  EXPECT_FALSE(neg.and_then(parse_positive).has_value());
+
+  Expected<int> err = Error::make("up", "stream");
+  auto propagated = err.and_then(parse_positive);
+  ASSERT_FALSE(propagated.has_value());
+  EXPECT_EQ(propagated.error().code, "up");
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e = std::string("payload");
+  std::string taken = std::move(e).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ErrorType, ContextPrepends) {
+  Error e = Error::make("fs.open", "cannot open 'x'");
+  Error wrapped = e.context("loading repository");
+  EXPECT_EQ(wrapped.code, "fs.open");
+  EXPECT_EQ(wrapped.message, "loading repository: cannot open 'x'");
+}
+
+TEST(StatusType, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.has_value());
+  EXPECT_TRUE(static_cast<bool>(Status::ok()));
+}
+
+TEST(StatusType, CarriesError) {
+  Status s = Error::make("c", "m");
+  ASSERT_FALSE(s.has_value());
+  EXPECT_EQ(s.error().code, "c");
+}

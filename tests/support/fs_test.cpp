@@ -1,0 +1,63 @@
+#include "pdcu/support/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace fs = pdcu::fs;
+
+namespace {
+
+std::filesystem::path temp_dir() {
+  auto dir = std::filesystem::temp_directory_path() / "pdcu_fs_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(Fs, WriteThenReadRoundTrips) {
+  auto path = temp_dir() / "roundtrip.txt";
+  ASSERT_TRUE(fs::write_file(path, "hello\nworld\n"));
+  auto content = fs::read_file(path);
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(content.value(), "hello\nworld\n");
+}
+
+TEST(Fs, WriteCreatesParentDirectories) {
+  auto path = temp_dir() / "a" / "b" / "c.txt";
+  std::filesystem::remove_all(temp_dir() / "a");
+  ASSERT_TRUE(fs::write_file(path, "x"));
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(Fs, WriteReplacesExistingContent) {
+  auto path = temp_dir() / "replace.txt";
+  ASSERT_TRUE(fs::write_file(path, "old content that is long"));
+  ASSERT_TRUE(fs::write_file(path, "new"));
+  EXPECT_EQ(fs::read_file(path).value(), "new");
+}
+
+TEST(Fs, ReadMissingFileFails) {
+  auto result = fs::read_file(temp_dir() / "does-not-exist.txt");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "fs.open");
+}
+
+TEST(Fs, ListFilesFiltersByExtensionAndSorts) {
+  auto dir = temp_dir() / "listing";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(fs::write_file(dir / "b.md", "b"));
+  ASSERT_TRUE(fs::write_file(dir / "a.md", "a"));
+  ASSERT_TRUE(fs::write_file(dir / "c.txt", "c"));
+  auto files = fs::list_files(dir, ".md");
+  ASSERT_TRUE(files.has_value());
+  ASSERT_EQ(files.value().size(), 2u);
+  EXPECT_EQ(files.value()[0].filename(), "a.md");
+  EXPECT_EQ(files.value()[1].filename(), "b.md");
+}
+
+TEST(Fs, ListMissingDirectoryFails) {
+  auto files = fs::list_files(temp_dir() / "missing-dir", ".md");
+  EXPECT_FALSE(files.has_value());
+}

@@ -1,0 +1,49 @@
+#include "pdcu/support/slug.hpp"
+
+#include <gtest/gtest.h>
+
+using pdcu::is_slug;
+using pdcu::slugify;
+
+TEST(Slug, CamelCaseTitleLowercases) {
+  // The paper's canonical example: FindSmallestCard ->
+  // /activities/findsmallestcard/.
+  EXPECT_EQ(slugify("FindSmallestCard"), "findsmallestcard");
+}
+
+TEST(Slug, SpacesAndPunctuationBecomeSingleDashes) {
+  EXPECT_EQ(slugify("Concert Tickets!"), "concert-tickets");
+  EXPECT_EQ(slugify("a  --  b"), "a-b");
+  EXPECT_EQ(slugify("Odd/Even (Sort)"), "odd-even-sort");
+}
+
+TEST(Slug, EdgePunctuationDropped) {
+  EXPECT_EQ(slugify("...abc..."), "abc");
+  EXPECT_EQ(slugify("!!!"), "");
+}
+
+TEST(Slug, DigitsKept) {
+  EXPECT_EQ(slugify("CS2013 Coverage"), "cs2013-coverage");
+}
+
+TEST(Slug, IsSlugAcceptsValid) {
+  EXPECT_TRUE(is_slug("findsmallestcard"));
+  EXPECT_TRUE(is_slug("a-b-c123"));
+}
+
+TEST(Slug, IsSlugRejectsInvalid) {
+  EXPECT_FALSE(is_slug(""));
+  EXPECT_FALSE(is_slug("-leading"));
+  EXPECT_FALSE(is_slug("trailing-"));
+  EXPECT_FALSE(is_slug("double--dash"));
+  EXPECT_FALSE(is_slug("UpperCase"));
+  EXPECT_FALSE(is_slug("under_score"));
+}
+
+TEST(Slug, SlugifyOutputIsAlwaysValidOrEmpty) {
+  for (const char* title :
+       {"Hello World", "A+B=C", "  spaces  ", "MiXeD123", "@#$%"}) {
+    std::string s = slugify(title);
+    EXPECT_TRUE(s.empty() || is_slug(s)) << "title: " << title;
+  }
+}

@@ -1,0 +1,66 @@
+#include "pdcu/support/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/support/strings.hpp"
+
+using pdcu::Align;
+using pdcu::TextTable;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"alpha", "3"});
+  table.add_row({"beta", "12"});
+  std::string out = table.render();
+  EXPECT_TRUE(pdcu::strings::contains(out, "| Name "));
+  EXPECT_TRUE(pdcu::strings::contains(out, "| alpha"));
+  EXPECT_TRUE(pdcu::strings::contains(out, "| beta "));
+  // Borders: top, under-header, bottom.
+  int borders = 0;
+  for (const auto& line : pdcu::strings::split_lines(out)) {
+    if (!line.empty() && line[0] == '+') ++borders;
+  }
+  EXPECT_EQ(borders, 3);
+}
+
+TEST(TextTable, RightAlignsNumericColumns) {
+  TextTable table({"K", "V"});
+  table.set_align(1, Align::kRight);
+  table.add_row({"x", "7"});
+  table.add_row({"y", "123"});
+  std::string out = table.render();
+  EXPECT_TRUE(pdcu::strings::contains(out, "|   7 |"));
+  EXPECT_TRUE(pdcu::strings::contains(out, "| 123 |"));
+}
+
+TEST(TextTable, WrapsLongCells) {
+  TextTable table({"Unit", "N"}, /*max_col_width=*/10);
+  table.add_row({"Parallel Communication and Coordination", "12"});
+  std::string out = table.render();
+  // The long name must wrap onto several lines, none wider than the cap
+  // plus borders.
+  auto lines = pdcu::strings::split_lines(out);
+  EXPECT_GT(lines.size(), 5u);
+  for (const auto& line : lines) {
+    EXPECT_LE(line.size(), 32u);
+  }
+}
+
+TEST(TextTable, AllLinesSameWidth) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"1", "22", "333"});
+  table.add_row({"4444", "5", "6"});
+  auto lines = pdcu::strings::split_lines(table.render());
+  ASSERT_FALSE(lines.empty());
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size());
+  }
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"A"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  table.add_row({"y"});
+  EXPECT_EQ(table.row_count(), 2u);
+}

@@ -1,0 +1,83 @@
+#include "pdcu/taxonomy/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdcu/taxonomy/chips.hpp"
+
+namespace tax = pdcu::tax;
+
+TEST(TaxonomyConfig, HasTheSevenPdcUnpluggedTaxonomies) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  EXPECT_EQ(config.all().size(), 7u);
+  // §II.B: four visible, three hidden.
+  EXPECT_EQ(config.visible().size(), 4u);
+}
+
+TEST(TaxonomyConfig, VisibleOnesMatchTheActivityHeader) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  auto visible = config.visible();
+  ASSERT_EQ(visible.size(), 4u);
+  EXPECT_EQ(visible[0].key, "cs2013");
+  EXPECT_EQ(visible[1].key, "tcpp");
+  EXPECT_EQ(visible[2].key, "courses");
+  EXPECT_EQ(visible[3].key, "senses");
+}
+
+TEST(TaxonomyConfig, HiddenOnesAreTheDetailTaxonomies) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  for (const char* key : {"cs2013details", "tcppdetails", "medium"}) {
+    auto taxonomy = config.find(key);
+    ASSERT_TRUE(taxonomy.has_value()) << key;
+    EXPECT_TRUE(taxonomy->hidden) << key;
+  }
+}
+
+TEST(TaxonomyConfig, EachTaxonomyHasADistinctColor) {
+  // "Each taxonomy is assigned a different color" (§II.B).
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  std::set<std::string> colors;
+  for (const auto& taxonomy : config.all()) {
+    colors.insert(taxonomy.color.hex);
+  }
+  EXPECT_EQ(colors.size(), config.all().size());
+}
+
+TEST(TaxonomyConfig, FindUnknownReturnsNullopt) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  EXPECT_FALSE(config.find("nope").has_value());
+  EXPECT_FALSE(config.is_taxonomy_key("title"));
+  EXPECT_TRUE(config.is_taxonomy_key("tcpp"));
+}
+
+TEST(Chips, TermUrlUsesSlugs) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  auto cs2013 = config.find("cs2013").value();
+  EXPECT_EQ(tax::term_url(cs2013, "PD_ParallelAlgorithms"),
+            "/cs2013/pd-parallelalgorithms/");
+}
+
+TEST(Chips, HtmlChipLinksAndColors) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  auto courses = config.find("courses").value();
+  std::string chip = tax::html_chip(courses, "CS1");
+  EXPECT_NE(chip.find("href=\"/courses/cs1/\""), std::string::npos);
+  EXPECT_NE(chip.find(courses.color.hex), std::string::npos);
+  EXPECT_NE(chip.find(">CS1</a>"), std::string::npos);
+}
+
+TEST(Chips, AnsiChipWrapsInColorCodes) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  auto senses = config.find("senses").value();
+  std::string chip = tax::ansi_chip(senses, "touch");
+  EXPECT_NE(chip.find("\x1b["), std::string::npos);
+  EXPECT_NE(chip.find("[touch]"), std::string::npos);
+  EXPECT_NE(chip.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(Chips, PlainChipHasNoEscapeCodes) {
+  auto config = tax::TaxonomyConfig::pdcunplugged();
+  auto senses = config.find("senses").value();
+  EXPECT_EQ(tax::plain_chip(senses, "touch"), "[touch]");
+}

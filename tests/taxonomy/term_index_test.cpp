@@ -1,0 +1,79 @@
+#include "pdcu/taxonomy/term_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tax = pdcu::tax;
+
+namespace {
+
+tax::TermIndex make_index() {
+  tax::TermIndex index(tax::TaxonomyConfig::pdcunplugged());
+  index.add_page({"alpha", "Alpha"},
+                 {{"courses", {"CS1", "CS2"}}, {"senses", {"visual"}}});
+  index.add_page({"beta", "Beta"},
+                 {{"courses", {"CS2"}}, {"senses", {"visual", "touch"}}});
+  index.add_page({"gamma", "Gamma"}, {{"courses", {"CS1", "CS2", "DSA"}}});
+  return index;
+}
+
+}  // namespace
+
+TEST(TermIndex, GroupsPagesByTerm) {
+  auto index = make_index();
+  EXPECT_EQ(index.count("courses", "CS1"), 2u);
+  EXPECT_EQ(index.count("courses", "CS2"), 3u);
+  EXPECT_EQ(index.count("courses", "DSA"), 1u);
+  EXPECT_EQ(index.count("senses", "touch"), 1u);
+}
+
+TEST(TermIndex, PagesKeepInsertionOrder) {
+  auto index = make_index();
+  auto pages = index.pages("courses", "CS2");
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0].slug, "alpha");
+  EXPECT_EQ(pages[1].slug, "beta");
+  EXPECT_EQ(pages[2].slug, "gamma");
+}
+
+TEST(TermIndex, TermsAreSorted) {
+  auto index = make_index();
+  auto terms = index.terms("courses");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "CS1");
+  EXPECT_EQ(terms[1], "CS2");
+  EXPECT_EQ(terms[2], "DSA");
+}
+
+TEST(TermIndex, UnknownTaxonomyKeysAreIgnored) {
+  tax::TermIndex index(tax::TaxonomyConfig::pdcunplugged());
+  index.add_page({"x", "X"}, {{"title", {"not-a-taxonomy"}}});
+  EXPECT_TRUE(index.terms("title").empty());
+  EXPECT_EQ(index.page_count(), 1u);
+}
+
+TEST(TermIndex, DuplicateTermsOnOnePageIndexOnce) {
+  tax::TermIndex index(tax::TaxonomyConfig::pdcunplugged());
+  index.add_page({"x", "X"}, {{"courses", {"CS1", "CS1"}}});
+  EXPECT_EQ(index.count("courses", "CS1"), 1u);
+}
+
+TEST(TermIndex, UnknownTermIsEmpty) {
+  auto index = make_index();
+  EXPECT_TRUE(index.pages("courses", "PhD").empty());
+  EXPECT_EQ(index.count("nope", "CS1"), 0u);
+}
+
+TEST(TermIndex, PagesWithAnyDeduplicates) {
+  auto index = make_index();
+  auto pages = index.pages_with_any("courses", {"CS1", "CS2"});
+  EXPECT_EQ(pages.size(), 3u);  // alpha, beta, gamma without duplicates
+}
+
+TEST(TermIndex, PagesWithAllIntersects) {
+  auto index = make_index();
+  auto pages = index.pages_with_all("courses", {"CS1", "CS2"});
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0].slug, "alpha");
+  EXPECT_EQ(pages[1].slug, "gamma");
+  EXPECT_TRUE(index.pages_with_all("courses", {}).empty());
+}

@@ -1,0 +1,20 @@
+// Writes the built-in curation to data/activities/*.md — the on-disk form
+// of pdcunplugged.org's content directory. Usage:
+//   curation_export [content-dir]   (default: ./data)
+#include <cstdio>
+
+#include "pdcu/core/repository.hpp"
+
+int main(int argc, char** argv) {
+  const char* dir = argc > 1 ? argv[1] : "data";
+  auto repo = pdcu::core::Repository::builtin();
+  auto status = repo.export_to(dir);
+  if (!status) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 status.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu activities to %s/activities/\n",
+              repo.activities().size(), dir);
+  return 0;
+}

@@ -1,0 +1,168 @@
+// The pdcu command-line tool: the Hugo-equivalent workflow for the
+// PDCunplugged repository.
+//
+//   pdcu list                      list curated activities
+//   pdcu show <slug>               render an activity header (Fig. 3, ANSI)
+//   pdcu new <Title>               print a pre-populated template (Fig. 1)
+//   pdcu validate [content-dir]    lint the curation (or a content dir)
+//   pdcu build <content-dir> <out> generate the HTML site
+//   pdcu tables                    print the paper's Tables I and II
+//   pdcu gaps                      print the coverage-gap report
+//   pdcu impact                    coverage with the proposed activities
+//   pdcu json                      emit the machine-readable catalog
+//   pdcu audit                     external-materials link-rot audit
+//   pdcu plan <course> [sessions]  greedy coverage-maximizing lesson plan
+//   pdcu annotate <dir> <slug> <note>  record a classroom experience
+//   pdcu run <simulation> [seed]   run an activity simulation
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pdcu/activities/registry.hpp"
+#include "pdcu/core/annotate.hpp"
+#include "pdcu/core/archetype.hpp"
+#include "pdcu/core/repository.hpp"
+#include "pdcu/core/link_audit.hpp"
+#include "pdcu/core/planner.hpp"
+#include "pdcu/extensions/impact.hpp"
+#include "pdcu/site/json_catalog.hpp"
+#include "pdcu/site/site.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pdcu "
+               "list|show|new|validate|build|tables|gaps|impact|json|audit|plan|annotate|run "
+               "...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  auto repo = pdcu::core::Repository::builtin();
+
+  if (command == "list") {
+    for (const auto& a : repo.activities()) {
+      std::printf("%-28s %-34s %d\n", a.slug.c_str(), a.title.c_str(),
+                  a.year);
+    }
+    return 0;
+  }
+  if (command == "show" && argc >= 3) {
+    const auto* activity = repo.find(argv[2]);
+    if (activity == nullptr) {
+      std::fprintf(stderr, "no activity '%s'\n", argv[2]);
+      return 1;
+    }
+    std::fputs(pdcu::site::render_activity_header_ansi(*activity).c_str(),
+               stdout);
+    return 0;
+  }
+  if (command == "new" && argc >= 3) {
+    std::fputs(pdcu::core::instantiate_activity(argv[2],
+                                                pdcu::Date{2020, 1, 1})
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  if (command == "validate") {
+    if (argc >= 3) {
+      auto loaded = pdcu::core::Repository::load(argv[2]);
+      if (!loaded) {
+        std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+        return 1;
+      }
+      repo = std::move(loaded).value();
+    }
+    auto findings = repo.validate();
+    for (const auto& f : findings) {
+      std::printf("%s: [%s] %s\n",
+                  f.severity == pdcu::core::Severity::kError ? "error"
+                                                             : "warning",
+                  f.code.c_str(), f.message.c_str());
+    }
+    std::printf("%zu findings; publishable: %s\n", findings.size(),
+                pdcu::core::is_publishable(findings) ? "yes" : "no");
+    return pdcu::core::is_publishable(findings) ? 0 : 1;
+  }
+  if (command == "build" && argc >= 4) {
+    auto loaded = pdcu::core::Repository::load(argv[2]);
+    if (loaded) repo = std::move(loaded).value();
+    auto site = pdcu::site::write_site(repo, argv[3]);
+    if (!site) {
+      std::fprintf(stderr, "%s\n", site.error().message.c_str());
+      return 1;
+    }
+    std::printf("built %zu pages in %lld us\n", site.value().pages.size(),
+                static_cast<long long>(site.value().build_time.count()));
+    return 0;
+  }
+  if (command == "tables") {
+    auto coverage = repo.coverage();
+    std::printf("TABLE I: CS2013 COVERAGE\n%s\n",
+                coverage.render_cs2013_table().c_str());
+    std::printf("TABLE II: TCPP COVERAGE\n%s",
+                coverage.render_tcpp_table().c_str());
+    return 0;
+  }
+  if (command == "gaps") {
+    std::fputs(repo.gaps().render_report().c_str(), stdout);
+    return 0;
+  }
+  if (command == "impact") {
+    std::fputs(pdcu::ext::render_impact_report().c_str(), stdout);
+    return 0;
+  }
+  if (command == "json") {
+    std::fputs(pdcu::site::render_json_catalog(repo).c_str(), stdout);
+    return 0;
+  }
+  if (command == "audit") {
+    std::fputs(pdcu::core::render_link_audit(
+                   pdcu::core::audit_links(repo.activities()))
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  if (command == "plan" && argc >= 3) {
+    const std::size_t sessions =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 4;
+    auto plan =
+        pdcu::core::plan_course(repo.activities(), argv[2], sessions);
+    std::fputs(plan.render().c_str(), stdout);
+    return plan.sessions.empty() ? 1 : 0;
+  }
+  if (command == "annotate" && argc >= 5) {
+    auto status = pdcu::core::annotate_assessment(argv[2], argv[3], argv[4]);
+    if (!status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("recorded a classroom experience on '%s'\n", argv[3]);
+    return 0;
+  }
+  if (command == "run" && argc >= 3) {
+    const auto* sim = pdcu::act::find_simulation(argv[2]);
+    if (sim == nullptr) {
+      std::fprintf(stderr, "no simulation '%s'; available:\n", argv[2]);
+      for (const auto& s : pdcu::act::simulations()) {
+        std::fprintf(stderr, "  %s\n", s.slug.c_str());
+      }
+      return 1;
+    }
+    const std::uint64_t seed =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    auto report = sim->run(seed);
+    std::printf("%s — %s\n%s\n", sim->name.c_str(),
+                sim->description.c_str(), report.summary.c_str());
+    if (!report.script.empty()) {
+      std::printf("\nclassroom script:\n%s", report.script.c_str());
+    }
+    return report.ok ? 0 : 1;
+  }
+  return usage();
+}
