@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accessibility.dir/bench/bench_accessibility.cpp.o"
+  "CMakeFiles/bench_accessibility.dir/bench/bench_accessibility.cpp.o.d"
+  "bench/bench_accessibility"
+  "bench/bench_accessibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accessibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

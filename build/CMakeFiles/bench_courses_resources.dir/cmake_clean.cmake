@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_courses_resources.dir/bench/bench_courses_resources.cpp.o"
+  "CMakeFiles/bench_courses_resources.dir/bench/bench_courses_resources.cpp.o.d"
+  "bench/bench_courses_resources"
+  "bench/bench_courses_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_courses_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_templates.dir/bench/bench_fig_templates.cpp.o"
+  "CMakeFiles/bench_fig_templates.dir/bench/bench_fig_templates.cpp.o.d"
+  "bench/bench_fig_templates"
+  "bench/bench_fig_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_races.dir/bench/bench_races.cpp.o"
+  "CMakeFiles/bench_races.dir/bench/bench_races.cpp.o.d"
+  "bench/bench_races"
+  "bench/bench_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

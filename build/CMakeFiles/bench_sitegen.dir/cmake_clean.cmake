@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sitegen.dir/bench/bench_sitegen.cpp.o"
+  "CMakeFiles/bench_sitegen.dir/bench/bench_sitegen.cpp.o.d"
+  "bench/bench_sitegen"
+  "bench/bench_sitegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sitegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

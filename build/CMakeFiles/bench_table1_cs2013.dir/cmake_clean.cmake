@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cs2013.dir/bench/bench_table1_cs2013.cpp.o"
+  "CMakeFiles/bench_table1_cs2013.dir/bench/bench_table1_cs2013.cpp.o.d"
+  "bench/bench_table1_cs2013"
+  "bench/bench_table1_cs2013.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cs2013.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tcpp.dir/bench/bench_table2_tcpp.cpp.o"
+  "CMakeFiles/bench_table2_tcpp.dir/bench/bench_table2_tcpp.cpp.o.d"
+  "bench/bench_table2_tcpp"
+  "bench/bench_table2_tcpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tcpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

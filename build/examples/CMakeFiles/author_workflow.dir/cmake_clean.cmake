@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_workflow.dir/author_workflow.cpp.o"
+  "CMakeFiles/author_workflow.dir/author_workflow.cpp.o.d"
+  "author_workflow"
+  "author_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_day.dir/classroom_day.cpp.o"
+  "CMakeFiles/classroom_day.dir/classroom_day.cpp.o.d"
+  "classroom_day"
+  "classroom_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

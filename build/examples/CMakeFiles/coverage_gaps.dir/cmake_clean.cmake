@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_gaps.dir/coverage_gaps.cpp.o"
+  "CMakeFiles/coverage_gaps.dir/coverage_gaps.cpp.o.d"
+  "coverage_gaps"
+  "coverage_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lesson_plan.dir/lesson_plan.cpp.o"
+  "CMakeFiles/lesson_plan.dir/lesson_plan.cpp.o.d"
+  "lesson_plan"
+  "lesson_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lesson_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitegen.dir/sitegen.cpp.o"
+  "CMakeFiles/sitegen.dir/sitegen.cpp.o.d"
+  "sitegen"
+  "sitegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

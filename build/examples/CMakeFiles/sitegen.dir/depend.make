@@ -1,0 +1,2 @@
+# Empty dependencies file for sitegen.
+# This may be replaced when dependencies are built.

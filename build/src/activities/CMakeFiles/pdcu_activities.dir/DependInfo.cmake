@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activities/data_parallel.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/data_parallel.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/activities/distributed.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/distributed.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/distributed.cpp.o.d"
+  "/root/repo/src/activities/performance.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/performance.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/performance.cpp.o.d"
+  "/root/repo/src/activities/races.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/races.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/races.cpp.o.d"
+  "/root/repo/src/activities/registry.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/registry.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/registry.cpp.o.d"
+  "/root/repo/src/activities/sorting.cpp" "src/activities/CMakeFiles/pdcu_activities.dir/sorting.cpp.o" "gcc" "src/activities/CMakeFiles/pdcu_activities.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pdcu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_activities.dir/data_parallel.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/pdcu_activities.dir/distributed.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/distributed.cpp.o.d"
+  "CMakeFiles/pdcu_activities.dir/performance.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/performance.cpp.o.d"
+  "CMakeFiles/pdcu_activities.dir/races.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/races.cpp.o.d"
+  "CMakeFiles/pdcu_activities.dir/registry.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/registry.cpp.o.d"
+  "CMakeFiles/pdcu_activities.dir/sorting.cpp.o"
+  "CMakeFiles/pdcu_activities.dir/sorting.cpp.o.d"
+  "libpdcu_activities.a"
+  "libpdcu_activities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_activities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cpp" "src/core/CMakeFiles/pdcu_core.dir/activity.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/activity.cpp.o.d"
+  "/root/repo/src/core/activity_parser.cpp" "src/core/CMakeFiles/pdcu_core.dir/activity_parser.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/activity_parser.cpp.o.d"
+  "/root/repo/src/core/activity_writer.cpp" "src/core/CMakeFiles/pdcu_core.dir/activity_writer.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/activity_writer.cpp.o.d"
+  "/root/repo/src/core/annotate.cpp" "src/core/CMakeFiles/pdcu_core.dir/annotate.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/annotate.cpp.o.d"
+  "/root/repo/src/core/archetype.cpp" "src/core/CMakeFiles/pdcu_core.dir/archetype.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/archetype.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/pdcu_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/curation.cpp" "src/core/CMakeFiles/pdcu_core.dir/curation.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/curation.cpp.o.d"
+  "/root/repo/src/core/curation_data_1.cpp" "src/core/CMakeFiles/pdcu_core.dir/curation_data_1.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/curation_data_1.cpp.o.d"
+  "/root/repo/src/core/curation_data_2.cpp" "src/core/CMakeFiles/pdcu_core.dir/curation_data_2.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/curation_data_2.cpp.o.d"
+  "/root/repo/src/core/gaps.cpp" "src/core/CMakeFiles/pdcu_core.dir/gaps.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/gaps.cpp.o.d"
+  "/root/repo/src/core/link_audit.cpp" "src/core/CMakeFiles/pdcu_core.dir/link_audit.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/link_audit.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/pdcu_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/core/CMakeFiles/pdcu_core.dir/repository.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/repository.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/pdcu_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/pdcu_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/validate.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/core/CMakeFiles/pdcu_core.dir/views.cpp.o" "gcc" "src/core/CMakeFiles/pdcu_core.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/markdown/CMakeFiles/pdcu_markdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/curriculum/CMakeFiles/pdcu_curriculum.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdcu_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curriculum/cs2013.cpp" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/cs2013.cpp.o" "gcc" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/cs2013.cpp.o.d"
+  "/root/repo/src/curriculum/tcpp.cpp" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/tcpp.cpp.o" "gcc" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/tcpp.cpp.o.d"
+  "/root/repo/src/curriculum/terms.cpp" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/terms.cpp.o" "gcc" "src/curriculum/CMakeFiles/pdcu_curriculum.dir/terms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

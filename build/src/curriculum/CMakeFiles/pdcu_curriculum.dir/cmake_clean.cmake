@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_curriculum.dir/cs2013.cpp.o"
+  "CMakeFiles/pdcu_curriculum.dir/cs2013.cpp.o.d"
+  "CMakeFiles/pdcu_curriculum.dir/tcpp.cpp.o"
+  "CMakeFiles/pdcu_curriculum.dir/tcpp.cpp.o.d"
+  "CMakeFiles/pdcu_curriculum.dir/terms.cpp.o"
+  "CMakeFiles/pdcu_curriculum.dir/terms.cpp.o.d"
+  "libpdcu_curriculum.a"
+  "libpdcu_curriculum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_curriculum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

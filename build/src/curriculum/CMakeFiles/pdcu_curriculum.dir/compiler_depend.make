@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdcu_curriculum.
+# This may be replaced when dependencies are built.

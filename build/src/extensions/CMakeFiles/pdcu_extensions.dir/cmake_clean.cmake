@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_extensions.dir/gap_sims.cpp.o"
+  "CMakeFiles/pdcu_extensions.dir/gap_sims.cpp.o.d"
+  "CMakeFiles/pdcu_extensions.dir/impact.cpp.o"
+  "CMakeFiles/pdcu_extensions.dir/impact.cpp.o.d"
+  "CMakeFiles/pdcu_extensions.dir/proposed.cpp.o"
+  "CMakeFiles/pdcu_extensions.dir/proposed.cpp.o.d"
+  "libpdcu_extensions.a"
+  "libpdcu_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdcu_extensions.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markdown/frontmatter.cpp" "src/markdown/CMakeFiles/pdcu_markdown.dir/frontmatter.cpp.o" "gcc" "src/markdown/CMakeFiles/pdcu_markdown.dir/frontmatter.cpp.o.d"
+  "/root/repo/src/markdown/html.cpp" "src/markdown/CMakeFiles/pdcu_markdown.dir/html.cpp.o" "gcc" "src/markdown/CMakeFiles/pdcu_markdown.dir/html.cpp.o.d"
+  "/root/repo/src/markdown/inline_parser.cpp" "src/markdown/CMakeFiles/pdcu_markdown.dir/inline_parser.cpp.o" "gcc" "src/markdown/CMakeFiles/pdcu_markdown.dir/inline_parser.cpp.o.d"
+  "/root/repo/src/markdown/parser.cpp" "src/markdown/CMakeFiles/pdcu_markdown.dir/parser.cpp.o" "gcc" "src/markdown/CMakeFiles/pdcu_markdown.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

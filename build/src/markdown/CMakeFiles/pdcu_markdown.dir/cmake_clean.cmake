@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_markdown.dir/frontmatter.cpp.o"
+  "CMakeFiles/pdcu_markdown.dir/frontmatter.cpp.o.d"
+  "CMakeFiles/pdcu_markdown.dir/html.cpp.o"
+  "CMakeFiles/pdcu_markdown.dir/html.cpp.o.d"
+  "CMakeFiles/pdcu_markdown.dir/inline_parser.cpp.o"
+  "CMakeFiles/pdcu_markdown.dir/inline_parser.cpp.o.d"
+  "CMakeFiles/pdcu_markdown.dir/parser.cpp.o"
+  "CMakeFiles/pdcu_markdown.dir/parser.cpp.o.d"
+  "libpdcu_markdown.a"
+  "libpdcu_markdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_markdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/classroom.cpp" "src/runtime/CMakeFiles/pdcu_runtime.dir/classroom.cpp.o" "gcc" "src/runtime/CMakeFiles/pdcu_runtime.dir/classroom.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/pdcu_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/pdcu_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/pdcu_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/pdcu_runtime.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/pdcu_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/pdcu_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_runtime.dir/classroom.cpp.o"
+  "CMakeFiles/pdcu_runtime.dir/classroom.cpp.o.d"
+  "CMakeFiles/pdcu_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/pdcu_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pdcu_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/pdcu_runtime.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pdcu_runtime.dir/trace.cpp.o"
+  "CMakeFiles/pdcu_runtime.dir/trace.cpp.o.d"
+  "libpdcu_runtime.a"
+  "libpdcu_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_site.dir/json_catalog.cpp.o"
+  "CMakeFiles/pdcu_site.dir/json_catalog.cpp.o.d"
+  "CMakeFiles/pdcu_site.dir/site.cpp.o"
+  "CMakeFiles/pdcu_site.dir/site.cpp.o.d"
+  "libpdcu_site.a"
+  "libpdcu_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/date.cpp" "src/support/CMakeFiles/pdcu_support.dir/date.cpp.o" "gcc" "src/support/CMakeFiles/pdcu_support.dir/date.cpp.o.d"
+  "/root/repo/src/support/fs.cpp" "src/support/CMakeFiles/pdcu_support.dir/fs.cpp.o" "gcc" "src/support/CMakeFiles/pdcu_support.dir/fs.cpp.o.d"
+  "/root/repo/src/support/slug.cpp" "src/support/CMakeFiles/pdcu_support.dir/slug.cpp.o" "gcc" "src/support/CMakeFiles/pdcu_support.dir/slug.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/pdcu_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/pdcu_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/text_table.cpp" "src/support/CMakeFiles/pdcu_support.dir/text_table.cpp.o" "gcc" "src/support/CMakeFiles/pdcu_support.dir/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

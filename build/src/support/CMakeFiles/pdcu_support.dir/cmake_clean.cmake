@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_support.dir/date.cpp.o"
+  "CMakeFiles/pdcu_support.dir/date.cpp.o.d"
+  "CMakeFiles/pdcu_support.dir/fs.cpp.o"
+  "CMakeFiles/pdcu_support.dir/fs.cpp.o.d"
+  "CMakeFiles/pdcu_support.dir/slug.cpp.o"
+  "CMakeFiles/pdcu_support.dir/slug.cpp.o.d"
+  "CMakeFiles/pdcu_support.dir/strings.cpp.o"
+  "CMakeFiles/pdcu_support.dir/strings.cpp.o.d"
+  "CMakeFiles/pdcu_support.dir/text_table.cpp.o"
+  "CMakeFiles/pdcu_support.dir/text_table.cpp.o.d"
+  "libpdcu_support.a"
+  "libpdcu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/chips.cpp" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/chips.cpp.o" "gcc" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/chips.cpp.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cpp" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/taxonomy.cpp.o" "gcc" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/taxonomy/term_index.cpp" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/term_index.cpp.o" "gcc" "src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/term_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

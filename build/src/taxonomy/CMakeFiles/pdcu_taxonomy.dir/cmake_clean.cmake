@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu_taxonomy.dir/chips.cpp.o"
+  "CMakeFiles/pdcu_taxonomy.dir/chips.cpp.o.d"
+  "CMakeFiles/pdcu_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/pdcu_taxonomy.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/pdcu_taxonomy.dir/term_index.cpp.o"
+  "CMakeFiles/pdcu_taxonomy.dir/term_index.cpp.o.d"
+  "libpdcu_taxonomy.a"
+  "libpdcu_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activities_test.dir/activities/data_parallel_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/data_parallel_test.cpp.o.d"
+  "CMakeFiles/activities_test.dir/activities/distributed_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/distributed_test.cpp.o.d"
+  "CMakeFiles/activities_test.dir/activities/performance_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/performance_test.cpp.o.d"
+  "CMakeFiles/activities_test.dir/activities/races_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/races_test.cpp.o.d"
+  "CMakeFiles/activities_test.dir/activities/registry_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/registry_test.cpp.o.d"
+  "CMakeFiles/activities_test.dir/activities/sorting_test.cpp.o"
+  "CMakeFiles/activities_test.dir/activities/sorting_test.cpp.o.d"
+  "activities_test"
+  "activities_test.pdb"
+  "activities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

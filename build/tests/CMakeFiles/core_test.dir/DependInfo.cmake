@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/activity_io_test.cpp" "tests/CMakeFiles/core_test.dir/core/activity_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/activity_io_test.cpp.o.d"
+  "/root/repo/tests/core/annotate_test.cpp" "tests/CMakeFiles/core_test.dir/core/annotate_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/annotate_test.cpp.o.d"
+  "/root/repo/tests/core/archetype_test.cpp" "tests/CMakeFiles/core_test.dir/core/archetype_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/archetype_test.cpp.o.d"
+  "/root/repo/tests/core/coverage_test.cpp" "tests/CMakeFiles/core_test.dir/core/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/coverage_test.cpp.o.d"
+  "/root/repo/tests/core/curation_test.cpp" "tests/CMakeFiles/core_test.dir/core/curation_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/curation_test.cpp.o.d"
+  "/root/repo/tests/core/gaps_test.cpp" "tests/CMakeFiles/core_test.dir/core/gaps_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gaps_test.cpp.o.d"
+  "/root/repo/tests/core/link_audit_test.cpp" "tests/CMakeFiles/core_test.dir/core/link_audit_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/link_audit_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/core_test.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/stats_test.cpp" "tests/CMakeFiles/core_test.dir/core/stats_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stats_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/core_test.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/validate_test.cpp.o.d"
+  "/root/repo/tests/core/views_test.cpp" "tests/CMakeFiles/core_test.dir/core/views_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/views_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/markdown/CMakeFiles/pdcu_markdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/curriculum/CMakeFiles/pdcu_curriculum.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdcu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/pdcu_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdcu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/activities/CMakeFiles/pdcu_activities.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/pdcu_extensions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

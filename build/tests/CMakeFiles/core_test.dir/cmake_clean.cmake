@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/activity_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/activity_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/annotate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/annotate_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/archetype_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/archetype_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/coverage_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/coverage_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/curation_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/curation_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/gaps_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/gaps_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/link_audit_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/link_audit_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/planner_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/stats_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/validate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/validate_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/views_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/views_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curriculum_test.dir/curriculum/cs2013_test.cpp.o"
+  "CMakeFiles/curriculum_test.dir/curriculum/cs2013_test.cpp.o.d"
+  "CMakeFiles/curriculum_test.dir/curriculum/tcpp_test.cpp.o"
+  "CMakeFiles/curriculum_test.dir/curriculum/tcpp_test.cpp.o.d"
+  "curriculum_test"
+  "curriculum_test.pdb"
+  "curriculum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curriculum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/cli_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/cli_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/paper_numbers_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/paper_numbers_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/roundtrip_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/roundtrip_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/site_build_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/site_build_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markdown_test.dir/markdown/frontmatter_test.cpp.o"
+  "CMakeFiles/markdown_test.dir/markdown/frontmatter_test.cpp.o.d"
+  "CMakeFiles/markdown_test.dir/markdown/fuzz_test.cpp.o"
+  "CMakeFiles/markdown_test.dir/markdown/fuzz_test.cpp.o.d"
+  "CMakeFiles/markdown_test.dir/markdown/html_test.cpp.o"
+  "CMakeFiles/markdown_test.dir/markdown/html_test.cpp.o.d"
+  "CMakeFiles/markdown_test.dir/markdown/parser_test.cpp.o"
+  "CMakeFiles/markdown_test.dir/markdown/parser_test.cpp.o.d"
+  "markdown_test"
+  "markdown_test.pdb"
+  "markdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/channel_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/channel_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/channel_test.cpp.o.d"
+  "/root/repo/tests/runtime/classroom_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/classroom_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/classroom_test.cpp.o.d"
+  "/root/repo/tests/runtime/scheduler_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_test.cpp.o.d"
+  "/root/repo/tests/runtime/thread_pool_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/runtime/virtual_cost_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/virtual_cost_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/virtual_cost_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdcu_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/markdown/CMakeFiles/pdcu_markdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/pdcu_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/curriculum/CMakeFiles/pdcu_curriculum.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdcu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/pdcu_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pdcu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/activities/CMakeFiles/pdcu_activities.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/pdcu_extensions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_test.dir/site/json_catalog_test.cpp.o"
+  "CMakeFiles/site_test.dir/site/json_catalog_test.cpp.o.d"
+  "CMakeFiles/site_test.dir/site/site_test.cpp.o"
+  "CMakeFiles/site_test.dir/site/site_test.cpp.o.d"
+  "site_test"
+  "site_test.pdb"
+  "site_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curation_export.dir/curation_export.cpp.o"
+  "CMakeFiles/curation_export.dir/curation_export.cpp.o.d"
+  "curation_export"
+  "curation_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curation_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcu.dir/pdcu_cli.cpp.o"
+  "CMakeFiles/pdcu.dir/pdcu_cli.cpp.o.d"
+  "pdcu"
+  "pdcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
