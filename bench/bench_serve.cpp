@@ -1,0 +1,121 @@
+// Serving-path microbenchmarks: in-process request throughput through the
+// router and page cache (no sockets), conditional-GET revalidation, and
+// end-to-end loopback requests/sec against a live HttpServer.
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/server/server.hpp"
+#include "pdcu/site/site.hpp"
+
+namespace {
+
+const pdcu::server::Router& router() {
+  static const pdcu::server::Router kRouter = [] {
+    const auto& repo = pdcu::core::Repository::builtin();
+    return pdcu::server::Router(pdcu::site::build_site(repo), repo);
+  }();
+  return kRouter;
+}
+
+pdcu::server::Request get_request(std::string target) {
+  pdcu::server::Request request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+void BM_CacheLookup(benchmark::State& state) {
+  const auto& cache = router().cache();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find("/activities/findsmallestcard/"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_RouterDispatch(benchmark::State& state) {
+  const auto request = get_request("/activities/findsmallestcard/");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto response = router().handle(request);
+    bytes = response.body.size();
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RouterDispatch);
+
+void BM_RouterConditionalGet(benchmark::State& state) {
+  auto request = get_request("/activities/findsmallestcard/");
+  const auto fresh = router().handle(request);
+  request.headers.emplace_back("if-none-match",
+                               *fresh.header("etag"));
+  for (auto _ : state) {
+    auto response = router().handle(request);  // 304, no body copy
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterConditionalGet);
+
+void BM_SerializeResponse(benchmark::State& state) {
+  const auto response = router().handle(get_request("/"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdcu::server::serialize(response));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeResponse);
+
+/// Full loopback round trip: connect, one GET with Connection: close, read
+/// the response to EOF. Dominated by syscalls, which is the point.
+void BM_LoopbackRoundTrip(benchmark::State& state) {
+  const auto& repo = pdcu::core::Repository::builtin();
+  pdcu::server::ServerOptions options;
+  options.port = 0;
+  pdcu::server::HttpServer server(
+      pdcu::server::Router(pdcu::site::build_site(repo), repo), options);
+  if (!server.start()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n";
+
+  for (auto _ : state) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                            sizeof address) != 0) {
+      if (fd >= 0) ::close(fd);
+      state.SkipWithError("connect failed");
+      break;
+    }
+    ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    char chunk[4096];
+    while (::recv(fd, chunk, sizeof chunk, 0) > 0) {
+    }
+    ::close(fd);
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.stop();
+}
+BENCHMARK(BM_LoopbackRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -40,3 +40,7 @@ pdcu_add_bench(bench_ablation_costmodel bench/bench_ablation_costmodel.cpp)
 pdcu_add_gbench(bench_sitegen bench/bench_sitegen.cpp)
 pdcu_add_gbench(bench_taxonomy bench/bench_taxonomy.cpp)
 pdcu_add_gbench(bench_sync_methods bench/bench_sync_methods.cpp)
+
+# Serving path (pdcu::server): router/cache throughput and loopback RPS.
+pdcu_add_gbench(bench_serve bench/bench_serve.cpp)
+target_link_libraries(bench_serve PRIVATE pdcu_server)

@@ -1,0 +1,212 @@
+#include "pdcu/server/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::server {
+
+namespace strs = pdcu::strings;
+
+namespace {
+
+constexpr std::size_t kMaxHeaderCount = 100;
+constexpr std::size_t kMaxTargetBytes = 2048;
+
+/// RFC 7230 token characters (header names, methods).
+bool is_tchar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
+  return kExtra.find(c) != std::string_view::npos;
+}
+
+bool is_upper_token(std::string_view s) {
+  if (s.empty() || s.size() > 16) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return c >= 'A' && c <= 'Z'; });
+}
+
+bool is_valid_target(std::string_view s) {
+  if (s.empty() || s.front() != '/' || s.size() > kMaxTargetBytes) {
+    return false;
+  }
+  return std::none_of(s.begin(), s.end(), [](char c) {
+    return c == ' ' || c == '\t' || static_cast<unsigned char>(c) < 0x20 ||
+           c == 0x7f;
+  });
+}
+
+bool equals_ignore_case(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* Request::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (equals_ignore_case(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view Request::path() const {
+  const std::string_view t = target;
+  return t.substr(0, t.find('?'));
+}
+
+std::string_view Request::query() const {
+  const std::string_view t = target;
+  const auto mark = t.find('?');
+  return mark == std::string_view::npos ? std::string_view{}
+                                        : t.substr(mark + 1);
+}
+
+bool Request::keep_alive() const {
+  const std::string* connection = header("connection");
+  if (version == "HTTP/1.1") {
+    return connection == nullptr ||
+           !strs::contains(strs::to_lower(*connection), "close");
+  }
+  return connection != nullptr &&
+         strs::contains(strs::to_lower(*connection), "keep-alive");
+}
+
+ParseResult parse_request(std::string_view data, std::size_t max_bytes) {
+  ParseResult result;
+
+  // Locate the end of the head: CRLFCRLF, tolerating bare LF.
+  const std::size_t crlf = data.find("\r\n\r\n");
+  const std::size_t lf = data.find("\n\n");
+  std::size_t head_len = 0;
+  std::size_t terminator = 0;
+  if (crlf != std::string_view::npos &&
+      (lf == std::string_view::npos || crlf < lf)) {
+    head_len = crlf;
+    terminator = 4;
+  } else if (lf != std::string_view::npos) {
+    head_len = lf;
+    terminator = 2;
+  } else {
+    result.status = data.size() > max_bytes ? ParseStatus::kTooLarge
+                                            : ParseStatus::kIncomplete;
+    return result;
+  }
+  if (head_len + terminator > max_bytes) {
+    result.status = ParseStatus::kTooLarge;
+    return result;
+  }
+
+  const auto lines = strs::split_lines(data.substr(0, head_len));
+  if (lines.empty()) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+
+  // Start line: METHOD SP target SP HTTP-version, single spaces only.
+  const auto parts = strs::split(lines.front(), ' ');
+  if (parts.size() != 3 || !is_upper_token(parts[0]) ||
+      !is_valid_target(parts[1]) ||
+      (parts[2] != "HTTP/1.0" && parts[2] != "HTTP/1.1")) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+  result.request.method = parts[0];
+  result.request.target = parts[1];
+  result.request.version = parts[2];
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // No obs-fold continuations, no blank lines inside the head.
+    if (line.empty() || line.front() == ' ' || line.front() == '\t') {
+      result.status = ParseStatus::kBad;
+      return result;
+    }
+    const auto colon = line.find(':');
+    if (colon == 0 || colon == std::string::npos) {
+      result.status = ParseStatus::kBad;
+      return result;
+    }
+    const std::string_view name = std::string_view(line).substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), is_tchar)) {
+      result.status = ParseStatus::kBad;
+      return result;
+    }
+    if (result.request.headers.size() >= kMaxHeaderCount) {
+      result.status = ParseStatus::kBad;
+      return result;
+    }
+    result.request.headers.emplace_back(
+        strs::to_lower(name),
+        std::string(strs::trim(std::string_view(line).substr(colon + 1))));
+  }
+
+  result.status = ParseStatus::kOk;
+  result.consumed = head_len + terminator;
+  return result;
+}
+
+void Response::set(std::string name, std::string value) {
+  for (auto& [key, existing] : headers) {
+    if (key == name) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+const std::string* Response::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (equals_ignore_case(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Response& response, bool head_only) {
+  const bool body_allowed = response.status / 100 != 1 &&
+                            response.status != 204 && response.status != 304;
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += status_reason(response.status);
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (body_allowed && response.header("content-length") == nullptr) {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  if (body_allowed && !head_only) out += response.body;
+  return out;
+}
+
+}  // namespace pdcu::server

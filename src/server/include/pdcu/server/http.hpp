@@ -1,0 +1,79 @@
+// Minimal HTTP/1.1 message layer for the embedded server: request parsing
+// with hard size limits, response serialization, and status reasons. The
+// parser is incremental — callers feed it a growing buffer and it reports
+// kIncomplete until a full request head has arrived — and strict: anything
+// malformed is kBad, which the connection layer answers with 400 instead of
+// guessing (and instead of crashing).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdcu::server {
+
+/// Upper bound on a request head (start-line + headers) unless overridden.
+inline constexpr std::size_t kDefaultMaxRequestBytes = 16 * 1024;
+
+enum class ParseStatus {
+  kOk,          ///< a complete request head was parsed
+  kIncomplete,  ///< need more bytes; call again with a longer buffer
+  kBad,         ///< malformed; answer 400 and close
+  kTooLarge,    ///< head exceeds the limit; answer 431 and close
+};
+
+/// One parsed request head. Header names are stored lower-cased; values are
+/// trimmed of surrounding whitespace.
+struct Request {
+  std::string method;   ///< e.g. "GET" (uppercase token)
+  std::string target;   ///< origin-form, e.g. "/activities/x/?plain=1"
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+
+  /// Target up to (excluding) the first '?'.
+  std::string_view path() const;
+  /// Target after the first '?', empty when there is none.
+  std::string_view query() const;
+
+  /// HTTP/1.1 defaults to persistent connections unless "Connection: close";
+  /// HTTP/1.0 requires an explicit "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kIncomplete;
+  Request request;            ///< populated only when status == kOk
+  std::size_t consumed = 0;   ///< bytes of input consumed when status == kOk
+};
+
+/// Parses one request head from the front of `data`. Tolerates bare-LF line
+/// endings; rejects obs-fold continuations, non-token method/header names,
+/// targets that do not start with '/', and unknown HTTP versions.
+ParseResult parse_request(std::string_view data,
+                          std::size_t max_bytes = kDefaultMaxRequestBytes);
+
+struct Response {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Appends or replaces a header (exact-name match on replace).
+  void set(std::string name, std::string value);
+  const std::string* header(std::string_view name) const;
+};
+
+/// Canonical reason phrase ("OK", "Not Modified", ...); "Unknown" otherwise.
+std::string_view status_reason(int status);
+
+/// Serializes status line, headers, and body. Content-Length is added
+/// automatically unless already set; 1xx/204/304 responses never carry a
+/// body. `head_only` keeps the head (for HEAD requests) but still reports
+/// the full Content-Length.
+std::string serialize(const Response& response, bool head_only = false);
+
+}  // namespace pdcu::server

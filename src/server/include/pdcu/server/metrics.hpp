@@ -1,0 +1,46 @@
+// Lock-free serving counters: request counts by status class, bytes on the
+// wire, and latency min/mean/max. record() is a handful of relaxed atomic
+// operations so it can sit on the per-request hot path; render_text()
+// produces the /metrics exposition format.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pdcu::server {
+
+class ServerMetrics {
+ public:
+  /// Records one finished request: its response status, bytes written to
+  /// the socket (head + body), and wall-clock handling latency.
+  void record(int status, std::size_t bytes_sent,
+              std::chrono::microseconds latency);
+
+  std::uint64_t requests_total() const;
+  /// Count for one status class; status_class is 1..5 (1xx..5xx).
+  std::uint64_t requests_by_class(int status_class) const;
+  std::uint64_t bytes_sent_total() const;
+
+  /// Latency stats in microseconds; min and max are 0 before any request.
+  std::uint64_t latency_min_us() const;
+  std::uint64_t latency_max_us() const;
+  double latency_mean_us() const;
+
+  /// Plain-text exposition, one "name value" or "name{label} value" per
+  /// line (the format served at /metrics).
+  std::string render_text() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 5> by_class_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> latency_total_us_{0};
+  std::atomic<std::uint64_t> latency_min_us_{UINT64_MAX};
+  std::atomic<std::uint64_t> latency_max_us_{0};
+};
+
+}  // namespace pdcu::server

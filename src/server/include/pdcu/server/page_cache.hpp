@@ -1,0 +1,62 @@
+// The serving cache: every page of a built pdcu::site::Site, keyed by
+// normalized request path, with its content type and a strong ETag
+// precomputed at construction so the per-request hot path is one hash
+// lookup and zero hashing of page bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "pdcu/site/site.hpp"
+
+namespace pdcu::server {
+
+/// 64-bit FNV-1a over `bytes`.
+std::uint64_t fnv1a_64(std::string_view bytes);
+
+/// A strong entity tag for `bytes`: a quoted 16-digit hex FNV-1a digest,
+/// e.g. "\"af63dc4c8601ec8c\"".
+std::string strong_etag(std::string_view bytes);
+
+/// One cached response payload.
+struct CachedEntry {
+  std::string body;
+  std::string content_type;
+  std::string etag;
+};
+
+/// Immutable-after-construction map from site path to payload. Lookups are
+/// const and therefore safe from any number of server threads.
+class PageCache {
+ public:
+  PageCache() = default;
+
+  /// Caches every page of a built site; content types come from
+  /// site::content_type_for.
+  explicit PageCache(const site::Site& site);
+
+  /// Adds (or replaces) one entry under a site-relative path such as
+  /// "api/catalog.json". The ETag is computed here.
+  void put(std::string site_path, std::string body, std::string content_type);
+
+  /// Resolves a request path ("/", "/activities/x/", "/activities/x") to a
+  /// cached entry; nullptr when nothing matches.
+  const CachedEntry* find(std::string_view request_path) const;
+
+  /// Maps a request path to the site-relative key it would match:
+  /// leading '/' stripped, "" and trailing-'/' forms get "index.html"
+  /// appended, dot-dot segments collapse to an unmatchable key.
+  static std::string normalize(std::string_view request_path);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<std::string, CachedEntry> entries_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace pdcu::server

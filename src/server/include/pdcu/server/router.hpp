@@ -1,0 +1,42 @@
+// Request dispatch: maps a parsed request onto the page cache and the API
+// endpoints. A Router owns copies of everything it serves (pages, catalog
+// JSON, per-activity JSON), so the Site and Repository it was built from
+// may be discarded after construction, and handle() is const and
+// thread-safe.
+//
+//   GET /                                cached site pages (ETag / 304)
+//   GET /activities/<slug>/              ... and every other site path
+//   GET /api/catalog.json                machine-readable catalog
+//   GET /api/activities/<slug>.json      one activity as JSON
+//   GET /healthz                         liveness probe, "ok\n"
+//   GET /metrics                         ServerMetrics exposition text
+#pragma once
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/server/http.hpp"
+#include "pdcu/server/metrics.hpp"
+#include "pdcu/server/page_cache.hpp"
+#include "pdcu/site/site.hpp"
+
+namespace pdcu::server {
+
+class Router {
+ public:
+  Router(const site::Site& site, const core::Repository& repo);
+
+  /// Wires the /metrics endpoint; without it /metrics is a 404. The
+  /// pointee must outlive the router (HttpServer passes its own metrics).
+  void set_metrics(const ServerMetrics* metrics) { metrics_ = metrics; }
+
+  /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise);
+  /// cached paths honor If-None-Match with 304.
+  Response handle(const Request& request) const;
+
+  const PageCache& cache() const { return cache_; }
+
+ private:
+  PageCache cache_;
+  const ServerMetrics* metrics_ = nullptr;
+};
+
+}  // namespace pdcu::server

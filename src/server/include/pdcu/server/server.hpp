@@ -1,0 +1,85 @@
+// The connection layer: a dependency-free HTTP/1.1 server over POSIX
+// sockets. One thread accepts; connections are handled on the existing
+// pdcu::runtime::ThreadPool with keep-alive, per-request read timeouts, a
+// concurrent-connection limit (excess connections get 503), and graceful
+// shutdown — stop() stops accepting, lets in-flight requests finish, and
+// joins everything. Malformed requests are answered with 400, oversized
+// heads with 431, idle sockets with 408; nothing a client sends can crash
+// the process. Lifecycle events land in an optional runtime TraceLog.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "pdcu/runtime/thread_pool.hpp"
+#include "pdcu/runtime/trace.hpp"
+#include "pdcu/server/metrics.hpp"
+#include "pdcu/server/router.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;  ///< 0 picks an ephemeral port (see port())
+  unsigned threads = 0;       ///< 0 = hardware_concurrency
+  unsigned max_connections = 128;  ///< concurrent; excess answered with 503
+  std::chrono::milliseconds read_timeout{5000};  ///< per request head
+  std::size_t max_request_bytes = kDefaultMaxRequestBytes;
+  unsigned max_requests_per_connection = 100;  ///< keep-alive cap
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(Router router, ServerOptions options = {},
+                      rt::TraceLog* trace = nullptr);
+  ~HttpServer();  ///< stops the server if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread and worker pool.
+  Status start();
+
+  /// Graceful shutdown: stop accepting, finish in-flight requests, join
+  /// the pool, close the listening socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The actually-bound port (useful with options.port == 0). Valid after
+  /// a successful start().
+  std::uint16_t port() const { return bound_port_; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const Router& router() const { return router_; }
+
+  /// Async-signal-safe stop request; run_until_signalled() observes it.
+  static void request_stop();
+
+  /// Installs SIGINT/SIGTERM handlers, blocks until a signal (or
+  /// request_stop()) arrives, then performs the graceful stop().
+  void run_until_signalled();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Router router_;
+  ServerOptions options_;
+  rt::TraceLog* trace_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<unsigned> active_connections_{0};
+  std::unique_ptr<rt::ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace pdcu::server

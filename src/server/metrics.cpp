@@ -1,0 +1,87 @@
+#include "pdcu/server/metrics.hpp"
+
+#include <cstdio>
+#include <functional>
+
+namespace pdcu::server {
+
+namespace {
+
+/// CAS loop for atomic min/max (no fetch_min/fetch_max until C++26).
+template <typename Compare>
+void update_extreme(std::atomic<std::uint64_t>& extreme, std::uint64_t value,
+                    Compare better) {
+  std::uint64_t current = extreme.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !extreme.compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void ServerMetrics::record(int status, std::size_t bytes_sent,
+                           std::chrono::microseconds latency) {
+  const int status_class = status / 100;
+  if (status_class >= 1 && status_class <= 5) {
+    by_class_[static_cast<std::size_t>(status_class - 1)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes_sent, std::memory_order_relaxed);
+  const auto us = static_cast<std::uint64_t>(latency.count());
+  latency_total_us_.fetch_add(us, std::memory_order_relaxed);
+  update_extreme(latency_min_us_, us, std::less<>{});
+  update_extreme(latency_max_us_, us, std::greater<>{});
+}
+
+std::uint64_t ServerMetrics::requests_total() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ServerMetrics::requests_by_class(int status_class) const {
+  if (status_class < 1 || status_class > 5) return 0;
+  return by_class_[static_cast<std::size_t>(status_class - 1)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ServerMetrics::bytes_sent_total() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ServerMetrics::latency_min_us() const {
+  const std::uint64_t min = latency_min_us_.load(std::memory_order_relaxed);
+  return min == UINT64_MAX ? 0 : min;
+}
+
+std::uint64_t ServerMetrics::latency_max_us() const {
+  return latency_max_us_.load(std::memory_order_relaxed);
+}
+
+double ServerMetrics::latency_mean_us() const {
+  const std::uint64_t n = requests_total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(
+             latency_total_us_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+std::string ServerMetrics::render_text() const {
+  std::string out;
+  out += "pdcu_requests_total " + std::to_string(requests_total()) + "\n";
+  for (int status_class = 1; status_class <= 5; ++status_class) {
+    out += "pdcu_requests{class=\"" + std::to_string(status_class) +
+           "xx\"} " + std::to_string(requests_by_class(status_class)) + "\n";
+  }
+  out += "pdcu_bytes_sent_total " + std::to_string(bytes_sent_total()) + "\n";
+  out += "pdcu_latency_us{stat=\"min\"} " +
+         std::to_string(latency_min_us()) + "\n";
+  char mean[32];
+  std::snprintf(mean, sizeof mean, "%.1f", latency_mean_us());
+  out += "pdcu_latency_us{stat=\"mean\"} " + std::string(mean) + "\n";
+  out += "pdcu_latency_us{stat=\"max\"} " +
+         std::to_string(latency_max_us()) + "\n";
+  return out;
+}
+
+}  // namespace pdcu::server

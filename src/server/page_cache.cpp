@@ -1,0 +1,66 @@
+#include "pdcu/server/page_cache.hpp"
+
+#include <cstdio>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::server {
+
+namespace strs = pdcu::strings;
+
+std::uint64_t fnv1a_64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string strong_etag(std::string_view bytes) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fnv1a_64(bytes)));
+  return "\"" + std::string(buffer) + "\"";
+}
+
+PageCache::PageCache(const site::Site& site) {
+  entries_.reserve(site.pages.size());
+  for (const auto& page : site.pages) {
+    put(page.path, page.html, std::string(site::content_type_for(page.path)));
+  }
+}
+
+void PageCache::put(std::string site_path, std::string body,
+                    std::string content_type) {
+  std::string etag = strong_etag(body);
+  auto [it, inserted] = entries_.try_emplace(std::move(site_path));
+  if (!inserted) total_bytes_ -= it->second.body.size();
+  total_bytes_ += body.size();
+  it->second = {std::move(body), std::move(content_type), std::move(etag)};
+}
+
+std::string PageCache::normalize(std::string_view request_path) {
+  while (!request_path.empty() && request_path.front() == '/') {
+    request_path.remove_prefix(1);
+  }
+  // Dot-dot segments could only matter if entries aliased the filesystem;
+  // they never match a cached key, which keeps the contract obvious.
+  if (strs::contains(request_path, "..")) return std::string();
+  std::string key(request_path);
+  if (key.empty() || key.back() == '/') key += "index.html";
+  return key;
+}
+
+const CachedEntry* PageCache::find(std::string_view request_path) const {
+  const std::string key = normalize(request_path);
+  if (key.empty()) return nullptr;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // "/activities/x" (no trailing slash) serves the directory index.
+    it = entries_.find(key + "/index.html");
+  }
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pdcu::server

@@ -1,0 +1,77 @@
+#include "pdcu/server/router.hpp"
+
+#include "pdcu/site/json_catalog.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::server {
+
+namespace strs = pdcu::strings;
+
+namespace {
+
+constexpr std::string_view kJsonType = "application/json; charset=utf-8";
+constexpr std::string_view kTextType = "text/plain; charset=utf-8";
+
+/// If-None-Match is a comma-separated list of entity tags, or "*".
+bool etag_matches(std::string_view if_none_match, std::string_view etag) {
+  return strs::trim(if_none_match) == "*" ||
+         strs::contains(if_none_match, etag);
+}
+
+Response plain_response(int status, std::string body) {
+  Response response;
+  response.status = status;
+  response.set("Content-Type", std::string(kTextType));
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+Router::Router(const site::Site& site, const core::Repository& repo)
+    : cache_(site) {
+  cache_.put("api/catalog.json", site::render_json_catalog(repo),
+             std::string(kJsonType));
+  for (const auto& activity : repo.activities()) {
+    cache_.put("api/activities/" + activity.slug + ".json",
+               site::activity_json(activity), std::string(kJsonType));
+  }
+}
+
+Response Router::handle(const Request& request) const {
+  if (request.method != "GET" && request.method != "HEAD") {
+    Response response = plain_response(405, "405 method not allowed\n");
+    response.set("Allow", "GET, HEAD");
+    return response;
+  }
+
+  const std::string_view path = request.path();
+  if (path == "/healthz") {
+    return plain_response(200, "ok\n");
+  }
+  if (path == "/metrics") {
+    if (metrics_ == nullptr) {
+      return plain_response(404, "404 metrics not enabled\n");
+    }
+    return plain_response(200, metrics_->render_text());
+  }
+
+  const CachedEntry* entry = cache_.find(path);
+  if (entry == nullptr) {
+    return plain_response(404, "404 not found\n");
+  }
+
+  Response response;
+  response.set("ETag", entry->etag);
+  response.set("Cache-Control", "no-cache");
+  const std::string* if_none_match = request.header("if-none-match");
+  if (if_none_match != nullptr && etag_matches(*if_none_match, entry->etag)) {
+    response.status = 304;
+    return response;
+  }
+  response.set("Content-Type", entry->content_type);
+  response.body = entry->body;
+  return response;
+}
+
+}  // namespace pdcu::server

@@ -1,0 +1,259 @@
+#include "pdcu/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace pdcu::server {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void on_stop_signal(int) { g_stop_requested = 1; }
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Canned close-the-connection error answer (400/408/431/503).
+std::string error_wire(int status) {
+  Response response;
+  response.status = status;
+  response.set("Content-Type", "text/plain; charset=utf-8");
+  response.set("Connection", "close");
+  response.body = std::to_string(status) + " ";
+  response.body += status_reason(status);
+  response.body += "\n";
+  return serialize(response);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Router router, ServerOptions options,
+                       rt::TraceLog* trace)
+    : router_(std::move(router)), options_(std::move(options)), trace_(trace) {
+  router_.set_metrics(&metrics_);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start() {
+  if (running_.load()) {
+    return Error::make("server.start", "server is already running");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Error::make("server.socket", std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error::make("server.host", "not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof address) != 0) {
+    const Error error = Error::make("server.bind", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Error error = Error::make("server.listen", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<rt::ThreadPool>(
+      options_.threads == 0 ? std::thread::hardware_concurrency()
+                            : options_.threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  if (trace_ != nullptr) {
+    trace_->narrate("server: listening on " + options_.host + ":" +
+                    std::to_string(bound_port_) + " with " +
+                    std::to_string(pool_->size()) + " workers, " +
+                    std::to_string(router_.cache().size()) +
+                    " cached pages (" +
+                    std::to_string(router_.cache().total_bytes()) + " bytes)");
+  }
+  return Status::ok();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // drains in-flight connections, then joins the workers
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (trace_ != nullptr) {
+    trace_->narrate("server: stopped after " +
+                    std::to_string(metrics_.requests_total()) + " requests (" +
+                    std::to_string(metrics_.bytes_sent_total()) +
+                    " bytes sent)");
+  }
+}
+
+void HttpServer::request_stop() { g_stop_requested = 1; }
+
+void HttpServer::run_until_signalled() {
+  g_stop_requested = 0;
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  while (running_.load(std::memory_order_acquire) && g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (trace_ != nullptr && g_stop_requested != 0) {
+    trace_->narrate("server: received shutdown signal");
+  }
+  stop();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd waiter{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      const std::string wire = error_wire(503);
+      send_all(fd, wire);
+      metrics_.record(503, wire.size(), std::chrono::microseconds{0});
+      ::close(fd);
+      continue;
+    }
+
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_->submit([this, fd] {
+      handle_connection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  unsigned served = 0;
+  bool open = true;
+
+  while (open && running_.load(std::memory_order_acquire)) {
+    // Read one request head, polling in short slices so the per-request
+    // read timeout is enforced and stop() is noticed promptly.
+    ParseResult parsed = parse_request(buffer, options_.max_request_bytes);
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.read_timeout;
+    while (parsed.status == ParseStatus::kIncomplete) {
+      if (!running_.load(std::memory_order_acquire)) {
+        open = false;
+        break;
+      }
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        // The peer started a request but never finished it.
+        if (!buffer.empty()) {
+          const std::string wire = error_wire(408);
+          send_all(fd, wire);
+          metrics_.record(408, wire.size(), std::chrono::microseconds{0});
+        }
+        open = false;
+        break;
+      }
+      pollfd waiter{fd, POLLIN, 0};
+      const int slice =
+          static_cast<int>(std::min<std::int64_t>(remaining.count(), 100));
+      const int ready = ::poll(&waiter, 1, slice);
+      if (ready < 0 && errno != EINTR) {
+        open = false;
+        break;
+      }
+      if (ready <= 0) continue;
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {  // peer closed (or hard error) mid-request
+        open = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      parsed = parse_request(buffer, options_.max_request_bytes);
+    }
+    if (!open) break;
+
+    if (parsed.status == ParseStatus::kBad ||
+        parsed.status == ParseStatus::kTooLarge) {
+      const int status = parsed.status == ParseStatus::kBad ? 400 : 431;
+      const std::string wire = error_wire(status);
+      send_all(fd, wire);
+      metrics_.record(status, wire.size(), std::chrono::microseconds{0});
+      break;
+    }
+
+    const auto handle_start = std::chrono::steady_clock::now();
+    Response response = router_.handle(parsed.request);
+    ++served;
+
+    // Request bodies are never routed, so a request that carries one
+    // (unexpected for GET/HEAD) poisons keep-alive framing: answer, then
+    // close instead of misreading body bytes as the next request.
+    const std::string* content_length =
+        parsed.request.header("content-length");
+    const bool has_body =
+        content_length != nullptr && *content_length != "0";
+    const bool close_after =
+        !parsed.request.keep_alive() || has_body ||
+        served >= options_.max_requests_per_connection ||
+        !running_.load(std::memory_order_acquire);
+    response.set("Connection", close_after ? "close" : "keep-alive");
+
+    const std::string wire =
+        serialize(response, parsed.request.method == "HEAD");
+    open = send_all(fd, wire) && !close_after;
+    metrics_.record(response.status, wire.size(),
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - handle_start));
+    buffer.erase(0, parsed.consumed);
+  }
+  ::close(fd);
+}
+
+}  // namespace pdcu::server

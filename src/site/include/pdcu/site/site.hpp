@@ -5,8 +5,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <filesystem>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "pdcu/core/repository.hpp"
@@ -25,8 +28,29 @@ struct Site {
   std::vector<Page> pages;
   std::chrono::microseconds build_time{0};
 
+  /// O(1) lookup by site-relative path once reindex() has run (build_site
+  /// does); falls back to a linear scan while the index is stale, so
+  /// hand-assembled or freshly-appended Sites still resolve correctly.
   const Page* find(std::string_view path) const;
+
+  /// Rebuilds the path index over the current `pages`.
+  void reindex();
+
+ private:
+  struct PathHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view path) const {
+      return std::hash<std::string_view>{}(path);
+    }
+  };
+  std::unordered_map<std::string, std::size_t, PathHash, std::equal_to<>>
+      index_;
 };
+
+/// Content type (with charset where textual) for a site path, chosen by
+/// extension: .html, .json, .css, .js, .svg, .txt, .png; anything else is
+/// served as application/octet-stream.
+std::string_view content_type_for(std::string_view path);
 
 /// Options controlling generation.
 struct SiteOptions {

@@ -69,10 +69,37 @@ std::string activities_list_html(const std::vector<tax::PageRef>& pages) {
 }  // namespace
 
 const Page* Site::find(std::string_view path) const {
+  // The index is only trusted while it matches pages exactly; any append
+  // since the last reindex() drops us back to the scan.
+  if (index_.size() == pages.size()) {
+    const auto it = index_.find(path);
+    return it == index_.end() ? nullptr : &pages[it->second];
+  }
   for (const auto& page : pages) {
     if (page.path == path) return &page;
   }
   return nullptr;
+}
+
+void Site::reindex() {
+  index_.clear();
+  index_.reserve(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    index_.emplace(pages[i].path, i);
+  }
+}
+
+std::string_view content_type_for(std::string_view path) {
+  if (strs::ends_with(path, ".html") || strs::ends_with(path, ".htm")) {
+    return "text/html; charset=utf-8";
+  }
+  if (strs::ends_with(path, ".json")) return "application/json; charset=utf-8";
+  if (strs::ends_with(path, ".css")) return "text/css; charset=utf-8";
+  if (strs::ends_with(path, ".js")) return "text/javascript; charset=utf-8";
+  if (strs::ends_with(path, ".svg")) return "image/svg+xml";
+  if (strs::ends_with(path, ".txt")) return "text/plain; charset=utf-8";
+  if (strs::ends_with(path, ".png")) return "image/png";
+  return "application/octet-stream";
 }
 
 std::string render_activity_header(const core::Activity& activity) {
@@ -193,6 +220,7 @@ Site build_site(const core::Repository& repo, const SiteOptions& options) {
   // Machine-readable catalog alongside the HTML pages.
   site.pages.push_back({"index.json", render_json_catalog(repo)});
 
+  site.reindex();
   site.build_time = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   return site;

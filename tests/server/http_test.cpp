@@ -1,0 +1,177 @@
+// Unit tests for the HTTP/1.1 message layer: request parsing (valid,
+// truncated, oversized, malformed), header semantics, keep-alive defaults,
+// and response serialization.
+#include "pdcu/server/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/support/strings.hpp"
+
+namespace server = pdcu::server;
+namespace strs = pdcu::strings;
+
+TEST(HttpParse, ParsesASimpleGet) {
+  const auto result = server::parse_request(
+      "GET /activities/findsmallestcard/ HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "Accept: text/html\r\n"
+      "\r\n");
+  ASSERT_EQ(result.status, server::ParseStatus::kOk);
+  EXPECT_EQ(result.request.method, "GET");
+  EXPECT_EQ(result.request.target, "/activities/findsmallestcard/");
+  EXPECT_EQ(result.request.version, "HTTP/1.1");
+  ASSERT_EQ(result.request.headers.size(), 2u);
+  EXPECT_EQ(result.request.headers[0].first, "host");  // lower-cased
+  EXPECT_EQ(result.request.headers[0].second, "localhost:8080");
+}
+
+TEST(HttpParse, ConsumedCoversExactlyOneRequest) {
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /b HTTP/1.1\r\n\r\n";
+  const auto result = server::parse_request(first + second);
+  ASSERT_EQ(result.status, server::ParseStatus::kOk);
+  EXPECT_EQ(result.consumed, first.size());
+  const auto next =
+      server::parse_request(std::string_view(first + second)
+                                .substr(result.consumed));
+  ASSERT_EQ(next.status, server::ParseStatus::kOk);
+  EXPECT_EQ(next.request.target, "/b");
+}
+
+TEST(HttpParse, ToleratesBareLineFeeds) {
+  const auto result =
+      server::parse_request("GET / HTTP/1.1\nHost: x\n\n");
+  ASSERT_EQ(result.status, server::ParseStatus::kOk);
+  EXPECT_EQ(result.request.target, "/");
+  ASSERT_NE(result.request.header("host"), nullptr);
+}
+
+TEST(HttpParse, TruncatedRequestIsIncomplete) {
+  EXPECT_EQ(server::parse_request("").status,
+            server::ParseStatus::kIncomplete);
+  EXPECT_EQ(server::parse_request("GET / HT").status,
+            server::ParseStatus::kIncomplete);
+  EXPECT_EQ(server::parse_request("GET / HTTP/1.1\r\nHost: x\r\n").status,
+            server::ParseStatus::kIncomplete);
+}
+
+TEST(HttpParse, OversizedHeadIsTooLarge) {
+  // A terminated head over the limit, and an unterminated flood.
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big += std::string(1024, 'x');
+  big += "\r\n\r\n";
+  EXPECT_EQ(server::parse_request(big, 256).status,
+            server::ParseStatus::kTooLarge);
+  EXPECT_EQ(server::parse_request(std::string(4096, 'a'), 256).status,
+            server::ParseStatus::kTooLarge);
+}
+
+TEST(HttpParse, BadMethodsAreRejected) {
+  EXPECT_EQ(server::parse_request("get / HTTP/1.1\r\n\r\n").status,
+            server::ParseStatus::kBad);
+  EXPECT_EQ(server::parse_request("G=T / HTTP/1.1\r\n\r\n").status,
+            server::ParseStatus::kBad);
+  EXPECT_EQ(server::parse_request(" / HTTP/1.1\r\n\r\n").status,
+            server::ParseStatus::kBad);
+}
+
+TEST(HttpParse, BadTargetsAndVersionsAreRejected) {
+  EXPECT_EQ(server::parse_request("GET index.html HTTP/1.1\r\n\r\n").status,
+            server::ParseStatus::kBad);
+  EXPECT_EQ(server::parse_request("GET / HTTP/2.0\r\n\r\n").status,
+            server::ParseStatus::kBad);
+  EXPECT_EQ(server::parse_request("GET /  HTTP/1.1\r\n\r\n").status,
+            server::ParseStatus::kBad);  // double space
+  EXPECT_EQ(server::parse_request("GARBAGE\r\n\r\n").status,
+            server::ParseStatus::kBad);
+}
+
+TEST(HttpParse, BadHeadersAreRejected) {
+  EXPECT_EQ(
+      server::parse_request("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").status,
+      server::ParseStatus::kBad);
+  EXPECT_EQ(
+      server::parse_request("GET / HTTP/1.1\r\n: empty-name\r\n\r\n").status,
+      server::ParseStatus::kBad);
+  // obs-fold continuation lines are long dead.
+  EXPECT_EQ(server::parse_request(
+                "GET / HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n")
+                .status,
+            server::ParseStatus::kBad);
+}
+
+TEST(HttpRequest, HeaderLookupIsCaseInsensitive) {
+  const auto result = server::parse_request(
+      "GET / HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n\r\n");
+  ASSERT_EQ(result.status, server::ParseStatus::kOk);
+  const auto* value = result.request.header("If-None-Match");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "\"abc\"");
+  EXPECT_NE(result.request.header("if-none-match"), nullptr);
+  EXPECT_EQ(result.request.header("absent"), nullptr);
+}
+
+TEST(HttpRequest, PathAndQuerySplitAtQuestionMark) {
+  const auto result =
+      server::parse_request("GET /search?q=races&n=5 HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(result.status, server::ParseStatus::kOk);
+  EXPECT_EQ(result.request.path(), "/search");
+  EXPECT_EQ(result.request.query(), "q=races&n=5");
+}
+
+TEST(HttpRequest, KeepAliveDefaultsByVersion) {
+  auto http11 = server::parse_request("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(http11.request.keep_alive());
+  auto closed = server::parse_request(
+      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_FALSE(closed.request.keep_alive());
+  auto http10 = server::parse_request("GET / HTTP/1.0\r\n\r\n");
+  EXPECT_FALSE(http10.request.keep_alive());
+  auto http10_keep = server::parse_request(
+      "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+  EXPECT_TRUE(http10_keep.request.keep_alive());
+}
+
+TEST(HttpResponse, SerializeAddsStatusLineAndContentLength) {
+  server::Response response;
+  response.set("Content-Type", "text/plain; charset=utf-8");
+  response.body = "hello\n";
+  const std::string wire = server::serialize(response);
+  EXPECT_TRUE(strs::starts_with(wire, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_TRUE(strs::contains(wire, "Content-Length: 6\r\n"));
+  EXPECT_TRUE(strs::ends_with(wire, "\r\n\r\nhello\n"));
+}
+
+TEST(HttpResponse, HeadKeepsLengthButDropsBody) {
+  server::Response response;
+  response.body = "0123456789";
+  const std::string wire = server::serialize(response, /*head_only=*/true);
+  EXPECT_TRUE(strs::contains(wire, "Content-Length: 10\r\n"));
+  EXPECT_TRUE(strs::ends_with(wire, "\r\n\r\n"));
+}
+
+TEST(HttpResponse, NotModifiedNeverCarriesABody) {
+  server::Response response;
+  response.status = 304;
+  response.body = "should never appear";
+  const std::string wire = server::serialize(response);
+  EXPECT_TRUE(strs::starts_with(wire, "HTTP/1.1 304 Not Modified\r\n"));
+  EXPECT_FALSE(strs::contains(wire, "should never appear"));
+  EXPECT_FALSE(strs::contains(wire, "Content-Length"));
+}
+
+TEST(HttpResponse, SetReplacesAnExistingHeader) {
+  server::Response response;
+  response.set("Connection", "keep-alive");
+  response.set("Connection", "close");
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].second, "close");
+}
+
+TEST(Http, StatusReasonsForServedCodes) {
+  EXPECT_EQ(server::status_reason(200), "OK");
+  EXPECT_EQ(server::status_reason(304), "Not Modified");
+  EXPECT_EQ(server::status_reason(400), "Bad Request");
+  EXPECT_EQ(server::status_reason(431), "Request Header Fields Too Large");
+  EXPECT_EQ(server::status_reason(599), "Unknown");
+}

@@ -1,0 +1,201 @@
+// Unit tests for the page cache (ETags, path normalization) and the
+// router's dispatch table, including conditional-GET semantics.
+#include "pdcu/server/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/server/page_cache.hpp"
+#include "pdcu/site/site.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace server = pdcu::server;
+namespace core = pdcu::core;
+namespace site = pdcu::site;
+namespace strs = pdcu::strings;
+
+namespace {
+
+const server::Router& router() {
+  static const server::Router kRouter = [] {
+    const auto& repo = core::Repository::builtin();
+    return server::Router(site::build_site(repo), repo);
+  }();
+  return kRouter;
+}
+
+server::Request get(std::string target) {
+  server::Request request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+}  // namespace
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(server::fnv1a_64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(server::fnv1a_64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(server::fnv1a_64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, StrongEtagIsQuotedHex) {
+  EXPECT_EQ(server::strong_etag("a"), "\"af63dc4c8601ec8c\"");
+}
+
+TEST(PageCache, NormalizesRequestPaths) {
+  EXPECT_EQ(server::PageCache::normalize("/"), "index.html");
+  EXPECT_EQ(server::PageCache::normalize(""), "index.html");
+  EXPECT_EQ(server::PageCache::normalize("/activities/x/"),
+            "activities/x/index.html");
+  EXPECT_EQ(server::PageCache::normalize("/index.json"), "index.json");
+  EXPECT_EQ(server::PageCache::normalize("/../etc/passwd"), "");
+}
+
+TEST(PageCache, ServesDirectoryIndexWithOrWithoutSlash) {
+  server::PageCache cache;
+  cache.put("activities/x/index.html", "<html>x</html>",
+            "text/html; charset=utf-8");
+  ASSERT_NE(cache.find("/activities/x/"), nullptr);
+  ASSERT_NE(cache.find("/activities/x"), nullptr);
+  EXPECT_EQ(cache.find("/activities/y/"), nullptr);
+  EXPECT_EQ(cache.find("/activities/x/"), cache.find("/activities/x"));
+}
+
+TEST(PageCache, TracksBytesAndReplacements) {
+  server::PageCache cache;
+  cache.put("a.txt", "12345", "text/plain");
+  cache.put("b.txt", "123", "text/plain");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_bytes(), 8u);
+  cache.put("a.txt", "1", "text/plain");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_bytes(), 4u);
+}
+
+TEST(PageCache, CachesEveryPageOfABuiltSite) {
+  const auto built = site::build_site(core::Repository::builtin());
+  server::PageCache cache(built);
+  EXPECT_EQ(cache.size(), built.pages.size());
+  const auto* entry = cache.find("/");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->content_type, "text/html; charset=utf-8");
+  EXPECT_FALSE(entry->etag.empty());
+}
+
+TEST(Router, ServesIndexAndActivityPages) {
+  const auto response = router().handle(get("/"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"), "text/html; charset=utf-8");
+  EXPECT_TRUE(strs::contains(response.body, "PDCunplugged"));
+
+  const auto page = router().handle(get("/activities/findsmallestcard/"));
+  EXPECT_EQ(page.status, 200);
+  EXPECT_TRUE(strs::contains(page.body, "<h1>FindSmallestCard</h1>"));
+}
+
+TEST(Router, ServesTheJsonCatalog) {
+  const auto response = router().handle(get("/api/catalog.json"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"),
+            "application/json; charset=utf-8");
+  EXPECT_TRUE(strs::contains(response.body, "\"activities\""));
+  EXPECT_TRUE(strs::contains(response.body, "findsmallestcard"));
+}
+
+TEST(Router, ServesPerActivityJson) {
+  const auto response =
+      router().handle(get("/api/activities/findsmallestcard.json"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "\"slug\""));
+  EXPECT_TRUE(strs::contains(response.body, "findsmallestcard"));
+  EXPECT_EQ(router().handle(get("/api/activities/nope.json")).status, 404);
+}
+
+TEST(Router, HealthzIsAlwaysOk) {
+  const auto response = router().handle(get("/healthz"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST(Router, MetricsRequiresWiring) {
+  EXPECT_EQ(router().handle(get("/metrics")).status, 404);
+
+  const auto& repo = core::Repository::builtin();
+  server::Router wired(site::build_site(repo), repo);
+  server::ServerMetrics metrics;
+  metrics.record(200, 128, std::chrono::microseconds{42});
+  wired.set_metrics(&metrics);
+  const auto response = wired.handle(get("/metrics"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "pdcu_requests_total 1"));
+  EXPECT_TRUE(
+      strs::contains(response.body, "pdcu_requests{class=\"2xx\"} 1"));
+  EXPECT_TRUE(strs::contains(response.body, "pdcu_bytes_sent_total 128"));
+  EXPECT_TRUE(
+      strs::contains(response.body, "pdcu_latency_us{stat=\"min\"} 42"));
+}
+
+TEST(Router, UnknownPathIs404) {
+  const auto response = router().handle(get("/no/such/page/"));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_TRUE(strs::contains(response.body, "404"));
+}
+
+TEST(Router, NonGetMethodsAre405WithAllow) {
+  auto request = get("/");
+  request.method = "POST";
+  const auto response = router().handle(request);
+  EXPECT_EQ(response.status, 405);
+  ASSERT_NE(response.header("allow"), nullptr);
+  EXPECT_EQ(*response.header("allow"), "GET, HEAD");
+}
+
+TEST(Router, EtagRoundTripYields304) {
+  const auto first = router().handle(get("/activities/findsmallestcard/"));
+  ASSERT_EQ(first.status, 200);
+  const std::string* etag = first.header("etag");
+  ASSERT_NE(etag, nullptr);
+
+  auto revalidation = get("/activities/findsmallestcard/");
+  revalidation.headers.emplace_back("if-none-match", *etag);
+  const auto second = router().handle(revalidation);
+  EXPECT_EQ(second.status, 304);
+  EXPECT_TRUE(second.body.empty());
+  ASSERT_NE(second.header("etag"), nullptr);
+  EXPECT_EQ(*second.header("etag"), *etag);
+}
+
+TEST(Router, EtagMismatchAndWildcardBehave) {
+  auto stale = get("/");
+  stale.headers.emplace_back("if-none-match", "\"0000000000000000\"");
+  EXPECT_EQ(router().handle(stale).status, 200);
+
+  auto wildcard = get("/");
+  wildcard.headers.emplace_back("if-none-match", "*");
+  EXPECT_EQ(router().handle(wildcard).status, 304);
+
+  auto list = get("/");
+  const auto fresh = router().handle(get("/"));
+  ASSERT_NE(fresh.header("etag"), nullptr);
+  list.headers.emplace_back(
+      "if-none-match", "\"1111111111111111\", " + *fresh.header("etag"));
+  EXPECT_EQ(router().handle(list).status, 304);
+}
+
+TEST(Router, QueryStringsDoNotBreakDispatch) {
+  const auto response = router().handle(get("/?utm_source=test"));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(Router, DistinctPagesGetDistinctEtags) {
+  const auto a = router().handle(get("/activities/findsmallestcard/"));
+  const auto b = router().handle(get("/activities/concerttickets/"));
+  ASSERT_NE(a.header("etag"), nullptr);
+  ASSERT_NE(b.header("etag"), nullptr);
+  EXPECT_NE(*a.header("etag"), *b.header("etag"));
+}

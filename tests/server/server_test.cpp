@@ -1,0 +1,267 @@
+// Integration tests: a real HttpServer on an ephemeral loopback port, real
+// client sockets, raw request bytes on the wire. Covers the acceptance
+// path: activity page + catalog over a socket, conditional GET 304,
+// malformed-request 400 without a crash, keep-alive, and graceful stop.
+#include "pdcu/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/site/site.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace server = pdcu::server;
+namespace core = pdcu::core;
+namespace site = pdcu::site;
+namespace strs = pdcu::strings;
+
+namespace {
+
+server::Router make_router() {
+  const auto& repo = core::Repository::builtin();
+  return server::Router(site::build_site(repo), repo);
+}
+
+/// Connects to 127.0.0.1:port; returns the fd or -1.
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// One-shot exchange: connect, send raw bytes, read until the server
+/// closes (requests sent here use "Connection: close").
+std::string http_exchange(std::uint16_t port, const std::string& wire) {
+  const int fd = dial(port);
+  if (fd < 0) return {};
+  ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string reply = read_to_eof(fd);
+  ::close(fd);
+  return reply;
+}
+
+std::string simple_get(std::uint16_t port, const std::string& target,
+                       const std::string& extra_headers = {}) {
+  return http_exchange(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                            extra_headers + "Connection: close\r\n\r\n");
+}
+
+/// Value of a response header (case-insensitive name), or "".
+std::string header_value(const std::string& reply, const std::string& name) {
+  const std::string lower = strs::to_lower(reply);
+  const std::string needle = "\r\n" + strs::to_lower(name) + ": ";
+  const auto at = lower.find(needle);
+  if (at == std::string::npos) return {};
+  const auto start = at + needle.size();
+  const auto end = reply.find("\r\n", start);
+  return reply.substr(start, end - start);
+}
+
+std::string body_of(const std::string& reply) {
+  const auto at = reply.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : reply.substr(at + 4);
+}
+
+/// A server running for the duration of one test.
+struct ScopedServer {
+  explicit ScopedServer(server::ServerOptions options = {}) {
+    options.port = 0;  // ephemeral
+    instance = std::make_unique<server::HttpServer>(make_router(),
+                                                    std::move(options));
+    auto status = instance->start();
+    EXPECT_TRUE(status.has_value())
+        << (status ? "" : status.error().message);
+  }
+  std::uint16_t port() const { return instance->port(); }
+  std::unique_ptr<server::HttpServer> instance;
+};
+
+}  // namespace
+
+TEST(HttpServer, ServesAnActivityPageOverARealSocket) {
+  ScopedServer srv;
+  const std::string reply =
+      simple_get(srv.port(), "/activities/findsmallestcard/");
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 200 OK\r\n")) << reply;
+  EXPECT_EQ(header_value(reply, "Content-Type"), "text/html; charset=utf-8");
+  EXPECT_TRUE(strs::contains(reply, "<h1>FindSmallestCard</h1>"));
+  // Content-Length matches the body actually delivered.
+  EXPECT_EQ(std::to_string(body_of(reply).size()),
+            header_value(reply, "Content-Length"));
+}
+
+TEST(HttpServer, ServesTheCatalogAndHealthz) {
+  ScopedServer srv;
+  const std::string catalog = simple_get(srv.port(), "/api/catalog.json");
+  EXPECT_TRUE(strs::starts_with(catalog, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_EQ(header_value(catalog, "Content-Type"),
+            "application/json; charset=utf-8");
+  EXPECT_TRUE(strs::contains(body_of(catalog), "findsmallestcard"));
+
+  const std::string health = simple_get(srv.port(), "/healthz");
+  EXPECT_TRUE(strs::starts_with(health, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_EQ(body_of(health), "ok\n");
+}
+
+TEST(HttpServer, ConditionalGetRevalidatesWith304) {
+  ScopedServer srv;
+  const std::string first = simple_get(srv.port(), "/");
+  const std::string etag = header_value(first, "ETag");
+  ASSERT_FALSE(etag.empty());
+
+  const std::string second =
+      simple_get(srv.port(), "/", "If-None-Match: " + etag + "\r\n");
+  EXPECT_TRUE(strs::starts_with(second, "HTTP/1.1 304 Not Modified\r\n"))
+      << second;
+  EXPECT_TRUE(body_of(second).empty());
+  EXPECT_EQ(header_value(second, "ETag"), etag);
+}
+
+TEST(HttpServer, MalformedRequestGets400AndServerSurvives) {
+  ScopedServer srv;
+  const std::string reply = http_exchange(srv.port(), "GARBAGE\r\n\r\n");
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 400 Bad Request\r\n"))
+      << reply;
+  // The server is still healthy afterwards.
+  EXPECT_TRUE(strs::starts_with(simple_get(srv.port(), "/healthz"),
+                                "HTTP/1.1 200 OK\r\n"));
+  EXPECT_EQ(srv.instance->metrics().requests_by_class(4), 1u);
+}
+
+TEST(HttpServer, OversizedHeadGets431) {
+  server::ServerOptions options;
+  options.max_request_bytes = 512;
+  ScopedServer srv(options);
+  const std::string reply = http_exchange(
+      srv.port(), "GET / HTTP/1.1\r\nX-Pad: " + std::string(2048, 'x') +
+                      "\r\n\r\n");
+  EXPECT_TRUE(strs::starts_with(
+      reply, "HTTP/1.1 431 Request Header Fields Too Large\r\n"))
+      << reply;
+}
+
+TEST(HttpServer, UnknownPathGets404AndWrongMethodGets405) {
+  ScopedServer srv;
+  EXPECT_TRUE(strs::starts_with(simple_get(srv.port(), "/missing/"),
+                                "HTTP/1.1 404 Not Found\r\n"));
+  const std::string reply = http_exchange(
+      srv.port(), "DELETE / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 405 Method Not Allowed\r\n"));
+  EXPECT_EQ(header_value(reply, "Allow"), "GET, HEAD");
+}
+
+TEST(HttpServer, HeadReturnsHeadersOnly) {
+  ScopedServer srv;
+  const std::string reply = http_exchange(
+      srv.port(), "HEAD / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_NE(header_value(reply, "Content-Length"), "0");
+  EXPECT_TRUE(body_of(reply).empty());
+}
+
+TEST(HttpServer, KeepAliveServesTwoRequestsOnOneConnection) {
+  ScopedServer srv;
+  const int fd = dial(srv.port());
+  ASSERT_GE(fd, 0);
+  const std::string first = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  const std::string second =
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ::send(fd, first.data(), first.size(), MSG_NOSIGNAL);
+  ::send(fd, second.data(), second.size(), MSG_NOSIGNAL);
+  const std::string replies = read_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(header_value(replies, "Connection"), "keep-alive");
+  // Two full responses arrived back-to-back.
+  std::size_t count = 0;
+  for (std::size_t at = replies.find("HTTP/1.1 200 OK");
+       at != std::string::npos;
+       at = replies.find("HTTP/1.1 200 OK", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(HttpServer, MetricsEndpointCountsTraffic) {
+  ScopedServer srv;
+  simple_get(srv.port(), "/");
+  simple_get(srv.port(), "/missing/");
+  const std::string reply = simple_get(srv.port(), "/metrics");
+  const std::string body = body_of(reply);
+  EXPECT_TRUE(strs::contains(body, "pdcu_requests_total 2"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_requests{class=\"2xx\"} 1"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_requests{class=\"4xx\"} 1"));
+}
+
+TEST(HttpServer, SlowClientTimesOutWith408) {
+  server::ServerOptions options;
+  options.read_timeout = std::chrono::milliseconds(150);
+  ScopedServer srv(options);
+  const int fd = dial(srv.port());
+  ASSERT_GE(fd, 0);
+  // Half a request, then silence.
+  const std::string partial = "GET / HTTP/1.1\r\nHos";
+  ::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL);
+  const std::string reply = read_to_eof(fd);
+  ::close(fd);
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 408 Request Timeout\r\n"))
+      << reply;
+}
+
+TEST(HttpServer, EphemeralPortIsReportedAndStopIsGraceful) {
+  server::ServerOptions options;
+  options.port = 0;
+  server::HttpServer srv(make_router(), options);
+  ASSERT_TRUE(srv.start().has_value());
+  EXPECT_TRUE(srv.running());
+  EXPECT_GT(srv.port(), 0);
+  simple_get(srv.port(), "/healthz");
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  EXPECT_GE(srv.metrics().requests_total(), 1u);
+  srv.stop();  // idempotent
+}
+
+TEST(HttpServer, StartTwiceFailsCleanly) {
+  ScopedServer srv;
+  auto status = srv.instance->start();
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(status.error().code, "server.start");
+}
+
+TEST(HttpServer, TraceLogRecordsLifecycle) {
+  pdcu::rt::TraceLog trace;
+  server::ServerOptions options;
+  options.port = 0;
+  server::HttpServer srv(make_router(), options, &trace);
+  ASSERT_TRUE(srv.start().has_value());
+  simple_get(srv.port(), "/");
+  srv.stop();
+  const std::string script = trace.render_script();
+  EXPECT_TRUE(strs::contains(script, "server: listening on 127.0.0.1:"));
+  EXPECT_TRUE(strs::contains(script, "server: stopped after 1 requests"));
+}

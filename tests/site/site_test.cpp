@@ -127,6 +127,32 @@ TEST(Site, AnsiHeaderForTerminals) {
   EXPECT_TRUE(strs::contains(header, "\x1b[38;5;"));
 }
 
+TEST(Site, FindIndexSurvivesCopiesAndAppends) {
+  // build_site indexes the pages; a copy keeps working (the index stores
+  // offsets, not pointers).
+  site::Site copy = full_site();
+  ASSERT_NE(copy.find("index.html"), nullptr);
+  EXPECT_EQ(copy.find("index.html"), &copy.pages.front());
+  // Appending without reindex() falls back to the scan, so the new page is
+  // still found; reindex() restores the O(1) path.
+  copy.pages.push_back({"extra/index.html", "<html></html>"});
+  ASSERT_NE(copy.find("extra/index.html"), nullptr);
+  copy.reindex();
+  EXPECT_EQ(copy.find("extra/index.html"), &copy.pages.back());
+  EXPECT_EQ(copy.find("no/such/page.html"), nullptr);
+}
+
+TEST(Site, ContentTypesFollowExtensions) {
+  EXPECT_EQ(site::content_type_for("index.html"), "text/html; charset=utf-8");
+  EXPECT_EQ(site::content_type_for("index.json"),
+            "application/json; charset=utf-8");
+  EXPECT_EQ(site::content_type_for("robots.txt"),
+            "text/plain; charset=utf-8");
+  EXPECT_EQ(site::content_type_for("logo.png"), "image/png");
+  EXPECT_EQ(site::content_type_for("mystery.bin"),
+            "application/octet-stream");
+}
+
 TEST(Site, BuildTimeIsRecorded) {
   auto s = site::build_site(repo());
   EXPECT_GT(s.build_time.count(), 0);

@@ -14,6 +14,8 @@
 //   pdcu plan <course> [sessions]  greedy coverage-maximizing lesson plan
 //   pdcu annotate <dir> <slug> <note>  record a classroom experience
 //   pdcu run <simulation> [seed]   run an activity simulation
+//   pdcu serve [options] [content-dir]  serve the site over HTTP from memory
+//        --port N (default 8080, 0 = ephemeral), --host H, --threads N
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +27,8 @@
 #include "pdcu/core/link_audit.hpp"
 #include "pdcu/core/planner.hpp"
 #include "pdcu/extensions/impact.hpp"
+#include "pdcu/runtime/trace.hpp"
+#include "pdcu/server/server.hpp"
 #include "pdcu/site/json_catalog.hpp"
 #include "pdcu/site/site.hpp"
 
@@ -33,9 +37,56 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdcu "
-               "list|show|new|validate|build|tables|gaps|impact|json|audit|plan|annotate|run "
+               "list|show|new|validate|build|serve|tables|gaps|impact|json|audit|plan|annotate|run "
                "...\n");
   return 2;
+}
+
+int serve(pdcu::core::Repository repo, int argc, char** argv) {
+  pdcu::server::ServerOptions options;
+  std::string content_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      content_dir = arg;
+    }
+  }
+  if (!content_dir.empty()) {
+    auto loaded = pdcu::core::Repository::load(content_dir);
+    if (!loaded) {
+      std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    repo = std::move(loaded).value();
+  }
+
+  const auto site = pdcu::site::build_site(repo);
+  pdcu::rt::TraceLog trace;
+  pdcu::server::HttpServer server(pdcu::server::Router(site, repo), options,
+                                  &trace);
+  auto status = server.start();
+  if (!status) {
+    std::fprintf(stderr, "serve: %s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::printf("pdcu serving %zu pages on http://%s:%u/ (Ctrl-C to stop)\n",
+              site.pages.size(), options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  server.run_until_signalled();
+  std::fputs(server.metrics().render_text().c_str(), stdout);
+  std::fputs(trace.render_script().c_str(), stdout);
+  return 0;
 }
 
 }  // namespace
@@ -100,6 +151,9 @@ int main(int argc, char** argv) {
     std::printf("built %zu pages in %lld us\n", site.value().pages.size(),
                 static_cast<long long>(site.value().build_time.count()));
     return 0;
+  }
+  if (command == "serve") {
+    return serve(std::move(repo), argc, argv);
   }
   if (command == "tables") {
     auto coverage = repo.coverage();
