@@ -44,3 +44,8 @@ pdcu_add_gbench(bench_sync_methods bench/bench_sync_methods.cpp)
 # Serving path (pdcu::server): router/cache throughput and loopback RPS.
 pdcu_add_gbench(bench_serve bench/bench_serve.cpp)
 target_link_libraries(bench_serve PRIVATE pdcu_server)
+
+# Search engine (pdcu::search): index build scaling, query latency, and
+# index (de)serialization throughput.
+pdcu_add_gbench(bench_search bench/bench_search.cpp)
+target_link_libraries(bench_search PRIVATE pdcu_search)

@@ -1,0 +1,122 @@
+// The search index: a field-weighted inverted index over the curated
+// activities with BM25 ranking. Three fields per document — title, taxonomy
+// tags, and body (details, accessibility, assessment, variations,
+// citations) — each with its own boost, folded BM25F-style into one weighted
+// term frequency per posting.
+//
+// Construction can run in parallel on the existing rt::ThreadPool: each
+// block of documents builds a local term map, and blocks merge in document
+// order, so the result is bit-identical to a serial build. Queries are
+// const and lock-free, so any number of server threads can search one
+// index concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
+#include "pdcu/search/query.hpp"
+#include "pdcu/search/snippet.hpp"
+#include "pdcu/support/expected.hpp"
+#include "pdcu/taxonomy/term_index.hpp"
+
+namespace pdcu::search {
+
+/// Per-field term frequencies of one term in one document.
+struct Posting {
+  std::uint32_t doc = 0;
+  std::uint16_t tf_title = 0;
+  std::uint16_t tf_tags = 0;
+  std::uint16_t tf_body = 0;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// All postings of one term, ascending by document id.
+struct TermPostings {
+  std::string term;
+  std::vector<Posting> postings;
+
+  bool operator==(const TermPostings&) const = default;
+};
+
+/// One indexed document: identity plus the plain text used for snippets and
+/// the per-field token counts BM25 needs for length normalization.
+struct DocEntry {
+  std::string slug;
+  std::string title;
+  std::string body;  ///< plain text snippet source
+  std::uint32_t len_title = 0;
+  std::uint32_t len_tags = 0;
+  std::uint32_t len_body = 0;
+
+  bool operator==(const DocEntry&) const = default;
+};
+
+/// One ranked result.
+struct Hit {
+  std::uint32_t doc = 0;
+  std::string slug;
+  std::string title;
+  double score = 0.0;
+  Snippet snippet;
+};
+
+/// BM25F field boosts; title matches dominate, tags beat body prose.
+struct FieldBoosts {
+  double title = 4.0;
+  double tags = 2.5;
+  double body = 1.0;
+};
+
+class SearchIndex {
+ public:
+  SearchIndex() = default;
+
+  /// Indexes every activity of `repo` in curation order. With a pool the
+  /// build shards across its workers; the result is identical either way.
+  static SearchIndex build(const core::Repository& repo,
+                           rt::ThreadPool* pool = nullptr);
+
+  /// Reassembles an index from deserialized parts, validating invariants
+  /// (terms sorted and unique, postings sorted, doc ids in range).
+  static Expected<SearchIndex> from_parts(std::vector<DocEntry> docs,
+                                          std::vector<TermPostings> terms);
+
+  /// Ranked search. Filters resolve against `taxonomy` (pass
+  /// repo.index()); a query with filters but a null taxonomy, or with a
+  /// filter that resolves to no term, matches nothing. A filter-only query
+  /// returns the filtered documents in curation order with score 0.
+  std::vector<Hit> search(const Query& query, const tax::TermIndex* taxonomy,
+                          std::size_t limit = 10) const;
+
+  std::size_t doc_count() const { return docs_.size(); }
+  std::size_t term_count() const { return terms_.size(); }
+  const std::vector<DocEntry>& docs() const { return docs_; }
+  const std::vector<TermPostings>& terms() const { return terms_; }
+
+  /// Postings of one normalized term; nullptr when absent.
+  const TermPostings* find_term(std::string_view term) const;
+
+  bool operator==(const SearchIndex& other) const {
+    return docs_ == other.docs_ && terms_ == other.terms_;
+  }
+
+ private:
+  /// Recomputes the slug map and weighted-length statistics from
+  /// docs_/terms_ after a build or load.
+  void finalize();
+
+  std::vector<DocEntry> docs_;
+  std::vector<TermPostings> terms_;  ///< sorted by term
+  std::unordered_map<std::string, std::uint32_t> doc_by_slug_;
+  double avg_weighted_len_ = 0.0;
+  FieldBoosts boosts_;
+};
+
+}  // namespace pdcu::search

@@ -1,0 +1,44 @@
+// The query language: free text plus taxonomy filter prefixes.
+//
+//   message passing cs2013:PD-Communication course:CS2 sense:sight
+//
+// Words carrying a known prefix become filters against the taxonomy index;
+// everything else is tokenized exactly like indexed text and ranked with
+// BM25. Unknown prefixes ("foo:bar") fall through to free text so a query
+// containing a literal colon still searches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::search {
+
+/// One taxonomy restriction: `taxonomy` is the canonical front-matter key
+/// ("cs2013", "tcpp", "courses", "senses"), `value` the user's spelling of
+/// the term (resolved case-insensitively at query time).
+struct Filter {
+  std::string taxonomy;
+  std::string value;
+
+  bool operator==(const Filter&) const = default;
+};
+
+/// A parsed query.
+struct Query {
+  std::vector<std::string> terms;    ///< normalized free-text terms, deduped
+  std::vector<Filter> filters;       ///< taxonomy restrictions, ANDed
+  std::string raw;                   ///< the original input, for echoing
+
+  bool empty() const { return terms.empty() && filters.empty(); }
+};
+
+/// Maps a filter prefix ("cs2013", "course", "courses", "sense", ...) to
+/// its canonical taxonomy key; empty view when the prefix is unknown.
+std::string_view taxonomy_for_prefix(std::string_view prefix);
+
+/// Parses user input into terms and filters. Never fails: unparseable
+/// pieces degrade to free text.
+Query parse_query(std::string_view input);
+
+}  // namespace pdcu::search

@@ -1,0 +1,35 @@
+// Snippet extraction: given a document body and the query's normalized
+// terms, pick the window of text that covers the most distinct terms and
+// report the byte spans of every match so renderers can highlight them
+// (the HTML API wraps them in <mark>, the CLI underlines).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdcu::search {
+
+/// A snippet of document text with highlight spans relative to `text`.
+struct Snippet {
+  std::string text;
+  std::vector<std::pair<std::size_t, std::size_t>> highlights;
+  bool clipped_front = false;  ///< text starts mid-document (render "...")
+  bool clipped_back = false;   ///< text ends mid-document
+
+  /// Renders with every highlight wrapped in open/close markers and every
+  /// non-marker segment passed through `escape` (e.g. html_escape); pass
+  /// an identity function for plain output.
+  std::string render(std::string_view open, std::string_view close,
+                     std::string (*escape)(std::string_view)) const;
+};
+
+/// Extracts the best window of roughly `window` bytes. With no matching
+/// term the snippet is simply the head of the body.
+Snippet make_snippet(std::string_view body,
+                     const std::vector<std::string>& terms,
+                     std::size_t window = 160);
+
+}  // namespace pdcu::search

@@ -1,0 +1,41 @@
+// Text normalization for the search index and queries. Both sides of the
+// match (indexing and querying) must tokenize identically, so this is the
+// single definition: ASCII-alnum runs, lowercased, stopwords dropped, and a
+// light suffix-stripping stem (plurals, -ing, -ed) so "sorting networks"
+// matches "sorted network".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::search {
+
+/// One token with its byte span in the original text (for highlighting).
+/// `term` is the normalized form; `begin`/`end` delimit the raw word.
+struct TokenSpan {
+  std::string term;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// True for words too common to be worth indexing ("the", "and", ...).
+/// Expects an already-lowercased word.
+bool is_stopword(std::string_view word);
+
+/// Light stemming of an already-lowercased word: -ies/-sses/-s plurals,
+/// then -ing/-ed verb suffixes when enough stem remains. Deliberately
+/// weaker than Porter: it never rewrites short words, so taxonomy codes
+/// like "pd" and "c" survive untouched.
+std::string stem(std::string word);
+
+/// Normalized index terms of `text`, in order of appearance. Stopwords and
+/// empty tokens are dropped; duplicates are preserved (term frequency).
+std::vector<std::string> tokenize(std::string_view text);
+
+/// Like tokenize(), but keeps the byte span of every surviving token so
+/// snippets can highlight the raw text.
+std::vector<TokenSpan> tokenize_spans(std::string_view text);
+
+}  // namespace pdcu::search

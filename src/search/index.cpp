@@ -1,0 +1,274 @@
+#include "pdcu/search/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pdcu/search/tokenizer.hpp"
+
+namespace pdcu::search {
+
+namespace {
+
+// BM25 constants (standard Robertson defaults).
+constexpr double kK1 = 1.2;
+constexpr double kB = 0.75;
+
+/// Saturating uint16 increment: term frequencies above 65535 are all
+/// equally "a lot" under BM25 saturation anyway.
+void bump(std::uint16_t& tf) {
+  if (tf != UINT16_MAX) ++tf;
+}
+
+/// The plain-text snippet/body source of one activity: every prose section
+/// plus variation and citation text, newline-joined.
+std::string body_text(const core::Activity& activity) {
+  std::string text = activity.details;
+  const auto append = [&text](std::string_view piece) {
+    if (piece.empty()) return;
+    if (!text.empty()) text += '\n';
+    text += piece;
+  };
+  append(activity.accessibility);
+  append(activity.assessment);
+  for (const auto& variation : activity.variations) {
+    append(variation.name);
+    append(variation.description);
+  }
+  for (const auto& citation : activity.citations) append(citation.text);
+  for (const auto& author : activity.authors) append(author);
+  return text;
+}
+
+/// All taxonomy terms of one activity as one tag string ("PD-Communication
+/// CS2 sight ...") so tag matching goes through the same tokenizer.
+std::string tag_text(const core::Activity& activity) {
+  std::string text;
+  for (const auto& [key, terms] : activity.tags()) {
+    for (const auto& term : terms) {
+      if (!text.empty()) text += ' ';
+      text += term;
+    }
+  }
+  return text;
+}
+
+using BlockMap = std::map<std::string, std::vector<Posting>>;
+
+/// Indexes documents [lo, hi), writing DocEntry rows in place and returning
+/// the block's term map. Safe to run concurrently on disjoint ranges.
+BlockMap index_block(const core::Repository& repo, std::vector<DocEntry>& docs,
+                     std::size_t lo, std::size_t hi) {
+  BlockMap block;
+  const auto& activities = repo.activities();
+  for (std::size_t d = lo; d < hi; ++d) {
+    const auto& activity = activities[d];
+    DocEntry& entry = docs[d];
+    entry.slug = activity.slug;
+    entry.title = activity.title;
+    entry.body = body_text(activity);
+
+    const auto title_terms = tokenize(activity.title);
+    const auto tag_terms = tokenize(tag_text(activity));
+    const auto body_terms = tokenize(entry.body);
+    entry.len_title = static_cast<std::uint32_t>(title_terms.size());
+    entry.len_tags = static_cast<std::uint32_t>(tag_terms.size());
+    entry.len_body = static_cast<std::uint32_t>(body_terms.size());
+
+    std::map<std::string, Posting> per_doc;
+    const auto doc_id = static_cast<std::uint32_t>(d);
+    for (const auto& term : title_terms) {
+      auto& posting = per_doc[term];
+      posting.doc = doc_id;
+      bump(posting.tf_title);
+    }
+    for (const auto& term : tag_terms) {
+      auto& posting = per_doc[term];
+      posting.doc = doc_id;
+      bump(posting.tf_tags);
+    }
+    for (const auto& term : body_terms) {
+      auto& posting = per_doc[term];
+      posting.doc = doc_id;
+      bump(posting.tf_body);
+    }
+    for (auto& [term, posting] : per_doc) {
+      block[term].push_back(posting);
+    }
+  }
+  return block;
+}
+
+/// Appends `right` onto `left`. Blocks cover ascending document ranges and
+/// parallel_reduce combines in index order, so postings stay sorted by doc.
+BlockMap merge_blocks(BlockMap left, BlockMap right) {
+  for (auto& [term, postings] : right) {
+    auto& target = left[term];
+    target.insert(target.end(), postings.begin(), postings.end());
+  }
+  return left;
+}
+
+}  // namespace
+
+SearchIndex SearchIndex::build(const core::Repository& repo,
+                               rt::ThreadPool* pool) {
+  SearchIndex index;
+  const std::size_t n = repo.activities().size();
+  index.docs_.resize(n);
+
+  BlockMap merged;
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    merged = pool->parallel_reduce<BlockMap>(
+        0, n, BlockMap{},
+        [&repo, &index](std::size_t lo, std::size_t hi) {
+          return index_block(repo, index.docs_, lo, hi);
+        },
+        [](BlockMap left, BlockMap right) {
+          return merge_blocks(std::move(left), std::move(right));
+        });
+  } else {
+    merged = index_block(repo, index.docs_, 0, n);
+  }
+
+  index.terms_.reserve(merged.size());
+  for (auto& [term, postings] : merged) {
+    index.terms_.push_back({term, std::move(postings)});
+  }
+  index.finalize();
+  return index;
+}
+
+Expected<SearchIndex> SearchIndex::from_parts(
+    std::vector<DocEntry> docs, std::vector<TermPostings> terms) {
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    if (t > 0 && !(terms[t - 1].term < terms[t].term)) {
+      return Error::make("search.index.order",
+                         "terms out of order at '" + terms[t].term + "'");
+    }
+    if (terms[t].postings.empty()) {
+      return Error::make("search.index.postings",
+                         "term '" + terms[t].term + "' has no postings");
+    }
+    std::uint32_t last_doc = 0;
+    bool first = true;
+    for (const auto& posting : terms[t].postings) {
+      if (posting.doc >= docs.size() ||
+          (!first && posting.doc <= last_doc)) {
+        return Error::make("search.index.postings",
+                           "bad posting list for '" + terms[t].term + "'");
+      }
+      last_doc = posting.doc;
+      first = false;
+    }
+  }
+  SearchIndex index;
+  index.docs_ = std::move(docs);
+  index.terms_ = std::move(terms);
+  index.finalize();
+  return index;
+}
+
+void SearchIndex::finalize() {
+  doc_by_slug_.clear();
+  doc_by_slug_.reserve(docs_.size());
+  double total = 0.0;
+  for (std::size_t d = 0; d < docs_.size(); ++d) {
+    doc_by_slug_.emplace(docs_[d].slug, static_cast<std::uint32_t>(d));
+    total += boosts_.title * docs_[d].len_title +
+             boosts_.tags * docs_[d].len_tags +
+             boosts_.body * docs_[d].len_body;
+  }
+  avg_weighted_len_ = docs_.empty() ? 0.0 : total / double(docs_.size());
+}
+
+const TermPostings* SearchIndex::find_term(std::string_view term) const {
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), term,
+      [](const TermPostings& entry, std::string_view t) {
+        return entry.term < t;
+      });
+  if (it == terms_.end() || it->term != term) return nullptr;
+  return &*it;
+}
+
+std::vector<Hit> SearchIndex::search(const Query& query,
+                                     const tax::TermIndex* taxonomy,
+                                     std::size_t limit) const {
+  std::vector<Hit> hits;
+  if (docs_.empty() || query.empty() || limit == 0) return hits;
+
+  // Resolve filters to an allowed-document mask. An unresolvable filter
+  // (unknown term, ambiguous prefix, or no taxonomy index) matches nothing:
+  // silently ignoring a filter would return confidently wrong results.
+  std::vector<char> allowed(docs_.size(), 1);
+  for (const auto& filter : query.filters) {
+    if (taxonomy == nullptr) return hits;
+    const auto term = taxonomy->resolve_term(filter.taxonomy, filter.value);
+    if (!term.has_value()) return hits;
+    std::vector<char> with_term(docs_.size(), 0);
+    for (const auto& page : taxonomy->pages(filter.taxonomy, *term)) {
+      const auto it = doc_by_slug_.find(page.slug);
+      if (it != doc_by_slug_.end()) with_term[it->second] = 1;
+    }
+    for (std::size_t d = 0; d < allowed.size(); ++d) {
+      allowed[d] = allowed[d] && with_term[d];
+    }
+  }
+
+  // BM25F accumulation. query.terms is deduplicated by parse_query, and
+  // postings iterate ascending by doc, so scores sum in a fixed order and
+  // rankings are deterministic.
+  std::vector<double> scores(docs_.size(), 0.0);
+  std::vector<char> matched(docs_.size(), 0);
+  const double n = double(docs_.size());
+  for (const auto& term : query.terms) {
+    const TermPostings* entry = find_term(term);
+    if (entry == nullptr) continue;
+    const double df = double(entry->postings.size());
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const auto& posting : entry->postings) {
+      if (!allowed[posting.doc]) continue;
+      const DocEntry& doc = docs_[posting.doc];
+      const double wtf = boosts_.title * posting.tf_title +
+                         boosts_.tags * posting.tf_tags +
+                         boosts_.body * posting.tf_body;
+      const double doc_len = boosts_.title * doc.len_title +
+                             boosts_.tags * doc.len_tags +
+                             boosts_.body * doc.len_body;
+      const double norm =
+          kK1 * (1.0 - kB + kB * doc_len / avg_weighted_len_);
+      scores[posting.doc] += idf * wtf * (kK1 + 1.0) / (wtf + norm);
+      matched[posting.doc] = 1;
+    }
+  }
+
+  // Candidates: term matches when there is free text, otherwise every
+  // filter-allowed document (a pure taxonomy browse).
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t d = 0; d < docs_.size(); ++d) {
+    if (query.terms.empty() ? allowed[d] : matched[d]) {
+      candidates.push_back(static_cast<std::uint32_t>(d));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&scores](std::uint32_t a, std::uint32_t b) {
+              if (scores[a] != scores[b]) return scores[a] > scores[b];
+              return a < b;
+            });
+  if (candidates.size() > limit) candidates.resize(limit);
+
+  hits.reserve(candidates.size());
+  for (const std::uint32_t d : candidates) {
+    Hit hit;
+    hit.doc = d;
+    hit.slug = docs_[d].slug;
+    hit.title = docs_[d].title;
+    hit.score = scores[d];
+    hit.snippet = make_snippet(docs_[d].body, query.terms);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+}  // namespace pdcu::search

@@ -1,0 +1,62 @@
+#include "pdcu/search/query.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "pdcu/search/tokenizer.hpp"
+#include "pdcu/taxonomy/taxonomy.hpp"
+
+namespace pdcu::search {
+
+std::string_view taxonomy_for_prefix(std::string_view prefix) {
+  if (prefix == "cs2013") return tax::keys::kCs2013;
+  if (prefix == "tcpp") return tax::keys::kTcpp;
+  if (prefix == "course" || prefix == "courses") return tax::keys::kCourses;
+  if (prefix == "sense" || prefix == "senses") return tax::keys::kSenses;
+  return {};
+}
+
+Query parse_query(std::string_view input) {
+  Query query;
+  query.raw = std::string(input);
+
+  std::string free_text;
+  std::size_t i = 0;
+  while (i <= input.size()) {
+    // Split on whitespace by hand: filter values ("PD-Communication") must
+    // survive intact, so word-level splitting happens before tokenization.
+    const std::size_t begin = i;
+    while (i < input.size() && input[i] != ' ' && input[i] != '\t') ++i;
+    const std::string_view word = input.substr(begin, i - begin);
+    ++i;
+    if (word.empty()) continue;
+
+    const std::size_t colon = word.find(':');
+    if (colon != std::string_view::npos && colon > 0) {
+      std::string prefix;
+      for (const char c : word.substr(0, colon)) {
+        prefix.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+      const std::string_view taxonomy = taxonomy_for_prefix(prefix);
+      const std::string_view value = word.substr(colon + 1);
+      if (!taxonomy.empty() && !value.empty()) {
+        query.filters.push_back(
+            {std::string(taxonomy), std::string(value)});
+        continue;
+      }
+    }
+    free_text += word;
+    free_text += ' ';
+  }
+
+  for (auto& term : tokenize(free_text)) {
+    if (std::find(query.terms.begin(), query.terms.end(), term) ==
+        query.terms.end()) {
+      query.terms.push_back(std::move(term));
+    }
+  }
+  return query;
+}
+
+}  // namespace pdcu::search

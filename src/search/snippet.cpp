@@ -1,0 +1,103 @@
+#include "pdcu/search/snippet.hpp"
+
+#include <algorithm>
+
+#include "pdcu/search/tokenizer.hpp"
+
+namespace pdcu::search {
+
+namespace {
+
+/// Clamps a window edge outward to the nearest whitespace so snippets never
+/// cut a word in half; gives up after 24 bytes and cuts anyway.
+std::size_t snap_back(std::string_view body, std::size_t pos) {
+  for (std::size_t i = 0; i < 24 && pos > 0; ++i, --pos) {
+    if (body[pos - 1] == ' ' || body[pos - 1] == '\n') return pos;
+  }
+  return pos;
+}
+
+std::size_t snap_forward(std::string_view body, std::size_t pos) {
+  for (std::size_t i = 0; i < 24 && pos < body.size(); ++i, ++pos) {
+    if (body[pos] == ' ' || body[pos] == '\n') return pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::string Snippet::render(std::string_view open, std::string_view close,
+                            std::string (*escape)(std::string_view)) const {
+  std::string out;
+  if (clipped_front) out += "...";
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : highlights) {
+    out += escape(std::string_view(text).substr(cursor, begin - cursor));
+    out += open;
+    out += escape(std::string_view(text).substr(begin, end - begin));
+    out += close;
+    cursor = end;
+  }
+  out += escape(std::string_view(text).substr(cursor));
+  if (clipped_back) out += "...";
+  return out;
+}
+
+Snippet make_snippet(std::string_view body,
+                     const std::vector<std::string>& terms,
+                     std::size_t window) {
+  Snippet snippet;
+  const auto spans = tokenize_spans(body);
+
+  // Positions of tokens whose normalized form matches a query term.
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (std::find(terms.begin(), terms.end(), spans[i].term) != terms.end()) {
+      matches.push_back(i);
+    }
+  }
+
+  std::size_t begin = 0;
+  std::size_t end = std::min(body.size(), window);
+  if (!matches.empty()) {
+    // Slide a window anchored at each match; keep the one covering the most
+    // *distinct* terms (ties break to the earliest, keeping output stable).
+    std::size_t best_anchor = matches.front();
+    std::size_t best_covered = 0;
+    for (const std::size_t anchor : matches) {
+      const std::size_t window_end = spans[anchor].begin + window;
+      std::vector<std::string_view> covered;
+      for (const std::size_t m : matches) {
+        if (spans[m].begin < spans[anchor].begin) continue;
+        if (spans[m].end > window_end) break;
+        if (std::find(covered.begin(), covered.end(), spans[m].term) ==
+            covered.end()) {
+          covered.push_back(spans[m].term);
+        }
+      }
+      if (covered.size() > best_covered) {
+        best_covered = covered.size();
+        best_anchor = anchor;
+      }
+    }
+    // Lead in with a little context before the anchor word.
+    const std::size_t lead = window / 8;
+    const std::size_t anchor_begin = spans[best_anchor].begin;
+    begin = anchor_begin > lead ? snap_back(body, anchor_begin - lead) : 0;
+    end = std::min(body.size(), begin + window);
+  }
+  if (end < body.size()) end = snap_forward(body, end);
+
+  snippet.text = std::string(body.substr(begin, end - begin));
+  snippet.clipped_front = begin > 0;
+  snippet.clipped_back = end < body.size();
+  for (const std::size_t m : matches) {
+    if (spans[m].begin >= begin && spans[m].end <= end) {
+      snippet.highlights.emplace_back(spans[m].begin - begin,
+                                      spans[m].end - begin);
+    }
+  }
+  return snippet;
+}
+
+}  // namespace pdcu::search

@@ -1,0 +1,98 @@
+#include "pdcu/search/tokenizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace pdcu::search {
+
+namespace {
+
+bool is_word_char(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0;
+}
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) {
+  // Sorted so membership is a binary search; the list is intentionally
+  // small — over-aggressive stoplists hurt short pedagogical queries like
+  // "how many messages".
+  static constexpr std::array<std::string_view, 42> kStopwords = {
+      "a",    "an",   "and",  "are",   "as",    "at",   "be",    "but",
+      "by",   "can",  "each", "for",   "from",  "has",  "have",  "if",
+      "in",   "into", "is",   "it",    "its",   "of",   "on",    "or",
+      "such", "than", "that", "the",   "their", "then", "there", "these",
+      "they", "this", "to",   "using", "was",   "we",   "were",  "which",
+      "will", "with"};
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), word);
+}
+
+std::string stem(std::string word) {
+  if (word.size() <= 3) return word;
+
+  // Plural suffixes first, so "processes" -> "process", "copies" -> "copy".
+  if (ends_with(word, "ies") && word.size() > 4) {
+    word.replace(word.size() - 3, 3, "y");
+  } else if (ends_with(word, "sses")) {
+    word.erase(word.size() - 2);
+  } else if (word.back() == 's' && !ends_with(word, "ss") &&
+             !ends_with(word, "us") && !ends_with(word, "is")) {
+    word.pop_back();
+  }
+
+  // Verb suffixes, only when a reasonable stem remains ("sorting" ->
+  // "sort", but "ring" and "bed" survive).
+  if (ends_with(word, "ing") && word.size() >= 6) {
+    word.erase(word.size() - 3);
+  } else if (ends_with(word, "ed") && word.size() >= 5) {
+    word.erase(word.size() - 2);
+  }
+  // Collapse a doubled final consonant left by -ing/-ed ("passing" ->
+  // "pass" keeps "ss"; "stopped" -> "stopp" -> "stop").
+  if (word.size() >= 4 && word[word.size() - 1] == word[word.size() - 2] &&
+      word.back() != 's' && word.back() != 'l') {
+    word.pop_back();
+  }
+  return word;
+}
+
+std::vector<TokenSpan> tokenize_spans(std::string_view text) {
+  std::vector<TokenSpan> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!is_word_char(text[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    std::string word;
+    while (i < text.size() && is_word_char(text[i])) {
+      word.push_back(lower(text[i]));
+      ++i;
+    }
+    if (is_stopword(word)) continue;
+    word = stem(std::move(word));
+    if (word.empty()) continue;
+    out.push_back({std::move(word), begin, i});
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& span : tokenize_spans(text)) out.push_back(std::move(span.term));
+  return out;
+}
+
+}  // namespace pdcu::search

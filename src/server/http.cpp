@@ -72,6 +72,56 @@ std::string_view Request::query() const {
                                         : t.substr(mark + 1);
 }
 
+std::string url_decode(std::string_view text, bool plus_as_space) {
+  const auto hex_digit = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+' && plus_as_space) {
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '%' && i + 2 < text.size()) {
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query_params(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(start, end - start);
+    start = end + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      params.emplace_back(url_decode(pair), "");
+    } else {
+      params.emplace_back(url_decode(pair.substr(0, eq)),
+                          url_decode(pair.substr(eq + 1)));
+    }
+  }
+  return params;
+}
+
 bool Request::keep_alive() const {
   const std::string* connection = header("connection");
   if (version == "HTTP/1.1") {

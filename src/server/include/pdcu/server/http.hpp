@@ -51,6 +51,18 @@ struct ParseResult {
   std::size_t consumed = 0;   ///< bytes of input consumed when status == kOk
 };
 
+/// Decodes %xx escapes and, when `plus_as_space`, '+' into ' ' (the
+/// query-string convention). Invalid or truncated escapes pass through
+/// literally instead of failing — a lenient decoder can't be exploited
+/// into rejecting valid data, and the router treats the result as text.
+std::string url_decode(std::string_view text, bool plus_as_space = true);
+
+/// Splits a query string ("q=a%20b&limit=5&flag") into decoded key/value
+/// pairs, preserving order and repeated keys; a key without '=' gets an
+/// empty value.
+std::vector<std::pair<std::string, std::string>> parse_query_params(
+    std::string_view query);
+
 /// Parses one request head from the front of `data`. Tolerates bare-LF line
 /// endings; rejects obs-fold continuations, non-token method/header names,
 /// targets that do not start with '/', and unknown HTTP versions.

@@ -1,41 +1,58 @@
 // Request dispatch: maps a parsed request onto the page cache and the API
 // endpoints. A Router owns copies of everything it serves (pages, catalog
-// JSON, per-activity JSON), so the Site and Repository it was built from
-// may be discarded after construction, and handle() is const and
-// thread-safe.
+// JSON, per-activity JSON, the search index and taxonomy index), so the
+// Site and Repository it was built from may be discarded after
+// construction, and handle() is const and thread-safe.
 //
 //   GET /                                cached site pages (ETag / 304)
 //   GET /activities/<slug>/              ... and every other site path
 //   GET /api/catalog.json                machine-readable catalog
 //   GET /api/activities/<slug>.json      one activity as JSON
+//   GET /api/search?q=...&limit=...      ranked full-text + taxonomy search
 //   GET /healthz                         liveness probe, "ok\n"
 //   GET /metrics                         ServerMetrics exposition text
+//
+// Non-GET/HEAD methods on known routes get 405 with an Allow header;
+// unknown paths are 404 regardless of method.
 #pragma once
 
+#include <optional>
+
 #include "pdcu/core/repository.hpp"
+#include "pdcu/search/index.hpp"
 #include "pdcu/server/http.hpp"
 #include "pdcu/server/metrics.hpp"
 #include "pdcu/server/page_cache.hpp"
 #include "pdcu/site/site.hpp"
+#include "pdcu/taxonomy/term_index.hpp"
 
 namespace pdcu::server {
 
 class Router {
  public:
-  Router(const site::Site& site, const core::Repository& repo);
+  /// Builds the dispatch table. `index` lets callers supply a prebuilt
+  /// search index (parallel-built, or loaded from disk for a fast cold
+  /// start); omitted, the router builds one serially from `repo`.
+  Router(const site::Site& site, const core::Repository& repo,
+         std::optional<search::SearchIndex> index = std::nullopt);
 
   /// Wires the /metrics endpoint; without it /metrics is a 404. The
   /// pointee must outlive the router (HttpServer passes its own metrics).
   void set_metrics(const ServerMetrics* metrics) { metrics_ = metrics; }
 
-  /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise);
-  /// cached paths honor If-None-Match with 304.
+  /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
+  /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
 
   const PageCache& cache() const { return cache_; }
+  const search::SearchIndex& index() const { return index_; }
 
  private:
+  Response handle_search(const Request& request) const;
+
   PageCache cache_;
+  search::SearchIndex index_;
+  tax::TermIndex taxonomy_;
   const ServerMetrics* metrics_ = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "pdcu/support/hash.hpp"
 #include "pdcu/support/strings.hpp"
 
 namespace pdcu::server {
@@ -9,19 +10,14 @@ namespace pdcu::server {
 namespace strs = pdcu::strings;
 
 std::uint64_t fnv1a_64(std::string_view bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
+  return hash::fnv1a_64(bytes);
 }
 
 std::string strong_etag(std::string_view bytes) {
   char buffer[20];
-  std::snprintf(buffer, sizeof buffer, "%016llx",
+  std::snprintf(buffer, sizeof buffer, "\"%016llx\"",
                 static_cast<unsigned long long>(fnv1a_64(bytes)));
-  return "\"" + std::string(buffer) + "\"";
+  return buffer;
 }
 
 PageCache::PageCache(const site::Site& site) {

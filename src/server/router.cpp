@@ -1,5 +1,8 @@
 #include "pdcu/server/router.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "pdcu/site/json_catalog.hpp"
 #include "pdcu/support/strings.hpp"
 
@@ -11,6 +14,9 @@ namespace {
 
 constexpr std::string_view kJsonType = "application/json; charset=utf-8";
 constexpr std::string_view kTextType = "text/plain; charset=utf-8";
+
+constexpr std::size_t kDefaultSearchLimit = 10;
+constexpr std::size_t kMaxSearchLimit = 100;
 
 /// If-None-Match is a comma-separated list of entity tags, or "*".
 bool etag_matches(std::string_view if_none_match, std::string_view etag) {
@@ -26,10 +32,50 @@ Response plain_response(int status, std::string body) {
   return response;
 }
 
+Response json_response(int status, std::string body) {
+  Response response;
+  response.status = status;
+  response.set("Content-Type", std::string(kJsonType));
+  response.body = std::move(body);
+  return response;
+}
+
+std::string format_score(double score) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", score);
+  return buffer;
+}
+
+std::string search_results_json(const search::Query& query,
+                                const std::vector<search::Hit>& hits) {
+  std::string json = "{\"query\":\"" + site::json_escape(query.raw) + "\",";
+  json += "\"count\":" + std::to_string(hits.size()) + ",\"hits\":[";
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const auto& hit = hits[i];
+    if (i > 0) json += ',';
+    json += "{\"slug\":\"" + site::json_escape(hit.slug) + "\",";
+    json += "\"title\":\"" + site::json_escape(hit.title) + "\",";
+    json += "\"url\":\"/activities/" + site::json_escape(hit.slug) + "/\",";
+    json += "\"score\":" + format_score(hit.score) + ",";
+    // The snippet highlights matches with <mark>; everything else is
+    // HTML-escaped, so clients can inject it into a results page directly.
+    json += "\"snippet\":\"" +
+            site::json_escape(hit.snippet.render("<mark>", "</mark>",
+                                                 strs::html_escape)) +
+            "\"}";
+  }
+  json += "]}\n";
+  return json;
+}
+
 }  // namespace
 
-Router::Router(const site::Site& site, const core::Repository& repo)
-    : cache_(site) {
+Router::Router(const site::Site& site, const core::Repository& repo,
+               std::optional<search::SearchIndex> index)
+    : cache_(site),
+      index_(index.has_value() ? std::move(*index)
+                               : search::SearchIndex::build(repo)),
+      taxonomy_(repo.index()) {
   cache_.put("api/catalog.json", site::render_json_catalog(repo),
              std::string(kJsonType));
   for (const auto& activity : repo.activities()) {
@@ -39,13 +85,21 @@ Router::Router(const site::Site& site, const core::Repository& repo)
 }
 
 Response Router::handle(const Request& request) const {
+  const std::string_view path = request.path();
+  const bool known_route = path == "/healthz" || path == "/metrics" ||
+                           path == "/api/search" ||
+                           cache_.find(path) != nullptr;
   if (request.method != "GET" && request.method != "HEAD") {
+    // 405 promises the path exists for some method; an unknown path is a
+    // 404 no matter how it is requested.
+    if (!known_route) {
+      return plain_response(404, "404 not found\n");
+    }
     Response response = plain_response(405, "405 method not allowed\n");
     response.set("Allow", "GET, HEAD");
     return response;
   }
 
-  const std::string_view path = request.path();
   if (path == "/healthz") {
     return plain_response(200, "ok\n");
   }
@@ -54,6 +108,9 @@ Response Router::handle(const Request& request) const {
       return plain_response(404, "404 metrics not enabled\n");
     }
     return plain_response(200, metrics_->render_text());
+  }
+  if (path == "/api/search") {
+    return handle_search(request);
   }
 
   const CachedEntry* entry = cache_.find(path);
@@ -71,6 +128,44 @@ Response Router::handle(const Request& request) const {
   }
   response.set("Content-Type", entry->content_type);
   response.body = entry->body;
+  return response;
+}
+
+Response Router::handle_search(const Request& request) const {
+  std::string q;
+  bool has_q = false;
+  std::size_t limit = kDefaultSearchLimit;
+  for (const auto& [key, value] : parse_query_params(request.query())) {
+    if (key == "q" && !has_q) {
+      q = value;
+      has_q = true;
+    } else if (key == "limit") {
+      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+      if (parsed > 0) limit = std::min<std::size_t>(parsed, kMaxSearchLimit);
+    }
+  }
+  if (!has_q || strs::trim(q).empty()) {
+    return json_response(400,
+                         "{\"error\":\"missing query parameter q\"}\n");
+  }
+
+  const search::Query query = search::parse_query(q);
+  const auto hits = index_.search(query, &taxonomy_, limit);
+
+  Response response = json_response(200, search_results_json(query, hits));
+  // Same conditional-GET contract as cached pages: the body is a pure
+  // function of (index, query), so the ETag is stable until a reindex.
+  const std::string etag = strong_etag(response.body);
+  response.set("ETag", etag);
+  response.set("Cache-Control", "no-cache");
+  const std::string* if_none_match = request.header("if-none-match");
+  if (if_none_match != nullptr && etag_matches(*if_none_match, etag)) {
+    Response not_modified;
+    not_modified.status = 304;
+    not_modified.set("ETag", etag);
+    not_modified.set("Cache-Control", "no-cache");
+    return not_modified;
+  }
   return response;
 }
 

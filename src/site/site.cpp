@@ -217,6 +217,47 @@ Site build_site(const core::Repository& repo, const SiteOptions& options) {
     }
   }
 
+  // Interactive search page: a static shell over the live /api/search
+  // endpoint (only functional when served by pdcu::server; the static
+  // export degrades to a visible hint).
+  {
+    std::string body =
+        "<h1>Search</h1>\n"
+        "<form id=\"search-form\">\n"
+        "<input id=\"search-q\" type=\"search\" name=\"q\" "
+        "placeholder=\"e.g. message passing cs2013:PD-Communication\" "
+        "autofocus>\n"
+        "<button type=\"submit\">Search</button>\n"
+        "</form>\n"
+        "<p class=\"hint\">Free text plus filters: <code>cs2013:</code> "
+        "<code>tcpp:</code> <code>course:</code> <code>sense:</code></p>\n"
+        "<div id=\"search-results\"></div>\n"
+        "<script>\n"
+        "const form = document.getElementById('search-form');\n"
+        "const out = document.getElementById('search-results');\n"
+        "form.addEventListener('submit', async (e) => {\n"
+        "  e.preventDefault();\n"
+        "  const q = document.getElementById('search-q').value;\n"
+        "  if (!q.trim()) return;\n"
+        "  try {\n"
+        "    const r = await fetch('/api/search?q=' + "
+        "encodeURIComponent(q) + '&limit=20');\n"
+        "    const data = await r.json();\n"
+        "    out.innerHTML = data.hits && data.hits.length\n"
+        "      ? data.hits.map(h => `<div class=\"hit\"><a href=\"${h.url}\">"
+        "${h.title}</a> <small>${h.score.toFixed(2)}</small>"
+        "<p>${h.snippet}</p></div>`).join('')\n"
+        "      : '<p>No results.</p>';\n"
+        "  } catch (err) {\n"
+        "    out.innerHTML = '<p>Search needs the pdcu server "
+        "(<code>pdcu serve</code>).</p>';\n"
+        "  }\n"
+        "});\n"
+        "</script>\n";
+    site.pages.push_back(
+        {"search/index.html", layout(options.base_title, "Search", body)});
+  }
+
   // Machine-readable catalog alongside the HTML pages.
   site.pages.push_back({"index.json", render_json_catalog(repo)});
 

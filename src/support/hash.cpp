@@ -1,0 +1,17 @@
+#include "pdcu/support/hash.hpp"
+
+namespace pdcu::hash {
+
+std::uint64_t fnv1a_64_update(std::uint64_t state, std::string_view bytes) {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_64(std::string_view bytes) {
+  return fnv1a_64_update(kFnv1aInit, bytes);
+}
+
+}  // namespace pdcu::hash

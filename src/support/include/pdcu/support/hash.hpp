@@ -1,0 +1,20 @@
+// Non-cryptographic hashing shared by the serving cache (ETags) and the
+// search index (serialization checksums). FNV-1a is tiny, has published
+// test vectors, and is stable across platforms, which is what an on-disk
+// checksum needs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pdcu::hash {
+
+/// 64-bit FNV-1a over `bytes`.
+std::uint64_t fnv1a_64(std::string_view bytes);
+
+/// Streaming variant: folds `bytes` into a running FNV-1a state. Seed new
+/// streams with kFnv1aInit.
+inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a_64_update(std::uint64_t state, std::string_view bytes);
+
+}  // namespace pdcu::hash

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,14 @@ class TermIndex {
   std::vector<PageRef> pages_with_all(
       std::string_view taxonomy,
       const std::vector<std::string>& terms) const;
+
+  /// Resolves user input to a canonical term of the taxonomy: first an
+  /// exact match, then a prefix match if it is unique — both case-folded
+  /// and with '-'/'_' unified. Ambiguous or unknown input resolves to
+  /// nullopt. Used by the search query language (`cs2013:PD-Communication`
+  /// -> "PD_CommunicationCoordination").
+  std::optional<std::string> resolve_term(std::string_view taxonomy,
+                                          std::string_view input) const;
 
   std::size_t page_count() const { return total_pages_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pdcu/support/strings.hpp"
+
 namespace pdcu::tax {
 
 void TermIndex::add_page(const PageRef& page, const PageTags& tags) {
@@ -73,6 +75,39 @@ std::vector<PageRef> TermIndex::pages_with_all(
     out = std::move(kept);
   }
   return out;
+}
+
+namespace {
+
+/// Case-folded with '-' and '_' unified, so user input like
+/// "pd-communication" resolves against "PD_CommunicationCoordination".
+std::string fold_term(std::string_view term) {
+  std::string folded = strings::to_lower(term);
+  for (char& c : folded) {
+    if (c == '-') c = '_';
+  }
+  return folded;
+}
+
+}  // namespace
+
+std::optional<std::string> TermIndex::resolve_term(
+    std::string_view taxonomy, std::string_view input) const {
+  auto it = index_.find(taxonomy);
+  if (it == index_.end() || input.empty()) return std::nullopt;
+  const std::string needle = fold_term(input);
+
+  std::optional<std::string> prefix_match;
+  bool ambiguous = false;
+  for (const auto& [term, pages] : it->second) {
+    const std::string folded = fold_term(term);
+    if (folded == needle) return term;  // exact beats any prefix
+    if (strings::starts_with(folded, needle)) {
+      ambiguous = prefix_match.has_value();
+      prefix_match = term;
+    }
+  }
+  return ambiguous ? std::nullopt : prefix_match;
 }
 
 }  // namespace pdcu::tax

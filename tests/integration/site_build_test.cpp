@@ -49,8 +49,8 @@ TEST(SiteBuild, PageCountBreakdown) {
   for (const auto& taxonomy : config.all()) {
     term_pages += repo.index().terms(taxonomy.key).size();
   }
-  // index.html + activities + 4 views + term pages + index.json.
-  EXPECT_EQ(s.pages.size(), 1u + 38u + 4u + term_pages + 1u);
+  // index.html + activities + 4 views + term pages + search + index.json.
+  EXPECT_EQ(s.pages.size(), 1u + 38u + 4u + term_pages + 1u + 1u);
   EXPECT_GT(term_pages, 100u);  // rich taxonomy surface
 }
 

@@ -1,0 +1,63 @@
+// Unit tests for the query language: free text, filter prefixes, and the
+// degradation rules for unknown prefixes.
+#include "pdcu/search/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace search = pdcu::search;
+
+TEST(QueryParse, FreeTextIsTokenized) {
+  const auto query = search::parse_query("Sorting the networks");
+  EXPECT_EQ(query.terms, (std::vector<std::string>{"sort", "network"}));
+  EXPECT_TRUE(query.filters.empty());
+  EXPECT_EQ(query.raw, "Sorting the networks");
+}
+
+TEST(QueryParse, FreeTextTermsAreDeduplicated) {
+  const auto query = search::parse_query("sorting sorted sorts");
+  EXPECT_EQ(query.terms, (std::vector<std::string>{"sort"}));
+}
+
+TEST(QueryParse, FilterPrefixesBecomeFilters) {
+  const auto query = search::parse_query(
+      "message passing cs2013:PD-Communication course:CS2 sense:sight");
+  EXPECT_EQ(query.terms, (std::vector<std::string>{"message", "pass"}));
+  ASSERT_EQ(query.filters.size(), 3u);
+  EXPECT_EQ(query.filters[0],
+            (search::Filter{"cs2013", "PD-Communication"}));
+  EXPECT_EQ(query.filters[1], (search::Filter{"courses", "CS2"}));
+  EXPECT_EQ(query.filters[2], (search::Filter{"senses", "sight"}));
+}
+
+TEST(QueryParse, PrefixAliasesAndCaseFold) {
+  EXPECT_EQ(search::parse_query("courses:CS1").filters[0].taxonomy,
+            "courses");
+  EXPECT_EQ(search::parse_query("SENSE:touch").filters[0].taxonomy, "senses");
+  EXPECT_EQ(search::parse_query("TCPP:C_Speedup").filters[0].taxonomy,
+            "tcpp");
+}
+
+TEST(QueryParse, UnknownPrefixFallsBackToFreeText) {
+  const auto query = search::parse_query("foo:bar sorting");
+  EXPECT_TRUE(query.filters.empty());
+  EXPECT_EQ(query.terms, (std::vector<std::string>{"foo", "bar", "sort"}));
+}
+
+TEST(QueryParse, EmptyFilterValueIsFreeText) {
+  const auto query = search::parse_query("cs2013:");
+  EXPECT_TRUE(query.filters.empty());
+  EXPECT_EQ(query.terms, (std::vector<std::string>{"cs2013"}));
+}
+
+TEST(QueryParse, EmptyAndWhitespaceQueries) {
+  EXPECT_TRUE(search::parse_query("").empty());
+  EXPECT_TRUE(search::parse_query("   \t ").empty());
+  // Stopword-only queries have no effective terms.
+  EXPECT_TRUE(search::parse_query("the of and").empty());
+}
+
+TEST(QueryParse, FilterOnlyQueryIsNotEmpty) {
+  const auto query = search::parse_query("cs2013:PD-Communication");
+  EXPECT_TRUE(query.terms.empty());
+  EXPECT_FALSE(query.empty());
+}

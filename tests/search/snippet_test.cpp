@@ -1,0 +1,60 @@
+// Unit tests for snippet extraction and highlight rendering.
+#include "pdcu/search/snippet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdcu/support/strings.hpp"
+
+namespace search = pdcu::search;
+
+namespace {
+
+std::string identity(std::string_view s) { return std::string(s); }
+
+}  // namespace
+
+TEST(Snippet, NoMatchYieldsHeadOfBody) {
+  const auto snippet =
+      search::make_snippet("A long description of the activity.", {"zzz"});
+  EXPECT_EQ(snippet.text, "A long description of the activity.");
+  EXPECT_TRUE(snippet.highlights.empty());
+  EXPECT_FALSE(snippet.clipped_front);
+  EXPECT_FALSE(snippet.clipped_back);
+}
+
+TEST(Snippet, HighlightsEveryMatchInWindow) {
+  const auto snippet = search::make_snippet(
+      "Students sort cards. Sorting is repeated.", {"sort"});
+  ASSERT_EQ(snippet.highlights.size(), 2u);
+  EXPECT_EQ(snippet.render("[", "]", identity),
+            "Students [sort] cards. [Sorting] is repeated.");
+}
+
+TEST(Snippet, WindowCentersOnTheDensestMatchRegion) {
+  // Matches appear late in a long body; the snippet must move there.
+  std::string body(400, 'x');
+  for (std::size_t i = 0; i < body.size(); i += 20) body[i] = ' ';
+  body += " the merge phase combines sorted runs into one sorted deck";
+  const auto snippet = search::make_snippet(body, {"sort", "merge"}, 80);
+  EXPECT_TRUE(snippet.clipped_front);
+  EXPECT_GE(snippet.highlights.size(), 2u);
+  const auto rendered = snippet.render("<b>", "</b>", identity);
+  EXPECT_NE(rendered.find("<b>merge</b>"), std::string::npos);
+  EXPECT_NE(rendered.find("<b>sorted</b>"), std::string::npos);
+}
+
+TEST(Snippet, RenderEscapesAroundMarkers) {
+  const auto snippet =
+      search::make_snippet("a < b while sorting & merging", {"sort"});
+  const auto rendered =
+      snippet.render("<mark>", "</mark>", pdcu::strings::html_escape);
+  EXPECT_NE(rendered.find("a &lt; b"), std::string::npos);
+  EXPECT_NE(rendered.find("<mark>sorting</mark>"), std::string::npos);
+  EXPECT_NE(rendered.find("&amp; merging"), std::string::npos);
+}
+
+TEST(Snippet, EmptyBody) {
+  const auto snippet = search::make_snippet("", {"sort"});
+  EXPECT_TRUE(snippet.text.empty());
+  EXPECT_TRUE(snippet.highlights.empty());
+}

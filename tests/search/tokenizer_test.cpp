@@ -1,0 +1,63 @@
+// Unit tests for search text normalization: word splitting, stopwords, and
+// the light stemmer that makes "sorting" match "sorted".
+#include "pdcu/search/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace search = pdcu::search;
+
+TEST(Tokenizer, SplitsOnNonAlnumAndLowercases) {
+  const auto terms = search::tokenize("Message-Passing (two rounds)!");
+  EXPECT_EQ(terms,
+            (std::vector<std::string>{"message", "pass", "two", "round"}));
+}
+
+TEST(Tokenizer, DropsStopwords) {
+  const auto terms = search::tokenize("the students and a deck of cards");
+  EXPECT_EQ(terms, (std::vector<std::string>{"student", "deck", "card"}));
+}
+
+TEST(Tokenizer, KeepsDigitsAndCodes) {
+  // Taxonomy-ish tokens must survive: course codes, years, short codes.
+  const auto terms = search::tokenize("CS2 2013 PD MPI");
+  EXPECT_EQ(terms, (std::vector<std::string>{"cs2", "2013", "pd", "mpi"}));
+}
+
+TEST(Stemmer, NormalizesPluralsAndVerbForms) {
+  EXPECT_EQ(search::stem("sorting"), "sort");
+  EXPECT_EQ(search::stem("sorted"), "sort");
+  EXPECT_EQ(search::stem("sorts"), "sort");
+  EXPECT_EQ(search::stem("sort"), "sort");
+  EXPECT_EQ(search::stem("messages"), "message");
+  EXPECT_EQ(search::stem("processes"), "process");
+  EXPECT_EQ(search::stem("copies"), "copy");
+  EXPECT_EQ(search::stem("passing"), "pass");
+  EXPECT_EQ(search::stem("stopped"), "stop");
+}
+
+TEST(Stemmer, LeavesShortAndProtectedWordsAlone) {
+  EXPECT_EQ(search::stem("bus"), "bus");      // -us is not a plural
+  EXPECT_EQ(search::stem("basis"), "basis");  // -is is not a plural
+  EXPECT_EQ(search::stem("ring"), "ring");    // too short for -ing
+  EXPECT_EQ(search::stem("bed"), "bed");
+  EXPECT_EQ(search::stem("pd"), "pd");
+  EXPECT_EQ(search::stem("class"), "class");
+}
+
+TEST(Tokenizer, SpansPointIntoTheOriginalText) {
+  const std::string text = "Sorting the cards";
+  const auto spans = search::tokenize_spans(text);
+  ASSERT_EQ(spans.size(), 2u);  // "the" dropped
+  EXPECT_EQ(spans[0].term, "sort");
+  EXPECT_EQ(text.substr(spans[0].begin, spans[0].end - spans[0].begin),
+            "Sorting");
+  EXPECT_EQ(spans[1].term, "card");
+  EXPECT_EQ(text.substr(spans[1].begin, spans[1].end - spans[1].begin),
+            "cards");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnlyTextYieldsNothing) {
+  EXPECT_TRUE(search::tokenize("").empty());
+  EXPECT_TRUE(search::tokenize("... --- !!!").empty());
+  EXPECT_TRUE(search::tokenize("the and of").empty());
+}

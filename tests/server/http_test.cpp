@@ -175,3 +175,83 @@ TEST(Http, StatusReasonsForServedCodes) {
   EXPECT_EQ(server::status_reason(431), "Request Header Fields Too Large");
   EXPECT_EQ(server::status_reason(599), "Unknown");
 }
+
+TEST(HttpRequest, PathAndQueryEdgeCases) {
+  // Empty query: '?' present but nothing after it.
+  auto bare_mark = server::parse_request("GET /a? HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(bare_mark.status, server::ParseStatus::kOk);
+  EXPECT_EQ(bare_mark.request.path(), "/a");
+  EXPECT_EQ(bare_mark.request.query(), "");
+
+  // No query at all.
+  auto no_query = server::parse_request("GET /a HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(no_query.request.path(), "/a");
+  EXPECT_EQ(no_query.request.query(), "");
+
+  // Only the first '?' splits; later ones belong to the query.
+  auto second_mark = server::parse_request("GET /a?x=1?y=2 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(second_mark.request.path(), "/a");
+  EXPECT_EQ(second_mark.request.query(), "x=1?y=2");
+
+  // Root with query.
+  auto root = server::parse_request("GET /?q=1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(root.request.path(), "/");
+  EXPECT_EQ(root.request.query(), "q=1");
+}
+
+TEST(HttpUrlDecode, DecodesEscapesAndPlus) {
+  EXPECT_EQ(server::url_decode("message+passing"), "message passing");
+  EXPECT_EQ(server::url_decode("message%20passing"), "message passing");
+  EXPECT_EQ(server::url_decode("%41%62c"), "Abc");
+  EXPECT_EQ(server::url_decode("cs2013%3APD-Comm"), "cs2013:PD-Comm");
+  EXPECT_EQ(server::url_decode("a%26b"), "a&b");
+  // In path context '+' is literal.
+  EXPECT_EQ(server::url_decode("a+b", /*plus_as_space=*/false), "a+b");
+}
+
+TEST(HttpUrlDecode, InvalidEscapesPassThrough) {
+  EXPECT_EQ(server::url_decode("100%"), "100%");
+  EXPECT_EQ(server::url_decode("100%2"), "100%2");
+  EXPECT_EQ(server::url_decode("%zz"), "%zz");
+  EXPECT_EQ(server::url_decode("%%41"), "%A");
+}
+
+TEST(HttpQueryParams, ParsesTypicalSearchQueries) {
+  const auto params = server::parse_query_params("q=message+passing&limit=5");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "q");
+  EXPECT_EQ(params[0].second, "message passing");
+  EXPECT_EQ(params[1].first, "limit");
+  EXPECT_EQ(params[1].second, "5");
+}
+
+TEST(HttpQueryParams, EdgeCases) {
+  // Empty query.
+  EXPECT_TRUE(server::parse_query_params("").empty());
+
+  // Key with '=' but no value, and key with no '=' at all.
+  auto no_value = server::parse_query_params("a=&b");
+  ASSERT_EQ(no_value.size(), 2u);
+  EXPECT_EQ(no_value[0], (std::pair<std::string, std::string>{"a", ""}));
+  EXPECT_EQ(no_value[1], (std::pair<std::string, std::string>{"b", ""}));
+
+  // Repeated keys are preserved in order.
+  auto repeated = server::parse_query_params("q=first&q=second");
+  ASSERT_EQ(repeated.size(), 2u);
+  EXPECT_EQ(repeated[0].second, "first");
+  EXPECT_EQ(repeated[1].second, "second");
+
+  // An encoded '&' inside a value does not split the pair.
+  auto encoded_amp = server::parse_query_params("q=salt%26pepper&x=1");
+  ASSERT_EQ(encoded_amp.size(), 2u);
+  EXPECT_EQ(encoded_amp[0].second, "salt&pepper");
+
+  // Empty pairs (leading/trailing/double '&') are skipped.
+  auto sparse = server::parse_query_params("&a=1&&b=2&");
+  ASSERT_EQ(sparse.size(), 2u);
+
+  // Encoded '=' in the value survives; only the first '=' splits.
+  auto eq = server::parse_query_params("expr=a%3Db=c");
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0].second, "a=b=c");
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "pdcu/core/repository.hpp"
+#include "pdcu/search/index.hpp"
 #include "pdcu/server/page_cache.hpp"
 #include "pdcu/site/site.hpp"
 #include "pdcu/support/strings.hpp"
@@ -198,4 +199,105 @@ TEST(Router, DistinctPagesGetDistinctEtags) {
   ASSERT_NE(a.header("etag"), nullptr);
   ASSERT_NE(b.header("etag"), nullptr);
   EXPECT_NE(*a.header("etag"), *b.header("etag"));
+}
+
+TEST(Router, PostToUnknownPathIs404NotMethodError) {
+  auto request = get("/no/such/page/");
+  request.method = "POST";
+  const auto response = router().handle(request);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.header("allow"), nullptr);
+}
+
+TEST(Router, DeleteOnApiRouteIs405) {
+  auto request = get("/api/search?q=sorting");
+  request.method = "DELETE";
+  const auto response = router().handle(request);
+  EXPECT_EQ(response.status, 405);
+  ASSERT_NE(response.header("allow"), nullptr);
+  EXPECT_EQ(*response.header("allow"), "GET, HEAD");
+}
+
+TEST(RouterSearch, ServesRankedJson) {
+  const auto response = router().handle(get("/api/search?q=sorting"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"),
+            "application/json; charset=utf-8");
+  EXPECT_TRUE(strs::contains(response.body, "\"hits\":["));
+  EXPECT_TRUE(strs::contains(response.body, "\"slug\":\"parallelcardsort\""));
+  EXPECT_TRUE(strs::contains(response.body, "<mark>"));
+  EXPECT_TRUE(strs::contains(response.body, "\"score\":"));
+}
+
+TEST(RouterSearch, DecodesUrlEncodedQueries) {
+  const auto plus = router().handle(get("/api/search?q=message+passing"));
+  const auto pct = router().handle(get("/api/search?q=message%20passing"));
+  EXPECT_EQ(plus.status, 200);
+  EXPECT_EQ(plus.body, pct.body);
+  EXPECT_TRUE(strs::contains(plus.body, "\"query\":\"message passing\""));
+}
+
+TEST(RouterSearch, FilterPrefixesWorkThroughTheApi) {
+  const auto response = router().handle(
+      get("/api/search?q=message%20passing%20cs2013%3APD-Communication"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "byzantinegenerals"));
+}
+
+TEST(RouterSearch, LimitCapsTheHitCount) {
+  const auto response = router().handle(get("/api/search?q=students&limit=2"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "\"count\":2"));
+}
+
+TEST(RouterSearch, MissingOrEmptyQueryIs400) {
+  EXPECT_EQ(router().handle(get("/api/search")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?limit=5")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=%20%20")).status, 400);
+}
+
+TEST(RouterSearch, EtagRoundTripYields304) {
+  const auto first = router().handle(get("/api/search?q=sorting"));
+  ASSERT_EQ(first.status, 200);
+  const std::string* etag = first.header("etag");
+  ASSERT_NE(etag, nullptr);
+
+  auto revalidation = get("/api/search?q=sorting");
+  revalidation.headers.emplace_back("if-none-match", *etag);
+  const auto second = router().handle(revalidation);
+  EXPECT_EQ(second.status, 304);
+  EXPECT_TRUE(second.body.empty());
+  ASSERT_NE(second.header("etag"), nullptr);
+  EXPECT_EQ(*second.header("etag"), *etag);
+
+  // A different query gets a different ETag.
+  const auto other = router().handle(get("/api/search?q=byzantine"));
+  ASSERT_NE(other.header("etag"), nullptr);
+  EXPECT_NE(*other.header("etag"), *etag);
+}
+
+TEST(RouterSearch, ResultsAreDeterministicAcrossCalls) {
+  const auto a = router().handle(get("/api/search?q=race%20condition"));
+  const auto b = router().handle(get("/api/search?q=race%20condition"));
+  EXPECT_EQ(a.body, b.body);
+}
+
+TEST(RouterSearch, PrebuiltIndexServesIdenticalResults) {
+  const auto& repo = core::Repository::builtin();
+  auto index = pdcu::search::SearchIndex::build(repo);
+  server::Router prebuilt(site::build_site(repo), repo, std::move(index));
+  const auto from_prebuilt =
+      prebuilt.handle(get("/api/search?q=message+passing"));
+  const auto from_default =
+      router().handle(get("/api/search?q=message+passing"));
+  EXPECT_EQ(from_prebuilt.body, from_default.body);
+}
+
+TEST(Router, SearchPageIsServed) {
+  const auto response = router().handle(get("/search/"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "search-form"));
+  EXPECT_TRUE(strs::contains(response.body, "/api/search"));
 }

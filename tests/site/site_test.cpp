@@ -94,8 +94,8 @@ TEST(Site, OptionsDisableViewsAndTermPages) {
   auto s = site::build_site(repo(), options);
   EXPECT_EQ(s.find("views/cs2013/index.html"), nullptr);
   EXPECT_EQ(s.find("medium/cards/index.html"), nullptr);
-  // index.html + one page per activity + index.json.
-  EXPECT_EQ(s.pages.size(), 1u + 38u + 1u);
+  // index.html + one page per activity + search page + index.json.
+  EXPECT_EQ(s.pages.size(), 1u + 38u + 1u + 1u);
 }
 
 TEST(Site, PagesAreValidHtmlDocuments) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "pdcu/core/repository.hpp"
+
 namespace tax = pdcu::tax;
 
 namespace {
@@ -76,4 +80,36 @@ TEST(TermIndex, PagesWithAllIntersects) {
   EXPECT_EQ(pages[0].slug, "alpha");
   EXPECT_EQ(pages[1].slug, "gamma");
   EXPECT_TRUE(index.pages_with_all("courses", {}).empty());
+}
+
+TEST(TermIndexResolve, ExactAndCaseInsensitiveMatches) {
+  const auto& index = pdcu::core::Repository::builtin().index();
+  EXPECT_EQ(index.resolve_term("cs2013", "PD_ParallelAlgorithms"),
+            std::optional<std::string>("PD_ParallelAlgorithms"));
+  EXPECT_EQ(index.resolve_term("cs2013", "pd_parallelalgorithms"),
+            std::optional<std::string>("PD_ParallelAlgorithms"));
+  EXPECT_EQ(index.resolve_term("courses", "cs2"),
+            std::optional<std::string>("CS2"));
+}
+
+TEST(TermIndexResolve, HyphenAndUnderscoreAreInterchangeable) {
+  const auto& index = pdcu::core::Repository::builtin().index();
+  EXPECT_EQ(index.resolve_term("cs2013", "PD-ParallelAlgorithms"),
+            std::optional<std::string>("PD_ParallelAlgorithms"));
+}
+
+TEST(TermIndexResolve, UniquePrefixResolvesAmbiguousDoesNot) {
+  const auto& index = pdcu::core::Repository::builtin().index();
+  // "PD-Communication" is a strict prefix of exactly one cs2013 term.
+  EXPECT_EQ(index.resolve_term("cs2013", "PD-Communication"),
+            std::optional<std::string>("PD_CommunicationCoordination"));
+  // "PD_Parallel" prefixes several terms -> ambiguous.
+  EXPECT_EQ(index.resolve_term("cs2013", "PD_Parallel"), std::nullopt);
+}
+
+TEST(TermIndexResolve, UnknownInputsResolveToNothing) {
+  const auto& index = pdcu::core::Repository::builtin().index();
+  EXPECT_EQ(index.resolve_term("cs2013", "NoSuchTerm"), std::nullopt);
+  EXPECT_EQ(index.resolve_term("notataxonomy", "CS2"), std::nullopt);
+  EXPECT_EQ(index.resolve_term("cs2013", ""), std::nullopt);
 }

@@ -14,10 +14,16 @@
 //   pdcu plan <course> [sessions]  greedy coverage-maximizing lesson plan
 //   pdcu annotate <dir> <slug> <note>  record a classroom experience
 //   pdcu run <simulation> [seed]   run an activity simulation
+//   pdcu search [options] <query>  ranked full-text + taxonomy search
+//        --limit N (default 10), --index FILE (load a prebuilt index)
+//        query: free text plus cs2013:/tcpp:/course:/sense: filters
+//   pdcu index <out-file>          build and save the binary search index
 //   pdcu serve [options] [content-dir]  serve the site over HTTP from memory
-//        --port N (default 8080, 0 = ephemeral), --host H, --threads N
+//        --port N (default 8080, 0 = ephemeral), --host H, --threads N,
+//        --index FILE (cold-start search from a prebuilt index)
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "pdcu/activities/registry.hpp"
@@ -27,24 +33,113 @@
 #include "pdcu/core/link_audit.hpp"
 #include "pdcu/core/planner.hpp"
 #include "pdcu/extensions/impact.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
 #include "pdcu/runtime/trace.hpp"
+#include "pdcu/search/index.hpp"
+#include "pdcu/search/query.hpp"
+#include "pdcu/search/serialize.hpp"
 #include "pdcu/server/server.hpp"
 #include "pdcu/site/json_catalog.hpp"
 #include "pdcu/site/site.hpp"
+#include "pdcu/support/strings.hpp"
+#include "pdcu/support/text_table.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: pdcu "
-               "list|show|new|validate|build|serve|tables|gaps|impact|json|audit|plan|annotate|run "
-               "...\n");
+               "list|show|new|validate|build|serve|search|index|tables|gaps|"
+               "impact|json|audit|plan|annotate|run ...\n");
   return 2;
+}
+
+int search(const pdcu::core::Repository& repo, int argc, char** argv) {
+  std::size_t limit = 10;
+  std::string index_path;
+  std::string query_text;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--limit" && i + 1 < argc) {
+      limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--index" && i + 1 < argc) {
+      index_path = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "search: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      if (!query_text.empty()) query_text += ' ';
+      query_text += arg;
+    }
+  }
+  if (query_text.empty()) {
+    std::fprintf(stderr, "search: missing query\n");
+    return 2;
+  }
+
+  pdcu::search::SearchIndex index;
+  if (!index_path.empty()) {
+    auto loaded = pdcu::search::load_index(index_path);
+    if (!loaded) {
+      std::fprintf(stderr, "search: %s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    index = std::move(loaded).value();
+  } else {
+    pdcu::rt::ThreadPool pool;
+    index = pdcu::search::SearchIndex::build(repo, &pool);
+  }
+
+  const auto query = pdcu::search::parse_query(query_text);
+  const auto hits = index.search(query, &repo.index(), limit);
+  if (hits.empty()) {
+    std::printf("no results for '%s'\n", query_text.c_str());
+    return 1;
+  }
+
+  pdcu::TextTable table({"#", "Score", "Activity", "Snippet"}, 48);
+  table.set_align(0, pdcu::Align::kRight);
+  table.set_align(1, pdcu::Align::kRight);
+  const auto plain = [](std::string_view s) { return std::string(s); };
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    char score[32];
+    std::snprintf(score, sizeof score, "%.3f", hits[i].score);
+    std::string activity = hits[i].title;
+    activity += " (";
+    activity += hits[i].slug;
+    activity += ")";
+    // Body text may contain newlines; the table wraps on spaces.
+    table.add_row({std::to_string(i + 1), score, std::move(activity),
+                   pdcu::strings::replace_all(
+                       hits[i].snippet.render("[", "]", plain), "\n", " ")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("%zu of %zu activities matched\n", hits.size(),
+              repo.activities().size());
+  return 0;
+}
+
+int build_index(const pdcu::core::Repository& repo, int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: pdcu index <out-file>\n");
+    return 2;
+  }
+  pdcu::rt::ThreadPool pool;
+  const auto index = pdcu::search::SearchIndex::build(repo, &pool);
+  const auto status = pdcu::search::save_index(index, argv[2]);
+  if (!status) {
+    std::fprintf(stderr, "index: %s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::printf("indexed %zu activities, %zu terms -> %s\n", index.doc_count(),
+              index.term_count(), argv[2]);
+  return 0;
 }
 
 int serve(pdcu::core::Repository repo, int argc, char** argv) {
   pdcu::server::ServerOptions options;
   std::string content_dir;
+  std::string index_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -55,6 +150,8 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--index" && i + 1 < argc) {
+      index_path = argv[++i];
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -71,10 +168,25 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     repo = std::move(loaded).value();
   }
 
+  // Cold-start search from a prebuilt index file, or build it here in
+  // parallel before the server accepts traffic.
+  std::optional<pdcu::search::SearchIndex> index;
+  if (!index_path.empty()) {
+    auto loaded = pdcu::search::load_index(index_path);
+    if (!loaded) {
+      std::fprintf(stderr, "serve: %s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    index = std::move(loaded).value();
+  } else {
+    pdcu::rt::ThreadPool pool;
+    index = pdcu::search::SearchIndex::build(repo, &pool);
+  }
+
   const auto site = pdcu::site::build_site(repo);
   pdcu::rt::TraceLog trace;
-  pdcu::server::HttpServer server(pdcu::server::Router(site, repo), options,
-                                  &trace);
+  pdcu::server::HttpServer server(
+      pdcu::server::Router(site, repo, std::move(index)), options, &trace);
   auto status = server.start();
   if (!status) {
     std::fprintf(stderr, "serve: %s\n", status.error().message.c_str());
@@ -154,6 +266,12 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return serve(std::move(repo), argc, argv);
+  }
+  if (command == "search") {
+    return search(repo, argc, argv);
+  }
+  if (command == "index") {
+    return build_index(repo, argc, argv);
   }
   if (command == "tables") {
     auto coverage = repo.coverage();
