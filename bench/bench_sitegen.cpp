@@ -1,8 +1,19 @@
 // Engine microbenchmarks for the Hugo-replacement claims (§II): fast site
 // builds, Markdown parsing, and activity serialization throughput. Build
 // time is measured against curation size (the 38-activity curation
-// replicated 1x, 2x, 4x, 8x).
+// replicated 1x, 2x, 4x, 8x), build parallelism (serial vs. 1/2/4/N-thread
+// pools over one curation size), and build incrementality (cold vs.
+// one-activity-touched rebuild). After the benchmark tables, one
+// machine-readable JSON line summarizes the speedup and the rendered-page
+// reduction so successive PRs can track the trajectory:
+//   {"bench":"sitegen","pages":...,"serial_ms":...,"parallel_ms":...,
+//    "threads":...,"speedup":...,"cold_rendered":...,
+//    "incremental_rendered":...,"rendered_reduction":...}
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
 
 #include "pdcu/core/activity_io.hpp"
 #include "pdcu/core/curation.hpp"
@@ -10,9 +21,13 @@
 #include "pdcu/core/repository.hpp"
 #include "pdcu/markdown/html.hpp"
 #include "pdcu/markdown/parser.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
 #include "pdcu/site/site.hpp"
 
 namespace {
+
+namespace rt = pdcu::rt;
+namespace site = pdcu::site;
 
 /// A curation of `factor` x 38 activities (replicas get distinct slugs).
 pdcu::core::Repository replicated_repo(int factor) {
@@ -29,13 +44,21 @@ pdcu::core::Repository replicated_repo(int factor) {
   return pdcu::core::Repository(std::move(activities));
 }
 
+/// The same curation with one activity's body touched, for incremental
+/// rebuild measurements.
+pdcu::core::Repository touched_repo(const pdcu::core::Repository& base) {
+  auto activities = base.activities();
+  activities.front().details += "\n\nTouched for the benchmark.";
+  return pdcu::core::Repository(std::move(activities));
+}
+
 void BM_SiteBuild(benchmark::State& state) {
   auto repo = replicated_repo(static_cast<int>(state.range(0)));
   std::size_t pages = 0;
   for (auto _ : state) {
-    auto site = pdcu::site::build_site(repo);
-    pages = site.pages.size();
-    benchmark::DoNotOptimize(site);
+    auto built = site::build_site(repo);
+    pages = built.pages.size();
+    benchmark::DoNotOptimize(built);
   }
   state.counters["pages"] = static_cast<double>(pages);
   state.counters["pages/s"] = benchmark::Counter(
@@ -43,6 +66,48 @@ void BM_SiteBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SiteBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/// Full cold build, pages fanned out over a pool of state.range(0)
+/// threads. Compare against BM_SiteBuild/4 (the same corpus, serial).
+void BM_SiteBuildParallel(benchmark::State& state) {
+  auto repo = replicated_repo(4);
+  rt::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  site::SiteOptions options;
+  options.pool = &pool;
+  std::size_t pages = 0;
+  for (auto _ : state) {
+    auto built = site::build_site(repo, options);
+    pages = built.pages.size();
+    benchmark::DoNotOptimize(built);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["pages/s"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SiteBuildParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state incremental rebuild: one activity's body flips back and
+/// forth between iterations, so every rebuild re-renders exactly the
+/// touched activity page plus the catalog and reuses everything else.
+void BM_SiteRebuildIncremental(benchmark::State& state) {
+  auto base = replicated_repo(4);
+  auto touched = touched_repo(base);
+  site::BuildCache cache;
+  site::rebuild(base, cache);
+  bool flip = true;
+  std::size_t rendered = 0;
+  for (auto _ : state) {
+    site::BuildStats stats;
+    auto built = site::rebuild(flip ? touched : base, cache, {}, &stats);
+    rendered = stats.pages_rendered;
+    flip = !flip;
+    benchmark::DoNotOptimize(built);
+  }
+  state.counters["pages_rendered"] = static_cast<double>(rendered);
+}
+BENCHMARK(BM_SiteRebuildIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_ActivityWrite(benchmark::State& state) {
   const auto& activities = pdcu::core::curation();
@@ -93,6 +158,67 @@ void BM_MarkdownToHtml(benchmark::State& state) {
 }
 BENCHMARK(BM_MarkdownToHtml)->Unit(benchmark::kMicrosecond);
 
+/// Best-of-`reps` wall time of one build configuration, in milliseconds.
+template <typename F>
+double best_of_ms(F&& build, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    build();
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+/// The trajectory line: direct measurements (outside the benchmark
+/// harness) of serial vs. parallel cold builds and cold vs. incremental
+/// rendered-page counts, as one JSON object on stdout.
+void print_json_summary() {
+  const auto repo = replicated_repo(4);
+  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  rt::ThreadPool pool(threads);
+
+  std::size_t pages = 0;
+  const double serial_ms = best_of_ms([&] {
+    auto built = site::build_site(repo);
+    pages = built.pages.size();
+    benchmark::DoNotOptimize(built);
+  });
+  site::SiteOptions parallel_options;
+  parallel_options.pool = &pool;
+  const double parallel_ms = best_of_ms([&] {
+    auto built = site::build_site(repo, parallel_options);
+    benchmark::DoNotOptimize(built);
+  });
+
+  site::BuildCache cache;
+  site::BuildStats cold;
+  site::rebuild(repo, cache, {}, &cold);
+  site::BuildStats incremental;
+  site::rebuild(touched_repo(repo), cache, {}, &incremental);
+
+  std::printf(
+      "{\"bench\":\"sitegen\",\"pages\":%zu,\"serial_ms\":%.3f,"
+      "\"parallel_ms\":%.3f,\"threads\":%u,\"speedup\":%.2f,"
+      "\"cold_rendered\":%zu,\"incremental_rendered\":%zu,"
+      "\"rendered_reduction\":%.1f}\n",
+      pages, serial_ms, parallel_ms, threads, serial_ms / parallel_ms,
+      cold.pages_rendered, incremental.pages_rendered,
+      incremental.pages_rendered == 0
+          ? static_cast<double>(cold.pages_rendered)
+          : static_cast<double>(cold.pages_rendered) /
+                static_cast<double>(incremental.pages_rendered));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_json_summary();
+  return 0;
+}

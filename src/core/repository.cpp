@@ -33,8 +33,8 @@ Expected<Repository> Repository::load(
   std::vector<Activity> activities(paths.size());
   std::vector<Error> errors;
   std::mutex error_mutex;
-  rt::ThreadPool pool;
-  pool.parallel_for(0, paths.size(), [&](std::size_t lo, std::size_t hi) {
+  rt::default_pool().parallel_for(
+      0, paths.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       auto text = fs::read_file(paths[i]);
       if (!text) {

@@ -6,31 +6,45 @@ namespace pdcu::md {
 
 namespace strs = pdcu::strings;
 
-std::string render_html(const std::vector<Inline>& inlines) {
-  std::string out;
+void render_html_append(const std::vector<Inline>& inlines,
+                        std::string& out) {
   for (const auto& in : inlines) {
     switch (in.kind) {
       case InlineKind::kText:
-        out += strs::html_escape(in.text);
+        strs::html_escape_append(in.text, out);
         break;
       case InlineKind::kCode:
-        out += "<code>" + strs::html_escape(in.text) + "</code>";
+        out += "<code>";
+        strs::html_escape_append(in.text, out);
+        out += "</code>";
         break;
       case InlineKind::kEmph:
-        out += "<em>" + render_html(in.children) + "</em>";
+        out += "<em>";
+        render_html_append(in.children, out);
+        out += "</em>";
         break;
       case InlineKind::kStrong:
-        out += "<strong>" + render_html(in.children) + "</strong>";
+        out += "<strong>";
+        render_html_append(in.children, out);
+        out += "</strong>";
         break;
       case InlineKind::kLink:
-        out += "<a href=\"" + strs::html_escape(in.url) + "\">" +
-               render_html(in.children) + "</a>";
+        out += "<a href=\"";
+        strs::html_escape_append(in.url, out);
+        out += "\">";
+        render_html_append(in.children, out);
+        out += "</a>";
         break;
       case InlineKind::kSoftBreak:
-        out += "\n";
+        out += '\n';
         break;
     }
   }
+}
+
+std::string render_html(const std::vector<Inline>& inlines) {
+  std::string out;
+  render_html_append(inlines, out);
   return out;
 }
 
@@ -42,12 +56,21 @@ void render_block(const Block& block, std::string& out) {
       for (const auto& child : block.children) render_block(child, out);
       break;
     case BlockKind::kHeading: {
-      std::string tag = "h" + std::to_string(block.heading_level);
-      out += "<" + tag + ">" + render_html(block.inlines) + "</" + tag + ">\n";
+      // Heading levels are 1..6, so the tag digit is a single character.
+      const char digit = static_cast<char>('0' + block.heading_level);
+      out += "<h";
+      out += digit;
+      out += '>';
+      render_html_append(block.inlines, out);
+      out += "</h";
+      out += digit;
+      out += ">\n";
       break;
     }
     case BlockKind::kParagraph:
-      out += "<p>" + render_html(block.inlines) + "</p>\n";
+      out += "<p>";
+      render_html_append(block.inlines, out);
+      out += "</p>\n";
       break;
     case BlockKind::kHorizontalRule:
       out += "<hr>\n";
@@ -55,9 +78,13 @@ void render_block(const Block& block, std::string& out) {
     case BlockKind::kCodeBlock:
       out += "<pre><code";
       if (!block.info.empty()) {
-        out += " class=\"language-" + strs::html_escape(block.info) + "\"";
+        out += " class=\"language-";
+        strs::html_escape_append(block.info, out);
+        out += '"';
       }
-      out += ">" + strs::html_escape(block.literal) + "</code></pre>\n";
+      out += '>';
+      strs::html_escape_append(block.literal, out);
+      out += "</code></pre>\n";
       break;
     case BlockKind::kBlockQuote:
       out += "<blockquote>\n";
@@ -66,10 +93,13 @@ void render_block(const Block& block, std::string& out) {
       break;
     case BlockKind::kList: {
       if (block.ordered) {
-        out += block.list_start == 1
-                   ? std::string("<ol>\n")
-                   : "<ol start=\"" + std::to_string(block.list_start) +
-                         "\">\n";
+        if (block.list_start == 1) {
+          out += "<ol>\n";
+        } else {
+          out += "<ol start=\"";
+          out += std::to_string(block.list_start);
+          out += "\">\n";
+        }
       } else {
         out += "<ul>\n";
       }
@@ -82,9 +112,9 @@ void render_block(const Block& block, std::string& out) {
       out += "<li>";
       if (block.children.size() == 1 &&
           block.children[0].kind == BlockKind::kParagraph) {
-        out += render_html(block.children[0].inlines);
+        render_html_append(block.children[0].inlines, out);
       } else {
-        out += "\n";
+        out += '\n';
         for (const auto& child : block.children) render_block(child, out);
       }
       out += "</li>\n";
@@ -94,6 +124,10 @@ void render_block(const Block& block, std::string& out) {
 }
 
 }  // namespace
+
+void render_html_append(const Block& block, std::string& out) {
+  render_block(block, out);
+}
 
 std::string render_html(const Block& block) {
   std::string out;

@@ -15,4 +15,10 @@ std::string render_html(const Block& block);
 /// Renders a sequence of inlines to HTML (no surrounding element).
 std::string render_html(const std::vector<Inline>& inlines);
 
+/// Append-style variants: render into a caller-owned (ideally reserved)
+/// buffer. These are the site generator's hot path — one buffer per page,
+/// no intermediate concatenation temporaries.
+void render_html_append(const Block& block, std::string& out);
+void render_html_append(const std::vector<Inline>& inlines, std::string& out);
+
 }  // namespace pdcu::md

@@ -166,4 +166,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// The shared, process-lifetime pool (hardware_concurrency workers,
+/// created on first use). Modules that need parallelism but have no
+/// caller-provided pool — the site builder, the search indexer, the
+/// repository loader, the server's connection layer — share this instance
+/// instead of constructing a private pool per call. Tasks running on the
+/// pool must not block on nested parallel_for/submit against the same
+/// pool (they would occupy the very workers they wait for).
+ThreadPool& default_pool();
+
 }  // namespace pdcu::rt

@@ -41,4 +41,9 @@ void ThreadPool::parallel_for(
   for (auto& future : futures) future.get();
 }
 
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
 }  // namespace pdcu::rt

@@ -40,6 +40,11 @@ class Router {
   /// pointee must outlive the router (HttpServer passes its own metrics).
   void set_metrics(const ServerMetrics* metrics) { metrics_ = metrics; }
 
+  /// Attaches the stats of the build that produced the served site;
+  /// /metrics then appends the pdcu_build_* gauges (pages rendered vs.
+  /// reused, per-phase wall times) to the serving counters.
+  void set_build_stats(const site::BuildStats& stats) { build_stats_ = stats; }
+
   /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
   /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
@@ -54,6 +59,7 @@ class Router {
   search::SearchIndex index_;
   tax::TermIndex taxonomy_;
   const ServerMetrics* metrics_ = nullptr;
+  std::optional<site::BuildStats> build_stats_;
 };
 
 }  // namespace pdcu::server

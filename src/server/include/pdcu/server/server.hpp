@@ -26,7 +26,7 @@ namespace pdcu::server {
 struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 8080;  ///< 0 picks an ephemeral port (see port())
-  unsigned threads = 0;       ///< 0 = hardware_concurrency
+  unsigned threads = 0;  ///< 0 = share rt::default_pool(); else private pool
   unsigned max_connections = 128;  ///< concurrent; excess answered with 503
   std::chrono::milliseconds read_timeout{5000};  ///< per request head
   std::size_t max_request_bytes = kDefaultMaxRequestBytes;
@@ -78,7 +78,10 @@ class HttpServer {
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<unsigned> active_connections_{0};
-  std::unique_ptr<rt::ThreadPool> pool_;
+  /// Connections run on the shared rt::default_pool() unless
+  /// options.threads asks for a private, explicitly-sized pool.
+  rt::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<rt::ThreadPool> owned_pool_;
   std::thread accept_thread_;
 };
 

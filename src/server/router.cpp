@@ -107,7 +107,9 @@ Response Router::handle(const Request& request) const {
     if (metrics_ == nullptr) {
       return plain_response(404, "404 metrics not enabled\n");
     }
-    return plain_response(200, metrics_->render_text());
+    std::string text = metrics_->render_text();
+    if (build_stats_.has_value()) text += build_stats_->render_text();
+    return plain_response(200, text);
   }
   if (path == "/api/search") {
     return handle_search(request);

@@ -93,9 +93,12 @@ Status HttpServer::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   bound_port_ = ntohs(bound.sin_port);
 
-  pool_ = std::make_unique<rt::ThreadPool>(
-      options_.threads == 0 ? std::thread::hardware_concurrency()
-                            : options_.threads);
+  if (options_.threads == 0) {
+    pool_ = &rt::default_pool();
+  } else {
+    owned_pool_ = std::make_unique<rt::ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
 
@@ -113,7 +116,15 @@ Status HttpServer::start() {
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   if (accept_thread_.joinable()) accept_thread_.join();
-  pool_.reset();  // drains in-flight connections, then joins the workers
+  // Drain in-flight connections. The pool may be the shared default pool,
+  // so it cannot be torn down to force the drain; handle_connection exits
+  // promptly once running_ is false, and the counter reaches zero only
+  // after every submitted connection task has finished.
+  while (active_connections_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  owned_pool_.reset();
+  pool_ = nullptr;
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -165,7 +176,9 @@ void HttpServer::accept_loop() {
     active_connections_.fetch_add(1, std::memory_order_relaxed);
     pool_->submit([this, fd] {
       handle_connection(fd);
-      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      // Release pairs with the acquire drain loop in stop(): once the
+      // counter reads zero there, every connection's effects are visible.
+      active_connections_.fetch_sub(1, std::memory_order_release);
     });
   }
 }

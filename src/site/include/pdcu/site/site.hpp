@@ -2,10 +2,21 @@
 // Renders the repository to a set of HTML pages: an index, one page per
 // activity (Fig. 3 header + body), one listing page per taxonomy term, and
 // the four views of §II.C.
+//
+// Generation runs as a three-phase pipeline:
+//   parse    — serialize activities and fingerprint every page's inputs
+//   render   — render pages (independently, in parallel when a pool is
+//              given) into pre-sized slots, so the page order — and every
+//              byte — matches the serial build exactly
+//   assemble — move reused pages in, refresh the cache, rebuild the index
+// A BuildCache carried across builds turns the render phase incremental:
+// only pages whose input fingerprints changed are re-rendered, the rest
+// are reused by move.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -14,6 +25,11 @@
 
 #include "pdcu/core/repository.hpp"
 #include "pdcu/support/expected.hpp"
+
+namespace pdcu::rt {
+class ThreadPool;
+class TraceLog;
+}  // namespace pdcu::rt
 
 namespace pdcu::site {
 
@@ -28,9 +44,12 @@ struct Site {
   std::vector<Page> pages;
   std::chrono::microseconds build_time{0};
 
-  /// O(1) lookup by site-relative path once reindex() has run (build_site
-  /// does); falls back to a linear scan while the index is stale, so
-  /// hand-assembled or freshly-appended Sites still resolve correctly.
+  /// Lookup by site-relative path: O(1) for present pages once reindex()
+  /// has run (build_site does). The index is trusted only while it
+  /// provably matches `pages` — the sizes agree and the hit's stored path
+  /// still matches — so a Site mutated after reindex() (append, rename,
+  /// reorder) falls back to a linear scan instead of returning the wrong
+  /// page.
   const Page* find(std::string_view path) const;
 
   /// Rebuilds the path index over the current `pages`.
@@ -57,10 +76,76 @@ struct SiteOptions {
   std::string base_title = "PDCunplugged";
   bool include_views = true;       ///< CS2013/TCPP/Courses/Accessibility views
   bool include_term_pages = true;  ///< one listing page per term
+  /// Pages render as independent tasks on this pool; nullptr renders
+  /// serially. Output is byte-identical either way (same pages, same
+  /// order), so callers pick purely on latency: pass &rt::default_pool()
+  /// unless determinism needs to be *demonstrated* against a serial run.
+  rt::ThreadPool* pool = nullptr;
+  /// Build lifecycle narration (page counts, reuse, per-phase times)
+  /// lands here when set.
+  rt::TraceLog* trace = nullptr;
 };
 
-/// Builds the whole site in memory.
-Site build_site(const core::Repository& repo, const SiteOptions& options = {});
+/// What one build did: page totals split into rendered vs. reused (cache
+/// hits), and wall time per pipeline phase.
+struct BuildStats {
+  std::size_t pages_total = 0;
+  std::size_t pages_rendered = 0;
+  std::size_t pages_reused = 0;
+  std::chrono::microseconds parse_time{0};     ///< serialize + fingerprint
+  std::chrono::microseconds render_time{0};    ///< render / reuse pages
+  std::chrono::microseconds assemble_time{0};  ///< cache refresh + reindex
+
+  /// One-line human summary, e.g.
+  /// "218 pages (2 rendered, 216 reused) in 1234 us [parse 210, render
+  /// 980, assemble 44]".
+  std::string summary() const;
+
+  /// /metrics exposition lines (pdcu_build_* gauges), same format as
+  /// server::ServerMetrics::render_text().
+  std::string render_text() const;
+};
+
+/// Input fingerprints and rendered pages carried from one build to the
+/// next. Feed the same cache to successive rebuild() calls; pages whose
+/// inputs are unchanged are reused by move instead of re-rendered.
+class BuildCache {
+ public:
+  /// One cached page: the fingerprint of its inputs and the rendered
+  /// bytes. rebuild() moves the html out on a hit and refills the cache
+  /// from the finished build.
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::string html;
+  };
+  using Map = std::unordered_map<std::string, Entry>;
+
+  bool empty() const { return pages_.empty(); }
+  std::size_t size() const { return pages_.size(); }
+  void clear() { pages_.clear(); }
+
+ private:
+  Map pages_;
+
+  friend Site rebuild(const core::Repository& repo, BuildCache& cache,
+                      const SiteOptions& options, BuildStats* stats);
+};
+
+/// Builds the whole site in memory. With `options.pool`, pages render in
+/// parallel; the result is byte-identical to the serial build.
+Site build_site(const core::Repository& repo, const SiteOptions& options = {},
+                BuildStats* stats = nullptr);
+
+/// Incremental build: renders only pages whose input fingerprints differ
+/// from `cache`, reuses the rest by moving them out of the cache, and
+/// leaves the cache holding the new build. A cold cache degenerates to
+/// build_site(); the produced Site is identical to a cold full build
+/// either way.
+Site rebuild(const core::Repository& repo, BuildCache& cache,
+             const SiteOptions& options = {}, BuildStats* stats = nullptr);
+
+/// Writes an already-built site's pages under `out_dir`.
+Status write_pages(const Site& site, const std::filesystem::path& out_dir);
 
 /// Builds and writes the site under `out_dir`.
 Expected<Site> write_site(const core::Repository& repo,

@@ -1,6 +1,9 @@
 #include "pdcu/site/site.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <utility>
 
 #include "pdcu/core/activity_io.hpp"
 #include "pdcu/core/views.hpp"
@@ -8,7 +11,10 @@
 #include "pdcu/markdown/frontmatter.hpp"
 #include "pdcu/markdown/html.hpp"
 #include "pdcu/markdown/parser.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
+#include "pdcu/runtime/trace.hpp"
 #include "pdcu/support/fs.hpp"
+#include "pdcu/support/hash.hpp"
 #include "pdcu/support/slug.hpp"
 #include "pdcu/support/strings.hpp"
 #include "pdcu/taxonomy/chips.hpp"
@@ -23,10 +29,14 @@ namespace {
 std::string layout(std::string_view site_title, std::string_view page_title,
                    std::string_view body) {
   std::string out;
+  out.reserve(body.size() + page_title.size() + site_title.size() + 320);
   out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
   out += "<meta charset=\"utf-8\">\n";
-  out += "<title>" + strs::html_escape(page_title) + " | " +
-         strs::html_escape(site_title) + "</title>\n";
+  out += "<title>";
+  strs::html_escape_append(page_title, out);
+  out += " | ";
+  strs::html_escape_append(site_title, out);
+  out += "</title>\n";
   out += "<style>.chip{color:#fff;padding:2px 6px;border-radius:4px;"
          "margin-right:4px;text-decoration:none;font-size:0.85em}</style>\n";
   out += "</head>\n<body>\n";
@@ -66,14 +76,347 @@ std::string activities_list_html(const std::vector<tax::PageRef>& pages) {
   return out;
 }
 
+/// The activity body from a precomputed canonical serialization (the parse
+/// phase serializes every activity once; fingerprints and rendering share
+/// the bytes).
+std::string render_activity_page_from(const core::Activity& activity,
+                                      const std::string& serialized) {
+  std::string body = render_activity_header(activity);
+  auto split = md::parse_content(serialized);
+  if (split) {
+    const std::string& markdown = split.value().body;
+    // HTML is the Markdown text plus tags: ~5/4 of the source plus slack
+    // covers typical expansion, so the append path rarely reallocates.
+    body.reserve(body.size() + markdown.size() + markdown.size() / 4 + 512);
+    md::render_html_append(md::parse_markdown(markdown), body);
+  }
+  return body;
+}
+
+/// Streaming FNV-1a with a field separator, so ("ab","c") and ("a","bc")
+/// fingerprint differently.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::string_view bytes) {
+    state_ = hash::fnv1a_64_update(state_, bytes);
+    state_ = hash::fnv1a_64_update(state_, std::string_view("\x1f", 1));
+    return *this;
+  }
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = hash::kFnv1aInit;
+};
+
+/// One planned page: where it goes, a fingerprint of everything its bytes
+/// depend on, and how to produce those bytes if the fingerprint is new.
+struct PageJob {
+  std::string path;
+  std::uint64_t fingerprint = 0;
+  std::function<std::string()> render;
+};
+
+/// The static search shell (only functional when served by pdcu::server;
+/// the static export degrades to a visible hint).
+std::string search_page_body() {
+  return
+      "<h1>Search</h1>\n"
+      "<form id=\"search-form\">\n"
+      "<input id=\"search-q\" type=\"search\" name=\"q\" "
+      "placeholder=\"e.g. message passing cs2013:PD-Communication\" "
+      "autofocus>\n"
+      "<button type=\"submit\">Search</button>\n"
+      "</form>\n"
+      "<p class=\"hint\">Free text plus filters: <code>cs2013:</code> "
+      "<code>tcpp:</code> <code>course:</code> <code>sense:</code></p>\n"
+      "<div id=\"search-results\"></div>\n"
+      "<script>\n"
+      "const form = document.getElementById('search-form');\n"
+      "const out = document.getElementById('search-results');\n"
+      "form.addEventListener('submit', async (e) => {\n"
+      "  e.preventDefault();\n"
+      "  const q = document.getElementById('search-q').value;\n"
+      "  if (!q.trim()) return;\n"
+      "  try {\n"
+      "    const r = await fetch('/api/search?q=' + "
+      "encodeURIComponent(q) + '&limit=20');\n"
+      "    const data = await r.json();\n"
+      "    out.innerHTML = data.hits && data.hits.length\n"
+      "      ? data.hits.map(h => `<div class=\"hit\"><a href=\"${h.url}\">"
+      "${h.title}</a> <small>${h.score.toFixed(2)}</small>"
+      "<p>${h.snippet}</p></div>`).join('')\n"
+      "      : '<p>No results.</p>';\n"
+      "  } catch (err) {\n"
+      "    out.innerHTML = '<p>Search needs the pdcu server "
+      "(<code>pdcu serve</code>).</p>';\n"
+      "  }\n"
+      "});\n"
+      "</script>\n";
+}
+
+/// Plans every page of the site, in the fixed output order: index,
+/// activities, term pages, views, search, catalog. Each job's fingerprint
+/// covers exactly the inputs its bytes depend on, so body-only edits leave
+/// term/view pages untouched while title or membership changes invalidate
+/// them.
+std::vector<PageJob> plan_jobs(const core::Repository& repo,
+                               const SiteOptions& options,
+                               const std::vector<std::string>& serialized) {
+  const auto& activities = repo.activities();
+  std::vector<PageJob> jobs;
+  jobs.reserve(activities.size() + 256);
+
+  Fingerprint opts_fp;
+  opts_fp.mix(options.base_title);
+
+  // Index page: all activities, newest first (Hugo default ordering).
+  {
+    std::vector<const core::Activity*> sorted;
+    sorted.reserve(activities.size());
+    for (const auto& a : activities) sorted.push_back(&a);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const core::Activity* x, const core::Activity* y) {
+                       return y->date < x->date;
+                     });
+    Fingerprint fp = opts_fp;
+    for (const auto* a : sorted) {
+      fp.mix(a->slug).mix(a->title).mix(a->date.to_string());
+    }
+    jobs.push_back(
+        {"index.html", fp.value(), [sorted = std::move(sorted), &options] {
+           std::string body = "<h1>" + options.base_title + "</h1>\n<ul>\n";
+           for (const auto* a : sorted) {
+             body += "<li><a href=\"/activities/" + a->slug + "/\">" +
+                     strs::html_escape(a->title) + "</a></li>\n";
+           }
+           body += "</ul>\n";
+           return layout(options.base_title, "Activities", body);
+         }});
+  }
+
+  // One page per activity. The canonical serialization covers every input
+  // of the page body (title, tags, date, all sections).
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const core::Activity* activity = &activities[i];
+    const std::string* text = &serialized[i];
+    Fingerprint fp = opts_fp;
+    fp.mix(*text);
+    jobs.push_back({"activities/" + activity->slug + "/index.html",
+                    fp.value(), [activity, text, &options] {
+                      return layout(options.base_title, activity->title,
+                                    render_activity_page_from(*activity,
+                                                              *text));
+                    }});
+  }
+
+  // One listing page per (taxonomy, term); inputs are the term's
+  // membership (slugs and titles, in order).
+  if (options.include_term_pages) {
+    for (const auto& taxonomy : config().all()) {
+      for (const auto& term : repo.index().terms(taxonomy.key)) {
+        Fingerprint fp = opts_fp;
+        fp.mix(taxonomy.key).mix(taxonomy.display_name).mix(term);
+        for (const auto& page : repo.index().pages(taxonomy.key, term)) {
+          fp.mix(page.slug).mix(page.title);
+        }
+        jobs.push_back(
+            {taxonomy.key + "/" + slugify(term) + "/index.html", fp.value(),
+             [&taxonomy, term, &repo, &options] {
+               std::string body = "<h1>" + taxonomy.display_name + ": " +
+                                  strs::html_escape(term) + "</h1>\n";
+               body += activities_list_html(
+                   repo.index().pages(taxonomy.key, term));
+               return layout(options.base_title, term, body);
+             }});
+      }
+    }
+  }
+
+  // The four views of §II.C. Their bytes depend on every activity's
+  // identity and tags (membership per outcome/topic/course/sense) but not
+  // on body prose, so body edits never invalidate them.
+  if (options.include_views) {
+    Fingerprint tags_fp = opts_fp;
+    for (const auto& a : activities) {
+      tags_fp.mix(a.slug).mix(a.title);
+      for (const auto& [key, terms] : a.tags()) {
+        tags_fp.mix(key);
+        for (const auto& term : terms) tags_fp.mix(term);
+      }
+    }
+    const auto view_fp = [&tags_fp](std::string_view name) {
+      Fingerprint fp = tags_fp;
+      fp.mix(name);
+      return fp.value();
+    };
+    jobs.push_back({"views/cs2013/index.html", view_fp("cs2013"),
+                    [&repo, &options] {
+                      std::string body = "<h1>CS2013 View</h1>\n";
+                      for (const auto& entry : core::cs2013_view(repo)) {
+                        body += "<h3>[" + entry.detail_term + "] " +
+                                strs::html_escape(entry.outcome_text) +
+                                "</h3>\n";
+                        body += activities_list_html(entry.activities);
+                      }
+                      return layout(options.base_title, "CS2013 View", body);
+                    }});
+    jobs.push_back(
+        {"views/tcpp/index.html", view_fp("tcpp"), [&repo, &options] {
+           std::string body = "<h1>TCPP View</h1>\n";
+           for (const auto& entry : core::tcpp_view(repo)) {
+             body += "<h3>[" + entry.detail_term + "] " +
+                     strs::html_escape(entry.description) + "</h3>\n";
+             body += "<p>Recommended courses: " +
+                     strs::html_escape(
+                         strs::join(entry.recommended_courses, ", ")) +
+                     "</p>\n";
+             body += activities_list_html(entry.activities);
+           }
+           return layout(options.base_title, "TCPP View", body);
+         }});
+    jobs.push_back(
+        {"views/courses/index.html", view_fp("courses"), [&repo, &options] {
+           std::string body = "<h1>Courses View</h1>\n";
+           for (const auto& entry : core::courses_view(repo)) {
+             body += "<h3>" + entry.display_name + "</h3>\n";
+             body += activities_list_html(entry.activities);
+           }
+           return layout(options.base_title, "Courses View", body);
+         }});
+    jobs.push_back({"views/accessibility/index.html",
+                    view_fp("accessibility"), [&repo, &options] {
+                      std::string body = "<h1>Accessibility View</h1>\n";
+                      for (const auto& entry :
+                           core::accessibility_view(repo)) {
+                        body += "<h3>" + entry.kind + ": " + entry.term +
+                                "</h3>\n";
+                        body += activities_list_html(entry.activities);
+                      }
+                      return layout(options.base_title,
+                                    "Accessibility View", body);
+                    }});
+  }
+
+  // Interactive search page: static shell over the live /api/search
+  // endpoint — only the site title feeds its bytes.
+  jobs.push_back({"search/index.html", opts_fp.value(), [&options] {
+                    return layout(options.base_title, "Search",
+                                  search_page_body());
+                  }});
+
+  // Machine-readable catalog alongside the HTML pages. Its bytes cover
+  // the full content of every activity plus derived coverage stats, all
+  // of which the serializations capture.
+  {
+    Fingerprint fp;
+    for (const auto& text : serialized) fp.mix(text);
+    jobs.push_back({"index.json", fp.value(),
+                    [&repo] { return render_json_catalog(repo); }});
+  }
+
+  return jobs;
+}
+
+/// The shared build pipeline. `cache_pages` is null for a from-scratch
+/// build; with a cache, fingerprint hits reuse the cached bytes by move
+/// and the cache is refilled from the finished build.
+Site build_pipeline(const core::Repository& repo, const SiteOptions& options,
+                    BuildCache::Map* cache_pages, BuildStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& activities = repo.activities();
+
+  // --- parse: serialize every activity, then fingerprint and plan ------
+  std::vector<std::string> serialized(activities.size());
+  const auto serialize_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      serialized[i] = core::write_activity(activities[i]);
+    }
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, activities.size(), serialize_block);
+  } else {
+    serialize_block(0, activities.size());
+  }
+  std::vector<PageJob> jobs = plan_jobs(repo, options, serialized);
+  const auto parsed = std::chrono::steady_clock::now();
+
+  // --- render: each page is an independent task writing its own slot, so
+  // the page order (and every byte) matches the serial build exactly ----
+  Site site;
+  site.pages.resize(jobs.size());
+  std::atomic<std::size_t> reused{0};
+  const auto render_block = [&](std::size_t lo, std::size_t hi) {
+    std::size_t block_reused = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      PageJob& job = jobs[i];
+      site.pages[i].path = job.path;
+      if (cache_pages != nullptr) {
+        // Distinct tasks touch distinct map entries and nothing inserts
+        // or erases during the render phase, so no synchronization is
+        // needed around the moves.
+        const auto it = cache_pages->find(job.path);
+        if (it != cache_pages->end() &&
+            it->second.fingerprint == job.fingerprint) {
+          site.pages[i].html = std::move(it->second.html);
+          ++block_reused;
+          continue;
+        }
+      }
+      site.pages[i].html = job.render();
+    }
+    reused.fetch_add(block_reused, std::memory_order_relaxed);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, jobs.size(), render_block);
+  } else {
+    render_block(0, jobs.size());
+  }
+  const auto rendered = std::chrono::steady_clock::now();
+
+  // --- assemble: refill the cache from this build, index the pages -----
+  if (cache_pages != nullptr) {
+    cache_pages->clear();
+    cache_pages->reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      (*cache_pages)[site.pages[i].path] =
+          BuildCache::Entry{jobs[i].fingerprint, site.pages[i].html};
+    }
+  }
+  site.reindex();
+  const auto done = std::chrono::steady_clock::now();
+  site.build_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(done - start);
+
+  BuildStats result;
+  result.pages_total = site.pages.size();
+  result.pages_reused = reused.load(std::memory_order_relaxed);
+  result.pages_rendered = result.pages_total - result.pages_reused;
+  result.parse_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(parsed - start);
+  result.render_time = std::chrono::duration_cast<std::chrono::microseconds>(
+      rendered - parsed);
+  result.assemble_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(done - rendered);
+  if (options.trace != nullptr) {
+    options.trace->narrate("site: " + result.summary());
+  }
+  if (stats != nullptr) *stats = result;
+  return site;
+}
+
 }  // namespace
 
 const Page* Site::find(std::string_view path) const {
-  // The index is only trusted while it matches pages exactly; any append
-  // since the last reindex() drops us back to the scan.
+  // The index is trusted only when it provably matches `pages`: the sizes
+  // agree and the hit's stored path still matches. A Site mutated since
+  // the last reindex() — appended, renamed, reordered — drops to the scan
+  // instead of returning the wrong page; genuine misses scan too, since a
+  // same-size mutation can hide a page the stale index never saw.
   if (index_.size() == pages.size()) {
     const auto it = index_.find(path);
-    return it == index_.end() ? nullptr : &pages[it->second];
+    if (it != index_.end() && pages[it->second].path == path) {
+      return &pages[it->second];
+    }
   }
   for (const auto& page : pages) {
     if (page.path == path) return &page;
@@ -102,6 +445,33 @@ std::string_view content_type_for(std::string_view path) {
   return "application/octet-stream";
 }
 
+std::string BuildStats::summary() const {
+  std::string out = std::to_string(pages_total) + " pages (" +
+                    std::to_string(pages_rendered) + " rendered, " +
+                    std::to_string(pages_reused) + " reused) in " +
+                    std::to_string((parse_time + render_time + assemble_time)
+                                       .count()) +
+                    " us [parse " + std::to_string(parse_time.count()) +
+                    ", render " + std::to_string(render_time.count()) +
+                    ", assemble " + std::to_string(assemble_time.count()) +
+                    "]";
+  return out;
+}
+
+std::string BuildStats::render_text() const {
+  std::string out;
+  out += "pdcu_build_pages_total " + std::to_string(pages_total) + "\n";
+  out += "pdcu_build_pages_rendered " + std::to_string(pages_rendered) + "\n";
+  out += "pdcu_build_pages_reused " + std::to_string(pages_reused) + "\n";
+  out += "pdcu_build_phase_us{phase=\"parse\"} " +
+         std::to_string(parse_time.count()) + "\n";
+  out += "pdcu_build_phase_us{phase=\"render\"} " +
+         std::to_string(render_time.count()) + "\n";
+  out += "pdcu_build_phase_us{phase=\"assemble\"} " +
+         std::to_string(assemble_time.count()) + "\n";
+  return out;
+}
+
 std::string render_activity_header(const core::Activity& activity) {
   std::string body = "<h1>" + strs::html_escape(activity.title) + "</h1>\n";
   body += "<div class=\"tags\">\n" + chips_for(activity, /*ansi=*/false) +
@@ -114,167 +484,36 @@ std::string render_activity_header_ansi(const core::Activity& activity) {
 }
 
 std::string render_activity_page(const core::Activity& activity) {
-  std::string body = render_activity_header(activity);
   // The body sections come from the canonical Markdown serialization, so a
   // page looks identical whether the activity was loaded from disk or from
   // the built-in curation.
-  auto split = md::parse_content(core::write_activity(activity));
-  if (split) {
-    body += md::render_html(md::parse_markdown(split.value().body));
-  }
-  return body;
+  return render_activity_page_from(activity, core::write_activity(activity));
 }
 
-Site build_site(const core::Repository& repo, const SiteOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  Site site;
+Site build_site(const core::Repository& repo, const SiteOptions& options,
+                BuildStats* stats) {
+  return build_pipeline(repo, options, nullptr, stats);
+}
 
-  // Index page: all activities, newest first (Hugo default ordering).
-  {
-    std::vector<const core::Activity*> sorted;
-    for (const auto& a : repo.activities()) sorted.push_back(&a);
-    std::stable_sort(sorted.begin(), sorted.end(),
-                     [](const core::Activity* x, const core::Activity* y) {
-                       return y->date < x->date;
-                     });
-    std::string body = "<h1>" + options.base_title + "</h1>\n<ul>\n";
-    for (const auto* a : sorted) {
-      body += "<li><a href=\"/activities/" + a->slug + "/\">" +
-              strs::html_escape(a->title) + "</a></li>\n";
-    }
-    body += "</ul>\n";
-    site.pages.push_back(
-        {"index.html", layout(options.base_title, "Activities", body)});
+Site rebuild(const core::Repository& repo, BuildCache& cache,
+             const SiteOptions& options, BuildStats* stats) {
+  return build_pipeline(repo, options, &cache.pages_, stats);
+}
+
+Status write_pages(const Site& site, const std::filesystem::path& out_dir) {
+  for (const auto& page : site.pages) {
+    auto status = fs::write_file(out_dir / page.path, page.html);
+    if (!status) return status;
   }
-
-  // One page per activity.
-  for (const auto& activity : repo.activities()) {
-    site.pages.push_back({"activities/" + activity.slug + "/index.html",
-                          layout(options.base_title, activity.title,
-                                 render_activity_page(activity))});
-  }
-
-  // One listing page per (taxonomy, term).
-  if (options.include_term_pages) {
-    for (const auto& taxonomy : config().all()) {
-      for (const auto& term : repo.index().terms(taxonomy.key)) {
-        std::string body = "<h1>" + taxonomy.display_name + ": " +
-                           strs::html_escape(term) + "</h1>\n";
-        body += activities_list_html(repo.index().pages(taxonomy.key, term));
-        site.pages.push_back(
-            {taxonomy.key + "/" + slugify(term) + "/index.html",
-             layout(options.base_title, term, body)});
-      }
-    }
-  }
-
-  // The four views of §II.C.
-  if (options.include_views) {
-    {
-      std::string body = "<h1>CS2013 View</h1>\n";
-      for (const auto& entry : core::cs2013_view(repo)) {
-        body += "<h3>[" + entry.detail_term + "] " +
-                strs::html_escape(entry.outcome_text) + "</h3>\n";
-        body += activities_list_html(entry.activities);
-      }
-      site.pages.push_back(
-          {"views/cs2013/index.html",
-           layout(options.base_title, "CS2013 View", body)});
-    }
-    {
-      std::string body = "<h1>TCPP View</h1>\n";
-      for (const auto& entry : core::tcpp_view(repo)) {
-        body += "<h3>[" + entry.detail_term + "] " +
-                strs::html_escape(entry.description) + "</h3>\n";
-        body += "<p>Recommended courses: " +
-                strs::html_escape(strs::join(entry.recommended_courses,
-                                             ", ")) +
-                "</p>\n";
-        body += activities_list_html(entry.activities);
-      }
-      site.pages.push_back({"views/tcpp/index.html",
-                            layout(options.base_title, "TCPP View", body)});
-    }
-    {
-      std::string body = "<h1>Courses View</h1>\n";
-      for (const auto& entry : core::courses_view(repo)) {
-        body += "<h3>" + entry.display_name + "</h3>\n";
-        body += activities_list_html(entry.activities);
-      }
-      site.pages.push_back(
-          {"views/courses/index.html",
-           layout(options.base_title, "Courses View", body)});
-    }
-    {
-      std::string body = "<h1>Accessibility View</h1>\n";
-      for (const auto& entry : core::accessibility_view(repo)) {
-        body += "<h3>" + entry.kind + ": " + entry.term + "</h3>\n";
-        body += activities_list_html(entry.activities);
-      }
-      site.pages.push_back(
-          {"views/accessibility/index.html",
-           layout(options.base_title, "Accessibility View", body)});
-    }
-  }
-
-  // Interactive search page: a static shell over the live /api/search
-  // endpoint (only functional when served by pdcu::server; the static
-  // export degrades to a visible hint).
-  {
-    std::string body =
-        "<h1>Search</h1>\n"
-        "<form id=\"search-form\">\n"
-        "<input id=\"search-q\" type=\"search\" name=\"q\" "
-        "placeholder=\"e.g. message passing cs2013:PD-Communication\" "
-        "autofocus>\n"
-        "<button type=\"submit\">Search</button>\n"
-        "</form>\n"
-        "<p class=\"hint\">Free text plus filters: <code>cs2013:</code> "
-        "<code>tcpp:</code> <code>course:</code> <code>sense:</code></p>\n"
-        "<div id=\"search-results\"></div>\n"
-        "<script>\n"
-        "const form = document.getElementById('search-form');\n"
-        "const out = document.getElementById('search-results');\n"
-        "form.addEventListener('submit', async (e) => {\n"
-        "  e.preventDefault();\n"
-        "  const q = document.getElementById('search-q').value;\n"
-        "  if (!q.trim()) return;\n"
-        "  try {\n"
-        "    const r = await fetch('/api/search?q=' + "
-        "encodeURIComponent(q) + '&limit=20');\n"
-        "    const data = await r.json();\n"
-        "    out.innerHTML = data.hits && data.hits.length\n"
-        "      ? data.hits.map(h => `<div class=\"hit\"><a href=\"${h.url}\">"
-        "${h.title}</a> <small>${h.score.toFixed(2)}</small>"
-        "<p>${h.snippet}</p></div>`).join('')\n"
-        "      : '<p>No results.</p>';\n"
-        "  } catch (err) {\n"
-        "    out.innerHTML = '<p>Search needs the pdcu server "
-        "(<code>pdcu serve</code>).</p>';\n"
-        "  }\n"
-        "});\n"
-        "</script>\n";
-    site.pages.push_back(
-        {"search/index.html", layout(options.base_title, "Search", body)});
-  }
-
-  // Machine-readable catalog alongside the HTML pages.
-  site.pages.push_back({"index.json", render_json_catalog(repo)});
-
-  site.reindex();
-  site.build_time = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - start);
-  return site;
+  return Status::ok();
 }
 
 Expected<Site> write_site(const core::Repository& repo,
                           const std::filesystem::path& out_dir,
                           const SiteOptions& options) {
   Site site = build_site(repo, options);
-  for (const auto& page : site.pages) {
-    auto status = fs::write_file(out_dir / page.path, page.html);
-    if (!status) return status.error();
-  }
+  auto status = write_pages(site, out_dir);
+  if (!status) return status.error();
   return site;
 }
 

@@ -51,6 +51,10 @@ std::vector<std::string> word_wrap(std::string_view text, std::size_t width);
 /// Escapes &, <, >, and " for HTML attribute/text contexts.
 std::string html_escape(std::string_view s);
 
+/// Appends the escaped form of `s` to `out` without intermediate
+/// allocations — the render hot path escapes into one reserved buffer.
+void html_escape_append(std::string_view s, std::string& out);
+
 /// Formats a ratio as a percentage with two decimals, e.g. 0.8333 -> "83.33%".
 /// This matches the formatting used in the paper's Tables I and II.
 std::string percent(double numerator, double denominator);

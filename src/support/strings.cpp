@@ -169,16 +169,26 @@ std::vector<std::string> word_wrap(std::string_view text, std::size_t width) {
 std::string html_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
+  html_escape_append(s, out);
+  return out;
+}
+
+void html_escape_append(std::string_view s, std::string& out) {
+  // Copy clean runs in bulk; most text contains no escapable characters.
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '&' && c != '<' && c != '>' && c != '"') continue;
+    out.append(s, run_start, i - run_start);
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out += c;
+      default: out += "&quot;"; break;
     }
+    run_start = i + 1;
   }
-  return out;
+  out.append(s, run_start, s.size() - run_start);
 }
 
 std::string percent(double numerator, double denominator) {

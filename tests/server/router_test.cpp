@@ -141,6 +141,35 @@ TEST(Router, MetricsRequiresWiring) {
       strs::contains(response.body, "pdcu_latency_us{stat=\"min\"} 42"));
 }
 
+TEST(Router, MetricsExposeBuildStatsWhenAttached) {
+  const auto& repo = core::Repository::builtin();
+  site::BuildStats stats;
+  server::Router wired(site::build_site(repo, {}, &stats), repo);
+  server::ServerMetrics metrics;
+  wired.set_metrics(&metrics);
+
+  // Without build stats no pdcu_build_* lines appear.
+  EXPECT_FALSE(strs::contains(wired.handle(get("/metrics")).body,
+                              "pdcu_build_pages_total"));
+
+  wired.set_build_stats(stats);
+  const auto response = wired.handle(get("/metrics"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(
+      response.body,
+      "pdcu_build_pages_total " + std::to_string(stats.pages_total)));
+  EXPECT_TRUE(strs::contains(
+      response.body,
+      "pdcu_build_pages_rendered " + std::to_string(stats.pages_rendered)));
+  EXPECT_TRUE(strs::contains(response.body, "pdcu_build_pages_reused 0"));
+  EXPECT_TRUE(strs::contains(response.body,
+                             "pdcu_build_phase_us{phase=\"parse\"}"));
+  EXPECT_TRUE(strs::contains(response.body,
+                             "pdcu_build_phase_us{phase=\"render\"}"));
+  EXPECT_TRUE(strs::contains(response.body,
+                             "pdcu_build_phase_us{phase=\"assemble\"}"));
+}
+
 TEST(Router, UnknownPathIs404) {
   const auto response = router().handle(get("/no/such/page/"));
   EXPECT_EQ(response.status, 404);

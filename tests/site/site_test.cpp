@@ -142,6 +142,35 @@ TEST(Site, FindIndexSurvivesCopiesAndAppends) {
   EXPECT_EQ(copy.find("no/such/page.html"), nullptr);
 }
 
+TEST(Site, FindNeverTrustsAStaleIndexAfterRename) {
+  // Regression: a same-size mutation (rename in place) used to slip past
+  // the size check, so the stale index returned the wrong page for the old
+  // path and missed the new one entirely.
+  site::Site copy = full_site();
+  copy.pages.front().path = "renamed/index.html";
+  const auto* renamed = copy.find("renamed/index.html");
+  ASSERT_NE(renamed, nullptr);
+  EXPECT_EQ(renamed, &copy.pages.front());
+  // The old path no longer names any page, so it must not resolve — and
+  // in particular must not resolve to the renamed page.
+  EXPECT_EQ(copy.find("index.html"), nullptr);
+  copy.reindex();
+  EXPECT_EQ(copy.find("renamed/index.html"), &copy.pages.front());
+  EXPECT_EQ(copy.find("index.html"), nullptr);
+}
+
+TEST(Site, FindSurvivesReorderAfterReindex) {
+  site::Site copy = full_site();
+  ASSERT_GE(copy.pages.size(), 2u);
+  std::swap(copy.pages.front(), copy.pages.back());
+  // Stale index, same size: both paths must still resolve to the right
+  // (moved) pages via the staleness detection.
+  const auto* front = copy.find(copy.pages.front().path);
+  const auto* back = copy.find(copy.pages.back().path);
+  EXPECT_EQ(front, &copy.pages.front());
+  EXPECT_EQ(back, &copy.pages.back());
+}
+
 TEST(Site, ContentTypesFollowExtensions) {
   EXPECT_EQ(site::content_type_for("index.html"), "text/html; charset=utf-8");
   EXPECT_EQ(site::content_type_for("index.json"),

@@ -5,7 +5,10 @@
 //   pdcu show <slug>               render an activity header (Fig. 3, ANSI)
 //   pdcu new <Title>               print a pre-populated template (Fig. 1)
 //   pdcu validate [content-dir]    lint the curation (or a content dir)
-//   pdcu build <content-dir> <out> generate the HTML site
+//   pdcu build <content-dir> <out> [options]  generate the HTML site
+//        --stats (per-phase build stats), --serial (no thread pool),
+//        --incremental (prime a BuildCache, then verify an incremental
+//        rebuild reuses every unchanged page)
 //   pdcu tables                    print the paper's Tables I and II
 //   pdcu gaps                      print the coverage-gap report
 //   pdcu impact                    coverage with the proposed activities
@@ -54,6 +57,81 @@ int usage() {
   return 2;
 }
 
+int build_cmd(pdcu::core::Repository repo, int argc, char** argv) {
+  bool want_stats = false;
+  bool incremental = false;
+  bool serial = false;
+  std::string content_dir;
+  std::string out_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "build: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else if (content_dir.empty()) {
+      content_dir = arg;
+    } else if (out_dir.empty()) {
+      out_dir = arg;
+    } else {
+      std::fprintf(stderr, "build: unexpected argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (content_dir.empty() || out_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: pdcu build <content-dir> <out> "
+                 "[--stats] [--incremental] [--serial]\n");
+    return 2;
+  }
+  auto loaded = pdcu::core::Repository::load(content_dir);
+  if (loaded) repo = std::move(loaded).value();
+
+  pdcu::site::SiteOptions options;
+  if (!serial) options.pool = &pdcu::rt::default_pool();
+
+  pdcu::site::BuildStats stats;
+  pdcu::site::Site site;
+  if (incremental) {
+    // Cold build primes the cache, then an incremental rebuild runs over
+    // it — an end-to-end self-check of the fingerprint layer (unchanged
+    // inputs must reuse every page) that also shows the steady-state cost
+    // a long-lived builder would pay per change.
+    pdcu::site::BuildCache cache;
+    pdcu::site::BuildStats cold;
+    site = pdcu::site::rebuild(repo, cache, options, &cold);
+    site = pdcu::site::rebuild(repo, cache, options, &stats);
+    if (want_stats) {
+      std::printf("cold build:   %s\n", cold.summary().c_str());
+      std::printf("incremental:  %s\n", stats.summary().c_str());
+    }
+    if (stats.pages_reused != stats.pages_total) {
+      std::fprintf(stderr,
+                   "build: incremental rebuild re-rendered %zu unchanged "
+                   "pages\n",
+                   stats.pages_rendered);
+      return 1;
+    }
+  } else {
+    site = pdcu::site::build_site(repo, options, &stats);
+    if (want_stats) std::printf("build: %s\n", stats.summary().c_str());
+  }
+
+  auto status = pdcu::site::write_pages(site, out_dir);
+  if (!status) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::printf("built %zu pages in %lld us\n", site.pages.size(),
+              static_cast<long long>(site.build_time.count()));
+  return 0;
+}
+
 int search(const pdcu::core::Repository& repo, int argc, char** argv) {
   std::size_t limit = 10;
   std::string index_path;
@@ -86,8 +164,7 @@ int search(const pdcu::core::Repository& repo, int argc, char** argv) {
     }
     index = std::move(loaded).value();
   } else {
-    pdcu::rt::ThreadPool pool;
-    index = pdcu::search::SearchIndex::build(repo, &pool);
+    index = pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
   }
 
   const auto query = pdcu::search::parse_query(query_text);
@@ -124,8 +201,8 @@ int build_index(const pdcu::core::Repository& repo, int argc, char** argv) {
     std::fprintf(stderr, "usage: pdcu index <out-file>\n");
     return 2;
   }
-  pdcu::rt::ThreadPool pool;
-  const auto index = pdcu::search::SearchIndex::build(repo, &pool);
+  const auto index =
+      pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
   const auto status = pdcu::search::save_index(index, argv[2]);
   if (!status) {
     std::fprintf(stderr, "index: %s\n", status.error().message.c_str());
@@ -179,14 +256,18 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     }
     index = std::move(loaded).value();
   } else {
-    pdcu::rt::ThreadPool pool;
-    index = pdcu::search::SearchIndex::build(repo, &pool);
+    index = pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
   }
 
-  const auto site = pdcu::site::build_site(repo);
   pdcu::rt::TraceLog trace;
-  pdcu::server::HttpServer server(
-      pdcu::server::Router(site, repo, std::move(index)), options, &trace);
+  pdcu::site::SiteOptions site_options;
+  site_options.pool = &pdcu::rt::default_pool();
+  site_options.trace = &trace;
+  pdcu::site::BuildStats build_stats;
+  const auto site = pdcu::site::build_site(repo, site_options, &build_stats);
+  pdcu::server::Router router(site, repo, std::move(index));
+  router.set_build_stats(build_stats);
+  pdcu::server::HttpServer server(std::move(router), options, &trace);
   auto status = server.start();
   if (!status) {
     std::fprintf(stderr, "serve: %s\n", status.error().message.c_str());
@@ -252,17 +333,8 @@ int main(int argc, char** argv) {
                 pdcu::core::is_publishable(findings) ? "yes" : "no");
     return pdcu::core::is_publishable(findings) ? 0 : 1;
   }
-  if (command == "build" && argc >= 4) {
-    auto loaded = pdcu::core::Repository::load(argv[2]);
-    if (loaded) repo = std::move(loaded).value();
-    auto site = pdcu::site::write_site(repo, argv[3]);
-    if (!site) {
-      std::fprintf(stderr, "%s\n", site.error().message.c_str());
-      return 1;
-    }
-    std::printf("built %zu pages in %lld us\n", site.value().pages.size(),
-                static_cast<long long>(site.value().build_time.count()));
-    return 0;
+  if (command == "build") {
+    return build_cmd(std::move(repo), argc, argv);
   }
   if (command == "serve") {
     return serve(std::move(repo), argc, argv);
