@@ -45,6 +45,10 @@ pdcu_add_gbench(bench_sync_methods bench/bench_sync_methods.cpp)
 pdcu_add_gbench(bench_serve bench/bench_serve.cpp)
 target_link_libraries(bench_serve PRIVATE pdcu_server)
 
+# Resilience path: fingerprint polls, lenient loads, reload-and-swap.
+pdcu_add_gbench(bench_reload bench/bench_reload.cpp)
+target_link_libraries(bench_reload PRIVATE pdcu_server)
+
 # Search engine (pdcu::search): index build scaling, query latency, and
 # index (de)serialization throughput.
 pdcu_add_gbench(bench_search bench/bench_search.cpp)

@@ -16,6 +16,16 @@
 
 namespace pdcu::core {
 
+/// One quarantined content file: which file failed and the structured
+/// error that disqualified it.
+struct LoadDiagnostic {
+  std::filesystem::path path;
+  std::string slug;  ///< filename stem — the slug the file would serve
+  Error error;
+};
+
+struct LoadReport;
+
 /// An immutable, indexed curation.
 class Repository {
  public:
@@ -26,7 +36,18 @@ class Repository {
 
   /// Loads every activities/*.md file under `content_dir` (the on-disk
   /// layout used by pdcunplugged.org: content/activities/<slug>.md).
+  /// Strict: any malformed file fails the whole load, with an error that
+  /// aggregates *every* failing file sorted by path (deterministic no
+  /// matter how the parallel parse interleaved).
   static Expected<Repository> load(const std::filesystem::path& content_dir);
+
+  /// Lenient load for a serving process: parses every file, quarantines
+  /// the malformed ones, and builds a degraded-but-serving repository
+  /// from the rest. Fails only when the directory itself cannot be
+  /// listed. Community content breaks one file at a time; the other
+  /// activities should keep serving while it does.
+  static Expected<LoadReport> load_lenient(
+      const std::filesystem::path& content_dir);
 
   /// Builds a repository over an explicit activity list.
   explicit Repository(std::vector<Activity> activities);
@@ -49,6 +70,25 @@ class Repository {
  private:
   std::vector<Activity> activities_;
   tax::TermIndex index_;
+};
+
+/// The outcome of Repository::load_lenient: the repository over every
+/// healthy file plus structured diagnostics for the quarantined rest.
+/// Diagnostics are sorted by path, so the report is byte-identical no
+/// matter how the parallel parse interleaved.
+struct LoadReport {
+  Repository repository{std::vector<Activity>{}};
+  std::vector<LoadDiagnostic> quarantined;
+  std::size_t total_files = 0;  ///< healthy + quarantined
+
+  bool degraded() const { return !quarantined.empty(); }
+  std::size_t loaded() const { return total_files - quarantined.size(); }
+
+  /// Slugs of the quarantined files, in path (= slug) order.
+  std::vector<std::string> quarantined_slugs() const;
+
+  /// Human-readable multi-line report — what `pdcu check` prints.
+  std::string render_report() const;
 };
 
 }  // namespace pdcu::core

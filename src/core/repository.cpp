@@ -1,6 +1,7 @@
 #include "pdcu/core/repository.hpp"
 
-#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "pdcu/core/activity_io.hpp"
 #include "pdcu/core/curation.hpp"
@@ -22,38 +23,94 @@ const Repository& Repository::builtin() {
   return kBuiltin;
 }
 
-Expected<Repository> Repository::load(
+Expected<LoadReport> Repository::load_lenient(
     const std::filesystem::path& content_dir) {
   auto files = fs::list_files(content_dir / "activities", ".md");
   if (!files) return files.error().context("loading repository");
   const auto& paths = files.value();
 
-  // Parse content files in parallel (the engine eats its own cooking);
-  // results keep the sorted-filename order.
+  // Parse content files in parallel (the engine eats its own cooking).
+  // Each index writes only its own slot, so no synchronization is needed,
+  // and both activities and diagnostics come out in the sorted-filename
+  // order list_files produced — deterministic at any pool size.
   std::vector<Activity> activities(paths.size());
-  std::vector<Error> errors;
-  std::mutex error_mutex;
+  std::vector<std::optional<Error>> errors(paths.size());
   rt::default_pool().parallel_for(
       0, paths.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       auto text = fs::read_file(paths[i]);
       if (!text) {
-        std::lock_guard lock(error_mutex);
-        errors.push_back(text.error());
+        errors[i] = text.error();
         continue;
       }
       auto activity = parse_activity(text.value());
       if (!activity) {
-        std::lock_guard lock(error_mutex);
-        errors.push_back(
-            activity.error().context("in '" + paths[i].string() + "'"));
+        errors[i] = activity.error();
         continue;
       }
       activities[i] = std::move(activity).value();
     }
   });
-  if (!errors.empty()) return errors.front();
-  return Repository(std::move(activities));
+
+  LoadReport report;
+  report.total_files = paths.size();
+  std::vector<Activity> healthy;
+  healthy.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (errors[i].has_value()) {
+      report.quarantined.push_back(
+          LoadDiagnostic{paths[i], paths[i].stem().string(),
+                         std::move(*errors[i])});
+    } else {
+      healthy.push_back(std::move(activities[i]));
+    }
+  }
+  report.repository = Repository(std::move(healthy));
+  return report;
+}
+
+Expected<Repository> Repository::load(
+    const std::filesystem::path& content_dir) {
+  auto loaded = load_lenient(content_dir);
+  if (!loaded) return loaded.error();
+  LoadReport& report = loaded.value();
+  if (report.degraded()) {
+    // Aggregate every failure, in path order, so the strict load reports
+    // the same error regardless of thread interleaving — and names every
+    // broken file instead of an arbitrary first one.
+    const auto& all = report.quarantined;
+    std::string message = std::to_string(all.size()) + " of " +
+                          std::to_string(report.total_files) +
+                          " content files failed to load:";
+    for (const auto& diagnostic : all) {
+      message += "\n  " + diagnostic.path.string() + ": [" +
+                 diagnostic.error.code + "] " + diagnostic.error.message;
+    }
+    return Error::make("repository.load", std::move(message));
+  }
+  return std::move(report.repository);
+}
+
+std::vector<std::string> LoadReport::quarantined_slugs() const {
+  std::vector<std::string> slugs;
+  slugs.reserve(quarantined.size());
+  for (const auto& diagnostic : quarantined) slugs.push_back(diagnostic.slug);
+  return slugs;
+}
+
+std::string LoadReport::render_report() const {
+  std::string out = std::to_string(loaded()) + " of " +
+                    std::to_string(total_files) + " activities loaded";
+  if (!degraded()) {
+    out += "; content is healthy\n";
+    return out;
+  }
+  out += "; " + std::to_string(quarantined.size()) + " quarantined:\n";
+  for (const auto& diagnostic : quarantined) {
+    out += "  " + diagnostic.path.string() + "\n    [" +
+           diagnostic.error.code + "] " + diagnostic.error.message + "\n";
+  }
+  return out;
 }
 
 const Activity* Repository::find(std::string_view slug) const {

@@ -1,0 +1,89 @@
+#include "pdcu/server/health.hpp"
+
+#include "pdcu/site/json_catalog.hpp"
+
+namespace pdcu::server {
+
+void HealthTracker::set_content(std::size_t loaded,
+                                std::vector<std::string> quarantined) {
+  std::lock_guard lock(mutex_);
+  loaded_ = loaded;
+  quarantined_ = std::move(quarantined);
+}
+
+void HealthTracker::record_reload_success() {
+  std::lock_guard lock(mutex_);
+  last_reload_ = ReloadOutcome::kOk;
+  last_error_.clear();
+  last_reload_at_ = std::chrono::steady_clock::now();
+}
+
+void HealthTracker::record_reload_failure(std::string error) {
+  std::lock_guard lock(mutex_);
+  last_reload_ = ReloadOutcome::kFailed;
+  last_error_ = std::move(error);
+  last_reload_at_ = std::chrono::steady_clock::now();
+}
+
+bool HealthTracker::degraded() const {
+  std::lock_guard lock(mutex_);
+  return !quarantined_.empty() || last_reload_ == ReloadOutcome::kFailed;
+}
+
+std::string HealthTracker::render_json() const {
+  std::lock_guard lock(mutex_);
+  const bool degraded =
+      !quarantined_.empty() || last_reload_ == ReloadOutcome::kFailed;
+  std::string json = "{\"status\":\"";
+  json += degraded ? "degraded" : "ok";
+  json += "\",\"activities\":" + std::to_string(loaded_);
+  json += ",\"quarantined\":" + std::to_string(quarantined_.size());
+  json += ",\"quarantined_slugs\":[";
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    if (i > 0) json += ',';
+    json += "\"" + site::json_escape(quarantined_[i]) + "\"";
+  }
+  json += "],\"last_reload\":\"";
+  switch (last_reload_) {
+    case ReloadOutcome::kNever:
+      json += "never";
+      break;
+    case ReloadOutcome::kOk:
+      json += "ok";
+      break;
+    case ReloadOutcome::kFailed:
+      json += "failed";
+      break;
+  }
+  json += "\"";
+  if (last_reload_ != ReloadOutcome::kNever) {
+    const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - last_reload_at_);
+    json += ",\"last_reload_age_ms\":" + std::to_string(age.count());
+  }
+  if (!last_error_.empty()) {
+    json += ",\"last_error\":\"" + site::json_escape(last_error_) + "\"";
+  }
+  json += "}\n";
+  return json;
+}
+
+std::string ReloadMetrics::render_text() const {
+  std::string out;
+  out += "pdcu_reload_attempts_total " + std::to_string(attempts()) + "\n";
+  out += "pdcu_reload_success_total " + std::to_string(successes()) + "\n";
+  out += "pdcu_reload_failures_total " + std::to_string(failures()) + "\n";
+  out += "pdcu_reload_consecutive_failures " +
+         std::to_string(consecutive_failures()) + "\n";
+  out += "pdcu_reload_last_ok " + std::to_string(last_ok_.load(kRelaxed)) +
+         "\n";
+  out += "pdcu_reload_quarantined " +
+         std::to_string(quarantined_.load(kRelaxed)) + "\n";
+  out += "pdcu_reload_pages_rendered_last " +
+         std::to_string(pages_rendered_last_.load(kRelaxed)) + "\n";
+  out += "pdcu_reload_backoff_ms " +
+         std::to_string(backoff_ms_.load(kRelaxed)) + "\n";
+  return out;
+}
+
+}  // namespace pdcu::server

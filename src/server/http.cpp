@@ -239,6 +239,22 @@ std::string_view status_reason(int status) {
   }
 }
 
+Response error_response(int status) {
+  Response response;
+  response.status = status;
+  response.set("Content-Type", "text/plain; charset=utf-8");
+  response.set("Connection", "close");
+  if (status == 503) {
+    // The connection limit is a transient condition; tell clients when to
+    // come back instead of letting them retry-storm the accept loop.
+    response.set("Retry-After", "1");
+  }
+  response.body = std::to_string(status) + " ";
+  response.body += status_reason(status);
+  response.body += "\n";
+  return response;
+}
+
 std::string serialize(const Response& response, bool head_only) {
   const bool body_allowed = response.status / 100 != 1 &&
                             response.status != 204 && response.status != 304;

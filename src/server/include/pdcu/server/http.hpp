@@ -82,6 +82,13 @@ struct Response {
 /// Canonical reason phrase ("OK", "Not Modified", ...); "Unknown" otherwise.
 std::string_view status_reason(int status);
 
+/// The canned close-the-connection error answer the connection layer sends
+/// for 400/408/431/503: plain-text body "<status> <reason>\n" and
+/// "Connection: close". A 503 (connection limit) additionally carries
+/// "Retry-After: 1" so well-behaved clients back off instead of
+/// hammering an already-saturated accept loop.
+Response error_response(int status);
+
 /// Serializes status line, headers, and body. Content-Length is added
 /// automatically unless already set; 1xx/204/304 responses never carry a
 /// body. `head_only` keeps the head (for HEAD requests) but still reports

@@ -9,7 +9,10 @@
 //   GET /api/catalog.json                machine-readable catalog
 //   GET /api/activities/<slug>.json      one activity as JSON
 //   GET /api/search?q=...&limit=...      ranked full-text + taxonomy search
-//   GET /healthz                         liveness probe, "ok\n"
+//   GET /healthz                         liveness probe; with a
+//                                        HealthTracker wired, a JSON body
+//                                        (ok|degraded, quarantine, last
+//                                        reload), otherwise plain "ok\n"
 //   GET /metrics                         ServerMetrics exposition text
 //
 // Non-GET/HEAD methods on known routes get 405 with an Allow header;
@@ -20,6 +23,7 @@
 
 #include "pdcu/core/repository.hpp"
 #include "pdcu/search/index.hpp"
+#include "pdcu/server/health.hpp"
 #include "pdcu/server/http.hpp"
 #include "pdcu/server/metrics.hpp"
 #include "pdcu/server/page_cache.hpp"
@@ -45,6 +49,17 @@ class Router {
   /// reused, per-phase wall times) to the serving counters.
   void set_build_stats(const site::BuildStats& stats) { build_stats_ = stats; }
 
+  /// Wires content health into /healthz: with a tracker the probe answers
+  /// a JSON document (status ok|degraded, quarantined slugs, last-reload
+  /// outcome and age); without one it stays the bare "ok\n". The pointee
+  /// must outlive the router and every snapshot swapped after it.
+  void set_health(const HealthTracker* health) { health_ = health; }
+
+  /// Appends the pdcu_reload_* lines to /metrics (live-reload servers).
+  void set_reload_metrics(const ReloadMetrics* metrics) {
+    reload_metrics_ = metrics;
+  }
+
   /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
   /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
@@ -59,6 +74,8 @@ class Router {
   search::SearchIndex index_;
   tax::TermIndex taxonomy_;
   const ServerMetrics* metrics_ = nullptr;
+  const HealthTracker* health_ = nullptr;
+  const ReloadMetrics* reload_metrics_ = nullptr;
   std::optional<site::BuildStats> build_stats_;
 };
 

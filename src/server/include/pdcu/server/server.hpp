@@ -6,12 +6,23 @@
 // joins everything. Malformed requests are answered with 400, oversized
 // heads with 431, idle sockets with 408; nothing a client sends can crash
 // the process. Lifecycle events land in an optional runtime TraceLog.
+//
+// The served content is an immutable snapshot: a shared_ptr<const Router>
+// that each request loads once (RCU-style; the pointer itself is guarded
+// by a tiny mutex rather than std::atomic<shared_ptr> — libstdc++ 12's
+// _Sp_atomic trips TSan false positives under contention, and the lock is
+// held only for the pointer copy, never across a request). swap_router()
+// publishes a new snapshot without pausing serving; requests already
+// running finish against the snapshot they loaded, and the old router is
+// freed when the last such request drops its reference. This is what live
+// reload (ReloadManager) builds on.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -56,7 +67,20 @@ class HttpServer {
   std::uint16_t port() const { return bound_port_; }
 
   const ServerMetrics& metrics() const { return metrics_; }
-  const Router& router() const { return router_; }
+
+  /// The current serving snapshot. Hold the shared_ptr for as long as the
+  /// Router is used; a concurrent swap_router() frees replaced snapshots
+  /// once their last holder lets go.
+  std::shared_ptr<const Router> router() const {
+    std::lock_guard lock(router_mutex_);
+    return router_;
+  }
+
+  /// Atomically replaces the serving snapshot (RCU-style). In-flight
+  /// requests finish against the snapshot they already loaded; new
+  /// requests see `router`. The server wires its own metrics into the
+  /// new router before publishing it. Callable while serving.
+  void swap_router(Router router);
 
   /// Async-signal-safe stop request; run_until_signalled() observes it.
   static void request_stop();
@@ -69,7 +93,11 @@ class HttpServer {
   void accept_loop();
   void handle_connection(int fd);
 
-  Router router_;
+  /// The serving snapshot; requests load it once and hold a reference for
+  /// the duration of the request (see swap_router()). The mutex guards
+  /// only the pointer, never a request.
+  mutable std::mutex router_mutex_;
+  std::shared_ptr<const Router> router_;
   ServerOptions options_;
   rt::TraceLog* trace_;
   ServerMetrics metrics_;

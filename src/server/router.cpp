@@ -101,7 +101,10 @@ Response Router::handle(const Request& request) const {
   }
 
   if (path == "/healthz") {
-    return plain_response(200, "ok\n");
+    if (health_ == nullptr) {
+      return plain_response(200, "ok\n");
+    }
+    return json_response(200, health_->render_json());
   }
   if (path == "/metrics") {
     if (metrics_ == nullptr) {
@@ -109,6 +112,7 @@ Response Router::handle(const Request& request) const {
     }
     std::string text = metrics_->render_text();
     if (build_stats_.has_value()) text += build_stats_->render_text();
+    if (reload_metrics_ != nullptr) text += reload_metrics_->render_text();
     return plain_response(200, text);
   }
   if (path == "/api/search") {

@@ -32,24 +32,26 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
-/// Canned close-the-connection error answer (400/408/431/503).
-std::string error_wire(int status) {
-  Response response;
-  response.status = status;
-  response.set("Content-Type", "text/plain; charset=utf-8");
-  response.set("Connection", "close");
-  response.body = std::to_string(status) + " ";
-  response.body += status_reason(status);
-  response.body += "\n";
-  return serialize(response);
-}
+/// Canned close-the-connection error answer (400/408/431/503) on the wire.
+std::string error_wire(int status) { return serialize(error_response(status)); }
 
 }  // namespace
 
 HttpServer::HttpServer(Router router, ServerOptions options,
                        rt::TraceLog* trace)
-    : router_(std::move(router)), options_(std::move(options)), trace_(trace) {
-  router_.set_metrics(&metrics_);
+    : options_(std::move(options)), trace_(trace) {
+  swap_router(std::move(router));
+}
+
+void HttpServer::swap_router(Router router) {
+  // Wire the server's counters in before the snapshot becomes visible to
+  // any request thread; once published the Router is only ever read
+  // (handle() is const), so requests never contend beyond the pointer
+  // copy in router().
+  router.set_metrics(&metrics_);
+  auto snapshot = std::make_shared<const Router>(std::move(router));
+  std::lock_guard lock(router_mutex_);
+  router_ = std::move(snapshot);
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -103,12 +105,14 @@ Status HttpServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 
   if (trace_ != nullptr) {
+    const std::shared_ptr<const Router> snapshot = router();
     trace_->narrate("server: listening on " + options_.host + ":" +
                     std::to_string(bound_port_) + " with " +
                     std::to_string(pool_->size()) + " workers, " +
-                    std::to_string(router_.cache().size()) +
+                    std::to_string(snapshot->cache().size()) +
                     " cached pages (" +
-                    std::to_string(router_.cache().total_bytes()) + " bytes)");
+                    std::to_string(snapshot->cache().total_bytes()) +
+                    " bytes)");
   }
   return Status::ok();
 }
@@ -242,7 +246,10 @@ void HttpServer::handle_connection(int fd) {
     }
 
     const auto handle_start = std::chrono::steady_clock::now();
-    Response response = router_.handle(parsed.request);
+    // One snapshot per request: a reload that lands mid-request swaps the
+    // next request onto the new site, never this one mid-flight.
+    const std::shared_ptr<const Router> snapshot = router();
+    Response response = snapshot->handle(parsed.request);
     ++served;
 
     // Request bodies are never routed, so a request that carries one

@@ -84,6 +84,10 @@ struct SiteOptions {
   /// Build lifecycle narration (page counts, reuse, per-phase times)
   /// lands here when set.
   rt::TraceLog* trace = nullptr;
+  /// Count of content files the loader quarantined before this build (see
+  /// core::LoadReport); carried through into BuildStats so a degraded
+  /// build is visible on /metrics and in --stats output.
+  std::size_t quarantined_inputs = 0;
 };
 
 /// What one build did: page totals split into rendered vs. reused (cache
@@ -92,6 +96,9 @@ struct BuildStats {
   std::size_t pages_total = 0;
   std::size_t pages_rendered = 0;
   std::size_t pages_reused = 0;
+  /// Content files quarantined by the lenient loader feeding this build
+  /// (0 for a healthy or strict load).
+  std::size_t activities_quarantined = 0;
   std::chrono::microseconds parse_time{0};     ///< serialize + fingerprint
   std::chrono::microseconds render_time{0};    ///< render / reuse pages
   std::chrono::microseconds assemble_time{0};  ///< cache refresh + reindex

@@ -389,6 +389,7 @@ Site build_pipeline(const core::Repository& repo, const SiteOptions& options,
 
   BuildStats result;
   result.pages_total = site.pages.size();
+  result.activities_quarantined = options.quarantined_inputs;
   result.pages_reused = reused.load(std::memory_order_relaxed);
   result.pages_rendered = result.pages_total - result.pages_reused;
   result.parse_time =
@@ -455,6 +456,10 @@ std::string BuildStats::summary() const {
                     ", render " + std::to_string(render_time.count()) +
                     ", assemble " + std::to_string(assemble_time.count()) +
                     "]";
+  if (activities_quarantined > 0) {
+    out += " — DEGRADED: " + std::to_string(activities_quarantined) +
+           " activities quarantined";
+  }
   return out;
 }
 
@@ -469,6 +474,8 @@ std::string BuildStats::render_text() const {
          std::to_string(render_time.count()) + "\n";
   out += "pdcu_build_phase_us{phase=\"assemble\"} " +
          std::to_string(assemble_time.count()) + "\n";
+  out += "pdcu_build_activities_quarantined " +
+         std::to_string(activities_quarantined) + "\n";
   return out;
 }
 

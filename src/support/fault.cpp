@@ -1,0 +1,53 @@
+#include "pdcu/support/fault.hpp"
+
+namespace pdcu::fs {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+void FaultInjector::add_rule(Rule rule) {
+  std::lock_guard lock(mutex_);
+  rules_.push_back(RuleState{std::move(rule), 0});
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mutex_);
+  rules_.clear();
+}
+
+FaultInjector::Action FaultInjector::intercept(
+    const std::filesystem::path& path) {
+  const std::string text = path.string();
+  std::lock_guard lock(mutex_);
+  for (auto& state : rules_) {
+    if (!state.rule.path_substring.empty() &&
+        text.find(state.rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t n = state.matched++;
+    if (n < state.rule.skip || n - state.rule.skip >= state.rule.limit) {
+      continue;
+    }
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    Action action;
+    action.mode = state.rule.mode;
+    action.fired = true;
+    action.truncate_to = state.rule.truncate_to;
+    action.latency = state.rule.latency;
+    return action;
+  }
+  return Action{};
+}
+
+void install_fault_injector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* installed_fault_injector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace pdcu::fs

@@ -3,10 +3,39 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "pdcu/support/fault.hpp"
 
 namespace pdcu::fs {
 
+namespace {
+
+/// Consults the installed FaultInjector (if any) for `path`. Sleeps any
+/// injected latency here so callers see it as slow I/O; returns the action
+/// for the caller to translate into its own error codes.
+FaultInjector::Action intercept(const std::filesystem::path& path) {
+  FaultInjector* injector = installed_fault_injector();
+  if (injector == nullptr) return FaultInjector::Action{};
+  FaultInjector::Action action = injector->intercept(path);
+  if (action.fired && action.latency.count() > 0) {
+    std::this_thread::sleep_for(action.latency);
+  }
+  return action;
+}
+
+}  // namespace
+
 Expected<std::string> read_file(const std::filesystem::path& path) {
+  const FaultInjector::Action action = intercept(path);
+  if (action.fault() && action.mode == FaultInjector::Mode::kOpenError) {
+    return Error::make("fs.open",
+                       "cannot open '" + path.string() + "' (injected fault)");
+  }
+  if (action.fault() && action.mode == FaultInjector::Mode::kIoError) {
+    return Error::make("fs.read",
+                       "read error on '" + path.string() + "' (injected fault)");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Error::make("fs.open", "cannot open '" + path.string() + "'");
@@ -16,7 +45,12 @@ Expected<std::string> read_file(const std::filesystem::path& path) {
   if (in.bad()) {
     return Error::make("fs.read", "read error on '" + path.string() + "'");
   }
-  return buf.str();
+  std::string content = buf.str();
+  if (action.fault() && action.mode == FaultInjector::Mode::kTruncate &&
+      content.size() > action.truncate_to) {
+    content.resize(action.truncate_to);
+  }
+  return content;
 }
 
 Status write_file(const std::filesystem::path& path,
@@ -44,6 +78,13 @@ Status write_file(const std::filesystem::path& path,
 
 Expected<std::vector<std::filesystem::path>> list_files(
     const std::filesystem::path& dir, const std::string& extension) {
+  // kTruncate has no short-read analogue for a listing, so any non-latency
+  // fault on a directory is a listing error.
+  const FaultInjector::Action action = intercept(dir);
+  if (action.fault()) {
+    return Error::make("fs.listdir", "cannot list '" + dir.string() +
+                                         "' (injected fault)");
+  }
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) {

@@ -1,0 +1,144 @@
+// Lenient loading with quarantine: Repository::load_lenient parses every
+// content file, quarantines the malformed ones with structured
+// diagnostics (sorted by path, deterministic at any pool size), and still
+// produces a serving Repository from the healthy remainder. The strict
+// load aggregates *all* failures into one error instead of an arbitrary
+// first.
+#include "pdcu/core/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pdcu/core/activity_io.hpp"
+#include "pdcu/support/fault.hpp"
+#include "pdcu/support/fs.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace core = pdcu::core;
+namespace fs = pdcu::fs;
+namespace strs = pdcu::strings;
+
+namespace {
+
+/// Fresh export of the builtin curation (38 healthy activities).
+std::filesystem::path fresh_content_dir(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  auto status = core::Repository::builtin().export_to(dir);
+  EXPECT_TRUE(status.has_value());
+  return dir;
+}
+
+void corrupt(const std::filesystem::path& dir, const std::string& slug) {
+  // A file with front matter but no title fails to parse.
+  EXPECT_TRUE(fs::write_file(dir / "activities" / (slug + ".md"),
+                             "---\ndate: 2020-01-01\n---\nno title\n"));
+}
+
+}  // namespace
+
+TEST(LoadLenient, HealthyContentIsNotDegraded) {
+  auto dir = fresh_content_dir("pdcu_lenient_healthy");
+  auto loaded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  const auto& report = loaded.value();
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.total_files, 38u);
+  EXPECT_EQ(report.loaded(), 38u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_TRUE(strs::contains(report.render_report(), "content is healthy"));
+}
+
+TEST(LoadLenient, QuarantinesMalformedFilesAndKeepsServing) {
+  auto dir = fresh_content_dir("pdcu_lenient_quarantine");
+  corrupt(dir, "findsmallestcard");
+  auto loaded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(loaded.has_value());
+  const auto& report = loaded.value();
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.total_files, 38u);
+  EXPECT_EQ(report.loaded(), 37u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].slug, "findsmallestcard");
+  EXPECT_EQ(report.quarantined[0].error.code, "activity.title");
+  // The degraded repository serves the healthy remainder.
+  EXPECT_EQ(report.repository.activities().size(), 37u);
+  EXPECT_EQ(report.repository.find("findsmallestcard"), nullptr);
+  EXPECT_NE(report.repository.find("sortingnetworks"), nullptr);
+}
+
+TEST(LoadLenient, DiagnosticsAreSortedByPath) {
+  auto dir = fresh_content_dir("pdcu_lenient_sorted");
+  // Corrupt three files chosen so alphabetical order differs from any
+  // "first error encountered" order a racing parse could produce.
+  corrupt(dir, "sortingnetworks");
+  corrupt(dir, "findsmallestcard");
+  corrupt(dir, "jigsawpuzzle");
+  auto loaded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(loaded.has_value());
+  const auto& q = loaded.value().quarantined;
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0].slug, "findsmallestcard");
+  EXPECT_EQ(q[1].slug, "jigsawpuzzle");
+  EXPECT_EQ(q[2].slug, "sortingnetworks");
+  EXPECT_EQ(loaded.value().quarantined_slugs(),
+            (std::vector<std::string>{"findsmallestcard", "jigsawpuzzle",
+                                      "sortingnetworks"}));
+}
+
+TEST(LoadLenient, RenderReportNamesEveryQuarantinedFile) {
+  auto dir = fresh_content_dir("pdcu_lenient_report");
+  corrupt(dir, "findsmallestcard");
+  corrupt(dir, "sortingnetworks");
+  auto loaded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(loaded.has_value());
+  const std::string report = loaded.value().render_report();
+  EXPECT_TRUE(strs::contains(report, "36 of 38 activities loaded"));
+  EXPECT_TRUE(strs::contains(report, "2 quarantined"));
+  EXPECT_TRUE(strs::contains(report, "findsmallestcard.md"));
+  EXPECT_TRUE(strs::contains(report, "sortingnetworks.md"));
+  EXPECT_TRUE(strs::contains(report, "[activity.title]"));
+}
+
+TEST(LoadLenient, QuarantinesFilesThatFailToRead) {
+  auto dir = fresh_content_dir("pdcu_lenient_ioerror");
+  fs::FaultInjector injector;
+  injector.add_rule({.path_substring = "findsmallestcard.md",
+                     .mode = fs::FaultInjector::Mode::kIoError});
+  fs::ScopedFaultInjection scope(injector);
+  auto loaded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(loaded.has_value());
+  const auto& report = loaded.value();
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].slug, "findsmallestcard");
+  EXPECT_EQ(report.quarantined[0].error.code, "fs.read");
+  EXPECT_EQ(report.loaded(), 37u);
+}
+
+TEST(LoadLenient, MissingDirectoryIsAHardError) {
+  auto loaded = core::Repository::load_lenient("/nonexistent/content");
+  EXPECT_FALSE(loaded.has_value());
+}
+
+TEST(StrictLoad, AggregatesAllFailuresSortedByPath) {
+  auto dir = fresh_content_dir("pdcu_strict_aggregate");
+  corrupt(dir, "sortingnetworks");
+  corrupt(dir, "findsmallestcard");
+  auto first = core::Repository::load(dir);
+  ASSERT_FALSE(first.has_value());
+  EXPECT_EQ(first.error().code, "repository.load");
+  const std::string& message = first.error().message;
+  EXPECT_TRUE(strs::contains(message, "2 of 38 content files failed"));
+  const auto find_pos = message.find("findsmallestcard.md");
+  const auto sort_pos = message.find("sortingnetworks.md");
+  ASSERT_NE(find_pos, std::string::npos);
+  ASSERT_NE(sort_pos, std::string::npos);
+  EXPECT_LT(find_pos, sort_pos);  // path order, not discovery order
+  // Deterministic: a second load reports the identical message.
+  auto second = core::Repository::load(dir);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().message, message);
+}

@@ -4,8 +4,11 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "pdcu/core/repository.hpp"
 #include "pdcu/support/strings.hpp"
 
 #ifndef PDCU_CLI_PATH
@@ -111,4 +114,31 @@ TEST(Cli, NewPrintsAPrefilledTemplate) {
 TEST(Cli, BadUsageReturnsTwo) {
   auto result = run_cli("frobnicate 2>/dev/null");
   EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(Cli, CheckReportsHealthyAndDegradedContent) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pdcu_cli_check_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(pdcu::core::Repository::builtin().export_to(dir).has_value());
+
+  auto healthy = run_cli("check " + dir.string());
+  EXPECT_EQ(healthy.exit_code, 0);
+  EXPECT_TRUE(contains(healthy.output, "38 of 38 activities loaded"));
+  EXPECT_TRUE(contains(healthy.output, "content is healthy"));
+
+  // Corrupt one file: check degrades to exit 1 and names the file.
+  {
+    std::ofstream out(dir / "activities" / "findsmallestcard.md",
+                      std::ios::trunc);
+    out << "---\ndate: 2020-01-01\n---\nno title\n";
+  }
+  auto degraded = run_cli("check " + dir.string());
+  EXPECT_EQ(degraded.exit_code, 1);
+  EXPECT_TRUE(contains(degraded.output, "37 of 38 activities loaded"));
+  EXPECT_TRUE(contains(degraded.output, "findsmallestcard.md"));
+  EXPECT_TRUE(contains(degraded.output, "[activity.title]"));
+
+  auto usage = run_cli("check 2>/dev/null");
+  EXPECT_EQ(usage.exit_code, 2);
 }

@@ -255,3 +255,27 @@ TEST(HttpQueryParams, EdgeCases) {
   ASSERT_EQ(eq.size(), 1u);
   EXPECT_EQ(eq[0].second, "a=b=c");
 }
+
+TEST(HttpErrorResponse, FiveOhThreeCarriesRetryAfter) {
+  const auto response = server::error_response(503);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(response.body, "503 Service Unavailable\n");
+  ASSERT_NE(response.header("retry-after"), nullptr);
+  EXPECT_EQ(*response.header("retry-after"), "1");
+  ASSERT_NE(response.header("connection"), nullptr);
+  EXPECT_EQ(*response.header("connection"), "close");
+  // The header survives serialization onto the wire.
+  const std::string wire = server::serialize(response);
+  EXPECT_TRUE(strs::contains(wire, "HTTP/1.1 503 Service Unavailable\r\n"));
+  EXPECT_TRUE(strs::contains(wire, "Retry-After: 1\r\n"));
+}
+
+TEST(HttpErrorResponse, OtherStatusesHaveNoRetryAfter) {
+  for (int status : {400, 404, 408, 431}) {
+    const auto response = server::error_response(status);
+    EXPECT_EQ(response.status, status);
+    EXPECT_EQ(response.header("retry-after"), nullptr) << status;
+    ASSERT_NE(response.header("connection"), nullptr);
+    EXPECT_EQ(*response.header("connection"), "close");
+  }
+}

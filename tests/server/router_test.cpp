@@ -330,3 +330,78 @@ TEST(Router, SearchPageIsServed) {
   EXPECT_TRUE(strs::contains(response.body, "search-form"));
   EXPECT_TRUE(strs::contains(response.body, "/api/search"));
 }
+
+TEST(RouterHealth, HealthzServesJsonWhenATrackerIsWired) {
+  const auto& repo = core::Repository::builtin();
+  server::Router wired(site::build_site(repo), repo);
+  server::HealthTracker health;
+  health.set_content(repo.activities().size(), {});
+  wired.set_health(&health);
+
+  const auto response = wired.handle(get("/healthz"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"),
+            "application/json; charset=utf-8");
+  EXPECT_TRUE(strs::contains(response.body, "\"status\":\"ok\""));
+  EXPECT_TRUE(strs::contains(
+      response.body,
+      "\"activities\":" + std::to_string(repo.activities().size())));
+  EXPECT_TRUE(strs::contains(response.body, "\"quarantined\":0"));
+  EXPECT_TRUE(strs::contains(response.body, "\"last_reload\":\"never\""));
+}
+
+TEST(RouterHealth, QuarantineAndReloadFailuresShowUpInHealthz) {
+  const auto& repo = core::Repository::builtin();
+  server::Router wired(site::build_site(repo), repo);
+  server::HealthTracker health;
+  health.set_content(37, {"findsmallestcard"});
+  wired.set_health(&health);
+
+  auto body = wired.handle(get("/healthz")).body;
+  EXPECT_TRUE(strs::contains(body, "\"status\":\"degraded\""));
+  EXPECT_TRUE(strs::contains(body, "\"quarantined\":1"));
+  EXPECT_TRUE(strs::contains(
+      body, "\"quarantined_slugs\":[\"findsmallestcard\"]"));
+
+  health.record_reload_failure("[reload.empty] all quarantined");
+  body = wired.handle(get("/healthz")).body;
+  EXPECT_TRUE(strs::contains(body, "\"last_reload\":\"failed\""));
+  EXPECT_TRUE(strs::contains(body, "\"last_reload_age_ms\":"));
+  EXPECT_TRUE(strs::contains(
+      body, "\"last_error\":\"[reload.empty] all quarantined\""));
+
+  health.set_content(38, {});
+  health.record_reload_success();
+  body = wired.handle(get("/healthz")).body;
+  EXPECT_TRUE(strs::contains(body, "\"status\":\"ok\""));
+  EXPECT_TRUE(strs::contains(body, "\"last_reload\":\"ok\""));
+}
+
+TEST(RouterHealth, MetricsExposeReloadCountersWhenAttached) {
+  const auto& repo = core::Repository::builtin();
+  server::Router wired(site::build_site(repo), repo);
+  server::ServerMetrics metrics;
+  wired.set_metrics(&metrics);
+
+  // Without wiring, no pdcu_reload_* lines appear.
+  EXPECT_FALSE(strs::contains(wired.handle(get("/metrics")).body,
+                              "pdcu_reload_attempts_total"));
+
+  server::ReloadMetrics reload;
+  reload.record_attempt();
+  reload.record_failure(1000);
+  reload.record_attempt();
+  reload.record_success(2, 5);
+  wired.set_reload_metrics(&reload);
+
+  const std::string body = wired.handle(get("/metrics")).body;
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_attempts_total 2"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_success_total 1"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_failures_total 1"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_consecutive_failures 0"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_last_ok 1"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_quarantined 2"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_pages_rendered_last 5"));
+  EXPECT_TRUE(strs::contains(body, "pdcu_reload_backoff_ms 0"));
+}

@@ -265,3 +265,34 @@ TEST(HttpServer, TraceLogRecordsLifecycle) {
   EXPECT_TRUE(strs::contains(script, "server: listening on 127.0.0.1:"));
   EXPECT_TRUE(strs::contains(script, "server: stopped after 1 requests"));
 }
+
+TEST(HttpServer, ConnectionLimitAnswers503WithRetryAfter) {
+  server::ServerOptions options;
+  options.max_connections = 0;  // every connection is over the limit
+  ScopedServer srv(options);
+  const std::string reply = simple_get(srv.port(), "/healthz");
+  EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 503 Service Unavailable\r\n"))
+      << reply;
+  EXPECT_EQ(header_value(reply, "Retry-After"), "1");
+  EXPECT_EQ(header_value(reply, "Connection"), "close");
+  EXPECT_EQ(body_of(reply), "503 Service Unavailable\n");
+}
+
+TEST(HttpServer, SwapRouterChangesWhatSubsequentRequestsSee) {
+  ScopedServer srv;
+  EXPECT_EQ(body_of(simple_get(srv.port(), "/healthz")), "ok\n");
+
+  // Swap in a router wired with a HealthTracker; the same URL now serves
+  // the structured health document, proving requests read the snapshot
+  // published by swap_router rather than a router captured at start().
+  server::HealthTracker health;
+  health.set_content(37, {"findsmallestcard"});
+  server::Router replacement = make_router();
+  replacement.set_health(&health);
+  srv.instance->swap_router(std::move(replacement));
+
+  const std::string after = simple_get(srv.port(), "/healthz");
+  EXPECT_TRUE(strs::starts_with(after, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_TRUE(strs::contains(body_of(after), "\"status\":\"degraded\""));
+  EXPECT_TRUE(strs::contains(body_of(after), "findsmallestcard"));
+}

@@ -61,3 +61,34 @@ TEST(Fs, ListMissingDirectoryFails) {
   auto files = fs::list_files(temp_dir() / "missing-dir", ".md");
   EXPECT_FALSE(files.has_value());
 }
+
+TEST(Fs, ListMissingDirectoryErrorNamesThePath) {
+  auto files = fs::list_files(temp_dir() / "missing-dir", ".md");
+  ASSERT_FALSE(files.has_value());
+  EXPECT_EQ(files.error().code, "fs.listdir");
+  EXPECT_NE(files.error().message.find("missing-dir"), std::string::npos);
+}
+
+TEST(Fs, ListEmptyDirectorySucceedsWithNoFiles) {
+  auto dir = temp_dir() / "empty";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto files = fs::list_files(dir, ".md");
+  ASSERT_TRUE(files.has_value());
+  EXPECT_TRUE(files.value().empty());
+}
+
+TEST(Fs, ReadErrorNamesThePath) {
+  auto result = fs::read_file(temp_dir() / "gone" / "missing.txt");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "fs.open");
+  EXPECT_NE(result.error().message.find("missing.txt"), std::string::npos);
+}
+
+TEST(Fs, WriteIntoAnUnwritableTargetFails) {
+  // A path whose "parent directory" is a regular file cannot be created.
+  auto blocker = temp_dir() / "blocker.txt";
+  ASSERT_TRUE(fs::write_file(blocker, "x"));
+  auto status = fs::write_file(blocker / "child.txt", "y");
+  EXPECT_FALSE(status.has_value());
+}

@@ -5,10 +5,13 @@
 //   pdcu show <slug>               render an activity header (Fig. 3, ANSI)
 //   pdcu new <Title>               print a pre-populated template (Fig. 1)
 //   pdcu validate [content-dir]    lint the curation (or a content dir)
+//   pdcu check <content-dir>       lenient-load a content dir and print the
+//        quarantine report (exit 0 healthy, 1 degraded)
 //   pdcu build <content-dir> <out> [options]  generate the HTML site
 //        --stats (per-phase build stats), --serial (no thread pool),
 //        --incremental (prime a BuildCache, then verify an incremental
-//        rebuild reuses every unchanged page)
+//        rebuild reuses every unchanged page); malformed content files are
+//        quarantined with a warning instead of failing the build
 //   pdcu tables                    print the paper's Tables I and II
 //   pdcu gaps                      print the coverage-gap report
 //   pdcu impact                    coverage with the proposed activities
@@ -23,7 +26,12 @@
 //   pdcu index <out-file>          build and save the binary search index
 //   pdcu serve [options] [content-dir]  serve the site over HTTP from memory
 //        --port N (default 8080, 0 = ephemeral), --host H, --threads N,
-//        --index FILE (cold-start search from a prebuilt index)
+//        --index FILE (cold-start search from a prebuilt index),
+//        --watch (live reload: poll the content dir, rebuild
+//        incrementally, keep serving last-known-good on failure),
+//        --poll-ms N (watch poll interval, default 500).
+//        Content loads leniently: malformed files are quarantined and
+//        /healthz reports "degraded" instead of the server not starting.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -41,6 +49,7 @@
 #include "pdcu/search/index.hpp"
 #include "pdcu/search/query.hpp"
 #include "pdcu/search/serialize.hpp"
+#include "pdcu/server/reload.hpp"
 #include "pdcu/server/server.hpp"
 #include "pdcu/site/json_catalog.hpp"
 #include "pdcu/site/site.hpp"
@@ -52,9 +61,24 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdcu "
-               "list|show|new|validate|build|serve|search|index|tables|gaps|"
-               "impact|json|audit|plan|annotate|run ...\n");
+               "list|show|new|validate|check|build|serve|search|index|tables|"
+               "gaps|impact|json|audit|plan|annotate|run ...\n");
   return 2;
+}
+
+int check(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: pdcu check <content-dir>\n");
+    return 2;
+  }
+  auto loaded = pdcu::core::Repository::load_lenient(argv[2]);
+  if (!loaded) {
+    std::fprintf(stderr, "check: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  const auto& report = loaded.value();
+  std::fputs(report.render_report().c_str(), stdout);
+  return report.degraded() ? 1 : 0;
 }
 
 int build_cmd(pdcu::core::Repository repo, int argc, char** argv) {
@@ -89,10 +113,25 @@ int build_cmd(pdcu::core::Repository repo, int argc, char** argv) {
                  "[--stats] [--incremental] [--serial]\n");
     return 2;
   }
-  auto loaded = pdcu::core::Repository::load(content_dir);
-  if (loaded) repo = std::move(loaded).value();
+  auto loaded = pdcu::core::Repository::load_lenient(content_dir);
+  if (!loaded) {
+    std::fprintf(stderr, "build: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  auto& report = loaded.value();
+  if (report.degraded()) {
+    std::fprintf(stderr, "build: DEGRADED — %zu of %zu content files "
+                         "quarantined (run `pdcu check` for details):\n",
+                 report.quarantined.size(), report.total_files);
+    for (const auto& diagnostic : report.quarantined) {
+      std::fprintf(stderr, "  %s: [%s]\n", diagnostic.path.string().c_str(),
+                   diagnostic.error.code.c_str());
+    }
+  }
+  repo = std::move(report.repository);
 
   pdcu::site::SiteOptions options;
+  options.quarantined_inputs = report.quarantined.size();
   if (!serial) options.pool = &pdcu::rt::default_pool();
 
   pdcu::site::BuildStats stats;
@@ -215,8 +254,10 @@ int build_index(const pdcu::core::Repository& repo, int argc, char** argv) {
 
 int serve(pdcu::core::Repository repo, int argc, char** argv) {
   pdcu::server::ServerOptions options;
+  pdcu::server::ReloadOptions reload_options;
   std::string content_dir;
   std::string index_path;
+  bool watch = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -229,6 +270,11 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
+    } else if (arg == "--watch") {
+      watch = true;
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      reload_options.poll_interval =
+          std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -236,13 +282,37 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
       content_dir = arg;
     }
   }
+  if (watch && content_dir.empty()) {
+    std::fprintf(stderr, "serve: --watch requires a content directory\n");
+    return 2;
+  }
+
+  // Content health surfaces on /healthz; the reload loop (--watch)
+  // additionally reports through pdcu_reload_* on /metrics.
+  pdcu::server::HealthTracker health;
+  pdcu::server::ReloadMetrics reload_metrics;
+  std::uint64_t fingerprint = 0;
+  std::size_t quarantined = 0;
   if (!content_dir.empty()) {
-    auto loaded = pdcu::core::Repository::load(content_dir);
+    // Lenient load: malformed community content degrades the serving set
+    // instead of keeping the whole site down.
+    auto fingerprinted = pdcu::server::content_fingerprint(content_dir);
+    auto loaded = pdcu::core::Repository::load_lenient(content_dir);
     if (!loaded) {
       std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
       return 1;
     }
-    repo = std::move(loaded).value();
+    auto& report = loaded.value();
+    if (report.degraded()) {
+      std::fprintf(stderr, "serve: DEGRADED —\n%s",
+                   report.render_report().c_str());
+    }
+    health.set_content(report.loaded(), report.quarantined_slugs());
+    quarantined = report.quarantined.size();
+    fingerprint = fingerprinted ? fingerprinted.value() : 0;
+    repo = std::move(report.repository);
+  } else {
+    health.set_content(repo.activities().size(), {});
   }
 
   // Cold-start search from a prebuilt index file, or build it here in
@@ -263,20 +333,35 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   pdcu::site::SiteOptions site_options;
   site_options.pool = &pdcu::rt::default_pool();
   site_options.trace = &trace;
+  site_options.quarantined_inputs = quarantined;
   pdcu::site::BuildStats build_stats;
-  const auto site = pdcu::site::build_site(repo, site_options, &build_stats);
+  // Build through a BuildCache so a --watch reload only re-renders the
+  // pages whose inputs actually changed.
+  pdcu::site::BuildCache cache;
+  const auto site =
+      pdcu::site::rebuild(repo, cache, site_options, &build_stats);
   pdcu::server::Router router(site, repo, std::move(index));
   router.set_build_stats(build_stats);
+  router.set_health(&health);
+  if (watch) router.set_reload_metrics(&reload_metrics);
   pdcu::server::HttpServer server(std::move(router), options, &trace);
   auto status = server.start();
   if (!status) {
     std::fprintf(stderr, "serve: %s\n", status.error().message.c_str());
     return 1;
   }
-  std::printf("pdcu serving %zu pages on http://%s:%u/ (Ctrl-C to stop)\n",
+  std::optional<pdcu::server::ReloadManager> reloader;
+  if (watch) {
+    reloader.emplace(content_dir, server, health, reload_metrics,
+                     std::move(cache), fingerprint, reload_options, &trace);
+    reloader->start();
+  }
+  std::printf("pdcu serving %zu pages on http://%s:%u/%s (Ctrl-C to stop)\n",
               site.pages.size(), options.host.c_str(),
-              static_cast<unsigned>(server.port()));
+              static_cast<unsigned>(server.port()),
+              watch ? " [watching]" : "");
   server.run_until_signalled();
+  if (reloader.has_value()) reloader->stop();
   std::fputs(server.metrics().render_text().c_str(), stdout);
   std::fputs(trace.render_script().c_str(), stdout);
   return 0;
@@ -332,6 +417,9 @@ int main(int argc, char** argv) {
     std::printf("%zu findings; publishable: %s\n", findings.size(),
                 pdcu::core::is_publishable(findings) ? "yes" : "no");
     return pdcu::core::is_publishable(findings) ? 0 : 1;
+  }
+  if (command == "check") {
+    return check(argc, argv);
   }
   if (command == "build") {
     return build_cmd(std::move(repo), argc, argv);
