@@ -25,6 +25,10 @@
 #include "pdcu/support/expected.hpp"
 #include "pdcu/taxonomy/term_index.hpp"
 
+namespace pdcu::obs {
+class SpanRegistry;
+}  // namespace pdcu::obs
+
 namespace pdcu::search {
 
 /// Per-field term frequencies of one term in one document.
@@ -80,8 +84,12 @@ class SearchIndex {
 
   /// Indexes every activity of `repo` in curation order. With a pool the
   /// build shards across its workers; the result is identical either way.
+  /// With `spans`, the wall time lands there as a "search.build" span (and
+  /// "search.merge" for the shard-merge tail), so repeated builds — watch
+  /// mode reloads, benchmarks — accumulate a latency histogram.
   static SearchIndex build(const core::Repository& repo,
-                           rt::ThreadPool* pool = nullptr);
+                           rt::ThreadPool* pool = nullptr,
+                           obs::SpanRegistry* spans = nullptr);
 
   /// Reassembles an index from deserialized parts, validating invariants
   /// (terms sorted and unique, postings sorted, doc ids in range).

@@ -1,9 +1,11 @@
 #include "pdcu/search/index.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
+#include "pdcu/obs/span.hpp"
 #include "pdcu/search/tokenizer.hpp"
 
 namespace pdcu::search {
@@ -112,7 +114,9 @@ BlockMap merge_blocks(BlockMap left, BlockMap right) {
 }  // namespace
 
 SearchIndex SearchIndex::build(const core::Repository& repo,
-                               rt::ThreadPool* pool) {
+                               rt::ThreadPool* pool,
+                               obs::SpanRegistry* spans) {
+  const auto started = std::chrono::steady_clock::now();
   SearchIndex index;
   const std::size_t n = repo.activities().size();
   index.docs_.resize(n);
@@ -131,11 +135,22 @@ SearchIndex SearchIndex::build(const core::Repository& repo,
     merged = index_block(repo, index.docs_, 0, n);
   }
 
+  const auto indexed = std::chrono::steady_clock::now();
   index.terms_.reserve(merged.size());
   for (auto& [term, postings] : merged) {
     index.terms_.push_back({term, std::move(postings)});
   }
   index.finalize();
+
+  if (spans != nullptr) {
+    const auto finished = std::chrono::steady_clock::now();
+    const auto us = [](std::chrono::steady_clock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    spans->record("search.build", us(finished - started));
+    spans->record("search.merge", us(finished - indexed));
+  }
   return index;
 }
 

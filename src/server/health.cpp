@@ -70,17 +70,40 @@ std::string HealthTracker::render_json() const {
 
 std::string ReloadMetrics::render_text() const {
   std::string out;
+  out += "# HELP pdcu_reload_attempts_total Content reloads attempted.\n";
+  out += "# TYPE pdcu_reload_attempts_total counter\n";
   out += "pdcu_reload_attempts_total " + std::to_string(attempts()) + "\n";
+  out += "# HELP pdcu_reload_success_total Content reloads that swapped in "
+         "a new snapshot.\n";
+  out += "# TYPE pdcu_reload_success_total counter\n";
   out += "pdcu_reload_success_total " + std::to_string(successes()) + "\n";
+  out += "# HELP pdcu_reload_failures_total Content reloads that kept the "
+         "last-known-good snapshot.\n";
+  out += "# TYPE pdcu_reload_failures_total counter\n";
   out += "pdcu_reload_failures_total " + std::to_string(failures()) + "\n";
+  out += "# HELP pdcu_reload_consecutive_failures Failed reloads since the "
+         "last success.\n";
+  out += "# TYPE pdcu_reload_consecutive_failures gauge\n";
   out += "pdcu_reload_consecutive_failures " +
          std::to_string(consecutive_failures()) + "\n";
+  out += "# HELP pdcu_reload_last_ok Whether the most recent reload "
+         "succeeded (1) or failed (0).\n";
+  out += "# TYPE pdcu_reload_last_ok gauge\n";
   out += "pdcu_reload_last_ok " + std::to_string(last_ok_.load(kRelaxed)) +
          "\n";
+  out += "# HELP pdcu_reload_quarantined Content files quarantined by the "
+         "last successful reload.\n";
+  out += "# TYPE pdcu_reload_quarantined gauge\n";
   out += "pdcu_reload_quarantined " +
          std::to_string(quarantined_.load(kRelaxed)) + "\n";
+  out += "# HELP pdcu_reload_pages_rendered_last Pages re-rendered by the "
+         "last successful reload.\n";
+  out += "# TYPE pdcu_reload_pages_rendered_last gauge\n";
   out += "pdcu_reload_pages_rendered_last " +
          std::to_string(pages_rendered_last_.load(kRelaxed)) + "\n";
+  out += "# HELP pdcu_reload_backoff_ms Current reload failure backoff in "
+         "milliseconds (0 when healthy).\n";
+  out += "# TYPE pdcu_reload_backoff_ms gauge\n";
   out += "pdcu_reload_backoff_ms " +
          std::to_string(backoff_ms_.load(kRelaxed)) + "\n";
   return out;

@@ -122,14 +122,29 @@ std::vector<std::pair<std::string, std::string>> parse_query_params(
   return params;
 }
 
+namespace {
+
+/// True when the comma-separated Connection header lists `token` as one of
+/// its whole (trimmed, case-insensitive) members. Substring matching is
+/// wrong here: "Connection: keep-alive, x-close-hint" must not read as
+/// "close", and "proxy-keep-alive" must not read as "keep-alive".
+bool connection_has_token(std::string_view header, std::string_view token) {
+  for (const auto& piece : strs::split(header, ',')) {
+    if (equals_ignore_case(strs::trim(piece), token)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool Request::keep_alive() const {
   const std::string* connection = header("connection");
-  if (version == "HTTP/1.1") {
-    return connection == nullptr ||
-           !strs::contains(strs::to_lower(*connection), "close");
+  if (connection != nullptr && connection_has_token(*connection, "close")) {
+    return false;
   }
+  if (version == "HTTP/1.1") return true;
   return connection != nullptr &&
-         strs::contains(strs::to_lower(*connection), "keep-alive");
+         connection_has_token(*connection, "keep-alive");
 }
 
 ParseResult parse_request(std::string_view data, std::size_t max_bytes) {

@@ -1,7 +1,12 @@
-// Lock-free serving counters: request counts by status class, bytes on the
-// wire, and latency min/mean/max. record() is a handful of relaxed atomic
-// operations so it can sit on the per-request hot path; render_text()
-// produces the /metrics exposition format.
+// Lock-free serving counters with per-route resolution: request counts by
+// route and status class, bytes on the wire, latency min/mean/max, and one
+// log-bucketed obs::Histogram of handling latency per route. record() is a
+// handful of relaxed atomic operations so it sits on the per-request hot
+// path; render_text() produces promtool-clean /metrics exposition
+// (# HELP / # TYPE lines, counters suffixed _total, cumulative
+// pdcu_request_latency_us_bucket{route=...,le=...} series ending in +Inf).
+// The pre-rename families are still emitted when obs::legacy_names() is
+// set, for one release of scrape-config migration.
 #pragma once
 
 #include <array>
@@ -10,31 +15,81 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "pdcu/obs/histogram.hpp"
 
 namespace pdcu::server {
 
+/// The serving routes metrics are labeled with. kOther covers traffic that
+/// never reached the router: connection-level 400/408/431/503 answers.
+enum class Route : std::uint8_t {
+  kPage = 0,   ///< cached site pages (and API 404s)
+  kCatalog,    ///< /api/catalog.json
+  kActivity,   ///< /api/activities/<slug>.json
+  kSearch,     ///< /api/search
+  kHealthz,    ///< /healthz
+  kMetrics,    ///< /metrics
+  kOther,      ///< no parsed request (connection-level errors)
+};
+
+inline constexpr std::size_t kRouteCount = 7;
+
+/// The exposition label for a route ("page", "catalog", ...).
+std::string_view route_label(Route route);
+
+/// Classifies a request path into its route tag.
+Route route_for_path(std::string_view path);
+
 class ServerMetrics {
  public:
-  /// Records one finished request: its response status, bytes written to
-  /// the socket (head + body), and wall-clock handling latency.
-  void record(int status, std::size_t bytes_sent,
+  /// Records one finished request: the route it hit, its response status,
+  /// bytes written to the socket (head + body), and wall-clock handling
+  /// latency.
+  void record(Route route, int status, std::size_t bytes_sent,
               std::chrono::microseconds latency);
 
   std::uint64_t requests_total() const;
   /// Count for one status class; status_class is 1..5 (1xx..5xx).
   std::uint64_t requests_by_class(int status_class) const;
+  std::uint64_t requests_by_route(Route route, int status_class) const;
   std::uint64_t bytes_sent_total() const;
 
-  /// Latency stats in microseconds; min and max are 0 before any request.
-  std::uint64_t latency_min_us() const;
-  std::uint64_t latency_max_us() const;
-  double latency_mean_us() const;
+  /// One consistent view of the aggregate latency counters. record()
+  /// publishes the running sum last (release) and the snapshot loads it
+  /// first (acquire), so every microsecond in `sum` comes from a request
+  /// whose count/min/max updates are already visible: the mean can never
+  /// exceed the max (the torn-read the old per-field getters allowed).
+  struct LatencyStats {
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t min_us = 0;
+    std::uint64_t max_us = 0;
+    double mean_us = 0.0;  ///< clamped into [min_us, max_us]
+  };
+  LatencyStats latency_stats() const;
 
-  /// Plain-text exposition, one "name value" or "name{label} value" per
-  /// line (the format served at /metrics).
+  /// Latency stats in microseconds; min and max are 0 before any request.
+  std::uint64_t latency_min_us() const { return latency_stats().min_us; }
+  std::uint64_t latency_max_us() const { return latency_stats().max_us; }
+  double latency_mean_us() const { return latency_stats().mean_us; }
+
+  /// The per-route latency histogram (for percentile queries in tests and
+  /// tools; /metrics renders all of them).
+  const obs::Histogram& route_latency(Route route) const {
+    return per_route_[static_cast<std::size_t>(route)].latency;
+  }
+
+  /// Prometheus text exposition (the body served at /metrics).
   std::string render_text() const;
 
  private:
+  struct PerRoute {
+    std::array<std::atomic<std::uint64_t>, 5> by_class{};
+    obs::Histogram latency;
+  };
+
+  std::array<PerRoute, kRouteCount> per_route_{};
   std::array<std::atomic<std::uint64_t>, 5> by_class_{};
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> bytes_{0};

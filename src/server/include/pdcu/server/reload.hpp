@@ -27,6 +27,10 @@
 #include "pdcu/site/site.hpp"
 #include "pdcu/support/expected.hpp"
 
+namespace pdcu::obs {
+class SpanRegistry;
+}  // namespace pdcu::obs
+
 namespace pdcu::server {
 
 /// Fingerprint of a content directory's activities/*.md listing: file
@@ -65,6 +69,12 @@ class ReloadManager {
   ReloadManager(const ReloadManager&) = delete;
   ReloadManager& operator=(const ReloadManager&) = delete;
 
+  /// Span registry for reload-built sites and routers (site.* and
+  /// search.build phase timings keep accumulating across reloads, and the
+  /// swapped-in router keeps serving them on /metrics). Must outlive the
+  /// manager. Call before start().
+  void set_spans(obs::SpanRegistry* spans) { spans_ = spans; }
+
   /// Starts the background poll thread. Idempotent.
   void start();
   /// Stops and joins the poll thread. Idempotent.
@@ -86,6 +96,7 @@ class ReloadManager {
   ReloadMetrics& metrics_;
   ReloadOptions options_;
   rt::TraceLog* trace_;
+  obs::SpanRegistry* spans_ = nullptr;
 
   // Touched only from the polling thread (or check_once callers).
   site::BuildCache cache_;

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "pdcu/core/repository.hpp"
+#include "pdcu/obs/span.hpp"
 #include "pdcu/search/index.hpp"
 #include "pdcu/server/health.hpp"
 #include "pdcu/server/http.hpp"
@@ -60,6 +61,11 @@ class Router {
     reload_metrics_ = metrics;
   }
 
+  /// Appends the pdcu_span_duration_us histogram series (site-build
+  /// phases, index builds) to /metrics. The registry must outlive the
+  /// router and every snapshot swapped after it.
+  void set_spans(const obs::SpanRegistry* spans) { spans_ = spans; }
+
   /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
   /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
@@ -76,6 +82,7 @@ class Router {
   const ServerMetrics* metrics_ = nullptr;
   const HealthTracker* health_ = nullptr;
   const ReloadMetrics* reload_metrics_ = nullptr;
+  const obs::SpanRegistry* spans_ = nullptr;
   std::optional<site::BuildStats> build_stats_;
 };
 

@@ -32,6 +32,10 @@
 #include "pdcu/server/router.hpp"
 #include "pdcu/support/expected.hpp"
 
+namespace pdcu::obs {
+class AccessLog;
+}  // namespace pdcu::obs
+
 namespace pdcu::server {
 
 struct ServerOptions {
@@ -42,6 +46,10 @@ struct ServerOptions {
   std::chrono::milliseconds read_timeout{5000};  ///< per request head
   std::size_t max_request_bytes = kDefaultMaxRequestBytes;
   unsigned max_requests_per_connection = 100;  ///< keep-alive cap
+  /// Structured JSON access log: one line per parsed request. The pointee
+  /// (owned by the caller, e.g. `pdcu serve --access-log`) must outlive
+  /// the server; its writer thread keeps file I/O off the request path.
+  obs::AccessLog* access_log = nullptr;
 };
 
 class HttpServer {

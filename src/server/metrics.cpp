@@ -1,7 +1,11 @@
 #include "pdcu/server/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
+
+#include "pdcu/obs/span.hpp"
+#include "pdcu/support/strings.hpp"
 
 namespace pdcu::server {
 
@@ -18,21 +22,46 @@ void update_extreme(std::atomic<std::uint64_t>& extreme, std::uint64_t value,
   }
 }
 
+constexpr std::array<std::string_view, kRouteCount> kRouteLabels = {
+    "page", "catalog", "activity", "search", "healthz", "metrics", "other"};
+
+constexpr std::array<std::string_view, 5> kClassLabels = {"1xx", "2xx", "3xx",
+                                                          "4xx", "5xx"};
+
 }  // namespace
 
-void ServerMetrics::record(int status, std::size_t bytes_sent,
+std::string_view route_label(Route route) {
+  return kRouteLabels[static_cast<std::size_t>(route)];
+}
+
+Route route_for_path(std::string_view path) {
+  if (path == "/healthz") return Route::kHealthz;
+  if (path == "/metrics") return Route::kMetrics;
+  if (path == "/api/search") return Route::kSearch;
+  if (path == "/api/catalog.json") return Route::kCatalog;
+  if (strings::starts_with(path, "/api/activities/")) return Route::kActivity;
+  return Route::kPage;
+}
+
+void ServerMetrics::record(Route route, int status, std::size_t bytes_sent,
                            std::chrono::microseconds latency) {
   const int status_class = status / 100;
+  PerRoute& slot = per_route_[static_cast<std::size_t>(route)];
   if (status_class >= 1 && status_class <= 5) {
-    by_class_[static_cast<std::size_t>(status_class - 1)].fetch_add(
-        1, std::memory_order_relaxed);
+    const auto index = static_cast<std::size_t>(status_class - 1);
+    by_class_[index].fetch_add(1, std::memory_order_relaxed);
+    slot.by_class[index].fetch_add(1, std::memory_order_relaxed);
   }
   total_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes_sent, std::memory_order_relaxed);
   const auto us = static_cast<std::uint64_t>(latency.count());
-  latency_total_us_.fetch_add(us, std::memory_order_relaxed);
+  slot.latency.record(us);
   update_extreme(latency_min_us_, us, std::less<>{});
   update_extreme(latency_max_us_, us, std::greater<>{});
+  // The sum is published last, with release: a reader that acquires the
+  // sum therefore sees the count/min/max updates of every request the sum
+  // includes (see latency_stats()).
+  latency_total_us_.fetch_add(us, std::memory_order_release);
 }
 
 std::uint64_t ServerMetrics::requests_total() const {
@@ -45,42 +74,110 @@ std::uint64_t ServerMetrics::requests_by_class(int status_class) const {
       std::memory_order_relaxed);
 }
 
+std::uint64_t ServerMetrics::requests_by_route(Route route,
+                                               int status_class) const {
+  if (status_class < 1 || status_class > 5) return 0;
+  return per_route_[static_cast<std::size_t>(route)]
+      .by_class[static_cast<std::size_t>(status_class - 1)]
+      .load(std::memory_order_relaxed);
+}
+
 std::uint64_t ServerMetrics::bytes_sent_total() const {
   return bytes_.load(std::memory_order_relaxed);
 }
 
-std::uint64_t ServerMetrics::latency_min_us() const {
+ServerMetrics::LatencyStats ServerMetrics::latency_stats() const {
+  LatencyStats stats;
+  // One snapshot, sum first: the acquire pairs with record()'s release so
+  // the count read next covers at least every request in the sum, keeping
+  // the derived mean inside [min, max] even mid-record.
+  stats.sum_us = latency_total_us_.load(std::memory_order_acquire);
+  stats.count = total_.load(std::memory_order_relaxed);
   const std::uint64_t min = latency_min_us_.load(std::memory_order_relaxed);
-  return min == UINT64_MAX ? 0 : min;
-}
-
-std::uint64_t ServerMetrics::latency_max_us() const {
-  return latency_max_us_.load(std::memory_order_relaxed);
-}
-
-double ServerMetrics::latency_mean_us() const {
-  const std::uint64_t n = requests_total();
-  if (n == 0) return 0.0;
-  return static_cast<double>(
-             latency_total_us_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
+  stats.min_us = min == UINT64_MAX ? 0 : min;
+  stats.max_us = latency_max_us_.load(std::memory_order_relaxed);
+  if (stats.count == 0) return stats;
+  stats.mean_us = static_cast<double>(stats.sum_us) /
+                  static_cast<double>(stats.count);
+  // Belt and braces: a request counted but not yet summed can still drag
+  // the quotient below the true mean; clamp so the reported mean never
+  // escapes the [min, max] envelope.
+  stats.mean_us =
+      std::min(std::max(stats.mean_us, static_cast<double>(stats.min_us)),
+               static_cast<double>(stats.max_us));
+  return stats;
 }
 
 std::string ServerMetrics::render_text() const {
+  const LatencyStats latency = latency_stats();
   std::string out;
+
+  out += "# HELP pdcu_requests_total Requests answered, including "
+         "connection-level errors.\n";
+  out += "# TYPE pdcu_requests_total counter\n";
   out += "pdcu_requests_total " + std::to_string(requests_total()) + "\n";
+
+  out += "# HELP pdcu_requests_by_class_total Requests answered, by status "
+         "class.\n";
+  out += "# TYPE pdcu_requests_by_class_total counter\n";
   for (int status_class = 1; status_class <= 5; ++status_class) {
-    out += "pdcu_requests{class=\"" + std::to_string(status_class) +
-           "xx\"} " + std::to_string(requests_by_class(status_class)) + "\n";
+    out += "pdcu_requests_by_class_total{class=\"";
+    out += kClassLabels[static_cast<std::size_t>(status_class - 1)];
+    out += "\"} " + std::to_string(requests_by_class(status_class)) + "\n";
   }
+
+  out += "# HELP pdcu_requests_by_route_total Requests answered, by route "
+         "and status class.\n";
+  out += "# TYPE pdcu_requests_by_route_total counter\n";
+  for (std::size_t route = 0; route < kRouteCount; ++route) {
+    for (std::size_t cls = 0; cls < 5; ++cls) {
+      out += "pdcu_requests_by_route_total{route=\"";
+      out += kRouteLabels[route];
+      out += "\",class=\"";
+      out += kClassLabels[cls];
+      out += "\"} ";
+      out += std::to_string(
+          per_route_[route].by_class[cls].load(std::memory_order_relaxed));
+      out += '\n';
+    }
+  }
+
+  out += "# HELP pdcu_bytes_sent_total Bytes written to client sockets.\n";
+  out += "# TYPE pdcu_bytes_sent_total counter\n";
   out += "pdcu_bytes_sent_total " + std::to_string(bytes_sent_total()) + "\n";
-  out += "pdcu_latency_us{stat=\"min\"} " +
-         std::to_string(latency_min_us()) + "\n";
+
+  out += "# HELP pdcu_latency_us Aggregate request latency in microseconds "
+         "(min, mean, max over the server's lifetime).\n";
+  out += "# TYPE pdcu_latency_us gauge\n";
+  out += "pdcu_latency_us{stat=\"min\"} " + std::to_string(latency.min_us) +
+         "\n";
   char mean[32];
-  std::snprintf(mean, sizeof mean, "%.1f", latency_mean_us());
+  std::snprintf(mean, sizeof mean, "%.1f", latency.mean_us);
   out += "pdcu_latency_us{stat=\"mean\"} " + std::string(mean) + "\n";
-  out += "pdcu_latency_us{stat=\"max\"} " +
-         std::to_string(latency_max_us()) + "\n";
+  out += "pdcu_latency_us{stat=\"max\"} " + std::to_string(latency.max_us) +
+         "\n";
+
+  out += "# HELP pdcu_request_latency_us Request handling latency in "
+         "microseconds, by route.\n";
+  out += "# TYPE pdcu_request_latency_us histogram\n";
+  for (std::size_t route = 0; route < kRouteCount; ++route) {
+    std::string labels = "route=\"";
+    labels += kRouteLabels[route];
+    labels += '"';
+    obs::append_histogram_series("pdcu_request_latency_us", labels,
+                                 per_route_[route].latency.snapshot(), out);
+  }
+
+  if (obs::legacy_names()) {
+    // Pre-rename families, kept one release for scrape-config migration.
+    // Deliberately un-TYPEd, exactly as they shipped; drop together with
+    // obs::legacy_names.
+    for (int status_class = 1; status_class <= 5; ++status_class) {
+      out += "pdcu_requests{class=\"" + std::to_string(status_class) +
+             "xx\"} " + std::to_string(requests_by_class(status_class)) +
+             "\n";
+    }
+  }
   return out;
 }
 

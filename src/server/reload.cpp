@@ -112,15 +112,17 @@ ReloadManager::Step ReloadManager::attempt_reload(
   site_options.pool = &rt::default_pool();
   site_options.trace = trace_;
   site_options.quarantined_inputs = report.quarantined.size();
+  site_options.spans = spans_;
   site::BuildStats stats;
   site::Site site =
       site::rebuild(report.repository, cache_, site_options, &stats);
 
   auto index = search::SearchIndex::build(report.repository,
-                                          &rt::default_pool());
+                                          &rt::default_pool(), spans_);
   Router router(site, report.repository, std::move(index));
   router.set_build_stats(stats);
   router.set_health(&health_);
+  router.set_spans(spans_);
   router.set_reload_metrics(&metrics_);
   server_.swap_router(std::move(router));
 

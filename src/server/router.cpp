@@ -14,6 +14,10 @@ namespace {
 
 constexpr std::string_view kJsonType = "application/json; charset=utf-8";
 constexpr std::string_view kTextType = "text/plain; charset=utf-8";
+/// The Prometheus text exposition content type, so a stock scraper accepts
+/// /metrics without content-type overrides.
+constexpr std::string_view kMetricsType =
+    "text/plain; version=0.0.4; charset=utf-8";
 
 constexpr std::size_t kDefaultSearchLimit = 10;
 constexpr std::size_t kMaxSearchLimit = 100;
@@ -113,7 +117,11 @@ Response Router::handle(const Request& request) const {
     std::string text = metrics_->render_text();
     if (build_stats_.has_value()) text += build_stats_->render_text();
     if (reload_metrics_ != nullptr) text += reload_metrics_->render_text();
-    return plain_response(200, text);
+    if (spans_ != nullptr) text += spans_->render_text();
+    Response response;
+    response.set("Content-Type", std::string(kMetricsType));
+    response.body = std::move(text);
+    return response;
   }
   if (path == "/api/search") {
     return handle_search(request);
@@ -146,8 +154,17 @@ Response Router::handle_search(const Request& request) const {
       q = value;
       has_q = true;
     } else if (key == "limit") {
-      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
-      if (parsed > 0) limit = std::min<std::size_t>(parsed, kMaxSearchLimit);
+      // Strict parse: "10abc", "-1", "1e3", and "" are client errors, not
+      // numbers; so is an explicit limit=0 (the old code silently served
+      // the default for all of these). Valid but huge limits clamp.
+      const auto parsed = strs::parse_u64(value);
+      if (!parsed.has_value() || *parsed == 0) {
+        return json_response(
+            400,
+            "{\"error\":\"invalid limit parameter: expected a positive "
+            "integer\"}\n");
+      }
+      limit = std::min<std::size_t>(*parsed, kMaxSearchLimit);
     }
   }
   if (!has_q || strs::trim(q).empty()) {

@@ -12,6 +12,8 @@
 #include <csignal>
 #include <cstring>
 
+#include "pdcu/obs/access_log.hpp"
+
 namespace pdcu::server {
 
 namespace {
@@ -172,7 +174,8 @@ void HttpServer::accept_loop() {
         options_.max_connections) {
       const std::string wire = error_wire(503);
       send_all(fd, wire);
-      metrics_.record(503, wire.size(), std::chrono::microseconds{0});
+      metrics_.record(Route::kOther, 503, wire.size(),
+                      std::chrono::microseconds{0});
       ::close(fd);
       continue;
     }
@@ -212,7 +215,8 @@ void HttpServer::handle_connection(int fd) {
         if (!buffer.empty()) {
           const std::string wire = error_wire(408);
           send_all(fd, wire);
-          metrics_.record(408, wire.size(), std::chrono::microseconds{0});
+          metrics_.record(Route::kOther, 408, wire.size(),
+                          std::chrono::microseconds{0});
         }
         open = false;
         break;
@@ -241,7 +245,8 @@ void HttpServer::handle_connection(int fd) {
       const int status = parsed.status == ParseStatus::kBad ? 400 : 431;
       const std::string wire = error_wire(status);
       send_all(fd, wire);
-      metrics_.record(status, wire.size(), std::chrono::microseconds{0});
+      metrics_.record(Route::kOther, status, wire.size(),
+                      std::chrono::microseconds{0});
       break;
     }
 
@@ -268,9 +273,22 @@ void HttpServer::handle_connection(int fd) {
     const std::string wire =
         serialize(response, parsed.request.method == "HEAD");
     open = send_all(fd, wire) && !close_after;
-    metrics_.record(response.status, wire.size(),
-                    std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - handle_start));
+    const Route route = route_for_path(parsed.request.path());
+    const auto latency =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - handle_start);
+    metrics_.record(route, response.status, wire.size(), latency);
+    if (options_.access_log != nullptr) {
+      obs::AccessEntry entry;
+      entry.time = std::chrono::system_clock::now();
+      entry.method = parsed.request.method;
+      entry.target = parsed.request.target;
+      entry.status = response.status;
+      entry.bytes = wire.size();
+      entry.latency_us = static_cast<std::uint64_t>(latency.count());
+      entry.route = std::string(route_label(route));
+      options_.access_log->log(std::move(entry));
+    }
     buffer.erase(0, parsed.consumed);
   }
   ::close(fd);

@@ -31,6 +31,10 @@ class ThreadPool;
 class TraceLog;
 }  // namespace pdcu::rt
 
+namespace pdcu::obs {
+class SpanRegistry;
+}  // namespace pdcu::obs
+
 namespace pdcu::site {
 
 /// One generated page.
@@ -88,6 +92,12 @@ struct SiteOptions {
   /// core::LoadReport); carried through into BuildStats so a degraded
   /// build is visible on /metrics and in --stats output.
   std::size_t quarantined_inputs = 0;
+  /// Phase durations land here as "site.parse" / "site.render" /
+  /// "site.assemble" / "site.total" spans. Across repeated builds (watch
+  /// mode, --incremental) the spans accumulate into histograms, so
+  /// /metrics and `pdcu build --stats` can report percentiles instead of
+  /// just the last build's totals.
+  obs::SpanRegistry* spans = nullptr;
 };
 
 /// What one build did: page totals split into rendered vs. reused (cache

@@ -7,6 +7,7 @@
 
 #include "pdcu/core/activity_io.hpp"
 #include "pdcu/core/views.hpp"
+#include "pdcu/obs/span.hpp"
 #include "pdcu/site/json_catalog.hpp"
 #include "pdcu/markdown/frontmatter.hpp"
 #include "pdcu/markdown/html.hpp"
@@ -398,6 +399,18 @@ Site build_pipeline(const core::Repository& repo, const SiteOptions& options,
       rendered - parsed);
   result.assemble_time =
       std::chrono::duration_cast<std::chrono::microseconds>(done - rendered);
+  if (options.spans != nullptr) {
+    options.spans->record(
+        "site.parse", static_cast<std::uint64_t>(result.parse_time.count()));
+    options.spans->record(
+        "site.render",
+        static_cast<std::uint64_t>(result.render_time.count()));
+    options.spans->record(
+        "site.assemble",
+        static_cast<std::uint64_t>(result.assemble_time.count()));
+    options.spans->record(
+        "site.total", static_cast<std::uint64_t>(site.build_time.count()));
+  }
   if (options.trace != nullptr) {
     options.trace->narrate("site: " + result.summary());
   }
@@ -464,16 +477,34 @@ std::string BuildStats::summary() const {
 }
 
 std::string BuildStats::render_text() const {
+  // Gauges describing the build that produced the served site. The page
+  // total is deliberately named without a _total suffix: promtool reserves
+  // that suffix for counters, and these reset on every build.
   std::string out;
-  out += "pdcu_build_pages_total " + std::to_string(pages_total) + "\n";
+  out += "# HELP pdcu_build_pages Pages produced by the build serving this "
+         "process.\n";
+  out += "# TYPE pdcu_build_pages gauge\n";
+  out += "pdcu_build_pages " + std::to_string(pages_total) + "\n";
+  out += "# HELP pdcu_build_pages_rendered Pages rendered (cache misses) "
+         "by the last build.\n";
+  out += "# TYPE pdcu_build_pages_rendered gauge\n";
   out += "pdcu_build_pages_rendered " + std::to_string(pages_rendered) + "\n";
+  out += "# HELP pdcu_build_pages_reused Pages reused from the build cache "
+         "by the last build.\n";
+  out += "# TYPE pdcu_build_pages_reused gauge\n";
   out += "pdcu_build_pages_reused " + std::to_string(pages_reused) + "\n";
+  out += "# HELP pdcu_build_phase_us Wall time of each build pipeline "
+         "phase, microseconds.\n";
+  out += "# TYPE pdcu_build_phase_us gauge\n";
   out += "pdcu_build_phase_us{phase=\"parse\"} " +
          std::to_string(parse_time.count()) + "\n";
   out += "pdcu_build_phase_us{phase=\"render\"} " +
          std::to_string(render_time.count()) + "\n";
   out += "pdcu_build_phase_us{phase=\"assemble\"} " +
          std::to_string(assemble_time.count()) + "\n";
+  out += "# HELP pdcu_build_activities_quarantined Content files the "
+         "lenient loader quarantined before the last build.\n";
+  out += "# TYPE pdcu_build_activities_quarantined gauge\n";
   out += "pdcu_build_activities_quarantined " +
          std::to_string(activities_quarantined) + "\n";
   return out;

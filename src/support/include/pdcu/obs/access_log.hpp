@@ -1,0 +1,86 @@
+// Structured JSON access log with an off-thread writer. The request hot
+// path calls log(), which appends the entry to a bounded in-memory ring
+// under a mutex held for a few pointer moves — it never touches the file.
+// A dedicated writer thread drains the ring in batches, formats one JSON
+// object per line, and does all the I/O. When producers outrun the writer
+// the ring drops new entries (counted in dropped()) instead of blocking
+// request threads or growing without bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pdcu::obs {
+
+/// One finished request, as the access log sees it.
+struct AccessEntry {
+  std::chrono::system_clock::time_point time{};  ///< request completion
+  std::string method;      ///< "GET", "HEAD", ...
+  std::string target;      ///< path + query as received
+  int status = 0;          ///< response status code
+  std::uint64_t bytes = 0;       ///< bytes written to the socket
+  std::uint64_t latency_us = 0;  ///< wall-clock handling latency
+  std::string route;       ///< route tag ("page", "search", ...)
+};
+
+class AccessLog {
+ public:
+  /// Opens `path` for appending ("-" logs to stdout) and starts the writer
+  /// thread. Check ok() before relying on the log; a failed open leaves a
+  /// no-op logger.
+  explicit AccessLog(const std::string& path, std::size_t capacity = 4096);
+
+  /// Drains, flushes, and joins the writer.
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Enqueues one entry; drops (and counts) when the ring is full. Never
+  /// performs I/O on the caller's thread.
+  void log(AccessEntry entry);
+
+  /// Blocks until everything enqueued so far is on disk.
+  void flush();
+
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The JSON line (without trailing newline) for one entry:
+  /// {"ts":"2026-08-06T12:34:56.789Z","method":"GET","path":"/x",
+  ///  "status":200,"bytes":123,"latency_us":45,"route":"page"}
+  static std::string format_line(const AccessEntry& entry);
+
+ private:
+  void writer_loop();
+
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = true;  ///< false for stdout: flush, don't fclose
+  std::size_t capacity_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;    ///< writer: work or stop
+  std::condition_variable drained_; ///< flush(): ring empty, batch done
+  std::deque<AccessEntry> ring_;
+  bool writing_ = false;  ///< writer holds a batch outside the lock
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::thread writer_;
+};
+
+}  // namespace pdcu::obs

@@ -1,6 +1,8 @@
 // String utilities shared by the markdown, taxonomy, and site layers.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +56,11 @@ std::string html_escape(std::string_view s);
 /// Appends the escaped form of `s` to `out` without intermediate
 /// allocations — the render hot path escapes into one reserved buffer.
 void html_escape_append(std::string_view s, std::string& out);
+
+/// Strict full-string unsigned parse: ASCII digits only — no sign, no
+/// leading/trailing junk, no overflow. Rejects what std::strtoul silently
+/// accepts: "10abc" (partial), "-1" (wraps), " 7" (whitespace), "".
+std::optional<std::uint64_t> parse_u64(std::string_view s);
 
 /// Formats a ratio as a percentage with two decimals, e.g. 0.8333 -> "83.33%".
 /// This matches the formatting used in the paper's Tables I and II.

@@ -1,0 +1,326 @@
+#include "pdcu/obs/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace pdcu::obs {
+
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9');
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty() || !is_name_start(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), is_name_char);
+}
+
+bool valid_number(std::string_view text) {
+  if (text == "+Inf" || text == "-Inf" || text == "NaN") return true;
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(text);
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// One parsed sample line.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  ///< in order
+  std::string value;
+  std::size_t line = 0;
+
+  std::string label(std::string_view key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+
+  /// Canonical label-set key; `drop` removes one label (used to group a
+  /// histogram's buckets across le values).
+  std::string label_key(std::string_view drop = {}) const {
+    std::vector<std::pair<std::string, std::string>> sorted;
+    for (const auto& entry : labels) {
+      if (entry.first != drop) sorted.push_back(entry);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::string key;
+    for (const auto& [k, v] : sorted) key += k + "=\"" + v + "\",";
+    return key;
+  }
+};
+
+/// Parses `name{label="v",...} value` (labels optional). Returns nullopt
+/// and sets `problem` when malformed.
+std::optional<Sample> parse_sample(std::string_view line, std::size_t number,
+                                   std::string* problem) {
+  Sample sample;
+  sample.line = number;
+  std::size_t at = 0;
+  while (at < line.size() && is_name_char(line[at])) ++at;
+  sample.name = std::string(line.substr(0, at));
+  if (!valid_metric_name(sample.name)) {
+    *problem = "invalid metric name";
+    return std::nullopt;
+  }
+  if (at < line.size() && line[at] == '{') {
+    ++at;
+    while (at < line.size() && line[at] != '}') {
+      std::size_t name_end = at;
+      while (name_end < line.size() && is_name_char(line[name_end])) {
+        ++name_end;
+      }
+      const std::string label_name(line.substr(at, name_end - at));
+      if (label_name.empty() || name_end >= line.size() ||
+          line[name_end] != '=' || name_end + 1 >= line.size() ||
+          line[name_end + 1] != '"') {
+        *problem = "malformed label";
+        return std::nullopt;
+      }
+      std::size_t cursor = name_end + 2;
+      std::string value;
+      bool closed = false;
+      while (cursor < line.size()) {
+        const char c = line[cursor];
+        if (c == '\\' && cursor + 1 < line.size()) {
+          value += line[cursor + 1];
+          cursor += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++cursor;
+          break;
+        }
+        value += c;
+        ++cursor;
+      }
+      if (!closed) {
+        *problem = "unterminated label value";
+        return std::nullopt;
+      }
+      sample.labels.emplace_back(label_name, value);
+      if (cursor < line.size() && line[cursor] == ',') ++cursor;
+      at = cursor;
+    }
+    if (at >= line.size() || line[at] != '}') {
+      *problem = "unterminated label set";
+      return std::nullopt;
+    }
+    ++at;
+  }
+  if (at >= line.size() || line[at] != ' ') {
+    *problem = "missing value";
+    return std::nullopt;
+  }
+  ++at;
+  // Value, optionally followed by a timestamp (which we accept and skip).
+  const std::size_t value_end = line.find(' ', at);
+  sample.value = std::string(line.substr(
+      at, value_end == std::string_view::npos ? line.size() - at
+                                              : value_end - at));
+  if (!valid_number(sample.value)) {
+    *problem = "invalid sample value '" + sample.value + "'";
+    return std::nullopt;
+  }
+  return sample;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+double parse_le(std::string_view text) {
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::atof(std::string(text).c_str());
+}
+
+}  // namespace
+
+std::vector<std::string> lint_exposition(std::string_view text) {
+  std::vector<std::string> problems;
+  const auto report = [&problems](std::size_t line, const std::string& what) {
+    problems.push_back("line " + std::to_string(line) + ": " + what);
+  };
+
+  std::map<std::string, std::string> family_type;  ///< name -> TYPE
+  std::set<std::string> family_help;
+  std::set<std::string> families_with_samples;
+  std::set<std::string> series_seen;  ///< full name + label key
+  std::vector<Sample> samples;
+
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) {
+      if (start > text.size()) break;
+      continue;
+    }
+
+    if (line.front() == '#') {
+      // "# HELP name doc" / "# TYPE name type"; other comments pass.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_type = line[2] == 'T';
+        const std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        const std::string name(rest.substr(0, space));
+        if (!valid_metric_name(name)) {
+          report(line_number, "invalid metric name in comment");
+          continue;
+        }
+        if (is_type) {
+          const std::string type(
+              space == std::string_view::npos ? "" : rest.substr(space + 1));
+          if (type != "counter" && type != "gauge" && type != "histogram" &&
+              type != "summary" && type != "untyped") {
+            report(line_number, "unknown TYPE '" + type + "' for " + name);
+          }
+          if (family_type.count(name) != 0) {
+            report(line_number, "duplicate TYPE for " + name);
+          }
+          if (families_with_samples.count(name) != 0) {
+            report(line_number, "TYPE for " + name + " after its samples");
+          }
+          family_type[name] = type;
+        } else {
+          family_help.insert(name);
+        }
+      }
+      continue;
+    }
+
+    std::string problem;
+    auto sample = parse_sample(line, line_number, &problem);
+    if (!sample.has_value()) {
+      report(line_number, problem);
+      continue;
+    }
+
+    // Resolve the owning family: _bucket/_sum/_count fold into a declared
+    // histogram (or summary, for _sum/_count) family.
+    std::string family = sample->name;
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (!ends_with(sample->name, suffix)) continue;
+      const std::string base(
+          sample->name.substr(0, sample->name.size() - suffix.size()));
+      const auto it = family_type.find(base);
+      if (it != family_type.end() &&
+          (it->second == "histogram" ||
+           (it->second == "summary" && suffix != "_bucket"))) {
+        family = base;
+        break;
+      }
+    }
+    families_with_samples.insert(family);
+
+    const auto type_it = family_type.find(family);
+    if (type_it == family_type.end()) {
+      report(line_number, "no TYPE declared for family of " + sample->name);
+    } else {
+      const std::string& type = type_it->second;
+      if (type == "counter" && !ends_with(sample->name, "_total")) {
+        report(line_number,
+               "counter " + sample->name + " must end in _total");
+      }
+      if (type != "counter" && type != "histogram" && type != "summary" &&
+          ends_with(sample->name, "_total")) {
+        report(line_number,
+               "non-counter " + sample->name + " must not end in _total");
+      }
+      if (type == "histogram" && ends_with(sample->name, "_bucket") &&
+          sample->label("le").empty()) {
+        report(line_number, sample->name + " bucket without an le label");
+      }
+    }
+    if (family_help.count(family) == 0) {
+      report(line_number, "no HELP declared for family of " + sample->name);
+    }
+
+    for (const auto& [label_name, value] : sample->labels) {
+      if (!valid_metric_name(label_name) || label_name.front() == ':') {
+        report(line_number, "invalid label name '" + label_name + "'");
+      }
+    }
+
+    const std::string series_key = sample->name + "{" + sample->label_key();
+    if (!series_seen.insert(series_key).second) {
+      report(line_number, "duplicate series " + sample->name);
+    }
+    samples.push_back(std::move(*sample));
+  }
+
+  // Histogram family coherence: cumulative buckets, +Inf, _sum/_count.
+  for (const auto& [family, type] : family_type) {
+    if (type != "histogram") continue;
+    // Group this family's buckets by their non-le label set.
+    std::map<std::string, std::vector<const Sample*>> groups;
+    std::set<std::string> sums;
+    std::set<std::string> counts;
+    std::map<std::string, double> count_values;
+    for (const Sample& sample : samples) {
+      if (sample.name == family + "_bucket") {
+        groups[sample.label_key("le")].push_back(&sample);
+      } else if (sample.name == family + "_sum") {
+        sums.insert(sample.label_key());
+      } else if (sample.name == family + "_count") {
+        counts.insert(sample.label_key());
+        count_values[sample.label_key()] = parse_le(sample.value);
+      }
+    }
+    for (auto& [key, buckets] : groups) {
+      std::stable_sort(buckets.begin(), buckets.end(),
+                       [](const Sample* a, const Sample* b) {
+                         return parse_le(a->label("le")) <
+                                parse_le(b->label("le"));
+                       });
+      double previous = -1.0;
+      for (const Sample* bucket : buckets) {
+        const double value = parse_le(bucket->value);
+        if (value < previous) {
+          report(bucket->line,
+                 family + " buckets are not cumulative at le=\"" +
+                     bucket->label("le") + "\"");
+        }
+        previous = value;
+      }
+      const Sample* last = buckets.back();
+      if (last->label("le") != "+Inf") {
+        report(last->line, family + " is missing an le=\"+Inf\" bucket");
+      } else if (counts.count(key) != 0 &&
+                 parse_le(last->value) != count_values[key]) {
+        report(last->line,
+               family + " +Inf bucket disagrees with " + family + "_count");
+      }
+      if (sums.count(key) == 0) {
+        report(last->line, family + " is missing " + family + "_sum");
+      }
+      if (counts.count(key) == 0) {
+        report(last->line, family + " is missing " + family + "_count");
+      }
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace pdcu::obs

@@ -191,6 +191,18 @@ void html_escape_append(std::string_view s, std::string& out) {
   out.append(s, run_start, s.size() - run_start);
 }
 
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 std::string percent(double numerator, double denominator) {
   double pct = denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
   // Round half away from zero at two decimals. The paper's tables mix

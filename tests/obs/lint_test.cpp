@@ -1,0 +1,172 @@
+// Unit tests for the exposition linter: clean documents pass, and each
+// promtool-style rule fires on a purpose-built bad document.
+#include "pdcu/obs/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pdcu/support/strings.hpp"
+
+namespace obs = pdcu::obs;
+namespace strs = pdcu::strings;
+
+namespace {
+
+bool any_problem_contains(const std::vector<std::string>& problems,
+                          std::string_view needle) {
+  for (const auto& problem : problems) {
+    if (strs::contains(problem, needle)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(MetricsLint, CleanDocumentPasses) {
+  const std::string text =
+      "# HELP app_requests_total Requests served.\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 10\n"
+      "# HELP app_temperature Current temperature.\n"
+      "# TYPE app_temperature gauge\n"
+      "app_temperature{sensor=\"a\"} 21.5\n"
+      "app_temperature{sensor=\"b\"} -3.25\n"
+      "# HELP app_latency_us Request latency.\n"
+      "# TYPE app_latency_us histogram\n"
+      "app_latency_us_bucket{le=\"1\"} 1\n"
+      "app_latency_us_bucket{le=\"4\"} 3\n"
+      "app_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "app_latency_us_sum 42\n"
+      "app_latency_us_count 4\n";
+  const auto problems = obs::lint_exposition(text);
+  EXPECT_TRUE(problems.empty()) << strs::join(problems, "\n");
+}
+
+TEST(MetricsLint, MissingTypeAndHelpAreFlagged) {
+  const auto problems = obs::lint_exposition("orphan_metric 1\n");
+  EXPECT_TRUE(any_problem_contains(problems, "no TYPE declared"));
+  EXPECT_TRUE(any_problem_contains(problems, "no HELP declared"));
+}
+
+TEST(MetricsLint, TypeAfterSamplesIsFlagged) {
+  const std::string text =
+      "# HELP app_x X.\n"
+      "app_x 1\n"
+      "# TYPE app_x gauge\n";
+  EXPECT_TRUE(
+      any_problem_contains(obs::lint_exposition(text), "after its samples"));
+}
+
+TEST(MetricsLint, CounterNamingIsEnforcedBothWays) {
+  const std::string bad_counter =
+      "# HELP app_requests Requests.\n"
+      "# TYPE app_requests counter\n"
+      "app_requests 1\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(bad_counter),
+                                   "must end in _total"));
+
+  const std::string bad_gauge =
+      "# HELP app_depth_total Depth.\n"
+      "# TYPE app_depth_total gauge\n"
+      "app_depth_total 3\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(bad_gauge),
+                                   "must not end in _total"));
+}
+
+TEST(MetricsLint, HistogramRulesFire) {
+  const std::string non_cumulative =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket{le=\"1\"} 5\n"
+      "app_us_bucket{le=\"4\"} 3\n"
+      "app_us_bucket{le=\"+Inf\"} 5\n"
+      "app_us_sum 9\n"
+      "app_us_count 5\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(non_cumulative),
+                                   "not cumulative"));
+
+  const std::string no_inf =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket{le=\"1\"} 1\n"
+      "app_us_sum 1\n"
+      "app_us_count 1\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(no_inf),
+                                   "missing an le=\"+Inf\" bucket"));
+
+  const std::string inf_disagrees =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket{le=\"+Inf\"} 3\n"
+      "app_us_sum 9\n"
+      "app_us_count 5\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(inf_disagrees),
+                                   "disagrees with app_us_count"));
+
+  const std::string missing_sum =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket{le=\"+Inf\"} 1\n"
+      "app_us_count 1\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(missing_sum),
+                                   "missing app_us_sum"));
+
+  const std::string bucket_without_le =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket 1\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(bucket_without_le),
+                                   "without an le label"));
+}
+
+TEST(MetricsLint, LabeledHistogramGroupsLintIndependently) {
+  // route="a" is fine; route="b" is missing its +Inf bucket.
+  const std::string text =
+      "# HELP app_us Latency.\n"
+      "# TYPE app_us histogram\n"
+      "app_us_bucket{route=\"a\",le=\"1\"} 1\n"
+      "app_us_bucket{route=\"a\",le=\"+Inf\"} 2\n"
+      "app_us_sum{route=\"a\"} 3\n"
+      "app_us_count{route=\"a\"} 2\n"
+      "app_us_bucket{route=\"b\",le=\"1\"} 1\n"
+      "app_us_sum{route=\"b\"} 1\n"
+      "app_us_count{route=\"b\"} 1\n";
+  const auto problems = obs::lint_exposition(text);
+  EXPECT_EQ(problems.size(), 1u) << strs::join(problems, "\n");
+  EXPECT_TRUE(any_problem_contains(problems, "missing an le=\"+Inf\""));
+}
+
+TEST(MetricsLint, DuplicateSeriesAndBadSyntaxAreFlagged) {
+  const std::string duplicated =
+      "# HELP app_x X.\n"
+      "# TYPE app_x gauge\n"
+      "app_x{a=\"1\"} 1\n"
+      "app_x{a=\"1\"} 2\n";
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition(duplicated),
+                                   "duplicate series"));
+
+  EXPECT_TRUE(any_problem_contains(obs::lint_exposition("1bad_name 1\n"),
+                                   "invalid metric name"));
+  EXPECT_TRUE(any_problem_contains(
+      obs::lint_exposition("# HELP app_x X.\n# TYPE app_x gauge\n"
+                           "app_x notanumber\n"),
+      "invalid sample value"));
+  EXPECT_TRUE(any_problem_contains(
+      obs::lint_exposition("# HELP app_x X.\n# TYPE app_x gauge\n"
+                           "app_x{a=\"unterminated} 1\n"),
+      "unterminated"));
+  EXPECT_TRUE(any_problem_contains(
+      obs::lint_exposition("# HELP app_x X.\n# TYPE app_x unicorn\n"
+                           "app_x 1\n"),
+      "unknown TYPE"));
+  EXPECT_TRUE(any_problem_contains(
+      obs::lint_exposition("# TYPE app_x gauge\n# TYPE app_x gauge\n"),
+      "duplicate TYPE"));
+}
+
+TEST(MetricsLint, ProblemsCarryLineNumbers) {
+  const auto problems = obs::lint_exposition("ok_line_is_a_comment 1\n");
+  ASSERT_FALSE(problems.empty());
+  EXPECT_TRUE(strs::starts_with(problems.front(), "line 1: "));
+}

@@ -132,6 +132,35 @@ TEST(HttpRequest, KeepAliveDefaultsByVersion) {
   EXPECT_TRUE(http10_keep.request.keep_alive());
 }
 
+TEST(HttpRequest, ConnectionHeaderMatchesWholeTokensNotSubstrings) {
+  // Regression: substring matching read "close" out of unrelated tokens
+  // and closed keep-alive connections that never asked for it.
+  auto listed = server::parse_request(
+      "GET / HTTP/1.1\r\nConnection: keep-alive, x-close-hint\r\n\r\n");
+  EXPECT_TRUE(listed.request.keep_alive());
+  auto upgrade = server::parse_request(
+      "GET / HTTP/1.1\r\nConnection: upgrade-close-notify\r\n\r\n");
+  EXPECT_TRUE(upgrade.request.keep_alive());
+
+  // ...while real "close" tokens still close, whatever the position,
+  // case, or surrounding whitespace.
+  auto second = server::parse_request(
+      "GET / HTTP/1.1\r\nConnection: te, close\r\n\r\n");
+  EXPECT_FALSE(second.request.keep_alive());
+  auto spaced = server::parse_request(
+      "GET / HTTP/1.1\r\nConnection:   CLOSE  \r\n\r\n");
+  EXPECT_FALSE(spaced.request.keep_alive());
+
+  // HTTP/1.0 needs a whole "keep-alive" token to stay open; a token that
+  // merely contains it is not an opt-in.
+  auto http10_other = server::parse_request(
+      "GET / HTTP/1.0\r\nConnection: proxy-keep-alive\r\n\r\n");
+  EXPECT_FALSE(http10_other.request.keep_alive());
+  auto http10_listed = server::parse_request(
+      "GET / HTTP/1.0\r\nConnection: te, keep-alive\r\n\r\n");
+  EXPECT_TRUE(http10_listed.request.keep_alive());
+}
+
 TEST(HttpResponse, SerializeAddsStatusLineAndContentLength) {
   server::Response response;
   response.set("Content-Type", "text/plain; charset=utf-8");

@@ -129,16 +129,25 @@ TEST(Router, MetricsRequiresWiring) {
   const auto& repo = core::Repository::builtin();
   server::Router wired(site::build_site(repo), repo);
   server::ServerMetrics metrics;
-  metrics.record(200, 128, std::chrono::microseconds{42});
+  metrics.record(server::Route::kPage, 200, 128,
+                 std::chrono::microseconds{42});
   wired.set_metrics(&metrics);
   const auto response = wired.handle(get("/metrics"));
   EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
   EXPECT_TRUE(strs::contains(response.body, "pdcu_requests_total 1"));
-  EXPECT_TRUE(
-      strs::contains(response.body, "pdcu_requests{class=\"2xx\"} 1"));
+  EXPECT_TRUE(strs::contains(response.body,
+                             "pdcu_requests_by_class_total{class=\"2xx\"} 1"));
+  EXPECT_TRUE(strs::contains(
+      response.body,
+      "pdcu_requests_by_route_total{route=\"page\",class=\"2xx\"} 1"));
   EXPECT_TRUE(strs::contains(response.body, "pdcu_bytes_sent_total 128"));
   EXPECT_TRUE(
       strs::contains(response.body, "pdcu_latency_us{stat=\"min\"} 42"));
+  // The old pre-rename family stays off unless explicitly re-enabled.
+  EXPECT_FALSE(strs::contains(response.body, "pdcu_requests{class="));
 }
 
 TEST(Router, MetricsExposeBuildStatsWhenAttached) {
@@ -149,15 +158,15 @@ TEST(Router, MetricsExposeBuildStatsWhenAttached) {
   wired.set_metrics(&metrics);
 
   // Without build stats no pdcu_build_* lines appear.
-  EXPECT_FALSE(strs::contains(wired.handle(get("/metrics")).body,
-                              "pdcu_build_pages_total"));
+  EXPECT_FALSE(
+      strs::contains(wired.handle(get("/metrics")).body, "pdcu_build_pages"));
 
   wired.set_build_stats(stats);
   const auto response = wired.handle(get("/metrics"));
   EXPECT_EQ(response.status, 200);
   EXPECT_TRUE(strs::contains(
       response.body,
-      "pdcu_build_pages_total " + std::to_string(stats.pages_total)));
+      "pdcu_build_pages " + std::to_string(stats.pages_total)));
   EXPECT_TRUE(strs::contains(
       response.body,
       "pdcu_build_pages_rendered " + std::to_string(stats.pages_rendered)));
@@ -285,6 +294,41 @@ TEST(RouterSearch, MissingOrEmptyQueryIs400) {
   EXPECT_EQ(router().handle(get("/api/search?limit=5")).status, 400);
   EXPECT_EQ(router().handle(get("/api/search?q=")).status, 400);
   EXPECT_EQ(router().handle(get("/api/search?q=%20%20")).status, 400);
+}
+
+TEST(RouterSearch, MalformedLimitIs400NotSilentTruncation) {
+  // Regression: strtoul would parse "10abc" as 10 and serve a 200.
+  const auto response = router().handle(get("/api/search?q=x&limit=10abc"));
+  EXPECT_EQ(response.status, 400);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_EQ(*response.header("content-type"),
+            "application/json; charset=utf-8");
+  EXPECT_TRUE(strs::contains(response.body, "\"error\""));
+  EXPECT_TRUE(strs::contains(response.body, "limit"));
+}
+
+TEST(RouterSearch, NonNumericNegativeZeroAndOverflowLimitsAre400) {
+  // strtoul accepted all of these: "abc" parsed to 0, "-1" wrapped to
+  // UINT64_MAX, and overflow saturated silently.
+  EXPECT_EQ(router().handle(get("/api/search?q=x&limit=abc")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=x&limit=-1")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=x&limit=0")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=x&limit=")).status, 400);
+  EXPECT_EQ(router().handle(get("/api/search?q=x&limit=%2B5")).status, 400);
+  EXPECT_EQ(
+      router().handle(get("/api/search?q=x&limit=99999999999999999999"))
+          .status,
+      400);
+}
+
+TEST(RouterSearch, ValidLimitStillWorksAndLargeValuesClamp) {
+  EXPECT_EQ(router().handle(get("/api/search?q=students&limit=1")).status,
+            200);
+  // A huge-but-valid limit clamps to the server cap instead of erroring.
+  const auto response =
+      router().handle(get("/api/search?q=students&limit=1000000"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(strs::contains(response.body, "\"hits\":["));
 }
 
 TEST(RouterSearch, EtagRoundTripYields304) {

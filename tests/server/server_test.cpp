@@ -10,9 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <string>
 
 #include "pdcu/core/repository.hpp"
+#include "pdcu/obs/access_log.hpp"
+#include "pdcu/obs/lint.hpp"
 #include "pdcu/site/site.hpp"
 #include "pdcu/support/strings.hpp"
 
@@ -213,8 +216,88 @@ TEST(HttpServer, MetricsEndpointCountsTraffic) {
   const std::string reply = simple_get(srv.port(), "/metrics");
   const std::string body = body_of(reply);
   EXPECT_TRUE(strs::contains(body, "pdcu_requests_total 2"));
-  EXPECT_TRUE(strs::contains(body, "pdcu_requests{class=\"2xx\"} 1"));
-  EXPECT_TRUE(strs::contains(body, "pdcu_requests{class=\"4xx\"} 1"));
+  EXPECT_TRUE(
+      strs::contains(body, "pdcu_requests_by_class_total{class=\"2xx\"} 1"));
+  EXPECT_TRUE(
+      strs::contains(body, "pdcu_requests_by_class_total{class=\"4xx\"} 1"));
+  // Both requests were page-route traffic (the 404 is a page miss), and
+  // each route's latency histogram is exposed with cumulative buckets.
+  EXPECT_TRUE(strs::contains(
+      body, "pdcu_requests_by_route_total{route=\"page\",class=\"2xx\"} 1"));
+  EXPECT_TRUE(strs::contains(
+      body, "pdcu_requests_by_route_total{route=\"page\",class=\"4xx\"} 1"));
+  EXPECT_TRUE(strs::contains(
+      body, "pdcu_request_latency_us_bucket{route=\"page\",le=\"+Inf\"} 2"));
+  EXPECT_TRUE(
+      strs::contains(body, "pdcu_request_latency_us_count{route=\"page\"} 2"));
+}
+
+TEST(HttpServer, LiveMetricsScrapeIsLintClean) {
+  ScopedServer srv;
+  // Touch every route class so all the per-route series have samples.
+  simple_get(srv.port(), "/");
+  simple_get(srv.port(), "/api/catalog.json");
+  simple_get(srv.port(), "/api/activities/findsmallestcard.json");
+  simple_get(srv.port(), "/api/search?q=parallel");
+  simple_get(srv.port(), "/api/search?q=x&limit=10abc");
+  simple_get(srv.port(), "/healthz");
+  simple_get(srv.port(), "/no/such/page");
+  const std::string reply = simple_get(srv.port(), "/metrics");
+  EXPECT_EQ(header_value(reply, "Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const auto problems = pdcu::obs::lint_exposition(body_of(reply));
+  EXPECT_TRUE(problems.empty()) << strs::join(problems, "\n");
+}
+
+TEST(HttpServer, AccessLogRecordsOneJsonLinePerRequest) {
+  const std::string path =
+      testing::TempDir() + "pdcu_access_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    pdcu::obs::AccessLog log(path);
+    ASSERT_TRUE(log.ok());
+    server::ServerOptions options;
+    options.access_log = &log;
+    ScopedServer srv(options);
+    simple_get(srv.port(), "/");
+    simple_get(srv.port(), "/api/search?q=parallel");
+    simple_get(srv.port(), "/no/such/page");
+    srv.instance->stop();
+    log.flush();
+    EXPECT_EQ(log.written(), 3u);
+    EXPECT_EQ(log.dropped(), 0u);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    contents.append(chunk, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  const auto lines = strs::split(contents, '\n');
+  std::size_t entries = 0;
+  bool saw_search = false;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    ++entries;
+    EXPECT_TRUE(strs::starts_with(line, "{\"ts\":\"")) << line;
+    EXPECT_TRUE(strs::contains(line, "\"method\":\"GET\"")) << line;
+    EXPECT_TRUE(strs::contains(line, "\"latency_us\":")) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (strs::contains(line, "\"route\":\"search\"")) {
+      saw_search = true;
+      EXPECT_TRUE(
+          strs::contains(line, "\"path\":\"/api/search?q=parallel\""))
+          << line;
+      EXPECT_TRUE(strs::contains(line, "\"status\":200")) << line;
+    }
+  }
+  EXPECT_EQ(entries, 3u);
+  EXPECT_TRUE(saw_search);
 }
 
 TEST(HttpServer, SlowClientTimesOutWith408) {

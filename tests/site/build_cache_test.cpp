@@ -76,9 +76,11 @@ TEST(ParallelBuild, StatsRecordPhasesAndCounts) {
   EXPECT_EQ(stats.pages_reused, 0u);
   EXPECT_GT(stats.render_time.count(), 0);
   const std::string text = stats.render_text();
-  EXPECT_NE(text.find("pdcu_build_pages_total "), std::string::npos);
+  EXPECT_NE(text.find("pdcu_build_pages "), std::string::npos);
   EXPECT_NE(text.find("pdcu_build_phase_us{phase=\"render\"}"),
             std::string::npos);
+  // A gauge family must not carry the counter suffix.
+  EXPECT_EQ(text.find("pdcu_build_pages_total"), std::string::npos);
 }
 
 TEST(BuildCache, ColdRebuildEqualsBuildSite) {

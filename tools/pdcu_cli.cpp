@@ -29,7 +29,10 @@
 //        --index FILE (cold-start search from a prebuilt index),
 //        --watch (live reload: poll the content dir, rebuild
 //        incrementally, keep serving last-known-good on failure),
-//        --poll-ms N (watch poll interval, default 500).
+//        --poll-ms N (watch poll interval, default 500),
+//        --access-log FILE (structured JSON access log, one object per
+//        line; "-" for stdout), --legacy-metrics (also expose the
+//        pre-rename pdcu_requests{class=...} series on /metrics).
 //        Content loads leniently: malformed files are quarantined and
 //        /healthz reports "degraded" instead of the server not starting.
 #include <cstdio>
@@ -44,6 +47,8 @@
 #include "pdcu/core/link_audit.hpp"
 #include "pdcu/core/planner.hpp"
 #include "pdcu/extensions/impact.hpp"
+#include "pdcu/obs/access_log.hpp"
+#include "pdcu/obs/span.hpp"
 #include "pdcu/runtime/thread_pool.hpp"
 #include "pdcu/runtime/trace.hpp"
 #include "pdcu/search/index.hpp"
@@ -134,6 +139,12 @@ int build_cmd(pdcu::core::Repository repo, int argc, char** argv) {
   options.quarantined_inputs = report.quarantined.size();
   if (!serial) options.pool = &pdcu::rt::default_pool();
 
+  // With --stats the per-phase wall times also land in a span registry,
+  // so repeated phases (e.g. the two builds of --incremental) report
+  // percentiles, not just the last run.
+  pdcu::obs::SpanRegistry spans;
+  if (want_stats) options.spans = &spans;
+
   pdcu::site::BuildStats stats;
   pdcu::site::Site site;
   if (incremental) {
@@ -159,6 +170,12 @@ int build_cmd(pdcu::core::Repository repo, int argc, char** argv) {
   } else {
     site = pdcu::site::build_site(repo, options, &stats);
     if (want_stats) std::printf("build: %s\n", stats.summary().c_str());
+  }
+  if (want_stats) {
+    const std::string span_summary = spans.summary();
+    if (!span_summary.empty()) {
+      std::printf("phase spans:\n%s", span_summary.c_str());
+    }
   }
 
   auto status = pdcu::site::write_pages(site, out_dir);
@@ -257,6 +274,7 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   pdcu::server::ReloadOptions reload_options;
   std::string content_dir;
   std::string index_path;
+  std::string access_log_path;
   bool watch = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -275,6 +293,10 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     } else if (arg == "--poll-ms" && i + 1 < argc) {
       reload_options.poll_interval =
           std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--access-log" && i + 1 < argc) {
+      access_log_path = argv[++i];
+    } else if (arg == "--legacy-metrics") {
+      pdcu::obs::set_legacy_names(true);
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -288,9 +310,23 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   }
 
   // Content health surfaces on /healthz; the reload loop (--watch)
-  // additionally reports through pdcu_reload_* on /metrics.
+  // additionally reports through pdcu_reload_* on /metrics. The span
+  // registry and access log both outlive the server (router snapshots and
+  // worker threads hold pointers into them until run_until_signalled
+  // returns).
   pdcu::server::HealthTracker health;
   pdcu::server::ReloadMetrics reload_metrics;
+  pdcu::obs::SpanRegistry spans;
+  std::optional<pdcu::obs::AccessLog> access_log;
+  if (!access_log_path.empty()) {
+    access_log.emplace(access_log_path);
+    if (!access_log->ok()) {
+      std::fprintf(stderr, "serve: cannot open access log '%s'\n",
+                   access_log_path.c_str());
+      return 1;
+    }
+    options.access_log = &*access_log;
+  }
   std::uint64_t fingerprint = 0;
   std::size_t quarantined = 0;
   if (!content_dir.empty()) {
@@ -326,7 +362,8 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     }
     index = std::move(loaded).value();
   } else {
-    index = pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
+    index = pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool(),
+                                             &spans);
   }
 
   pdcu::rt::TraceLog trace;
@@ -334,6 +371,7 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   site_options.pool = &pdcu::rt::default_pool();
   site_options.trace = &trace;
   site_options.quarantined_inputs = quarantined;
+  site_options.spans = &spans;
   pdcu::site::BuildStats build_stats;
   // Build through a BuildCache so a --watch reload only re-renders the
   // pages whose inputs actually changed.
@@ -343,6 +381,7 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   pdcu::server::Router router(site, repo, std::move(index));
   router.set_build_stats(build_stats);
   router.set_health(&health);
+  router.set_spans(&spans);
   if (watch) router.set_reload_metrics(&reload_metrics);
   pdcu::server::HttpServer server(std::move(router), options, &trace);
   auto status = server.start();
@@ -354,6 +393,7 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   if (watch) {
     reloader.emplace(content_dir, server, health, reload_metrics,
                      std::move(cache), fingerprint, reload_options, &trace);
+    reloader->set_spans(&spans);
     reloader->start();
   }
   std::printf("pdcu serving %zu pages on http://%s:%u/%s (Ctrl-C to stop)\n",
@@ -362,8 +402,11 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
               watch ? " [watching]" : "");
   server.run_until_signalled();
   if (reloader.has_value()) reloader->stop();
+  if (access_log.has_value()) access_log->flush();
   std::fputs(server.metrics().render_text().c_str(), stdout);
   std::fputs(trace.render_script().c_str(), stdout);
+  const std::string span_summary = spans.summary();
+  if (!span_summary.empty()) std::fputs(span_summary.c_str(), stdout);
   return 0;
 }
 
