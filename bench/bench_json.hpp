@@ -1,0 +1,122 @@
+// Shared glue between the bench binaries and the repo's BENCH_*.json
+// perf-trajectory files. The schema itself (writer + parser) lives in
+// pdcu::loadgen (bench_json.hpp) so the load generator, these benches,
+// and tools/bench_gate can never drift apart; this header adds the two
+// pieces only bench-side code needs:
+//
+//   * write_summary(): emit the one-line JSON document to stdout, or to
+//     $BENCH_JSON_OUT when set — which is how the committed baselines are
+//     refreshed:  BENCH_JSON_OUT=BENCH_search.json ./bench/bench_search
+//     --benchmark_filter='^$'
+//
+//   * search_summary_json(): the canonical search-trajectory measurement
+//     (index build time + query-latency histogram over the query shapes
+//     the server actually issues). bench_search emits it; bench_gate
+//     re-measures with the same code and compares against the committed
+//     BENCH_search.json, so the two can never measure different things.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/loadgen/bench_json.hpp"
+#include "pdcu/obs/histogram.hpp"
+#include "pdcu/search/index.hpp"
+#include "pdcu/search/query.hpp"
+
+namespace pdcu::benchjson {
+
+/// Writes one BENCH document to $BENCH_JSON_OUT (when set) or stdout.
+inline void write_summary(const std::string& json) {
+  const char* out_path = std::getenv("BENCH_JSON_OUT");
+  if (out_path == nullptr || *out_path == '\0') {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(out_path, "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write '%s'\n", out_path);
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "bench_json: wrote %s\n", out_path);
+}
+
+/// The canonical "search" trajectory document: serial index build time
+/// (best of `build_reps`) and a query-latency histogram over the three
+/// canonical query shapes — free text, multi-term, and taxonomy-filtered
+/// — each issued `query_reps` times against the builtin corpus.
+inline std::string search_summary_json(std::string_view source,
+                                       int build_reps = 3,
+                                       int query_reps = 2000) {
+  using SteadyClock = std::chrono::steady_clock;
+  const auto& repo = core::Repository::builtin();
+
+  double build_ms = 1e300;
+  search::SearchIndex index;
+  for (int rep = 0; rep < build_reps; ++rep) {
+    const auto start = SteadyClock::now();
+    index = search::SearchIndex::build(repo);
+    const std::chrono::duration<double, std::milli> elapsed =
+        SteadyClock::now() - start;
+    build_ms = std::min(build_ms, elapsed.count());
+  }
+
+  const char* kQueries[] = {
+      "sorting",
+      "message passing network rounds",
+      "message passing cs2013:PD-Communication",
+  };
+  obs::Histogram query_us;
+  std::uint64_t max_us = 0;
+  const auto sweep_start = SteadyClock::now();
+  for (const char* text : kQueries) {
+    const auto query = search::parse_query(text);
+    for (int rep = 0; rep < query_reps; ++rep) {
+      const auto start = SteadyClock::now();
+      const auto hits = index.search(query, &repo.index(), 10);
+      const auto us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              SteadyClock::now() - start)
+              .count());
+      query_us.record(us);
+      max_us = std::max(max_us, us);
+      if (hits.empty()) {
+        std::fprintf(stderr, "bench_json: query '%s' found nothing\n", text);
+      }
+    }
+  }
+  const double sweep_s =
+      std::chrono::duration<double>(SteadyClock::now() - sweep_start)
+          .count();
+  const auto snapshot = query_us.snapshot();
+
+  loadgen::BenchWriter writer("search", source);
+  writer.number("index_build_ms", build_ms);
+  writer.integer("corpus_docs",
+                 static_cast<std::uint64_t>(repo.activities().size()));
+  writer.integer("index_terms",
+                 static_cast<std::uint64_t>(index.term_count()));
+  writer.integer("queries", snapshot.count);
+  writer.number("queries_per_s",
+                sweep_s > 0.0
+                    ? static_cast<double>(snapshot.count) / sweep_s
+                    : 0.0);
+  writer.open("query_us");
+  writer.integer("p50", snapshot.quantile(0.50));
+  writer.integer("p90", snapshot.quantile(0.90));
+  writer.integer("p99", snapshot.quantile(0.99));
+  writer.number("mean", snapshot.mean());
+  writer.integer("max", max_us);
+  writer.close();
+  return writer.finish();
+}
+
+}  // namespace pdcu::benchjson

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <string>
 
+#include "bench_json.hpp"
 #include "pdcu/core/repository.hpp"
 #include "pdcu/runtime/thread_pool.hpp"
 #include "pdcu/search/index.hpp"
@@ -160,4 +161,14 @@ BENCHMARK(BM_IndexDeserialize)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The trajectory line: the same measurement tools/bench_gate re-runs
+  // and compares against the committed BENCH_search.json.
+  pdcu::benchjson::write_summary(
+      pdcu::benchjson::search_summary_json("bench_search"));
+  return 0;
+}

@@ -42,8 +42,9 @@ pdcu_add_gbench(bench_taxonomy bench/bench_taxonomy.cpp)
 pdcu_add_gbench(bench_sync_methods bench/bench_sync_methods.cpp)
 
 # Serving path (pdcu::server): router/cache throughput and loopback RPS.
+# Links pdcu_loadgen for the shared BENCH-schema JSON writer.
 pdcu_add_gbench(bench_serve bench/bench_serve.cpp)
-target_link_libraries(bench_serve PRIVATE pdcu_server)
+target_link_libraries(bench_serve PRIVATE pdcu_server pdcu_loadgen pdcu_obs)
 
 # Resilience path: fingerprint polls, lenient loads, reload-and-swap.
 pdcu_add_gbench(bench_reload bench/bench_reload.cpp)
@@ -52,4 +53,4 @@ target_link_libraries(bench_reload PRIVATE pdcu_server)
 # Search engine (pdcu::search): index build scaling, query latency, and
 # index (de)serialization throughput.
 pdcu_add_gbench(bench_search bench/bench_search.cpp)
-target_link_libraries(bench_search PRIVATE pdcu_search)
+target_link_libraries(bench_search PRIVATE pdcu_search pdcu_loadgen pdcu_obs)

@@ -1,0 +1,239 @@
+#include "pdcu/loadgen/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace pdcu::loadgen {
+
+namespace {
+
+/// Case-insensitive search for `\r\nname:` inside a header block; returns
+/// the trimmed value or an empty string.
+std::string header_value(std::string_view head, std::string_view name) {
+  std::string lowered;
+  lowered.reserve(head.size());
+  for (const char c : head) {
+    lowered += static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  std::string needle = "\n";
+  needle.append(name);
+  needle += ':';
+  const auto at = lowered.find(needle);
+  if (at == std::string::npos) return {};
+  auto start = at + needle.size();
+  auto end = lowered.find('\n', start);
+  if (end == std::string::npos) end = lowered.size();
+  std::string value(lowered, start, end - start);
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.erase(value.begin());
+  }
+  while (!value.empty() &&
+         (value.back() == '\r' || value.back() == ' ' ||
+          value.back() == '\t')) {
+    value.pop_back();
+  }
+  return value;
+}
+
+}  // namespace
+
+Connection::Connection(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Connection::ensure_connected() {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int nodelay = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &address.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    close();
+    return false;
+  }
+  buffer_.clear();
+  return true;
+}
+
+bool Connection::read_more() {
+  char chunk[8192];
+  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+  timed_out_ = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+  if (n <= 0) return false;
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+Exchange Connection::get(const std::string& target) {
+  Exchange exchange;
+  if (!ensure_connected()) {
+    exchange.outcome = Outcome::kConnectError;
+    return exchange;
+  }
+
+  std::string request = "GET ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host_;
+  request += "\r\nUser-Agent: pdcu-loadgen\r\n\r\n";
+  std::string_view remaining = request;
+  while (!remaining.empty()) {
+    const ssize_t n =
+        ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      exchange.outcome = Outcome::kSendError;
+      return exchange;
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+
+  // Read the header block.
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_more()) {
+      exchange.outcome = timed_out_ ? Outcome::kTimeout : Outcome::kReadError;
+      close();
+      return exchange;
+    }
+  }
+  const std::string_view head(buffer_.data(), head_end + 2);
+  if (buffer_.size() < 12 || buffer_.compare(0, 5, "HTTP/") != 0) {
+    close();
+    exchange.outcome = Outcome::kReadError;
+    return exchange;
+  }
+  exchange.status = std::atoi(buffer_.c_str() + 9);
+
+  const std::string length_text = header_value(head, "content-length");
+  const bool server_closes =
+      header_value(head, "connection") == "close" || length_text.empty();
+  std::size_t body_length = 0;
+  if (!length_text.empty()) {
+    body_length = static_cast<std::size_t>(
+        std::strtoull(length_text.c_str(), nullptr, 10));
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (!length_text.empty()) {
+    while (buffer_.size() < body_start + body_length) {
+      if (!read_more()) {
+        exchange.outcome =
+            timed_out_ ? Outcome::kTimeout : Outcome::kReadError;
+        close();
+        return exchange;
+      }
+    }
+    exchange.body_bytes = body_length;
+    buffer_.erase(0, body_start + body_length);
+  } else {
+    // No framing: drain to EOF (the server is closing this connection).
+    while (read_more()) {
+    }
+    if (timed_out_) {
+      exchange.outcome = Outcome::kTimeout;
+      close();
+      return exchange;
+    }
+    exchange.body_bytes = buffer_.size() - body_start;
+    buffer_.clear();
+  }
+
+  exchange.outcome = Outcome::kOk;
+  if (server_closes) close();
+  return exchange;
+}
+
+Expected<std::vector<std::string>> fetch_catalog_slugs(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout) {
+  // One raw connection-close exchange; get() discards bodies, and the
+  // catalog body is the whole point here.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error::make("loadgen.catalog", "socket failed");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    ::close(fd);
+    return Error::make("loadgen.catalog",
+                       "cannot connect to " + host + ":" +
+                           std::to_string(port));
+  }
+  const std::string request =
+      "GET /api/catalog.json HTTP/1.1\r\nHost: " + host +
+      "\r\nConnection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) <= 0) {
+    ::close(fd);
+    return Error::make("loadgen.catalog", "send failed");
+  }
+  std::string response;
+  char chunk[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const auto head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Error::make("loadgen.catalog", "malformed catalog response");
+  }
+  const std::string body = response.substr(head_end + 4);
+  std::vector<std::string> slugs;
+  const std::string needle = "\"slug\":";
+  std::size_t at = 0;
+  while ((at = body.find(needle, at)) != std::string::npos) {
+    at += needle.size();
+    while (at < body.size() && (body[at] == ' ' || body[at] == '\t')) ++at;
+    if (at >= body.size() || body[at] != '"') continue;
+    const auto end = body.find('"', at + 1);
+    if (end == std::string::npos) break;
+    slugs.push_back(body.substr(at + 1, end - at - 1));
+    at = end + 1;
+  }
+  if (slugs.empty()) {
+    return Error::make("loadgen.catalog", "catalog listed no slugs");
+  }
+  return slugs;
+}
+
+}  // namespace pdcu::loadgen

@@ -1,0 +1,96 @@
+#include "pdcu/loadgen/gate.hpp"
+
+#include <cstdio>
+
+namespace pdcu::loadgen {
+
+namespace {
+
+std::string format_violation(const GateRule& rule, double baseline,
+                             double fresh, double tolerance) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "%s: fresh %.1f vs baseline %.1f exceeds the %.1fx "
+                "tolerance (%s is worse)",
+                rule.key.c_str(), fresh, baseline, tolerance,
+                rule.higher_is_worse ? "higher" : "lower");
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<GateRule> serve_gate_rules() {
+  return {
+      {"latency_us.p50", /*higher_is_worse=*/true, /*required=*/true},
+      {"latency_us.p99", /*higher_is_worse=*/true, /*required=*/true},
+      {"achieved_rate", /*higher_is_worse=*/false, /*required=*/true},
+  };
+}
+
+std::vector<GateRule> search_gate_rules() {
+  return {
+      {"query_us.p50", /*higher_is_worse=*/true, /*required=*/true},
+      {"query_us.p99", /*higher_is_worse=*/true, /*required=*/true},
+      {"index_build_ms", /*higher_is_worse=*/true, /*required=*/true},
+  };
+}
+
+std::vector<std::string> gate_compare(const BenchDoc& baseline,
+                                      const BenchDoc& fresh,
+                                      const std::vector<GateRule>& rules,
+                                      const GateOptions& options) {
+  std::vector<std::string> violations;
+  if (baseline.schema_version() != kBenchSchemaVersion) {
+    violations.push_back(
+        "baseline bench_schema " +
+        std::to_string(baseline.schema_version()) + " != expected " +
+        std::to_string(kBenchSchemaVersion) + " (refresh the baseline)");
+    return violations;
+  }
+  if (fresh.schema_version() != kBenchSchemaVersion) {
+    violations.push_back("fresh document has the wrong bench_schema");
+    return violations;
+  }
+  if (baseline.bench_name() != fresh.bench_name()) {
+    violations.push_back("bench name mismatch: baseline '" +
+                         baseline.bench_name() + "' vs fresh '" +
+                         fresh.bench_name() + "'");
+    return violations;
+  }
+
+  // A fresh run that errored is a failure regardless of how fast the
+  // successful requests were.
+  for (const auto& [key, value] : fresh.numbers) {
+    if (key.rfind("errors.", 0) == 0 && value != 0.0) {
+      violations.push_back(key + " is " + std::to_string(value) +
+                           " in the fresh run (expected 0)");
+    }
+  }
+
+  for (const GateRule& rule : rules) {
+    const bool in_baseline = baseline.has_number(rule.key);
+    const bool in_fresh = fresh.has_number(rule.key);
+    if (!in_baseline || !in_fresh) {
+      if (rule.required) {
+        violations.push_back(rule.key + " missing from the " +
+                             (in_baseline ? "fresh run" : "baseline"));
+      }
+      continue;
+    }
+    const double base = baseline.number(rule.key);
+    const double now = fresh.number(rule.key);
+    if (base <= 0.0) continue;  // nothing meaningful to ratio against
+    if (rule.higher_is_worse) {
+      if (now > base * options.tolerance) {
+        violations.push_back(
+            format_violation(rule, base, now, options.tolerance));
+      }
+    } else if (now < base / options.tolerance) {
+      violations.push_back(
+          format_violation(rule, base, now, options.tolerance));
+    }
+  }
+  return violations;
+}
+
+}  // namespace pdcu::loadgen

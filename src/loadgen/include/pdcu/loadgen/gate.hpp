@@ -1,0 +1,45 @@
+// The regression comparator behind tools/bench_gate: given a committed
+// BENCH baseline and a freshly measured document, decide whether the
+// fresh run regressed. Rules are multiplicative — a latency key fails
+// when fresh > baseline * tolerance, a throughput key fails when
+// fresh < baseline / tolerance — because absolute perf varies wildly
+// across the containers and CI runners this repo builds on, while an
+// order-of-magnitude cliff is a regression anywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdcu/loadgen/bench_json.hpp"
+
+namespace pdcu::loadgen {
+
+struct GateRule {
+  std::string key;            ///< dotted BENCH key, e.g. "latency_us.p99"
+  bool higher_is_worse = true;
+  bool required = true;       ///< missing key is itself a violation
+};
+
+struct GateOptions {
+  /// Allowed multiplicative drift in the worse direction. Improvements
+  /// are never violations.
+  double tolerance = 5.0;
+};
+
+/// The rules bench_gate applies to a loadgen "serve" document.
+std::vector<GateRule> serve_gate_rules();
+
+/// The rules bench_gate applies to a "search" document.
+std::vector<GateRule> search_gate_rules();
+
+/// Compares `fresh` against `baseline`: schema versions must match, the
+/// bench names must match, fresh error counters (any "errors.*" key
+/// present in `fresh`) must be zero, and every rule must hold within the
+/// tolerance. Returns human-readable violations; empty means the gate
+/// passes.
+std::vector<std::string> gate_compare(const BenchDoc& baseline,
+                                      const BenchDoc& fresh,
+                                      const std::vector<GateRule>& rules,
+                                      const GateOptions& options = {});
+
+}  // namespace pdcu::loadgen

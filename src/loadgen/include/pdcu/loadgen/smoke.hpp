@@ -1,0 +1,32 @@
+// Self-test mode: boot a real HttpServer over the builtin repository on
+// an ephemeral loopback port, drive a short loadgen run against it, and
+// return the Result. This is what `pdcu loadgen --smoke` and the
+// bench_gate CI comparator run — no fixture server to deploy, no port to
+// coordinate, identical request schedule on every machine (fixed seed).
+//
+// The embedded server gets a private worker pool: in-process, server and
+// loadgen sharing one rt::default_pool() would deadlock on a 1-core host
+// (the loadgen worker holds the only pool thread while waiting for a
+// response the server can never schedule).
+#pragma once
+
+#include "pdcu/loadgen/loadgen.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::loadgen {
+
+struct SmokeOptions {
+  double rate = 150.0;
+  double duration_s = 2.0;
+  unsigned connections = 2;
+  std::uint64_t seed = 42;
+  unsigned server_threads = 4;
+};
+
+/// Runs the smoke load and returns the result; the embedded server is
+/// gone by the time this returns. The loadgen Options used are written to
+/// `used` (for rendering the BENCH JSON) when non-null.
+Expected<Result> run_smoke(const SmokeOptions& smoke = {},
+                           Options* used = nullptr);
+
+}  // namespace pdcu::loadgen

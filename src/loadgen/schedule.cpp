@@ -1,0 +1,178 @@
+#include "pdcu/loadgen/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+
+namespace pdcu::loadgen {
+
+namespace {
+
+/// Query terms for the search route, drawn from the repository's own
+/// vocabulary so queries hit real postings lists instead of short-circuiting
+/// on an empty result.
+constexpr std::string_view kSearchLexicon[] = {
+    "parallel", "sorting",  "message",  "network",  "race",
+    "pipeline", "speedup",  "deadlock", "broadcast", "scaling",
+    "distributed", "cards", "algorithm", "communication", "sum",
+};
+
+Expected<Route> route_from_name(std::string_view name) {
+  if (name == "page") return Route::kPage;
+  if (name == "catalog") return Route::kCatalog;
+  if (name == "activity") return Route::kActivity;
+  if (name == "search") return Route::kSearch;
+  return Error::make("loadgen.mix",
+                     "unknown route '" + std::string(name) +
+                         "' (expected page|catalog|activity|search)");
+}
+
+}  // namespace
+
+std::string_view route_name(Route route) {
+  switch (route) {
+    case Route::kPage: return "page";
+    case Route::kCatalog: return "catalog";
+    case Route::kActivity: return "activity";
+    case Route::kSearch: return "search";
+  }
+  return "page";
+}
+
+Expected<std::vector<MixEntry>> parse_mix(std::string_view text) {
+  std::vector<MixEntry> mix;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(':', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view part = text.substr(start, end - start);
+    start = end + 1;
+    if (part.empty()) {
+      return Error::make("loadgen.mix", "empty mix component");
+    }
+    double weight = 1.0;
+    const std::size_t eq = part.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string weight_text(part.substr(eq + 1));
+      char* parse_end = nullptr;
+      weight = std::strtod(weight_text.c_str(), &parse_end);
+      if (parse_end == weight_text.c_str() || *parse_end != '\0' ||
+          !(weight > 0.0)) {
+        return Error::make("loadgen.mix",
+                           "bad weight '" + weight_text + "'");
+      }
+      part = part.substr(0, eq);
+    }
+    auto route = route_from_name(part);
+    if (!route) return route.error();
+    mix.push_back({route.value(), weight});
+    if (end == text.size()) break;
+  }
+  if (mix.empty()) return Error::make("loadgen.mix", "empty mix");
+  return mix;
+}
+
+std::string render_mix(const std::vector<MixEntry>& mix) {
+  std::string out;
+  for (const auto& entry : mix) {
+    if (!out.empty()) out += ':';
+    out += route_name(entry.route);
+    out += '=';
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%g", entry.weight);
+    out += buffer;
+  }
+  return out;
+}
+
+std::vector<MixEntry> default_mix() {
+  return {{Route::kPage, 6.0},
+          {Route::kCatalog, 1.0},
+          {Route::kActivity, 2.0},
+          {Route::kSearch, 1.0}};
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cumulative_.push_back(total);
+  }
+  for (auto& c : cumulative_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  if (cumulative_.empty()) return 0;
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return it == cumulative_.end()
+             ? cumulative_.size() - 1
+             : static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::vector<ScheduledRequest> build_schedule(
+    const ScheduleOptions& options, const std::vector<std::string>& slugs) {
+  std::vector<ScheduledRequest> schedule;
+  if (options.rate <= 0.0 || options.duration_s <= 0.0 || slugs.empty()) {
+    return schedule;
+  }
+  const std::vector<MixEntry> mix =
+      options.mix.empty() ? default_mix() : options.mix;
+  double total_weight = 0.0;
+  for (const auto& entry : mix) total_weight += entry.weight;
+
+  const auto total = static_cast<std::size_t>(
+      std::llround(options.rate * options.duration_s));
+  const double interval_ns = 1e9 / options.rate;
+  const ZipfSampler slug_zipf(slugs.size(), options.zipf_exponent);
+  const ZipfSampler term_zipf(std::size(kSearchLexicon),
+                              options.zipf_exponent);
+  Rng rng(options.seed);
+
+  schedule.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    ScheduledRequest request;
+    request.offset_ns = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(i) * interval_ns));
+
+    // Fixed draw order per request — route, then (route-dependent) one
+    // popularity draw, then the connection draw — so a schedule is a pure
+    // function of (seed, options, slugs).
+    double pick = rng.uniform() * total_weight;
+    request.route = mix.back().route;
+    for (const auto& entry : mix) {
+      if (pick < entry.weight) {
+        request.route = entry.route;
+        break;
+      }
+      pick -= entry.weight;
+    }
+
+    switch (request.route) {
+      case Route::kPage:
+        request.target = "/activities/" + slugs[slug_zipf.sample(rng)] + "/";
+        break;
+      case Route::kCatalog:
+        request.target = "/api/catalog.json";
+        break;
+      case Route::kActivity:
+        request.target =
+            "/api/activities/" + slugs[slug_zipf.sample(rng)] + ".json";
+        break;
+      case Route::kSearch:
+        request.target = "/api/search?q=";
+        request.target += kSearchLexicon[term_zipf.sample(rng)];
+        request.target += "&limit=10";
+        break;
+    }
+    request.fresh_connection = rng.chance(1.0 - options.keep_alive_ratio);
+    schedule.push_back(std::move(request));
+  }
+  return schedule;
+}
+
+}  // namespace pdcu::loadgen

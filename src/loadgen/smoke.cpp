@@ -1,0 +1,37 @@
+#include "pdcu/loadgen/smoke.hpp"
+
+#include "pdcu/core/repository.hpp"
+#include "pdcu/search/index.hpp"
+#include "pdcu/server/server.hpp"
+#include "pdcu/site/site.hpp"
+
+namespace pdcu::loadgen {
+
+Expected<Result> run_smoke(const SmokeOptions& smoke, Options* used) {
+  const auto& repo = core::Repository::builtin();
+  auto index = search::SearchIndex::build(repo);
+  server::Router router(site::build_site(repo), repo, std::move(index));
+
+  server::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral; loadgen reads it back below
+  server_options.threads = smoke.server_threads;
+  server::HttpServer server(std::move(router), server_options);
+  if (auto status = server.start(); !status) {
+    return status.error().context("smoke server failed to start");
+  }
+
+  Options options;
+  options.host = "127.0.0.1";
+  options.port = server.port();
+  options.connections = smoke.connections;
+  options.schedule.rate = smoke.rate;
+  options.schedule.duration_s = smoke.duration_s;
+  options.schedule.seed = smoke.seed;
+  if (used != nullptr) *used = options;
+
+  auto result = run_against(options);
+  server.stop();
+  return result;
+}
+
+}  // namespace pdcu::loadgen

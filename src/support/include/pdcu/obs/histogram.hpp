@@ -39,6 +39,20 @@ class Histogram {
     /// the winning bucket; 0 when empty. Monotone in p.
     std::uint64_t percentile(double p) const;
 
+    /// The q-th quantile (q in [0, 1]), interpolated in *log space* inside
+    /// the winning bucket: the mass of a bucket (lo, hi] is assumed
+    /// uniform in log(value), which matches the geometric bucket layout
+    /// and keeps the estimator unbiased for the long-tailed latency
+    /// distributions the load generator records. 0 when empty; monotone
+    /// in q. Prefer this over percentile() for reported latencies.
+    std::uint64_t quantile(double q) const;
+
+    /// Adds another snapshot's counts and sum into this one. Plain
+    /// integer arithmetic — this is how per-worker histograms combine
+    /// without any locks: each worker snapshots its own histogram, then
+    /// one thread folds the snapshots together.
+    void merge(const Snapshot& other);
+
     double mean() const {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
@@ -58,8 +72,14 @@ class Histogram {
   std::uint64_t percentile(double p) const { return snapshot().percentile(p); }
 
   /// Adds every count (and the sum) of `other` into this histogram, as if
-  /// all of other's values had been recorded here too.
-  void merge_from(const Histogram& other);
+  /// all of other's values had been recorded here too. Safe against
+  /// concurrent record() on either side (each bucket is read once and
+  /// added atomically).
+  void merge(const Histogram& other);
+
+  /// Older spelling of merge(); kept for call sites that read better with
+  /// the directional name.
+  void merge_from(const Histogram& other) { merge(other); }
 
   /// Bucket that record(value) lands in.
   static std::size_t bucket_index(std::uint64_t value);

@@ -1,0 +1,122 @@
+// The bench_gate comparator: multiplicative tolerance in the worse
+// direction only, hard-fail on fresh errors, schema/name sanity.
+#include "pdcu/loadgen/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace loadgen = pdcu::loadgen;
+
+namespace {
+
+loadgen::BenchDoc serve_doc(double p50, double p99, double rate,
+                            double timeouts = 0.0) {
+  loadgen::BenchDoc doc;
+  doc.numbers["bench_schema"] = loadgen::kBenchSchemaVersion;
+  doc.strings["bench"] = "serve";
+  doc.numbers["latency_us.p50"] = p50;
+  doc.numbers["latency_us.p99"] = p99;
+  doc.numbers["achieved_rate"] = rate;
+  doc.numbers["errors.timeout"] = timeouts;
+  return doc;
+}
+
+TEST(Gate, IdenticalDocumentsPass) {
+  const auto doc = serve_doc(200, 2000, 150);
+  EXPECT_TRUE(
+      loadgen::gate_compare(doc, doc, loadgen::serve_gate_rules()).empty());
+}
+
+TEST(Gate, DriftWithinTolerancePasses) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  const auto fresh = serve_doc(800, 7000, 40);  // < 5x worse everywhere
+  EXPECT_TRUE(loadgen::gate_compare(baseline, fresh,
+                                    loadgen::serve_gate_rules())
+                  .empty());
+}
+
+TEST(Gate, LatencyCliffFails) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  const auto fresh = serve_doc(200, 2000 * 6, 150);
+  const auto violations = loadgen::gate_compare(
+      baseline, fresh, loadgen::serve_gate_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("latency_us.p99"), std::string::npos);
+}
+
+TEST(Gate, ThroughputCliffFailsInTheOtherDirection) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  const auto fresh = serve_doc(200, 2000, 150 / 6.0);
+  const auto violations = loadgen::gate_compare(
+      baseline, fresh, loadgen::serve_gate_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("achieved_rate"), std::string::npos);
+}
+
+TEST(Gate, ImprovementsNeverFail) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  // 100x faster and 100x more throughput: great, not a violation.
+  const auto fresh = serve_doc(2, 20, 15000);
+  EXPECT_TRUE(loadgen::gate_compare(baseline, fresh,
+                                    loadgen::serve_gate_rules())
+                  .empty());
+}
+
+TEST(Gate, FreshErrorsFailEvenWhenFast) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  const auto fresh = serve_doc(100, 1000, 150, /*timeouts=*/3);
+  const auto violations = loadgen::gate_compare(
+      baseline, fresh, loadgen::serve_gate_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("errors.timeout"), std::string::npos);
+}
+
+TEST(Gate, MissingRequiredKeyFails) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  auto fresh = serve_doc(200, 2000, 150);
+  fresh.numbers.erase("latency_us.p99");
+  const auto violations = loadgen::gate_compare(
+      baseline, fresh, loadgen::serve_gate_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("latency_us.p99"), std::string::npos);
+}
+
+TEST(Gate, SchemaAndNameMismatchesShortCircuit) {
+  const auto baseline = serve_doc(200, 2000, 150);
+
+  auto wrong_schema = serve_doc(200, 2000, 150);
+  wrong_schema.numbers["bench_schema"] = 99;
+  EXPECT_EQ(loadgen::gate_compare(baseline, wrong_schema,
+                                  loadgen::serve_gate_rules())
+                .size(),
+            1u);
+
+  auto wrong_name = serve_doc(200, 2000, 150);
+  wrong_name.strings["bench"] = "search";
+  const auto violations = loadgen::gate_compare(
+      baseline, wrong_name, loadgen::serve_gate_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("mismatch"), std::string::npos);
+}
+
+TEST(Gate, TightToleranceCatchesSmallDrift) {
+  const auto baseline = serve_doc(200, 2000, 150);
+  const auto fresh = serve_doc(200, 2500, 150);  // 1.25x worse p99
+  loadgen::GateOptions tight;
+  tight.tolerance = 1.2;
+  EXPECT_EQ(loadgen::gate_compare(baseline, fresh,
+                                  loadgen::serve_gate_rules(), tight)
+                .size(),
+            1u);
+}
+
+TEST(Gate, ZeroBaselineIsSkippedNotDividedBy) {
+  auto baseline = serve_doc(0, 2000, 150);  // p50 of 0 — nothing to ratio
+  const auto fresh = serve_doc(5000, 2000, 150);
+  EXPECT_TRUE(loadgen::gate_compare(baseline, fresh,
+                                    loadgen::serve_gate_rules())
+                  .empty());
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// The deterministic half of the load generator: mixes, Zipf sampling, and
+// the full schedule builder. The property that matters most here is
+// reproducibility — the same (options, slugs) must yield a byte-identical
+// schedule, because the whole coordinated-omission story rests on the
+// schedule being ground truth fixed before the first packet leaves.
+#include "pdcu/loadgen/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loadgen = pdcu::loadgen;
+
+namespace {
+
+const std::vector<std::string> kSlugs = {"alpha", "beta", "gamma", "delta"};
+
+bool same_schedule(const std::vector<loadgen::ScheduledRequest>& a,
+                   const std::vector<loadgen::ScheduledRequest>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].offset_ns != b[i].offset_ns || a[i].route != b[i].route ||
+        a[i].target != b[i].target ||
+        a[i].fresh_connection != b[i].fresh_connection) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Mix, ParsesNamesWithAndWithoutWeights) {
+  auto equal = loadgen::parse_mix("page:catalog:search");
+  ASSERT_TRUE(equal.has_value());
+  ASSERT_EQ(equal.value().size(), 3u);
+  EXPECT_EQ(equal.value()[0].route, loadgen::Route::kPage);
+  EXPECT_DOUBLE_EQ(equal.value()[0].weight, 1.0);
+  EXPECT_EQ(equal.value()[2].route, loadgen::Route::kSearch);
+
+  auto weighted = loadgen::parse_mix("page=6:catalog=1:activity=2:search=1");
+  ASSERT_TRUE(weighted.has_value());
+  ASSERT_EQ(weighted.value().size(), 4u);
+  EXPECT_DOUBLE_EQ(weighted.value()[0].weight, 6.0);
+  EXPECT_EQ(weighted.value()[2].route, loadgen::Route::kActivity);
+}
+
+TEST(Mix, RejectsUnknownRoutesAndBadWeights) {
+  EXPECT_FALSE(loadgen::parse_mix("page:bogus").has_value());
+  EXPECT_FALSE(loadgen::parse_mix("page=0").has_value());
+  EXPECT_FALSE(loadgen::parse_mix("page=-2").has_value());
+  EXPECT_FALSE(loadgen::parse_mix("").has_value());
+  EXPECT_FALSE(loadgen::parse_mix("page=abc").has_value());
+}
+
+TEST(Mix, RenderRoundTripsThroughParse) {
+  const auto mix = loadgen::default_mix();
+  const std::string spec = loadgen::render_mix(mix);
+  auto reparsed = loadgen::parse_mix(spec);
+  ASSERT_TRUE(reparsed.has_value());
+  ASSERT_EQ(reparsed.value().size(), mix.size());
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_EQ(reparsed.value()[i].route, mix[i].route);
+    EXPECT_DOUBLE_EQ(reparsed.value()[i].weight, mix[i].weight);
+  }
+}
+
+TEST(Zipf, LowerRanksAreMorePopular) {
+  loadgen::ZipfSampler sampler(8, 1.1);
+  pdcu::Rng rng(7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[sampler.sample(rng)]++;
+  // Rank 0 should clearly dominate rank 4 under s = 1.1.
+  EXPECT_GT(counts[0], counts[4] * 2);
+  // Every draw stays in range.
+  for (const auto& [rank, count] : counts) {
+    EXPECT_LT(rank, 8u);
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST(Schedule, SameSeedSameScheduleDifferentSeedDiffers) {
+  loadgen::ScheduleOptions options;
+  options.rate = 200.0;
+  options.duration_s = 1.0;
+  options.seed = 1234;
+
+  const auto first = loadgen::build_schedule(options, kSlugs);
+  const auto second = loadgen::build_schedule(options, kSlugs);
+  EXPECT_TRUE(same_schedule(first, second));
+
+  options.seed = 1235;
+  const auto reseeded = loadgen::build_schedule(options, kSlugs);
+  EXPECT_FALSE(same_schedule(first, reseeded));
+}
+
+TEST(Schedule, ArrivalsAreOpenLoopAtTheTargetRate) {
+  loadgen::ScheduleOptions options;
+  options.rate = 100.0;
+  options.duration_s = 2.0;
+  const auto schedule = loadgen::build_schedule(options, kSlugs);
+  ASSERT_EQ(schedule.size(), 200u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const auto expected =
+        static_cast<std::uint64_t>(std::llround(i * 1e9 / options.rate));
+    EXPECT_EQ(schedule[i].offset_ns, expected) << "request " << i;
+  }
+}
+
+TEST(Schedule, TargetsMatchTheirRoutes) {
+  loadgen::ScheduleOptions options;
+  options.rate = 500.0;
+  options.duration_s = 1.0;
+  const auto schedule = loadgen::build_schedule(options, kSlugs);
+  bool saw_page = false, saw_search = false;
+  for (const auto& request : schedule) {
+    switch (request.route) {
+      case loadgen::Route::kPage:
+        saw_page = true;
+        EXPECT_EQ(request.target.rfind("/activities/", 0), 0u);
+        EXPECT_EQ(request.target.back(), '/');
+        break;
+      case loadgen::Route::kCatalog:
+        EXPECT_EQ(request.target, "/api/catalog.json");
+        break;
+      case loadgen::Route::kActivity:
+        EXPECT_EQ(request.target.rfind("/api/activities/", 0), 0u);
+        break;
+      case loadgen::Route::kSearch:
+        saw_search = true;
+        EXPECT_EQ(request.target.rfind("/api/search?q=", 0), 0u);
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_page);
+  EXPECT_TRUE(saw_search);
+}
+
+TEST(Schedule, KeepAliveRatioExtremes) {
+  loadgen::ScheduleOptions options;
+  options.rate = 300.0;
+  options.duration_s = 1.0;
+
+  options.keep_alive_ratio = 1.0;
+  for (const auto& request : loadgen::build_schedule(options, kSlugs)) {
+    EXPECT_FALSE(request.fresh_connection);
+  }
+
+  options.keep_alive_ratio = 0.0;
+  for (const auto& request : loadgen::build_schedule(options, kSlugs)) {
+    EXPECT_TRUE(request.fresh_connection);
+  }
+}
+
+TEST(Schedule, PageSlugsFollowCatalogPopularityOrder) {
+  loadgen::ScheduleOptions options;
+  options.rate = 2000.0;
+  options.duration_s = 1.0;
+  options.mix = {{loadgen::Route::kPage, 1.0}};
+  std::map<std::string, int> hits;
+  for (const auto& request : loadgen::build_schedule(options, kSlugs)) {
+    hits[request.target]++;
+  }
+  // First catalog slug is rank 0 — the hottest page by construction.
+  EXPECT_GT(hits["/activities/alpha/"], hits["/activities/gamma/"]);
+}
+
+}  // namespace

@@ -379,3 +379,28 @@ TEST(HttpServer, SwapRouterChangesWhatSubsequentRequestsSee) {
   EXPECT_TRUE(strs::contains(body_of(after), "\"status\":\"degraded\""));
   EXPECT_TRUE(strs::contains(body_of(after), "findsmallestcard"));
 }
+
+TEST(HttpServer, TwoEphemeralServersRunConcurrently) {
+  // Flake-free CI and loadgen self-tests rely on --port 0 never
+  // colliding: two servers started concurrently must get distinct kernel-
+  // assigned ports and both must serve. Each gets a private pool — on a
+  // small shared default pool, two servers' connection tasks could starve
+  // each other.
+  server::ServerOptions options;
+  options.threads = 2;
+  ScopedServer first(options);
+  ScopedServer second(options);
+  ASSERT_NE(first.port(), 0);
+  ASSERT_NE(second.port(), 0);
+  EXPECT_NE(first.port(), second.port());
+
+  // Interleaved requests: both servers answer while the other is up.
+  EXPECT_EQ(body_of(simple_get(first.port(), "/healthz")), "ok\n");
+  EXPECT_EQ(body_of(simple_get(second.port(), "/healthz")), "ok\n");
+  const std::string from_first =
+      simple_get(first.port(), "/api/catalog.json");
+  const std::string from_second =
+      simple_get(second.port(), "/api/catalog.json");
+  EXPECT_TRUE(strs::starts_with(from_first, "HTTP/1.1 200 OK\r\n"));
+  EXPECT_EQ(body_of(from_first), body_of(from_second));
+}

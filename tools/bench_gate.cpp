@@ -1,0 +1,207 @@
+// bench_gate — the perf-trajectory regression gate.
+//
+// Re-measures the two committed baselines with the exact same code that
+// produced them and fails when a fresh number drifts past the tolerance
+// in the worse direction:
+//
+//   * BENCH_serve.json   — `pdcu loadgen --smoke`'s document: an embedded
+//     HttpServer on an ephemeral port driven by the open-loop load
+//     generator (fixed seed, identical schedule on every machine).
+//   * BENCH_search.json  — benchjson::search_summary_json(): index build
+//     time + query-latency percentiles over the canonical query shapes.
+//
+// Tolerance is multiplicative (default 5x, see loadgen/gate.hpp) because
+// absolute numbers vary wildly across CI runners; an order-of-magnitude
+// cliff is a regression anywhere. On top of that, each comparison gets up
+// to --attempts (default 3) fresh measurements and passes if ANY attempt
+// passes: noise on a contended runner is one-sided (a stall can only make
+// a run look slower, never faster), so one clean attempt proves the code
+// can still hit baseline-shaped numbers, while a real regression fails
+// every attempt. Exit 0 = gate passes, 1 = regression or measurement
+// error, 2 = usage/baseline-file problems.
+//
+//   ./build/tools/bench_gate                    # from the repo root
+//   ./build/tools/bench_gate --tolerance 3 --serve-baseline BENCH_serve.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "pdcu/loadgen/bench_json.hpp"
+#include "pdcu/loadgen/gate.hpp"
+#include "pdcu/loadgen/loadgen.hpp"
+#include "pdcu/loadgen/smoke.hpp"
+
+namespace loadgen = pdcu::loadgen;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance X] [--attempts N]"
+               " [--serve-baseline PATH]\n"
+               "          [--search-baseline PATH] [--skip-serve]"
+               " [--skip-search]\n"
+               "Baselines default to BENCH_serve.json / BENCH_search.json in"
+               " the\ncurrent directory (run from the repo root).\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Loads and parses a committed baseline; prints its own error.
+bool load_baseline(const std::string& path, loadgen::BenchDoc& doc) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "bench_gate: cannot read baseline '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  auto parsed = loadgen::parse_bench_json(text);
+  if (!parsed) {
+    std::fprintf(stderr, "bench_gate: baseline '%s': %s\n", path.c_str(),
+                 (parsed.error().code + ": " + parsed.error().message).c_str());
+    return false;
+  }
+  doc = std::move(parsed.value());
+  return true;
+}
+
+/// Measures up to `attempts` fresh documents via `measure` (which returns
+/// the fresh JSON, or empty on measurement failure) and compares each
+/// against the baseline; the gate passes on the first clean attempt.
+/// Returns the final attempt's violation count (0 = pass).
+template <typename MeasureFn>
+int gated(const char* what, const loadgen::BenchDoc& baseline,
+          const std::vector<loadgen::GateRule>& rules,
+          const loadgen::GateOptions& options, int attempts,
+          MeasureFn measure) {
+  std::vector<std::string> violations;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    const std::string json = measure();
+    if (json.empty()) return 1;  // measure() printed its own error
+    auto fresh = loadgen::parse_bench_json(json);
+    if (!fresh) {
+      std::fprintf(stderr, "bench_gate: fresh %s document: %s\n", what,
+                   (fresh.error().code + ": " + fresh.error().message)
+                       .c_str());
+      return 1;
+    }
+    violations =
+        loadgen::gate_compare(baseline, fresh.value(), rules, options);
+    if (violations.empty()) {
+      std::printf("bench_gate: %-6s PASS (tolerance %.1fx, attempt %d/%d)\n",
+                  what, options.tolerance, attempt, attempts);
+      for (const auto& rule : rules) {
+        std::printf("  %-18s baseline %12.1f  fresh %12.1f\n",
+                    rule.key.c_str(), baseline.number(rule.key, 0.0),
+                    fresh.value().number(rule.key, 0.0));
+      }
+      return 0;
+    }
+    if (attempt < attempts) {
+      std::printf("bench_gate: %-6s attempt %d/%d noisy, retrying:\n", what,
+                  attempt, attempts);
+      for (const auto& violation : violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+    }
+  }
+  std::printf("bench_gate: %-6s FAIL (all %d attempts)\n", what, attempts);
+  for (const auto& violation : violations) {
+    std::printf("  %s\n", violation.c_str());
+  }
+  return static_cast<int>(violations.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  loadgen::GateOptions gate;
+  std::string serve_baseline = "BENCH_serve.json";
+  std::string search_baseline = "BENCH_search.json";
+  bool run_serve = true;
+  bool run_search = true;
+  int attempts = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tolerance") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      gate.tolerance = std::strtod(v, nullptr);
+      if (gate.tolerance < 1.0) {
+        std::fprintf(stderr, "bench_gate: tolerance must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--attempts") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      attempts = std::atoi(v);
+      if (attempts < 1) {
+        std::fprintf(stderr, "bench_gate: attempts must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--serve-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      serve_baseline = v;
+    } else if (arg == "--search-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      search_baseline = v;
+    } else if (arg == "--skip-serve") {
+      run_serve = false;
+    } else if (arg == "--skip-search") {
+      run_search = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  int violations = 0;
+
+  if (run_serve) {
+    loadgen::BenchDoc baseline;
+    if (!load_baseline(serve_baseline, baseline)) return 2;
+    violations += gated(
+        "serve", baseline, loadgen::serve_gate_rules(), gate, attempts,
+        []() -> std::string {
+          loadgen::Options used;
+          auto result = loadgen::run_smoke({}, &used);
+          if (!result) {
+            std::fprintf(
+                stderr, "bench_gate: smoke run failed: %s\n",
+                (result.error().code + ": " + result.error().message)
+                    .c_str());
+            return {};
+          }
+          return loadgen::render_result_json(result.value(), "serve", used);
+        });
+  }
+
+  if (run_search) {
+    loadgen::BenchDoc baseline;
+    if (!load_baseline(search_baseline, baseline)) return 2;
+    violations += gated(
+        "search", baseline, loadgen::search_gate_rules(), gate, attempts,
+        [] { return pdcu::benchjson::search_summary_json("bench_gate"); });
+  }
+
+  return violations == 0 ? 0 : 1;
+}

@@ -35,6 +35,18 @@
 //        pre-rename pdcu_requests{class=...} series on /metrics).
 //        Content loads leniently: malformed files are quarantined and
 //        /healthz reports "degraded" instead of the server not starting.
+//   pdcu loadgen [options]         open-loop HTTP load generator
+//        --port N (target server; or --smoke for an embedded one),
+//        --host H, --rate R (arrivals/sec, default 100), --duration S
+//        (seconds, default 5), --connections N (default 4), --seed N
+//        (default 42; same seed => identical request schedule),
+//        --mix page:catalog:activity:search or page=6:catalog=1:...,
+//        --zipf S (slug popularity skew, default 1.1),
+//        --keep-alive-ratio F (default 0.9), --timeout-ms N (default
+//        2000), --out FILE (write the BENCH JSON there; default stdout).
+//        Latency is measured from each request's *intended* send time
+//        (coordinated-omission-safe); the summary is one versioned
+//        BENCH-schema JSON object.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -47,6 +59,8 @@
 #include "pdcu/core/link_audit.hpp"
 #include "pdcu/core/planner.hpp"
 #include "pdcu/extensions/impact.hpp"
+#include "pdcu/loadgen/loadgen.hpp"
+#include "pdcu/loadgen/smoke.hpp"
 #include "pdcu/obs/access_log.hpp"
 #include "pdcu/obs/span.hpp"
 #include "pdcu/runtime/thread_pool.hpp"
@@ -66,9 +80,117 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdcu "
-               "list|show|new|validate|check|build|serve|search|index|tables|"
-               "gaps|impact|json|audit|plan|annotate|run ...\n");
+               "list|show|new|validate|check|build|serve|loadgen|search|"
+               "index|tables|gaps|impact|json|audit|plan|annotate|run ...\n");
   return 2;
+}
+
+int loadgen_cmd(int argc, char** argv) {
+  pdcu::loadgen::Options options;
+  bool smoke = false;
+  bool port_given = false;
+  bool rate_given = false;
+  bool duration_given = false;
+  bool connections_given = false;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+      port_given = true;
+    } else if (arg == "--rate" && i + 1 < argc) {
+      options.schedule.rate = std::strtod(argv[++i], nullptr);
+      rate_given = true;
+    } else if (arg == "--duration" && i + 1 < argc) {
+      options.schedule.duration_s = std::strtod(argv[++i], nullptr);
+      duration_given = true;
+    } else if (arg == "--connections" && i + 1 < argc) {
+      options.connections =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      connections_given = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.schedule.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--zipf" && i + 1 < argc) {
+      options.schedule.zipf_exponent = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--keep-alive-ratio" && i + 1 < argc) {
+      options.schedule.keep_alive_ratio = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      options.timeout =
+          std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--mix" && i + 1 < argc) {
+      auto mix = pdcu::loadgen::parse_mix(argv[++i]);
+      if (!mix) {
+        std::fprintf(stderr, "loadgen: %s\n", mix.error().message.c_str());
+        return 2;
+      }
+      options.schedule.mix = std::move(mix).value();
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!smoke && !port_given) {
+    std::fprintf(stderr,
+                 "usage: pdcu loadgen --port N [--host H] [--rate R] "
+                 "[--duration S] [--connections N] [--seed N] [--mix M] "
+                 "[--zipf S] [--keep-alive-ratio F] [--timeout-ms N] "
+                 "[--out FILE] | pdcu loadgen --smoke [--out FILE]\n");
+    return 2;
+  }
+
+  pdcu::Expected<pdcu::loadgen::Result> result =
+      pdcu::Error::make("loadgen", "unreachable");
+  if (smoke) {
+    // Smoke mode has its own lighter defaults; explicit flags still win.
+    pdcu::loadgen::SmokeOptions smoke_options;
+    if (rate_given) smoke_options.rate = options.schedule.rate;
+    if (duration_given) {
+      smoke_options.duration_s = options.schedule.duration_s;
+    }
+    if (connections_given) smoke_options.connections = options.connections;
+    smoke_options.seed = options.schedule.seed;
+    result = pdcu::loadgen::run_smoke(smoke_options, &options);
+  } else {
+    result = pdcu::loadgen::run_against(options);
+  }
+  if (!result) {
+    std::fprintf(stderr, "loadgen: %s\n", result.error().message.c_str());
+    return 1;
+  }
+  const auto& r = result.value();
+  const std::string json =
+      pdcu::loadgen::render_result_json(r, "serve", options);
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* file = std::fopen(out_path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  }
+  // The human summary goes to stderr so stdout stays a clean JSON object
+  // for `pdcu loadgen ... > BENCH_serve.json`.
+  std::fprintf(stderr,
+               "loadgen: %llu/%llu ok, %.1f req/s (target %.1f), p50 %llu us, "
+               "p99 %llu us, max %llu us, errors %llu\n",
+               static_cast<unsigned long long>(r.completed),
+               static_cast<unsigned long long>(r.scheduled),
+               r.achieved_rate, r.target_rate,
+               static_cast<unsigned long long>(r.latency_us.quantile(0.5)),
+               static_cast<unsigned long long>(r.latency_us.quantile(0.99)),
+               static_cast<unsigned long long>(r.max_latency_us),
+               static_cast<unsigned long long>(r.errors_total()));
+  return r.errors_total() == 0 ? 0 : 1;
 }
 
 int check(int argc, char** argv) {
@@ -400,6 +522,12 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
               site.pages.size(), options.host.c_str(),
               static_cast<unsigned>(server.port()),
               watch ? " [watching]" : "");
+  // A machine-parseable port line, flushed before blocking: with --port 0
+  // the ephemeral port is unknowable in advance, and scripts (loadgen
+  // wrappers, CI) read it from here — an unflushed buffer would leave
+  // them hanging until shutdown when stdout is a pipe.
+  std::printf("listening port=%u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
   server.run_until_signalled();
   if (reloader.has_value()) reloader->stop();
   if (access_log.has_value()) access_log->flush();
@@ -469,6 +597,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return serve(std::move(repo), argc, argv);
+  }
+  if (command == "loadgen") {
+    return loadgen_cmd(argc, argv);
   }
   if (command == "search") {
     return search(repo, argc, argv);
