@@ -13,11 +13,7 @@
 
 namespace pdcu::loadgen {
 
-namespace {
-
-/// Case-insensitive search for `\r\nname:` inside a header block; returns
-/// the trimmed value or an empty string.
-std::string header_value(std::string_view head, std::string_view name) {
+std::string find_header_value(std::string_view head, std::string_view name) {
   std::string lowered;
   lowered.reserve(head.size());
   for (const char c : head) {
@@ -43,8 +39,6 @@ std::string header_value(std::string_view head, std::string_view name) {
   }
   return value;
 }
-
-}  // namespace
 
 Connection::Connection(std::string host, std::uint16_t port,
                        std::chrono::milliseconds timeout)
@@ -136,9 +130,9 @@ Exchange Connection::get(const std::string& target) {
   }
   exchange.status = std::atoi(buffer_.c_str() + 9);
 
-  const std::string length_text = header_value(head, "content-length");
+  const std::string length_text = find_header_value(head, "content-length");
   const bool server_closes =
-      header_value(head, "connection") == "close" || length_text.empty();
+      find_header_value(head, "connection") == "close" || length_text.empty();
   std::size_t body_length = 0;
   if (!length_text.empty()) {
     body_length = static_cast<std::size_t>(

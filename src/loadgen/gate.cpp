@@ -1,5 +1,7 @@
 #include "pdcu/loadgen/gate.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace pdcu::loadgen {
@@ -33,6 +35,72 @@ std::vector<GateRule> search_gate_rules() {
       {"query_us.p99", /*higher_is_worse=*/true, /*required=*/true},
       {"index_build_ms", /*higher_is_worse=*/true, /*required=*/true},
   };
+}
+
+std::vector<std::string> sweep_schema_violations(const BenchDoc& doc) {
+  std::vector<std::string> violations;
+  if (doc.schema_version() != kBenchSchemaVersion) {
+    violations.push_back("sweep bench_schema " +
+                         std::to_string(doc.schema_version()) +
+                         " != expected " +
+                         std::to_string(kBenchSchemaVersion));
+    return violations;
+  }
+  if (doc.bench_name() != "sweep_serve") {
+    violations.push_back("bench name '" + doc.bench_name() +
+                         "' != 'sweep_serve'");
+    return violations;
+  }
+
+  // Count the per-backend point objects and remember each backend's best
+  // served rate so the summary can be cross-checked.
+  double best[2] = {0.0, 0.0};  // [pool, reactor]
+  int counts[2] = {0, 0};
+  for (int backend = 0; backend < 2; ++backend) {
+    const std::string prefix = backend == 0 ? "pool_" : "reactor_";
+    for (int i = 0;; ++i) {
+      const std::string point = prefix + std::to_string(i);
+      if (!doc.has_number(point + ".rate")) break;
+      ++counts[backend];
+      for (const char* field : {"rps", "scheduled", "completed"}) {
+        if (!doc.has_number(point + "." + field)) {
+          violations.push_back(point + "." + field + " missing");
+        }
+      }
+      best[backend] =
+          std::max(best[backend], doc.number(point + ".rps", 0.0));
+    }
+    if (counts[backend] == 0) {
+      violations.push_back("no " + prefix + "N points in the sweep");
+    }
+  }
+  if (doc.number("points", 0.0) != counts[0] + counts[1]) {
+    violations.push_back("'points' does not match the point objects found");
+  }
+
+  for (const char* key :
+       {"summary.pool_saturation_rps", "summary.reactor_saturation_rps",
+        "summary.reactor_speedup"}) {
+    if (!doc.has_number(key)) {
+      violations.push_back(std::string(key) + " missing");
+    }
+  }
+  // The summary must describe the points it sits next to (small slack for
+  // decimal round-tripping).
+  if (counts[0] > 0 &&
+      std::abs(doc.number("summary.pool_saturation_rps") - best[0]) >
+          0.01 * std::max(1.0, best[0])) {
+    violations.push_back(
+        "summary.pool_saturation_rps does not match the best pool point");
+  }
+  if (counts[1] > 0 &&
+      std::abs(doc.number("summary.reactor_saturation_rps") - best[1]) >
+          0.01 * std::max(1.0, best[1])) {
+    violations.push_back(
+        "summary.reactor_saturation_rps does not match the best reactor "
+        "point");
+  }
+  return violations;
 }
 
 std::vector<std::string> gate_compare(const BenchDoc& baseline,

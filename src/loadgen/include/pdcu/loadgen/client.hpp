@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pdcu/support/expected.hpp"
@@ -62,6 +63,12 @@ class Connection {
   bool timed_out_ = false;  ///< the last read_more failure was a timeout
   std::string buffer_;      ///< unconsumed response bytes
 };
+
+/// Case-insensitive lookup of a header value inside a response head
+/// (start line + header lines). Returns the trimmed value, lower-cased,
+/// or an empty string when absent. Shared by the blocking and epoll
+/// clients so both frame responses identically.
+std::string find_header_value(std::string_view head, std::string_view name);
 
 /// Fetches /api/catalog.json from a running server and returns the slugs
 /// in catalog order (which the Zipf sampler treats as popularity order).

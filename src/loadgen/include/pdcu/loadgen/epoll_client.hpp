@@ -1,0 +1,23 @@
+// The epoll load-generator client: one thread multiplexing every
+// configured connection through non-blocking state machines, so
+// --connections can climb to tens of thousands without tens of thousands
+// of blocked threads. Schedule semantics are identical to the blocking
+// workers — connection c walks schedule indices c, c+N, ... in intended-
+// time order, never skips a request it is late for, and charges every
+// latency from the request's *intended* send time — so the two modes are
+// interchangeable for small runs and comparable for large ones.
+#pragma once
+
+#include <vector>
+
+#include "pdcu/loadgen/loadgen.hpp"
+#include "pdcu/loadgen/schedule.hpp"
+
+namespace pdcu::loadgen {
+
+/// Drives `schedule` with the epoll client. Called by run() when the
+/// ClientMode resolves to kEpoll; exposed for tests that pin the mode.
+Result run_epoll(const Options& options,
+                 const std::vector<ScheduledRequest>& schedule);
+
+}  // namespace pdcu::loadgen

@@ -32,6 +32,16 @@ std::vector<GateRule> serve_gate_rules();
 /// The rules bench_gate applies to a "search" document.
 std::vector<GateRule> search_gate_rules();
 
+/// Structural validation of a "sweep_serve" BENCH document (the
+/// latency-vs-offered-rate sweep committed as BENCH_sweep_serve.json).
+/// The sweep is too expensive to re-measure inside the gate, so the gate
+/// checks the committed document's shape instead: right bench name and
+/// schema, at least one pool_N and one reactor_N point each carrying
+/// rate/rps/completed, and a summary whose saturation numbers are
+/// consistent with the points. Returns human-readable violations; empty
+/// means the document is well-formed.
+std::vector<std::string> sweep_schema_violations(const BenchDoc& doc);
+
 /// Compares `fresh` against `baseline`: schema versions must match, the
 /// bench names must match, fresh error counters (any "errors.*" key
 /// present in `fresh`) must be zero, and every rule must hold within the

@@ -33,14 +33,31 @@ class ThreadPool;
 
 namespace pdcu::loadgen {
 
+/// How the generator drives its connections.
+enum class ClientMode {
+  /// kBlocking under 65 connections, kEpoll above — the blocking client's
+  /// thread-per-connection model stops scaling right around there.
+  kAuto,
+  /// One worker thread per connection, blocking socket I/O. Simple, and
+  /// exact for small connection counts.
+  kBlocking,
+  /// One thread multiplexing every connection through epoll state
+  /// machines. Scales --connections to tens of thousands (the schedule
+  /// semantics — per-connection slices, intended-time latency — are
+  /// identical to the blocking mode).
+  kEpoll,
+};
+
 struct Options {
   std::string host = "127.0.0.1";
   std::uint16_t port = 8080;
   unsigned connections = 4;  ///< worker connections walking the schedule
+  ClientMode client = ClientMode::kAuto;
   std::chrono::milliseconds timeout{2000};  ///< per-exchange socket timeout
   ScheduleOptions schedule;  ///< rate, duration, seed, zipf, mix
   /// Workers run here when it has >= `connections` idle threads;
   /// otherwise a private pool is created for the run (see file comment).
+  /// The epoll client ignores it (one thread drives everything).
   rt::ThreadPool* pool = nullptr;
 };
 
@@ -62,6 +79,9 @@ struct Result {
   /// request's intended send time (coordinated-omission-safe).
   obs::Histogram::Snapshot latency_us;
   std::uint64_t max_latency_us = 0;
+  /// Most connections simultaneously open during the run (== worker count
+  /// for the blocking client; the interesting number for the epoll one).
+  std::uint64_t peak_connections = 0;
 
   std::uint64_t errors_total() const {
     return connect_errors + send_errors + read_errors + timeouts;

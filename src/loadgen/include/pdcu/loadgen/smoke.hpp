@@ -10,10 +10,16 @@
 // response the server can never schedule).
 #pragma once
 
+#include <vector>
+
 #include "pdcu/loadgen/loadgen.hpp"
 #include "pdcu/support/expected.hpp"
 
 namespace pdcu::loadgen {
+
+/// Which HttpServer backend the embedded server runs on. Mirrors
+/// server::Backend without dragging server headers into this interface.
+enum class SmokeBackend { kPool, kReactor };
 
 struct SmokeOptions {
   double rate = 150.0;
@@ -21,6 +27,11 @@ struct SmokeOptions {
   unsigned connections = 2;
   std::uint64_t seed = 42;
   unsigned server_threads = 4;
+  SmokeBackend backend = SmokeBackend::kPool;
+  unsigned net_shards = 1;
+  /// Server-side concurrent-connection cap; 0 keeps the server default.
+  unsigned max_connections = 0;
+  ClientMode client = ClientMode::kAuto;
 };
 
 /// Runs the smoke load and returns the result; the embedded server is
@@ -28,5 +39,35 @@ struct SmokeOptions {
 /// `used` (for rendering the BENCH JSON) when non-null.
 Expected<Result> run_smoke(const SmokeOptions& smoke = {},
                            Options* used = nullptr);
+
+/// One measured point of the offered-rate sweep.
+struct SweepPoint {
+  SmokeBackend backend = SmokeBackend::kPool;
+  double rate = 0.0;
+  Result result;
+};
+
+struct SweepOptions {
+  /// Offered arrival rates, swept in order against each backend.
+  std::vector<double> rates = {200.0, 800.0, 3200.0};
+  double duration_s = 2.0;
+  unsigned connections = 128;
+  std::uint64_t seed = 42;
+  unsigned server_threads = 4;
+  unsigned net_shards = 2;
+};
+
+/// Drives every rate in `sweep.rates` against a pool-backend server and
+/// then a reactor-backend server (one embedded server per backend, reused
+/// across its rates so TCP state warms identically). Points are returned
+/// pool-first, in rate order.
+Expected<std::vector<SweepPoint>> run_sweep(const SweepOptions& sweep = {});
+
+/// Renders sweep points as one BENCH-schema document (bench
+/// "sweep_serve"): per-point nested objects keyed pool_0, pool_1, ...,
+/// reactor_0, ... plus a "summary" object with each backend's best
+/// achieved rate and the reactor/pool speedup at saturation.
+std::string render_sweep_json(const std::vector<SweepPoint>& points,
+                              const SweepOptions& sweep);
 
 }  // namespace pdcu::loadgen

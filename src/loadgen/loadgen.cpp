@@ -7,6 +7,7 @@
 
 #include "pdcu/loadgen/bench_json.hpp"
 #include "pdcu/loadgen/client.hpp"
+#include "pdcu/loadgen/epoll_client.hpp"
 #include "pdcu/runtime/thread_pool.hpp"
 
 namespace pdcu::loadgen {
@@ -77,8 +78,18 @@ void run_worker(const Options& options,
 
 }  // namespace
 
+/// 64 blocked worker threads is where thread-per-connection stops being
+/// a reasonable model; kAuto switches to the epoll client above it.
+constexpr unsigned kAutoEpollThreshold = 64;
+
 Result run(const Options& options,
            const std::vector<ScheduledRequest>& schedule) {
+  if (options.client == ClientMode::kEpoll ||
+      (options.client == ClientMode::kAuto &&
+       options.connections > kAutoEpollThreshold)) {
+    return run_epoll(options, schedule);
+  }
+
   Result result;
   result.target_rate = options.schedule.rate;
   result.scheduled = schedule.size();
@@ -134,6 +145,8 @@ Result run(const Options& options,
     result.achieved_rate =
         static_cast<double>(result.completed) / result.wall_s;
   }
+  // Each blocking worker owns exactly one connection for the whole run.
+  result.peak_connections = workers;
   return result;
 }
 
@@ -160,6 +173,7 @@ std::string render_result_json(const Result& result, std::string_view bench,
   writer.open("requests");
   writer.integer("scheduled", result.scheduled);
   writer.integer("completed", result.completed);
+  writer.integer("peak_connections", result.peak_connections);
   writer.close();
   writer.open("latency_us");
   writer.integer("p50", result.latency_us.quantile(0.50));

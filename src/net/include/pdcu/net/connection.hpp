@@ -1,0 +1,91 @@
+// One edge connection's keep-alive state machine, factored out of the
+// epoll loop so it can be driven deterministically in tests (any fd
+// works — the suite uses socketpairs). The reactor calls on_readable /
+// on_writable / on_timeout; the connection accumulates request bytes,
+// asks the Handler to frame responses, and writes them with writev over
+// up to three scatter segments (cached head, connection tail, immutable
+// body) resuming cleanly across partial writes.
+//
+// Backpressure is structural: while a response is partially written the
+// connection wants EPOLLOUT and not EPOLLIN, so a slow reader stops the
+// request flow instead of ballooning buffers. Pipelined requests already
+// in the buffer are served back-to-back once the write path is clear.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pdcu/net/handler.hpp"
+#include "pdcu/net/metrics.hpp"
+
+namespace pdcu::net {
+
+struct ConnectionLimits {
+  /// Hard cap on buffered request bytes. The handler answers oversized
+  /// heads itself (431) well below this; the cap only defends against a
+  /// handler that keeps saying kNeedMore.
+  std::size_t max_buffer_bytes = 1 << 20;
+  /// Keep-alive cap: the response to request N is framed close.
+  unsigned max_requests = 100;
+};
+
+class Connection {
+ public:
+  /// What the reactor should do with the connection after an event.
+  enum class Event {
+    kKeep,   ///< stay registered; poll want_write() for the interest set
+    kClose,  ///< close the fd and forget the connection
+  };
+
+  Connection(int fd, Handler& handler, NetMetrics* metrics,
+             ConnectionLimits limits);
+
+  int fd() const { return fd_; }
+  /// A response is mid-write: register EPOLLOUT, drop EPOLLIN.
+  bool want_write() const { return pending_; }
+  /// Nothing buffered in either direction (safe to drop during drain).
+  bool idle() const { return !pending_ && buffer_.empty(); }
+  /// Completed responses; the reactor resets the read deadline when this
+  /// advances (per-request timeout, not per-byte — a drip-feeding client
+  /// cannot extend its deadline).
+  std::uint64_t responses_done() const { return responses_done_; }
+
+  /// Socket readable: drain it, then serve whatever complete requests the
+  /// buffer now holds. `draining` makes every response close-framed.
+  Event on_readable(bool draining);
+
+  /// Socket writable: resume the pending response, then continue with any
+  /// pipelined requests already buffered.
+  Event on_writable(bool draining);
+
+  /// Read deadline fired. Sends the handler's canned timeout answer when
+  /// the peer left a request unfinished (best effort, single write) and
+  /// reports which case it was through NetMetrics/Handler observers.
+  /// Always returns kClose.
+  Event on_timeout();
+
+ private:
+  enum class Flush { kDone, kAgain, kError };
+
+  /// Serves buffered requests until the buffer runs dry, a response
+  /// backs up (kAgain), or the handler/write path closes the connection.
+  Event process(bool draining);
+  Flush flush();
+
+  int fd_;
+  Handler& handler_;
+  NetMetrics* metrics_;
+  ConnectionLimits limits_;
+
+  std::string buffer_;       ///< unparsed request bytes
+  WireResponse pending_response_;
+  bool pending_ = false;     ///< pending_response_ is mid-write
+  std::size_t written_ = 0;  ///< bytes of pending_response_ on the wire
+  bool close_after_write_ = false;
+  bool peer_eof_ = false;    ///< peer shut its write side; serve then close
+  unsigned served_ = 0;
+  std::uint64_t responses_done_ = 0;
+};
+
+}  // namespace pdcu::net

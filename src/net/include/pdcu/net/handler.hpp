@@ -1,0 +1,82 @@
+// The seam between the reactor core and the application protocol. The
+// reactor owns sockets, buffers, timeouts, and the write path; it knows
+// nothing about HTTP. A Handler owns the protocol: it is fed the bytes
+// accumulated on a connection and answers with either "need more", or one
+// wire-ready response described as up to three segments — a header block,
+// a connection-control tail, and a body — so a cache hit can point
+// straight into immutable, shared memory and be written with one writev
+// and zero copies. The `guard` keeps whatever the views borrow alive
+// until the last byte is on the wire (for the pdcu server it is the RCU
+// router snapshot, so a live reload can never free a page mid-write).
+//
+// Handlers are shared across every shard and connection, so on_data and
+// the observer hooks must be thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pdcu::net {
+
+/// One response, ready for the wire, as scatter/gather segments. Views
+/// either point into the owned_* members or into memory kept alive by
+/// `guard`; the reactor copies nothing.
+struct WireResponse {
+  std::string owned_head;  ///< backing store for dynamic heads
+  std::string owned_body;  ///< backing store for dynamic bodies
+  std::string_view head;   ///< first segment (status line + headers)
+  std::string_view tail;   ///< second segment (e.g. Connection line + CRLF)
+  std::string_view body;   ///< third segment, possibly empty (HEAD, 304)
+  /// Keeps borrowed head/tail/body memory alive until fully written.
+  std::shared_ptr<const void> guard;
+  bool close = false;  ///< close the connection after writing
+  int status = 0;      ///< protocol status, for observers only
+
+  std::size_t wire_bytes() const {
+    return head.size() + tail.size() + body.size();
+  }
+};
+
+enum class StepStatus {
+  kNeedMore,  ///< incomplete request; keep the buffer, keep reading
+  kRespond,   ///< `out` is filled; `consumed` bytes leave the buffer
+};
+
+struct Step {
+  StepStatus status = StepStatus::kNeedMore;
+  /// Bytes of the buffer consumed by this request (kRespond only). A
+  /// handler answering a malformed prefix it cannot frame sets close on
+  /// the response instead of consuming.
+  std::size_t consumed = 0;
+};
+
+class Handler {
+ public:
+  virtual ~Handler() = default;
+
+  /// Examines the accumulated connection buffer. `force_close` warns the
+  /// handler that the reactor will close after this response no matter
+  /// what (per-connection request cap, server draining), so the response
+  /// framing can say so.
+  virtual Step on_data(std::string_view buffer, bool force_close,
+                      WireResponse& out) = 0;
+
+  /// Canned wire bytes for a request the peer started but never finished
+  /// (the pdcu server answers 408). Empty = close silently.
+  virtual std::string timeout_response() const = 0;
+
+  /// Canned wire bytes when the connection cap rejects an accept (the
+  /// pdcu server answers 503 + Retry-After). Empty = close silently.
+  virtual std::string overload_response() const = 0;
+
+  /// A connection-level canned response (timeout/overload) went on the
+  /// wire; lets the application count it in its own metrics.
+  virtual void on_connection_error(int /*status*/, std::size_t /*bytes*/) {}
+
+  /// A response write failed mid-flight (peer reset, broken pipe).
+  virtual void on_write_error() {}
+};
+
+}  // namespace pdcu::net

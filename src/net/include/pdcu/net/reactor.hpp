@@ -1,0 +1,79 @@
+// The sharded epoll reactor. N shards each run one thread around one
+// epoll instance with a private SO_REUSEPORT listener, so the kernel
+// load-balances accepted connections across shards by 4-tuple hash and
+// no shard ever touches another shard's connections — connection state
+// needs no locks at all. The only cross-shard state is the global
+// connection-count atomic (admission control) and the shared Handler.
+//
+// Lifecycle: start() binds every listener (resolving port 0 once, then
+// reusing the concrete port for the rest), spawns the shard threads, and
+// returns. stop() closes the listeners, lets in-flight responses finish
+// (every response served while draining is framed `Connection: close`),
+// and force-closes stragglers after `drain_timeout`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdcu/net/handler.hpp"
+#include "pdcu/net/metrics.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::net {
+
+struct ReactorOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the choice
+  unsigned shards = 1;
+  /// Global cap across all shards; accepts beyond it are answered with
+  /// the handler's overload response and closed. 0 admits nothing (same
+  /// semantics as server::ServerOptions; pass a huge value for
+  /// "unlimited").
+  unsigned max_connections = 128;
+  std::chrono::milliseconds read_timeout{5000};
+  unsigned max_requests_per_connection = 100;
+  std::chrono::milliseconds drain_timeout{2000};
+  std::size_t max_buffer_bytes = 1 << 20;
+  int listen_backlog = 511;
+  NetMetrics* metrics = nullptr;  ///< optional; may outlive the server
+};
+
+class ReactorServer {
+ public:
+  /// The handler must outlive the server and be thread-safe: every shard
+  /// calls it concurrently.
+  ReactorServer(ReactorOptions options, Handler& handler);
+  ~ReactorServer();
+
+  ReactorServer(const ReactorServer&) = delete;
+  ReactorServer& operator=(const ReactorServer&) = delete;
+
+  Status start();
+  /// Graceful drain, then join. Safe to call twice.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard;
+  friend struct Shard;
+
+  ReactorOptions options_;
+  Handler& handler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace pdcu::net

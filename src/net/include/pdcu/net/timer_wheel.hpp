@@ -1,0 +1,68 @@
+// A hashed timing wheel for connection deadlines. One wheel lives inside
+// each reactor shard and is touched only by that shard's thread, so there
+// is no locking; the epoll loop calls advance() once per iteration and
+// gets back the ids whose deadlines passed.
+//
+// Scheduling and cancelling are O(1); advance() is O(slots crossed +
+// entries in them). Deadlines beyond the wheel horizon simply re-enter
+// the wheel when their slot comes around again — the map's deadline is
+// ground truth, the slots are just an index — and rescheduling an id
+// moves its deadline without touching the stale slot entry (it is
+// skipped lazily when its old slot fires). Time is passed in explicitly,
+// which keeps tests deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pdcu::net {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(Clock::time_point epoch,
+                      std::chrono::milliseconds tick =
+                          std::chrono::milliseconds(100),
+                      std::size_t slots = 512);
+
+  /// Sets (or moves) the deadline for `id`.
+  void schedule(std::uint64_t id, Clock::time_point deadline);
+
+  /// Forgets `id`; a pending slot entry is skipped lazily.
+  void cancel(std::uint64_t id);
+
+  /// Collects every id whose deadline is <= now. Each expired id is
+  /// removed from the wheel before being returned.
+  std::vector<std::uint64_t> advance(Clock::time_point now);
+
+  /// The earliest scheduled deadline, or Clock::time_point::max() when
+  /// the wheel is empty — what the epoll loop bounds its wait with.
+  /// O(active entries); cheap at reactor scales and called once per loop.
+  Clock::time_point next_deadline() const;
+
+  std::size_t size() const { return deadlines_.size(); }
+
+ private:
+  struct Entry {
+    Clock::time_point deadline;
+    std::uint64_t seq = 0;  ///< bumped per schedule; stale slot entries drop
+  };
+  struct Filed {
+    std::uint64_t id = 0;
+    std::uint64_t seq = 0;
+  };
+
+  std::uint64_t tick_of(Clock::time_point when) const;
+  void push(std::uint64_t id, std::uint64_t seq, Clock::time_point deadline);
+
+  Clock::time_point epoch_;
+  std::chrono::milliseconds tick_;
+  std::vector<std::vector<Filed>> slots_;
+  std::unordered_map<std::uint64_t, Entry> deadlines_;
+  std::uint64_t cursor_ = 0;  ///< first tick not yet advanced past
+};
+
+}  // namespace pdcu::net

@@ -1,0 +1,88 @@
+#include "pdcu/net/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace pdcu::net {
+
+TimerWheel::TimerWheel(Clock::time_point epoch,
+                       std::chrono::milliseconds tick, std::size_t slots)
+    : epoch_(epoch),
+      tick_(tick.count() > 0 ? tick : std::chrono::milliseconds(1)),
+      slots_(std::max<std::size_t>(slots, 2)) {}
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point when) const {
+  if (when <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(when - epoch_)
+          .count() /
+      tick_.count());
+}
+
+void TimerWheel::push(std::uint64_t id, std::uint64_t seq,
+                      Clock::time_point deadline) {
+  // Never file into a slot the cursor already passed: a deadline in the
+  // past belongs to the next advance(), i.e. the cursor's own slot.
+  const std::uint64_t tick = std::max(tick_of(deadline), cursor_);
+  slots_[tick % slots_.size()].push_back({id, seq});
+}
+
+void TimerWheel::schedule(std::uint64_t id, Clock::time_point deadline) {
+  // Each (re)schedule bumps the sequence number, orphaning any slot entry
+  // the previous deadline filed — stale entries are dropped when their
+  // slot fires instead of lingering for revolutions.
+  Entry& entry = deadlines_[id];
+  entry.deadline = deadline;
+  ++entry.seq;
+  push(id, entry.seq, deadline);
+}
+
+void TimerWheel::cancel(std::uint64_t id) { deadlines_.erase(id); }
+
+std::vector<std::uint64_t> TimerWheel::advance(Clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  if (deadlines_.empty()) {
+    cursor_ = tick_of(now) + 1;
+    return expired;
+  }
+  const std::uint64_t upto = tick_of(now);
+  // Crossing more than a full revolution visits every slot once; clamp so
+  // a long sleep costs O(slots), not O(elapsed ticks).
+  const std::uint64_t first =
+      upto >= cursor_ + slots_.size()
+          ? upto - static_cast<std::uint64_t>(slots_.size()) + 1
+          : cursor_;
+  std::vector<Filed> survivors;
+  for (std::uint64_t tick = first; tick <= upto; ++tick) {
+    auto& slot = slots_[tick % slots_.size()];
+    for (const Filed& filed : slot) {
+      const auto entry = deadlines_.find(filed.id);
+      if (entry == deadlines_.end()) continue;  // cancelled: drop lazily
+      if (entry->second.seq != filed.seq) continue;  // rescheduled: stale
+      if (entry->second.deadline <= now) {
+        deadlines_.erase(entry);
+        expired.push_back(filed.id);
+      } else {
+        survivors.push_back(filed);
+      }
+    }
+    slot.clear();
+  }
+  cursor_ = upto + 1;
+  // Refile after the cursor moved so a survivor whose deadline falls
+  // inside the just-advanced window lands in the cursor's slot (fires on
+  // the next advance) instead of waiting a full revolution.
+  for (const Filed& filed : survivors) {
+    push(filed.id, filed.seq, deadlines_[filed.id].deadline);
+  }
+  return expired;
+}
+
+TimerWheel::Clock::time_point TimerWheel::next_deadline() const {
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& [id, entry] : deadlines_) {
+    earliest = std::min(earliest, entry.deadline);
+  }
+  return earliest;
+}
+
+}  // namespace pdcu::net

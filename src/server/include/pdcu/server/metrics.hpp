@@ -55,6 +55,17 @@ class ServerMetrics {
   std::uint64_t requests_by_route(Route route, int status_class) const;
   std::uint64_t bytes_sent_total() const;
 
+  /// Counts a response the peer never fully received: the socket write
+  /// failed mid-flight (EPIPE, ECONNRESET, ...). Exposed as
+  /// pdcu_write_errors_total so a spike of dead-peer writes is visible
+  /// instead of silently folded into "sent".
+  void record_write_error() {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t write_errors_total() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+
   /// One consistent view of the aggregate latency counters. record()
   /// publishes the running sum last (release) and the snapshot loads it
   /// first (acquire), so every microsecond in `sum` comes from a request
@@ -93,6 +104,7 @@ class ServerMetrics {
   std::array<std::atomic<std::uint64_t>, 5> by_class_{};
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> write_errors_{0};
   std::atomic<std::uint64_t> latency_total_us_{0};
   std::atomic<std::uint64_t> latency_min_us_{UINT64_MAX};
   std::atomic<std::uint64_t> latency_max_us_{0};

@@ -21,11 +21,20 @@ std::uint64_t fnv1a_64(std::string_view bytes);
 /// e.g. "\"af63dc4c8601ec8c\"".
 std::string strong_etag(std::string_view bytes);
 
-/// One cached response payload.
+/// One cached response payload, with the wire-format header blocks for
+/// both of its possible answers precomputed at construction. The blocks
+/// deliberately stop short of the Connection header and the final CRLF:
+/// the reactor's zero-copy path writev()s [head, connection-tail, body]
+/// straight from here, so a cache hit serializes nothing per request.
 struct CachedEntry {
   std::string body;
   std::string content_type;
   std::string etag;
+  /// "HTTP/1.1 200 OK" + ETag/Cache-Control/Content-Type/Content-Length
+  /// header lines; no Connection header, no blank line.
+  std::string head_200;
+  /// "HTTP/1.1 304 Not Modified" + ETag/Cache-Control; same framing rules.
+  std::string head_304;
 };
 
 /// Immutable-after-construction map from site path to payload. Lookups are

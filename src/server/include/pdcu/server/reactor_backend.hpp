@@ -1,0 +1,31 @@
+// The HTTP protocol plugged into pdcu::net — a net::Handler that feeds
+// connection buffers through parse_request, routes via the RCU router
+// snapshot, and frames responses for the reactor's vectored write path.
+// A cache hit takes Router::try_fast: the response is three borrowed
+// views (precomputed head block, static Connection tail, page body) with
+// the router snapshot as the guard, so the hot path allocates nothing
+// after routing and a live reload can never free a page mid-write.
+//
+// Exposed in a header (rather than buried in server.cpp) so tests can
+// drive the handler over socketpairs without a listening server.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "pdcu/net/handler.hpp"
+#include "pdcu/server/metrics.hpp"
+#include "pdcu/server/router.hpp"
+
+namespace pdcu::server {
+
+struct ServerOptions;
+
+/// Builds the reactor-side HTTP handler. `options` and `metrics` must
+/// outlive the handler; `router` is called once per request and must be
+/// thread-safe (HttpServer passes its snapshot getter).
+std::unique_ptr<net::Handler> make_reactor_handler(
+    const ServerOptions& options, ServerMetrics& metrics,
+    std::function<std::shared_ptr<const Router>()> router);
+
+}  // namespace pdcu::server

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "pdcu/core/repository.hpp"
+#include "pdcu/net/metrics.hpp"
 #include "pdcu/obs/span.hpp"
 #include "pdcu/search/index.hpp"
 #include "pdcu/server/health.hpp"
@@ -66,9 +67,31 @@ class Router {
   /// router and every snapshot swapped after it.
   void set_spans(const obs::SpanRegistry* spans) { spans_ = spans; }
 
+  /// Appends the reactor's pdcu_net_* families to /metrics (wired only
+  /// when the server runs the reactor backend). The pointee must outlive
+  /// the router and every snapshot swapped after it.
+  void set_net_metrics(const net::NetMetrics* metrics) {
+    net_metrics_ = metrics;
+  }
+
   /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
   /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
+
+  /// A cache hit resolved without building a Response: views into the
+  /// entry's precomputed header block and body, valid for as long as the
+  /// router snapshot they came from is held.
+  struct FastHit {
+    std::string_view head;  ///< CachedEntry::head_200 or head_304
+    std::string_view body;  ///< empty for 304 and HEAD
+    int status = 200;
+  };
+
+  /// The zero-copy hot path: GET/HEAD of a cached page (site pages and
+  /// the static API documents), including the If-None-Match → 304 case.
+  /// Everything else — dynamic routes, 404s, other methods — returns
+  /// nullopt and takes handle(). Allocation-free on hit.
+  std::optional<FastHit> try_fast(const Request& request) const;
 
   const PageCache& cache() const { return cache_; }
   const search::SearchIndex& index() const { return index_; }
@@ -83,6 +106,7 @@ class Router {
   const HealthTracker* health_ = nullptr;
   const ReloadMetrics* reload_metrics_ = nullptr;
   const obs::SpanRegistry* spans_ = nullptr;
+  const net::NetMetrics* net_metrics_ = nullptr;
   std::optional<site::BuildStats> build_stats_;
 };
 

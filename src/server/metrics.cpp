@@ -146,6 +146,12 @@ std::string ServerMetrics::render_text() const {
   out += "# TYPE pdcu_bytes_sent_total counter\n";
   out += "pdcu_bytes_sent_total " + std::to_string(bytes_sent_total()) + "\n";
 
+  out += "# HELP pdcu_write_errors_total Responses lost to a failed socket "
+         "write (EPIPE, ECONNRESET).\n";
+  out += "# TYPE pdcu_write_errors_total counter\n";
+  out += "pdcu_write_errors_total " + std::to_string(write_errors_total()) +
+         "\n";
+
   out += "# HELP pdcu_latency_us Aggregate request latency in microseconds "
          "(min, mean, max over the server's lifetime).\n";
   out += "# TYPE pdcu_latency_us gauge\n";

@@ -30,10 +30,21 @@ PageCache::PageCache(const site::Site& site) {
 void PageCache::put(std::string site_path, std::string body,
                     std::string content_type) {
   std::string etag = strong_etag(body);
+  // Everything about these answers except the Connection header is known
+  // now, so serialize it now; the per-request work for a cache hit is a
+  // lookup plus one writev of [head, tail, body].
+  const std::string shared_headers =
+      "ETag: " + etag + "\r\nCache-Control: no-cache\r\n";
+  std::string head_200 = "HTTP/1.1 200 OK\r\n" + shared_headers +
+                         "Content-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n";
+  std::string head_304 = "HTTP/1.1 304 Not Modified\r\n" + shared_headers;
   auto [it, inserted] = entries_.try_emplace(std::move(site_path));
   if (!inserted) total_bytes_ -= it->second.body.size();
   total_bytes_ += body.size();
-  it->second = {std::move(body), std::move(content_type), std::move(etag)};
+  it->second = {std::move(body), std::move(content_type), std::move(etag),
+                std::move(head_200), std::move(head_304)};
 }
 
 std::string PageCache::normalize(std::string_view request_path) {

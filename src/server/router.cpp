@@ -118,6 +118,7 @@ Response Router::handle(const Request& request) const {
     if (build_stats_.has_value()) text += build_stats_->render_text();
     if (reload_metrics_ != nullptr) text += reload_metrics_->render_text();
     if (spans_ != nullptr) text += spans_->render_text();
+    if (net_metrics_ != nullptr) text += net_metrics_->render_text();
     Response response;
     response.set("Content-Type", std::string(kMetricsType));
     response.body = std::move(text);
@@ -143,6 +144,25 @@ Response Router::handle(const Request& request) const {
   response.set("Content-Type", entry->content_type);
   response.body = entry->body;
   return response;
+}
+
+std::optional<Router::FastHit> Router::try_fast(const Request& request) const {
+  const bool head_only = request.method == "HEAD";
+  if (request.method != "GET" && !head_only) return std::nullopt;
+  const CachedEntry* entry = cache_.find(request.path());
+  if (entry == nullptr) return std::nullopt;
+
+  FastHit hit;
+  const std::string* if_none_match = request.header("if-none-match");
+  if (if_none_match != nullptr && etag_matches(*if_none_match, entry->etag)) {
+    hit.head = entry->head_304;
+    hit.status = 304;
+    return hit;
+  }
+  hit.head = entry->head_200;
+  if (!head_only) hit.body = entry->body;
+  hit.status = 200;
+  return hit;
 }
 
 Response Router::handle_search(const Request& request) const {

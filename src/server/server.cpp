@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "pdcu/obs/access_log.hpp"
+#include "pdcu/server/reactor_backend.hpp"
 
 namespace pdcu::server {
 
@@ -22,11 +23,21 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 extern "C" void on_stop_signal(int) { g_stop_requested = 1; }
 
-bool send_all(int fd, std::string_view data) {
+/// Writes all of `data`, riding out EINTR and short writes uniformly (a
+/// short send is just a smaller next iteration, never an error). A hard
+/// failure — EPIPE or ECONNRESET from a peer that hung up mid-response —
+/// is counted into pdcu_write_errors_total so dead-peer writes are
+/// observable instead of silently folded into "sent".
+bool send_all(int fd, std::string_view data, ServerMetrics* metrics) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (metrics != nullptr) metrics->record_write_error();
+      return false;
+    }
+    if (n == 0) {  // should not happen on a stream socket; treat as dead
+      if (metrics != nullptr) metrics->record_write_error();
       return false;
     }
     data.remove_prefix(static_cast<std::size_t>(n));
@@ -51,6 +62,9 @@ void HttpServer::swap_router(Router router) {
   // (handle() is const), so requests never contend beyond the pointer
   // copy in router().
   router.set_metrics(&metrics_);
+  if (options_.backend == Backend::kReactor) {
+    router.set_net_metrics(&net_metrics_);
+  }
   auto snapshot = std::make_shared<const Router>(std::move(router));
   std::lock_guard lock(router_mutex_);
   router_ = std::move(snapshot);
@@ -62,6 +76,7 @@ Status HttpServer::start() {
   if (running_.load()) {
     return Error::make("server.start", "server is already running");
   }
+  if (options_.backend == Backend::kReactor) return start_reactor();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -119,8 +134,63 @@ Status HttpServer::start() {
   return Status::ok();
 }
 
+Status HttpServer::start_reactor() {
+  reactor_handler_ = make_reactor_handler(options_, metrics_,
+                                          [this] { return router(); });
+  net::ReactorOptions net_options;
+  net_options.host = options_.host;
+  net_options.port = options_.port;
+  net_options.shards = options_.net_shards == 0 ? 1 : options_.net_shards;
+  net_options.max_connections = options_.max_connections;
+  net_options.read_timeout = options_.read_timeout;
+  net_options.max_requests_per_connection =
+      options_.max_requests_per_connection;
+  net_options.drain_timeout = options_.drain_timeout;
+  // The net-layer buffer cap is a backstop behind the handler's 431
+  // (which fires at max_request_bytes); keep it comfortably above so the
+  // polite response always wins over a silent close.
+  net_options.max_buffer_bytes =
+      std::max<std::size_t>(options_.max_request_bytes * 2, 64 * 1024);
+  net_options.metrics = &net_metrics_;
+  reactor_ =
+      std::make_unique<net::ReactorServer>(net_options, *reactor_handler_);
+  if (const Status status = reactor_->start(); !status) {
+    reactor_.reset();
+    reactor_handler_.reset();
+    return status;
+  }
+  bound_port_ = reactor_->port();
+  running_.store(true, std::memory_order_release);
+
+  if (trace_ != nullptr) {
+    const std::shared_ptr<const Router> snapshot = router();
+    trace_->narrate("server: listening on " + options_.host + ":" +
+                    std::to_string(bound_port_) + " with " +
+                    std::to_string(net_options.shards) +
+                    " reactor shards, " +
+                    std::to_string(snapshot->cache().size()) +
+                    " cached pages (" +
+                    std::to_string(snapshot->cache().total_bytes()) +
+                    " bytes)");
+  }
+  return Status::ok();
+}
+
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (reactor_ != nullptr) {
+    reactor_->stop();  // graceful drain, then joins the shard threads
+    reactor_.reset();
+    reactor_handler_.reset();
+    if (trace_ != nullptr) {
+      trace_->narrate("server: stopped after " +
+                      std::to_string(metrics_.requests_total()) +
+                      " requests (" +
+                      std::to_string(metrics_.bytes_sent_total()) +
+                      " bytes sent)");
+    }
+    return;
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   // Drain in-flight connections. The pool may be the shared default pool,
   // so it cannot be torn down to force the drain; handle_connection exits
@@ -173,7 +243,7 @@ void HttpServer::accept_loop() {
     if (active_connections_.load(std::memory_order_relaxed) >=
         options_.max_connections) {
       const std::string wire = error_wire(503);
-      send_all(fd, wire);
+      send_all(fd, wire, &metrics_);
       metrics_.record(Route::kOther, 503, wire.size(),
                       std::chrono::microseconds{0});
       ::close(fd);
@@ -214,7 +284,7 @@ void HttpServer::handle_connection(int fd) {
         // The peer started a request but never finished it.
         if (!buffer.empty()) {
           const std::string wire = error_wire(408);
-          send_all(fd, wire);
+          send_all(fd, wire, &metrics_);
           metrics_.record(Route::kOther, 408, wire.size(),
                           std::chrono::microseconds{0});
         }
@@ -244,7 +314,7 @@ void HttpServer::handle_connection(int fd) {
         parsed.status == ParseStatus::kTooLarge) {
       const int status = parsed.status == ParseStatus::kBad ? 400 : 431;
       const std::string wire = error_wire(status);
-      send_all(fd, wire);
+      send_all(fd, wire, &metrics_);
       metrics_.record(Route::kOther, status, wire.size(),
                       std::chrono::microseconds{0});
       break;
@@ -272,7 +342,7 @@ void HttpServer::handle_connection(int fd) {
 
     const std::string wire =
         serialize(response, parsed.request.method == "HEAD");
-    open = send_all(fd, wire) && !close_after;
+    open = send_all(fd, wire, &metrics_) && !close_after;
     const Route route = route_for_path(parsed.request.path());
     const auto latency =
         std::chrono::duration_cast<std::chrono::microseconds>(

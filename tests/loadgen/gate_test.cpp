@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
+
+#include "pdcu/loadgen/bench_json.hpp"
+#include "pdcu/loadgen/smoke.hpp"
 
 namespace loadgen = pdcu::loadgen;
 
@@ -117,6 +121,105 @@ TEST(Gate, ZeroBaselineIsSkippedNotDividedBy) {
   EXPECT_TRUE(loadgen::gate_compare(baseline, fresh,
                                     loadgen::serve_gate_rules())
                   .empty());
+}
+
+loadgen::SweepPoint sweep_point(loadgen::SmokeBackend backend, double rate,
+                                double rps) {
+  loadgen::SweepPoint point;
+  point.backend = backend;
+  point.rate = rate;
+  point.result.achieved_rate = rps;
+  point.result.scheduled = 100;
+  point.result.completed = 100;
+  point.result.peak_connections = 8;
+  return point;
+}
+
+/// A structurally valid sweep document, built through the real renderer so
+/// the schema checker is tested against what the tool actually emits.
+loadgen::BenchDoc sweep_doc() {
+  const std::vector<loadgen::SweepPoint> points = {
+      sweep_point(loadgen::SmokeBackend::kPool, 200, 190),
+      sweep_point(loadgen::SmokeBackend::kPool, 800, 430),
+      sweep_point(loadgen::SmokeBackend::kReactor, 200, 199),
+      sweep_point(loadgen::SmokeBackend::kReactor, 800, 795),
+  };
+  const auto parsed = loadgen::parse_bench_json(
+      loadgen::render_sweep_json(points, loadgen::SweepOptions{}));
+  EXPECT_TRUE(parsed.has_value());
+  return parsed ? parsed.value() : loadgen::BenchDoc{};
+}
+
+TEST(SweepSchema, RenderedSweepPassesItsOwnChecker) {
+  const auto doc = sweep_doc();
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations[0]);
+  // The renderer's summary matches the synthetic best points.
+  EXPECT_DOUBLE_EQ(doc.number("summary.pool_saturation_rps"), 430.0);
+  EXPECT_DOUBLE_EQ(doc.number("summary.reactor_saturation_rps"), 795.0);
+  EXPECT_NEAR(doc.number("summary.reactor_speedup"), 795.0 / 430.0, 1e-6);
+}
+
+TEST(SweepSchema, WrongBenchNameShortCircuits) {
+  auto doc = sweep_doc();
+  doc.strings["bench"] = "serve";
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("sweep_serve"), std::string::npos);
+}
+
+TEST(SweepSchema, MissingSummaryKeyIsAViolation) {
+  auto doc = sweep_doc();
+  doc.numbers.erase("summary.reactor_speedup");
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("summary.reactor_speedup"),
+            std::string::npos);
+}
+
+TEST(SweepSchema, PointsCountMustMatchThePointObjects) {
+  auto doc = sweep_doc();
+  doc.numbers["points"] = 7;
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("points"), std::string::npos);
+}
+
+TEST(SweepSchema, MissingPerPointFieldIsAViolation) {
+  auto doc = sweep_doc();
+  doc.numbers.erase("pool_0.rps");
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("pool_0.rps"), std::string::npos);
+}
+
+TEST(SweepSchema, ABackendWithNoPointsIsAViolation) {
+  auto doc = sweep_doc();
+  // Drop every reactor point; the checker must flag the hole, the stale
+  // 'points' count, and the now-baseless reactor summary numbers.
+  for (int i = 0; i < 2; ++i) {
+    const std::string prefix = "reactor_" + std::to_string(i) + ".";
+    for (auto it = doc.numbers.begin(); it != doc.numbers.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        it = doc.numbers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_GE(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("reactor_"), std::string::npos);
+}
+
+TEST(SweepSchema, SummaryMustDescribeTheBestPoint) {
+  auto doc = sweep_doc();
+  doc.numbers["summary.reactor_saturation_rps"] = 5000.0;
+  const auto violations = loadgen::sweep_schema_violations(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("reactor_saturation_rps"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -194,4 +194,82 @@ TEST(Loadgen, UnreachableServerFailsWithAnError) {
   EXPECT_FALSE(result.has_value());
 }
 
+TEST(Loadgen, EpollClientIsCoordinatedOmissionSafeToo) {
+  // The epoll client must charge latency from intended send times
+  // exactly like the blocking workers: same stalling server, same
+  // schedule, same percentile floors.
+  constexpr auto kStall = std::chrono::milliseconds(200);
+  StallServer server(kStall);
+
+  loadgen::Options options;
+  options.port = server.port();
+  options.connections = 1;
+  options.client = loadgen::ClientMode::kEpoll;
+  options.timeout = std::chrono::milliseconds(10000);
+  options.schedule.rate = 50.0;
+  options.schedule.duration_s = 0.2;
+  options.schedule.seed = 42;
+  options.schedule.keep_alive_ratio = 1.0;
+  options.schedule.mix = {{loadgen::Route::kPage, 1.0}};
+
+  const auto schedule =
+      loadgen::build_schedule(options.schedule, {"stall"});
+  ASSERT_EQ(schedule.size(), 10u);
+  const auto result = loadgen::run(options, schedule);
+
+  EXPECT_EQ(result.completed, 10u);
+  EXPECT_EQ(result.errors_total(), 0u);
+  EXPECT_EQ(result.peak_connections, 1u);
+  EXPECT_GE(result.latency_us.quantile(0.50),
+            static_cast<std::uint64_t>(200000));
+  EXPECT_GE(result.latency_us.quantile(0.99),
+            static_cast<std::uint64_t>(400000));
+}
+
+TEST(Loadgen, EpollClientSmokesCleanlyAgainstTheReactorBackend) {
+  loadgen::SmokeOptions smoke;
+  smoke.rate = 200.0;
+  smoke.duration_s = 0.5;
+  smoke.connections = 16;
+  smoke.backend = loadgen::SmokeBackend::kReactor;
+  smoke.net_shards = 2;
+  smoke.client = loadgen::ClientMode::kEpoll;
+  loadgen::Options used;
+  const auto result = loadgen::run_smoke(smoke, &used);
+  ASSERT_TRUE(result.has_value())
+      << (result ? "" : result.error().message);
+
+  const auto& r = result.value();
+  EXPECT_EQ(r.completed, r.scheduled);
+  EXPECT_EQ(r.errors_total(), 0u);
+  EXPECT_EQ(r.status_4xx, 0u);
+  EXPECT_EQ(r.status_5xx, 0u);
+  EXPECT_EQ(r.peak_connections, 16u);
+
+  // peak_connections rides along in the BENCH document.
+  const std::string json =
+      loadgen::render_result_json(r, "serve", used);
+  auto parsed = loadgen::parse_bench_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed.value().number("requests.peak_connections"),
+                   16.0);
+}
+
+TEST(Loadgen, AutoClientModePicksEpollAboveTheThreadCeiling) {
+  // Not a behavioural difference a client can observe — both modes speak
+  // the same protocol — but the run must succeed with a connection count
+  // no thread-per-connection pool on this box could carry.
+  loadgen::SmokeOptions smoke;
+  smoke.rate = 300.0;
+  smoke.duration_s = 0.5;
+  smoke.connections = 100;  // kAuto switches to epoll above 64
+  smoke.backend = loadgen::SmokeBackend::kReactor;
+  smoke.max_connections = 256;
+  loadgen::Options used;
+  const auto result = loadgen::run_smoke(smoke, &used);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().completed, result.value().scheduled);
+  EXPECT_EQ(result.value().peak_connections, 100u);
+}
+
 }  // namespace

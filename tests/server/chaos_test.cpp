@@ -85,7 +85,8 @@ std::string body_of(const std::string& reply) {
 /// faults are installed), site build through a cache, server on an
 /// ephemeral port, ReloadManager driven manually via check_once().
 struct Stack {
-  explicit Stack(const std::filesystem::path& content_dir) {
+  explicit Stack(const std::filesystem::path& content_dir,
+                 server::Backend backend = server::Backend::kPool) {
     auto loaded = core::Repository::load_lenient(content_dir);
     EXPECT_TRUE(loaded.has_value());
     const core::LoadReport& report = loaded.value();
@@ -100,6 +101,7 @@ struct Stack {
 
     server::ServerOptions options;
     options.port = 0;
+    options.backend = backend;
     http = std::make_unique<server::HttpServer>(std::move(router),
                                                 std::move(options));
     EXPECT_TRUE(http->start().has_value());
@@ -165,9 +167,22 @@ TEST(Chaos, BrokenFileAtStartupDegradesInsteadOfDying) {
                              "\"quarantined_slugs\":[\"findsmallestcard\"]"));
 }
 
-TEST(Chaos, FailedReloadKeepsServingLastKnownGoodUnderLoad) {
+/// Reload-under-load runs against both server backends: RCU router swaps
+/// must stay invisible to in-flight clients whether requests are served
+/// by the blocking pool or the epoll reactor (whose zero-copy writes keep
+/// the pre-swap snapshot alive via the response guard).
+class ChaosBackends : public ::testing::TestWithParam<server::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosBackends,
+    ::testing::Values(server::Backend::kPool, server::Backend::kReactor),
+    [](const ::testing::TestParamInfo<server::Backend>& info) {
+      return info.param == server::Backend::kReactor ? "reactor" : "pool";
+    });
+
+TEST_P(ChaosBackends, FailedReloadKeepsServingLastKnownGoodUnderLoad) {
   auto dir = fresh_content_dir("pdcu_chaos_reload");
-  Stack stack(dir);  // healthy start
+  Stack stack(dir, GetParam());  // healthy start
   EXPECT_TRUE(strs::contains(body_of(simple_get(stack.port(), "/healthz")),
                              "\"status\":\"ok\""));
 

@@ -104,10 +104,29 @@ struct ScopedServer {
   std::unique_ptr<server::HttpServer> instance;
 };
 
+/// Wire-level tests run against one HttpServer backend at a time;
+/// instantiated for both the blocking pool and the epoll reactor so the
+/// observable HTTP contract can never drift between them.
+class BothBackends : public ::testing::TestWithParam<server::Backend> {
+ protected:
+  server::ServerOptions opts() const {
+    server::ServerOptions options;
+    options.backend = GetParam();
+    return options;
+  }
+};
+
 }  // namespace
 
-TEST(HttpServer, ServesAnActivityPageOverARealSocket) {
-  ScopedServer srv;
+INSTANTIATE_TEST_SUITE_P(
+    HttpServer, BothBackends,
+    ::testing::Values(server::Backend::kPool, server::Backend::kReactor),
+    [](const ::testing::TestParamInfo<server::Backend>& info) {
+      return info.param == server::Backend::kReactor ? "reactor" : "pool";
+    });
+
+TEST_P(BothBackends, ServesAnActivityPageOverARealSocket) {
+  ScopedServer srv(opts());
   const std::string reply =
       simple_get(srv.port(), "/activities/findsmallestcard/");
   EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 200 OK\r\n")) << reply;
@@ -118,8 +137,8 @@ TEST(HttpServer, ServesAnActivityPageOverARealSocket) {
             header_value(reply, "Content-Length"));
 }
 
-TEST(HttpServer, ServesTheCatalogAndHealthz) {
-  ScopedServer srv;
+TEST_P(BothBackends, ServesTheCatalogAndHealthz) {
+  ScopedServer srv(opts());
   const std::string catalog = simple_get(srv.port(), "/api/catalog.json");
   EXPECT_TRUE(strs::starts_with(catalog, "HTTP/1.1 200 OK\r\n"));
   EXPECT_EQ(header_value(catalog, "Content-Type"),
@@ -131,8 +150,8 @@ TEST(HttpServer, ServesTheCatalogAndHealthz) {
   EXPECT_EQ(body_of(health), "ok\n");
 }
 
-TEST(HttpServer, ConditionalGetRevalidatesWith304) {
-  ScopedServer srv;
+TEST_P(BothBackends, ConditionalGetRevalidatesWith304) {
+  ScopedServer srv(opts());
   const std::string first = simple_get(srv.port(), "/");
   const std::string etag = header_value(first, "ETag");
   ASSERT_FALSE(etag.empty());
@@ -145,8 +164,8 @@ TEST(HttpServer, ConditionalGetRevalidatesWith304) {
   EXPECT_EQ(header_value(second, "ETag"), etag);
 }
 
-TEST(HttpServer, MalformedRequestGets400AndServerSurvives) {
-  ScopedServer srv;
+TEST_P(BothBackends, MalformedRequestGets400AndServerSurvives) {
+  ScopedServer srv(opts());
   const std::string reply = http_exchange(srv.port(), "GARBAGE\r\n\r\n");
   EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 400 Bad Request\r\n"))
       << reply;
@@ -156,8 +175,8 @@ TEST(HttpServer, MalformedRequestGets400AndServerSurvives) {
   EXPECT_EQ(srv.instance->metrics().requests_by_class(4), 1u);
 }
 
-TEST(HttpServer, OversizedHeadGets431) {
-  server::ServerOptions options;
+TEST_P(BothBackends, OversizedHeadGets431) {
+  server::ServerOptions options = opts();
   options.max_request_bytes = 512;
   ScopedServer srv(options);
   const std::string reply = http_exchange(
@@ -168,8 +187,8 @@ TEST(HttpServer, OversizedHeadGets431) {
       << reply;
 }
 
-TEST(HttpServer, UnknownPathGets404AndWrongMethodGets405) {
-  ScopedServer srv;
+TEST_P(BothBackends, UnknownPathGets404AndWrongMethodGets405) {
+  ScopedServer srv(opts());
   EXPECT_TRUE(strs::starts_with(simple_get(srv.port(), "/missing/"),
                                 "HTTP/1.1 404 Not Found\r\n"));
   const std::string reply = http_exchange(
@@ -178,8 +197,8 @@ TEST(HttpServer, UnknownPathGets404AndWrongMethodGets405) {
   EXPECT_EQ(header_value(reply, "Allow"), "GET, HEAD");
 }
 
-TEST(HttpServer, HeadReturnsHeadersOnly) {
-  ScopedServer srv;
+TEST_P(BothBackends, HeadReturnsHeadersOnly) {
+  ScopedServer srv(opts());
   const std::string reply = http_exchange(
       srv.port(), "HEAD / HTTP/1.1\r\nConnection: close\r\n\r\n");
   EXPECT_TRUE(strs::starts_with(reply, "HTTP/1.1 200 OK\r\n"));
@@ -187,8 +206,8 @@ TEST(HttpServer, HeadReturnsHeadersOnly) {
   EXPECT_TRUE(body_of(reply).empty());
 }
 
-TEST(HttpServer, KeepAliveServesTwoRequestsOnOneConnection) {
-  ScopedServer srv;
+TEST_P(BothBackends, KeepAliveServesTwoRequestsOnOneConnection) {
+  ScopedServer srv(opts());
   const int fd = dial(srv.port());
   ASSERT_GE(fd, 0);
   const std::string first = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
@@ -209,8 +228,8 @@ TEST(HttpServer, KeepAliveServesTwoRequestsOnOneConnection) {
   EXPECT_EQ(count, 2u);
 }
 
-TEST(HttpServer, MetricsEndpointCountsTraffic) {
-  ScopedServer srv;
+TEST_P(BothBackends, MetricsEndpointCountsTraffic) {
+  ScopedServer srv(opts());
   simple_get(srv.port(), "/");
   simple_get(srv.port(), "/missing/");
   const std::string reply = simple_get(srv.port(), "/metrics");
@@ -232,8 +251,8 @@ TEST(HttpServer, MetricsEndpointCountsTraffic) {
       strs::contains(body, "pdcu_request_latency_us_count{route=\"page\"} 2"));
 }
 
-TEST(HttpServer, LiveMetricsScrapeIsLintClean) {
-  ScopedServer srv;
+TEST_P(BothBackends, LiveMetricsScrapeIsLintClean) {
+  ScopedServer srv(opts());
   // Touch every route class so all the per-route series have samples.
   simple_get(srv.port(), "/");
   simple_get(srv.port(), "/api/catalog.json");
@@ -249,14 +268,14 @@ TEST(HttpServer, LiveMetricsScrapeIsLintClean) {
   EXPECT_TRUE(problems.empty()) << strs::join(problems, "\n");
 }
 
-TEST(HttpServer, AccessLogRecordsOneJsonLinePerRequest) {
+TEST_P(BothBackends, AccessLogRecordsOneJsonLinePerRequest) {
   const std::string path =
       testing::TempDir() + "pdcu_access_log_test.jsonl";
   std::remove(path.c_str());
   {
     pdcu::obs::AccessLog log(path);
     ASSERT_TRUE(log.ok());
-    server::ServerOptions options;
+    server::ServerOptions options = opts();
     options.access_log = &log;
     ScopedServer srv(options);
     simple_get(srv.port(), "/");
@@ -300,8 +319,8 @@ TEST(HttpServer, AccessLogRecordsOneJsonLinePerRequest) {
   EXPECT_TRUE(saw_search);
 }
 
-TEST(HttpServer, SlowClientTimesOutWith408) {
-  server::ServerOptions options;
+TEST_P(BothBackends, SlowClientTimesOutWith408) {
+  server::ServerOptions options = opts();
   options.read_timeout = std::chrono::milliseconds(150);
   ScopedServer srv(options);
   const int fd = dial(srv.port());
@@ -349,8 +368,8 @@ TEST(HttpServer, TraceLogRecordsLifecycle) {
   EXPECT_TRUE(strs::contains(script, "server: stopped after 1 requests"));
 }
 
-TEST(HttpServer, ConnectionLimitAnswers503WithRetryAfter) {
-  server::ServerOptions options;
+TEST_P(BothBackends, ConnectionLimitAnswers503WithRetryAfter) {
+  server::ServerOptions options = opts();
   options.max_connections = 0;  // every connection is over the limit
   ScopedServer srv(options);
   const std::string reply = simple_get(srv.port(), "/healthz");
@@ -361,8 +380,8 @@ TEST(HttpServer, ConnectionLimitAnswers503WithRetryAfter) {
   EXPECT_EQ(body_of(reply), "503 Service Unavailable\n");
 }
 
-TEST(HttpServer, SwapRouterChangesWhatSubsequentRequestsSee) {
-  ScopedServer srv;
+TEST_P(BothBackends, SwapRouterChangesWhatSubsequentRequestsSee) {
+  ScopedServer srv(opts());
   EXPECT_EQ(body_of(simple_get(srv.port(), "/healthz")), "ok\n");
 
   // Swap in a router wired with a HealthTracker; the same URL now serves

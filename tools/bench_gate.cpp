@@ -7,8 +7,16 @@
 //   * BENCH_serve.json   — `pdcu loadgen --smoke`'s document: an embedded
 //     HttpServer on an ephemeral port driven by the open-loop load
 //     generator (fixed seed, identical schedule on every machine).
+//   * BENCH_serve_reactor.json — the same smoke run against the epoll
+//     reactor backend (--net reactor), so a regression in the reactor
+//     hot path is caught even though the pool stays the default.
 //   * BENCH_search.json  — benchjson::search_summary_json(): index build
 //     time + query-latency percentiles over the canonical query shapes.
+//
+// BENCH_sweep_serve.json (the latency-vs-offered-rate sweep) is gated
+// structurally only — the sweep takes too long to re-measure here, so
+// the gate validates the committed document's schema and internal
+// consistency instead (see loadgen::sweep_schema_violations).
 //
 // Tolerance is multiplicative (default 5x, see loadgen/gate.hpp) because
 // absolute numbers vary wildly across CI runners; an order-of-magnitude
@@ -44,10 +52,14 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--tolerance X] [--attempts N]"
                " [--serve-baseline PATH]\n"
-               "          [--search-baseline PATH] [--skip-serve]"
-               " [--skip-search]\n"
-               "Baselines default to BENCH_serve.json / BENCH_search.json in"
-               " the\ncurrent directory (run from the repo root).\n",
+               "          [--reactor-baseline PATH] [--search-baseline PATH]"
+               " [--sweep-baseline PATH]\n"
+               "          [--skip-serve] [--skip-reactor] [--skip-search]"
+               " [--skip-sweep]\n"
+               "Baselines default to BENCH_serve.json /"
+               " BENCH_serve_reactor.json /\nBENCH_search.json /"
+               " BENCH_sweep_serve.json in the current directory\n"
+               "(run from the repo root).\n",
                argv0);
   return 2;
 }
@@ -131,9 +143,13 @@ int gated(const char* what, const loadgen::BenchDoc& baseline,
 int main(int argc, char** argv) {
   loadgen::GateOptions gate;
   std::string serve_baseline = "BENCH_serve.json";
+  std::string reactor_baseline = "BENCH_serve_reactor.json";
   std::string search_baseline = "BENCH_search.json";
+  std::string sweep_baseline = "BENCH_sweep_serve.json";
   bool run_serve = true;
+  bool run_reactor = true;
   bool run_search = true;
+  bool run_sweep = true;
   int attempts = 3;
 
   for (int i = 1; i < argc; ++i) {
@@ -161,14 +177,26 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       serve_baseline = v;
+    } else if (arg == "--reactor-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      reactor_baseline = v;
     } else if (arg == "--search-baseline") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       search_baseline = v;
+    } else if (arg == "--sweep-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      sweep_baseline = v;
     } else if (arg == "--skip-serve") {
       run_serve = false;
+    } else if (arg == "--skip-reactor") {
+      run_reactor = false;
     } else if (arg == "--skip-search") {
       run_search = false;
+    } else if (arg == "--skip-sweep") {
+      run_sweep = false;
     } else {
       return usage(argv[0]);
     }
@@ -195,12 +223,50 @@ int main(int argc, char** argv) {
         });
   }
 
+  if (run_reactor) {
+    loadgen::BenchDoc baseline;
+    if (!load_baseline(reactor_baseline, baseline)) return 2;
+    violations += gated(
+        "reactor", baseline, loadgen::serve_gate_rules(), gate, attempts,
+        []() -> std::string {
+          loadgen::SmokeOptions smoke;
+          smoke.backend = loadgen::SmokeBackend::kReactor;
+          loadgen::Options used;
+          auto result = loadgen::run_smoke(smoke, &used);
+          if (!result) {
+            std::fprintf(
+                stderr, "bench_gate: reactor smoke run failed: %s\n",
+                (result.error().code + ": " + result.error().message)
+                    .c_str());
+            return {};
+          }
+          return loadgen::render_result_json(result.value(), "serve", used);
+        });
+  }
+
   if (run_search) {
     loadgen::BenchDoc baseline;
     if (!load_baseline(search_baseline, baseline)) return 2;
     violations += gated(
         "search", baseline, loadgen::search_gate_rules(), gate, attempts,
         [] { return pdcu::benchjson::search_summary_json("bench_gate"); });
+  }
+
+  if (run_sweep) {
+    loadgen::BenchDoc sweep_doc;
+    if (!load_baseline(sweep_baseline, sweep_doc)) return 2;
+    const auto sweep_violations =
+        loadgen::sweep_schema_violations(sweep_doc);
+    if (sweep_violations.empty()) {
+      std::printf("bench_gate: sweep  PASS (schema check, %d points)\n",
+                  static_cast<int>(sweep_doc.number("points", 0.0)));
+    } else {
+      std::printf("bench_gate: sweep  FAIL (schema check)\n");
+      for (const auto& violation : sweep_violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      violations += static_cast<int>(sweep_violations.size());
+    }
   }
 
   return violations == 0 ? 0 : 1;

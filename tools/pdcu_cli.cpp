@@ -26,6 +26,11 @@
 //   pdcu index <out-file>          build and save the binary search index
 //   pdcu serve [options] [content-dir]  serve the site over HTTP from memory
 //        --port N (default 8080, 0 = ephemeral), --host H, --threads N,
+//        --net reactor|pool (connection engine, default pool: blocking
+//        thread-per-connection; reactor: sharded epoll event loops with
+//        a zero-copy hot path), --net-shards N (reactor epoll shards,
+//        default 1), --max-connections N (concurrent cap, default 128,
+//        excess answered 503),
 //        --index FILE (cold-start search from a prebuilt index),
 //        --watch (live reload: poll the content dir, rebuild
 //        incrementally, keep serving last-known-good on failure),
@@ -43,7 +48,14 @@
 //        --mix page:catalog:activity:search or page=6:catalog=1:...,
 //        --zipf S (slug popularity skew, default 1.1),
 //        --keep-alive-ratio F (default 0.9), --timeout-ms N (default
-//        2000), --out FILE (write the BENCH JSON there; default stdout).
+//        2000), --client blocking|epoll|auto (auto picks the epoll
+//        client above 64 connections — one thread multiplexing every
+//        connection, so --connections can reach tens of thousands),
+//        --out FILE (write the BENCH JSON there; default stdout).
+//        --sweep drives every offered rate against an embedded pool
+//        server and then an embedded reactor server and emits one
+//        "sweep_serve" BENCH document (per-point pool_N/reactor_N
+//        objects plus a saturation-speedup summary).
 //        Latency is measured from each request's *intended* send time
 //        (coordinated-omission-safe); the summary is one versioned
 //        BENCH-schema JSON object.
@@ -88,6 +100,8 @@ int usage() {
 int loadgen_cmd(int argc, char** argv) {
   pdcu::loadgen::Options options;
   bool smoke = false;
+  bool sweep = false;
+  auto smoke_backend = pdcu::loadgen::SmokeBackend::kPool;
   bool port_given = false;
   bool rate_given = false;
   bool duration_given = false;
@@ -120,6 +134,21 @@ int loadgen_cmd(int argc, char** argv) {
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
       options.timeout =
           std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--client" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "blocking") {
+        options.client = pdcu::loadgen::ClientMode::kBlocking;
+      } else if (mode == "epoll") {
+        options.client = pdcu::loadgen::ClientMode::kEpoll;
+      } else if (mode == "auto") {
+        options.client = pdcu::loadgen::ClientMode::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "loadgen: --client must be blocking, epoll, or auto "
+                     "(got '%s')\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (arg == "--mix" && i + 1 < argc) {
       auto mix = pdcu::loadgen::parse_mix(argv[++i]);
       if (!mix) {
@@ -131,17 +160,71 @@ int loadgen_cmd(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "pool") {
+        smoke_backend = pdcu::loadgen::SmokeBackend::kPool;
+      } else if (backend == "reactor") {
+        smoke_backend = pdcu::loadgen::SmokeBackend::kReactor;
+      } else {
+        std::fprintf(stderr,
+                     "loadgen: --backend must be pool or reactor (got "
+                     "'%s')\n",
+                     backend.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "loadgen: unknown option '%s'\n", arg.c_str());
       return 2;
     }
+  }
+  if (sweep) {
+    // Both-backends offered-rate sweep; its own BENCH document shape.
+    pdcu::loadgen::SweepOptions sweep_options;
+    if (duration_given) sweep_options.duration_s = options.schedule.duration_s;
+    if (connections_given) sweep_options.connections = options.connections;
+    sweep_options.seed = options.schedule.seed;
+    auto sweep_points = pdcu::loadgen::run_sweep(sweep_options);
+    if (!sweep_points) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   sweep_points.error().message.c_str());
+      return 1;
+    }
+    const std::string json =
+        pdcu::loadgen::render_sweep_json(sweep_points.value(), sweep_options);
+    if (out_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* file = std::fopen(out_path.c_str(), "wb");
+      if (file == nullptr) {
+        std::fprintf(stderr, "loadgen: cannot write '%s'\n",
+                     out_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+    }
+    for (const auto& point : sweep_points.value()) {
+      std::fprintf(
+          stderr, "sweep: %-7s rate %7.0f -> %8.1f req/s, %llu/%llu ok\n",
+          point.backend == pdcu::loadgen::SmokeBackend::kReactor ? "reactor"
+                                                                 : "pool",
+          point.rate, point.result.achieved_rate,
+          static_cast<unsigned long long>(point.result.completed),
+          static_cast<unsigned long long>(point.result.scheduled));
+    }
+    return 0;
   }
   if (!smoke && !port_given) {
     std::fprintf(stderr,
                  "usage: pdcu loadgen --port N [--host H] [--rate R] "
                  "[--duration S] [--connections N] [--seed N] [--mix M] "
                  "[--zipf S] [--keep-alive-ratio F] [--timeout-ms N] "
-                 "[--out FILE] | pdcu loadgen --smoke [--out FILE]\n");
+                 "[--client blocking|epoll|auto] [--out FILE] | "
+                 "pdcu loadgen --smoke [--backend pool|reactor] [--out FILE]"
+                 " | pdcu loadgen --sweep [--out FILE]\n");
     return 2;
   }
 
@@ -156,6 +239,8 @@ int loadgen_cmd(int argc, char** argv) {
     }
     if (connections_given) smoke_options.connections = options.connections;
     smoke_options.seed = options.schedule.seed;
+    smoke_options.backend = smoke_backend;
+    smoke_options.client = options.client;
     result = pdcu::loadgen::run_smoke(smoke_options, &options);
   } else {
     result = pdcu::loadgen::run_against(options);
@@ -407,6 +492,24 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
       options.host = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--net" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "reactor") {
+        options.backend = pdcu::server::Backend::kReactor;
+      } else if (backend == "pool") {
+        options.backend = pdcu::server::Backend::kPool;
+      } else {
+        std::fprintf(stderr,
+                     "serve: --net expects 'reactor' or 'pool', got '%s'\n",
+                     backend.c_str());
+        return 2;
+      }
+    } else if (arg == "--net-shards" && i + 1 < argc) {
+      options.net_shards =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      options.max_connections =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
