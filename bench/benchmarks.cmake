@@ -53,4 +53,11 @@ target_link_libraries(bench_reload PRIVATE pdcu_server)
 # Search engine (pdcu::search): index build scaling, query latency, and
 # index (de)serialization throughput.
 pdcu_add_gbench(bench_search bench/bench_search.cpp)
-target_link_libraries(bench_search PRIVATE pdcu_search pdcu_loadgen pdcu_obs)
+target_link_libraries(bench_search PRIVATE
+  pdcu_search pdcu_server pdcu_loadgen pdcu_obs)
+
+# Corpus-scale search: synthetic corpora, exhaustive-vs-MaxScore latency,
+# and the query-cache hit/miss split (BENCH_search_scale.json).
+pdcu_add_gbench(bench_search_scale bench/bench_search_scale.cpp)
+target_link_libraries(bench_search_scale PRIVATE
+  pdcu_search pdcu_server pdcu_loadgen pdcu_obs)

@@ -37,6 +37,64 @@ std::vector<GateRule> search_gate_rules() {
   };
 }
 
+std::vector<GateRule> scale_gate_rules() {
+  return {
+      {"docs_10000.maxscore_p50_us", /*higher_is_worse=*/true,
+       /*required=*/true},
+      {"docs_10000.maxscore_p99_us", /*higher_is_worse=*/true,
+       /*required=*/true},
+      {"docs_10000.build_ms", /*higher_is_worse=*/true, /*required=*/true},
+      {"docs_10000.cache_hit_p99_us", /*higher_is_worse=*/true,
+       /*required=*/true},
+  };
+}
+
+std::vector<std::string> scale_schema_violations(const BenchDoc& doc,
+                                                 double min_speedup) {
+  std::vector<std::string> violations;
+  if (doc.schema_version() != kBenchSchemaVersion) {
+    violations.push_back("search_scale bench_schema " +
+                         std::to_string(doc.schema_version()) +
+                         " != expected " +
+                         std::to_string(kBenchSchemaVersion));
+    return violations;
+  }
+  if (doc.bench_name() != "search_scale") {
+    violations.push_back("bench name '" + doc.bench_name() +
+                         "' != 'search_scale'");
+    return violations;
+  }
+
+  for (const char* size : {"docs_10000", "docs_100000"}) {
+    for (const char* field :
+         {"docs", "build_ms", "exhaustive_p50_us", "exhaustive_p99_us",
+          "maxscore_p50_us", "maxscore_p99_us", "speedup_p99", "cache_hits",
+          "cache_misses", "cache_hit_p99_us", "cache_miss_p99_us",
+          "end_to_end_p99_us", "dense_pair_exhaustive_us",
+          "dense_pair_pruned_us"}) {
+      const std::string key = std::string(size) + "." + field;
+      if (!doc.has_number(key)) violations.push_back(key + " missing");
+    }
+  }
+
+  // The headline claim the baseline commits to: block-max early
+  // termination is at least min_speedup times better at p99 on the
+  // largest corpus.
+  if (doc.number("summary.largest_docs", 0.0) < 100'000.0) {
+    violations.push_back("summary.largest_docs < 100000");
+  }
+  const double speedup = doc.number("summary.speedup_p99", 0.0);
+  if (speedup < min_speedup) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer,
+                  "summary.speedup_p99 %.2f < required %.2fx "
+                  "(MaxScore vs exhaustive at the largest corpus)",
+                  speedup, min_speedup);
+    violations.push_back(buffer);
+  }
+  return violations;
+}
+
 std::vector<std::string> sweep_schema_violations(const BenchDoc& doc) {
   std::vector<std::string> violations;
   if (doc.schema_version() != kBenchSchemaVersion) {

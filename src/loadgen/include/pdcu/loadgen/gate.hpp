@@ -32,6 +32,21 @@ std::vector<GateRule> serve_gate_rules();
 /// The rules bench_gate applies to a "search" document.
 std::vector<GateRule> search_gate_rules();
 
+/// The rules bench_gate applies to a re-measured "search_scale" document.
+/// Only the 10k-document section is compared — the gate re-measures at
+/// 10k; the committed 100k section is validated structurally instead (see
+/// scale_schema_violations).
+std::vector<GateRule> scale_gate_rules();
+
+/// Structural validation of the committed "search_scale" document: both
+/// corpus sizes present with exhaustive/MaxScore percentiles and cache
+/// counters, and the headline claim — MaxScore p99 at least
+/// `min_speedup` times better than exhaustive at >= 100k documents —
+/// actually held when the baseline was measured. Returns human-readable
+/// violations; empty means the document is well-formed.
+std::vector<std::string> scale_schema_violations(const BenchDoc& doc,
+                                                 double min_speedup = 5.0);
+
 /// Structural validation of a "sweep_serve" BENCH document (the
 /// latency-vs-offered-rate sweep committed as BENCH_sweep_serve.json).
 /// The sweep is too expensive to re-measure inside the gate, so the gate

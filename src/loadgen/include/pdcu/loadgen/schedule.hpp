@@ -52,6 +52,10 @@ std::string render_mix(const std::vector<MixEntry>& mix);
 /// search tail, roughly what a public education site sees.
 std::vector<MixEntry> default_mix();
 
+/// A search-dominated mix ("search=8:page=1:activity=1") for hammering
+/// /api/search at corpus scale, where ranked queries are the cost center.
+std::vector<MixEntry> search_mix();
+
 /// Zipf-distributed ranks: P(rank k) proportional to 1/(k+1)^s over ranks
 /// [0, n). Rank 0 is the most popular. Sampling is a binary search over a
 /// precomputed cumulative table, deterministic given the Rng.
@@ -73,6 +77,11 @@ struct ScheduleOptions {
   double zipf_exponent = 1.1;    ///< slug/term popularity skew
   double keep_alive_ratio = 0.9; ///< P(request reuses its connection)
   std::vector<MixEntry> mix;     ///< empty => default_mix()
+  /// Query vocabulary for the search route; empty => the built-in PDC
+  /// lexicon. Point this at corpus::sample_query_terms(...) (or any term
+  /// list) to drive searches that match a synthetic corpus — list order
+  /// defines popularity rank for the Zipf draw.
+  std::vector<std::string> search_terms;
 };
 
 struct ScheduledRequest {

@@ -32,6 +32,13 @@ struct SmokeOptions {
   /// Server-side concurrent-connection cap; 0 keeps the server default.
   unsigned max_connections = 0;
   ClientMode client = ClientMode::kAuto;
+  /// Serve a deterministic synthetic corpus of this many documents instead
+  /// of the builtin 38-activity curation (0 = builtin). Search-route query
+  /// terms are drawn from the generator's vocabulary so they hit real
+  /// posting lists. Keep modest (<= a few thousand): the embedded server
+  /// renders a site page per document.
+  std::size_t synthetic_docs = 0;
+  std::uint64_t corpus_seed = 42;  ///< corpus seed when synthetic_docs > 0
 };
 
 /// Runs the smoke load and returns the result; the embedded server is

@@ -94,6 +94,12 @@ std::vector<MixEntry> default_mix() {
           {Route::kSearch, 1.0}};
 }
 
+std::vector<MixEntry> search_mix() {
+  return {{Route::kSearch, 8.0},
+          {Route::kPage, 1.0},
+          {Route::kActivity, 1.0}};
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   cumulative_.reserve(n);
   double total = 0.0;
@@ -129,8 +135,15 @@ std::vector<ScheduledRequest> build_schedule(
       std::llround(options.rate * options.duration_s));
   const double interval_ns = 1e9 / options.rate;
   const ZipfSampler slug_zipf(slugs.size(), options.zipf_exponent);
-  const ZipfSampler term_zipf(std::size(kSearchLexicon),
-                              options.zipf_exponent);
+  // Search terms: a caller-supplied vocabulary (e.g. a synthetic corpus's
+  // sampled terms) or the built-in PDC lexicon; list order = popularity.
+  std::vector<std::string_view> terms;
+  if (options.search_terms.empty()) {
+    terms.assign(std::begin(kSearchLexicon), std::end(kSearchLexicon));
+  } else {
+    terms.assign(options.search_terms.begin(), options.search_terms.end());
+  }
+  const ZipfSampler term_zipf(terms.size(), options.zipf_exponent);
   Rng rng(options.seed);
 
   schedule.reserve(total);
@@ -165,7 +178,7 @@ std::vector<ScheduledRequest> build_schedule(
         break;
       case Route::kSearch:
         request.target = "/api/search?q=";
-        request.target += kSearchLexicon[term_zipf.sample(rng)];
+        request.target += terms[term_zipf.sample(rng)];
         request.target += "&limit=10";
         break;
     }

@@ -5,6 +5,7 @@
 
 #include "pdcu/core/repository.hpp"
 #include "pdcu/loadgen/bench_json.hpp"
+#include "pdcu/search/corpus.hpp"
 #include "pdcu/search/index.hpp"
 #include "pdcu/server/server.hpp"
 #include "pdcu/site/site.hpp"
@@ -28,6 +29,13 @@ server::ServerOptions make_server_options(const SmokeOptions& smoke) {
 }
 
 server::HttpServer make_smoke_server(const SmokeOptions& smoke) {
+  if (smoke.synthetic_docs > 0) {
+    const auto repo = search::corpus::synthetic_repository(
+        {smoke.synthetic_docs, smoke.corpus_seed});
+    auto index = search::SearchIndex::build(repo);
+    server::Router router(site::build_site(repo), repo, std::move(index));
+    return server::HttpServer(std::move(router), make_server_options(smoke));
+  }
   const auto& repo = core::Repository::builtin();
   auto index = search::SearchIndex::build(repo);
   server::Router router(site::build_site(repo), repo, std::move(index));
@@ -50,6 +58,14 @@ Expected<Result> run_smoke(const SmokeOptions& smoke, Options* used) {
   options.schedule.rate = smoke.rate;
   options.schedule.duration_s = smoke.duration_s;
   options.schedule.seed = smoke.seed;
+  if (smoke.synthetic_docs > 0) {
+    // Synthetic corpora exist to stress ranked search: switch to the
+    // search-dominated mix and draw query terms from the generator's own
+    // vocabulary so they hit real posting lists.
+    options.schedule.mix = search_mix();
+    options.schedule.search_terms =
+        search::corpus::sample_query_terms(smoke.corpus_seed, 64);
+  }
   if (used != nullptr) *used = options;
 
   auto result = run_against(options);

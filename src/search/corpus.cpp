@@ -1,0 +1,253 @@
+#include "pdcu/search/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <string_view>
+
+#include "pdcu/support/rng.hpp"
+
+namespace pdcu::search::corpus {
+
+namespace {
+
+/// Zipf exponent for word-rank draws; ~1.07 matches natural-language text
+/// closely enough that posting-list lengths span several orders of
+/// magnitude, which is the regime early termination must handle.
+constexpr double kZipfExponent = 1.07;
+
+/// Total vocabulary size (base words + generated syllable words).
+constexpr std::size_t kVocabularyWords = 4096;
+
+/// PDC-flavored base vocabulary, most-frequent-first. These carry the bulk
+/// of the probability mass under the Zipf draw, so synthetic documents read
+/// like (scrambled) activity descriptions.
+constexpr std::string_view kBaseWords[] = {
+    "parallel", "students", "activity", "sorting", "computing", "algorithm",
+    "cards", "round", "compare", "distributed", "network", "message",
+    "processor", "unplugged", "pipeline", "reduction", "broadcast", "sum",
+    "minimum", "maximum", "array", "tree", "graph", "node", "edge", "token",
+    "deadlock", "race", "mutual", "exclusion", "barrier", "speedup", "work",
+    "span", "latency", "throughput", "scaling", "efficiency", "load",
+    "balance", "scheduling", "task", "thread", "process", "memory", "shared",
+    "cache", "locality", "communication", "synchronization", "concurrency",
+    "sequential", "classroom", "instructor", "pairs", "groups", "rounds",
+    "relay", "bucket", "merge", "split", "partition", "shuffle", "exchange",
+    "transposition", "comparison", "tournament", "elimination", "binary",
+    "logarithmic", "linear", "quadratic", "cost", "analysis", "dramatize",
+    "simulation", "protocol", "routing", "packet", "topology", "ring",
+    "mesh", "hypercube", "cluster", "supercomputer", "mapreduce", "shards",
+    "fault", "tolerance", "replication", "consensus", "leader", "election",
+    "clock", "ordering", "snapshot", "checkpoint", "recovery", "failure",
+    "bandwidth", "contention", "bottleneck", "granularity", "decomposition",
+    "dependency", "critical", "path", "amdahl", "gustafson", "sieve",
+    "prime", "matrix", "vector", "stencil", "histogram", "prefix", "scan",
+    "gather", "scatter", "pipeline", "stage", "buffer", "queue", "stack",
+};
+
+/// Real taxonomy term sets (subsets of the curation's), most-common-first;
+/// tag draws are rank-skewed so filters see realistic selectivities.
+constexpr std::string_view kCs2013[] = {
+    "PD_1", "PD_2", "PD_3", "PD_4", "PD_5",
+    "PAAP_1", "PAAP_4", "PAAP_7", "SF_2", "CN_1",
+};
+constexpr std::string_view kTcpp[] = {
+    "A_MinMaxFinding", "A_Sorting", "A_Broadcast", "A_Reduction",
+    "C_CostsOfComputation", "C_ComputationDecomposition", "C_Speedup",
+    "P_DataParallel", "P_TaskParallel", "A_PathSelection",
+};
+constexpr std::string_view kCourses[] = {
+    "CS1", "CS2", "DSA", "CS0", "Systems", "ParallelComputing",
+};
+constexpr std::string_view kSenses[] = {
+    "touch", "visual", "hearing", "movement",
+};
+constexpr std::string_view kMediums[] = {
+    "cards", "people", "paper", "rope", "dice", "tokens",
+};
+constexpr std::string_view kAuthors[] = {
+    "Alex Rivers", "Sam Chen", "Priya Natarajan", "Jordan Blake",
+    "Maria Ortega", "Liu Wei", "Tomas Novak", "Aisha Bello",
+    "Grace Okafor", "Daniel Kim", "Elena Petrova", "Omar Haddad",
+};
+
+/// A distinct per-document seed: SplitMix64 over the corpus seed and doc
+/// id, so documents are independent of generation order (and could be
+/// generated in parallel without changing a byte).
+std::uint64_t doc_seed(std::uint64_t seed, std::uint64_t doc) {
+  SplitMix64 sm(seed ^ (doc * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  return sm.next();
+}
+
+/// Cumulative Zipf table over `size` ranks; sampled by binary search.
+class ZipfTable {
+ public:
+  explicit ZipfTable(std::size_t size) {
+    cumulative_.reserve(size);
+    double total = 0.0;
+    for (std::size_t r = 0; r < size; ++r) {
+      total += 1.0 / std::pow(double(r + 1), kZipfExponent);
+      cumulative_.push_back(total);
+    }
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform() * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return std::size_t(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+const ZipfTable& word_table() {
+  static const ZipfTable table(kVocabularyWords);
+  return table;
+}
+
+/// Rank-skewed pick of `count` distinct terms from a fixed term set.
+template <std::size_t N>
+std::vector<std::string> pick_terms(Rng& rng,
+                                    const std::string_view (&set)[N],
+                                    std::size_t count) {
+  std::vector<std::string> out;
+  while (out.size() < count && out.size() < N) {
+    // Squaring the uniform draw skews toward low ranks (common terms).
+    const double u = rng.uniform();
+    const auto rank = std::size_t(u * u * double(N));
+    std::string term(set[std::min(rank, N - 1)]);
+    if (std::find(out.begin(), out.end(), term) == out.end()) {
+      out.push_back(std::move(term));
+    }
+  }
+  return out;
+}
+
+/// `count` Zipf-drawn words joined into sentence-ish prose.
+std::string prose(Rng& rng, std::size_t count) {
+  const auto& words = vocabulary();
+  std::string text;
+  std::size_t sentence = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    std::string word = words[word_table().sample(rng)];
+    if (sentence == 0 && !word.empty()) {
+      word[0] = static_cast<char>(std::toupper(word[0]));
+    }
+    if (!text.empty()) text += ' ';
+    text += word;
+    ++sentence;
+    if (sentence >= 6 + rng.below(9)) {
+      text += '.';
+      sentence = 0;
+    }
+  }
+  if (!text.empty() && text.back() != '.') text += '.';
+  return text;
+}
+
+}  // namespace
+
+const std::vector<std::string>& vocabulary() {
+  static const std::vector<std::string> words = [] {
+    std::vector<std::string> out;
+    out.reserve(kVocabularyWords);
+    for (const auto word : kBaseWords) out.emplace_back(word);
+    // Extend with deterministic syllable words ("kedrotula") for the long
+    // tail; generated from a fixed seed, not from any corpus seed, so
+    // every corpus shares one vocabulary.
+    constexpr std::string_view kOnsets[] = {"k",  "dr", "t",  "l", "m",
+                                            "pr", "s",  "gr", "v", "n"};
+    constexpr std::string_view kVowels[] = {"a", "e", "i", "o", "u"};
+    Rng rng(0xc0ffee);
+    while (out.size() < kVocabularyWords) {
+      std::string word;
+      const std::size_t syllables = 2 + rng.below(3);
+      for (std::size_t s = 0; s < syllables; ++s) {
+        word += kOnsets[rng.below(std::size(kOnsets))];
+        word += kVowels[rng.below(std::size(kVowels))];
+      }
+      if (std::find(out.begin(), out.end(), word) == out.end()) {
+        out.push_back(std::move(word));
+      }
+    }
+    return out;
+  }();
+  return words;
+}
+
+core::Activity synthetic_activity(std::uint64_t seed, std::size_t doc) {
+  Rng rng(doc_seed(seed, doc));
+  core::Activity activity;
+
+  char slug[32];
+  std::snprintf(slug, sizeof(slug), "syn-%06zu", doc);
+  activity.slug = slug;
+  activity.title = prose(rng, 2 + rng.below(4));
+  if (!activity.title.empty() && activity.title.back() == '.') {
+    activity.title.pop_back();
+  }
+  activity.year = int(1990 + rng.below(35));
+
+  const std::size_t author_count = rng.below(3);
+  for (std::size_t a = 0; a < author_count; ++a) {
+    activity.authors.emplace_back(kAuthors[rng.below(std::size(kAuthors))]);
+  }
+
+  // Body sections; lengths vary so BM25 length normalization matters.
+  activity.details = prose(rng, 20 + rng.below(60));
+  if (rng.chance(0.5)) activity.accessibility = prose(rng, 5 + rng.below(15));
+  if (rng.chance(0.4)) activity.assessment = prose(rng, 5 + rng.below(10));
+  const std::size_t variations = rng.below(3);
+  for (std::size_t v = 0; v < variations; ++v) {
+    activity.variations.push_back(
+        {prose(rng, 2), prose(rng, 8 + rng.below(12))});
+  }
+  const std::size_t citations = rng.below(3);
+  for (std::size_t c = 0; c < citations; ++c) {
+    activity.citations.push_back({prose(rng, 6 + rng.below(8)), ""});
+  }
+
+  activity.cs2013 = pick_terms(rng, kCs2013, 1 + rng.below(3));
+  activity.tcpp = pick_terms(rng, kTcpp, 1 + rng.below(3));
+  activity.courses = pick_terms(rng, kCourses, 1 + rng.below(2));
+  activity.senses = pick_terms(rng, kSenses, 1 + rng.below(2));
+  activity.mediums = pick_terms(rng, kMediums, rng.below(3));
+  return activity;
+}
+
+std::vector<core::Activity> synthetic_activities(
+    const CorpusOptions& options) {
+  std::vector<core::Activity> activities;
+  activities.reserve(options.docs);
+  for (std::size_t d = 0; d < options.docs; ++d) {
+    activities.push_back(synthetic_activity(options.seed, d));
+  }
+  return activities;
+}
+
+core::Repository synthetic_repository(const CorpusOptions& options) {
+  return core::Repository(synthetic_activities(options));
+}
+
+std::vector<std::string> sample_query_terms(std::uint64_t seed,
+                                            std::size_t count) {
+  Rng rng(doc_seed(seed, 0x517e));
+  const auto& words = vocabulary();
+  std::vector<std::string> terms;
+  terms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    terms.push_back(words[word_table().sample(rng)]);
+  }
+  return terms;
+}
+
+const std::string& term_at_rank(std::size_t rank) {
+  const auto& words = vocabulary();
+  return words[std::min(rank, words.size() - 1)];
+}
+
+}  // namespace pdcu::search::corpus

@@ -1,0 +1,63 @@
+// Deterministic synthetic corpora, so search can be exercised at 10k–1M
+// documents without 10k curated activities existing. The generator emits
+// core::Activity values — the same type the curated repository holds — so a
+// synthetic corpus flows through the whole real pipeline: tokenizer, BM25F
+// index build, taxonomy filters, serialization, serving.
+//
+// Realism knobs follow what query engines actually face: term frequencies
+// are Zipfian (a few very common words, a long tail of rare ones) over a
+// vocabulary of PDC-flavored words, document lengths vary, and taxonomy
+// tags are drawn rank-skewed from the curation's real term sets, so
+// `cs2013:PD_2`-style filters resolve against the synthetic repository's
+// own index.
+//
+// Everything derives from CorpusOptions::seed with a per-document seed
+// (SplitMix64 of seed and doc id), so the corpus for a given (docs, seed)
+// pair is bit-identical on every platform, every run, and independent of
+// generation order — tests, benches, and `pdcu loadgen` can all name the
+// same corpus by two integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdcu/core/repository.hpp"
+
+namespace pdcu::search::corpus {
+
+struct CorpusOptions {
+  std::size_t docs = 10'000;
+  std::uint64_t seed = 42;
+};
+
+/// The generator's word list: a PDC-flavored base vocabulary extended with
+/// deterministic syllable words. Index 0 is the most frequent word; draws
+/// are Zipfian by rank.
+const std::vector<std::string>& vocabulary();
+
+/// One synthetic activity (document `doc` of the corpus seeded by `seed`).
+/// Pure function of its arguments.
+core::Activity synthetic_activity(std::uint64_t seed, std::size_t doc);
+
+/// The full corpus, in document order. Slugs are unique ("syn-000042").
+std::vector<core::Activity> synthetic_activities(const CorpusOptions& options);
+
+/// The corpus wrapped in a Repository (taxonomy index included), ready for
+/// SearchIndex::build and filter resolution.
+core::Repository synthetic_repository(const CorpusOptions& options);
+
+/// `count` query terms drawn Zipfian from the vocabulary — the same skew
+/// the corpus bodies use, so hot query terms hit long posting lists and
+/// rare ones hit short lists, like production traffic.
+std::vector<std::string> sample_query_terms(std::uint64_t seed,
+                                            std::size_t count);
+
+/// The vocabulary word at a Zipf rank (0 = most frequent; clamped to the
+/// vocabulary size). Benchmarks build queries with known posting-list
+/// shapes from this: head ranks hit dense lists covering most of the
+/// corpus, mid ranks (~100+) are discriminative terms with short lists.
+const std::string& term_at_rank(std::size_t rank);
+
+}  // namespace pdcu::search::corpus

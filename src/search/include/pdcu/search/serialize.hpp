@@ -27,7 +27,13 @@ Expected<SearchIndex> deserialize_index(std::string_view bytes);
 /// Writes the serialized index to `path` (creating parent directories).
 Status save_index(const SearchIndex& index, const std::filesystem::path& path);
 
-/// Reads and deserializes an index file.
+/// Reads and deserializes an index file (payload copied to the heap).
 Expected<SearchIndex> load_index(const std::filesystem::path& path);
+
+/// Memory-maps an index file and serves from the mapping in place: the
+/// same header verification as load_index, but postings and document text
+/// stay in the page cache instead of being copied into heap vectors. The
+/// returned index (and every copy of it) keeps the mapping alive.
+Expected<SearchIndex> mmap_index(const std::filesystem::path& path);
 
 }  // namespace pdcu::search

@@ -34,6 +34,34 @@ std::string stem(std::string word);
 /// empty tokens are dropped; duplicates are preserved (term frequency).
 std::vector<std::string> tokenize(std::string_view text);
 
+/// Allocation-free tokenization: next() scans the following token into an
+/// internal reused buffer. Produces exactly the token sequence of
+/// tokenize_spans() without a heap allocation per token, which is what the
+/// indexing and snippet hot paths want.
+///
+///   TokenWalker walker(text);
+///   while (walker.next()) use(walker.term(), walker.begin(), walker.end());
+class TokenWalker {
+ public:
+  explicit TokenWalker(std::string_view text) : text_(text) {}
+
+  /// Advances to the next surviving token; false at end of text.
+  bool next();
+
+  /// The normalized term; a view into an internal buffer that the next
+  /// next() call overwrites.
+  std::string_view term() const { return word_; }
+  std::size_t begin() const { return begin_; }
+  std::size_t end() const { return end_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string word_;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+};
+
 /// Like tokenize(), but keeps the byte span of every surviving token so
 /// snippets can highlight the raw text.
 std::vector<TokenSpan> tokenize_spans(std::string_view text);

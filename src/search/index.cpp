@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <iterator>
+#include <limits>
 #include <map>
+#include <numeric>
+#include <utility>
 
 #include "pdcu/obs/span.hpp"
 #include "pdcu/search/tokenizer.hpp"
+#include "pdcu/support/hash.hpp"
 
 namespace pdcu::search {
 
@@ -15,6 +21,143 @@ namespace {
 // BM25 constants (standard Robertson defaults).
 constexpr double kK1 = 1.2;
 constexpr double kB = 0.75;
+
+// Relative padding applied to upper bounds before a prune decision. Bounds
+// are mathematically >= any achievable score, but the running sums compared
+// against them accumulate in a different order than the canonical
+// query-order score, so they can differ by a few ulps; inflating the bound
+// keeps every skip decision conservative and the top-k bit-identical to
+// exhaustive scoring.
+constexpr double kBoundPad = 1.0 + 1e-9;
+
+constexpr std::uint32_t kNoDoc = std::numeric_limits<std::uint32_t>::max();
+
+inline std::uint32_t load_u16(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8);
+}
+
+inline std::uint32_t load_u32(const char* p) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Encodes documents and posting lists into the canonical payload layout
+/// (the post-header section of the on-disk format, see serialize.hpp).
+std::string encode_payload(const std::vector<DocEntry>& docs,
+                           const std::vector<TermPostings>& terms) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(docs.size()));
+  for (const auto& doc : docs) {
+    put_str(out, doc.slug);
+    put_str(out, doc.title);
+    put_str(out, doc.body);
+    put_u32(out, doc.len_title);
+    put_u32(out, doc.len_tags);
+    put_u32(out, doc.len_body);
+  }
+  put_u32(out, static_cast<std::uint32_t>(terms.size()));
+  for (const auto& entry : terms) {
+    put_str(out, entry.term);
+    put_u32(out, static_cast<std::uint32_t>(entry.postings.size()));
+    for (const auto& posting : entry.postings) {
+      put_u32(out, posting.doc);
+      put_u16(out, posting.tf_title);
+      put_u16(out, posting.tf_tags);
+      put_u16(out, posting.tf_body);
+    }
+  }
+  return out;
+}
+
+/// Bounds-checked reader that hands out views into the payload instead of
+/// copying strings, so an mmap-backed index never materializes text.
+class ViewReader {
+ public:
+  explicit ViewReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool read_u32(std::uint32_t& value) {
+    if (bytes_.size() - pos_ < 4) return fail();
+    value = load_u32(bytes_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_view(std::string_view& value) {
+    std::uint32_t size = 0;
+    if (!read_u32(size) || bytes_.size() - pos_ < size) return fail();
+    value = bytes_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  /// A raw view of exactly `size` bytes (the packed postings of one term).
+  bool read_bytes(std::size_t size, std::string_view& value) {
+    if (bytes_.size() - pos_ < size) return fail();
+    value = bytes_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// First posting index in [lo, hi) whose document id is >= doc.
+std::size_t lower_bound_doc(const PostingsView& postings, std::size_t lo,
+                            std::size_t hi, std::uint32_t doc) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (postings.doc_at(mid) < doc) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double weighted_tf(const FieldBoosts& boosts, const Posting& posting) {
+  return boosts.title * posting.tf_title + boosts.tags * posting.tf_tags +
+         boosts.body * posting.tf_body;
+}
+
+/// The BM25F contribution of one posting; the exact same expression the
+/// original exhaustive scorer used, so precomputed-metadata paths reproduce
+/// its doubles bit for bit.
+double contribution(double idf, double wtf, double norm) {
+  return idf * wtf * (kK1 + 1.0) / (wtf + norm);
+}
 
 /// Saturating uint16 increment: term frequencies above 65535 are all
 /// equally "a lot" under BM25 saturation anyway.
@@ -55,14 +198,18 @@ std::string tag_text(const core::Activity& activity) {
   return text;
 }
 
-using BlockMap = std::map<std::string, std::vector<Posting>>;
+using BlockMap = std::map<std::string, std::vector<Posting>, std::less<>>;
 
 /// Indexes documents [lo, hi), writing DocEntry rows in place and returning
 /// the block's term map. Safe to run concurrently on disjoint ranges.
+/// Tokenization streams through TokenWalker and term maps use heterogeneous
+/// lookup, so a term's text is only copied to the heap the first time the
+/// block sees it — tokenizing dominates build time at corpus scale.
 BlockMap index_block(const core::Repository& repo, std::vector<DocEntry>& docs,
                      std::size_t lo, std::size_t hi) {
   BlockMap block;
   const auto& activities = repo.activities();
+  std::map<std::string, Posting, std::less<>> per_doc;
   for (std::size_t d = lo; d < hi; ++d) {
     const auto& activity = activities[d];
     DocEntry& entry = docs[d];
@@ -70,32 +217,34 @@ BlockMap index_block(const core::Repository& repo, std::vector<DocEntry>& docs,
     entry.title = activity.title;
     entry.body = body_text(activity);
 
-    const auto title_terms = tokenize(activity.title);
-    const auto tag_terms = tokenize(tag_text(activity));
-    const auto body_terms = tokenize(entry.body);
-    entry.len_title = static_cast<std::uint32_t>(title_terms.size());
-    entry.len_tags = static_cast<std::uint32_t>(tag_terms.size());
-    entry.len_body = static_cast<std::uint32_t>(body_terms.size());
-
-    std::map<std::string, Posting> per_doc;
+    per_doc.clear();
     const auto doc_id = static_cast<std::uint32_t>(d);
-    for (const auto& term : title_terms) {
-      auto& posting = per_doc[term];
-      posting.doc = doc_id;
-      bump(posting.tf_title);
-    }
-    for (const auto& term : tag_terms) {
-      auto& posting = per_doc[term];
-      posting.doc = doc_id;
-      bump(posting.tf_tags);
-    }
-    for (const auto& term : body_terms) {
-      auto& posting = per_doc[term];
-      posting.doc = doc_id;
-      bump(posting.tf_body);
-    }
-    for (auto& [term, posting] : per_doc) {
-      block[term].push_back(posting);
+    const auto index_field = [&per_doc, doc_id](std::string_view text,
+                                                std::uint16_t Posting::*tf) {
+      std::uint32_t length = 0;
+      TokenWalker walker(text);
+      while (walker.next()) {
+        ++length;
+        auto it = per_doc.find(walker.term());
+        if (it == per_doc.end()) {
+          it = per_doc.emplace(std::string(walker.term()), Posting{}).first;
+        }
+        it->second.doc = doc_id;
+        bump(it->second.*tf);
+      }
+      return length;
+    };
+    entry.len_title = index_field(activity.title, &Posting::tf_title);
+    entry.len_tags = index_field(tag_text(activity), &Posting::tf_tags);
+    entry.len_body = index_field(entry.body, &Posting::tf_body);
+
+    for (const auto& [term, posting] : per_doc) {
+      const auto it = block.find(term);
+      if (it != block.end()) {
+        it->second.push_back(posting);
+      } else {
+        block.emplace(term, std::vector<Posting>{posting});
+      }
     }
   }
   return block;
@@ -113,34 +262,106 @@ BlockMap merge_blocks(BlockMap left, BlockMap right) {
 
 }  // namespace
 
+Posting PostingsView::operator[](std::size_t i) const {
+  const char* p = data_ + i * kPostingBytes;
+  Posting posting;
+  posting.doc = load_u32(p);
+  posting.tf_title = static_cast<std::uint16_t>(load_u16(p + 4));
+  posting.tf_tags = static_cast<std::uint16_t>(load_u16(p + 6));
+  posting.tf_body = static_cast<std::uint16_t>(load_u16(p + 8));
+  return posting;
+}
+
+std::uint32_t PostingsView::doc_at(std::size_t i) const {
+  return load_u32(data_ + i * kPostingBytes);
+}
+
+/// Per-shard ranking state: a bounded top-k heap ordered so the *worst*
+/// kept entry sits at the front and is evicted first. Ordering is total and
+/// deterministic: higher score wins, equal scores break toward the lower
+/// document id (curation order).
+struct SearchIndex::Ranked {
+  struct Entry {
+    double score = 0.0;
+    std::uint32_t doc = 0;
+  };
+
+  static bool better(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+
+  explicit Ranked(std::size_t limit) : limit_(limit) {}
+
+  bool full() const { return heap_.size() >= limit_; }
+  /// Score of the worst kept entry; only meaningful when full(). A new
+  /// candidate whose score is strictly below this can never enter.
+  double threshold() const { return heap_.front().score; }
+
+  void offer(double score, std::uint32_t doc) {
+    const Entry entry{score, doc};
+    if (heap_.size() < limit_) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), better);
+    } else if (better(entry, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), better);
+      heap_.back() = entry;
+      std::push_heap(heap_.begin(), heap_.end(), better);
+    }
+  }
+
+  std::vector<Entry> sorted() && {
+    std::sort(heap_.begin(), heap_.end(), better);
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t limit_ = 0;
+  std::vector<Entry> heap_;
+};
+
+SearchIndex::SearchIndex() {
+  // Canonical empty payload: zero documents, zero terms.
+  std::string payload;
+  put_u32(payload, 0);
+  put_u32(payload, 0);
+  auto storage = std::make_shared<const std::string>(std::move(payload));
+  payload_ = *storage;
+  owned_ = std::move(storage);
+  const Status status = attach();
+  (void)status;  // the canonical empty payload always attaches
+}
+
 SearchIndex SearchIndex::build(const core::Repository& repo,
                                rt::ThreadPool* pool,
                                obs::SpanRegistry* spans) {
   const auto started = std::chrono::steady_clock::now();
-  SearchIndex index;
   const std::size_t n = repo.activities().size();
-  index.docs_.resize(n);
+  std::vector<DocEntry> docs(n);
 
   BlockMap merged;
   if (pool != nullptr && pool->size() > 1 && n > 1) {
     merged = pool->parallel_reduce<BlockMap>(
         0, n, BlockMap{},
-        [&repo, &index](std::size_t lo, std::size_t hi) {
-          return index_block(repo, index.docs_, lo, hi);
+        [&repo, &docs](std::size_t lo, std::size_t hi) {
+          return index_block(repo, docs, lo, hi);
         },
         [](BlockMap left, BlockMap right) {
           return merge_blocks(std::move(left), std::move(right));
         });
   } else {
-    merged = index_block(repo, index.docs_, 0, n);
+    merged = index_block(repo, docs, 0, n);
   }
 
   const auto indexed = std::chrono::steady_clock::now();
-  index.terms_.reserve(merged.size());
+  std::vector<TermPostings> terms;
+  terms.reserve(merged.size());
   for (auto& [term, postings] : merged) {
-    index.terms_.push_back({term, std::move(postings)});
+    terms.push_back({term, std::move(postings)});
   }
-  index.finalize();
+  auto index = from_payload(encode_payload(docs, terms));
+  // A freshly built index satisfies every invariant by construction.
+  SearchIndex result = std::move(index).value();
 
   if (spans != nullptr) {
     const auto finished = std::chrono::steady_clock::now();
@@ -151,41 +372,110 @@ SearchIndex SearchIndex::build(const core::Repository& repo,
     spans->record("search.build", us(finished - started));
     spans->record("search.merge", us(finished - indexed));
   }
+  return result;
+}
+
+Expected<SearchIndex> SearchIndex::from_parts(std::vector<DocEntry> docs,
+                                              std::vector<TermPostings> terms) {
+  return from_payload(encode_payload(docs, terms));
+}
+
+Expected<SearchIndex> SearchIndex::from_payload(std::string payload) {
+  SearchIndex index;
+  auto storage = std::make_shared<const std::string>(std::move(payload));
+  index.payload_ = *storage;
+  index.owned_ = std::move(storage);
+  index.mapping_.reset();
+  const Status status = index.attach();
+  if (!status) return status.error();
   return index;
 }
 
-Expected<SearchIndex> SearchIndex::from_parts(
-    std::vector<DocEntry> docs, std::vector<TermPostings> terms) {
-  for (std::size_t t = 0; t < terms.size(); ++t) {
-    if (t > 0 && !(terms[t - 1].term < terms[t].term)) {
-      return Error::make("search.index.order",
-                         "terms out of order at '" + terms[t].term + "'");
+Expected<SearchIndex> SearchIndex::from_mapped(
+    std::shared_ptr<const fs::MappedFile> file, std::size_t payload_offset) {
+  SearchIndex index;
+  if (file == nullptr || payload_offset > file->size()) {
+    return Error::make("search.index.truncated",
+                       "index payload truncated or trailing bytes");
+  }
+  index.payload_ = file->view().substr(payload_offset);
+  index.mapping_ = std::move(file);
+  index.owned_.reset();
+  const Status status = index.attach();
+  if (!status) return status.error();
+  return index;
+}
+
+Status SearchIndex::attach() {
+  docs_.clear();
+  terms_.clear();
+  doc_by_slug_.clear();
+  doc_norm_.clear();
+  term_idf_.clear();
+  term_max_.clear();
+  block_offset_.clear();
+  block_last_doc_.clear();
+  block_max_.clear();
+
+  // Parse the payload into directory views (zero-copy).
+  ViewReader reader(payload_);
+  std::uint32_t doc_count = 0;
+  reader.read_u32(doc_count);
+  for (std::uint32_t d = 0; reader.ok() && d < doc_count; ++d) {
+    DocView doc;
+    reader.read_view(doc.slug);
+    reader.read_view(doc.title);
+    reader.read_view(doc.body);
+    reader.read_u32(doc.len_title);
+    reader.read_u32(doc.len_tags);
+    reader.read_u32(doc.len_body);
+    if (reader.ok()) docs_.push_back(doc);
+  }
+  std::uint32_t term_count = 0;
+  reader.read_u32(term_count);
+  for (std::uint32_t t = 0; reader.ok() && t < term_count; ++t) {
+    std::string_view term;
+    reader.read_view(term);
+    std::uint32_t posting_count = 0;
+    reader.read_u32(posting_count);
+    std::string_view packed;
+    reader.read_bytes(std::size_t(posting_count) * kPostingBytes, packed);
+    if (reader.ok()) {
+      terms_.push_back({term, PostingsView(packed.data(), posting_count)});
     }
-    if (terms[t].postings.empty()) {
-      return Error::make("search.index.postings",
-                         "term '" + terms[t].term + "' has no postings");
+  }
+  if (!reader.ok() || !reader.exhausted()) {
+    return Error::make("search.index.truncated",
+                       "index payload truncated or trailing bytes");
+  }
+
+  // Validate structural invariants (same guarantees the builder provides).
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    if (t > 0 && !(terms_[t - 1].term < terms_[t].term)) {
+      return Error::make(
+          "search.index.order",
+          "terms out of order at '" + std::string(terms_[t].term) + "'");
+    }
+    if (terms_[t].postings.empty()) {
+      return Error::make(
+          "search.index.postings",
+          "term '" + std::string(terms_[t].term) + "' has no postings");
     }
     std::uint32_t last_doc = 0;
     bool first = true;
-    for (const auto& posting : terms[t].postings) {
-      if (posting.doc >= docs.size() ||
-          (!first && posting.doc <= last_doc)) {
-        return Error::make("search.index.postings",
-                           "bad posting list for '" + terms[t].term + "'");
+    for (std::size_t p = 0; p < terms_[t].postings.size(); ++p) {
+      const std::uint32_t doc = terms_[t].postings.doc_at(p);
+      if (doc >= docs_.size() || (!first && doc <= last_doc)) {
+        return Error::make(
+            "search.index.postings",
+            "bad posting list for '" + std::string(terms_[t].term) + "'");
       }
-      last_doc = posting.doc;
+      last_doc = doc;
       first = false;
     }
   }
-  SearchIndex index;
-  index.docs_ = std::move(docs);
-  index.terms_ = std::move(terms);
-  index.finalize();
-  return index;
-}
 
-void SearchIndex::finalize() {
-  doc_by_slug_.clear();
+  // BM25 length normalization per document.
   doc_by_slug_.reserve(docs_.size());
   double total = 0.0;
   for (std::size_t d = 0; d < docs_.size(); ++d) {
@@ -195,92 +485,456 @@ void SearchIndex::finalize() {
              boosts_.body * docs_[d].len_body;
   }
   avg_weighted_len_ = docs_.empty() ? 0.0 : total / double(docs_.size());
+  doc_norm_.resize(docs_.size());
+  for (std::size_t d = 0; d < docs_.size(); ++d) {
+    const double doc_len = boosts_.title * docs_[d].len_title +
+                           boosts_.tags * docs_[d].len_tags +
+                           boosts_.body * docs_[d].len_body;
+    doc_norm_[d] = kK1 * (1.0 - kB + kB * doc_len / avg_weighted_len_);
+  }
+
+  // Per-term idf plus the MaxScore metadata: the maximum contribution of
+  // any posting of the term, and the same maximum per 128-posting block
+  // alongside each block's last document id (for seek-time block lookup).
+  const double n = double(docs_.size());
+  term_idf_.resize(terms_.size());
+  term_max_.resize(terms_.size());
+  block_offset_.reserve(terms_.size() + 1);
+  block_offset_.push_back(0);
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    const PostingsView& postings = terms_[t].postings;
+    const double df = double(postings.size());
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    term_idf_[t] = idf;
+    double max_term = 0.0;
+    double max_block = 0.0;
+    for (std::size_t p = 0; p < postings.size(); ++p) {
+      const Posting posting = postings[p];
+      const double value = contribution(idf, weighted_tf(boosts_, posting),
+                                        doc_norm_[posting.doc]);
+      max_term = std::max(max_term, value);
+      max_block = std::max(max_block, value);
+      const bool block_end =
+          (p + 1) % kBlockPostings == 0 || p + 1 == postings.size();
+      if (block_end) {
+        block_last_doc_.push_back(posting.doc);
+        block_max_.push_back(max_block);
+        max_block = 0.0;
+      }
+    }
+    term_max_[t] = max_term;
+    block_offset_.push_back(static_cast<std::uint32_t>(block_max_.size()));
+  }
+
+  fingerprint_ = hash::fnv1a_64(payload_);
+  return Status::ok();
 }
 
-const TermPostings* SearchIndex::find_term(std::string_view term) const {
-  const auto it = std::lower_bound(
-      terms_.begin(), terms_.end(), term,
-      [](const TermPostings& entry, std::string_view t) {
-        return entry.term < t;
-      });
+const TermView* SearchIndex::find_term(std::string_view term) const {
+  const auto it =
+      std::lower_bound(terms_.begin(), terms_.end(), term,
+                       [](const TermView& entry, std::string_view t) {
+                         return entry.term < t;
+                       });
   if (it == terms_.end() || it->term != term) return nullptr;
   return &*it;
+}
+
+double SearchIndex::posting_contribution(std::size_t term_index,
+                                         const Posting& posting) const {
+  return contribution(term_idf_[term_index], weighted_tf(boosts_, posting),
+                      doc_norm_[posting.doc]);
+}
+
+double SearchIndex::term_max_contribution(std::size_t term_index) const {
+  return term_max_[term_index];
+}
+
+void SearchIndex::rank_exhaustive(const Query& query,
+                                  const std::vector<char>* allowed,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t limit, Ranked& out) const {
+  // BM25F accumulation over the shard. query.terms is deduplicated by
+  // parse_query, and postings iterate ascending by doc, so per-document
+  // scores sum in a fixed order and rankings are deterministic.
+  std::vector<double> scores(hi - lo, 0.0);
+  std::vector<char> matched(hi - lo, 0);
+  for (const auto& term : query.terms) {
+    const TermView* entry = find_term(term);
+    if (entry == nullptr) continue;
+    const std::size_t t = static_cast<std::size_t>(entry - terms_.data());
+    const double idf = term_idf_[t];
+    const PostingsView& postings = entry->postings;
+    std::size_t p = lower_bound_doc(postings, 0, postings.size(),
+                                    static_cast<std::uint32_t>(lo));
+    const std::size_t p_end = lower_bound_doc(postings, p, postings.size(),
+                                              static_cast<std::uint32_t>(hi));
+    for (; p < p_end; ++p) {
+      const Posting posting = postings[p];
+      if (allowed != nullptr && !(*allowed)[posting.doc]) continue;
+      scores[posting.doc - lo] += contribution(
+          idf, weighted_tf(boosts_, posting), doc_norm_[posting.doc]);
+      matched[posting.doc - lo] = 1;
+    }
+  }
+  (void)limit;
+  for (std::size_t d = lo; d < hi; ++d) {
+    if (matched[d - lo]) {
+      out.offer(scores[d - lo], static_cast<std::uint32_t>(d));
+    }
+  }
+}
+
+void SearchIndex::rank_maxscore(const Query& query,
+                                const std::vector<char>* allowed,
+                                std::size_t lo, std::size_t hi,
+                                std::size_t limit, Ranked& out) const {
+  // Document-at-a-time block-max WAND. Documents whose whole-list (and then
+  // whole-block) upper bounds cannot beat the current top-k threshold are
+  // skipped without being scored; every surviving candidate is scored
+  // exactly, in query-term order, so results match the exhaustive scorer
+  // bit for bit.
+  struct Cur {
+    std::uint32_t term = 0;  ///< index into terms_
+    PostingsView postings;
+    std::size_t pos = 0;
+    std::size_t end = 0;
+    std::uint32_t doc = kNoDoc;  ///< doc at pos; kNoDoc when exhausted
+    /// Cached bounds of the block containing pos, refreshed lazily when the
+    /// cursor crosses block_end_pos — block lookups happen per block, never
+    /// per document. (Single-list fast path only.)
+    std::size_t block_end_pos = 0;  ///< first position past the cached block
+    double block_max = 0.0;
+    std::uint32_t block_last = 0;  ///< last doc id of the cached block
+    /// Shallow block pointer for block-max pivoting: index of the first
+    /// block whose last document reaches the current pivot. Monotone.
+    std::size_t sb = 0;
+  };
+  const auto refresh_block = [this](Cur& c) {
+    const std::size_t b = block_offset_[c.term] + c.pos / kBlockPostings;
+    c.block_end_pos = (c.pos / kBlockPostings + 1) * kBlockPostings;
+    c.block_max = block_max_[b];
+    c.block_last = block_last_doc_[b];
+  };
+
+  // Cursors in query-term order — the canonical score summation order.
+  std::vector<Cur> cursors;
+  cursors.reserve(query.terms.size());
+  for (const auto& term : query.terms) {
+    const TermView* entry = find_term(term);
+    if (entry == nullptr) continue;
+    Cur cursor;
+    cursor.term = static_cast<std::uint32_t>(entry - terms_.data());
+    cursor.postings = entry->postings;
+    cursor.pos = lower_bound_doc(cursor.postings, 0, cursor.postings.size(),
+                                 static_cast<std::uint32_t>(lo));
+    cursor.end = lower_bound_doc(cursor.postings, cursor.pos,
+                                 cursor.postings.size(),
+                                 static_cast<std::uint32_t>(hi));
+    if (cursor.pos == cursor.end) continue;
+    cursor.doc = cursor.postings.doc_at(cursor.pos);
+    cursor.sb = block_offset_[cursor.term] + cursor.pos / kBlockPostings;
+    cursors.push_back(cursor);
+  }
+  const std::size_t m = cursors.size();
+  if (m == 0) return;
+
+  if (m == 1) {
+    // Single-list fast path: no pivoting, no contribution reordering — walk
+    // the list block by block, dropping every block whose maximum cannot
+    // beat the current top-k threshold. The common head-of-Zipf single-term
+    // query touches only the strongest few blocks this way.
+    Cur& c = cursors[0];
+    while (c.pos < c.end) {
+      if (c.pos >= c.block_end_pos) refresh_block(c);
+      const std::size_t stop = std::min(c.block_end_pos, c.end);
+      if (out.full() && c.block_max * kBoundPad < out.threshold()) {
+        c.pos = stop;
+        continue;
+      }
+      for (; c.pos < stop; ++c.pos) {
+        const Posting posting = c.postings[c.pos];
+        if (allowed != nullptr && !(*allowed)[posting.doc]) continue;
+        out.offer(posting_contribution(c.term, posting), posting.doc);
+      }
+    }
+    return;
+  }
+
+  // Block-max WAND over the remaining lists. Cursors stay in query order
+  // (their index is the canonical score-summation position); a doc-sorted
+  // view `sorted` drives pivoting. Each round:
+  //
+  //   1. Sort cursors by current document. The *pivot* is the first sorted
+  //      position where the cumulative whole-list maxima reach the top-k
+  //      threshold — no document before the pivot's can make the heap, so
+  //      the lists behind it leapfrog straight to the pivot document.
+  //   2. Before scoring, re-check with *block* maxima: each list's bound
+  //      shrinks to the max of the block that would contain the pivot
+  //      document. When even that cannot reach the threshold, every
+  //      document up to the nearest block boundary is dead and the cursors
+  //      jump the whole stretch without touching a posting.
+  //
+  // Doc-sorted pivoting is what keeps dense two-term queries cheap: the
+  // pivot alternates between the lists, so each round gallops over the run
+  // of documents the other list does not contain — where min-doc pivoting
+  // would score every candidate in either list.
+  const auto advance = [](Cur& c) {
+    ++c.pos;
+    c.doc = c.pos < c.end ? c.postings.doc_at(c.pos) : kNoDoc;
+  };
+  // First posting at or past `target`: gallop, then binary-search the last
+  // doubled span. Adjacent targets cost O(1), far ones O(log distance) —
+  // the right shape for leapfrogging intersections.
+  const auto seek = [](Cur& c, std::uint32_t target) {
+    if (c.doc >= target) return;  // also covers exhausted (doc == kNoDoc)
+    std::size_t s_lo = c.pos;     // invariant: doc_at(s_lo) < target
+    std::size_t step = 1;
+    while (s_lo + step < c.end && c.postings.doc_at(s_lo + step) < target) {
+      s_lo += step;
+      step <<= 1;
+    }
+    std::size_t s_hi = std::min(s_lo + step, c.end);
+    ++s_lo;
+    while (s_lo < s_hi) {
+      const std::size_t mid = s_lo + (s_hi - s_lo) / 2;
+      if (c.postings.doc_at(mid) < target) {
+        s_lo = mid + 1;
+      } else {
+        s_hi = mid;
+      }
+    }
+    c.pos = s_lo;
+    c.doc = s_lo < c.end ? c.postings.doc_at(s_lo) : kNoDoc;
+  };
+  // Advances the cursor's shallow block pointer to the block that would
+  // hold `target` (the first block whose last document reaches it). The
+  // pointer only moves forward, so the walk is amortized O(1) per query.
+  const auto shallow_to = [this](Cur& c, std::uint32_t target) {
+    const std::size_t sb_end = block_offset_[c.term + 1];
+    while (c.sb < sb_end && block_last_doc_[c.sb] < target) ++c.sb;
+  };
+
+  // Doc-sorted view of the cursors. Re-sorted by insertion each round: the
+  // order barely changes between rounds, so this is effectively linear.
+  std::vector<std::uint32_t> sorted(m);
+  std::iota(sorted.begin(), sorted.end(), 0);
+
+  // Contributions of the pivot document, as (query position, value); the
+  // final score sums them sorted by position — the canonical order.
+  std::vector<std::pair<std::uint32_t, double>> parts;
+  parts.reserve(m);
+
+  (void)limit;
+  while (true) {
+    for (std::size_t i = 1; i < m; ++i) {
+      const std::uint32_t v = sorted[i];
+      const std::uint32_t doc = cursors[v].doc;
+      std::size_t j = i;
+      for (; j > 0 && cursors[sorted[j - 1]].doc > doc; --j) {
+        sorted[j] = sorted[j - 1];
+      }
+      sorted[j] = v;
+    }
+    const bool full = out.full();
+    const double theta = full ? out.threshold() : 0.0;
+
+    // Pivot: first sorted position where the cumulative whole-list maxima
+    // could reach the threshold. Documents seen only by lists before it
+    // are bounded below theta, so skipping them is rank-safe.
+    std::size_t p = 0;
+    if (full) {
+      double acc = 0.0;
+      for (p = 0; p < m; ++p) {
+        acc += term_max_[cursors[sorted[p]].term];
+        if (acc * kBoundPad >= theta) break;
+      }
+      if (p == m) break;  // no remaining document can displace the top-k
+    }
+    const std::uint32_t pivot_doc = cursors[sorted[p]].doc;
+    if (pivot_doc == kNoDoc) break;  // the lists that matter are exhausted
+    // Fold in every further list already sitting on the pivot document, so
+    // the block-max skip target below lands strictly past it.
+    while (p + 1 < m && cursors[sorted[p + 1]].doc == pivot_doc) ++p;
+    const std::uint32_t next_doc =
+        p + 1 < m ? cursors[sorted[p + 1]].doc : kNoDoc;
+
+    if (full) {
+      // Block-max refinement over the pivot-relevant lists. The bound is
+      // valid for every document in [pivot_doc, block_end]: each list's
+      // postings there stay inside its shallow block, and the remaining
+      // lists only start at next_doc, past any target we would skip to.
+      double block_sum = 0.0;
+      std::uint32_t block_end = kNoDoc;
+      for (std::size_t i = 0; i <= p; ++i) {
+        Cur& c = cursors[sorted[i]];
+        shallow_to(c, pivot_doc);
+        if (c.sb < block_offset_[c.term + 1]) {
+          block_sum += block_max_[c.sb];
+          block_end = std::min(block_end, block_last_doc_[c.sb]);
+        }
+      }
+      if (block_sum * kBoundPad < theta) {
+        std::uint32_t target = next_doc;
+        if (block_end != kNoDoc && block_end + 1 < target) {
+          target = block_end + 1;
+        }
+        for (std::size_t i = 0; i <= p; ++i) seek(cursors[sorted[i]], target);
+        continue;
+      }
+    }
+
+    if (cursors[sorted[0]].doc == pivot_doc) {
+      // Aligned: lists sorted[0..p] all sit on the pivot document. Score it
+      // exactly, summing in query-term order so the result matches the
+      // exhaustive scorer bit for bit.
+      if (allowed == nullptr || (*allowed)[pivot_doc]) {
+        parts.clear();
+        for (std::size_t i = 0; i <= p; ++i) {
+          const Cur& c = cursors[sorted[i]];
+          parts.emplace_back(sorted[i],
+                             posting_contribution(c.term, c.postings[c.pos]));
+        }
+        std::sort(parts.begin(), parts.end());
+        double score = 0.0;
+        for (const auto& [pos, value] : parts) score += value;
+        out.offer(score, pivot_doc);
+      }
+      for (std::size_t i = 0; i <= p; ++i) advance(cursors[sorted[i]]);
+    } else {
+      // Not aligned yet: leapfrog the lagging lists to the pivot. The
+      // documents they jump over live only in lists whose combined maxima
+      // sit below the threshold.
+      for (std::size_t i = 0; i < p; ++i) seek(cursors[sorted[i]], pivot_doc);
+    }
+  }
 }
 
 std::vector<Hit> SearchIndex::search(const Query& query,
                                      const tax::TermIndex* taxonomy,
                                      std::size_t limit) const {
+  SearchOptions options;
+  options.limit = limit;
+  return search(query, taxonomy, options);
+}
+
+std::vector<Hit> SearchIndex::search(const Query& query,
+                                     const tax::TermIndex* taxonomy,
+                                     const SearchOptions& options) const {
   std::vector<Hit> hits;
+  const std::size_t limit = options.limit;
   if (docs_.empty() || query.empty() || limit == 0) return hits;
 
   // Resolve filters to an allowed-document mask. An unresolvable filter
   // (unknown term, ambiguous prefix, or no taxonomy index) matches nothing:
   // silently ignoring a filter would return confidently wrong results.
-  std::vector<char> allowed(docs_.size(), 1);
-  for (const auto& filter : query.filters) {
-    if (taxonomy == nullptr) return hits;
-    const auto term = taxonomy->resolve_term(filter.taxonomy, filter.value);
-    if (!term.has_value()) return hits;
-    std::vector<char> with_term(docs_.size(), 0);
-    for (const auto& page : taxonomy->pages(filter.taxonomy, *term)) {
-      const auto it = doc_by_slug_.find(page.slug);
-      if (it != doc_by_slug_.end()) with_term[it->second] = 1;
-    }
-    for (std::size_t d = 0; d < allowed.size(); ++d) {
-      allowed[d] = allowed[d] && with_term[d];
+  //
+  // Resolution is the expensive half of a filtered query — every tagged
+  // page's slug hashes through doc_by_slug_ — so resolved sets memoize in
+  // options.filter_cache when the caller provides one. The single-filter
+  // case (the common one) then borrows the cached mask without copying.
+  std::vector<char> allowed_mask;
+  const std::vector<char>* allowed = nullptr;
+  std::shared_ptr<const FilterCache::Entry> cached;  // keeps the mask alive
+  if (!query.filters.empty()) {
+    for (std::size_t f = 0; f < query.filters.size(); ++f) {
+      const auto& filter = query.filters[f];
+      if (taxonomy == nullptr) return hits;
+      const auto term = taxonomy->resolve_term(filter.taxonomy, filter.value);
+      if (!term.has_value()) return hits;
+      const auto compute = [&] {
+        FilterCache::Entry entry;
+        entry.mask.assign(docs_.size(), 0);
+        const auto* pages = taxonomy->find_pages(filter.taxonomy, *term);
+        if (pages != nullptr) {
+          entry.docs.reserve(pages->size());
+          for (const auto& page : *pages) {
+            const auto it = doc_by_slug_.find(page.slug);
+            if (it == doc_by_slug_.end() || entry.mask[it->second]) continue;
+            entry.mask[it->second] = 1;
+            entry.docs.push_back(it->second);
+          }
+          std::sort(entry.docs.begin(), entry.docs.end());
+        }
+        return entry;
+      };
+      std::shared_ptr<const FilterCache::Entry> entry;
+      if (options.filter_cache != nullptr) {
+        entry = options.filter_cache->get(filter.taxonomy, *term, compute);
+      } else {
+        entry = std::make_shared<const FilterCache::Entry>(compute());
+      }
+      if (f == 0) {
+        cached = std::move(entry);
+        allowed = &cached->mask;
+      } else {
+        if (allowed != &allowed_mask) {  // second filter: switch to a copy
+          allowed_mask = *allowed;
+          allowed = &allowed_mask;
+        }
+        for (std::size_t d = 0; d < allowed_mask.size(); ++d) {
+          allowed_mask[d] = allowed_mask[d] && entry->mask[d];
+        }
+      }
     }
   }
 
-  // BM25F accumulation. query.terms is deduplicated by parse_query, and
-  // postings iterate ascending by doc, so scores sum in a fixed order and
-  // rankings are deterministic.
-  std::vector<double> scores(docs_.size(), 0.0);
-  std::vector<char> matched(docs_.size(), 0);
-  const double n = double(docs_.size());
-  for (const auto& term : query.terms) {
-    const TermPostings* entry = find_term(term);
-    if (entry == nullptr) continue;
-    const double df = double(entry->postings.size());
-    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
-    for (const auto& posting : entry->postings) {
-      if (!allowed[posting.doc]) continue;
-      const DocEntry& doc = docs_[posting.doc];
-      const double wtf = boosts_.title * posting.tf_title +
-                         boosts_.tags * posting.tf_tags +
-                         boosts_.body * posting.tf_body;
-      const double doc_len = boosts_.title * doc.len_title +
-                             boosts_.tags * doc.len_tags +
-                             boosts_.body * doc.len_body;
-      const double norm =
-          kK1 * (1.0 - kB + kB * doc_len / avg_weighted_len_);
-      scores[posting.doc] += idf * wtf * (kK1 + 1.0) / (wtf + norm);
-      matched[posting.doc] = 1;
+  std::vector<Ranked::Entry> top;
+  if (query.terms.empty()) {
+    // Pure taxonomy browse: filter-allowed documents in curation order,
+    // score 0 (equal scores order by doc id, i.e. curation order).
+    for (std::size_t d = 0; d < docs_.size() && top.size() < limit; ++d) {
+      if ((*allowed)[d]) {
+        top.push_back({0.0, static_cast<std::uint32_t>(d)});
+      }
+    }
+  } else {
+    const bool exhaustive = options.algo == SearchOptions::Algo::kExhaustive;
+    const auto run_range = [&](std::size_t lo, std::size_t hi) {
+      Ranked ranked(limit);
+      if (exhaustive) {
+        rank_exhaustive(query, allowed, lo, hi, limit, ranked);
+      } else {
+        rank_maxscore(query, allowed, lo, hi, limit, ranked);
+      }
+      return std::move(ranked).sorted();
+    };
+    rt::ThreadPool* pool = options.pool;
+    if (pool != nullptr && pool->size() > 1 &&
+        docs_.size() >= 2 * options.min_shard_docs) {
+      // Per-shard top-k on the pool, merged in index order. Per-document
+      // scores are identical in every shard layout (canonical summation),
+      // and the merge keeps the globally best `limit` entries under the
+      // same total order, so the result is bit-identical to a serial run.
+      top = pool->parallel_reduce<std::vector<Ranked::Entry>>(
+          0, docs_.size(), {},
+          [&run_range](std::size_t lo, std::size_t hi) {
+            return run_range(lo, hi);
+          },
+          [limit](std::vector<Ranked::Entry> left,
+                  std::vector<Ranked::Entry> right) {
+            std::vector<Ranked::Entry> merged;
+            merged.reserve(std::min(left.size() + right.size(), limit));
+            std::merge(left.begin(), left.end(), right.begin(), right.end(),
+                       std::back_inserter(merged), Ranked::better);
+            if (merged.size() > limit) merged.resize(limit);
+            return merged;
+          });
+    } else {
+      top = run_range(0, docs_.size());
     }
   }
 
-  // Candidates: term matches when there is free text, otherwise every
-  // filter-allowed document (a pure taxonomy browse).
-  std::vector<std::uint32_t> candidates;
-  for (std::size_t d = 0; d < docs_.size(); ++d) {
-    if (query.terms.empty() ? allowed[d] : matched[d]) {
-      candidates.push_back(static_cast<std::uint32_t>(d));
-    }
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [&scores](std::uint32_t a, std::uint32_t b) {
-              if (scores[a] != scores[b]) return scores[a] > scores[b];
-              return a < b;
-            });
-  if (candidates.size() > limit) candidates.resize(limit);
-
-  hits.reserve(candidates.size());
-  for (const std::uint32_t d : candidates) {
+  hits.reserve(top.size());
+  for (const auto& entry : top) {
     Hit hit;
-    hit.doc = d;
-    hit.slug = docs_[d].slug;
-    hit.title = docs_[d].title;
-    hit.score = scores[d];
-    hit.snippet = make_snippet(docs_[d].body, query.terms);
+    hit.doc = entry.doc;
+    hit.slug = std::string(docs_[entry.doc].slug);
+    hit.title = std::string(docs_[entry.doc].title);
+    hit.score = entry.score;
+    if (options.snippets) {
+      hit.snippet = make_snippet(docs_[entry.doc].body, query.terms);
+    }
     hits.push_back(std::move(hit));
   }
   return hits;

@@ -1,7 +1,7 @@
 #include "pdcu/search/query.hpp"
 
-#include <algorithm>
 #include <cctype>
+#include <unordered_set>
 
 #include "pdcu/search/tokenizer.hpp"
 #include "pdcu/taxonomy/taxonomy.hpp"
@@ -50,9 +50,12 @@ Query parse_query(std::string_view input) {
     free_text += ' ';
   }
 
+  // Dedup preserving first-occurrence order. A hash set keeps this linear;
+  // adversarial inputs (thousands of repeated words) used to go quadratic
+  // through a std::find over the growing terms vector.
+  std::unordered_set<std::string> seen;
   for (auto& term : tokenize(free_text)) {
-    if (std::find(query.terms.begin(), query.terms.end(), term) ==
-        query.terms.end()) {
+    if (seen.insert(term).second) {
       query.terms.push_back(std::move(term));
     }
   }

@@ -1,18 +1,18 @@
 #include "pdcu/search/serialize.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "pdcu/support/fs.hpp"
 #include "pdcu/support/hash.hpp"
+#include "pdcu/support/mmap.hpp"
 
 namespace pdcu::search {
 
 namespace {
 
 constexpr std::string_view kMagic = "PDCUIDX\x01";  // 8 bytes
-
-void put_u16(std::string& out, std::uint16_t value) {
-  out.push_back(static_cast<char>(value & 0xff));
-  out.push_back(static_cast<char>((value >> 8) & 0xff));
-}
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;     // magic + version + hash
 
 void put_u32(std::string& out, std::uint32_t value) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -26,97 +26,56 @@ void put_u64(std::string& out, std::uint64_t value) {
   }
 }
 
-void put_str(std::string& out, std::string_view s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
+std::uint32_t load_u32(std::string_view bytes, std::size_t pos) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[pos + std::size_t(i)]))
+             << (8 * i);
+  }
+  return value;
 }
 
-/// Bounds-checked little-endian reader over the payload.
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool read_u16(std::uint16_t& value) {
-    if (bytes_.size() - pos_ < 2) return fail();
-    value = static_cast<std::uint16_t>(byte(0) | (byte(1) << 8));
-    pos_ += 2;
-    return true;
+std::uint64_t load_u64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[pos + std::size_t(i)]))
+             << (8 * i);
   }
+  return value;
+}
 
-  bool read_u32(std::uint32_t& value) {
-    if (bytes_.size() - pos_ < 4) return fail();
-    value = 0;
-    for (int i = 0; i < 4; ++i) value |= byte(i) << (8 * i);
-    pos_ += 4;
-    return true;
+/// Verifies magic, version, and checksum; on success the payload (the
+/// post-header bytes) is bytes.substr(kHeaderBytes).
+Status check_header(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    return Error::make("search.index.magic", "not a pdcu search index");
   }
-
-  bool read_u64(std::uint64_t& value) {
-    if (bytes_.size() - pos_ < 8) return fail();
-    value = 0;
-    for (int i = 0; i < 8; ++i) {
-      value |= static_cast<std::uint64_t>(byte(i)) << (8 * i);
-    }
-    pos_ += 8;
-    return true;
+  const std::uint32_t version = load_u32(bytes, kMagic.size());
+  if (version != kIndexFormatVersion) {
+    return Error::make("search.index.version",
+                       "unsupported index version " + std::to_string(version) +
+                           " (expected " +
+                           std::to_string(kIndexFormatVersion) + ")");
   }
-
-  bool read_str(std::string& value) {
-    std::uint32_t size = 0;
-    if (!read_u32(size) || bytes_.size() - pos_ < size) return fail();
-    value.assign(bytes_.substr(pos_, size));
-    pos_ += size;
-    return true;
+  const std::uint64_t checksum = load_u64(bytes, kMagic.size() + 4);
+  if (hash::fnv1a_64(bytes.substr(kHeaderBytes)) != checksum) {
+    return Error::make("search.index.checksum",
+                       "index checksum mismatch (corrupted file?)");
   }
-
-  bool exhausted() const { return pos_ == bytes_.size(); }
-  bool ok() const { return ok_; }
-
- private:
-  std::uint32_t byte(int offset) const {
-    return static_cast<unsigned char>(bytes_[pos_ + std::size_t(offset)]);
-  }
-  bool fail() {
-    ok_ = false;
-    return false;
-  }
-
-  std::string_view bytes_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-std::string serialize_payload(const SearchIndex& index) {
-  std::string out;
-  put_u32(out, static_cast<std::uint32_t>(index.doc_count()));
-  for (const auto& doc : index.docs()) {
-    put_str(out, doc.slug);
-    put_str(out, doc.title);
-    put_str(out, doc.body);
-    put_u32(out, doc.len_title);
-    put_u32(out, doc.len_tags);
-    put_u32(out, doc.len_body);
-  }
-  put_u32(out, static_cast<std::uint32_t>(index.term_count()));
-  for (const auto& entry : index.terms()) {
-    put_str(out, entry.term);
-    put_u32(out, static_cast<std::uint32_t>(entry.postings.size()));
-    for (const auto& posting : entry.postings) {
-      put_u32(out, posting.doc);
-      put_u16(out, posting.tf_title);
-      put_u16(out, posting.tf_tags);
-      put_u16(out, posting.tf_body);
-    }
-  }
-  return out;
+  return Status::ok();
 }
 
 }  // namespace
 
 std::string serialize_index(const SearchIndex& index) {
-  const std::string payload = serialize_payload(index);
+  // The index already holds its canonical payload; persisting is just
+  // prefixing the header.
+  const std::string_view payload = index.payload();
   std::string out;
-  out.reserve(kMagic.size() + 12 + payload.size());
+  out.reserve(kHeaderBytes + payload.size());
   out.append(kMagic);
   put_u32(out, kIndexFormatVersion);
   put_u64(out, hash::fnv1a_64(payload));
@@ -125,64 +84,9 @@ std::string serialize_index(const SearchIndex& index) {
 }
 
 Expected<SearchIndex> deserialize_index(std::string_view bytes) {
-  if (bytes.size() < kMagic.size() + 12 ||
-      bytes.substr(0, kMagic.size()) != kMagic) {
-    return Error::make("search.index.magic", "not a pdcu search index");
-  }
-  Reader header(bytes.substr(kMagic.size()));
-  std::uint32_t version = 0;
-  std::uint64_t checksum = 0;
-  header.read_u32(version);
-  header.read_u64(checksum);
-  if (version != kIndexFormatVersion) {
-    return Error::make("search.index.version",
-                       "unsupported index version " + std::to_string(version) +
-                           " (expected " +
-                           std::to_string(kIndexFormatVersion) + ")");
-  }
-  const std::string_view payload = bytes.substr(kMagic.size() + 12);
-  if (hash::fnv1a_64(payload) != checksum) {
-    return Error::make("search.index.checksum",
-                       "index checksum mismatch (corrupted file?)");
-  }
-
-  Reader reader(payload);
-  std::uint32_t doc_count = 0;
-  reader.read_u32(doc_count);
-  std::vector<DocEntry> docs;
-  for (std::uint32_t d = 0; reader.ok() && d < doc_count; ++d) {
-    DocEntry doc;
-    reader.read_str(doc.slug);
-    reader.read_str(doc.title);
-    reader.read_str(doc.body);
-    reader.read_u32(doc.len_title);
-    reader.read_u32(doc.len_tags);
-    reader.read_u32(doc.len_body);
-    docs.push_back(std::move(doc));
-  }
-  std::uint32_t term_count = 0;
-  reader.read_u32(term_count);
-  std::vector<TermPostings> terms;
-  for (std::uint32_t t = 0; reader.ok() && t < term_count; ++t) {
-    TermPostings entry;
-    reader.read_str(entry.term);
-    std::uint32_t posting_count = 0;
-    reader.read_u32(posting_count);
-    for (std::uint32_t p = 0; reader.ok() && p < posting_count; ++p) {
-      Posting posting;
-      reader.read_u32(posting.doc);
-      reader.read_u16(posting.tf_title);
-      reader.read_u16(posting.tf_tags);
-      reader.read_u16(posting.tf_body);
-      entry.postings.push_back(posting);
-    }
-    terms.push_back(std::move(entry));
-  }
-  if (!reader.ok() || !reader.exhausted()) {
-    return Error::make("search.index.truncated",
-                       "index payload truncated or trailing bytes");
-  }
-  return SearchIndex::from_parts(std::move(docs), std::move(terms));
+  const Status header = check_header(bytes);
+  if (!header) return header.error();
+  return SearchIndex::from_payload(std::string(bytes.substr(kHeaderBytes)));
 }
 
 Status save_index(const SearchIndex& index,
@@ -193,6 +97,16 @@ Status save_index(const SearchIndex& index,
 Expected<SearchIndex> load_index(const std::filesystem::path& path) {
   return fs::read_file(path).and_then(
       [](const std::string& bytes) { return deserialize_index(bytes); });
+}
+
+Expected<SearchIndex> mmap_index(const std::filesystem::path& path) {
+  auto mapped = fs::MappedFile::open(path);
+  if (!mapped) return mapped.error();
+  auto file =
+      std::make_shared<const fs::MappedFile>(std::move(mapped).value());
+  const Status header = check_header(file->view());
+  if (!header) return header.error();
+  return SearchIndex::from_mapped(std::move(file), kHeaderBytes);
 }
 
 }  // namespace pdcu::search

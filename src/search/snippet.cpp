@@ -1,6 +1,7 @@
 #include "pdcu/search/snippet.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "pdcu/search/tokenizer.hpp"
 
@@ -47,14 +48,23 @@ Snippet make_snippet(std::string_view body,
                      const std::vector<std::string>& terms,
                      std::size_t window) {
   Snippet snippet;
-  const auto spans = tokenize_spans(body);
 
-  // Positions of tokens whose normalized form matches a query term.
-  std::vector<std::size_t> matches;
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    if (std::find(terms.begin(), terms.end(), spans[i].term) != terms.end()) {
-      matches.push_back(i);
-    }
+  // Byte spans of tokens whose normalized form matches a query term, each
+  // tagged with the index of the term it matched. The walk never
+  // materializes non-matching tokens — snippets run per hit on the query
+  // hot path.
+  struct Match {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::uint32_t term = 0;
+  };
+  std::vector<Match> matches;
+  TokenWalker walker(body);
+  while (walker.next()) {
+    const auto it = std::find(terms.begin(), terms.end(), walker.term());
+    if (it == terms.end()) continue;
+    matches.push_back({walker.begin(), walker.end(),
+                       static_cast<std::uint32_t>(it - terms.begin())});
   }
 
   std::size_t begin = 0;
@@ -62,27 +72,29 @@ Snippet make_snippet(std::string_view body,
   if (!matches.empty()) {
     // Slide a window anchored at each match; keep the one covering the most
     // *distinct* terms (ties break to the earliest, keeping output stable).
-    std::size_t best_anchor = matches.front();
+    std::size_t best_anchor = 0;
     std::size_t best_covered = 0;
-    for (const std::size_t anchor : matches) {
-      const std::size_t window_end = spans[anchor].begin + window;
-      std::vector<std::string_view> covered;
-      for (const std::size_t m : matches) {
-        if (spans[m].begin < spans[anchor].begin) continue;
-        if (spans[m].end > window_end) break;
-        if (std::find(covered.begin(), covered.end(), spans[m].term) ==
-            covered.end()) {
-          covered.push_back(spans[m].term);
+    std::vector<char> covered(terms.size(), 0);
+    for (std::size_t anchor = 0; anchor < matches.size(); ++anchor) {
+      const std::size_t window_end = matches[anchor].begin + window;
+      std::fill(covered.begin(), covered.end(), 0);
+      std::size_t covered_count = 0;
+      for (const Match& m : matches) {
+        if (m.begin < matches[anchor].begin) continue;
+        if (m.end > window_end) break;
+        if (!covered[m.term]) {
+          covered[m.term] = 1;
+          ++covered_count;
         }
       }
-      if (covered.size() > best_covered) {
-        best_covered = covered.size();
+      if (covered_count > best_covered) {
+        best_covered = covered_count;
         best_anchor = anchor;
       }
     }
     // Lead in with a little context before the anchor word.
     const std::size_t lead = window / 8;
-    const std::size_t anchor_begin = spans[best_anchor].begin;
+    const std::size_t anchor_begin = matches[best_anchor].begin;
     begin = anchor_begin > lead ? snap_back(body, anchor_begin - lead) : 0;
     end = std::min(body.size(), begin + window);
   }
@@ -91,10 +103,9 @@ Snippet make_snippet(std::string_view body,
   snippet.text = std::string(body.substr(begin, end - begin));
   snippet.clipped_front = begin > 0;
   snippet.clipped_back = end < body.size();
-  for (const std::size_t m : matches) {
-    if (spans[m].begin >= begin && spans[m].end <= end) {
-      snippet.highlights.emplace_back(spans[m].begin - begin,
-                                      spans[m].end - begin);
+  for (const Match& m : matches) {
+    if (m.begin >= begin && m.end <= end) {
+      snippet.highlights.emplace_back(m.begin - begin, m.end - begin);
     }
   }
   return snippet;

@@ -8,13 +8,17 @@ namespace pdcu::search {
 
 namespace {
 
+// Branchy ASCII classification instead of std::isalnum/std::tolower: the
+// libc versions indirect through the locale per character, which at corpus
+// scale is most of tokenization. Tokens are defined as ASCII-alnum runs
+// regardless of locale, so this is also the more deterministic choice.
 bool is_word_char(char c) {
-  const unsigned char u = static_cast<unsigned char>(c);
-  return std::isalnum(u) != 0;
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
 }
 
 char lower(char c) {
-  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
 }
 
 bool ends_with(std::string_view s, std::string_view suffix) {
@@ -67,31 +71,41 @@ std::string stem(std::string word) {
   return word;
 }
 
-std::vector<TokenSpan> tokenize_spans(std::string_view text) {
-  std::vector<TokenSpan> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    if (!is_word_char(text[i])) {
-      ++i;
+bool TokenWalker::next() {
+  while (pos_ < text_.size()) {
+    if (!is_word_char(text_[pos_])) {
+      ++pos_;
       continue;
     }
-    const std::size_t begin = i;
-    std::string word;
-    while (i < text.size() && is_word_char(text[i])) {
-      word.push_back(lower(text[i]));
-      ++i;
+    begin_ = pos_;
+    word_.clear();  // keeps capacity: no allocation after the first token
+    while (pos_ < text_.size() && is_word_char(text_[pos_])) {
+      word_.push_back(lower(text_[pos_]));
+      ++pos_;
     }
-    if (is_stopword(word)) continue;
-    word = stem(std::move(word));
-    if (word.empty()) continue;
-    out.push_back({std::move(word), begin, i});
+    end_ = pos_;
+    if (is_stopword(word_)) continue;
+    word_ = stem(std::move(word_));  // moves through; shrinks in place
+    if (word_.empty()) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TokenSpan> tokenize_spans(std::string_view text) {
+  std::vector<TokenSpan> out;
+  TokenWalker walker(text);
+  while (walker.next()) {
+    out.push_back(
+        {std::string(walker.term()), walker.begin(), walker.end()});
   }
   return out;
 }
 
 std::vector<std::string> tokenize(std::string_view text) {
   std::vector<std::string> out;
-  for (auto& span : tokenize_spans(text)) out.push_back(std::move(span.term));
+  TokenWalker walker(text);
+  while (walker.next()) out.emplace_back(walker.term());
   return out;
 }
 

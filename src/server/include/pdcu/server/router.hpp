@@ -29,6 +29,7 @@
 #include "pdcu/server/http.hpp"
 #include "pdcu/server/metrics.hpp"
 #include "pdcu/server/page_cache.hpp"
+#include "pdcu/server/query_cache.hpp"
 #include "pdcu/site/site.hpp"
 #include "pdcu/taxonomy/term_index.hpp"
 
@@ -74,6 +75,14 @@ class Router {
     net_metrics_ = metrics;
   }
 
+  /// Shards /api/search query execution across `pool` (per-shard top-k,
+  /// deterministic merge) on corpora large enough to benefit. The pool
+  /// must outlive the router and every snapshot swapped after it, and must
+  /// NOT be the pool the server's own handlers run on: a handler blocking
+  /// on tasks queued to its own busy pool deadlocks. Leave unset (the
+  /// default) when ServerOptions::threads == 0 shares rt::default_pool().
+  void set_search_pool(rt::ThreadPool* pool) { search_pool_ = pool; }
+
   /// Pure dispatch: no I/O, no mutation. GET and HEAD only (405 otherwise
   /// on known routes); cached paths honor If-None-Match with 304.
   Response handle(const Request& request) const;
@@ -96,12 +105,27 @@ class Router {
   const PageCache& cache() const { return cache_; }
   const search::SearchIndex& index() const { return index_; }
 
+  /// The per-snapshot search result cache (stats feed pdcu_search_cache_*
+  /// on /metrics). A reload swaps in a new router with a cold cache, which
+  /// is exactly the invalidation /api/search needs.
+  const QueryCache& query_cache() const { return query_cache_; }
+
+  /// Memoized taxonomy-filter masks, same per-snapshot lifetime (and thus
+  /// the same reload invalidation) as the query cache.
+  const search::FilterCache& filter_cache() const { return filter_cache_; }
+
+  /// Cached /api/search results per router snapshot.
+  static constexpr std::size_t kQueryCacheEntries = 512;
+
  private:
   Response handle_search(const Request& request) const;
 
   PageCache cache_;
   search::SearchIndex index_;
   tax::TermIndex taxonomy_;
+  mutable QueryCache query_cache_{kQueryCacheEntries};
+  mutable search::FilterCache filter_cache_;
+  rt::ThreadPool* search_pool_ = nullptr;
   const ServerMetrics* metrics_ = nullptr;
   const HealthTracker* health_ = nullptr;
   const ReloadMetrics* reload_metrics_ = nullptr;

@@ -50,10 +50,12 @@ std::string format_score(double score) {
   return buffer;
 }
 
-std::string search_results_json(const search::Query& query,
-                                const std::vector<search::Hit>& hits) {
-  std::string json = "{\"query\":\"" + site::json_escape(query.raw) + "\",";
-  json += "\"count\":" + std::to_string(hits.size()) + ",\"hits\":[";
+/// The result fragment of a search response — everything after the echoed
+/// raw query. This is what the query cache stores: it is a pure function
+/// of (index, normalized query, limit), whereas the full body also echoes
+/// the raw input, which varies across inputs that normalize identically.
+std::string search_results_fragment(const std::vector<search::Hit>& hits) {
+  std::string json = "\"count\":" + std::to_string(hits.size()) + ",\"hits\":[";
   for (std::size_t i = 0; i < hits.size(); ++i) {
     const auto& hit = hits[i];
     if (i > 0) json += ',';
@@ -70,6 +72,48 @@ std::string search_results_json(const search::Query& query,
   }
   json += "]}\n";
   return json;
+}
+
+/// Cache key: index fingerprint, limit, normalized terms, filters. The
+/// 0x1f separators cannot appear in tokenized terms, and the section
+/// separators keep terms and filters from aliasing each other.
+std::string search_cache_key(std::uint64_t fingerprint,
+                             const search::Query& query, std::size_t limit) {
+  std::string key = std::to_string(fingerprint);
+  key += '|';
+  key += std::to_string(limit);
+  for (const auto& term : query.terms) {
+    key += '\x1f';
+    key += term;
+  }
+  key += '|';
+  for (const auto& filter : query.filters) {
+    key += '\x1f';
+    key += filter.taxonomy;
+    key += ':';
+    key += filter.value;
+  }
+  return key;
+}
+
+std::string query_cache_metrics_text(const QueryCache& cache) {
+  std::string out;
+  out += "# HELP pdcu_search_cache_hits_total Search query cache hits.\n";
+  out += "# TYPE pdcu_search_cache_hits_total counter\n";
+  out += "pdcu_search_cache_hits_total " + std::to_string(cache.hits()) + "\n";
+  out += "# HELP pdcu_search_cache_misses_total Search query cache misses.\n";
+  out += "# TYPE pdcu_search_cache_misses_total counter\n";
+  out +=
+      "pdcu_search_cache_misses_total " + std::to_string(cache.misses()) + "\n";
+  out += "# HELP pdcu_search_cache_evictions_total Search query cache LRU "
+         "evictions.\n";
+  out += "# TYPE pdcu_search_cache_evictions_total counter\n";
+  out += "pdcu_search_cache_evictions_total " +
+         std::to_string(cache.evictions()) + "\n";
+  out += "# HELP pdcu_search_cache_entries Search queries currently cached.\n";
+  out += "# TYPE pdcu_search_cache_entries gauge\n";
+  out += "pdcu_search_cache_entries " + std::to_string(cache.size()) + "\n";
+  return out;
 }
 
 }  // namespace
@@ -119,6 +163,7 @@ Response Router::handle(const Request& request) const {
     if (reload_metrics_ != nullptr) text += reload_metrics_->render_text();
     if (spans_ != nullptr) text += spans_->render_text();
     if (net_metrics_ != nullptr) text += net_metrics_->render_text();
+    text += query_cache_metrics_text(query_cache_);
     Response response;
     response.set("Content-Type", std::string(kMetricsType));
     response.body = std::move(text);
@@ -193,9 +238,29 @@ Response Router::handle_search(const Request& request) const {
   }
 
   const search::Query query = search::parse_query(q);
-  const auto hits = index_.search(query, &taxonomy_, limit);
 
-  Response response = json_response(200, search_results_json(query, hits));
+  // Serve the result fragment from the per-snapshot cache when the
+  // normalized query has been answered before against this exact index;
+  // otherwise run the (possibly sharded) ranked search and remember it.
+  const std::string key =
+      search_cache_key(index_.fingerprint(), query, limit);
+  std::string fragment;
+  auto cached = query_cache_.get(key);
+  if (cached.has_value()) {
+    fragment = std::move(*cached);
+  } else {
+    search::SearchOptions options;
+    options.limit = limit;
+    options.pool = search_pool_;
+    options.filter_cache = &filter_cache_;
+    const auto hits = index_.search(query, &taxonomy_, options);
+    fragment = search_results_fragment(hits);
+    query_cache_.put(key, fragment);
+  }
+
+  std::string body =
+      "{\"query\":\"" + site::json_escape(query.raw) + "\"," + fragment;
+  Response response = json_response(200, std::move(body));
   // Same conditional-GET contract as cached pages: the body is a pure
   // function of (index, query), so the ETag is stable until a reindex.
   const std::string etag = strong_etag(response.body);

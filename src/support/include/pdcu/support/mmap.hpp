@@ -1,0 +1,46 @@
+// Read-only memory-mapped files, so large artifacts (the serialized search
+// index) can be served in place instead of being copied onto the heap at
+// startup. A MappedFile owns one PROT_READ mapping for its whole lifetime;
+// view() is stable for as long as the object (or any shared_ptr holding it)
+// lives, which is what lets index structures hand out string_views into the
+// map. Empty files map to an empty view without calling mmap (mmap of
+// length 0 is EINVAL).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string_view>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::fs {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with a structured error when the file
+  /// cannot be opened, stat'ed, or mapped.
+  static Expected<MappedFile> open(const std::filesystem::path& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The mapped bytes; empty for an empty file or a default-constructed
+  /// object.
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pdcu::fs

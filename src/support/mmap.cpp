@@ -1,0 +1,66 @@
+#include "pdcu/support/mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pdcu::fs {
+
+namespace {
+
+Error errno_error(const char* what, const std::filesystem::path& path) {
+  return Error::make("fs.mmap", std::string(what) + " '" + path.string() +
+                                    "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Expected<MappedFile> MappedFile::open(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_error("cannot open", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Error error = errno_error("cannot stat", path);
+    ::close(fd);
+    return error;
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* data = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      const Error error = errno_error("cannot mmap", path);
+      ::close(fd);
+      return error;
+    }
+    file.data_ = data;
+  }
+  // The mapping keeps the pages alive; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace pdcu::fs

@@ -42,6 +42,13 @@ class TermIndex {
   std::vector<PageRef> pages(std::string_view taxonomy,
                              std::string_view term) const;
 
+  /// Pages carrying a term, without copying: a pointer into the index,
+  /// valid until the next add_page; nullptr when the taxonomy or term is
+  /// unknown. The search filter path resolves tens of thousands of slugs
+  /// per query through this — pages() would clone every PageRef string.
+  const std::vector<PageRef>* find_pages(std::string_view taxonomy,
+                                         std::string_view term) const;
+
   /// Number of pages carrying a term.
   std::size_t count(std::string_view taxonomy, std::string_view term) const;
 

@@ -31,19 +31,22 @@ std::vector<std::string> TermIndex::terms(std::string_view taxonomy) const {
 
 std::vector<PageRef> TermIndex::pages(std::string_view taxonomy,
                                       std::string_view term) const {
+  const auto* found = find_pages(taxonomy, term);
+  return found != nullptr ? *found : std::vector<PageRef>{};
+}
+
+const std::vector<PageRef>* TermIndex::find_pages(std::string_view taxonomy,
+                                                  std::string_view term) const {
   auto it = index_.find(taxonomy);
-  if (it == index_.end()) return {};
+  if (it == index_.end()) return nullptr;
   auto jt = it->second.find(term);
-  if (jt == it->second.end()) return {};
-  return jt->second;
+  return jt == it->second.end() ? nullptr : &jt->second;
 }
 
 std::size_t TermIndex::count(std::string_view taxonomy,
                              std::string_view term) const {
-  auto it = index_.find(taxonomy);
-  if (it == index_.end()) return 0;
-  auto jt = it->second.find(term);
-  return jt == it->second.end() ? 0 : jt->second.size();
+  const auto* found = find_pages(taxonomy, term);
+  return found != nullptr ? found->size() : 0;
 }
 
 std::vector<PageRef> TermIndex::pages_with_any(

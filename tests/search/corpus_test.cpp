@@ -1,0 +1,118 @@
+// The synthetic corpus generator: determinism (a corpus is a pure function
+// of (docs, seed)), slug uniqueness, order independence, and that the
+// generated taxonomy tags resolve against the synthetic repository's own
+// index so filtered queries work at scale.
+#include "pdcu/search/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "pdcu/search/index.hpp"
+#include "pdcu/search/query.hpp"
+
+namespace corpus = pdcu::search::corpus;
+namespace search = pdcu::search;
+
+TEST(SyntheticCorpus, SameSeedSameCorpus) {
+  const auto a = corpus::synthetic_activities({200, 7});
+  const auto b = corpus::synthetic_activities({200, 7});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].slug, b[i].slug);
+    EXPECT_EQ(a[i].title, b[i].title);
+    EXPECT_EQ(a[i].details, b[i].details);
+    EXPECT_EQ(a[i].cs2013, b[i].cs2013);
+    EXPECT_EQ(a[i].courses, b[i].courses);
+  }
+}
+
+TEST(SyntheticCorpus, DifferentSeedsDiffer) {
+  const auto a = corpus::synthetic_activities({50, 1});
+  const auto b = corpus::synthetic_activities({50, 2});
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference = any_difference || a[i].title != b[i].title ||
+                     a[i].details != b[i].details;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCorpus, DocumentsArePureFunctionsOfSeedAndId) {
+  // Generating document 123 alone matches document 123 of the full run, so
+  // corpora are independent of generation order (and shardable).
+  const auto all = corpus::synthetic_activities({200, 42});
+  const auto alone = corpus::synthetic_activity(42, 123);
+  EXPECT_EQ(all[123].slug, alone.slug);
+  EXPECT_EQ(all[123].title, alone.title);
+  EXPECT_EQ(all[123].details, alone.details);
+}
+
+TEST(SyntheticCorpus, SlugsAreUnique) {
+  const auto activities = corpus::synthetic_activities({1000, 42});
+  std::set<std::string> slugs;
+  for (const auto& activity : activities) slugs.insert(activity.slug);
+  EXPECT_EQ(slugs.size(), activities.size());
+}
+
+TEST(SyntheticCorpus, RepositoryValidatesAndIndexes) {
+  const auto repo = corpus::synthetic_repository({300, 42});
+  ASSERT_EQ(repo.activities().size(), 300u);
+  const auto index = search::SearchIndex::build(repo);
+  EXPECT_EQ(index.doc_count(), 300u);
+  EXPECT_GT(index.term_count(), 100u);
+}
+
+TEST(SyntheticCorpus, TaxonomyFiltersResolve) {
+  // Tags come from the curation's real term sets, so a filter over any tag
+  // the corpus carries must resolve and restrict results.
+  const auto repo = corpus::synthetic_repository({300, 42});
+  const auto index = search::SearchIndex::build(repo);
+
+  bool found_tagged = false;
+  for (const auto& activity : repo.activities()) {
+    if (activity.cs2013.empty()) continue;
+    const auto query =
+        search::parse_query("cs2013:" + activity.cs2013.front());
+    const auto hits = index.search(query, &repo.index(), 1000);
+    ASSERT_FALSE(hits.empty()) << activity.cs2013.front();
+    found_tagged = true;
+    break;
+  }
+  EXPECT_TRUE(found_tagged) << "no synthetic activity carried a cs2013 tag";
+}
+
+TEST(SyntheticCorpus, SampledQueryTermsHitTheIndex) {
+  const auto repo = corpus::synthetic_repository({500, 42});
+  const auto index = search::SearchIndex::build(repo);
+  const auto terms = corpus::sample_query_terms(42, 32);
+  ASSERT_EQ(terms.size(), 32u);
+
+  std::size_t matched = 0;
+  for (const auto& term : terms) {
+    const auto hits = index.search(search::parse_query(term), &repo.index());
+    if (!hits.empty()) ++matched;
+  }
+  // Zipf-sampled terms skew hot; nearly all should hit real posting lists.
+  EXPECT_GE(matched, terms.size() / 2) << matched << " of " << terms.size();
+}
+
+TEST(SyntheticCorpus, SampleQueryTermsAreDeterministic) {
+  EXPECT_EQ(corpus::sample_query_terms(9, 16), corpus::sample_query_terms(9, 16));
+}
+
+TEST(SyntheticCorpus, TermAtRankFollowsVocabularyOrder) {
+  // Rank 0 is the most frequent vocabulary word; any rank is a real
+  // indexed term, and out-of-range ranks clamp to the rarest word.
+  EXPECT_EQ(corpus::term_at_rank(0), corpus::vocabulary().front());
+  EXPECT_EQ(corpus::term_at_rank(7), corpus::vocabulary()[7]);
+  EXPECT_EQ(corpus::term_at_rank(1u << 20), corpus::vocabulary().back());
+
+  const auto repo = corpus::synthetic_repository({500, 42});
+  const auto index = search::SearchIndex::build(repo);
+  const auto hits =
+      index.search(search::parse_query(corpus::term_at_rank(7)), &repo.index());
+  EXPECT_FALSE(hits.empty());
+}

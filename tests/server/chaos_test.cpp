@@ -17,6 +17,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -131,6 +132,27 @@ struct Stack {
 void grow(const std::filesystem::path& dir, const std::string& slug) {
   std::ofstream out(dir / "activities" / (slug + ".md"), std::ios::app);
   out << "\n<!-- touched -->\n";
+}
+
+/// Inserts indexable prose into one activity's "## Details" section (text
+/// appended after the last section would not land in any indexed field),
+/// so a reload changes what the search index contains. Plain fstream, not
+/// the fs:: helpers, for the same reason as grow().
+void append_prose(const std::filesystem::path& dir, const std::string& slug,
+                  const std::string& text) {
+  const auto path = dir / "activities" / (slug + ".md");
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  const std::string marker = "## Details\n";
+  const auto at = content.find(marker);
+  ASSERT_NE(at, std::string::npos) << path;
+  content.insert(at + marker.size(), "\n" + text + "\n");
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
 }
 
 }  // namespace
@@ -263,6 +285,43 @@ TEST(Chaos, MassCorruptionNeverSwapsOutTheGoodSite) {
       "HTTP/1.1 200 OK\r\n"));
   EXPECT_TRUE(strs::starts_with(
       simple_get(stack.port(), "/api/catalog.json"), "HTTP/1.1 200 OK\r\n"));
+}
+
+TEST(Chaos, ReloadInvalidatesQueryCacheFailedReloadKeepsIt) {
+  auto dir = fresh_content_dir("pdcu_chaos_query_cache");
+  Stack stack(dir);
+
+  // Warm the query cache with a term no activity contains yet: the result
+  // ("count":0) is cached against the current index fingerprint.
+  const std::string target = "/api/search?q=zanzibar";
+  EXPECT_TRUE(strs::contains(body_of(simple_get(stack.port(), target)),
+                             "\"count\":0"));
+  EXPECT_TRUE(strs::contains(body_of(simple_get(stack.port(), target)),
+                             "\"count\":0"));
+
+  // The content now gains the term, but the reload attempt fails: the
+  // last-known-good router — index AND warm query cache — must keep
+  // serving the stale-but-consistent result.
+  {
+    fs::FaultInjector injector;
+    injector.add_rule({.path_substring = "activities",
+                       .mode = fs::FaultInjector::Mode::kIoError});
+    fs::ScopedFaultInjection scope(injector);
+    append_prose(dir, "sortingnetworks", "Zanzibar zanzibar expedition.");
+    EXPECT_EQ(stack.manager->check_once(),
+              server::ReloadManager::Step::kFailed);
+  }
+  EXPECT_TRUE(strs::contains(body_of(simple_get(stack.port(), target)),
+                             "\"count\":0"));
+
+  // Faults clear; the reload succeeds and swaps in a new router with a
+  // cold cache. The cached "count":0 must NOT survive the swap: the term
+  // is now indexed and the same query finds it.
+  EXPECT_EQ(stack.manager->check_once(),
+            server::ReloadManager::Step::kReloaded);
+  const std::string fresh = body_of(simple_get(stack.port(), target));
+  EXPECT_FALSE(strs::contains(fresh, "\"count\":0")) << fresh;
+  EXPECT_TRUE(strs::contains(fresh, "sortingnetworks")) << fresh;
 }
 
 TEST(Chaos, WatchThreadSurvivesFaultsAndRecovers) {

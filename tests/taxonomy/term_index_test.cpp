@@ -113,3 +113,17 @@ TEST(TermIndexResolve, UnknownInputsResolveToNothing) {
   EXPECT_EQ(index.resolve_term("notataxonomy", "CS2"), std::nullopt);
   EXPECT_EQ(index.resolve_term("cs2013", ""), std::nullopt);
 }
+
+TEST(TermIndex, FindPagesReturnsPointerWithoutCopying) {
+  auto index = make_index();
+  const auto* pages = index.find_pages("courses", "CS1");
+  ASSERT_NE(pages, nullptr);
+  EXPECT_EQ(pages->size(), 2u);
+  EXPECT_EQ((*pages)[0].slug, "alpha");
+  EXPECT_EQ((*pages)[1].slug, "gamma");
+  // Two lookups see the same underlying storage, not clones.
+  EXPECT_EQ(pages, index.find_pages("courses", "CS1"));
+
+  EXPECT_EQ(index.find_pages("courses", "NoSuchTerm"), nullptr);
+  EXPECT_EQ(index.find_pages("notataxonomy", "CS1"), nullptr);
+}

@@ -13,6 +13,13 @@
 //   * BENCH_search.json  — benchjson::search_summary_json(): index build
 //     time + query-latency percentiles over the canonical query shapes.
 //
+//   * BENCH_search_scale.json — benchjson::search_scale_summary_json():
+//     exhaustive-vs-MaxScore query latency on synthetic corpora plus the
+//     query-cache hit/miss split. The 10k section is re-measured; the
+//     100k section (and its >= 5x p99 speedup claim) is validated
+//     structurally (see loadgen::scale_schema_violations) because a 100k
+//     corpus build is ~1 min of tokenization.
+//
 // BENCH_sweep_serve.json (the latency-vs-offered-rate sweep) is gated
 // structurally only — the sweep takes too long to re-measure here, so
 // the gate validates the committed document's schema and internal
@@ -54,12 +61,13 @@ int usage(const char* argv0) {
                " [--serve-baseline PATH]\n"
                "          [--reactor-baseline PATH] [--search-baseline PATH]"
                " [--sweep-baseline PATH]\n"
-               "          [--skip-serve] [--skip-reactor] [--skip-search]"
-               " [--skip-sweep]\n"
+               "          [--scale-baseline PATH]"
+               " [--skip-serve] [--skip-reactor] [--skip-search]\n"
+               "          [--skip-sweep] [--skip-scale]\n"
                "Baselines default to BENCH_serve.json /"
                " BENCH_serve_reactor.json /\nBENCH_search.json /"
-               " BENCH_sweep_serve.json in the current directory\n"
-               "(run from the repo root).\n",
+               " BENCH_sweep_serve.json / BENCH_search_scale.json\n"
+               "in the current directory (run from the repo root).\n",
                argv0);
   return 2;
 }
@@ -146,10 +154,12 @@ int main(int argc, char** argv) {
   std::string reactor_baseline = "BENCH_serve_reactor.json";
   std::string search_baseline = "BENCH_search.json";
   std::string sweep_baseline = "BENCH_sweep_serve.json";
+  std::string scale_baseline = "BENCH_search_scale.json";
   bool run_serve = true;
   bool run_reactor = true;
   bool run_search = true;
   bool run_sweep = true;
+  bool run_scale = true;
   int attempts = 3;
 
   for (int i = 1; i < argc; ++i) {
@@ -189,6 +199,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       sweep_baseline = v;
+    } else if (arg == "--scale-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      scale_baseline = v;
     } else if (arg == "--skip-serve") {
       run_serve = false;
     } else if (arg == "--skip-reactor") {
@@ -197,6 +211,8 @@ int main(int argc, char** argv) {
       run_search = false;
     } else if (arg == "--skip-sweep") {
       run_sweep = false;
+    } else if (arg == "--skip-scale") {
+      run_scale = false;
     } else {
       return usage(argv[0]);
     }
@@ -250,6 +266,36 @@ int main(int argc, char** argv) {
     violations += gated(
         "search", baseline, loadgen::search_gate_rules(), gate, attempts,
         [] { return pdcu::benchjson::search_summary_json("bench_gate"); });
+  }
+
+  if (run_scale) {
+    loadgen::BenchDoc baseline;
+    if (!load_baseline(scale_baseline, baseline)) return 2;
+    // Structural check first: the committed document must carry both
+    // corpus sizes and its measured >= 5x p99 speedup claim. The 100k
+    // section is not re-measured (a 100k corpus build is ~1 min of
+    // tokenization; three attempts would dominate the gate's runtime).
+    const auto scale_violations = loadgen::scale_schema_violations(baseline);
+    if (scale_violations.empty()) {
+      std::printf(
+          "bench_gate: scale  PASS (schema check, %.1fx speedup at %d "
+          "docs)\n",
+          baseline.number("summary.speedup_p99", 0.0),
+          static_cast<int>(baseline.number("summary.largest_docs", 0.0)));
+    } else {
+      std::printf("bench_gate: scale  FAIL (schema check)\n");
+      for (const auto& violation : scale_violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      violations += static_cast<int>(scale_violations.size());
+    }
+    // Then re-measure the 10k section with the same code that produced
+    // the baseline and compare under the tolerance.
+    violations += gated("scale", baseline, loadgen::scale_gate_rules(), gate,
+                        attempts, [] {
+                          return pdcu::benchjson::search_scale_summary_json(
+                              "bench_gate", {10'000});
+                        });
   }
 
   if (run_sweep) {

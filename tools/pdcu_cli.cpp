@@ -21,9 +21,12 @@
 //   pdcu annotate <dir> <slug> <note>  record a classroom experience
 //   pdcu run <simulation> [seed]   run an activity simulation
 //   pdcu search [options] <query>  ranked full-text + taxonomy search
-//        --limit N (default 10), --index FILE (load a prebuilt index)
+//        --limit N (default 10), --index FILE (load a prebuilt index),
+//        --mmap (serve the --index file from a memory map, no heap copy)
 //        query: free text plus cs2013:/tcpp:/course:/sense: filters
 //   pdcu index <out-file>          build and save the binary search index
+//        --synthetic N (index a deterministic N-document generated corpus
+//        instead of the curation), --seed S (corpus seed, default 42)
 //   pdcu serve [options] [content-dir]  serve the site over HTTP from memory
 //        --port N (default 8080, 0 = ephemeral), --host H, --threads N,
 //        --net reactor|pool (connection engine, default pool: blocking
@@ -32,6 +35,7 @@
 //        default 1), --max-connections N (concurrent cap, default 128,
 //        excess answered 503),
 //        --index FILE (cold-start search from a prebuilt index),
+//        --mmap (serve the --index file from a memory map),
 //        --watch (live reload: poll the content dir, rebuild
 //        incrementally, keep serving last-known-good on failure),
 //        --poll-ms N (watch poll interval, default 500),
@@ -52,6 +56,9 @@
 //        client above 64 connections — one thread multiplexing every
 //        connection, so --connections can reach tens of thousands),
 //        --out FILE (write the BENCH JSON there; default stdout).
+//        --corpus N (--smoke only: serve a deterministic N-document
+//        synthetic corpus with a search-heavy mix whose query terms
+//        come from the generator's vocabulary; --corpus-seed S).
 //        --sweep drives every offered rate against an embedded pool
 //        server and then an embedded reactor server and emits one
 //        "sweep_serve" BENCH document (per-point pool_N/reactor_N
@@ -77,6 +84,7 @@
 #include "pdcu/obs/span.hpp"
 #include "pdcu/runtime/thread_pool.hpp"
 #include "pdcu/runtime/trace.hpp"
+#include "pdcu/search/corpus.hpp"
 #include "pdcu/search/index.hpp"
 #include "pdcu/search/query.hpp"
 #include "pdcu/search/serialize.hpp"
@@ -106,6 +114,8 @@ int loadgen_cmd(int argc, char** argv) {
   bool rate_given = false;
   bool duration_given = false;
   bool connections_given = false;
+  std::size_t corpus_docs = 0;
+  std::uint64_t corpus_seed = 42;
   std::string out_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,6 +170,10 @@ int loadgen_cmd(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_docs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--corpus-seed" && i + 1 < argc) {
+      corpus_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--sweep") {
       sweep = true;
     } else if (arg == "--backend" && i + 1 < argc) {
@@ -179,6 +193,12 @@ int loadgen_cmd(int argc, char** argv) {
       std::fprintf(stderr, "loadgen: unknown option '%s'\n", arg.c_str());
       return 2;
     }
+  }
+  if (corpus_docs > 0 && !smoke) {
+    std::fprintf(stderr,
+                 "loadgen: --corpus only applies to the embedded --smoke "
+                 "server\n");
+    return 2;
   }
   if (sweep) {
     // Both-backends offered-rate sweep; its own BENCH document shape.
@@ -223,7 +243,8 @@ int loadgen_cmd(int argc, char** argv) {
                  "[--duration S] [--connections N] [--seed N] [--mix M] "
                  "[--zipf S] [--keep-alive-ratio F] [--timeout-ms N] "
                  "[--client blocking|epoll|auto] [--out FILE] | "
-                 "pdcu loadgen --smoke [--backend pool|reactor] [--out FILE]"
+                 "pdcu loadgen --smoke [--backend pool|reactor] "
+                 "[--corpus N] [--out FILE]"
                  " | pdcu loadgen --sweep [--out FILE]\n");
     return 2;
   }
@@ -241,6 +262,8 @@ int loadgen_cmd(int argc, char** argv) {
     smoke_options.seed = options.schedule.seed;
     smoke_options.backend = smoke_backend;
     smoke_options.client = options.client;
+    smoke_options.synthetic_docs = corpus_docs;
+    smoke_options.corpus_seed = corpus_seed;
     result = pdcu::loadgen::run_smoke(smoke_options, &options);
   } else {
     result = pdcu::loadgen::run_against(options);
@@ -399,12 +422,15 @@ int search(const pdcu::core::Repository& repo, int argc, char** argv) {
   std::size_t limit = 10;
   std::string index_path;
   std::string query_text;
+  bool use_mmap = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--limit" && i + 1 < argc) {
       limit = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
+    } else if (arg == "--mmap") {
+      use_mmap = true;
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "search: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -418,9 +444,14 @@ int search(const pdcu::core::Repository& repo, int argc, char** argv) {
     return 2;
   }
 
+  if (use_mmap && index_path.empty()) {
+    std::fprintf(stderr, "search: --mmap requires --index FILE\n");
+    return 2;
+  }
   pdcu::search::SearchIndex index;
   if (!index_path.empty()) {
-    auto loaded = pdcu::search::load_index(index_path);
+    auto loaded = use_mmap ? pdcu::search::mmap_index(index_path)
+                           : pdcu::search::load_index(index_path);
     if (!loaded) {
       std::fprintf(stderr, "search: %s\n", loaded.error().message.c_str());
       return 1;
@@ -460,19 +491,46 @@ int search(const pdcu::core::Repository& repo, int argc, char** argv) {
 }
 
 int build_index(const pdcu::core::Repository& repo, int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: pdcu index <out-file>\n");
+  std::string out_path;
+  std::size_t synthetic_docs = 0;
+  std::uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--synthetic" && i + 1 < argc) {
+      synthetic_docs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "index: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      out_path = arg;
+    }
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: pdcu index <out-file> [--synthetic N] [--seed S]\n");
     return 2;
   }
-  const auto index =
-      pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
-  const auto status = pdcu::search::save_index(index, argv[2]);
+  // --synthetic N indexes a deterministic generated corpus instead of the
+  // curation: the same N and seed always produce the same index file, so
+  // scale experiments are reproducible by naming two integers.
+  pdcu::search::SearchIndex index;
+  if (synthetic_docs > 0) {
+    const auto synthetic = pdcu::search::corpus::synthetic_repository(
+        {synthetic_docs, seed});
+    index =
+        pdcu::search::SearchIndex::build(synthetic, &pdcu::rt::default_pool());
+  } else {
+    index = pdcu::search::SearchIndex::build(repo, &pdcu::rt::default_pool());
+  }
+  const auto status = pdcu::search::save_index(index, out_path);
   if (!status) {
     std::fprintf(stderr, "index: %s\n", status.error().message.c_str());
     return 1;
   }
   std::printf("indexed %zu activities, %zu terms -> %s\n", index.doc_count(),
-              index.term_count(), argv[2]);
+              index.term_count(), out_path.c_str());
   return 0;
 }
 
@@ -482,6 +540,7 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   std::string content_dir;
   std::string index_path;
   std::string access_log_path;
+  bool use_mmap = false;
   bool watch = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -513,6 +572,8 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
+    } else if (arg == "--mmap") {
+      use_mmap = true;
     } else if (arg == "--watch") {
       watch = true;
     } else if (arg == "--poll-ms" && i + 1 < argc) {
@@ -576,11 +637,17 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     health.set_content(repo.activities().size(), {});
   }
 
-  // Cold-start search from a prebuilt index file, or build it here in
-  // parallel before the server accepts traffic.
+  // Cold-start search from a prebuilt index file (--mmap serves straight
+  // from the mapped file: no heap copy of postings or document text), or
+  // build it here in parallel before the server accepts traffic.
+  if (use_mmap && index_path.empty()) {
+    std::fprintf(stderr, "serve: --mmap requires --index FILE\n");
+    return 2;
+  }
   std::optional<pdcu::search::SearchIndex> index;
   if (!index_path.empty()) {
-    auto loaded = pdcu::search::load_index(index_path);
+    auto loaded = use_mmap ? pdcu::search::mmap_index(index_path)
+                           : pdcu::search::load_index(index_path);
     if (!loaded) {
       std::fprintf(stderr, "serve: %s\n", loaded.error().message.c_str());
       return 1;
@@ -607,6 +674,16 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   router.set_build_stats(build_stats);
   router.set_health(&health);
   router.set_spans(&spans);
+  // Shard /api/search across the default pool when the server's own
+  // handlers do not run there: reactor handlers live on the shard event
+  // loops, and --threads N gives the pool backend a private pool. With the
+  // pool backend sharing rt::default_pool() (threads=0), a handler
+  // blocking on tasks queued to its own busy pool would deadlock, so
+  // queries stay serial in that configuration.
+  if (options.backend == pdcu::server::Backend::kReactor ||
+      options.threads > 0) {
+    router.set_search_pool(&pdcu::rt::default_pool());
+  }
   if (watch) router.set_reload_metrics(&reload_metrics);
   pdcu::server::HttpServer server(std::move(router), options, &trace);
   auto status = server.start();
