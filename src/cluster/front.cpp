@@ -1,0 +1,433 @@
+#include "pdcu/cluster/front.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace pdcu::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+/// Probe and sample-key tuning: probes are short (a dead replica should
+/// cost one connect timeout, not the request budget), and 64 sample keys
+/// give the ring-move counter enough resolution without a full catalog.
+constexpr milliseconds kProbeDeadline{500};
+constexpr std::size_t kSampleKeys = 64;
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+server::Response text_response(int status, std::string body) {
+  server::Response response;
+  response.status = status;
+  response.set("Content-Type", "text/plain; charset=utf-8");
+  response.body = std::move(body);
+  return response;
+}
+
+/// Crude field scan for the two /healthz fields the prober needs. The
+/// bodies are machine-written by HealthTracker::render_json, so a
+/// substring probe is reliable here.
+bool healthz_degraded(const std::string& body) {
+  return body.find("\"status\":\"degraded\"") != std::string::npos;
+}
+
+std::uint64_t healthz_epoch(const std::string& body) {
+  const auto at = body.find("\"epoch\":");
+  if (at == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + at + 8, nullptr, 10);
+}
+
+}  // namespace
+
+FrontTier::FrontTier(FrontOptions options, std::vector<ReplicaTarget> replicas)
+    : options_(std::move(options)),
+      replicas_(std::move(replicas)),
+      ring_(options_.vnodes),
+      gossip_(options_.id, &metrics_),
+      pool_(4) {
+  for (const ReplicaTarget& replica : replicas_) {
+    ring_.add_node(replica.id);
+    probes_.push_back({replica.id, ProbeState{}});
+  }
+  std::sort(probes_.begin(), probes_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<GossipPeer> peers;
+  peers.reserve(replicas_.size());
+  for (const ReplicaTarget& replica : replicas_) {
+    peers.push_back({replica.host, replica.port});
+  }
+  gossip_.set_peers(std::move(peers));
+  metrics_.set_routable(replicas_.size(), replicas_.size());
+  sample_owner_.resize(kSampleKeys);
+}
+
+FrontTier::~FrontTier() { stop(); }
+
+Status FrontTier::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Error::make("cluster.front.start", "front tier already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Error::make("cluster.front.socket", std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error::make("cluster.front.host",
+                       "not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const Error error = Error::make("cluster.front.bind", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  workers_ = std::make_unique<rt::ThreadPool>(options_.threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  if (options_.probe_interval.count() > 0) {
+    {
+      std::lock_guard lock(probe_stop_mutex_);
+      probe_stopping_ = false;
+    }
+    probe_thread_ = std::thread([this] {
+      for (;;) {
+        {
+          std::unique_lock lock(probe_stop_mutex_);
+          if (probe_stop_cv_.wait_for(lock, options_.probe_interval,
+                                      [this] { return probe_stopping_; })) {
+            return;
+          }
+        }
+        probe_once();
+      }
+    });
+  }
+  if (options_.gossip_interval.count() > 0) {
+    gossip_.start(options_.gossip_interval);
+  }
+  return Status::ok();
+}
+
+void FrontTier::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  gossip_.stop();
+  {
+    std::lock_guard lock(probe_stop_mutex_);
+    probe_stopping_ = true;
+  }
+  probe_stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  while (active_connections_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  workers_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  pool_.clear();
+}
+
+void FrontTier::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd waiter{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      send_all(fd, serialize(server::error_response(503)));
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    workers_->submit([this, fd] {
+      handle_connection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_release);
+    });
+  }
+}
+
+void FrontTier::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+
+  while (open && running_.load(std::memory_order_acquire)) {
+    server::ParseResult parsed =
+        server::parse_request(buffer, options_.max_request_bytes);
+    const auto deadline = Clock::now() + options_.read_timeout;
+    while (parsed.status == server::ParseStatus::kIncomplete) {
+      if (!running_.load(std::memory_order_acquire)) {
+        open = false;
+        break;
+      }
+      const auto remaining = std::chrono::duration_cast<milliseconds>(
+          deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        if (!buffer.empty()) {
+          send_all(fd, serialize(server::error_response(408)));
+        }
+        open = false;
+        break;
+      }
+      pollfd waiter{fd, POLLIN, 0};
+      const int slice =
+          static_cast<int>(std::min<std::int64_t>(remaining.count(), 100));
+      const int ready = ::poll(&waiter, 1, slice);
+      if (ready < 0 && errno != EINTR) {
+        open = false;
+        break;
+      }
+      if (ready <= 0) continue;
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        open = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      parsed = server::parse_request(buffer, options_.max_request_bytes);
+    }
+    if (!open) break;
+
+    if (parsed.status == server::ParseStatus::kBad ||
+        parsed.status == server::ParseStatus::kTooLarge) {
+      const int status =
+          parsed.status == server::ParseStatus::kBad ? 400 : 431;
+      send_all(fd, serialize(server::error_response(status)));
+      break;
+    }
+
+    server::Response response = proxy(parsed.request);
+    const bool close_after = !parsed.request.keep_alive() ||
+                             !running_.load(std::memory_order_acquire);
+    response.set("Connection", close_after ? "close" : "keep-alive");
+    const std::string wire =
+        serialize(response, parsed.request.method == "HEAD");
+    open = send_all(fd, wire) && !close_after;
+    buffer.erase(0, parsed.consumed);
+  }
+  ::close(fd);
+}
+
+server::Response FrontTier::front_healthz() const {
+  std::size_t routable = 0;
+  {
+    std::lock_guard lock(probes_mutex_);
+    for (const auto& [id, state] : probes_) {
+      if (state.alive && !state.degraded) ++routable;
+    }
+  }
+  std::string json = "{\"status\":\"";
+  json += routable > 0 ? "ok" : "degraded";
+  json += "\",\"replicas\":" + std::to_string(replicas_.size());
+  json += ",\"routable\":" + std::to_string(routable);
+  json += "}\n";
+  server::Response response;
+  response.status = routable > 0 ? 200 : 503;
+  response.set("Content-Type", "application/json; charset=utf-8");
+  response.body = std::move(json);
+  return response;
+}
+
+void FrontTier::mark_probe(const std::string& id, bool alive, bool degraded,
+                           std::uint64_t epoch) {
+  {
+    std::lock_guard lock(probes_mutex_);
+    for (auto& [probe_id, state] : probes_) {
+      if (probe_id != id) continue;
+      state.alive = alive;
+      state.degraded = degraded;
+      if (epoch != 0) state.epoch = epoch;
+      break;
+    }
+  }
+  refresh_routable_and_moves();
+}
+
+std::vector<std::pair<std::string, ProbeState>> FrontTier::probe_snapshot()
+    const {
+  std::lock_guard lock(probes_mutex_);
+  return probes_;
+}
+
+void FrontTier::refresh_routable_and_moves() {
+  const auto probes = probe_snapshot();
+  std::size_t routable = 0;
+  for (const auto& [id, state] : probes) {
+    if (state.alive && !state.degraded) ++routable;
+  }
+  metrics_.set_routable(routable, replicas_.size());
+
+  // Sampled owner churn: for a fixed key set, count keys whose effective
+  // target (first planned candidate) changed since the last refresh.
+  std::lock_guard lock(probes_mutex_);
+  std::uint64_t moves = 0;
+  for (std::size_t i = 0; i < kSampleKeys; ++i) {
+    const std::string key = "sample-" + std::to_string(i);
+    const auto plan = plan_route(ring_, key, 1, probes, gossip_.map());
+    const std::string target = plan.empty() ? std::string() : plan.front().id;
+    if (!sample_owner_[i].empty() && sample_owner_[i] != target) ++moves;
+    sample_owner_[i] = target;
+  }
+  if (moves > 0) metrics_.record_ring_moves(moves);
+}
+
+void FrontTier::probe_once() {
+  for (const ReplicaTarget& replica : replicas_) {
+    auto reply = pool_.fetch(replica.host, replica.port, "/healthz", {},
+                             options_.connect_timeout, kProbeDeadline);
+    if (!reply || reply.value().status != 200) {
+      metrics_.record_probe_failure();
+      mark_probe(replica.id, false, false, 0);
+      continue;
+    }
+    const std::string& body = reply.value().body;
+    mark_probe(replica.id, true, healthz_degraded(body),
+               healthz_epoch(body));
+  }
+}
+
+server::Response FrontTier::proxy(const server::Request& request) {
+  const std::string_view path = request.path();
+  if (path == "/_front/healthz") return front_healthz();
+  if (path == "/_front/metrics") {
+    server::Response response;
+    response.set("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
+    response.body = metrics_.render_text();
+    return response;
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    server::Response response =
+        text_response(405, "405 method not allowed\n");
+    response.set("Allow", "GET, HEAD");
+    return response;
+  }
+
+  metrics_.record_request();
+  const milliseconds budget = effective_budget(
+      options_.request_budget, request.header(kDeadlineHeader));
+  const auto give_up = Clock::now() + budget;
+
+  const std::string key(path);
+  const auto probes = probe_snapshot();
+  const std::vector<Candidate> plan = plan_route(
+      ring_, key, options_.max_attempts, probes, gossip_.map());
+  if (plan.empty()) {
+    metrics_.record_exhausted();
+    return text_response(502, "502 no replicas configured\n");
+  }
+  // Shed accounting: the ring owner exists but was pushed off the front
+  // of the walk because it is degraded (or dead).
+  const std::string owner = ring_.owner(key);
+  if (!owner.empty() && plan.front().id != owner) {
+    const auto owner_in_plan =
+        std::find_if(plan.begin(), plan.end(),
+                     [&](const Candidate& c) { return c.id == owner; });
+    if (owner_in_plan != plan.end() &&
+        owner_in_plan->cls == CandidateClass::kDegraded) {
+      metrics_.record_shed();
+    }
+  }
+
+  for (std::size_t attempt = 0; attempt < plan.size(); ++attempt) {
+    auto remaining =
+        std::chrono::duration_cast<milliseconds>(give_up - Clock::now());
+    if (remaining.count() <= 0) break;
+    if (attempt > 0) {
+      metrics_.record_retry();
+      const milliseconds wait =
+          backoff_for(static_cast<unsigned>(attempt - 1),
+                      options_.backoff_initial, options_.backoff_cap);
+      std::this_thread::sleep_for(std::min(wait, remaining));
+      remaining = std::chrono::duration_cast<milliseconds>(give_up -
+                                                           Clock::now());
+      if (remaining.count() <= 0) break;
+    }
+
+    const Candidate& candidate = plan[attempt];
+    const ReplicaTarget* target = nullptr;
+    for (const ReplicaTarget& replica : replicas_) {
+      if (replica.id == candidate.id) target = &replica;
+    }
+    if (target == nullptr) continue;
+
+    HeaderList headers;
+    headers.push_back({std::string(kDeadlineHeader),
+                       std::to_string(remaining.count())});
+    auto reply = pool_.fetch(target->host, target->port, request.target,
+                             headers, options_.connect_timeout, remaining);
+    if (!reply) {
+      metrics_.record_upstream_error();
+      // Connect-level failures are strong evidence the replica is gone;
+      // don't wait for the next probe tick to route around it.
+      if (reply.error().code == "cluster.upstream.connect" ||
+          reply.error().code == "cluster.upstream.connect_timeout") {
+        mark_probe(candidate.id, false, false, 0);
+      }
+      continue;
+    }
+    if (reply.value().status >= 500) {
+      metrics_.record_upstream_error();
+      continue;
+    }
+
+    if (candidate.id != owner) metrics_.record_failover();
+    server::Response response;
+    response.status = reply.value().status;
+    if (!reply.value().content_type.empty()) {
+      response.set("Content-Type", reply.value().content_type);
+    }
+    response.set("X-Pdcu-Upstream", candidate.id);
+    response.body = std::move(reply.value().body);
+    return response;
+  }
+
+  metrics_.record_exhausted();
+  server::Response response =
+      text_response(503, "503 all replicas unavailable\n");
+  response.set("Retry-After", "1");
+  return response;
+}
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,106 @@
+#include "pdcu/cluster/gossip.hpp"
+
+#include <algorithm>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::cluster {
+
+NodeState merge_states(const NodeState& a, const NodeState& b) {
+  if (a.version != b.version) return a.version > b.version ? a : b;
+  if (a.epoch != b.epoch) return a.epoch > b.epoch ? a : b;
+  return a.degraded ? a : b;
+}
+
+void GossipMap::update_self(const std::string& id, std::uint64_t epoch,
+                            bool degraded) {
+  std::lock_guard lock(mutex_);
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (at != entries_.end() && at->first == id) {
+    // Bump past relayed rumors about ourselves, and skip the write when
+    // nothing changed — a quiet node's version stays put, so gossip
+    // converges instead of churning forever.
+    if (at->second.epoch == epoch && at->second.degraded == degraded) return;
+    at->second = {epoch, degraded, at->second.version + 1};
+    return;
+  }
+  entries_.insert(at, {id, NodeState{epoch, degraded, 1}});
+}
+
+std::optional<NodeState> GossipMap::get(std::string_view id) const {
+  std::lock_guard lock(mutex_);
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (at == entries_.end() || at->first != id) return std::nullopt;
+  return at->second;
+}
+
+std::vector<std::pair<std::string, NodeState>> GossipMap::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+std::string GossipMap::encode() const {
+  std::lock_guard lock(mutex_);
+  std::string digest;
+  for (const auto& [id, state] : entries_) {
+    digest += id;
+    digest += ' ';
+    digest += std::to_string(state.epoch);
+    digest += ' ';
+    digest += state.degraded ? '1' : '0';
+    digest += ' ';
+    digest += std::to_string(state.version);
+    digest += '\n';
+  }
+  return digest;
+}
+
+std::size_t GossipMap::merge_digest(std::string_view digest) {
+  std::lock_guard lock(mutex_);
+  std::size_t changed = 0;
+  for (const std::string& line : strings::split_lines(digest)) {
+    const auto fields = strings::split(line, ' ');
+    if (fields.size() != 4) continue;
+    const auto epoch = strings::parse_u64(fields[1]);
+    const auto degraded = strings::parse_u64(fields[2]);
+    const auto version = strings::parse_u64(fields[3]);
+    if (fields[0].empty() || !epoch || !degraded || !version ||
+        *degraded > 1) {
+      continue;
+    }
+    const NodeState incoming{*epoch, *degraded == 1, *version};
+    const std::string id(fields[0]);
+    const auto at = std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (at == entries_.end() || at->first != id) {
+      entries_.insert(at, {id, incoming});
+      ++changed;
+      continue;
+    }
+    const NodeState merged = merge_states(at->second, incoming);
+    if (merged != at->second) {
+      at->second = merged;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t GossipMap::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void GossipMap::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,121 @@
+#include "pdcu/cluster/gossip_agent.hpp"
+
+namespace pdcu::cluster {
+
+namespace {
+
+constexpr std::chrono::milliseconds kExchangeConnectTimeout{250};
+constexpr std::chrono::milliseconds kExchangeDeadline{1000};
+
+bool unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+         c == '~';
+}
+
+}  // namespace
+
+std::string url_encode_component(std::string_view text) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (unreserved(c)) {
+      out += c;
+      continue;
+    }
+    const auto byte = static_cast<unsigned char>(c);
+    out += '%';
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
+}
+
+GossipAgent::GossipAgent(std::string self_id, ClusterMetrics* metrics)
+    : self_id_(std::move(self_id)), metrics_(metrics) {}
+
+GossipAgent::~GossipAgent() { stop(); }
+
+void GossipAgent::update_self(std::uint64_t epoch, bool degraded) {
+  map_.update_self(self_id_, epoch, degraded);
+}
+
+void GossipAgent::set_self_source(
+    std::function<std::pair<std::uint64_t, bool>()> source) {
+  self_source_ = std::move(source);
+}
+
+void GossipAgent::refresh_self() const {
+  if (!self_source_) return;
+  const auto [epoch, degraded] = self_source_();
+  map_.update_self(self_id_, epoch, degraded);
+}
+
+void GossipAgent::set_peers(std::vector<GossipPeer> peers) {
+  std::lock_guard lock(peers_mutex_);
+  peers_ = std::move(peers);
+  next_peer_ = 0;
+}
+
+std::string GossipAgent::exchange(std::string_view peer_digest) const {
+  refresh_self();
+  const std::size_t changed = map_.merge_digest(peer_digest);
+  if (metrics_ != nullptr && changed > 0) {
+    metrics_->record_gossip_merge(changed);
+  }
+  return map_.encode();
+}
+
+bool GossipAgent::run_round() {
+  refresh_self();
+  GossipPeer peer;
+  {
+    std::lock_guard lock(peers_mutex_);
+    if (peers_.empty()) return false;
+    peer = peers_[next_peer_ % peers_.size()];
+    next_peer_ = (next_peer_ + 1) % peers_.size();
+  }
+  if (metrics_ != nullptr) metrics_->record_gossip_round();
+
+  const std::string target =
+      "/cluster/gossip?digest=" + url_encode_component(map_.encode());
+  auto reply = pool_.fetch(peer.host, peer.port, target, {},
+                           kExchangeConnectTimeout, kExchangeDeadline);
+  if (!reply || reply.value().status != 200) return false;
+  const std::size_t changed = map_.merge_digest(reply.value().body);
+  if (metrics_ != nullptr && changed > 0) {
+    metrics_->record_gossip_merge(changed);
+  }
+  return true;
+}
+
+void GossipAgent::start(std::chrono::milliseconds interval) {
+  stop();
+  {
+    std::lock_guard lock(stop_mutex_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this, interval] {
+    for (;;) {
+      {
+        std::unique_lock lock(stop_mutex_);
+        if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+          return;
+        }
+      }
+      run_round();
+    }
+  });
+}
+
+void GossipAgent::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,129 @@
+// The cluster's front door: a proxy that consistent-hash-routes every
+// request onto a replica fleet and absorbs replica failure so clients
+// never see it. Per request it plans a candidate walk (ring owner, then
+// distinct ring successors; healthy before degraded before dead — see
+// policy.hpp), tries candidates under a single deadline budget with
+// capped exponential backoff between attempts, and propagates the
+// remaining budget upstream in X-Pdcu-Deadline so a replica never spends
+// time the request no longer has.
+//
+// Failure detection is three-layered: a periodic /healthz prober, gossip
+// rumors (a replica that fails its rebuild marks itself degraded and the
+// rumor reaches the front within a few rounds), and the attempts
+// themselves (a connect failure marks the replica dead immediately,
+// without waiting for the next probe tick).
+//
+// The front's own surface lives under /_front/ (healthz + metrics) so it
+// can never shadow a replica route. Threading mirrors HttpServer's pool
+// backend: one accept thread, a private worker pool, blocking upstream
+// I/O per worker. Tests run deterministically by setting probe_interval
+// and gossip_interval to zero and driving probe_once() / gossip rounds
+// by hand.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdcu/cluster/gossip_agent.hpp"
+#include "pdcu/cluster/metrics.hpp"
+#include "pdcu/cluster/policy.hpp"
+#include "pdcu/cluster/ring.hpp"
+#include "pdcu/cluster/upstream.hpp"
+#include "pdcu/runtime/thread_pool.hpp"
+#include "pdcu/server/http.hpp"
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::cluster {
+
+struct ReplicaTarget {
+  std::string id;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct FrontOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
+  std::string id = "front";
+  unsigned threads = 4;
+  unsigned vnodes = 64;
+  std::size_t max_attempts = 3;  ///< candidate replicas tried per request
+  std::chrono::milliseconds connect_timeout{250};
+  std::chrono::milliseconds request_budget{2000};  ///< default deadline
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_cap{200};
+  /// 0 disables the background prober; tests call probe_once().
+  std::chrono::milliseconds probe_interval{200};
+  /// 0 disables the background gossip loop; tests drive rounds by hand.
+  std::chrono::milliseconds gossip_interval{200};
+  std::chrono::milliseconds read_timeout{5000};
+  std::size_t max_request_bytes = 16 * 1024;
+  std::size_t max_connections = 256;
+};
+
+class FrontTier {
+ public:
+  FrontTier(FrontOptions options, std::vector<ReplicaTarget> replicas);
+  ~FrontTier();
+
+  FrontTier(const FrontTier&) = delete;
+  FrontTier& operator=(const FrontTier&) = delete;
+
+  Status start();
+  void stop();
+
+  /// The actually-bound port (useful with options.port == 0).
+  std::uint16_t port() const { return bound_port_; }
+
+  ClusterMetrics& metrics() { return metrics_; }
+  GossipAgent& gossip() { return gossip_; }
+
+  /// One synchronous probe sweep over every replica (test hook; the
+  /// background prober calls this on its interval).
+  void probe_once();
+
+  /// Proxies one already-parsed request (test hook — exactly what a
+  /// worker does for a connection's request, minus the socket).
+  server::Response proxy(const server::Request& request);
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  server::Response front_healthz() const;
+  void mark_probe(const std::string& id, bool alive, bool degraded,
+                  std::uint64_t epoch);
+  std::vector<std::pair<std::string, ProbeState>> probe_snapshot() const;
+  void refresh_routable_and_moves();
+
+  const FrontOptions options_;
+  const std::vector<ReplicaTarget> replicas_;
+  HashRing ring_;
+  ClusterMetrics metrics_;
+  GossipAgent gossip_;
+  UpstreamPool pool_;
+
+  mutable std::mutex probes_mutex_;
+  std::vector<std::pair<std::string, ProbeState>> probes_;
+  std::vector<std::string> sample_owner_;  ///< last chosen target per sample key
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> active_connections_{0};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<rt::ThreadPool> workers_;
+  std::thread accept_thread_;
+
+  std::mutex probe_stop_mutex_;
+  std::condition_variable probe_stop_cv_;
+  bool probe_stopping_ = false;
+  std::thread probe_thread_;
+};
+
+}  // namespace pdcu::cluster

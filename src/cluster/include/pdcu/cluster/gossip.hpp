@@ -1,0 +1,72 @@
+// Cluster membership state and the gossip digest that carries it. Every
+// node (replica or front tier) keeps a GossipMap: for each node id, the
+// latest known (epoch, degraded, version) triple, where `epoch` is the
+// node's reload generation, `degraded` says its last rebuild failed (it
+// is serving last-known-good), and `version` is a per-node sequence
+// number bumped every time the node changes its own entry. Rumors spread
+// by exchanging digests: merge() keeps, per node, the entry with the
+// higher version — so state flows in every direction, third parties relay
+// what they heard, and a partition heals to the newest truth as soon as
+// any path exists. This is PR 4's last-known-good guarantee made
+// fleet-wide: a replica that fails its rebuild keeps serving, marks
+// itself degraded at its current epoch, and the front tier routes around
+// it within a few gossip rounds.
+//
+// The digest wire format is one line per node — "id epoch degraded
+// version\n" — small enough to ride in a query parameter, and stable so
+// the virtual-time simulation and the real HTTP transport share it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::cluster {
+
+struct NodeState {
+  std::uint64_t epoch = 0;
+  bool degraded = false;
+  std::uint64_t version = 0;
+
+  bool operator==(const NodeState&) const = default;
+};
+
+/// Newer-version-wins merge of two states for the same node. Equal
+/// versions (same node observed twice) tie-break deterministically on
+/// (epoch, degraded) so every merge order converges to the same map.
+NodeState merge_states(const NodeState& a, const NodeState& b);
+
+class GossipMap {
+ public:
+  /// Replaces this node's own entry, bumping its version past anything
+  /// already recorded for it (including relayed rumors about ourselves).
+  void update_self(const std::string& id, std::uint64_t epoch, bool degraded);
+
+  std::optional<NodeState> get(std::string_view id) const;
+
+  /// Sorted-by-id snapshot of every known entry.
+  std::vector<std::pair<std::string, NodeState>> snapshot() const;
+
+  /// One "id epoch degraded version" line per node, sorted by id.
+  std::string encode() const;
+
+  /// Merges a peer's digest; malformed lines are skipped (a truncated
+  /// gossip message must never poison the map). Returns how many entries
+  /// changed.
+  std::size_t merge_digest(std::string_view digest);
+
+  std::size_t size() const;
+
+  /// Drops every entry — what a freshly restarted process's map looks
+  /// like (rumors do not survive a SIGKILL).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, NodeState>> entries_;  ///< sorted by id
+};
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,96 @@
+// The per-node gossip driver. Owns the node's GossipMap, answers inbound
+// exchanges through server::GossipEndpoint (wired into the Router as
+// GET /cluster/gossip), and initiates outbound rounds against a peer
+// list — round-robin, one peer per round, digest in the query string.
+// Rumors therefore flow both ways on every exchange, and a node learns
+// fleet state even if it can only reach one peer.
+//
+// Tests and the CLI can drive run_round() directly (deterministic, no
+// thread); start() spawns the periodic background loop for real fleets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdcu/cluster/gossip.hpp"
+#include "pdcu/cluster/metrics.hpp"
+#include "pdcu/cluster/upstream.hpp"
+#include "pdcu/server/gossip_hook.hpp"
+
+namespace pdcu::cluster {
+
+struct GossipPeer {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+class GossipAgent final : public server::GossipEndpoint {
+ public:
+  explicit GossipAgent(std::string self_id, ClusterMetrics* metrics = nullptr);
+  ~GossipAgent() override;
+
+  GossipAgent(const GossipAgent&) = delete;
+  GossipAgent& operator=(const GossipAgent&) = delete;
+
+  const std::string& self_id() const { return self_id_; }
+  GossipMap& map() { return map_; }
+  const GossipMap& map() const { return map_; }
+
+  /// Refreshes this node's own entry (epoch + degraded flag) before it
+  /// spreads. Call after the initial load and after every reload attempt.
+  void update_self(std::uint64_t epoch, bool degraded);
+
+  /// Optional pull-based alternative to update_self: called before every
+  /// exchange (inbound and outbound) to re-read (epoch, degraded) from
+  /// the source of truth — e.g. the serve CLI wires a HealthTracker read
+  /// here, so a reload's outcome gossips without the reload path knowing
+  /// gossip exists. Must be thread-safe.
+  void set_self_source(std::function<std::pair<std::uint64_t, bool>()> source);
+
+  void set_peers(std::vector<GossipPeer> peers);
+
+  /// Inbound half: merge the sender's digest, answer with ours.
+  std::string exchange(std::string_view peer_digest) const override;
+
+  /// Outbound half: one exchange with the next peer in round-robin
+  /// order. Returns false when there are no peers or the peer was
+  /// unreachable (the round is skipped, not retried — gossip tolerates
+  /// lost rounds by design).
+  bool run_round();
+
+  /// Spawns the periodic outbound loop. stop() joins it; the destructor
+  /// stops implicitly.
+  void start(std::chrono::milliseconds interval);
+  void stop();
+
+ private:
+  void refresh_self() const;
+
+  const std::string self_id_;
+  mutable GossipMap map_;
+  ClusterMetrics* metrics_;
+  std::function<std::pair<std::uint64_t, bool>()> self_source_;
+
+  mutable std::mutex peers_mutex_;
+  std::vector<GossipPeer> peers_;
+  std::size_t next_peer_ = 0;
+
+  UpstreamPool pool_{2};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Percent-encodes a gossip digest for the ?digest= query parameter.
+std::string url_encode_component(std::string_view text);
+
+}  // namespace pdcu::cluster

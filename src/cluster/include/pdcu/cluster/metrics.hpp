@@ -1,0 +1,71 @@
+// Front-tier and gossip counters, exposed as the pdcu_cluster_* family on
+// the front tier's /_front/metrics endpoint (lint-clean exposition, same
+// conventions as ServerMetrics). All relaxed atomics: every proxy worker
+// and the prober/gossip threads bump them concurrently, and a scrape only
+// needs a consistent-enough snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pdcu::cluster {
+
+class ClusterMetrics {
+ public:
+  void record_request() { requests_.fetch_add(1, kRelaxed); }
+  void record_retry() { retries_.fetch_add(1, kRelaxed); }
+  void record_failover() { failovers_.fetch_add(1, kRelaxed); }
+  void record_shed() { shed_.fetch_add(1, kRelaxed); }
+  void record_upstream_error() { upstream_errors_.fetch_add(1, kRelaxed); }
+  void record_exhausted() { exhausted_.fetch_add(1, kRelaxed); }
+  void record_gossip_round() { gossip_rounds_.fetch_add(1, kRelaxed); }
+  void record_gossip_merge(std::uint64_t changed) {
+    gossip_merges_.fetch_add(changed, kRelaxed);
+  }
+  void record_probe_failure() { probe_failures_.fetch_add(1, kRelaxed); }
+  void record_ring_moves(std::uint64_t moves) {
+    ring_moves_.fetch_add(moves, kRelaxed);
+  }
+  void set_routable(std::uint64_t routable, std::uint64_t total) {
+    routable_.store(routable, kRelaxed);
+    ring_nodes_.store(total, kRelaxed);
+  }
+
+  std::uint64_t requests() const { return requests_.load(kRelaxed); }
+  std::uint64_t retries() const { return retries_.load(kRelaxed); }
+  std::uint64_t failovers() const { return failovers_.load(kRelaxed); }
+  std::uint64_t shed() const { return shed_.load(kRelaxed); }
+  std::uint64_t upstream_errors() const {
+    return upstream_errors_.load(kRelaxed);
+  }
+  std::uint64_t exhausted() const { return exhausted_.load(kRelaxed); }
+  std::uint64_t gossip_rounds() const { return gossip_rounds_.load(kRelaxed); }
+  std::uint64_t gossip_merges() const { return gossip_merges_.load(kRelaxed); }
+  std::uint64_t probe_failures() const {
+    return probe_failures_.load(kRelaxed);
+  }
+  std::uint64_t ring_moves() const { return ring_moves_.load(kRelaxed); }
+  std::uint64_t routable() const { return routable_.load(kRelaxed); }
+
+  /// pdcu_cluster_* exposition lines (lint-clean).
+  std::string render_text() const;
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> upstream_errors_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<std::uint64_t> gossip_rounds_{0};
+  std::atomic<std::uint64_t> gossip_merges_{0};
+  std::atomic<std::uint64_t> probe_failures_{0};
+  std::atomic<std::uint64_t> ring_moves_{0};
+  std::atomic<std::uint64_t> ring_nodes_{0};
+  std::atomic<std::uint64_t> routable_{0};
+};
+
+}  // namespace pdcu::cluster

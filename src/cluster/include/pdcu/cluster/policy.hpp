@@ -1,0 +1,72 @@
+// The front tier's routing brain, factored out of the I/O so the real
+// proxy (front.cpp, wall clock + sockets) and the virtual-time simulation
+// (sim.cpp, FaultInjector + virtual clock) execute the *same* decisions:
+// candidate ordering, degraded shedding, retry backoff, and deadline
+// budgeting. A chaos scenario reproduced in the sim is therefore evidence
+// about the shipped policy, not about a parallel reimplementation.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdcu/cluster/gossip.hpp"
+#include "pdcu/cluster/ring.hpp"
+
+namespace pdcu::cluster {
+
+/// The front tier's local, probe-derived view of one replica.
+struct ProbeState {
+  bool alive = true;      ///< last probe (or upstream attempt) succeeded
+  bool degraded = false;  ///< last /healthz said "degraded"
+  std::uint64_t epoch = 0;
+};
+
+/// How a candidate was classified when the route was planned.
+enum class CandidateClass {
+  kHealthy,   ///< routable, believed up and serving fresh content
+  kDegraded,  ///< serving last-known-good; used only after healthy ones
+  kDead,      ///< probe/attempt failure; last resort (it may have healed)
+};
+
+struct Candidate {
+  std::string id;
+  CandidateClass cls = CandidateClass::kHealthy;
+};
+
+/// Ring-ordered candidates for `key`, stably partitioned so every healthy
+/// node precedes every degraded node, which precedes every dead node.
+/// Dead and degraded nodes stay on the list as a last resort: with the
+/// whole fleet down it is still better to try than to fail without a
+/// connection attempt. `probes` and `gossip` are consulted per node; a
+/// node is degraded if either source says so (the probe may lag gossip by
+/// a round, and vice versa).
+std::vector<Candidate> plan_route(
+    const HashRing& ring, std::string_view key, std::size_t max_attempts,
+    const std::vector<std::pair<std::string, ProbeState>>& probes,
+    const GossipMap& gossip);
+
+/// Capped exponential backoff before retry `attempt` (0-based: the first
+/// retry waits `initial`, doubling after that).
+template <typename Duration>
+Duration backoff_for(unsigned attempt, Duration initial, Duration cap) {
+  if (initial.count() <= 0) return Duration{0};
+  Duration wait = initial;
+  for (unsigned i = 0; i < attempt && wait < cap; ++i) wait += wait;
+  return std::min(wait, cap);
+}
+
+/// Header carrying the remaining per-request budget, in milliseconds,
+/// hop by hop. The front tier stamps it on upstream requests (and honors
+/// a client-supplied value by taking the minimum with its own budget).
+inline constexpr std::string_view kDeadlineHeader = "X-Pdcu-Deadline";
+
+/// Effective budget: the front tier's own cap, lowered by whatever the
+/// client asked for. Zero or unparsable client values are ignored.
+std::chrono::milliseconds effective_budget(
+    std::chrono::milliseconds configured, const std::string* client_header);
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,61 @@
+// Consistent-hash ring with virtual nodes. Every node contributes
+// `vnodes` points at mix64(fnv1a_64(id + "#" + v)) on a 64-bit circle (a
+// splitmix64 finalizer — raw FNV clusters for ids differing only in a
+// short suffix); a request key routes to the first point clockwise of
+// the same hash of the key, and its
+// failover order is the subsequent *distinct* nodes in ring order. The
+// classic properties follow: keys spread over nodes roughly evenly (the
+// virtual nodes smooth the variance), and removing a node remaps only the
+// keys that node owned — every other key keeps both its owner and its
+// successor list prefix, which is what keeps a replica loss from
+// reshuffling the whole fleet's working sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdcu::cluster {
+
+class HashRing {
+ public:
+  explicit HashRing(unsigned vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Adds a node; duplicate ids are ignored. O(n log n) rebuild — the
+  /// membership set changes rarely (deploys), lookups happen per request.
+  void add_node(const std::string& id);
+  void remove_node(std::string_view id);
+  bool contains(std::string_view id) const;
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  /// The owning node for `key`, empty when the ring is empty.
+  std::string owner(std::string_view key) const;
+
+  /// The owner followed by up to `max_nodes - 1` distinct failover
+  /// successors, in ring order. This is the order the front tier tries
+  /// replicas in; it is a pure function of (membership, vnodes, key).
+  std::vector<std::string> route(std::string_view key,
+                                 std::size_t max_nodes) const;
+
+  /// How many of `keys` change owner between `before` and `after` — the
+  /// ring-move count the front tier reports when membership shifts.
+  static std::size_t moved_keys(const HashRing& before, const HashRing& after,
+                                const std::vector<std::string>& keys);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t node;  ///< index into nodes_
+  };
+
+  void rebuild();
+
+  unsigned vnodes_;
+  std::vector<std::string> nodes_;  ///< sorted, so the ring is canonical
+  std::vector<Point> points_;       ///< sorted by hash
+};
+
+}  // namespace pdcu::cluster

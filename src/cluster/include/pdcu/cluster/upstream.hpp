@@ -1,0 +1,71 @@
+// Proxy-grade blocking HTTP client for the front tier's hot path. Two
+// properties matter here that loadgen's Connection doesn't need:
+//
+//  * Connect timeouts via non-blocking connect + poll. A replica that is
+//    SYN-reachable but never completes the handshake (half-open peer,
+//    dropped by a fault rule, or a SYN queue full after SIGKILL) must
+//    cost one bounded attempt, not hang a proxy worker.
+//  * Connection reuse keyed by target. The front re-contacts the same M
+//    replicas for every request; a per-target stack of idle keep-alive
+//    sockets keeps the proxy hop at one RTT instead of three.
+//
+// Every call carries its remaining deadline budget so a slow upstream
+// cannot spend time the request no longer has.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pdcu/support/expected.hpp"
+
+namespace pdcu::cluster {
+
+/// A parsed upstream response, ready to re-serialize toward the client.
+struct UpstreamReply {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Extra request headers, e.g. the propagated deadline budget.
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+class UpstreamPool {
+ public:
+  explicit UpstreamPool(std::size_t max_idle_per_target = 4)
+      : max_idle_per_target_(max_idle_per_target) {}
+  ~UpstreamPool();
+
+  UpstreamPool(const UpstreamPool&) = delete;
+  UpstreamPool& operator=(const UpstreamPool&) = delete;
+
+  /// One GET against host:port. `connect_timeout` bounds the handshake;
+  /// `deadline` is the total remaining budget for the whole exchange
+  /// (connect included). Error codes: cluster.upstream.connect,
+  /// .connect_timeout, .send, .read, .timeout.
+  Expected<UpstreamReply> fetch(const std::string& host, std::uint16_t port,
+                                const std::string& target,
+                                const HeaderList& headers,
+                                std::chrono::milliseconds connect_timeout,
+                                std::chrono::milliseconds deadline);
+
+  /// Idle sockets currently pooled for host:port (test hook).
+  std::size_t idle_count(const std::string& host, std::uint16_t port) const;
+
+  /// Closes every pooled socket (e.g. after a replica was killed).
+  void clear();
+
+ private:
+  int take_idle(const std::string& key);
+  void give_back(const std::string& key, int fd);
+
+  const std::size_t max_idle_per_target_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<int>> idle_;
+};
+
+}  // namespace pdcu::cluster

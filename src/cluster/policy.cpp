@@ -1,0 +1,62 @@
+#include "pdcu/cluster/policy.hpp"
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::cluster {
+
+namespace {
+
+const ProbeState* find_probe(
+    const std::vector<std::pair<std::string, ProbeState>>& probes,
+    const std::string& id) {
+  for (const auto& [probe_id, state] : probes) {
+    if (probe_id == id) return &state;
+  }
+  return nullptr;
+}
+
+CandidateClass classify(const std::string& id,
+                        const std::vector<std::pair<std::string, ProbeState>>&
+                            probes,
+                        const GossipMap& gossip) {
+  const ProbeState* probe = find_probe(probes, id);
+  if (probe != nullptr && !probe->alive) return CandidateClass::kDead;
+  const auto rumor = gossip.get(id);
+  const bool degraded = (probe != nullptr && probe->degraded) ||
+                        (rumor.has_value() && rumor->degraded);
+  return degraded ? CandidateClass::kDegraded : CandidateClass::kHealthy;
+}
+
+}  // namespace
+
+std::vector<Candidate> plan_route(
+    const HashRing& ring, std::string_view key, std::size_t max_attempts,
+    const std::vector<std::pair<std::string, ProbeState>>& probes,
+    const GossipMap& gossip) {
+  std::vector<Candidate> out;
+  const std::vector<std::string> order = ring.route(key, max_attempts);
+  out.reserve(order.size());
+  for (const std::string& id : order) {
+    out.push_back({id, classify(id, probes, gossip)});
+  }
+  // Stable partition: healthy < degraded < dead, ring order within each
+  // class. std::stable_partition twice keeps the walk deterministic.
+  const auto healthy_end = std::stable_partition(
+      out.begin(), out.end(),
+      [](const Candidate& c) { return c.cls == CandidateClass::kHealthy; });
+  std::stable_partition(healthy_end, out.end(), [](const Candidate& c) {
+    return c.cls == CandidateClass::kDegraded;
+  });
+  return out;
+}
+
+std::chrono::milliseconds effective_budget(
+    std::chrono::milliseconds configured, const std::string* client_header) {
+  if (client_header == nullptr) return configured;
+  const auto requested = strings::parse_u64(strings::trim(*client_header));
+  if (!requested || *requested == 0) return configured;
+  const auto asked = std::chrono::milliseconds(*requested);
+  return std::min(configured, asked);
+}
+
+}  // namespace pdcu::cluster

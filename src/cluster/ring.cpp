@@ -1,0 +1,98 @@
+#include "pdcu/cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "pdcu/support/hash.hpp"
+
+namespace pdcu::cluster {
+
+namespace {
+
+/// splitmix64 finalizer over the fnv1a state. FNV alone clusters badly
+/// here: vnode ids differ only in a short "#v" suffix, and without the
+/// avalanche the points bunch up and some node ends with a third of its
+/// fair share of the circle.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+void HashRing::add_node(const std::string& id) {
+  if (contains(id)) return;
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), id), id);
+  rebuild();
+}
+
+void HashRing::remove_node(std::string_view id) {
+  const auto at = std::lower_bound(nodes_.begin(), nodes_.end(), id);
+  if (at == nodes_.end() || *at != id) return;
+  nodes_.erase(at);
+  rebuild();
+}
+
+bool HashRing::contains(std::string_view id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), id);
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(nodes_.size() * vnodes_);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    // Hash the node id once, then fold each virtual-node ordinal into the
+    // running state: cheap, and every (id, v) pair lands independently.
+    const std::uint64_t base = hash::fnv1a_64(nodes_[n]);
+    for (unsigned v = 0; v < vnodes_; ++v) {
+      const std::string suffix = "#" + std::to_string(v);
+      points_.push_back({mix64(hash::fnv1a_64_update(base, suffix)), n});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Ties (astronomically unlikely) break by node index so the ring stays
+    // canonical across insertion orders.
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+std::string HashRing::owner(std::string_view key) const {
+  const auto order = route(key, 1);
+  return order.empty() ? std::string() : order.front();
+}
+
+std::vector<std::string> HashRing::route(std::string_view key,
+                                         std::size_t max_nodes) const {
+  std::vector<std::string> order;
+  if (points_.empty() || max_nodes == 0) return order;
+  max_nodes = std::min(max_nodes, nodes_.size());
+  order.reserve(max_nodes);
+
+  const std::uint64_t h = mix64(hash::fnv1a_64(key));
+  auto at = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  std::vector<bool> seen(nodes_.size(), false);
+  for (std::size_t walked = 0;
+       walked < points_.size() && order.size() < max_nodes; ++walked, ++at) {
+    if (at == points_.end()) at = points_.begin();  // wrap the circle
+    if (seen[at->node]) continue;
+    seen[at->node] = true;
+    order.push_back(nodes_[at->node]);
+  }
+  return order;
+}
+
+std::size_t HashRing::moved_keys(const HashRing& before, const HashRing& after,
+                                 const std::vector<std::string>& keys) {
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    if (before.owner(key) != after.owner(key)) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,321 @@
+#include "pdcu/cluster/sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pdcu/cluster/policy.hpp"
+#include "pdcu/cluster/ring.hpp"
+#include "pdcu/support/hash.hpp"
+#include "pdcu/support/rng.hpp"
+
+namespace pdcu::cluster {
+
+namespace {
+
+struct SimReplica {
+  std::string id;
+  bool alive = true;
+  bool degraded = false;
+  std::uint64_t epoch = 1;
+  GossipMap map;
+  std::size_t next_peer = 0;
+};
+
+/// Chronological merge of scripted events, probe ticks, gossip ticks, and
+/// request arrivals, with a stable tie-break so identical options always
+/// replay in the same order: at equal times, scripted events apply first
+/// (a kill at t and a request at t sees the kill), then probes, then
+/// gossip, then requests in arrival order.
+enum class TickKind { kEvent = 0, kProbe = 1, kGossip = 2, kRequest = 3 };
+
+struct Tick {
+  std::uint64_t at_ms;
+  TickKind kind;
+  std::size_t index;  ///< into the per-kind list; also the tie-break
+
+  bool operator<(const Tick& other) const {
+    if (at_ms != other.at_ms) return at_ms < other.at_ms;
+    if (kind != other.kind) return kind < other.kind;
+    return index < other.index;
+  }
+};
+
+const char* event_name(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::kKill:
+      return "kill";
+    case SimEvent::Kind::kRestart:
+      return "restart";
+    case SimEvent::Kind::kDegrade:
+      return "degrade";
+    case SimEvent::Kind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SimReport::render_json() const {
+  std::string json = "{\"requests\":" + std::to_string(requests_total);
+  json += ",\"ok\":" + std::to_string(ok);
+  json += ",\"client_errors\":" + std::to_string(client_errors);
+  json += ",\"retries\":" + std::to_string(retries);
+  json += ",\"failovers\":" + std::to_string(failovers);
+  json += ",\"shed\":" + std::to_string(shed);
+  json += ",\"upstream_errors\":" + std::to_string(upstream_errors);
+  json += ",\"gossip_rounds\":" + std::to_string(gossip_rounds);
+  json += ",\"max_latency_ms\":" + std::to_string(max_latency_ms);
+  json += ",\"checksum\":\"" + std::to_string(checksum) + "\"}\n";
+  return json;
+}
+
+SimReport run_sim(const SimOptions& options) {
+  SimReport report;
+  if (options.replicas == 0) return report;
+
+  net::FaultInjector fault = options.fault;  // private copy: counters advance
+  Rng rng(options.seed);
+  const int front = static_cast<int>(options.front_node());
+
+  std::vector<SimReplica> replicas(options.replicas);
+  HashRing ring(options.vnodes);
+  for (unsigned i = 0; i < options.replicas; ++i) {
+    replicas[i].id = "replica-" + std::to_string(i);
+    replicas[i].map.update_self(replicas[i].id, 1, false);
+    ring.add_node(replicas[i].id);
+  }
+  GossipMap front_map;
+  std::vector<std::pair<std::string, ProbeState>> probes;
+  for (const SimReplica& replica : replicas) {
+    probes.push_back({replica.id, ProbeState{}});
+  }
+  std::size_t front_next_peer = 0;
+
+  // Build the schedule: uniform request arrivals (keys drawn from the rng
+  // per request, in arrival order, so the stream is seed-stable).
+  std::vector<Tick> ticks;
+  std::vector<SimEvent> events = options.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SimEvent& a, const SimEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ticks.push_back({events[i].at_ms, TickKind::kEvent, i});
+  }
+  if (options.probe_interval_ms > 0) {
+    std::size_t n = 0;
+    for (std::uint64_t t = options.probe_interval_ms; t <= options.duration_ms;
+         t += options.probe_interval_ms) {
+      ticks.push_back({t, TickKind::kProbe, n++});
+    }
+  }
+  if (options.gossip_interval_ms > 0) {
+    std::size_t n = 0;
+    for (std::uint64_t t = options.gossip_interval_ms;
+         t <= options.duration_ms; t += options.gossip_interval_ms) {
+      ticks.push_back({t, TickKind::kGossip, n++});
+    }
+  }
+  for (std::uint64_t i = 0; i < options.requests; ++i) {
+    const std::uint64_t at =
+        options.requests <= 1
+            ? 0
+            : (i * options.duration_ms) / options.requests;
+    ticks.push_back({at, TickKind::kRequest, static_cast<std::size_t>(i)});
+  }
+  std::sort(ticks.begin(), ticks.end());
+
+  auto note = [&report](std::string line) {
+    report.checksum =
+        hash::fnv1a_64_update(report.checksum ? report.checksum
+                                              : hash::kFnv1aInit,
+                              line);
+    report.log.push_back(std::move(line));
+  };
+
+  // One gossip exchange between two nodes' maps over the faulty network.
+  // Both directions travel (digest out, digest back), so both links are
+  // consulted; either drop loses the whole round.
+  auto exchange = [&](GossipMap& a, int a_node, GossipMap& b, int b_node,
+                      std::uint64_t now) -> bool {
+    ++report.gossip_rounds;
+    if (!fault.alive(a_node, static_cast<std::int64_t>(now)) ||
+        !fault.alive(b_node, static_cast<std::int64_t>(now))) {
+      return false;
+    }
+    const auto out = fault.intercept(a_node, b_node,
+                                     static_cast<std::int64_t>(now));
+    if (out.drop) return false;
+    b.merge_digest(a.encode());
+    const auto back = fault.intercept(b_node, a_node,
+                                      static_cast<std::int64_t>(now));
+    if (back.drop) return false;
+    a.merge_digest(b.encode());
+    return true;
+  };
+
+  auto probe_all = [&](std::uint64_t now) {
+    for (unsigned i = 0; i < options.replicas; ++i) {
+      SimReplica& replica = replicas[i];
+      auto& state = probes[i].second;
+      const bool reachable =
+          replica.alive &&
+          fault.alive(static_cast<int>(i), static_cast<std::int64_t>(now)) &&
+          !fault.intercept(front, static_cast<int>(i),
+                           static_cast<std::int64_t>(now))
+               .drop &&
+          !fault.intercept(static_cast<int>(i), front,
+                           static_cast<std::int64_t>(now))
+               .drop;
+      state.alive = reachable;
+      if (reachable) {
+        state.degraded = replica.degraded;
+        state.epoch = replica.epoch;
+      }
+    }
+  };
+
+  for (const Tick& tick : ticks) {
+    const std::uint64_t now = tick.at_ms;
+    switch (tick.kind) {
+      case TickKind::kEvent: {
+        const SimEvent& event = events[tick.index];
+        SimReplica& replica = replicas[event.replica % replicas.size()];
+        switch (event.kind) {
+          case SimEvent::Kind::kKill:
+            replica.alive = false;
+            break;
+          case SimEvent::Kind::kRestart:
+            replica.alive = true;
+            replica.map.clear();  // fresh process, fresh rumors
+            replica.map.update_self(replica.id, replica.epoch,
+                                    replica.degraded);
+            break;
+          case SimEvent::Kind::kDegrade:
+            // Failed rebuild: keeps serving last-known-good at the same
+            // epoch, and says so.
+            replica.degraded = true;
+            replica.map.update_self(replica.id, replica.epoch, true);
+            break;
+          case SimEvent::Kind::kRecover:
+            replica.degraded = false;
+            ++replica.epoch;
+            replica.map.update_self(replica.id, replica.epoch, false);
+            break;
+        }
+        note("t=" + std::to_string(now) + " event " +
+             event_name(event.kind) + " " + replica.id);
+        break;
+      }
+      case TickKind::kProbe:
+        probe_all(now);
+        break;
+      case TickKind::kGossip: {
+        // Every live replica exchanges with its next round-robin peer;
+        // the front exchanges with its next replica. Order is fixed
+        // (replica index, then front), so the round is deterministic.
+        for (unsigned i = 0; i < options.replicas; ++i) {
+          SimReplica& replica = replicas[i];
+          if (!replica.alive || options.replicas < 2) continue;
+          std::size_t peer = replica.next_peer % (options.replicas - 1);
+          replica.next_peer = peer + 1;
+          const unsigned j = (i + 1 + static_cast<unsigned>(peer)) %
+                             options.replicas;
+          if (!replicas[j].alive) continue;
+          exchange(replica.map, static_cast<int>(i), replicas[j].map,
+                   static_cast<int>(j), now);
+        }
+        const unsigned j =
+            static_cast<unsigned>(front_next_peer++ % options.replicas);
+        if (replicas[j].alive) {
+          exchange(front_map, front, replicas[j].map, static_cast<int>(j),
+                   now);
+        }
+        break;
+      }
+      case TickKind::kRequest: {
+        ++report.requests_total;
+        const std::string key =
+            "/activities/a" + std::to_string(rng.below(256)) + "/";
+        const std::string owner = ring.owner(key);
+        const auto plan =
+            plan_route(ring, key, options.max_attempts, probes, front_map);
+        if (!plan.empty() && plan.front().id != owner) {
+          for (const Candidate& c : plan) {
+            if (c.id == owner && c.cls == CandidateClass::kDegraded) {
+              ++report.shed;
+              break;
+            }
+          }
+        }
+        std::uint64_t clock = now;
+        bool served = false;
+        std::string served_by;
+        std::size_t attempts = 0;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          if (clock - now >= options.budget_ms) break;
+          if (i > 0) {
+            ++report.retries;
+            clock += backoff_for(static_cast<unsigned>(i - 1),
+                                 std::chrono::milliseconds(
+                                     options.backoff_initial_ms),
+                                 std::chrono::milliseconds(
+                                     options.backoff_cap_ms))
+                         .count();
+            if (clock - now >= options.budget_ms) break;
+          }
+          ++attempts;
+          const unsigned index = static_cast<unsigned>(
+              std::stoul(plan[i].id.substr(plan[i].id.rfind('-') + 1)));
+          SimReplica& replica = replicas[index];
+          const bool node_up =
+              replica.alive &&
+              fault.alive(static_cast<int>(index),
+                          static_cast<std::int64_t>(clock));
+          if (!node_up) {
+            // Connection refused: fast failure, and the front learns
+            // immediately (same as the real proxy's mark-dead-on-connect).
+            clock += 1;
+            ++report.upstream_errors;
+            probes[index].second.alive = false;
+            continue;
+          }
+          const auto action = fault.intercept(
+              front, static_cast<int>(index),
+              static_cast<std::int64_t>(clock));
+          if (action.drop) {
+            clock += options.attempt_timeout_ms;
+            ++report.upstream_errors;
+            continue;
+          }
+          clock += options.service_ms +
+                   static_cast<std::uint64_t>(action.delay_ms);
+          served = true;
+          served_by = plan[i].id;
+          probes[index].second.alive = true;
+          break;
+        }
+        const std::uint64_t latency = clock - now;
+        report.max_latency_ms = std::max(report.max_latency_ms, latency);
+        if (served) {
+          ++report.ok;
+          if (served_by != owner) ++report.failovers;
+          note("t=" + std::to_string(now) + " req " + key + " -> " +
+               served_by + " attempts=" + std::to_string(attempts) +
+               " lat=" + std::to_string(latency));
+        } else {
+          ++report.client_errors;
+          note("t=" + std::to_string(now) + " req " + key +
+               " -> FAIL attempts=" + std::to_string(attempts) +
+               " lat=" + std::to_string(latency));
+        }
+        break;
+      }
+    }
+  }
+  if (report.checksum == 0) report.checksum = hash::kFnv1aInit;
+  return report;
+}
+
+}  // namespace pdcu::cluster

@@ -1,0 +1,310 @@
+#include "pdcu/cluster/upstream.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pdcu/support/strings.hpp"
+
+namespace pdcu::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+milliseconds remaining(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<milliseconds>(deadline - Clock::now());
+  return left.count() > 0 ? left : milliseconds{0};
+}
+
+/// Waits for `events` on fd until `deadline`. Returns false on timeout or
+/// poll error.
+bool wait_for(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto left = remaining(deadline);
+    if (left.count() == 0) return false;
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (n > 0) return true;
+    if (n == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+/// Non-blocking connect with a poll-bounded handshake. A peer that
+/// accepts the SYN but never completes (or a full SYN queue) surfaces
+/// here as connect_timeout, not as a hung worker.
+Expected<int> connect_within(const std::string& host, std::uint16_t port,
+                             milliseconds connect_timeout,
+                             Clock::time_point deadline) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Error::make("cluster.upstream.connect", "socket failed");
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Error::make("cluster.upstream.connect", "bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Error::make("cluster.upstream.connect",
+                         std::string("connect: ") + std::strerror(errno));
+    }
+    const auto handshake_deadline =
+        std::min(deadline, Clock::now() + connect_timeout);
+    if (!wait_for(fd, POLLOUT, handshake_deadline)) {
+      ::close(fd);
+      return Error::make("cluster.upstream.connect_timeout",
+                         "handshake exceeded " +
+                             std::to_string(connect_timeout.count()) + "ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return Error::make("cluster.upstream.connect",
+                         std::string("connect: ") +
+                             std::strerror(so_error ? so_error : errno));
+    }
+  }
+  return fd;
+}
+
+Status send_all(int fd, std::string_view bytes, Clock::time_point deadline) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd, POLLOUT, deadline)) {
+        return Error::make("cluster.upstream.timeout", "send stalled");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Error::make("cluster.upstream.send",
+                       std::string("send: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+std::string lowercase_header_value(std::string_view head,
+                                   std::string_view name) {
+  std::string lowered;
+  lowered.reserve(head.size());
+  for (const char c : head) {
+    lowered +=
+        static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  std::string needle = "\n";
+  needle.append(name);
+  needle += ':';
+  const auto at = lowered.find(needle);
+  if (at == std::string::npos) return {};
+  auto end = lowered.find('\n', at + needle.size());
+  if (end == std::string::npos) end = lowered.size();
+  return std::string(
+      strings::trim(lowered.substr(at + needle.size(),
+                                   end - (at + needle.size()))));
+}
+
+}  // namespace
+
+UpstreamPool::~UpstreamPool() { clear(); }
+
+int UpstreamPool::take_idle(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto at = idle_.find(key);
+  if (at == idle_.end() || at->second.empty()) return -1;
+  const int fd = at->second.back();
+  at->second.pop_back();
+  return fd;
+}
+
+void UpstreamPool::give_back(const std::string& key, int fd) {
+  std::lock_guard lock(mutex_);
+  auto& stack = idle_[key];
+  if (stack.size() >= max_idle_per_target_) {
+    ::close(fd);
+    return;
+  }
+  stack.push_back(fd);
+}
+
+std::size_t UpstreamPool::idle_count(const std::string& host,
+                                     std::uint16_t port) const {
+  std::lock_guard lock(mutex_);
+  const auto at = idle_.find(host + ":" + std::to_string(port));
+  return at == idle_.end() ? 0 : at->second.size();
+}
+
+void UpstreamPool::clear() {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, stack] : idle_) {
+    for (const int fd : stack) ::close(fd);
+    stack.clear();
+  }
+  idle_.clear();
+}
+
+Expected<UpstreamReply> UpstreamPool::fetch(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    const HeaderList& headers, milliseconds connect_timeout,
+    milliseconds deadline) {
+  const auto give_up = Clock::now() + deadline;
+  const std::string key = host + ":" + std::to_string(port);
+
+  // A pooled socket may have been closed by the peer while idle; that
+  // surfaces as an immediate send/read failure, and we retry once on a
+  // fresh connection rather than charging the replica with an error.
+  bool reused = true;
+  int fd = take_idle(key);
+  for (;;) {
+    if (fd < 0) {
+      reused = false;
+      auto fresh = connect_within(host, port, connect_timeout, give_up);
+      if (!fresh) return fresh.error();
+      fd = fresh.value();
+    }
+
+    std::string request = "GET ";
+    request += target;
+    request += " HTTP/1.1\r\nHost: ";
+    request += host;
+    request += "\r\n";
+    for (const auto& [name, value] : headers) {
+      request += name;
+      request += ": ";
+      request += value;
+      request += "\r\n";
+    }
+    request += "\r\n";
+
+    const Status sent = send_all(fd, request, give_up);
+    if (!sent) {
+      ::close(fd);
+      fd = -1;
+      if (reused) {
+        reused = false;
+        continue;  // stale pooled socket — one retry on a fresh connect
+      }
+      return sent.error();
+    }
+
+    std::string buffer;
+    std::size_t head_end;
+    bool stale_eof = false;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (wait_for(fd, POLLIN, give_up)) continue;
+        ::close(fd);
+        return Error::make("cluster.upstream.timeout",
+                           "response header timed out");
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error before any bytes on a reused socket: stale.
+      stale_eof = reused && buffer.empty();
+      break;
+    }
+    if (head_end == std::string::npos) {
+      ::close(fd);
+      fd = -1;
+      if (stale_eof) {
+        reused = false;
+        continue;
+      }
+      return Error::make("cluster.upstream.read",
+                         "connection closed before response head");
+    }
+
+    const std::string_view head(buffer.data(), head_end + 2);
+    if (buffer.size() < 12 || buffer.compare(0, 5, "HTTP/") != 0) {
+      ::close(fd);
+      return Error::make("cluster.upstream.read", "malformed status line");
+    }
+    UpstreamReply reply;
+    reply.status = std::atoi(buffer.c_str() + 9);
+    reply.content_type = lowercase_header_value(head, "content-type");
+    const std::string length_text =
+        lowercase_header_value(head, "content-length");
+    const auto body_length = strings::parse_u64(length_text);
+    const bool keep_alive =
+        body_length.has_value() &&
+        lowercase_header_value(head, "connection") != "close";
+
+    const std::size_t body_start = head_end + 4;
+    if (body_length) {
+      while (buffer.size() < body_start + *body_length) {
+        char chunk[8192];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          buffer.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          if (wait_for(fd, POLLIN, give_up)) continue;
+          ::close(fd);
+          return Error::make("cluster.upstream.timeout",
+                             "response body timed out");
+        }
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return Error::make("cluster.upstream.read",
+                           "connection closed mid-body");
+      }
+      reply.body = buffer.substr(body_start, *body_length);
+    } else {
+      // Unframed: drain to EOF; the server is closing this connection.
+      for (;;) {
+        char chunk[8192];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          buffer.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          if (wait_for(fd, POLLIN, give_up)) continue;
+          ::close(fd);
+          return Error::make("cluster.upstream.timeout",
+                             "response body timed out");
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      reply.body = buffer.substr(body_start);
+    }
+
+    if (keep_alive) {
+      give_back(key, fd);
+    } else {
+      ::close(fd);
+    }
+    return reply;
+  }
+}
+
+}  // namespace pdcu::cluster

@@ -89,6 +89,11 @@ struct LoadReport {
 
   /// Human-readable multi-line report — what `pdcu check` prints.
   std::string render_report() const;
+
+  /// Machine-readable report — what `pdcu check --json` prints:
+  /// {"status":"ok|degraded","total_files":N,"loaded":N,"quarantined":
+  /// [{"path":...,"slug":...,"code":...,"message":...},...]}.
+  std::string render_json() const;
 };
 
 }  // namespace pdcu::core

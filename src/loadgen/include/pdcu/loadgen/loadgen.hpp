@@ -86,6 +86,14 @@ struct Result {
   std::uint64_t errors_total() const {
     return connect_errors + send_errors + read_errors + timeouts;
   }
+
+  /// The no-silent-gaps invariant: every scheduled request lands in
+  /// exactly one bucket — completed, or one of the error counters. False
+  /// means the generator dropped requests from its own accounting (the
+  /// failure mode that makes a dead server look like a fast one).
+  bool fully_accounted() const {
+    return completed + errors_total() == scheduled;
+  }
 };
 
 /// Drives a prebuilt schedule against host:port. Blocks until every

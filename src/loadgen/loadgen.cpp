@@ -195,6 +195,11 @@ std::string render_result_json(const Result& result, std::string_view bench,
   writer.integer("send", result.send_errors);
   writer.integer("read", result.read_errors);
   writer.integer("timeout", result.timeouts);
+  // The roll-up a reader actually checks: without it, a run where the
+  // server died mid-schedule still *looked* clean to anyone comparing
+  // requests.completed against latency percentiles — the refused and
+  // mid-body-disconnected requests vanished from the summary.
+  writer.integer("total", result.errors_total());
   writer.close();
   writer.open("config");
   writer.text("host", options.host);

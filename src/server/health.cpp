@@ -16,6 +16,7 @@ void HealthTracker::record_reload_success() {
   last_reload_ = ReloadOutcome::kOk;
   last_error_.clear();
   last_reload_at_ = std::chrono::steady_clock::now();
+  ++epoch_;
 }
 
 void HealthTracker::record_reload_failure(std::string error) {
@@ -30,13 +31,19 @@ bool HealthTracker::degraded() const {
   return !quarantined_.empty() || last_reload_ == ReloadOutcome::kFailed;
 }
 
+std::uint64_t HealthTracker::epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
+}
+
 std::string HealthTracker::render_json() const {
   std::lock_guard lock(mutex_);
   const bool degraded =
       !quarantined_.empty() || last_reload_ == ReloadOutcome::kFailed;
   std::string json = "{\"status\":\"";
   json += degraded ? "degraded" : "ok";
-  json += "\",\"activities\":" + std::to_string(loaded_);
+  json += "\",\"epoch\":" + std::to_string(epoch_);
+  json += ",\"activities\":" + std::to_string(loaded_);
   json += ",\"quarantined\":" + std::to_string(quarantined_.size());
   json += ",\"quarantined_slugs\":[";
   for (std::size_t i = 0; i < quarantined_.size(); ++i) {

@@ -1,0 +1,24 @@
+// The seam that lets a Router serve cluster gossip without the server
+// library depending on pdcu_cluster (which depends on pdcu_server — the
+// dependency would be circular). cluster::GossipAgent implements this;
+// the Router only knows "given the sender's digest, merge it and answer
+// with mine".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pdcu::server {
+
+class GossipEndpoint {
+ public:
+  virtual ~GossipEndpoint() = default;
+
+  /// Handles one gossip exchange: merge the peer's digest into local
+  /// state, return the local digest for the peer to merge. Called from
+  /// request threads concurrently; implementations synchronize internally
+  /// (const here means "safe to call through a const Router snapshot").
+  virtual std::string exchange(std::string_view peer_digest) const = 0;
+};
+
+}  // namespace pdcu::server

@@ -136,6 +136,7 @@ Response Router::handle(const Request& request) const {
   const std::string_view path = request.path();
   const bool known_route = path == "/healthz" || path == "/metrics" ||
                            path == "/api/search" ||
+                           (path == "/cluster/gossip" && gossip_ != nullptr) ||
                            cache_.find(path) != nullptr;
   if (request.method != "GET" && request.method != "HEAD") {
     // 405 promises the path exists for some method; an unknown path is a
@@ -171,6 +172,13 @@ Response Router::handle(const Request& request) const {
   }
   if (path == "/api/search") {
     return handle_search(request);
+  }
+  if (path == "/cluster/gossip" && gossip_ != nullptr) {
+    std::string peer_digest;
+    for (const auto& [key, value] : parse_query_params(request.query())) {
+      if (key == "digest") peer_digest = value;
+    }
+    return plain_response(200, gossip_->exchange(peer_digest));
   }
 
   const CachedEntry* entry = cache_.find(path);

@@ -1,0 +1,477 @@
+// The front tier against real in-process replicas: consistent-hash
+// routing, the two chaos acceptance scenarios (killed replica absorbed
+// with zero client-visible 5xx; degraded replica shed via gossip), the
+// half-open-connection bound, and deadline-budget propagation.
+#include "pdcu/cluster/front.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdcu/cluster/upstream.hpp"
+#include "pdcu/core/repository.hpp"
+#include "pdcu/server/server.hpp"
+#include "pdcu/site/site.hpp"
+#include "pdcu/support/strings.hpp"
+
+namespace cluster = pdcu::cluster;
+namespace server = pdcu::server;
+namespace core = pdcu::core;
+namespace site = pdcu::site;
+namespace strs = pdcu::strings;
+using std::chrono::milliseconds;
+
+namespace {
+
+/// One in-process replica: a real HttpServer over the builtin curation,
+/// with health + gossip wired exactly like `pdcu serve --cluster-id`.
+struct Replica {
+  explicit Replica(const std::string& id) : agent(id) {
+    agent.set_self_source(
+        [this] { return std::make_pair(health.epoch(), health.degraded()); });
+    agent.update_self(health.epoch(), health.degraded());
+    const auto& repo = core::Repository::builtin();
+    server::Router router(site::build_site(repo), repo);
+    router.set_health(&health);
+    router.set_gossip(&agent);
+    server::ServerOptions options;
+    options.port = 0;
+    // A private worker pool per replica: the front holds keep-alive
+    // connections (proxy + gossip), each of which parks a pool-backend
+    // worker — sharing rt::default_pool() across three replicas on a
+    // small machine would let one replica's idle connections starve
+    // another replica's accepts.
+    options.threads = 4;
+    instance = std::make_unique<server::HttpServer>(std::move(router),
+                                                    std::move(options));
+    const auto status = instance->start();
+    EXPECT_TRUE(status.has_value())
+        << (status ? "" : status.error().message);
+  }
+
+  std::uint16_t port() const { return instance->port(); }
+  void kill() { instance->stop(); }
+
+  server::HealthTracker health;
+  cluster::GossipAgent agent;
+  std::unique_ptr<server::HttpServer> instance;
+};
+
+struct Fleet3 {
+  Fleet3() {
+    for (int i = 0; i < 3; ++i) {
+      replicas.push_back(
+          std::make_unique<Replica>("replica-" + std::to_string(i)));
+    }
+  }
+  std::vector<cluster::ReplicaTarget> targets() const {
+    std::vector<cluster::ReplicaTarget> out;
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      out.push_back({"replica-" + std::to_string(i), "127.0.0.1",
+                     replicas[i]->port()});
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<Replica>> replicas;
+};
+
+/// Deterministic test options: no background prober or gossip loop.
+cluster::FrontOptions manual_options() {
+  cluster::FrontOptions options;
+  options.probe_interval = milliseconds(0);
+  options.gossip_interval = milliseconds(0);
+  options.backoff_initial = milliseconds(1);
+  options.backoff_cap = milliseconds(5);
+  return options;
+}
+
+server::Request get_request(const std::string& target) {
+  server::Request request;
+  request.method = "GET";
+  request.target = target;
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+/// Paths into the builtin curation, cycled by the load loops.
+std::vector<std::string> activity_paths() {
+  std::vector<std::string> paths;
+  for (const auto& activity : core::Repository::builtin().activities()) {
+    paths.push_back("/activities/" + activity.slug + "/");
+  }
+  return paths;
+}
+
+/// A path whose ring owner (64 vnodes, replicas 0..2) is `owner` — the
+/// same ring the front builds, so the choice is stable.
+std::string path_owned_by(const std::string& owner) {
+  cluster::HashRing ring(64);
+  for (int i = 0; i < 3; ++i) ring.add_node("replica-" + std::to_string(i));
+  for (const auto& path : activity_paths()) {
+    if (ring.owner(path) == owner) return path;
+  }
+  ADD_FAILURE() << "no builtin path hashes to " << owner;
+  return "/";
+}
+
+/// A listening socket that accepts nothing: with backlog 1 already
+/// consumed by one parked connection, further SYNs are dropped and a
+/// connect attempt hangs until *its* timeout — the half-open peer case.
+struct UnresponsiveListener {
+  UnresponsiveListener() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    ::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof address);
+    ::listen(fd, 1);
+    socklen_t length = sizeof address;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length);
+    port = ntohs(address.sin_port);
+    // Park connections until the accept queue is full so later handshakes
+    // stall in SYN_SENT instead of completing.
+    for (int i = 0; i < 4; ++i) {
+      const int parked = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      ::connect(parked, reinterpret_cast<sockaddr*>(&address),
+                sizeof address);
+      parked_fds.push_back(parked);
+    }
+    // Give the kernel a beat to finish the handshakes that do fit.
+    std::this_thread::sleep_for(milliseconds(50));
+  }
+  ~UnresponsiveListener() {
+    for (const int parked : parked_fds) ::close(parked);
+    ::close(fd);
+  }
+  int fd = -1;
+  std::uint16_t port = 0;
+  std::vector<int> parked_fds;
+};
+
+/// Accepts connections and then never answers — a peer that completes the
+/// handshake but goes silent (read-timeout case).
+struct SilentAccepter {
+  SilentAccepter() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    ::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof address);
+    ::listen(fd, 16);
+    socklen_t length = sizeof address;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length);
+    port = ntohs(address.sin_port);
+    accepter = std::thread([this] {
+      while (!done.load()) {
+        const int client = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (client >= 0) {
+          accepted.push_back(client);
+        } else {
+          std::this_thread::sleep_for(milliseconds(5));
+        }
+      }
+    });
+  }
+  ~SilentAccepter() {
+    done.store(true);
+    ::shutdown(fd, SHUT_RDWR);
+    accepter.join();
+    for (const int client : accepted) ::close(client);
+    ::close(fd);
+  }
+  int fd = -1;
+  std::uint16_t port = 0;
+  std::atomic<bool> done{false};
+  std::vector<int> accepted;
+  std::thread accepter;
+};
+
+}  // namespace
+
+TEST(FrontTier, RoutesToTheRingOwnerAndTagsTheUpstream) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+
+  for (const auto& path :
+       {path_owned_by("replica-0"), path_owned_by("replica-1"),
+        path_owned_by("replica-2")}) {
+    const auto response = front.proxy(get_request(path));
+    EXPECT_EQ(response.status, 200) << path;
+  }
+  // With the whole fleet healthy, every request lands on its owner.
+  const auto owned = path_owned_by("replica-1");
+  const auto response = front.proxy(get_request(owned));
+  const auto* upstream = response.header("X-Pdcu-Upstream");
+  ASSERT_NE(upstream, nullptr);
+  EXPECT_EQ(*upstream, "replica-1");
+  EXPECT_EQ(front.metrics().failovers(), 0u);
+}
+
+TEST(FrontTier, OwnsItsOwnSurfaceUnderFrontPrefix) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  front.probe_once();
+
+  const auto healthz = front.proxy(get_request("/_front/healthz"));
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"routable\":3"), std::string::npos);
+
+  const auto metrics = front.proxy(get_request("/_front/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("pdcu_cluster_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("pdcu_cluster_routable_nodes 3"),
+            std::string::npos);
+}
+
+TEST(FrontTier, NonGetIsRejectedWithoutBurningUpstreamAttempts) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  auto request = get_request("/");
+  request.method = "POST";
+  EXPECT_EQ(front.proxy(request).status, 405);
+}
+
+// Chaos acceptance: a replica dies under load; after front-tier retry the
+// clients see zero 5xx.
+TEST(FrontTier, KilledReplicaIsAbsorbedWithZeroClientVisible5xx) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  front.probe_once();
+
+  const auto paths = activity_paths();
+  std::atomic<int> worst_status{200};
+  std::atomic<std::size_t> sent{0};
+  std::thread load([&] {
+    for (int i = 0; i < 120; ++i) {
+      const auto response =
+          front.proxy(get_request(paths[i % paths.size()]));
+      int expected = worst_status.load();
+      while (response.status > expected &&
+             !worst_status.compare_exchange_weak(expected,
+                                                 response.status)) {
+      }
+      sent.fetch_add(1);
+    }
+  });
+  // Kill replica-0 mid-run, without warning the front.
+  while (sent.load() < 30) std::this_thread::sleep_for(milliseconds(1));
+  fleet.replicas[0]->kill();
+  load.join();
+
+  EXPECT_LT(worst_status.load(), 500)
+      << "a killed replica leaked a 5xx through the front tier";
+  EXPECT_GT(front.metrics().failovers(), 0u);
+}
+
+TEST(FrontTier, DeadOwnerKeysFailOverAndProbeSeesTheCorpse) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  const auto owned = path_owned_by("replica-0");
+  fleet.replicas[0]->kill();
+
+  const auto response = front.proxy(get_request(owned));
+  EXPECT_EQ(response.status, 200);
+  const auto* upstream = response.header("X-Pdcu-Upstream");
+  ASSERT_NE(upstream, nullptr);
+  EXPECT_NE(*upstream, "replica-0");
+  EXPECT_GT(front.metrics().failovers(), 0u);
+
+  front.probe_once();
+  const auto healthz = front.proxy(get_request("/_front/healthz"));
+  EXPECT_NE(healthz.body.find("\"routable\":2"), std::string::npos);
+}
+
+// Chaos acceptance: a replica whose rebuild failed keeps serving
+// last-known-good, gossips its degraded epoch, and the front sheds its
+// keys to healthy replicas.
+TEST(FrontTier, DegradedReplicaIsShedViaGossipAlone) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+
+  // replica-0's reload fails; it stays up, serving epoch-1 content.
+  fleet.replicas[0]->health.record_reload_failure("poisoned content");
+  ASSERT_TRUE(fleet.replicas[0]->health.degraded());
+
+  // No probes — the rumor must arrive via gossip rounds only (the front
+  // exchanges round-robin, so three rounds reach every replica).
+  for (int i = 0; i < 3; ++i) front.gossip().run_round();
+  ASSERT_TRUE(front.gossip().map().get("replica-0").has_value());
+  EXPECT_TRUE(front.gossip().map().get("replica-0")->degraded);
+
+  const auto owned = path_owned_by("replica-0");
+  const auto response = front.proxy(get_request(owned));
+  EXPECT_EQ(response.status, 200);
+  const auto* upstream = response.header("X-Pdcu-Upstream");
+  ASSERT_NE(upstream, nullptr);
+  EXPECT_NE(*upstream, "replica-0") << "degraded owner was not shed";
+  EXPECT_GT(front.metrics().shed(), 0u);
+
+  // Recovery: the reload succeeds, the epoch advances, and after another
+  // gossip sweep the owner serves its own keys again.
+  fleet.replicas[0]->health.record_reload_success();
+  for (int i = 0; i < 3; ++i) front.gossip().run_round();
+  const auto healed = front.proxy(get_request(owned));
+  const auto* healed_upstream = healed.header("X-Pdcu-Upstream");
+  ASSERT_NE(healed_upstream, nullptr);
+  EXPECT_EQ(*healed_upstream, "replica-0");
+}
+
+TEST(FrontTier, RumorsRelayBetweenReplicasThroughTheFront) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  fleet.replicas[2]->health.record_reload_failure("poisoned");
+
+  // Enough front-mediated rounds for the rumor to travel replica-2 ->
+  // front -> replica-0 even though the replicas never talk directly
+  // (ephemeral-port fleets have no peer lists).
+  for (int i = 0; i < 6; ++i) front.gossip().run_round();
+  const auto relayed = fleet.replicas[0]->agent.map().get("replica-2");
+  ASSERT_TRUE(relayed.has_value());
+  EXPECT_TRUE(relayed->degraded);
+}
+
+// Satellite: a SYN-reachable but never-completing peer costs one bounded
+// connect attempt, not a hung proxy worker.
+TEST(FrontTier, HalfOpenPeerHitsConnectTimeoutNotAHang) {
+  UnresponsiveListener half_open;
+  cluster::UpstreamPool pool;
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply =
+      pool.fetch("127.0.0.1", half_open.port, "/", {}, milliseconds(150),
+                 milliseconds(1000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(reply.has_value());
+  EXPECT_EQ(reply.error().code, "cluster.upstream.connect_timeout");
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(FrontTier, SilentPeerHitsTheDeadlineNotAHang) {
+  SilentAccepter silent;
+  cluster::UpstreamPool pool;
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply = pool.fetch("127.0.0.1", silent.port, "/", {},
+                                milliseconds(150), milliseconds(300));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(reply.has_value());
+  EXPECT_EQ(reply.error().code, "cluster.upstream.timeout");
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(FrontTier, HalfOpenOwnerFailsOverWithinTheBudget) {
+  // replica-silent owns some keys but never answers its SYNs; the front
+  // must burn one connect timeout and serve from the real replica.
+  UnresponsiveListener half_open;
+  Replica real("replica-real");
+  auto options = manual_options();
+  options.connect_timeout = milliseconds(150);
+  cluster::FrontTier front(
+      options, {{"replica-silent", "127.0.0.1", half_open.port},
+                {"replica-real", "127.0.0.1", real.port()}});
+
+  cluster::HashRing ring(64);
+  ring.add_node("replica-silent");
+  ring.add_node("replica-real");
+  std::string owned;
+  for (const auto& path : activity_paths()) {
+    if (ring.owner(path) == "replica-silent") {
+      owned = path;
+      break;
+    }
+  }
+  ASSERT_FALSE(owned.empty());
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = front.proxy(get_request(owned));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(response.status, 200);
+  const auto* upstream = response.header("X-Pdcu-Upstream");
+  ASSERT_NE(upstream, nullptr);
+  EXPECT_EQ(*upstream, "replica-real");
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+}
+
+TEST(FrontTier, ClientDeadlineHeaderLowersTheBudget) {
+  Fleet3 fleet;
+  auto options = manual_options();
+  cluster::FrontTier front(options, fleet.targets());
+
+  // A microscopic client budget exhausts before any attempt can finish.
+  auto request = get_request(path_owned_by("replica-0"));
+  request.headers.push_back({"X-Pdcu-Deadline", "0"});
+  EXPECT_EQ(front.proxy(request).status, 200)
+      << "zero must be ignored, not treated as an expired budget";
+
+  fleet.replicas[0]->kill();
+  fleet.replicas[1]->kill();
+  fleet.replicas[2]->kill();
+  auto doomed = get_request("/");
+  doomed.headers.push_back({"X-Pdcu-Deadline", "100"});
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = front.proxy(doomed);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(response.status, 503);
+  // The whole fleet is dead; the walk must respect the client's 100 ms,
+  // not the front's 2 s default.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+}
+
+TEST(FrontTier, WholeFleetDownAnswers503WithRetryAfter) {
+  Fleet3 fleet;
+  cluster::FrontTier front(manual_options(), fleet.targets());
+  for (auto& replica : fleet.replicas) replica->kill();
+
+  const auto response = front.proxy(get_request("/"));
+  EXPECT_EQ(response.status, 503);
+  const auto* retry_after = response.header("Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "1");
+  EXPECT_GT(front.metrics().exhausted(), 0u);
+
+  front.probe_once();
+  const auto healthz = front.proxy(get_request("/_front/healthz"));
+  EXPECT_EQ(healthz.status, 503);
+}
+
+TEST(FrontTier, ServesOverARealSocketEndToEnd) {
+  Fleet3 fleet;
+  auto options = manual_options();
+  cluster::FrontTier front(options, fleet.targets());
+  const auto status = front.start();
+  ASSERT_TRUE(status.has_value()) << status.error().message;
+  ASSERT_NE(front.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(front.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof address),
+            0);
+  const std::string wire =
+      "GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(reply.find("X-Pdcu-Upstream:"), std::string::npos);
+  front.stop();
+}

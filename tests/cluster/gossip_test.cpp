@@ -1,0 +1,121 @@
+// GossipMap: newer-version-wins merges, digest round-trips, malformed-line
+// tolerance, and the relay property that lets rumors travel through third
+// parties.
+#include "pdcu/cluster/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cluster = pdcu::cluster;
+using cluster::GossipMap;
+using cluster::NodeState;
+
+TEST(MergeStates, HigherVersionWins) {
+  const NodeState older{/*epoch=*/3, /*degraded=*/true, /*version=*/4};
+  const NodeState newer{/*epoch=*/5, /*degraded=*/false, /*version=*/7};
+  EXPECT_EQ(cluster::merge_states(older, newer), newer);
+  EXPECT_EQ(cluster::merge_states(newer, older), newer);
+}
+
+TEST(MergeStates, EqualVersionTieBreaksOnEpochThenDegraded) {
+  const NodeState low_epoch{2, false, 5};
+  const NodeState high_epoch{3, false, 5};
+  EXPECT_EQ(cluster::merge_states(low_epoch, high_epoch), high_epoch);
+  EXPECT_EQ(cluster::merge_states(high_epoch, low_epoch), high_epoch);
+
+  const NodeState healthy{3, false, 5};
+  const NodeState degraded{3, true, 5};
+  // Same version, same epoch: the degraded observation wins, so a merge
+  // never launders a known-bad replica back to healthy.
+  EXPECT_EQ(cluster::merge_states(healthy, degraded), degraded);
+  EXPECT_EQ(cluster::merge_states(degraded, healthy), degraded);
+}
+
+TEST(GossipMap, UpdateSelfBumpsVersionOnlyOnChange) {
+  GossipMap map;
+  map.update_self("replica-0", 1, false);
+  const auto first = map.get("replica-0");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_FALSE(first->degraded);
+
+  // Same state again: no version churn, so steady-state gossip converges
+  // instead of re-propagating forever.
+  map.update_self("replica-0", 1, false);
+  EXPECT_EQ(map.get("replica-0")->version, first->version);
+
+  map.update_self("replica-0", 1, true);
+  EXPECT_GT(map.get("replica-0")->version, first->version);
+}
+
+TEST(GossipMap, UpdateSelfOutrunsRelayedRumors) {
+  GossipMap map;
+  // A third party relays a stale rumor about ourselves with a high version.
+  GossipMap rumor_source;
+  rumor_source.update_self("replica-0", 1, true);
+  rumor_source.update_self("replica-0", 1, false);
+  rumor_source.update_self("replica-0", 2, false);
+  map.merge_digest(rumor_source.encode());
+  const auto rumor_version = map.get("replica-0")->version;
+
+  // Our own update must supersede the rumor even though the rumor's
+  // version is already ahead of a fresh map's.
+  map.update_self("replica-0", 3, false);
+  EXPECT_GT(map.get("replica-0")->version, rumor_version);
+  EXPECT_EQ(map.get("replica-0")->epoch, 3u);
+}
+
+TEST(GossipMap, EncodeDecodeRoundTrip) {
+  GossipMap a;
+  a.update_self("replica-0", 4, false);
+  a.update_self("replica-1", 2, true);
+
+  GossipMap b;
+  EXPECT_EQ(b.merge_digest(a.encode()), 2u);
+  EXPECT_EQ(b.snapshot(), a.snapshot());
+  // Re-merging the same digest changes nothing.
+  EXPECT_EQ(b.merge_digest(a.encode()), 0u);
+}
+
+TEST(GossipMap, MalformedLinesAreSkipped) {
+  GossipMap map;
+  const std::size_t changed = map.merge_digest(
+      "replica-0 3 0 7\n"
+      "garbage\n"
+      "replica-1 not-a-number 0 2\n"
+      "replica-2 1 1\n"  // missing version field
+      "replica-3 5 1 9\n");
+  EXPECT_EQ(changed, 2u);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_TRUE(map.get("replica-0").has_value());
+  EXPECT_EQ(map.get("replica-0")->epoch, 3u);
+  ASSERT_TRUE(map.get("replica-3").has_value());
+  EXPECT_TRUE(map.get("replica-3")->degraded);
+}
+
+TEST(GossipMap, RumorsRelayThroughThirdParty) {
+  GossipMap replica0, front, replica1;
+  replica0.update_self("replica-0", 2, true);
+
+  // replica-0 tells the front; the front tells replica-1. replica-1 never
+  // talked to replica-0 but still learns it is degraded.
+  front.merge_digest(replica0.encode());
+  replica1.merge_digest(front.encode());
+
+  const auto relayed = replica1.get("replica-0");
+  ASSERT_TRUE(relayed.has_value());
+  EXPECT_TRUE(relayed->degraded);
+  EXPECT_EQ(relayed->epoch, 2u);
+}
+
+TEST(GossipMap, StaleRumorNeverOverwritesNewerTruth) {
+  GossipMap map;
+  map.update_self("replica-0", 2, false);
+  const auto current = map.get("replica-0");
+
+  GossipMap stale;
+  stale.update_self("replica-0", 1, true);  // version 1, behind ours
+  EXPECT_EQ(map.merge_digest(stale.encode()), 0u);
+  EXPECT_EQ(map.get("replica-0"), current);
+}

@@ -1,0 +1,166 @@
+// The shared routing policy: candidate classification and ordering,
+// capped exponential backoff, and deadline-budget negotiation.
+#include "pdcu/cluster/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace cluster = pdcu::cluster;
+using cluster::Candidate;
+using cluster::CandidateClass;
+using cluster::GossipMap;
+using cluster::HashRing;
+using cluster::ProbeState;
+using std::chrono::milliseconds;
+
+namespace {
+
+HashRing three_ring() {
+  HashRing ring(64);
+  ring.add_node("replica-0");
+  ring.add_node("replica-1");
+  ring.add_node("replica-2");
+  return ring;
+}
+
+std::vector<std::pair<std::string, ProbeState>> all_healthy() {
+  return {{"replica-0", {}}, {"replica-1", {}}, {"replica-2", {}}};
+}
+
+std::vector<std::string> ids(const std::vector<Candidate>& plan) {
+  std::vector<std::string> out;
+  for (const auto& candidate : plan) out.push_back(candidate.id);
+  return out;
+}
+
+}  // namespace
+
+TEST(PlanRoute, AllHealthyFollowsRingOrder) {
+  const auto ring = three_ring();
+  const GossipMap gossip;
+  const auto plan =
+      cluster::plan_route(ring, "/activities/x/", 3, all_healthy(), gossip);
+  EXPECT_EQ(ids(plan), ring.route("/activities/x/", 3));
+  for (const auto& candidate : plan) {
+    EXPECT_EQ(candidate.cls, CandidateClass::kHealthy);
+  }
+}
+
+TEST(PlanRoute, ProbeDeadOwnerSinksToLastResort) {
+  const auto ring = three_ring();
+  const GossipMap gossip;
+  const std::string key = "/activities/x/";
+  const auto owner = ring.owner(key);
+
+  auto probes = all_healthy();
+  for (auto& [id, state] : probes) {
+    if (id == owner) state.alive = false;
+  }
+  const auto plan = cluster::plan_route(ring, key, 3, probes, gossip);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.back().id, owner);
+  EXPECT_EQ(plan.back().cls, CandidateClass::kDead);
+  // The healthy survivors keep their relative ring order.
+  auto expected = ring.route(key, 3);
+  expected.erase(std::remove(expected.begin(), expected.end(), owner),
+                 expected.end());
+  EXPECT_EQ(ids(plan)[0], expected[0]);
+  EXPECT_EQ(ids(plan)[1], expected[1]);
+}
+
+TEST(PlanRoute, DegradedOwnerYieldsToHealthyButBeatsDead) {
+  const auto ring = three_ring();
+  const std::string key = "/activities/x/";
+  const auto route = ring.route(key, 3);
+
+  auto probes = all_healthy();
+  for (auto& [id, state] : probes) {
+    if (id == route[0]) state.degraded = true;  // owner: last-known-good
+    if (id == route[2]) state.alive = false;    // third node: dead
+  }
+  const GossipMap gossip;
+  const auto plan = cluster::plan_route(ring, key, 3, probes, gossip);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].id, route[1]);
+  EXPECT_EQ(plan[0].cls, CandidateClass::kHealthy);
+  EXPECT_EQ(plan[1].id, route[0]);
+  EXPECT_EQ(plan[1].cls, CandidateClass::kDegraded);
+  EXPECT_EQ(plan[2].id, route[2]);
+  EXPECT_EQ(plan[2].cls, CandidateClass::kDead);
+}
+
+TEST(PlanRoute, GossipRumorAloneMarksDegraded) {
+  const auto ring = three_ring();
+  const std::string key = "/activities/x/";
+  const auto owner = ring.owner(key);
+
+  // Probes still say healthy (they lag); gossip already knows better.
+  GossipMap gossip;
+  gossip.update_self(owner, 2, true);
+  const auto plan =
+      cluster::plan_route(ring, key, 3, all_healthy(), gossip);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_NE(plan[0].id, owner);
+  EXPECT_EQ(plan.back().id, owner);
+  EXPECT_EQ(plan.back().cls, CandidateClass::kDegraded);
+}
+
+TEST(PlanRoute, WholeFleetDegradedStillRoutes) {
+  const auto ring = three_ring();
+  auto probes = all_healthy();
+  for (auto& [id, state] : probes) state.degraded = true;
+  const GossipMap gossip;
+  const auto plan =
+      cluster::plan_route(ring, "/activities/x/", 3, probes, gossip);
+  ASSERT_EQ(plan.size(), 3u);
+  // Degraded everywhere: original ring order survives the stable partition.
+  EXPECT_EQ(ids(plan), ring.route("/activities/x/", 3));
+}
+
+TEST(Backoff, DoublesFromInitialAndCaps) {
+  using cluster::backoff_for;
+  EXPECT_EQ(backoff_for(0u, milliseconds(10), milliseconds(200)),
+            milliseconds(10));
+  EXPECT_EQ(backoff_for(1u, milliseconds(10), milliseconds(200)),
+            milliseconds(20));
+  EXPECT_EQ(backoff_for(3u, milliseconds(10), milliseconds(200)),
+            milliseconds(80));
+  EXPECT_EQ(backoff_for(5u, milliseconds(10), milliseconds(200)),
+            milliseconds(200));
+  EXPECT_EQ(backoff_for(30u, milliseconds(10), milliseconds(200)),
+            milliseconds(200));
+}
+
+TEST(Backoff, ZeroInitialDisablesWaiting) {
+  EXPECT_EQ(cluster::backoff_for(4u, milliseconds(0), milliseconds(200)),
+            milliseconds(0));
+}
+
+TEST(EffectiveBudget, NoHeaderKeepsConfigured) {
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), nullptr),
+            milliseconds(2000));
+}
+
+TEST(EffectiveBudget, ClientCanOnlyLowerTheBudget) {
+  const std::string lower = "500";
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), &lower),
+            milliseconds(500));
+  const std::string higher = "9999";
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), &higher),
+            milliseconds(2000));
+}
+
+TEST(EffectiveBudget, GarbageAndZeroAreIgnored) {
+  const std::string garbage = "soon";
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), &garbage),
+            milliseconds(2000));
+  const std::string zero = "0";
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), &zero),
+            milliseconds(2000));
+  const std::string padded = "  250  ";
+  EXPECT_EQ(cluster::effective_budget(milliseconds(2000), &padded),
+            milliseconds(250));
+}

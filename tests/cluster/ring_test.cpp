@@ -1,0 +1,151 @@
+// HashRing: deterministic ownership, distinct failover order, and the
+// consistent-hash contract that removing one node only remaps the keys it
+// owned.
+#include "pdcu/cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cluster = pdcu::cluster;
+
+namespace {
+
+std::vector<std::string> sample_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back("/activities/key-" + std::to_string(i) + "/");
+  }
+  return keys;
+}
+
+cluster::HashRing make_ring(unsigned nodes, unsigned vnodes = 64) {
+  cluster::HashRing ring(vnodes);
+  for (unsigned i = 0; i < nodes; ++i) {
+    ring.add_node("replica-" + std::to_string(i));
+  }
+  return ring;
+}
+
+}  // namespace
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  cluster::HashRing ring;
+  EXPECT_EQ(ring.owner("anything"), "");
+  EXPECT_TRUE(ring.route("anything", 3).empty());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(HashRing, OwnerIsDeterministic) {
+  const auto a = make_ring(5);
+  const auto b = make_ring(5);
+  for (const auto& key : sample_keys(200)) {
+    EXPECT_EQ(a.owner(key), b.owner(key)) << key;
+  }
+}
+
+TEST(HashRing, InsertionOrderDoesNotChangeOwnership) {
+  cluster::HashRing forward(64);
+  cluster::HashRing backward(64);
+  for (int i = 0; i < 5; ++i) forward.add_node("n" + std::to_string(i));
+  for (int i = 4; i >= 0; --i) backward.add_node("n" + std::to_string(i));
+  for (const auto& key : sample_keys(200)) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key)) << key;
+  }
+}
+
+TEST(HashRing, DuplicateAddIsIgnored) {
+  auto ring = make_ring(3);
+  ring.add_node("replica-1");
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(HashRing, ContainsAndRemove) {
+  auto ring = make_ring(3);
+  EXPECT_TRUE(ring.contains("replica-1"));
+  ring.remove_node("replica-1");
+  EXPECT_FALSE(ring.contains("replica-1"));
+  EXPECT_EQ(ring.size(), 2u);
+  for (const auto& key : sample_keys(100)) {
+    EXPECT_NE(ring.owner(key), "replica-1");
+  }
+}
+
+TEST(HashRing, RouteStartsWithOwnerAndIsDistinct) {
+  const auto ring = make_ring(5);
+  for (const auto& key : sample_keys(100)) {
+    const auto route = ring.route(key, 3);
+    ASSERT_EQ(route.size(), 3u) << key;
+    EXPECT_EQ(route.front(), ring.owner(key)) << key;
+    auto sorted = route;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate node in failover order for " << key;
+  }
+}
+
+TEST(HashRing, RouteIsCappedByMembership) {
+  const auto ring = make_ring(2);
+  const auto route = ring.route("some-key", 5);
+  EXPECT_EQ(route.size(), 2u);
+}
+
+TEST(HashRing, KeysSpreadAcrossNodes) {
+  const auto ring = make_ring(5);
+  std::map<std::string, std::size_t> counts;
+  const auto keys = sample_keys(2000);
+  for (const auto& key : keys) ++counts[ring.owner(key)];
+  ASSERT_EQ(counts.size(), 5u) << "some node owns zero keys";
+  for (const auto& [node, count] : counts) {
+    // With 64 vnodes the spread is well inside 2x of fair share.
+    EXPECT_GT(count, keys.size() / 5 / 2) << node;
+    EXPECT_LT(count, keys.size() * 2 / 5) << node;
+  }
+}
+
+TEST(HashRing, RemovingOneNodeOnlyRemapsItsOwnKeys) {
+  const auto before = make_ring(5);
+  auto after = make_ring(5);
+  after.remove_node("replica-2");
+
+  const auto keys = sample_keys(2000);
+  std::size_t owned_by_removed = 0;
+  for (const auto& key : keys) {
+    const auto old_owner = before.owner(key);
+    if (old_owner == "replica-2") {
+      ++owned_by_removed;
+    } else {
+      EXPECT_EQ(after.owner(key), old_owner) << key;
+    }
+  }
+  EXPECT_GT(owned_by_removed, 0u);
+  EXPECT_EQ(cluster::HashRing::moved_keys(before, after, keys),
+            owned_by_removed);
+}
+
+TEST(HashRing, SurvivorKeepsFailoverPrefixWhenAnotherNodeLeaves) {
+  const auto before = make_ring(5);
+  auto after = make_ring(5);
+  after.remove_node("replica-2");
+
+  for (const auto& key : sample_keys(500)) {
+    const auto old_route = before.route(key, 5);
+    const auto new_route = after.route(key, 4);
+    // The new failover order is the old one with replica-2 deleted.
+    std::vector<std::string> expected;
+    for (const auto& node : old_route) {
+      if (node != "replica-2") expected.push_back(node);
+    }
+    EXPECT_EQ(new_route, expected) << key;
+  }
+}
+
+TEST(HashRing, MovedKeysIsZeroForIdenticalRings) {
+  const auto a = make_ring(4);
+  const auto b = make_ring(4);
+  EXPECT_EQ(cluster::HashRing::moved_keys(a, b, sample_keys(100)), 0u);
+}

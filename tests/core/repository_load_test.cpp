@@ -103,6 +103,32 @@ TEST(LoadLenient, RenderReportNamesEveryQuarantinedFile) {
   EXPECT_TRUE(strs::contains(report, "[activity.title]"));
 }
 
+TEST(LoadLenient, RenderJsonSpeaksTheCheckSchema) {
+  auto dir = fresh_content_dir("pdcu_lenient_json");
+  auto healthy = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(healthy.has_value());
+  const std::string clean = healthy.value().render_json();
+  EXPECT_TRUE(strs::contains(clean, "\"status\":\"ok\""));
+  EXPECT_TRUE(strs::contains(clean, "\"total_files\":38"));
+  EXPECT_TRUE(strs::contains(clean, "\"loaded\":38"));
+  EXPECT_TRUE(strs::contains(clean, "\"quarantined\":[]"));
+
+  corrupt(dir, "findsmallestcard");
+  auto degraded = core::Repository::load_lenient(dir);
+  ASSERT_TRUE(degraded.has_value());
+  const std::string json = degraded.value().render_json();
+  EXPECT_TRUE(strs::contains(json, "\"status\":\"degraded\""));
+  EXPECT_TRUE(strs::contains(json, "\"loaded\":37"));
+  EXPECT_TRUE(strs::contains(json, "\"slug\":\"findsmallestcard\""));
+  EXPECT_TRUE(strs::contains(json, "\"code\":\"activity.title\""));
+  // Diagnostic messages may carry quotes/newlines; they must arrive
+  // escaped, never as raw control bytes that would break a JSON parser.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n');
+  }
+  EXPECT_EQ(json.back(), '\n');
+}
+
 TEST(LoadLenient, QuarantinesFilesThatFailToRead) {
   auto dir = fresh_content_dir("pdcu_lenient_ioerror");
   fs::FaultInjector injector;

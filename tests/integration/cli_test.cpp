@@ -142,3 +142,31 @@ TEST(Cli, CheckReportsHealthyAndDegradedContent) {
   auto usage = run_cli("check 2>/dev/null");
   EXPECT_EQ(usage.exit_code, 2);
 }
+
+TEST(Cli, CheckJsonEmitsTheMachineReadableLoadReport) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pdcu_cli_check_json_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(pdcu::core::Repository::builtin().export_to(dir).has_value());
+
+  auto healthy = run_cli("check --json " + dir.string());
+  EXPECT_EQ(healthy.exit_code, 0);
+  EXPECT_TRUE(contains(healthy.output, "\"status\":\"ok\""));
+  EXPECT_TRUE(contains(healthy.output, "\"loaded\":38"));
+  EXPECT_TRUE(contains(healthy.output, "\"quarantined\":[]"));
+
+  {
+    std::ofstream out(dir / "activities" / "findsmallestcard.md",
+                      std::ios::trunc);
+    out << "---\ndate: 2020-01-01\n---\nno title\n";
+  }
+  auto degraded = run_cli("check --json " + dir.string());
+  EXPECT_EQ(degraded.exit_code, 1);
+  EXPECT_TRUE(contains(degraded.output, "\"status\":\"degraded\""));
+  EXPECT_TRUE(contains(degraded.output, "\"slug\":\"findsmallestcard\""));
+  EXPECT_TRUE(contains(degraded.output, "\"code\":\"activity.title\""));
+
+  auto unknown = run_cli("check --frobnicate " + dir.string() +
+                         " 2>/dev/null");
+  EXPECT_EQ(unknown.exit_code, 2);
+}

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -184,6 +185,42 @@ TEST(Loadgen, ResultJsonSpeaksTheBenchSchemaWithTheGateKeys) {
   EXPECT_EQ(doc.text("config.mix"),
             "page=6:catalog=1:activity=2:search=1");
   EXPECT_DOUBLE_EQ(doc.number("requests.scheduled"), 30.0);
+}
+
+TEST(Loadgen, KilledServerMidRunIsChargedAsErrorsNotSilence) {
+  // The accounting identity under fire: a server that dies mid-schedule
+  // must not leave silent gaps. Every scheduled request that could not
+  // complete — reset mid-body, connection refused on reconnect — has to
+  // land in an error bucket, so completed + errors == scheduled.
+  auto server = std::make_unique<StallServer>(std::chrono::milliseconds(0));
+
+  loadgen::Options options;
+  options.port = server->port();
+  options.connections = 2;
+  options.timeout = std::chrono::milliseconds(500);
+  options.schedule.rate = 100.0;
+  options.schedule.duration_s = 1.0;  // 100 requests over one second
+  options.schedule.seed = 7;
+  options.schedule.keep_alive_ratio = 1.0;
+  options.schedule.mix = {{loadgen::Route::kPage, 1.0}};
+  const auto schedule =
+      loadgen::build_schedule(options.schedule, {"stall"});
+  ASSERT_EQ(schedule.size(), 100u);
+
+  std::thread assassin([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server.reset();  // listener gone, live connections torn down
+  });
+  const auto result = loadgen::run(options, schedule);
+  assassin.join();
+
+  EXPECT_GT(result.completed, 0u) << "some requests landed pre-kill";
+  EXPECT_GT(result.errors_total(), 0u)
+      << "the kill must surface as errors, not vanish from the ledger";
+  EXPECT_TRUE(result.fully_accounted())
+      << "completed=" << result.completed
+      << " errors=" << result.errors_total()
+      << " scheduled=" << result.scheduled;
 }
 
 TEST(Loadgen, UnreachableServerFailsWithAnError) {

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pdcu/net/connection.hpp"
@@ -487,6 +488,44 @@ TEST(ReactorServer, StopDrainsIdleConnectionsPromptly) {
   EXPECT_EQ(read_to_eof(idle_fd), "");
   read_to_eof(stuck_fd);  // whatever was in flight, then EOF
   ::close(idle_fd);
+  ::close(stuck_fd);
+}
+
+TEST(ReactorServer, TimerWheelTimeoutStillFiresDuringGracefulDrain) {
+  // Draining must not pause the timer wheel: a connection stuck
+  // mid-request when stop() begins gets its read-timeout verdict — the
+  // canned TIMEOUT response — rather than hanging until the drain
+  // deadline force-closes it silently.
+  EchoHandler handler;
+  net::NetMetrics metrics;
+  net::ReactorOptions options;
+  options.read_timeout = 500ms;
+  options.drain_timeout = 5000ms;  // far beyond the wheel's deadline
+  options.metrics = &metrics;
+  net::ReactorServer server(options, handler);
+  ASSERT_TRUE(server.start().has_value());
+
+  // Serve one full request first so the connection is established and
+  // known non-idle machinery works, then leave a request half-sent and
+  // give the shard a beat to buffer it — a conn whose partial bytes have
+  // not been read yet still looks idle and would be dropped at once.
+  const int stuck_fd = dial(server.port());
+  ASSERT_GE(stuck_fd, 0);
+  ASSERT_EQ(::send(stuck_fd, "hi\n", 3, MSG_NOSIGNAL), 3);
+  EXPECT_EQ(read_line(stuck_fd), "echo:hi keep\n");
+  ASSERT_EQ(::send(stuck_fd, "par", 3, MSG_NOSIGNAL), 3);  // never finished
+  std::this_thread::sleep_for(100ms);
+
+  const auto before = std::chrono::steady_clock::now();
+  server.stop();  // drain begins with the request still unfinished
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+
+  // The wheel, not the drain deadline, ended the connection: stop()
+  // returned as soon as the 150 ms timeout fired, and the client saw the
+  // timeout response instead of a bare EOF.
+  EXPECT_LT(elapsed, 2s);
+  EXPECT_EQ(read_to_eof(stuck_fd), "TIMEOUT\n");
+  EXPECT_EQ(metrics.read_timeouts_total(), 1u);
   ::close(stuck_fd);
 }
 

@@ -66,12 +66,35 @@
 //        Latency is measured from each request's *intended* send time
 //        (coordinated-omission-safe); the summary is one versioned
 //        BENCH-schema JSON object.
+//   pdcu cluster [options] [content-dir]  replicated serving tier
+//        Real mode (default): spawn --replicas M (default 3) `pdcu serve`
+//        subprocesses and front them with a consistent-hash proxy that
+//        health-checks, retries with backoff, and sheds toward healthy
+//        replicas. --base-port P (replicas listen on P..P+M-1 and gossip
+//        peer-to-peer; 0 = ephemeral ports, front-mediated gossip),
+//        --front-port N (default ephemeral), --watch (replica live
+//        reload). Prints the front tier's machine-parseable
+//        `listening port=` line, runs until SIGINT/SIGTERM.
+//        Sim mode (--sim): deterministic in-process virtual-time replay
+//        of the same routing policy — --seed S, --requests N,
+//        --duration-ms D, --scenario kill-one|degrade-one|partition|none,
+//        --log (event log to stderr). Emits one JSON report; identical
+//        seed => bit-identical checksum.
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "pdcu/activities/registry.hpp"
+#include "pdcu/cluster/fleet.hpp"
+#include "pdcu/cluster/front.hpp"
+#include "pdcu/cluster/gossip_agent.hpp"
+#include "pdcu/cluster/sim.hpp"
 #include "pdcu/core/annotate.hpp"
 #include "pdcu/core/archetype.hpp"
 #include "pdcu/core/repository.hpp"
@@ -100,8 +123,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdcu "
-               "list|show|new|validate|check|build|serve|loadgen|search|"
-               "index|tables|gaps|impact|json|audit|plan|annotate|run ...\n");
+               "list|show|new|validate|check|build|serve|cluster|loadgen|"
+               "search|index|tables|gaps|impact|json|audit|plan|annotate|"
+               "run ...\n");
   return 2;
 }
 
@@ -302,17 +326,37 @@ int loadgen_cmd(int argc, char** argv) {
 }
 
 int check(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: pdcu check <content-dir>\n");
+  bool json = false;
+  std::string content_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "check: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      content_dir = arg;
+    }
+  }
+  if (content_dir.empty()) {
+    std::fprintf(stderr, "usage: pdcu check [--json] <content-dir>\n");
     return 2;
   }
-  auto loaded = pdcu::core::Repository::load_lenient(argv[2]);
+  auto loaded = pdcu::core::Repository::load_lenient(content_dir);
   if (!loaded) {
-    std::fprintf(stderr, "check: %s\n", loaded.error().message.c_str());
+    if (json) {
+      std::printf("{\"status\":\"error\",\"error\":\"%s\"}\n",
+                  loaded.error().code.c_str());
+    } else {
+      std::fprintf(stderr, "check: %s\n", loaded.error().message.c_str());
+    }
     return 1;
   }
   const auto& report = loaded.value();
-  std::fputs(report.render_report().c_str(), stdout);
+  std::fputs(json ? report.render_json().c_str()
+                  : report.render_report().c_str(),
+             stdout);
   return report.degraded() ? 1 : 0;
 }
 
@@ -540,6 +584,9 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   std::string content_dir;
   std::string index_path;
   std::string access_log_path;
+  std::string cluster_id;
+  std::string gossip_peers;
+  unsigned long gossip_interval_ms = 200;
   bool use_mmap = false;
   bool watch = false;
   for (int i = 2; i < argc; ++i) {
@@ -583,6 +630,12 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
       access_log_path = argv[++i];
     } else if (arg == "--legacy-metrics") {
       pdcu::obs::set_legacy_names(true);
+    } else if (arg == "--cluster-id" && i + 1 < argc) {
+      cluster_id = argv[++i];
+    } else if (arg == "--gossip-peers" && i + 1 < argc) {
+      gossip_peers = argv[++i];
+    } else if (arg == "--gossip-ms" && i + 1 < argc) {
+      gossip_interval_ms = std::strtoul(argv[++i], nullptr, 10);
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -685,6 +738,34 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
     router.set_search_pool(&pdcu::rt::default_pool());
   }
   if (watch) router.set_reload_metrics(&reload_metrics);
+  // Cluster membership: with --cluster-id the replica answers
+  // /cluster/gossip and (given --gossip-peers host:port,...) initiates
+  // rounds, pulling its own (epoch, degraded) from the health tracker
+  // before every exchange so a failed rebuild's degraded epoch spreads
+  // without the reload path knowing gossip exists.
+  std::optional<pdcu::cluster::GossipAgent> gossip;
+  if (!cluster_id.empty()) {
+    gossip.emplace(cluster_id);
+    gossip->set_self_source([&health] {
+      return std::make_pair(health.epoch(), health.degraded());
+    });
+    gossip->update_self(health.epoch(), health.degraded());
+    std::vector<pdcu::cluster::GossipPeer> peers;
+    for (const auto& entry :
+         pdcu::strings::split(gossip_peers, ',')) {
+      const auto colon = entry.rfind(':');
+      if (entry.empty() || colon == std::string::npos) continue;
+      peers.push_back({entry.substr(0, colon),
+                       static_cast<std::uint16_t>(std::strtoul(
+                           entry.c_str() + colon + 1, nullptr, 10))});
+    }
+    const bool has_peers = !peers.empty();
+    if (has_peers) gossip->set_peers(std::move(peers));
+    router.set_gossip(&*gossip);
+    if (has_peers && gossip_interval_ms > 0) {
+      gossip->start(std::chrono::milliseconds(gossip_interval_ms));
+    }
+  }
   pdcu::server::HttpServer server(std::move(router), options, &trace);
   auto status = server.start();
   if (!status) {
@@ -710,11 +791,145 @@ int serve(pdcu::core::Repository repo, int argc, char** argv) {
   std::fflush(stdout);
   server.run_until_signalled();
   if (reloader.has_value()) reloader->stop();
+  if (gossip.has_value()) gossip->stop();
   if (access_log.has_value()) access_log->flush();
   std::fputs(server.metrics().render_text().c_str(), stdout);
   std::fputs(trace.render_script().c_str(), stdout);
   const std::string span_summary = spans.summary();
   if (!span_summary.empty()) std::fputs(span_summary.c_str(), stdout);
+  return 0;
+}
+
+volatile std::sig_atomic_t g_cluster_stop = 0;
+
+extern "C" void on_cluster_signal(int) { g_cluster_stop = 1; }
+
+/// The path of the running pdcu binary — replicas are spawned from the
+/// same build that fronts them.
+std::string self_exe_path() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return "./pdcu";
+  buffer[n] = '\0';
+  return buffer;
+}
+
+int cluster_cmd(int argc, char** argv) {
+  bool sim = false;
+  bool print_log = false;
+  std::string scenario = "none";
+  std::string content_dir;
+  pdcu::cluster::SimOptions sim_options;
+  pdcu::cluster::FleetOptions fleet_options;
+  fleet_options.cli_path = self_exe_path();
+  std::uint16_t front_port = 0;
+  unsigned replicas = 3;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sim") {
+      sim = true;
+    } else if (arg == "--log") {
+      print_log = true;
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      sim_options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      sim_options.requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--duration-ms" && i + 1 < argc) {
+      sim_options.duration_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (arg == "--base-port" && i + 1 < argc) {
+      fleet_options.base_port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--front-port" && i + 1 < argc) {
+      front_port = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--watch") {
+      fleet_options.watch = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "cluster: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      content_dir = arg;
+    }
+  }
+
+  if (sim) {
+    sim_options.replicas = replicas;
+    const std::uint64_t third = sim_options.duration_ms / 3;
+    using Kind = pdcu::cluster::SimEvent::Kind;
+    if (scenario == "kill-one") {
+      sim_options.events.push_back({third, Kind::kKill, 0});
+      sim_options.events.push_back({2 * third, Kind::kRestart, 0});
+    } else if (scenario == "degrade-one") {
+      sim_options.events.push_back({third, Kind::kDegrade, 0});
+      sim_options.events.push_back({2 * third, Kind::kRecover, 0});
+    } else if (scenario == "partition") {
+      // Replica 0 loses its link to the front tier for the middle third;
+      // requests routed at it burn the attempt timeout, then fail over.
+      sim_options.fault.partition(
+          {0}, {static_cast<int>(sim_options.front_node())},
+          static_cast<std::int64_t>(third),
+          static_cast<std::int64_t>(2 * third));
+    } else if (scenario != "none") {
+      std::fprintf(stderr,
+                   "cluster: --scenario expects kill-one|degrade-one|"
+                   "partition|none, got '%s'\n",
+                   scenario.c_str());
+      return 2;
+    }
+    const auto report = pdcu::cluster::run_sim(sim_options);
+    if (print_log) {
+      for (const auto& line : report.log) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    }
+    std::fputs(report.render_json().c_str(), stdout);
+    return report.client_errors == 0 ? 0 : 1;
+  }
+
+  // Real mode: spawn the replica fleet as `pdcu serve` subprocesses, then
+  // front them in this process.
+  fleet_options.replicas = replicas;
+  fleet_options.content_dir = content_dir;
+  pdcu::cluster::Fleet fleet(fleet_options);
+  if (const auto status = fleet.start(); !status) {
+    std::fprintf(stderr, "cluster: %s\n", status.error().message.c_str());
+    return 1;
+  }
+  pdcu::cluster::FrontOptions front_options;
+  front_options.port = front_port;
+  pdcu::cluster::FrontTier front(front_options, fleet.targets());
+  if (const auto status = front.start(); !status) {
+    std::fprintf(stderr, "cluster: %s\n", status.error().message.c_str());
+    fleet.stop_all();
+    return 1;
+  }
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    std::printf("replica-%zu port=%u pid=%d\n", i,
+                static_cast<unsigned>(fleet.replica(i).port()),
+                static_cast<int>(fleet.replica(i).pid()));
+  }
+  std::printf("pdcu cluster fronting %u replicas (Ctrl-C to stop)\n",
+              replicas);
+  // Same machine-parseable contract as `pdcu serve`: the front tier's
+  // port, flushed before blocking.
+  std::printf("listening port=%u\n", static_cast<unsigned>(front.port()));
+  std::fflush(stdout);
+
+  g_cluster_stop = 0;
+  std::signal(SIGINT, on_cluster_signal);
+  std::signal(SIGTERM, on_cluster_signal);
+  while (g_cluster_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  front.stop();
+  fleet.stop_all();
+  std::fputs(front.metrics().render_text().c_str(), stdout);
   return 0;
 }
 
@@ -777,6 +992,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return serve(std::move(repo), argc, argv);
+  }
+  if (command == "cluster") {
+    return cluster_cmd(argc, argv);
   }
   if (command == "loadgen") {
     return loadgen_cmd(argc, argv);
