@@ -9,6 +9,7 @@
 #include "pdcu/activities/performance.hpp"
 #include "pdcu/activities/races.hpp"
 #include "pdcu/activities/sorting.hpp"
+#include "pdcu/activities/stencil.hpp"
 #include "pdcu/support/rng.hpp"
 
 namespace pdcu::act {
@@ -544,6 +545,35 @@ std::vector<Simulation> build_registry() {
                         " makespan=" + std::to_string(r.cost.makespan);
                     return report;
                   }});
+
+  sims.push_back(
+      {"game_of_life", "ParallelStencilGameOfLife",
+       "students-as-cells torus with per-rank row tiles and halo exchange",
+       [](std::uint64_t seed) {
+         const LifeGrid start = LifeGrid::random(24, 24, seed);
+         const int generations = 6;
+         const LifeGrid oracle =
+             life_run(start, generations, LifeKernel::kSerial);
+         bool kernels_match = true;
+         for (LifeKernel kernel : {LifeKernel::kTiled, LifeKernel::kAutovec,
+                                   LifeKernel::kAvx2}) {
+           kernels_match =
+               kernels_match && life_run(start, generations, kernel) == oracle;
+         }
+         auto r = stencil_classroom(start, 4, generations);
+         DemoReport report;
+         report.ok = r.ok() && kernels_match && r.grid == oracle &&
+                     r.halo_messages ==
+                         expected_halo_messages(r.ranks, generations);
+         report.summary =
+             "24x24 torus, " + std::to_string(generations) +
+             " generations over " + std::to_string(r.ranks) +
+             " ranks: halo_messages=" + std::to_string(r.halo_messages) +
+             " speedup=" + fmt(r.speedup_vs_serial) +
+             " simd=" + std::string(kernel_name(best_simd_kernel())) +
+             "; all kernels match serial: " + (report.ok ? "yes" : "NO");
+         return report;
+       }});
 
   return sims;
 }

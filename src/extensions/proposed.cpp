@@ -188,6 +188,36 @@ std::vector<core::Activity> build() {
       {"role-play", "coins"},
       "bank_transfer_race"}));
 
+  out.push_back(expand(ActivitySpec{
+      "ParallelStencilGameOfLife",
+      2020,
+      "2020-03-20",
+      {"PDCunplugged community (proposed)"},
+      "",
+      "The class becomes a Game of Life torus: desks are cells, each "
+      "student holds a card (alive/dead) and on every clap counts the "
+      "eight neighbouring cards and flips simultaneously. Then the room "
+      "is cut into row strips owned by teams: inside a strip neighbours "
+      "just look at each other (shared memory), but strip edges must be "
+      "passed as written halo notes to the next team each generation "
+      "(message passing) - the shared-vs-distributed communication "
+      "contrast of PCC outcome 8. A final round marches one 'SIMD "
+      "caller' down a row applying the same rule to every cell in "
+      "lockstep, the array-notation idea behind K_SIMDNotation. The "
+      "pdcu stencil simulation replays the same decomposition with "
+      "serial, thread-tiled, and AVX2 kernels that stay bit-identical.",
+      "Card flipping at desks; halo notes pass along rows, no standing "
+      "required.",
+      "No formal assessment yet; proposed activity.",
+      {},
+      {{kThisRepo, ""}},
+      {"PCC_8"},
+      {"K_SIMDNotation", "C_DataParallelNotation"},
+      {"CS2", "DSA", "Systems"},
+      {"visual", "touch"},
+      {"cards", "role-play"},
+      "game_of_life"}));
+
   return out;
 }
 

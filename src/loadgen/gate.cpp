@@ -95,6 +95,80 @@ std::vector<std::string> scale_schema_violations(const BenchDoc& doc,
   return violations;
 }
 
+std::vector<GateRule> stencil_gate_rules() {
+  return {
+      {"kernels.serial_cells_per_s", /*higher_is_worse=*/false,
+       /*required=*/true},
+      {"kernels.tiled_cells_per_s", /*higher_is_worse=*/false,
+       /*required=*/true},
+      {"kernels.autovec_cells_per_s", /*higher_is_worse=*/false,
+       /*required=*/true},
+  };
+}
+
+std::vector<std::string> stencil_schema_violations(const BenchDoc& doc,
+                                                   double min_speedup) {
+  std::vector<std::string> violations;
+  if (doc.schema_version() != kBenchSchemaVersion) {
+    violations.push_back("stencil bench_schema " +
+                         std::to_string(doc.schema_version()) +
+                         " != expected " +
+                         std::to_string(kBenchSchemaVersion));
+    return violations;
+  }
+  if (doc.bench_name() != "stencil") {
+    violations.push_back("bench name '" + doc.bench_name() +
+                         "' != 'stencil'");
+    return violations;
+  }
+
+  for (const char* field :
+       {"width", "height", "generations", "kernels.serial_cells_per_s",
+        "kernels.tiled_cells_per_s", "kernels.autovec_cells_per_s",
+        "kernels.simd_cells_per_s", "kernels.simd_vs_autovec",
+        "parity.checked", "parity.mismatches", "virtual.halo_mismatches",
+        "errors.total"}) {
+    if (!doc.has_number(field)) {
+      violations.push_back(std::string(field) + " missing");
+    }
+  }
+  for (const char* p : {"p1", "p2", "p4", "p8", "p16"}) {
+    const std::string key = std::string("virtual.") + p + "_speedup";
+    if (!doc.has_number(key)) violations.push_back(key + " missing");
+  }
+  if (!violations.empty()) return violations;
+
+  // Honesty anchors: the baseline must have been measured with every
+  // kernel agreeing with the serial oracle and the halo-message count
+  // matching the analytic 2 * ranks * generations.
+  if (doc.number("parity.checked", 0.0) <= 0.0) {
+    violations.push_back("parity.checked is zero — no kernels compared");
+  }
+  if (doc.number("parity.mismatches", 0.0) != 0.0) {
+    violations.push_back("parity.mismatches != 0 — a kernel diverged "
+                         "from the serial oracle");
+  }
+  if (doc.number("virtual.halo_mismatches", 0.0) != 0.0) {
+    violations.push_back("virtual.halo_mismatches != 0 — halo rounds "
+                         "disagree with the analytic count");
+  }
+  if (doc.number("errors.total", 0.0) != 0.0) {
+    violations.push_back("errors.total != 0");
+  }
+
+  // The committed headline: decomposing the torus buys real virtual-time
+  // speedup by 4 ranks.
+  const double speedup = doc.number("virtual.p4_speedup", 0.0);
+  if (speedup < min_speedup) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer,
+                  "virtual.p4_speedup %.2f < required %.2fx",
+                  speedup, min_speedup);
+    violations.push_back(buffer);
+  }
+  return violations;
+}
+
 std::vector<std::string> sweep_schema_violations(const BenchDoc& doc) {
   std::vector<std::string> violations;
   if (doc.schema_version() != kBenchSchemaVersion) {

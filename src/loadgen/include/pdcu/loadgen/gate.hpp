@@ -47,6 +47,21 @@ std::vector<GateRule> scale_gate_rules();
 std::vector<std::string> scale_schema_violations(const BenchDoc& doc,
                                                  double min_speedup = 5.0);
 
+/// Rules for the "stencil" benchmark (bench/bench_stencil.cpp): the host
+/// kernel throughputs are rates, so lower is worse. The SIMD arm is
+/// compared via the always-present autovec kernel; the avx2 figure is
+/// informational because CI hosts may not have AVX2 at all.
+std::vector<GateRule> stencil_gate_rules();
+
+/// Structural validation of the committed "stencil" document: grid shape
+/// and kernel throughputs present, bit-exact parity recorded with zero
+/// mismatches, the virtual-time speedup curve complete for p in
+/// {1,2,4,8,16} with the analytic halo count holding, zero errors, and
+/// the committed headline — at least `min_speedup` virtual-time speedup
+/// at 4 ranks — actually measured. Empty means well-formed.
+std::vector<std::string> stencil_schema_violations(const BenchDoc& doc,
+                                                   double min_speedup = 1.5);
+
 /// Structural validation of a "sweep_serve" BENCH document (the
 /// latency-vs-offered-rate sweep committed as BENCH_sweep_serve.json).
 /// The sweep is too expensive to re-measure inside the gate, so the gate

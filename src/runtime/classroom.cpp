@@ -9,7 +9,12 @@ namespace detail {
 
 bool Mailbox::match_locked(int src, int tag, ClassMessage& out) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+    // The tag wildcard matches user traffic only (tags >= 0): a user
+    // recv(kAny, kAny) must never swallow an internal collective message
+    // that happens to be sitting in the queue. Internal receives always
+    // name their exact reserved tag.
+    const bool tag_ok = tag == kAny ? it->tag >= 0 : it->tag == tag;
+    if ((src == kAny || it->src == src) && tag_ok) {
       out = std::move(*it);
       queue_.erase(it);
       return true;
@@ -29,7 +34,14 @@ void Mailbox::put(ClassMessage message) {
 ClassMessage Mailbox::get(int src, int tag) {
   std::unique_lock lock(mutex_);
   ClassMessage out;
-  arrived_.wait(lock, [&] { return match_locked(src, tag, out); });
+  bool matched = false;
+  // Already-delivered messages win over shutdown: a message the rank was
+  // about to consume must not be dropped by a concurrent teardown.
+  arrived_.wait(lock, [&] {
+    matched = match_locked(src, tag, out);
+    return matched || shutdown_;
+  });
+  if (!matched) throw ClassroomAbort();
   return out;
 }
 
@@ -43,8 +55,17 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
+void Mailbox::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  arrived_.notify_all();
+}
+
 std::int64_t ClockBarrier::arrive_and_wait(std::int64_t my_time) {
   std::unique_lock lock(mutex_);
+  if (aborted_) throw ClassroomAbort();
   group_max_ = std::max(group_max_, my_time);
   if (++waiting_ == parties_) {
     released_max_ = group_max_;
@@ -55,8 +76,18 @@ std::int64_t ClockBarrier::arrive_and_wait(std::int64_t my_time) {
     return released_max_;
   }
   const std::uint64_t my_generation = generation_;
-  released_.wait(lock, [&] { return generation_ != my_generation; });
+  released_.wait(lock,
+                 [&] { return generation_ != my_generation || aborted_; });
+  if (generation_ == my_generation) throw ClassroomAbort();
   return released_max_;
+}
+
+void ClockBarrier::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  released_.notify_all();
 }
 
 struct Shared {
@@ -64,13 +95,20 @@ struct Shared {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::unique_ptr<ClockBarrier> barrier;
   TraceLog* trace = nullptr;
+
+  /// First-failure poisoning: wakes every rank blocked in recv or
+  /// barrier so Classroom::run can join instead of deadlocking.
+  void poison() {
+    for (auto& mailbox : mailboxes) mailbox->shutdown();
+    barrier->abort();
+  }
 };
 
 }  // namespace detail
 
 int Comm::size() const { return shared_.ranks; }
 
-void Comm::send(int dst, std::vector<std::int64_t> payload, int tag) {
+void Comm::send_impl(int dst, std::vector<std::int64_t> payload, int tag) {
   ClassMessage message;
   message.src = rank_;
   message.tag = tag;
@@ -80,7 +118,7 @@ void Comm::send(int dst, std::vector<std::int64_t> payload, int tag) {
   shared_.mailboxes[static_cast<std::size_t>(dst)]->put(std::move(message));
 }
 
-ClassMessage Comm::recv(int src, int tag) {
+ClassMessage Comm::recv_impl(int src, int tag) {
   ClassMessage message =
       shared_.mailboxes[static_cast<std::size_t>(rank_)]->get(src, tag);
   clock_.apply_recv(message.sent_at,
@@ -88,7 +126,33 @@ ClassMessage Comm::recv(int src, int tag) {
   return message;
 }
 
+void Comm::send(int dst, std::vector<std::int64_t> payload, int tag) {
+  if (tag < 0) {
+    throw std::invalid_argument(
+        "Comm::send: tag " + std::to_string(tag) +
+        " is negative; tags < 0 are reserved for internal collective "
+        "traffic (and -1 is the kAny wildcard, so it could never match)");
+  }
+  send_impl(dst, std::move(payload), tag);
+}
+
+ClassMessage Comm::recv(int src, int tag) {
+  if (tag < 0 && tag != kAny) {
+    throw std::invalid_argument(
+        "Comm::recv: tag " + std::to_string(tag) +
+        " is negative; tags < 0 are reserved for internal collective "
+        "traffic (use kAny to match any tag)");
+  }
+  return recv_impl(src, tag);
+}
+
 bool Comm::try_recv(int src, int tag, ClassMessage& out) {
+  if (tag < 0 && tag != kAny) {
+    throw std::invalid_argument(
+        "Comm::try_recv: tag " + std::to_string(tag) +
+        " is negative; tags < 0 are reserved for internal collective "
+        "traffic (use kAny to match any tag)");
+  }
   if (!shared_.mailboxes[static_cast<std::size_t>(rank_)]->try_get(src, tag,
                                                                    out)) {
     return false;
@@ -102,37 +166,65 @@ void Comm::barrier() {
   clock_.align(shared_.barrier->arrive_and_wait(clock_.now()));
 }
 
+namespace {
+
+// Internal collective tag layout: tags are < -1 (so they can never equal
+// kAny or collide with the validated user range), carved as
+//   tag = -2 - (seq * kOpSpace + op)
+// with `seq` the per-communicator collective sequence number and `op` the
+// operation slot below. Folding the sequence in keeps back-to-back
+// collectives apart: a slow rank still draining call N can never match a
+// same-operation message from call N+1, even when the roots differ and
+// the receive uses a wildcard source.
+constexpr int kOpSpace = 64;
+constexpr int kOpBcast = 0;
+constexpr int kOpGather = 1;
+constexpr int kOpScatter = 2;
+constexpr int kOpReduceRound0 = 3;  // round k uses slot kOpReduceRound0 + k
+
+}  // namespace
+
+int Comm::collective_tag(int op) const {
+  return -2 - (collective_seq_ * kOpSpace + op);
+}
+
+int Comm::next_collective() { return ++collective_seq_; }
+
 std::vector<std::int64_t> Comm::bcast(int root,
                                       std::vector<std::int64_t> payload) {
   // Binomial tree rooted at `root`: a node's parent is its relative rank
   // with the lowest set bit cleared; it forwards to rel + m for every
   // m = 2^k below its lowest set bit.
+  next_collective();
+  const int tag = collective_tag(kOpBcast);
   const int n = size();
   const int rel = (rank_ - root + n) % n;
   int mask = 1;
   while (mask < n && (rel & mask) == 0) mask <<= 1;
   if (rel != 0) {
-    ClassMessage message = recv(kAny, /*tag=*/-42);
+    ClassMessage message = recv_impl(kAny, tag);
     payload = std::move(message.payload);
   }
   for (int m = mask >> 1; m > 0; m >>= 1) {
     if (rel + m < n) {
-      send((rel + m + root) % n, payload, /*tag=*/-42);
+      send_impl((rel + m + root) % n, payload, tag);
     }
   }
   return payload;
 }
 
 std::vector<std::int64_t> Comm::gather(int root, std::int64_t value) {
+  next_collective();
+  const int tag = collective_tag(kOpGather);
   const int n = size();
   if (rank_ != root) {
-    send(root, {static_cast<std::int64_t>(rank_), value}, /*tag=*/-43);
+    send_impl(root, {static_cast<std::int64_t>(rank_), value}, tag);
     return {};
   }
   std::vector<std::int64_t> all(static_cast<std::size_t>(n), 0);
   all[static_cast<std::size_t>(rank_)] = value;
   for (int i = 0; i < n - 1; ++i) {
-    ClassMessage message = recv(kAny, /*tag=*/-43);
+    ClassMessage message = recv_impl(kAny, tag);
     all[static_cast<std::size_t>(message.payload[0])] = message.payload[1];
   }
   return all;
@@ -141,18 +233,21 @@ std::vector<std::int64_t> Comm::gather(int root, std::int64_t value) {
 std::int64_t Comm::reduce(
     int root, std::int64_t value,
     const std::function<std::int64_t(std::int64_t, std::int64_t)>& op) {
+  next_collective();
   const int n = size();
   const int rel = (rank_ - root + n) % n;
   std::int64_t acc = value;
   // Binomial tree reduction: at round k, relative ranks with bit k set send
   // to rel - 2^k; others receive if they have a partner.
-  for (int mask = 1; mask < n; mask <<= 1) {
+  int round = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++round) {
+    const int tag = collective_tag(kOpReduceRound0 + round);
     if ((rel & mask) != 0) {
-      send((rel - mask + root) % n, {acc}, /*tag=*/-1000 - mask);
+      send_impl((rel - mask + root) % n, {acc}, tag);
       return 0;  // contributed and done; only root's value is meaningful
     }
     if (rel + mask < n) {
-      ClassMessage message = recv(kAny, /*tag=*/-1000 - mask);
+      ClassMessage message = recv_impl(kAny, tag);
       clock_.work(1);  // the combine step
       acc = op(acc, message.payload[0]);
     }
@@ -172,6 +267,8 @@ std::int64_t Comm::allreduce(
 
 std::vector<std::int64_t> Comm::scatter(
     int root, const std::vector<std::int64_t>& all) {
+  next_collective();
+  const int tag = collective_tag(kOpScatter);
   const int n = size();
   const std::size_t chunk = (all.size() + static_cast<std::size_t>(n) - 1) /
                             static_cast<std::size_t>(n);
@@ -181,9 +278,10 @@ std::vector<std::int64_t> Comm::scatter(
       std::size_t lo =
           std::min(all.size(), chunk * static_cast<std::size_t>(dst));
       std::size_t hi = std::min(all.size(), lo + chunk);
-      send(dst, std::vector<std::int64_t>(all.begin() + static_cast<long>(lo),
+      send_impl(dst,
+                std::vector<std::int64_t>(all.begin() + static_cast<long>(lo),
                                           all.begin() + static_cast<long>(hi)),
-           /*tag=*/-45);
+                tag);
     }
     std::size_t lo =
         std::min(all.size(), chunk * static_cast<std::size_t>(root));
@@ -191,7 +289,7 @@ std::vector<std::int64_t> Comm::scatter(
     return {all.begin() + static_cast<long>(lo),
             all.begin() + static_cast<long>(hi)};
   }
-  return recv(root, /*tag=*/-45).payload;
+  return recv_impl(root, tag).payload;
 }
 
 void Comm::log(std::string text) {
@@ -226,13 +324,23 @@ ClassroomResult Classroom::run(int ranks,
     threads.emplace_back([&, i] {
       try {
         body(*comms[static_cast<std::size_t>(i)]);
+      } catch (const ClassroomAbort&) {
+        // Secondary damage from another rank's failure: this rank was
+        // woken out of a blocked recv/barrier by poison(). Not recorded —
+        // the rank that actually threw carries the run's error.
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(i)] = e.what();
+        shared.poison();
       } catch (...) {
         errors[static_cast<std::size_t>(i)] = "unknown exception";
+        shared.poison();
       }
     });
   }
+  // Safe to join unconditionally: the first failing rank poisons the
+  // shared state, which wakes any peer blocked in Mailbox::get or the
+  // barrier with a ClassroomAbort instead of leaving it (and this join)
+  // waiting forever.
   for (auto& thread : threads) thread.join();
 
   ClassroomResult result;

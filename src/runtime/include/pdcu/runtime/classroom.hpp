@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,16 @@ namespace pdcu::rt {
 
 /// Wildcard for Comm::recv source/tag matching.
 inline constexpr int kAny = -1;
+
+/// Thrown out of a blocked recv/barrier when a peer rank has failed and
+/// the classroom is being torn down. Classroom::run treats it as
+/// secondary damage: the peer's exception becomes the run's error, not
+/// this one. User bodies normally let it propagate.
+class ClassroomAbort : public std::runtime_error {
+ public:
+  ClassroomAbort()
+      : std::runtime_error("classroom aborted: a peer rank failed") {}
+};
 
 /// A message between ranks: integer payload plus virtual send timestamp.
 struct ClassMessage {
@@ -41,12 +52,19 @@ class Mailbox {
   bool try_get(int src, int tag, ClassMessage& out);
   std::size_t pending() const;
 
+  /// Poisons the mailbox: a blocked or future get() with no matching
+  /// message throws ClassroomAbort instead of waiting forever. Already
+  /// delivered messages still match (teardown must not lose a message a
+  /// rank was about to consume).
+  void shutdown();
+
  private:
   bool match_locked(int src, int tag, ClassMessage& out);
 
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
   std::deque<ClassMessage> queue_;
+  bool shutdown_ = false;
 };
 
 /// Reusable barrier that additionally aligns virtual clocks to the group
@@ -58,6 +76,11 @@ class ClockBarrier {
   /// Returns the aligned (maximum) virtual time.
   std::int64_t arrive_and_wait(std::int64_t my_time);
 
+  /// Poisons the barrier: current and future waiters throw
+  /// ClassroomAbort. A barrier can never complete again once a rank has
+  /// died — its party count is permanently short.
+  void abort();
+
  private:
   std::mutex mutex_;
   std::condition_variable released_;
@@ -66,6 +89,7 @@ class ClockBarrier {
   std::uint64_t generation_ = 0;
   std::int64_t group_max_ = 0;
   std::int64_t released_max_ = 0;
+  bool aborted_ = false;
 };
 
 struct Shared;
@@ -81,7 +105,11 @@ class Comm {
   /// Local computation: advances this rank's virtual clock.
   void work(std::int64_t steps = 1) { clock_.work(steps); }
 
-  /// Point-to-point.
+  /// Point-to-point. User tags must be >= 0: the negative range is
+  /// reserved for the collectives' internal traffic (and -1 is kAny, so a
+  /// user send tagged -1 could never be matched). send/recv with a
+  /// negative tag (other than recv's kAny wildcard) throws
+  /// std::invalid_argument instead of silently colliding.
   void send(int dst, std::vector<std::int64_t> payload, int tag = 0);
   ClassMessage recv(int src = kAny, int tag = kAny);
   bool try_recv(int src, int tag, ClassMessage& out);
@@ -111,9 +139,24 @@ class Comm {
   Comm(int rank, detail::Shared& shared, CostModel model)
       : rank_(rank), shared_(shared), clock_(model) {}
 
+  /// Unvalidated transport used by the collectives (reserved tag range).
+  void send_impl(int dst, std::vector<std::int64_t> payload, int tag);
+  ClassMessage recv_impl(int src, int tag);
+
+  /// The internal tag for operation `op` of the current collective call.
+  /// Collective tags live in [INT_MIN, -2] and fold in a per-communicator
+  /// sequence number, so a straggler in collective call N can never match
+  /// a same-operation message from call N+1 — even when the roots (and
+  /// therefore the senders behind the wildcard-source receives) differ.
+  /// Every rank calls collectives in the same order, so the per-rank
+  /// counters agree without synchronization.
+  int collective_tag(int op) const;
+  int next_collective();  ///< bumps the sequence, returns the new value
+
   int rank_;
   detail::Shared& shared_;
   VirtualClock clock_;
+  int collective_seq_ = 0;
 };
 
 /// Result of a classroom run.

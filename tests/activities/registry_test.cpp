@@ -5,11 +5,12 @@
 #include <set>
 
 #include "pdcu/core/curation.hpp"
+#include "pdcu/extensions/proposed.hpp"
 
 namespace act = pdcu::act;
 
-TEST(Registry, HasTwentyEightSimulations) {
-  EXPECT_EQ(act::simulations().size(), 28u);
+TEST(Registry, HasTwentyNineSimulations) {
+  EXPECT_EQ(act::simulations().size(), 29u);
 }
 
 TEST(Registry, SlugsAreUnique) {
@@ -38,8 +39,13 @@ TEST(Registry, EveryCurationSimulationSlugResolves) {
 }
 
 TEST(Registry, EveryRegisteredSimulationBacksSomeActivity) {
+  // Simulations may back either a snapshot-curation activity or one of
+  // the proposed gap-filling activities.
   std::set<std::string> used;
   for (const auto& activity : pdcu::core::curation()) {
+    if (!activity.simulation.empty()) used.insert(activity.simulation);
+  }
+  for (const auto& activity : pdcu::ext::proposed_activities()) {
     if (!activity.simulation.empty()) used.insert(activity.simulation);
   }
   for (const auto& sim : act::simulations()) {

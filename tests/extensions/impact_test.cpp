@@ -11,7 +11,7 @@
 namespace ext = pdcu::ext;
 
 TEST(Impact, ExtendedCurationIsSnapshotPlusProposals) {
-  EXPECT_EQ(ext::extended_curation().size(), 38u + 7u);
+  EXPECT_EQ(ext::extended_curation().size(), 38u + 8u);
 }
 
 TEST(Impact, CoverageNeverDecreases) {
@@ -59,6 +59,8 @@ TEST(Impact, GapsClosedIncludeTheHeadlineOnes) {
   EXPECT_TRUE(has("K_CloudGrid"));
   EXPECT_TRUE(has("K_EnergyEfficiency"));
   EXPECT_TRUE(has("K_HigherLevelRaces"));
+  EXPECT_TRUE(has("PCC_8"));
+  EXPECT_TRUE(has("K_SIMDNotation"));
 }
 
 TEST(Impact, SomeGapsRemainOpen) {

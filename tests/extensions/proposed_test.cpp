@@ -12,8 +12,8 @@
 namespace ext = pdcu::ext;
 namespace core = pdcu::core;
 
-TEST(Proposed, SevenProposedActivities) {
-  EXPECT_EQ(ext::proposed_activities().size(), 7u);
+TEST(Proposed, EightProposedActivities) {
+  EXPECT_EQ(ext::proposed_activities().size(), 8u);
 }
 
 TEST(Proposed, EveryProposalIsPublishable) {

@@ -259,3 +259,139 @@ TEST(Classroom, SingleRankDegenerateCase) {
   });
   EXPECT_TRUE(result.ok());
 }
+
+// --- Regression tests for the teardown and tag-namespace fixes. ---
+
+// A rank that throws while a peer is blocked in recv used to deadlock the
+// whole run (join waited forever on the blocked rank). The shared state is
+// now poisoned on first failure, so the blocked rank aborts and run()
+// reports the original error.
+TEST(ClassroomFailure, RankThrowWhilePeerBlockedInRecvReturnsError) {
+  auto result = rt::Classroom::run(2, [&](rt::Comm& comm) {
+    if (comm.rank() == 0) {
+      throw std::runtime_error("rank 0 exploded before sending");
+    }
+    comm.recv(0);  // would block forever without teardown poisoning
+    ADD_FAILURE() << "recv returned after the peer died";
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("rank 0 exploded"), std::string::npos)
+      << result.error;
+}
+
+TEST(ClassroomFailure, RankThrowWhilePeersBlockedInBarrierReturnsError) {
+  auto result = rt::Classroom::run(4, [&](rt::Comm& comm) {
+    if (comm.rank() == 3) {
+      throw std::runtime_error("rank 3 never reaches the barrier");
+    }
+    comm.barrier();  // can never complete with rank 3 dead
+    ADD_FAILURE() << "barrier completed with a dead rank";
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("rank 3"), std::string::npos) << result.error;
+}
+
+TEST(ClassroomFailure, DeliveredMessageStillWinsOverShutdown) {
+  // Teardown must not lose a message that was already delivered: the
+  // surviving rank's recv matches the queued message even while the
+  // classroom is being poisoned.
+  std::atomic<std::int64_t> got{-1};
+  auto result = rt::Classroom::run(3, [&](rt::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, {41});
+      throw std::runtime_error("rank 0 failed after sending");
+    }
+    if (comm.rank() == 1) {
+      got.store(comm.recv(0).payload[0]);
+    }
+    // Rank 2 blocks in recv and must be aborted, not deadlocked.
+    if (comm.rank() == 2) comm.recv(0);
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(got.load(), 41);
+}
+
+// User tags share no namespace with the collectives any more: negative
+// tags are rejected at the public API instead of silently colliding (and
+// tag -1 == kAny could never be matched at all).
+TEST(ClassroomTags, NegativeUserTagsAreRejected) {
+  auto result = rt::Classroom::run(2, [&](rt::Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(1, {1}, -42), std::invalid_argument);
+      EXPECT_THROW(comm.send(1, {1}, -1), std::invalid_argument);
+      comm.send(1, {2}, 0);  // a valid tag still works
+    } else {
+      EXPECT_THROW(comm.recv(0, -42), std::invalid_argument);
+      rt::ClassMessage out;
+      EXPECT_THROW(comm.try_recv(0, -7, out), std::invalid_argument);
+      EXPECT_EQ(comm.recv(0, 0).payload[0], 2);
+    }
+  });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(ClassroomTags, UserTrafficIsNotSwallowedByAConcurrentBcast) {
+  // Before the fix a user send tagged -42 was indistinguishable from
+  // bcast's internal traffic. Now user sends use the non-negative range
+  // and wildcard receives only match user traffic, so point-to-point
+  // messages and a concurrent bcast cannot swallow each other.
+  std::atomic<std::int64_t> direct{-1};
+  std::atomic<std::int64_t> broadcast{-1};
+  auto result = rt::Classroom::run(4, [&](rt::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(3, {1234}, 7);
+    }
+    auto value = comm.bcast(0, {555});
+    if (comm.rank() == 3) {
+      broadcast.store(value[0]);
+      // Wildcard recv: must match the user message, never a stray
+      // internal collective message.
+      auto message = comm.recv(rt::kAny, rt::kAny);
+      EXPECT_EQ(message.tag, 7);
+      direct.store(message.payload[0]);
+    }
+  });
+  EXPECT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(direct.load(), 1234);
+  EXPECT_EQ(broadcast.load(), 555);
+}
+
+TEST(ClassroomTags, BackToBackReducesWithDifferentRootsDoNotCrossMatch) {
+  // reduce receives with a wildcard source, so before the sequence-tagged
+  // collectives a slow rank in reduce(0, ...) could match a message from
+  // the following reduce(1, ...). Distinct per-rank values make any
+  // cross-match change the totals.
+  auto plus = [](std::int64_t a, std::int64_t b) { return a + b; };
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::int64_t> at_root0{-1};
+    std::atomic<std::int64_t> at_root1{-1};
+    auto result = rt::Classroom::run(5, [&](rt::Comm& comm) {
+      const std::int64_t mine = 1ll << comm.rank();  // distinct powers
+      std::int64_t first = comm.reduce(0, mine * 3, plus);
+      std::int64_t second = comm.reduce(1, mine * 11, plus);
+      if (comm.rank() == 0) at_root0.store(first);
+      if (comm.rank() == 1) at_root1.store(second);
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(at_root0.load(), 31 * 3);
+    EXPECT_EQ(at_root1.load(), 31 * 11);
+  }
+}
+
+TEST(ClassroomTags, InterleavedCollectivesAndUserTrafficStayCoherent) {
+  // A denser mix: every rank alternates collectives with point-to-point
+  // ring traffic; everything must stay correctly matched.
+  auto plus = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto result = rt::Classroom::run(4, [&](rt::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 10; ++i) {
+      comm.send(next, {comm.rank() * 100 + i}, i);
+      std::int64_t total = comm.allreduce(1, plus);
+      EXPECT_EQ(total, comm.size());
+      auto message = comm.recv(prev, i);
+      EXPECT_EQ(message.payload[0], prev * 100 + i);
+    }
+  });
+  EXPECT_TRUE(result.ok()) << result.error;
+}

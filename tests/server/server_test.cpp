@@ -269,8 +269,11 @@ TEST_P(BothBackends, LiveMetricsScrapeIsLintClean) {
 }
 
 TEST_P(BothBackends, AccessLogRecordsOneJsonLinePerRequest) {
+  // Unique per backend: the pool and reactor instances of this test can
+  // run concurrently under `ctest -j` and must not share a file.
   const std::string path =
-      testing::TempDir() + "pdcu_access_log_test.jsonl";
+      testing::TempDir() + "pdcu_access_log_test_" +
+      std::to_string(static_cast<int>(GetParam())) + ".jsonl";
   std::remove(path.c_str());
   {
     pdcu::obs::AccessLog log(path);

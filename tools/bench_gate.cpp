@@ -13,6 +13,12 @@
 //   * BENCH_search.json  — benchjson::search_summary_json(): index build
 //     time + query-latency percentiles over the canonical query shapes.
 //
+//   * BENCH_stencil.json  — benchjson::stencil_summary_json(): Game of
+//     Life kernel throughputs + virtual-time speedup curve. The gate
+//     re-measures at a smaller grid (throughput rules only — cells/s is
+//     grid-size independent to first order) and structurally validates
+//     the committed parity/halo/speedup claims.
+//
 //   * BENCH_search_scale.json — benchjson::search_scale_summary_json():
 //     exhaustive-vs-MaxScore query latency on synthetic corpora plus the
 //     query-cache hit/miss split. The 10k section is re-measured; the
@@ -61,13 +67,14 @@ int usage(const char* argv0) {
                " [--serve-baseline PATH]\n"
                "          [--reactor-baseline PATH] [--search-baseline PATH]"
                " [--sweep-baseline PATH]\n"
-               "          [--scale-baseline PATH]"
-               " [--skip-serve] [--skip-reactor] [--skip-search]\n"
-               "          [--skip-sweep] [--skip-scale]\n"
+               "          [--scale-baseline PATH] [--stencil-baseline PATH]\n"
+               "          [--skip-serve] [--skip-reactor] [--skip-search]\n"
+               "          [--skip-sweep] [--skip-scale] [--skip-stencil]\n"
                "Baselines default to BENCH_serve.json /"
                " BENCH_serve_reactor.json /\nBENCH_search.json /"
-               " BENCH_sweep_serve.json / BENCH_search_scale.json\n"
-               "in the current directory (run from the repo root).\n",
+               " BENCH_sweep_serve.json / BENCH_search_scale.json /\n"
+               "BENCH_stencil.json in the current directory (run from the"
+               " repo root).\n",
                argv0);
   return 2;
 }
@@ -155,11 +162,13 @@ int main(int argc, char** argv) {
   std::string search_baseline = "BENCH_search.json";
   std::string sweep_baseline = "BENCH_sweep_serve.json";
   std::string scale_baseline = "BENCH_search_scale.json";
+  std::string stencil_baseline = "BENCH_stencil.json";
   bool run_serve = true;
   bool run_reactor = true;
   bool run_search = true;
   bool run_sweep = true;
   bool run_scale = true;
+  bool run_stencil = true;
   int attempts = 3;
 
   for (int i = 1; i < argc; ++i) {
@@ -203,6 +212,12 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       scale_baseline = v;
+    } else if (arg == "--stencil-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      stencil_baseline = v;
+    } else if (arg == "--skip-stencil") {
+      run_stencil = false;
     } else if (arg == "--skip-serve") {
       run_serve = false;
     } else if (arg == "--skip-reactor") {
@@ -295,6 +310,37 @@ int main(int argc, char** argv) {
                         attempts, [] {
                           return pdcu::benchjson::search_scale_summary_json(
                               "bench_gate", {10'000});
+                        });
+  }
+
+  if (run_stencil) {
+    loadgen::BenchDoc baseline;
+    if (!load_baseline(stencil_baseline, baseline)) return 2;
+    // Structural check first: the committed document must carry the full
+    // kernel set, a parity sweep with zero mismatches, the p{1..16}
+    // virtual-time curve, and the analytic halo count holding.
+    const auto stencil_violations =
+        loadgen::stencil_schema_violations(baseline);
+    if (stencil_violations.empty()) {
+      std::printf(
+          "bench_gate: stencil PASS (schema check, %.2fx virtual speedup "
+          "at 4 ranks, simd=%s)\n",
+          baseline.number("virtual.p4_speedup", 0.0),
+          baseline.text("simd.dispatched").c_str());
+    } else {
+      std::printf("bench_gate: stencil FAIL (schema check)\n");
+      for (const auto& violation : stencil_violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      violations += static_cast<int>(stencil_violations.size());
+    }
+    // Then re-measure kernel throughput at a smaller grid (cells/s is
+    // grid-size independent to first order; 96x96 keeps three attempts
+    // cheap) and compare under the tolerance.
+    violations += gated("stencil", baseline, loadgen::stencil_gate_rules(),
+                        gate, attempts, [] {
+                          return pdcu::benchjson::stencil_summary_json(
+                              "bench_gate", 96, 96, 32);
                         });
   }
 

@@ -1,12 +1,16 @@
 // Writes the built-in curation to data/activities/*.md — the on-disk form
-// of pdcunplugged.org's content directory. Usage:
+// of pdcunplugged.org's content directory — and the proposed gap-filling
+// activities to data/proposed/activities/*.md, kept separate so the
+// paper-exact 38-file snapshot stays untouched. Usage:
 //   curation_export [content-dir]   (default: ./data)
 #include <cstdio>
+#include <string>
 
 #include "pdcu/core/repository.hpp"
+#include "pdcu/extensions/proposed.hpp"
 
 int main(int argc, char** argv) {
-  const char* dir = argc > 1 ? argv[1] : "data";
+  const std::string dir = argc > 1 ? argv[1] : "data";
   auto repo = pdcu::core::Repository::builtin();
   auto status = repo.export_to(dir);
   if (!status) {
@@ -15,6 +19,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %zu activities to %s/activities/\n",
-              repo.activities().size(), dir);
+              repo.activities().size(), dir.c_str());
+
+  pdcu::core::Repository proposed(pdcu::ext::proposed_activities());
+  status = proposed.export_to(dir + "/proposed");
+  if (!status) {
+    std::fprintf(stderr, "proposed export failed: %s\n",
+                 status.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu proposed activities to %s/proposed/activities/\n",
+              proposed.activities().size(), dir.c_str());
   return 0;
 }

@@ -91,6 +91,7 @@
 #include <thread>
 
 #include "pdcu/activities/registry.hpp"
+#include "pdcu/activities/stencil.hpp"
 #include "pdcu/cluster/fleet.hpp"
 #include "pdcu/cluster/front.hpp"
 #include "pdcu/cluster/gossip_agent.hpp"
@@ -125,8 +126,136 @@ int usage() {
                "usage: pdcu "
                "list|show|new|validate|check|build|serve|cluster|loadgen|"
                "search|index|tables|gaps|impact|json|audit|plan|annotate|"
-               "run ...\n");
+               "run|stencil ...\n");
   return 2;
+}
+
+// Game of Life on a torus: host-kernel run (timed, parity-checked against
+// the serial oracle) plus the classroom halo-exchange decomposition under
+// the virtual-time cost model.
+int stencil_cmd(int argc, char** argv) {
+  std::size_t width = 64;
+  std::size_t height = 0;  // 0 = square (width)
+  int generations = 10;
+  int ranks = 4;
+  std::uint64_t seed = 42;
+  std::string kernel_arg = "simd";
+  bool trace_wanted = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--width") {
+      const char* v = value();
+      if (v == nullptr) break;
+      width = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--height") {
+      const char* v = value();
+      if (v == nullptr) break;
+      height = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--generations") {
+      const char* v = value();
+      if (v == nullptr) break;
+      generations = std::atoi(v);
+    } else if (arg == "--ranks") {
+      const char* v = value();
+      if (v == nullptr) break;
+      ranks = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) break;
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--kernel") {
+      const char* v = value();
+      if (v == nullptr) break;
+      kernel_arg = v;
+    } else if (arg == "--trace") {
+      trace_wanted = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: pdcu stencil [--width N] [--height N] "
+                   "[--generations G] [--ranks P]\n"
+                   "                    [--kernel serial|tiled|autovec|avx2|"
+                   "simd] [--seed S] [--trace]\n");
+      return 2;
+    }
+  }
+  if (height == 0) height = width;
+  if (width == 0 || generations < 0 || ranks < 1) {
+    std::fprintf(stderr, "stencil: invalid grid/ranks/generations\n");
+    return 2;
+  }
+
+  namespace act = pdcu::act;
+  act::LifeKernel kernel = act::LifeKernel::kSerial;
+  if (kernel_arg == "serial") {
+    kernel = act::LifeKernel::kSerial;
+  } else if (kernel_arg == "tiled") {
+    kernel = act::LifeKernel::kTiled;
+  } else if (kernel_arg == "autovec") {
+    kernel = act::LifeKernel::kAutovec;
+  } else if (kernel_arg == "avx2") {
+    kernel = act::LifeKernel::kAvx2;
+  } else if (kernel_arg == "simd") {
+    kernel = act::best_simd_kernel();
+  } else {
+    std::fprintf(stderr, "stencil: unknown kernel '%s'\n",
+                 kernel_arg.c_str());
+    return 2;
+  }
+  if (kernel == act::LifeKernel::kAvx2 &&
+      !act::kernel_available(act::LifeKernel::kAvx2)) {
+    std::fprintf(stderr,
+                 "stencil: avx2 not available on this host; "
+                 "falling back to autovec\n");
+  }
+
+  const act::LifeGrid start = act::LifeGrid::random(width, height, seed);
+  const auto host_begin = std::chrono::steady_clock::now();
+  const act::LifeGrid evolved = act::life_run(start, generations, kernel);
+  const double host_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - host_begin)
+                            .count();
+  const act::LifeGrid oracle =
+      act::life_run(start, generations, act::LifeKernel::kSerial);
+  const bool parity = evolved == oracle;
+
+  pdcu::rt::TraceLog trace;
+  auto run = act::stencil_classroom(start, ranks, generations, {},
+                                    trace_wanted ? &trace : nullptr);
+  if (!run.ok()) {
+    std::fprintf(stderr, "stencil: classroom run failed: %s\n",
+                 run.error.c_str());
+    return 1;
+  }
+  const bool classroom_parity = run.grid == oracle;
+  const bool halo_ok =
+      run.halo_messages ==
+      act::expected_halo_messages(run.ranks, run.generations);
+
+  std::printf("torus %zux%zu, %d generations, seed %llu\n", width, height,
+              generations, static_cast<unsigned long long>(seed));
+  std::printf("population %zu -> %zu\n", start.alive(), evolved.alive());
+  std::printf("host kernel %s: %.1f Mcells/s, matches serial oracle: %s\n",
+              std::string(act::kernel_name(kernel)).c_str(),
+              host_s > 0.0 ? static_cast<double>(width * height) *
+                                 generations / host_s / 1e6
+                           : 0.0,
+              parity ? "yes" : "NO");
+  std::printf("classroom: %d ranks, halo messages %lld (analytic %lld, "
+              "%s), virtual makespan %lld, speedup %.2fx, "
+              "matches oracle: %s\n",
+              run.ranks, static_cast<long long>(run.halo_messages),
+              static_cast<long long>(act::expected_halo_messages(
+                  run.ranks, run.generations)),
+              halo_ok ? "ok" : "MISMATCH",
+              static_cast<long long>(run.cost.makespan),
+              run.speedup_vs_serial, classroom_parity ? "yes" : "NO");
+  if (trace_wanted) {
+    std::fputs(trace.render_script().c_str(), stdout);
+  }
+  return parity && classroom_parity && halo_ok ? 0 : 1;
 }
 
 int loadgen_cmd(int argc, char** argv) {
@@ -998,6 +1127,9 @@ int main(int argc, char** argv) {
   }
   if (command == "loadgen") {
     return loadgen_cmd(argc, argv);
+  }
+  if (command == "stencil") {
+    return stencil_cmd(argc, argv);
   }
   if (command == "search") {
     return search(repo, argc, argv);
